@@ -1,0 +1,52 @@
+// Experiment E1 (Theorem 1): quantum APSP round complexity vs n and W.
+//
+// The paper claims O~(n^{1/4} log W) rounds for APSP over directed graphs
+// with weights in {-W..W}. This harness measures simulated rounds for a
+// sweep of n and two weight scales, fits the n-exponent of the
+// rounds-vs-n curve, and reports the W-dependence (expected: roughly
+// multiplicative in log W through the binary-search depth of Prop 2).
+#include <iostream>
+
+#include "baseline/shortest_paths.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/apsp.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace qclique;
+  std::cout << "E1: quantum APSP scaling (Theorem 1: O~(n^{1/4} log W) rounds)\n";
+
+  Table table({"n", "W", "rounds", "products", "FindEdges calls", "exact"});
+  std::vector<double> ns, rounds_small_w;
+  for (const std::int64_t w : {8ll, 64ll}) {
+    for (const std::uint32_t n : {8u, 12u, 16u, 20u}) {
+      Rng rng(1000 + n + static_cast<std::uint64_t>(w));
+      const auto g = random_digraph(n, 0.45, -w / 2, w, rng);
+      const auto oracle = floyd_warshall(g);
+      QuantumApspOptions opt;
+      Rng arng = rng.split();
+      const auto res = quantum_apsp(g, opt, arng);
+      const bool exact = oracle.has_value() && res.distances == *oracle;
+      table.add_row({Table::fmt(static_cast<std::uint64_t>(n)), Table::fmt(w),
+                     Table::fmt(res.rounds), Table::fmt(res.products),
+                     Table::fmt(res.find_edges_calls), exact ? "yes" : "NO"});
+      if (w == 8) {
+        ns.push_back(n);
+        rounds_small_w.push_back(static_cast<double>(res.rounds));
+      }
+    }
+  }
+  table.print("Quantum APSP: measured rounds");
+
+  const auto fit = fit_power_law(ns, rounds_small_w);
+  std::cout << "\nFitted rounds ~ n^e at W=8: e = " << fit.slope
+            << " (r^2 = " << fit.r_squared << ")\n"
+            << "Paper shape: the *search* component scales ~n^{1/4}; at these\n"
+               "sizes the polylog reduction layers (log n squarings x log M\n"
+               "binary probes x per-call setup) dominate the absolute count,\n"
+               "so the fitted end-to-end exponent reflects setup-heavy small-n\n"
+               "behavior. bench_findedges_promise isolates the n^{1/4} layer.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Experiment E10: the classical O~(n^{1/3}) baselines and the
+// quantum-vs-classical comparison that is the paper's headline.
+//
+// Measures (a) the Censor-Hillel-style semiring distance product,
+// (b) Dolev-Lenzen-Peled triangle listing, and (c) quantum vs classical
+// ComputePairs, all in simulated rounds, with fitted exponents.
+#include <iostream>
+
+#include "baseline/semiring_product.hpp"
+#include "baseline/tri_tri_again.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/compute_pairs.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+#include "matrix/min_plus.hpp"
+
+int main() {
+  using namespace qclique;
+  std::cout << "E10: classical baselines vs the quantum algorithm\n";
+
+  // --- Semiring distance product rounds vs n. ------------------------------
+  Table semi({"n", "rounds", "correct"});
+  std::vector<double> ns1, rounds1;
+  for (const std::uint32_t n : {16u, 32u, 64u, 128u, 216u}) {
+    Rng rng(n);
+    DistMatrix a(n), b(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (rng.bernoulli(0.8)) a.set(i, j, rng.uniform_i64(-9, 9));
+        if (rng.bernoulli(0.8)) b.set(i, j, rng.uniform_i64(-9, 9));
+      }
+    }
+    CliqueNetwork net(n);
+    const auto res = semiring_distance_product(net, a, b);
+    semi.add_row({Table::fmt(static_cast<std::uint64_t>(n)), Table::fmt(res.rounds),
+                  res.product == distance_product_naive(a, b) ? "yes" : "NO"});
+    ns1.push_back(n);
+    rounds1.push_back(static_cast<double>(res.rounds));
+  }
+  semi.print("Censor-Hillel semiring distance product (classical, O~(n^{1/3}))");
+  const auto fit1 = fit_power_law(ns1, rounds1);
+  std::cout << "Fitted: rounds ~ n^" << fit1.slope << " (r^2 " << fit1.r_squared
+            << "; theory 1/3)\n";
+
+  // --- Triangle listing rounds vs n. ---------------------------------------
+  Table tri({"n", "rounds", "hot pairs", "correct"});
+  std::vector<double> ns2, rounds2;
+  for (const std::uint32_t n : {27u, 64u, 125u, 216u}) {
+    Rng rng(n + 1);
+    const auto g = random_weighted_graph(n, 0.4, -6, 10, rng);
+    const auto res = tri_tri_again_find_edges(g);
+    tri.add_row({Table::fmt(static_cast<std::uint64_t>(n)), Table::fmt(res.rounds),
+                 Table::fmt(static_cast<std::uint64_t>(res.hot_pairs.size())),
+                 res.hot_pairs == edges_in_negative_triangles(g) ? "yes" : "NO"});
+    ns2.push_back(n);
+    rounds2.push_back(static_cast<double>(std::max<std::uint64_t>(res.rounds, 1)));
+  }
+  tri.print("Dolev-Lenzen-Peled negative-triangle listing (classical)");
+  const auto fit2 = fit_power_law(ns2, rounds2);
+  std::cout << "Fitted: rounds ~ n^" << fit2.slope << " (r^2 " << fit2.r_squared
+            << "; theory 1/3)\n";
+
+  // --- Quantum vs classical search inside ComputePairs. --------------------
+  // Oracle calls are the constant-free comparison: per joint evaluation both
+  // variants pay the same r rounds, and the paper's separation is
+  // ~n^{1/4} quantum calls vs ~n^{1/2} classical evaluations. The sweep
+  // uses the paper-shape sampling profile (see bench_findedges_promise).
+  Table cmp({"n", "q oracle calls", "c domain evals", "calls ratio c/q"});
+  std::vector<double> ns3, qcalls, ccalls;
+  for (const std::uint32_t n : {64u, 144u, 256u, 400u}) {
+    Rng rng(n + 2);
+    const auto g = random_weighted_graph(n, 0.35, -6, 10, rng);
+    std::vector<VertexPair> s;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = u + 1; v < n; ++v) s.emplace_back(u, v);
+    }
+    ComputePairsOptions qo;
+    qo.constants.lambda_sample = 6.0 / paper_log(n);  // paper-shape regime
+    Rng r1 = rng.split();
+    const auto q = compute_pairs(g, s, qo, r1);
+    ComputePairsOptions co = qo;
+    co.use_quantum = false;
+    Rng r2 = rng.split();
+    const auto c = compute_pairs(g, s, co, r2);
+    const std::uint64_t qc = std::max<std::uint64_t>(1, q.ledger.total_oracle_calls());
+    const std::uint64_t cc = c.ledger.total_oracle_calls();
+    cmp.add_row({Table::fmt(static_cast<std::uint64_t>(n)), Table::fmt(qc),
+                 Table::fmt(cc),
+                 Table::fmt(static_cast<double>(cc) / static_cast<double>(qc), 2)});
+    ns3.push_back(n);
+    qcalls.push_back(static_cast<double>(qc));
+    ccalls.push_back(static_cast<double>(std::max<std::uint64_t>(1, cc)));
+  }
+  cmp.print("Joint evaluations: quantum Grover calls vs classical domain scan");
+  const auto qf = fit_power_law(ns3, qcalls);
+  const auto cf = fit_power_law(ns3, ccalls);
+  std::cout << "Fitted: quantum calls ~ n^" << Table::fmt(qf.slope, 2)
+            << " (theory 1/4), classical ~ n^" << Table::fmt(cf.slope, 2)
+            << " (theory 1/2).\n"
+            << "\nReading: the exponent gap is the paper's central claim. In raw\n"
+               "rounds the BBHT/uncompute constants (~18x per call) put the\n"
+               "crossover near n ~ 10^5, beyond message-level simulation -- the\n"
+               "separation manifests here as the widening calls ratio.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Experiment E11 (Figures 4-5): the evaluation procedure's load profile.
+//
+// Reports, per class alpha: measured rounds per joint evaluation, the
+// largest list |L^k_w|, the promise threshold, the number of violating
+// lists, and -- for a constants profile that activates duplication -- the
+// Figure 5 step 0 cost. The flat rounds-per-evaluation column across load
+// levels is the "O~(1)-round checking" the section is about.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/evaluation.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace qclique;
+  std::cout << "E11: evaluation-procedure cost and load balancing (Figs 4-5)\n";
+
+  Table table({"n", "alpha", "dup", "queries", "eval rounds", "dup rounds",
+               "max |L^k_w|", "promise", "violations"});
+  for (const std::uint32_t n : {64u, 144u, 256u}) {
+    Rng rng(n);
+    const auto g = random_weighted_graph(n, 0.5, -8, 10, rng);
+    Partitions parts(n);
+    std::vector<std::uint32_t> t_alpha;
+    for (std::uint32_t wb = 0; wb < parts.num_wblocks(); ++wb) t_alpha.push_back(wb);
+
+    for (const std::uint32_t alpha : {0u, 4u}) {
+      // class_size scaled down so alpha = 4 triggers duplication.
+      Constants cst = Constants::paper();
+      if (alpha > 0) cst.class_size = 1.0;
+      CliqueNetwork net(n);
+      EvalQuerySet qs;
+      qs.queries.resize(parts.num_wblocks());
+      Rng qrng = rng.split();
+      std::uint64_t total_queries = 0;
+      for (std::uint32_t x = 0; x < parts.num_wblocks(); ++x) {
+        for (const auto& [u, v] : parts.block_pairs(0, parts.num_vblocks() > 1 ? 1 : 0)) {
+          if (!g.has_edge(u, v)) continue;
+          qs.queries[x].emplace_back(
+              VertexPair(u, v),
+              static_cast<std::uint32_t>(qrng.uniform_u64(t_alpha.size())));
+          ++total_queries;
+        }
+      }
+      const auto stats = run_evaluation(net, g, parts, 0,
+                                        parts.num_vblocks() > 1 ? 1 : 0, alpha,
+                                        t_alpha, qs, cst, true);
+      table.add_row({Table::fmt(static_cast<std::uint64_t>(n)),
+                     Table::fmt(static_cast<std::uint64_t>(alpha)),
+                     Table::fmt(static_cast<std::uint64_t>(
+                         duplication_factor(n, alpha, cst))),
+                     Table::fmt(total_queries),
+                     Table::fmt(stats.rounds - stats.duplication_rounds),
+                     Table::fmt(stats.duplication_rounds),
+                     Table::fmt(stats.max_list_len),
+                     Table::fmt(eval_list_promise(n, alpha, cst), 0),
+                     Table::fmt(stats.promise_violations)});
+    }
+  }
+  table.print("Evaluation procedure: rounds and list loads");
+  std::cout << "\nReading: evaluation rounds stay near-constant in n (the\n"
+               "O~(1)-round checking claim); duplication (alpha > 0, dup > 1)\n"
+               "shifts cost into a one-time step-0 broadcast; lists stay far\n"
+               "below the promise threshold.\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Experiment E2 (Theorem 2): FindEdgesWithPromise round complexity vs n,
+// quantum vs the classical step-3 scan.
+//
+// Regime note. The paper's sampling rate p = 10 log n / sqrt(n) only drops
+// below 1 for n ~ 10^4+, far beyond message-level simulation; at smaller n
+// the cap p = 1 puts m ~ n^{3/2} pairs on every node and the evaluation
+// cost r inherits an extra sqrt(n) factor that buries the search shape.
+// This bench therefore sweeps *two* profiles:
+//   * paper constants (saturated regime, exact output), and
+//   * a "paper-shape" profile p = 6 / sqrt(n), which reproduces the
+//     m = Theta~(n) load the paper analyzes. Coverage is then only
+//     probabilistic (P[pair missed] = (1-p)^{sqrt n} ~ e^{-6}), so the
+//     recall column reports it -- the *rounds* columns are the deliverable.
+// The headline shape: quantum oracle calls ~ n^{1/4} vs classical domain
+// scans ~ n^{1/2}, with identical per-call cost r.
+#include <algorithm>
+#include <iostream>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/compute_pairs.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+
+namespace {
+
+using namespace qclique;
+
+std::uint64_t search_rounds(const RoundLedger& ledger) {
+  std::uint64_t total = 0;
+  for (const auto& [name, stats] : ledger.phases()) {
+    if (name.starts_with("search/")) total += stats.rounds;
+  }
+  return total;
+}
+
+/// The paper-shape profile: p = 6 / sqrt(n) (see header note).
+Constants shape_profile(std::uint32_t n) {
+  Constants cst = Constants::paper();
+  cst.lambda_sample = 6.0 / paper_log(n);
+  return cst;
+}
+
+void run_sweep(const std::string& title, const std::vector<std::uint32_t>& sizes,
+               bool paper_profile) {
+  Table table({"n", "q search rounds", "q oracle calls", "c search rounds",
+               "c evals", "recall"});
+  std::vector<double> ns, qr, cr, qc, cc;
+  for (const std::uint32_t n : sizes) {
+    Rng rng(7000 + n);
+    const auto g = random_weighted_graph(n, 0.4, -6, 10, rng);
+    std::vector<VertexPair> s;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = u + 1; v < n; ++v) s.emplace_back(u, v);
+    }
+    const auto truth = edges_in_negative_triangles(g);
+
+    ComputePairsOptions qopt;
+    if (!paper_profile) qopt.constants = shape_profile(n);
+    Rng r1 = rng.split();
+    const auto q = compute_pairs(g, s, qopt, r1);
+    ComputePairsOptions copt = qopt;
+    copt.use_quantum = false;
+    Rng r2 = rng.split();
+    const auto c = compute_pairs(g, s, copt, r2);
+
+    const std::uint64_t qs = std::max<std::uint64_t>(1, search_rounds(q.ledger));
+    const std::uint64_t cs = std::max<std::uint64_t>(1, search_rounds(c.ledger));
+    std::size_t recalled = 0;
+    for (const auto& pr : q.hot_pairs) {
+      recalled += std::binary_search(truth.begin(), truth.end(), pr);
+    }
+    const double recall =
+        truth.empty() ? 1.0 : static_cast<double>(recalled) / truth.size();
+    table.add_row({Table::fmt(static_cast<std::uint64_t>(n)), Table::fmt(qs),
+                   Table::fmt(q.ledger.total_oracle_calls()), Table::fmt(cs),
+                   Table::fmt(c.ledger.total_oracle_calls()),
+                   Table::fmt(100.0 * recall, 1) + "%"});
+    ns.push_back(n);
+    qr.push_back(static_cast<double>(qs));
+    cr.push_back(static_cast<double>(cs));
+    qc.push_back(static_cast<double>(std::max<std::uint64_t>(
+        1, q.ledger.total_oracle_calls())));
+    cc.push_back(static_cast<double>(std::max<std::uint64_t>(
+        1, c.ledger.total_oracle_calls())));
+  }
+  table.print(title);
+  const auto qfit = fit_power_law(ns, qr);
+  const auto cfit = fit_power_law(ns, cr);
+  const auto qcf = fit_power_law(ns, qc);
+  const auto ccf = fit_power_law(ns, cc);
+  std::cout << "  search rounds:  quantum ~ n^" << Table::fmt(qfit.slope, 2)
+            << ", classical ~ n^" << Table::fmt(cfit.slope, 2)
+            << "  (separation " << Table::fmt(cfit.slope - qfit.slope, 2)
+            << ", paper: 0.25)\n"
+            << "  oracle calls:   quantum ~ n^" << Table::fmt(qcf.slope, 2)
+            << " (paper: 0.25), classical ~ n^" << Table::fmt(ccf.slope, 2)
+            << " (paper: 0.5)\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E2: FindEdgesWithPromise scaling (Theorem 2: O~(n^{1/4}))\n";
+  run_sweep("Paper constants (saturated sampling: exact, but m ~ n^{3/2})",
+            {16u, 36u, 64u, 100u, 144u, 196u, 256u}, true);
+  std::cout << "\n";
+  run_sweep("Paper-shape profile p = 6/sqrt(n) (the m = Theta~(n) regime)",
+            {64u, 100u, 144u, 196u, 256u, 324u, 400u}, false);
+  std::cout << "\nReading: in the paper-shape regime the quantum oracle-call\n"
+               "exponent sits near 1/4 and the classical near 1/2 -- Theorem 2's\n"
+               "separation. Absolute quantum rounds carry the BBHT budget\n"
+               "constant (~18x per call), so the raw-rounds crossover lies near\n"
+               "n ~ 10^5, outside message-level simulation; the exponents are\n"
+               "the reproducible shape.\n";
+  return 0;
+}

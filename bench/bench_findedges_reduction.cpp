@@ -1,0 +1,57 @@
+// Experiment E5 (Proposition 1): the FindEdges -> FindEdgesWithPromise
+// sampling reduction.
+//
+// Reports the loop schedule (iterations vs the paper's "while 60 * 2^i *
+// log n <= n" rule), exactness over seeds, and how the round cost divides
+// between the sampled iterations and the final full-graph call.
+#include <cmath>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/find_edges.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+
+int main() {
+  using namespace qclique;
+  std::cout << "E5: Proposition 1 -- FindEdges via sampled promise instances\n";
+
+  Table table({"n", "c (prop1)", "loop iters (paper rule)", "CP calls", "exact/seeds",
+               "mean rounds"});
+  for (const std::uint32_t n : {36u, 64u, 100u}) {
+    for (const double c : {60.0, 1.0, 0.25}) {
+      int exact = 0;
+      std::uint64_t iters = 0, calls = 0, rounds = 0;
+      const int seeds = 5;
+      for (int seed = 0; seed < seeds; ++seed) {
+        Rng rng(7919 * n + seed);
+        const auto g = random_weighted_graph(n, 0.45, -6, 10, rng);
+        FindEdgesOptions opt;
+        opt.compute_pairs.constants.prop1_sample = c;
+        const auto res = find_edges(g, opt, rng);
+        exact += res.hot_pairs == edges_in_negative_triangles(g);
+        iters = res.loop_iterations;
+        calls += res.compute_pairs_calls;
+        rounds += res.rounds;
+      }
+      // Paper rule: iterations = #{ i >= 0 : c * 2^i * log n <= n }.
+      std::uint64_t expect = 0;
+      while (c * std::pow(2.0, expect) * paper_log(n) <= static_cast<double>(n)) {
+        ++expect;
+      }
+      table.add_row({Table::fmt(static_cast<std::uint64_t>(n)), Table::fmt(c, 2),
+                     Table::fmt(iters) + " (" + Table::fmt(expect) + ")",
+                     Table::fmt(calls / seeds),
+                     Table::fmt(static_cast<std::uint64_t>(exact)) + "/" +
+                         Table::fmt(static_cast<std::uint64_t>(seeds)),
+                     Table::fmt(rounds / seeds)});
+    }
+  }
+  table.print("FindEdges reduction: schedule, calls, exactness");
+  std::cout << "\nWith the paper's c = 60 the loop is empty below n ~ 60 log n\n"
+               "and everything rides on the final call; shrinking c activates\n"
+               "the sampled iterations without hurting exactness (soundness is\n"
+               "structural: G' is a subgraph of G).\n";
+  return 0;
+}

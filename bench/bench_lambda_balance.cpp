@@ -1,0 +1,62 @@
+// Experiment E8 (Lemma 2): the partition procedure's covering and
+// well-balancedness guarantees.
+//
+// For each n, repeats the Lambda_x(u, v) sampling across seeds and reports
+// the empirical probability of (i) every set well-balanced and (ii) the
+// union covering P(u, v), next to the coverage probability predicted by
+// Lemma 2's calculation P[pair missed] = (1 - p)^{sqrt n}. Two profiles:
+//   * paper constants: p = min(1, 10 log n / sqrt n) saturates at 1 for
+//     all simulable n, so balance and coverage are certain -- the regime
+//     the paper actually runs in until n ~ 10^4;
+//   * scaled constants: a sub-saturating p demonstrates *why* the paper
+//     needs the constant 10: coverage collapses exactly as the formula
+//     predicts once (1-p)^{sqrt n} stops being negligible.
+#include <cmath>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/lambda_sampler.hpp"
+
+int main() {
+  using namespace qclique;
+  std::cout << "E8: Lemma 2 -- well-balancedness and covering of Lambda_x(u,v)\n";
+
+  for (const double scale : {1.0, 0.05}) {
+    const Constants cst = scale == 1.0 ? Constants::paper() : Constants::scaled(scale);
+    Table table({"n", "P(sample)", "balanced%", "covers%", "predicted covers%",
+                 "max row load", "threshold"});
+    for (const std::uint32_t n : {64u, 144u, 256u, 400u}) {
+      Partitions parts(n);
+      const std::uint32_t vb = parts.num_vblocks() > 1 ? 1 : 0;
+      const double p = lambda_sample_probability(n, cst);
+      const double pairs =
+          static_cast<double>(parts.block_pairs(0, vb).size());
+      const double miss = std::pow(1.0 - p, parts.num_wblocks());
+      const double predicted = std::pow(1.0 - miss, pairs);
+      int balanced = 0, covers = 0;
+      std::uint64_t max_load = 0;
+      const int trials = 25;
+      for (int t = 0; t < trials; ++t) {
+        Rng rng(1000 * n + t);
+        const auto fam = sample_lambda_family(parts, 0, vb, cst, rng);
+        balanced += fam.well_balanced;
+        covers += fam.covers;
+        max_load = std::max(max_load, fam.max_row_load);
+      }
+      table.add_row({Table::fmt(static_cast<std::uint64_t>(n)), Table::fmt(p, 3),
+                     Table::fmt(100.0 * balanced / trials, 1) + "%",
+                     Table::fmt(100.0 * covers / trials, 1) + "%",
+                     Table::fmt(100.0 * predicted, 1) + "%", Table::fmt(max_load),
+                     Table::fmt(lambda_balance_threshold(n, cst), 0)});
+    }
+    table.print(scale == 1.0
+                    ? "Paper constants (p saturates at 1: certain coverage)"
+                    : "Scaled constants x0.05 (sub-saturating p: coverage decays "
+                      "as Lemma 2 predicts)");
+  }
+  std::cout << "\nReading: empirical covers% tracks the predicted column in both\n"
+               "regimes. The paper's constant 10 keeps (1-p)^{sqrt n} <= n^{-4}\n"
+               "asymptotically; at simulable n that forces p = 1.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Experiment E9 (Lemma 1): routing-layer validation.
+//
+// Compares the Lemma 1 charge (2 rounds per <= n-per-source/dest batch)
+// with the measured cost of the stepped randomized two-phase scheme under
+// benign and adversarial load patterns, plus the throughput of the direct
+// link-level simulator.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "congest/lenzen.hpp"
+
+int main() {
+  using namespace qclique;
+  std::cout << "E9: Lemma 1 routing -- charged vs measured rounds\n";
+
+  Rng rng(11);
+  Table table({"pattern", "n", "messages", "max src", "max dst", "charged",
+               "two-phase measured"});
+
+  const auto run = [&](const std::string& name, std::uint32_t n,
+                       const std::vector<Message>& batch) {
+    CliqueNetwork charged_net(n), stepped_net(n);
+    const auto charged = route(charged_net, batch, "r");
+    Rng r2 = rng.split();
+    const auto measured = route_two_phase(stepped_net, batch, r2, "r");
+    table.add_row({name, Table::fmt(static_cast<std::uint64_t>(n)),
+                   Table::fmt(charged.messages), Table::fmt(charged.max_source_load),
+                   Table::fmt(charged.max_dest_load), Table::fmt(charged.rounds),
+                   Table::fmt(measured.rounds)});
+  };
+
+  for (const std::uint32_t n : {32u, 64u, 128u}) {
+    // Permutation: 1 message per node.
+    std::vector<Message> perm;
+    for (NodeId v = 0; v < n; ++v) {
+      perm.push_back(Message{v, static_cast<NodeId>((v * 7 + 3) % n),
+                             Payload::make(0, {v})});
+    }
+    run("permutation", n, perm);
+
+    // Full load: every node sends n-1 messages to random destinations.
+    std::vector<Message> full;
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::uint32_t j = 0; j + 1 < n; ++j) {
+        full.push_back(Message{v, static_cast<NodeId>(rng.uniform_u64(n)),
+                               Payload::make(0, {v})});
+      }
+    }
+    run("random full", n, full);
+
+    // Adversarial: everyone floods one destination (dest load = n - 1).
+    std::vector<Message> hot;
+    for (NodeId v = 1; v < n; ++v) hot.push_back(Message{v, 0, Payload::make(0, {v})});
+    run("single sink", n, hot);
+
+    // Overload: destination load 4n (4 Lemma-1 batches -> 8 charged rounds).
+    std::vector<Message> over;
+    for (int rep = 0; rep < 4; ++rep) {
+      for (NodeId v = 0; v < n; ++v) {
+        over.push_back(Message{v, static_cast<NodeId>(v % 2), Payload::make(0, {v})});
+      }
+    }
+    run("2-sink x4", n, over);
+  }
+  table.print("Routing: Lemma 1 charge vs stepped two-phase measurement");
+  std::cout << "\nReading: the charge is 2*ceil(L/n); the naive stepped scheme\n"
+               "pays a small balls-into-bins factor over it (the deterministic\n"
+               "Lenzen schedule would close that gap to exactly 2).\n";
+  return 0;
+}

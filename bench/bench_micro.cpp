@@ -1,0 +1,96 @@
+// Experiment E12: google-benchmark microbenchmarks of the substrates.
+//
+// These are simulator-performance numbers (wall-clock), not round counts:
+// they document how expensive the instruments themselves are, which bounds
+// the instance sizes the other benches can sweep.
+#include <benchmark/benchmark.h>
+
+#include "baseline/shortest_paths.hpp"
+#include "common/rng.hpp"
+#include "congest/lenzen.hpp"
+#include "graph/generators.hpp"
+#include "matrix/min_plus.hpp"
+#include "quantum/statevector.hpp"
+
+namespace {
+
+using namespace qclique;
+
+void BM_StateVectorGroverIteration(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  StateVector psi = StateVector::uniform(dim);
+  const auto oracle = [dim](std::size_t i) { return i == dim / 2; };
+  for (auto _ : state) {
+    psi.apply_grover_iteration(oracle);
+    benchmark::DoNotOptimize(psi.amp(0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_StateVectorGroverIteration)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_MinPlusProduct(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(1);
+  DistMatrix a(n), b(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      a.set(i, j, rng.uniform_i64(-100, 100));
+      b.set(i, j, rng.uniform_i64(-100, 100));
+    }
+  }
+  for (auto _ : state) {
+    auto c = distance_product_naive(a, b);
+    benchmark::DoNotOptimize(c.at(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_MinPlusProduct)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_NetworkPermutationRound(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    CliqueNetwork net(n);
+    for (NodeId v = 0; v < n; ++v) {
+      net.send(v, static_cast<NodeId>((v + 1) % n), Payload::make(0, {v}));
+    }
+    net.run_until_drained("p");
+    benchmark::DoNotOptimize(net.inbox(0).size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NetworkPermutationRound)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_LenzenRouteFullLoad(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(2);
+  std::vector<Message> batch;
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::uint32_t j = 0; j + 1 < n; ++j) {
+      batch.push_back(
+          Message{u, static_cast<NodeId>(rng.uniform_u64(n)), Payload::make(0, {u})});
+    }
+  }
+  for (auto _ : state) {
+    CliqueNetwork net(n);
+    const auto st = route(net, batch, "r");
+    benchmark::DoNotOptimize(st.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_LenzenRouteFullLoad)->Arg(64)->Arg(128);
+
+void BM_FloydWarshall(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(3);
+  const auto g = random_digraph(n, 0.4, -5, 10, rng);
+  for (auto _ : state) {
+    auto d = floyd_warshall(g);
+    benchmark::DoNotOptimize(d->at(0, 0));
+  }
+}
+BENCHMARK(BM_FloydWarshall)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

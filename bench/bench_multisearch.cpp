@@ -1,0 +1,80 @@
+// Experiment E3 (Theorem 3): multiple quantum searches with a truncated
+// (typical-inputs-only) evaluation procedure.
+//
+// Three instruments:
+//   1. lockstep multi-search success rate vs the 1 - 2/m^2 bound;
+//   2. the Monte-Carlo typicality audit: probability that a sampled query
+//      tuple leaves Upsilon_beta at beta = 8m/|X| (Theorem 3's threshold);
+//   3. the exact joint simulator on small instances: ideal C_m vs truncated
+//      C~_m success probabilities, final deviation vs the appendix's
+//      telescoping bound, and the Lemma 5 numeric bound for context.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "quantum/joint_multi_search.hpp"
+#include "quantum/multi_search.hpp"
+#include "quantum/typical_set.hpp"
+
+int main() {
+  using namespace qclique;
+  Rng rng(3);
+  std::cout << "E3: multiple searches with typical inputs (Theorem 3)\n";
+
+  // --- 1 & 2: lockstep searches at scale, with the audit. -----------------
+  Table scale({"m", "|X|", "found/m", "bound 1-2/m^2", "audit tuples",
+               "violations@8m/|X|", "max freq"});
+  for (const std::size_t m : {16u, 64u, 256u, 1024u}) {
+    const std::size_t dim = 32;
+    std::vector<SearchInstance> searches(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      searches[i].solutions = {(i * 13) % dim};
+    }
+    RoundLedger ledger;
+    MultiSearchOptions opt;
+    opt.typicality_beta = 8.0 * static_cast<double>(m) / static_cast<double>(dim);
+    opt.audit_samples_per_stage = 8;
+    const auto res = multi_search(dim, searches, DistributedSearchCost{}, opt,
+                                  ledger, "ms", rng);
+    const double bound = 1.0 - 2.0 / (static_cast<double>(m) * static_cast<double>(m));
+    scale.add_row({Table::fmt(static_cast<std::uint64_t>(m)),
+                   Table::fmt(static_cast<std::uint64_t>(dim)),
+                   Table::fmt(static_cast<double>(res.num_found()) / m, 4),
+                   Table::fmt(bound, 4), Table::fmt(res.audit_tuples),
+                   Table::fmt(res.audit_violations),
+                   Table::fmt(static_cast<std::uint64_t>(res.audit_max_frequency))});
+  }
+  scale.print("Lockstep multi-search: success and typicality audit");
+
+  // --- 3: exact joint simulation, ideal vs truncated. ----------------------
+  Table joint({"|X|", "m", "beta", "ideal succ", "trunc succ", "deviation",
+               "telescoping bound", "lemma5 bound"});
+  struct Cfg {
+    std::size_t dim, m;
+    double beta;
+  };
+  for (const Cfg& c : {Cfg{3, 7, 4}, Cfg{3, 9, 5}, Cfg{4, 8, 4}, Cfg{4, 8, 6},
+                       Cfg{2, 16, 12}}) {
+    std::vector<std::vector<bool>> marked(c.m, std::vector<bool>(c.dim, false));
+    for (std::size_t i = 0; i < c.m; ++i) marked[i][i % c.dim] = true;
+    JointConfig cfg{.dim = c.dim, .m = c.m, .beta = c.beta,
+                    .mode = TruncationMode::kErase};
+    JointMultiSearch sim(cfg, marked);
+    const auto rep = sim.run(grover_optimal_iterations(c.dim, 1));
+    joint.add_row({Table::fmt(static_cast<std::uint64_t>(c.dim)),
+                   Table::fmt(static_cast<std::uint64_t>(c.m)),
+                   Table::fmt(c.beta, 1), Table::fmt(rep.ideal_success, 4),
+                   Table::fmt(rep.truncated_success, 4),
+                   Table::fmt(rep.final_deviation, 4),
+                   Table::fmt(rep.telescoping_bound, 4),
+                   Table::fmt(lemma5_atypical_mass_bound(c.dim, c.m), 4)});
+  }
+  joint.print("Exact joint simulation: C_m vs truncated C~_m");
+  std::cout << "\nReading: deviation <= telescoping bound everywhere (the\n"
+               "appendix's inequality), and truncated success tracks ideal\n"
+               "success whenever the atypical mass is small. The Lemma 5\n"
+               "column is the paper's *asymptotic* bound -- vacuous (>1) at\n"
+               "these toy sizes, tight in the paper's m = Theta(n log n)\n"
+               "regime (see the typical_set tests).\n";
+  return 0;
+}

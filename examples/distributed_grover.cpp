@@ -1,0 +1,60 @@
+// Distributed Grover search (paper Section 4.1) as a standalone demo.
+//
+//   $ ./example_distributed_grover
+//
+// A leader node searches a domain X for a marked element where each oracle
+// evaluation is an r-round distributed procedure. The demo contrasts the
+// classical brute-force cost r * |X| with the measured quantum cost
+// O~(r * sqrt(|X|)), and shows the multiple-search generalization
+// (Section 4.2) where m searches share each joint evaluation.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "quantum/multi_search.hpp"
+
+int main() {
+  using namespace qclique;
+  Rng rng(99);
+
+  std::cout << "Single search: find the one marked element of X.\n";
+  Table single({"|X|", "r (rounds/eval)", "classical rounds (r*|X|)",
+                "quantum rounds (measured)", "found"});
+  for (std::size_t dim : {64u, 256u, 1024u, 4096u}) {
+    const DistributedSearchCost cost{.eval_rounds_per_call = 5,
+                                     .compute_uncompute_factor = 2};
+    RoundLedger ledger;
+    const std::size_t target = dim / 3;
+    const auto res = distributed_search(
+        dim, [target](std::size_t x) { return x == target; }, cost, ledger,
+        "grover", rng);
+    single.add_row({Table::fmt(static_cast<std::uint64_t>(dim)), "5",
+                    Table::fmt(static_cast<std::uint64_t>(5 * dim)),
+                    Table::fmt(res.rounds_charged),
+                    res.grover.found ? "yes" : "no"});
+  }
+  single.print("Distributed Grover search");
+
+  std::cout << "\nMultiple searches: m searches, one joint evaluation per "
+               "iteration (Section 4.2).\n";
+  Table multi({"m", "|X|", "joint oracle calls", "rounds", "found/m"});
+  for (std::size_t m : {1u, 8u, 64u, 512u}) {
+    const std::size_t dim = 256;
+    std::vector<SearchInstance> searches(m);
+    for (std::size_t i = 0; i < m; ++i) searches[i].solutions = {(i * 37) % dim};
+    RoundLedger ledger;
+    const auto res =
+        multi_search(dim, searches, DistributedSearchCost{.eval_rounds_per_call = 5},
+                     MultiSearchOptions{}, ledger, "multi", rng);
+    multi.add_row({Table::fmt(static_cast<std::uint64_t>(m)),
+                   Table::fmt(static_cast<std::uint64_t>(dim)),
+                   Table::fmt(res.joint_oracle_calls), Table::fmt(res.rounds_charged),
+                   Table::fmt(static_cast<std::uint64_t>(res.num_found())) + "/" +
+                       Table::fmt(static_cast<std::uint64_t>(m))});
+  }
+  multi.print("Lockstep multiple searches");
+  std::cout << "\nNote how the rounds column is flat in m: that parallelism --\n"
+               "without congestion -- is exactly what Theorem 3's typical-input\n"
+               "machinery buys the APSP algorithm.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Negative-triangle census: the FindEdges problem (paper Section 3) on a
+// graph with planted negative triangles.
+//
+//   $ ./example_negative_triangle_census [n] [planted]
+//
+// Plants `planted` disjoint negative triangles into an n-vertex background
+// graph, runs the Proposition 1 + Theorem 2 pipeline, and reports the
+// recovered hot pairs, the quantum search statistics, and the typicality
+// audit that validates the Theorem 3 congestion assumption.
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "core/find_edges.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qclique;
+  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 48;
+  const std::uint32_t planted =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 6;
+
+  Rng rng(7);
+  std::vector<VertexPair> truth;
+  const WeightedGraph g = planted_negative_triangles(n, planted, rng, &truth);
+  std::cout << "Graph: n = " << n << ", " << g.num_edges() << " edges, "
+            << planted << " planted negative triangles (" << truth.size()
+            << " hot pairs expected).\n\n";
+
+  FindEdgesOptions options;
+  options.compute_pairs.audit_samples_per_stage = 4;
+  const FindEdgesResult result = find_edges(g, options, rng);
+
+  std::cout << "Recovered " << result.hot_pairs.size() << " hot pairs:";
+  for (const auto& pr : result.hot_pairs) {
+    std::cout << " {" << pr.a << "," << pr.b << "}";
+  }
+  std::cout << "\nGround truth match: "
+            << (result.hot_pairs == truth ? "exact" : "MISMATCH") << "\n\n";
+
+  std::cout << "Cost: " << result.rounds << " simulated rounds, "
+            << result.compute_pairs_calls << " ComputePairs call(s), "
+            << result.loop_iterations << " Prop-1 sampling iteration(s), "
+            << result.aborts_retried << " abort retr(ies).\n\n"
+            << "Phase breakdown:\n"
+            << result.ledger.report();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Pipeline anatomy: where the rounds go inside the Theorem 1 reduction
+// chain.
+//
+//   $ ./example_pipeline_anatomy [n] [W]
+//
+// Runs quantum APSP once and prints the cost of every layer -- distance
+// products, FindEdges calls, ComputePairs phases -- next to the analytic
+// RoundModel predictions, including the constants-implied crossover against
+// the classical scan.
+#include <cstdlib>
+#include <iostream>
+
+#include "baseline/shortest_paths.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/apsp.hpp"
+#include "core/round_model.hpp"
+#include "graph/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qclique;
+  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 12;
+  const std::int64_t w = argc > 2 ? std::atoll(argv[2]) : 16;
+
+  Rng rng(5);
+  const auto g = random_digraph(n, 0.45, -w / 2, w, rng);
+  std::cout << "Quantum APSP on n = " << n << ", W = " << w << " ("
+            << g.num_arcs() << " arcs)\n\n";
+
+  QuantumApspOptions opt;
+  Rng arng = rng.split();
+  const auto res = quantum_apsp(g, opt, arng);
+  const auto oracle = floyd_warshall(g);
+  std::cout << "exact: " << (oracle && res.distances == *oracle ? "yes" : "NO")
+            << ", " << res.products << " distance products, "
+            << res.find_edges_calls << " FindEdges calls, " << res.rounds
+            << " total rounds\n\n";
+
+  Table phases({"phase", "rounds", "share"});
+  for (const auto& [name, stats] : res.ledger.phases()) {
+    phases.add_row({name, Table::fmt(stats.rounds),
+                    Table::fmt(100.0 * static_cast<double>(stats.rounds) /
+                                   static_cast<double>(res.rounds),
+                               1) +
+                        "%"});
+  }
+  phases.print("Round breakdown by phase");
+
+  RoundModel model;
+  std::cout << "\nRoundModel (analytic shapes with the implementation's "
+               "constants):\n"
+            << "  Theorem 2 search layer at this n: "
+            << Table::fmt(model.theorem2_rounds(n), 0) << " rounds\n"
+            << "  classical step-3 scan at this n:  "
+            << Table::fmt(model.classical_step3_rounds(n), 0) << " rounds\n"
+            << "  quantum/classical raw-rounds crossover: n ~ "
+            << Table::fmt(model.search_crossover_n(), 0) << "\n"
+            << "  Theorem 1 end-to-end shape at (n, W): "
+            << Table::fmt(model.theorem1_rounds(n, static_cast<double>(w)), 0)
+            << " vs classical APSP shape "
+            << Table::fmt(model.classical_apsp_rounds(n, static_cast<double>(w)), 0)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "baseline/classical_apsp.hpp"
+
+#include "baseline/semiring_product.hpp"
+#include "common/error.hpp"
+#include "congest/network.hpp"
+
+namespace qclique {
+
+ApspResult classical_apsp(const Digraph& g) {
+  const std::uint32_t n = g.size();
+  ApspResult res(n);
+  CliqueNetwork net(std::max<std::uint32_t>(n, 2));
+
+  DistMatrix acc = g.to_dist_matrix();
+  std::uint64_t covered = 1;
+  while (covered < static_cast<std::uint64_t>(n > 1 ? n - 1 : 1)) {
+    acc = semiring_distance_product(net, acc, acc).product;
+    covered *= 2;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    QCLIQUE_CHECK(acc.at(i, i) >= 0, "classical_apsp: negative cycle in input");
+  }
+  res.distances = acc;
+  res.rounds = net.ledger().total_rounds();
+  res.ledger = net.ledger();
+  return res;
+}
+
+}  // namespace qclique

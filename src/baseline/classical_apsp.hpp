@@ -1,0 +1,31 @@
+// Classical CONGEST-CLIQUE APSP baseline: repeated min-plus squaring with
+// the O~(n^{1/3})-round semiring distance product (Censor-Hillel et al.).
+// Total: O~(n^{1/3} log n) rounds -- the bound the paper's quantum
+// algorithm beats. All rounds are measured through the network simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/round_ledger.hpp"
+#include "graph/digraph.hpp"
+#include "matrix/dist_matrix.hpp"
+
+namespace qclique {
+
+/// Result of a distributed APSP computation.
+struct ApspResult {
+  DistMatrix distances;
+  std::uint64_t rounds = 0;
+  RoundLedger ledger;  // phase breakdown
+
+  explicit ApspResult(std::uint32_t n) : distances(n) {}
+};
+
+/// Runs the classical baseline APSP on a fresh simulated clique of g.size()
+/// nodes: A_G is raised to the (n-1)-th min-plus power via repeated
+/// squaring, each product running the distributed semiring algorithm.
+/// Precondition: no negative cycles (checked against the diagonal; throws
+/// SimulationError if violated).
+ApspResult classical_apsp(const Digraph& g);
+
+}  // namespace qclique

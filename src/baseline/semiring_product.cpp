@@ -1,0 +1,171 @@
+#include "baseline/semiring_product.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "congest/lenzen.hpp"
+
+namespace qclique {
+
+namespace {
+
+/// Maps a cube coordinate (a, b, c) in [q]^3 to a node id, clamped into the
+/// available n nodes: multiple cube cells may share a node when q^3 > n
+/// (q is the ceiling of n^{1/3}), which only lowers parallelism, never
+/// correctness. Cost-wise the sharing is accounted naturally because route()
+/// measures per-node loads.
+NodeId cube_node(std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t q,
+                 std::uint32_t n) {
+  return static_cast<NodeId>(((static_cast<std::uint64_t>(a) * q + b) * q + c) % n);
+}
+
+}  // namespace
+
+DistributedProductResult semiring_distance_product(CliqueNetwork& net,
+                                                   const DistMatrix& a,
+                                                   const DistMatrix& b) {
+  const std::uint32_t n = a.size();
+  QCLIQUE_CHECK(b.size() == n, "semiring product size mismatch");
+  QCLIQUE_CHECK(net.size() == n, "network must have one node per matrix row");
+  DistributedProductResult res(n);
+  const std::uint64_t rounds_before = net.ledger().total_rounds();
+
+  const std::uint32_t q = static_cast<std::uint32_t>(iroot3_ceil(n));
+  const BlockPartition blocks(n, q);
+
+  // ---- Phase 1: ship input blocks to cube nodes. --------------------------
+  // Node (a, b, c) needs A[rows_a, cols_c] and B[rows_c, cols_b]. Row i of A
+  // lives at node i, so for every cube cell we emit one message per (row,
+  // 4-entry column chunk). Tag 1 = A-block data, tag 2 = B-block data.
+  // Fields: [row, col_base, e0, e1, ...] -- 2 header + budget-2 entries.
+  const std::size_t budget = net.config().fields_per_message;
+  QCLIQUE_CHECK(budget >= 3, "semiring product needs >= 3 fields per message");
+  const std::size_t entries_per_msg = budget - 2;
+
+  std::vector<Message> batch;
+  auto emit_block = [&](std::uint32_t tag, const DistMatrix& m, std::uint32_t row_blk,
+                        std::uint32_t col_blk, NodeId dst) {
+    for (std::uint64_t i = blocks.block_begin(row_blk); i < blocks.block_end(row_blk);
+         ++i) {
+      const NodeId owner = static_cast<NodeId>(i);
+      for (std::uint64_t jb = blocks.block_begin(col_blk);
+           jb < blocks.block_end(col_blk); jb += entries_per_msg) {
+        Message msg;
+        msg.src = owner;
+        msg.dst = dst;
+        msg.payload.tag = tag;
+        msg.payload.push(static_cast<std::int64_t>(i));
+        msg.payload.push(static_cast<std::int64_t>(jb));
+        for (std::uint64_t j = jb;
+             j < std::min<std::uint64_t>(blocks.block_end(col_blk), jb + entries_per_msg);
+             ++j) {
+          msg.payload.push(m.at(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)));
+        }
+        if (msg.src == msg.dst) {
+          net.deposit(msg);  // local data needs no bandwidth
+        } else {
+          batch.push_back(msg);
+        }
+      }
+    }
+  };
+
+  for (std::uint32_t ca = 0; ca < q; ++ca) {
+    for (std::uint32_t cb = 0; cb < q; ++cb) {
+      for (std::uint32_t cc = 0; cc < q; ++cc) {
+        const NodeId dst = cube_node(ca, cb, cc, q, n);
+        emit_block(1, a, ca, cc, dst);
+        emit_block(2, b, cc, cb, dst);
+      }
+    }
+  }
+  route(net, batch, "semiring/distribute");
+  batch.clear();
+
+  // ---- Phase 2: local block products, then min-combine at row owners. -----
+  // Each cube node reconstructs its two blocks from its inbox and computes
+  // the partial product; entry (i, j) of the partial is sent to node i
+  // (the row owner), which takes the min across the q partials.
+  // Tag 3 = partial results, fields [i, j_base, e0, e1, ...].
+  // Each node may serve several cube cells (q^3 >= n); messages carry
+  // absolute coordinates, so a cell reconstructs its blocks by range-
+  // filtering its node's inbox.
+  for (std::uint32_t ca = 0; ca < q; ++ca) {
+    for (std::uint32_t cb = 0; cb < q; ++cb) {
+      for (std::uint32_t cc = 0; cc < q; ++cc) {
+        const NodeId node = cube_node(ca, cb, cc, q, n);
+        // Local dense views of the two blocks.
+        const std::uint64_t ra0 = blocks.block_begin(ca), ra1 = blocks.block_end(ca);
+        const std::uint64_t rc0 = blocks.block_begin(cc), rc1 = blocks.block_end(cc);
+        const std::uint64_t cb0 = blocks.block_begin(cb), cb1 = blocks.block_end(cb);
+        const std::size_t ar = ra1 - ra0, ac = rc1 - rc0, bc = cb1 - cb0;
+        std::vector<std::int64_t> ablk(ar * ac, kPlusInf), bblk(ac * bc, kPlusInf);
+        for (const Message& m : net.inbox(node)) {
+          if (m.payload.tag != 1 && m.payload.tag != 2) continue;
+          const std::uint64_t row = static_cast<std::uint64_t>(m.payload.at(0));
+          const std::uint64_t col0 = static_cast<std::uint64_t>(m.payload.at(1));
+          for (std::size_t f = 2; f < m.payload.size; ++f) {
+            const std::uint64_t col = col0 + (f - 2);
+            if (m.payload.tag == 1 && row >= ra0 && row < ra1 && col >= rc0 && col < rc1) {
+              ablk[(row - ra0) * ac + (col - rc0)] = m.payload.fields[f];
+            } else if (m.payload.tag == 2 && row >= rc0 && row < rc1 && col >= cb0 &&
+                       col < cb1) {
+              bblk[(row - rc0) * bc + (col - cb0)] = m.payload.fields[f];
+            }
+          }
+        }
+        // Partial block product.
+        for (std::size_t i = 0; i < ar; ++i) {
+          for (std::size_t j = 0; j < bc; ++j) {
+            std::int64_t best = kPlusInf;
+            for (std::size_t k = 0; k < ac; ++k) {
+              best = std::min(best, sat_add(ablk[i * ac + k], bblk[k * bc + j]));
+            }
+            if (is_plus_inf(best)) continue;  // +inf partials need no message
+            const std::uint32_t gi = static_cast<std::uint32_t>(ra0 + i);
+            const std::uint32_t gj = static_cast<std::uint32_t>(cb0 + j);
+            Message msg;
+            msg.src = node;
+            msg.dst = static_cast<NodeId>(gi);
+            msg.payload.tag = 3;
+            msg.payload.push(gi);
+            msg.payload.push(gj);
+            msg.payload.push(best);
+            if (msg.src == msg.dst) {
+              net.deposit(msg);
+            } else {
+              batch.push_back(msg);
+            }
+          }
+        }
+      }
+    }
+  }
+  // Block data has been consumed; drop it before the combine traffic lands.
+  for (NodeId v = 0; v < n; ++v) {
+    auto& box = net.inbox(v);
+    std::erase_if(box, [](const Message& m) {
+      return m.payload.tag == 1 || m.payload.tag == 2;
+    });
+  }
+  route(net, batch, "semiring/combine");
+
+  // ---- Phase 3: row owners take mins. --------------------------------------
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (const Message& m : net.inbox(i)) {
+      if (m.payload.tag != 3) continue;
+      const auto gi = static_cast<std::uint32_t>(m.payload.at(0));
+      const auto gj = static_cast<std::uint32_t>(m.payload.at(1));
+      QCLIQUE_CHECK(gi == i, "partial delivered to wrong row owner");
+      res.product.set(gi, gj, std::min(res.product.at(gi, gj), m.payload.at(2)));
+    }
+    auto& box = net.inbox(i);
+    std::erase_if(box, [](const Message& m) { return m.payload.tag == 3; });
+  }
+
+  res.rounds = net.ledger().total_rounds() - rounds_before;
+  return res;
+}
+
+}  // namespace qclique

@@ -1,0 +1,159 @@
+#include "baseline/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+std::optional<DistMatrix> floyd_warshall(const Digraph& g) {
+  const std::uint32_t n = g.size();
+  DistMatrix d = g.to_dist_matrix();
+  for (std::uint32_t k = 0; k < n; ++k) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::int64_t dik = d.at(i, k);
+      if (is_plus_inf(dik)) continue;
+      for (std::uint32_t j = 0; j < n; ++j) {
+        const std::int64_t via = sat_add(dik, d.at(k, j));
+        if (via < d.at(i, j)) d.set(i, j, via);
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (d.at(i, i) < 0) return std::nullopt;
+  }
+  return d;
+}
+
+std::optional<std::vector<std::int64_t>> bellman_ford(const Digraph& g,
+                                                      std::uint32_t source) {
+  const std::uint32_t n = g.size();
+  QCLIQUE_CHECK(source < n, "bellman_ford source out of range");
+  std::vector<std::int64_t> dist(n, kPlusInf);
+  dist[source] = 0;
+  for (std::uint32_t pass = 0; pass + 1 < n; ++pass) {
+    bool changed = false;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (is_plus_inf(dist[u])) continue;
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (u == v || !g.has_arc(u, v)) continue;
+        const std::int64_t cand = sat_add(dist[u], g.weight(u, v));
+        if (cand < dist[v]) {
+          dist[v] = cand;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  // One more pass detects a reachable negative cycle.
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (is_plus_inf(dist[u])) continue;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u == v || !g.has_arc(u, v)) continue;
+      if (sat_add(dist[u], g.weight(u, v)) < dist[v]) return std::nullopt;
+    }
+  }
+  return dist;
+}
+
+std::vector<std::int64_t> dijkstra(const Digraph& g, std::uint32_t source) {
+  const std::uint32_t n = g.size();
+  QCLIQUE_CHECK(source < n, "dijkstra source out of range");
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u != v && g.has_arc(u, v)) {
+        QCLIQUE_CHECK(g.weight(u, v) >= 0, "dijkstra requires non-negative weights");
+      }
+    }
+  }
+  std::vector<std::int64_t> dist(n, kPlusInf);
+  std::vector<bool> done(n, false);
+  using Entry = std::pair<std::int64_t, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [du, u] = pq.top();
+    pq.pop();
+    if (done[u]) continue;
+    done[u] = true;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (v == u || !g.has_arc(u, v)) continue;
+      const std::int64_t cand = sat_add(du, g.weight(u, v));
+      if (cand < dist[v]) {
+        dist[v] = cand;
+        pq.emplace(cand, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<DistMatrix> johnson(const Digraph& g) {
+  const std::uint32_t n = g.size();
+  // Virtual source: a graph with one extra vertex and zero-weight arcs to
+  // every original vertex gives the reweighting potentials h(v).
+  Digraph aug(n + 1);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    aug.set_arc(n, u, 0);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u != v && g.has_arc(u, v)) aug.set_arc(u, v, g.weight(u, v));
+    }
+  }
+  const auto h = bellman_ford(aug, n);
+  if (!h.has_value()) return std::nullopt;
+  // Reweighted graph: w'(u,v) = w(u,v) + h(u) - h(v) >= 0.
+  Digraph rw(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u != v && g.has_arc(u, v)) {
+        rw.set_arc(u, v, g.weight(u, v) + (*h)[u] - (*h)[v]);
+      }
+    }
+  }
+  DistMatrix d(n, kPlusInf);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const auto ds = dijkstra(rw, s);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      if (is_plus_inf(ds[t])) continue;
+      d.set(s, t, ds[t] - (*h)[s] + (*h)[t]);
+    }
+    d.set(s, s, std::min<std::int64_t>(d.at(s, s), 0));
+  }
+  return d;
+}
+
+std::vector<std::uint32_t> reconstruct_path(const Digraph& g, const DistMatrix& dist,
+                                            std::uint32_t u, std::uint32_t v) {
+  const std::uint32_t n = g.size();
+  QCLIQUE_CHECK(u < n && v < n, "reconstruct_path endpoint out of range");
+  if (u == v) return {u};
+  if (is_plus_inf(dist.at(u, v))) return {};
+  // Walk forward: from `cur`, pick a neighbor x with
+  // dist(u,cur) + w(cur,x) + dist(x,v) == dist(u,v). Acyclic for graphs
+  // without zero-weight cycles on shortest paths; bounded by n hops anyway.
+  std::vector<std::uint32_t> path{u};
+  std::uint32_t cur = u;
+  for (std::uint32_t hops = 0; hops < n && cur != v; ++hops) {
+    bool advanced = false;
+    for (std::uint32_t x = 0; x < n; ++x) {
+      if (x == cur || !g.has_arc(cur, x)) continue;
+      const std::int64_t through =
+          sat_add(sat_add(dist.at(u, cur), g.weight(cur, x)), dist.at(x, v));
+      if (through == dist.at(u, v) &&
+          sat_add(dist.at(u, cur), g.weight(cur, x)) == dist.at(u, x)) {
+        path.push_back(x);
+        cur = x;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  if (cur != v) return {};  // zero-cycle pathology; caller may fall back
+  return path;
+}
+
+}  // namespace qclique

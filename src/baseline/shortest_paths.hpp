@@ -1,0 +1,42 @@
+// Centralized shortest-path oracles.
+//
+// These are the correctness references for every distributed APSP
+// implementation in the repository: Floyd-Warshall (general weights),
+// Bellman-Ford (single source, negative-cycle detection), Dijkstra
+// (non-negative weights), and Johnson (reweighting + Dijkstra, the fastest
+// exact oracle for sparse graphs). They run locally and charge no rounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "matrix/dist_matrix.hpp"
+
+namespace qclique {
+
+/// Floyd-Warshall all-pairs distances. Returns nullopt if the graph has a
+/// negative cycle (detected by a negative diagonal entry).
+std::optional<DistMatrix> floyd_warshall(const Digraph& g);
+
+/// Bellman-Ford distances from `source`; nullopt on a negative cycle
+/// reachable from the source.
+std::optional<std::vector<std::int64_t>> bellman_ford(const Digraph& g,
+                                                      std::uint32_t source);
+
+/// Dijkstra distances from `source`. Requires all arc weights >= 0
+/// (throws SimulationError otherwise).
+std::vector<std::int64_t> dijkstra(const Digraph& g, std::uint32_t source);
+
+/// Johnson's algorithm: Bellman-Ford reweighting followed by n Dijkstra
+/// runs. Returns nullopt on a negative cycle.
+std::optional<DistMatrix> johnson(const Digraph& g);
+
+/// Reconstructs one shortest path from `u` to `v` given the distance matrix
+/// and the input graph (greedy edge relaxation walk). Empty when v is
+/// unreachable; {u} when u == v.
+std::vector<std::uint32_t> reconstruct_path(const Digraph& g, const DistMatrix& dist,
+                                            std::uint32_t u, std::uint32_t v);
+
+}  // namespace qclique

@@ -1,0 +1,35 @@
+// "Tri, Tri Again" (Dolev, Lenzen, Peled 2012): deterministic triangle
+// listing in O~(n^{1/3}) rounds in the CONGEST-CLIQUE.
+//
+// The vertex set is split into q = ceil(n^{1/3}) groups; each node is
+// assigned one group triple (g1, g2, g3) and gathers the three bipartite
+// edge sets between its groups (each at most (n/q)^2 = n^{4/3} weights, so
+// O~(n^{1/3}) rounds by Lemma 1 routing). The node then lists every
+// triangle spanned by its triple locally. The algorithm is combinatorial,
+// so -- unlike the algebraic triangle detectors -- it works unchanged for
+// *negative* triangle listing, which is why the paper cites it as the
+// classical way to solve FindEdges in O~(n^{1/3}) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace qclique {
+
+/// Result of the distributed listing.
+struct TriangleListingResult {
+  /// All pairs involved in at least one negative triangle (sorted, unique).
+  std::vector<VertexPair> hot_pairs;
+  /// Total negative triangles found (each counted once).
+  std::uint64_t negative_triangles = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// Runs the listing on a fresh simulated clique of g.size() nodes and
+/// returns the negative-triangle census -- the classical FindEdges solver.
+TriangleListingResult tri_tri_again_find_edges(const WeightedGraph& g);
+
+}  // namespace qclique

@@ -1,0 +1,58 @@
+// Error types and checking macros used throughout the qclique libraries.
+//
+// Simulation code distinguishes three failure classes:
+//   * ProtocolAbort   -- a *modeled* abort that the paper's algorithms may
+//                        take deliberately (e.g. Algorithm IdentifyClass
+//                        aborts when some |Lambda(u)| > 20 log n). These are
+//                        part of normal operation; callers retry or report.
+//   * BandwidthError  -- a protocol attempted to exceed the CONGEST-CLIQUE
+//                        per-round bandwidth. Always a bug in protocol code,
+//                        never expected at runtime.
+//   * SimulationError -- any other violated invariant of the simulator.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qclique {
+
+/// Base class for all qclique errors.
+class SimulationError : public std::runtime_error {
+ public:
+  explicit SimulationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A deliberate, modeled protocol abort (low-probability event analyzed by
+/// the paper, e.g. a Chernoff-bound tail). Callers are expected to catch
+/// this and retry with fresh randomness.
+class ProtocolAbort : public SimulationError {
+ public:
+  explicit ProtocolAbort(const std::string& what) : SimulationError(what) {}
+};
+
+/// A protocol tried to send more data in one round than the model allows.
+class BandwidthError : public SimulationError {
+ public:
+  explicit BandwidthError(const std::string& what) : SimulationError(what) {}
+};
+
+}  // namespace qclique
+
+/// Invariant check that throws qclique::SimulationError. Enabled in all build
+/// types: the simulator is the instrument, so silent corruption is worse than
+/// the branch cost.
+#define QCLIQUE_CHECK(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      throw ::qclique::SimulationError(std::string("QCLIQUE_CHECK failed: ") + \
+                                       #cond + " -- " + (msg));       \
+    }                                                                 \
+  } while (0)
+
+#define QCLIQUE_BANDWIDTH_CHECK(cond, msg)                            \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      throw ::qclique::BandwidthError(std::string("bandwidth violation: ") + \
+                                      (msg));                         \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,117 @@
+#include "common/math.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  if (is_plus_inf(a) || is_plus_inf(b)) return kPlusInf;
+  if (is_minus_inf(a) || is_minus_inf(b)) return kMinusInf;
+  const std::int64_t s = a + b;  // |a|,|b| < kPlusInf <= INT64_MAX/4: no overflow
+  if (s >= kPlusInf) return kPlusInf;
+  if (s <= kMinusInf) return kMinusInf;
+  return s;
+}
+
+int floor_log2(std::uint64_t x) {
+  QCLIQUE_CHECK(x >= 1, "floor_log2 requires x >= 1");
+  return 63 - std::countl_zero(x);
+}
+
+int ceil_log2(std::uint64_t x) {
+  QCLIQUE_CHECK(x >= 1, "ceil_log2 requires x >= 1");
+  const int f = floor_log2(x);
+  return (x == (std::uint64_t{1} << f)) ? f : f + 1;
+}
+
+int paper_log(std::uint64_t n) {
+  if (n <= 2) return 1;
+  return ceil_log2(n);
+}
+
+std::uint64_t isqrt(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Newton iteration from a power-of-two overestimate; converges in a few
+  // steps and is exact for 64-bit inputs.
+  std::uint64_t x = std::uint64_t{1} << ((floor_log2(n) / 2) + 1);
+  for (;;) {
+    const std::uint64_t y = (x + n / x) / 2;
+    if (y >= x) break;
+    x = y;
+  }
+  return x;
+}
+
+std::uint64_t isqrt_ceil(std::uint64_t n) {
+  const std::uint64_t r = isqrt(n);
+  return r * r == n ? r : r + 1;
+}
+
+namespace {
+std::uint64_t iroot_ceil(std::uint64_t n, unsigned k) {
+  if (n <= 1) return n;
+  // Binary search over the answer; ranges are tiny (<= 2^22 for k=3).
+  std::uint64_t lo = 1, hi = std::uint64_t{1} << (floor_log2(n) / k + 1);
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    // Does mid^k >= n (with overflow guard)?
+    std::uint64_t p = 1;
+    bool overflow = false;
+    for (unsigned i = 0; i < k; ++i) {
+      if (p > n / mid + 1) {
+        overflow = true;
+        break;
+      }
+      p *= mid;
+    }
+    if (overflow || p >= n) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+}  // namespace
+
+std::uint64_t iroot4_ceil(std::uint64_t n) { return iroot_ceil(n, 4); }
+std::uint64_t iroot3_ceil(std::uint64_t n) { return iroot_ceil(n, 3); }
+
+std::uint64_t ipow(std::uint64_t base, unsigned exp) {
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < exp; ++i) {
+    QCLIQUE_CHECK(base == 0 || r <= std::numeric_limits<std::uint64_t>::max() / (base ? base : 1),
+                  "ipow overflow");
+    r *= base;
+  }
+  return r;
+}
+
+BlockPartition::BlockPartition(std::uint64_t n, std::uint64_t blocks) : n_(n) {
+  QCLIQUE_CHECK(blocks >= 1 && blocks <= n, "BlockPartition requires 1 <= blocks <= n");
+  starts_.reserve(blocks + 1);
+  const std::uint64_t base = n / blocks;
+  const std::uint64_t extra = n % blocks;  // first `extra` blocks get one more
+  std::uint64_t pos = 0;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    starts_.push_back(pos);
+    pos += base + (b < extra ? 1 : 0);
+  }
+  starts_.push_back(pos);
+  QCLIQUE_CHECK(pos == n, "BlockPartition sizes must sum to n");
+}
+
+std::uint64_t BlockPartition::block_of(std::uint64_t i) const {
+  QCLIQUE_CHECK(i < n_, "BlockPartition::block_of out of range");
+  // Sizes differ by at most one, so the block index is predictable up to +-1;
+  // a small local scan after the estimate keeps this O(1).
+  const std::uint64_t blocks = num_blocks();
+  std::uint64_t b = i * blocks / n_;
+  while (b + 1 < blocks && starts_[b + 1] <= i) ++b;
+  while (b > 0 && starts_[b] > i) --b;
+  return b;
+}
+
+}  // namespace qclique

@@ -1,0 +1,80 @@
+// Integer math helpers shared by the simulator and the algorithms.
+//
+// The paper freely writes n^{1/4}, sqrt(n), n^{3/4} and assumes they are
+// integers ("otherwise we can simply round them to the next integers and
+// slightly adjust the sizes of the sets"). The block-size helpers here
+// implement exactly that rounding so partition code stays uncluttered.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace qclique {
+
+/// Saturating "infinity" for min-plus arithmetic. Chosen well below
+/// INT64_MAX so that INF + INF does not overflow before saturation.
+inline constexpr std::int64_t kPlusInf = std::numeric_limits<std::int64_t>::max() / 4;
+inline constexpr std::int64_t kMinusInf = -kPlusInf;
+
+/// True if `w` represents +infinity (no path / no edge).
+constexpr bool is_plus_inf(std::int64_t w) { return w >= kPlusInf; }
+/// True if `w` represents -infinity.
+constexpr bool is_minus_inf(std::int64_t w) { return w <= kMinusInf; }
+
+/// Min-plus-safe addition: inf + x = inf, and finite sums saturate at the
+/// sentinels instead of overflowing.
+std::int64_t sat_add(std::int64_t a, std::int64_t b);
+
+/// ceil(a / b) for positive integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1.
+int floor_log2(std::uint64_t x);
+
+/// ceil(log2(x)) for x >= 1 (ceil_log2(1) == 0).
+int ceil_log2(std::uint64_t x);
+
+/// The paper's "log n": ceil(log2(n)), but at least 1 so that constants like
+/// "10 log n" never vanish at tiny n.
+int paper_log(std::uint64_t n);
+
+/// floor(sqrt(n)).
+std::uint64_t isqrt(std::uint64_t n);
+
+/// ceil(sqrt(n)).
+std::uint64_t isqrt_ceil(std::uint64_t n);
+
+/// ceil(n^{1/4}).
+std::uint64_t iroot4_ceil(std::uint64_t n);
+
+/// ceil(n^{1/3}).
+std::uint64_t iroot3_ceil(std::uint64_t n);
+
+/// Integer power with overflow check (throws SimulationError on overflow).
+std::uint64_t ipow(std::uint64_t base, unsigned exp);
+
+/// Splits the range [0, n) into `blocks` contiguous blocks whose sizes differ
+/// by at most one. Block b is [block_begin(b), block_end(b)).
+/// Requires 1 <= blocks <= n.
+class BlockPartition {
+ public:
+  BlockPartition(std::uint64_t n, std::uint64_t blocks);
+
+  std::uint64_t n() const { return n_; }
+  std::uint64_t num_blocks() const { return starts_.size() - 1; }
+  std::uint64_t block_of(std::uint64_t i) const;
+  std::uint64_t block_begin(std::uint64_t b) const { return starts_[b]; }
+  std::uint64_t block_end(std::uint64_t b) const { return starts_[b + 1]; }
+  std::uint64_t block_size(std::uint64_t b) const {
+    return starts_[b + 1] - starts_[b];
+  }
+
+ private:
+  std::uint64_t n_;
+  std::vector<std::uint64_t> starts_;
+};
+
+}  // namespace qclique

@@ -1,0 +1,95 @@
+#include "common/rng.hpp"
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  QCLIQUE_CHECK(bound >= 1, "uniform_u64 bound must be >= 1");
+  // Rejection sampling on the top of the range to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) {
+  QCLIQUE_CHECK(lo <= hi, "uniform_i64 requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range.
+  const std::uint64_t r = (span == 0) ? next_u64() : uniform_u64(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + r);
+}
+
+double Rng::uniform_double() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_double() < p;
+}
+
+Rng Rng::split() {
+  // Use two fresh outputs to seed the child; xoshiro's jump polynomial would
+  // be stronger in theory, but seeding through SplitMix64 already decorrelates
+  // streams for Monte-Carlo purposes.
+  std::uint64_t mix = next_u64() ^ rotl(next_u64(), 31);
+  return Rng(splitmix64(mix));
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  QCLIQUE_CHECK(k <= n, "cannot sample more elements than the population");
+  // Floyd's algorithm: O(k) expected inserts into a sorted vector (k is small
+  // in all our uses; a hash set would be overkill).
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = static_cast<std::size_t>(uniform_u64(j + 1));
+    bool seen = false;
+    for (std::size_t c : chosen) {
+      if (c == t) {
+        seen = true;
+        break;
+      }
+    }
+    chosen.push_back(seen ? j : t);
+  }
+  return chosen;
+}
+
+}  // namespace qclique

@@ -1,0 +1,62 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every randomized component in qclique takes an explicit Rng (or a seed) so
+// that simulations are exactly reproducible. The generator is xoshiro256**
+// seeded through SplitMix64, which is both fast and statistically strong
+// enough for Monte-Carlo use. `split()` derives an independent child stream,
+// which lets a protocol hand distinct streams to each of the n simulated
+// nodes without correlation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qclique {
+
+/// SplitMix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed (expanded via SplitMix64).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) for bound >= 1 (unbiased, via rejection).
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Bernoulli trial; probabilities outside [0,1] are clamped (the paper's
+  /// sampling rates such as 10 log n / sqrt(n) exceed 1 at small n).
+  bool bernoulli(double p);
+
+  /// Derives an independent child generator. The child stream is decorrelated
+  /// from the parent and from siblings produced by later calls.
+  Rng split();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (Floyd's algorithm; output
+  /// order unspecified but deterministic for a given state).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace qclique

@@ -1,0 +1,126 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const { return mean_; }
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const {
+  QCLIQUE_CHECK(count_ > 0, "OnlineStats::min on empty accumulator");
+  return min_;
+}
+
+double OnlineStats::max() const {
+  QCLIQUE_CHECK(count_ > 0, "OnlineStats::max on empty accumulator");
+  return max_;
+}
+
+LinearFit fit_linear(const std::vector<double>& xs, const std::vector<double>& ys) {
+  QCLIQUE_CHECK(xs.size() == ys.size(), "fit_linear size mismatch");
+  QCLIQUE_CHECK(xs.size() >= 2, "fit_linear needs at least two points");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  QCLIQUE_CHECK(std::abs(denom) > 1e-12, "fit_linear: x values are constant");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (fit.intercept + fit.slope * xs[i]);
+    ss_res += e * e;
+  }
+  fit.r_squared = (ss_tot <= 1e-12) ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+LinearFit fit_power_law(const std::vector<double>& xs, const std::vector<double>& ys) {
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    QCLIQUE_CHECK(xs[i] > 0 && ys[i] > 0, "fit_power_law requires positive data");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  QCLIQUE_CHECK(hi > lo, "Histogram requires hi > lo");
+  QCLIQUE_CHECK(buckets >= 1, "Histogram requires at least one bucket");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  std::ptrdiff_t b = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  b = std::clamp<std::ptrdiff_t>(b, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(b + 1) / static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double q) const {
+  QCLIQUE_CHECK(total_ > 0, "Histogram::quantile on empty histogram");
+  const double target = q * static_cast<double>(total_);
+  double cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cum += static_cast<double>(counts_[b]);
+    if (cum >= target) return bucket_hi(b);
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(std::size_t max_width) const {
+  std::ostringstream out;
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const std::size_t bar = std::max<std::size_t>(1, counts_[b] * max_width / peak);
+    out << "[" << bucket_lo(b) << ", " << bucket_hi(b) << "): " << counts_[b] << "  "
+        << std::string(bar, '#') << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace qclique

@@ -1,0 +1,72 @@
+// Small statistics toolkit used by tests and the benchmark harness:
+// online moments, histograms, and log-log regression for exponent fitting
+// (the reproduction's headline numbers are fitted exponents of
+// rounds-vs-n curves).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qclique {
+
+/// Welford online accumulator for mean/variance/min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Least-squares fit of y = a + b*x. Used through log-log transforms to
+/// estimate scaling exponents: log(rounds) = log(c) + e*log(n).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Fits y ~ a + b x. Requires xs.size() == ys.size() >= 2 and non-constant x.
+LinearFit fit_linear(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fits y ~ c * x^e by regressing log y on log x. All inputs must be > 0.
+/// Returns {log c, e, r^2}.
+LinearFit fit_power_law(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// end buckets. Used to report load distributions (|L^k_w| etc.).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  const std::vector<std::size_t>& buckets() const { return counts_; }
+  double bucket_lo(std::size_t b) const;
+  double bucket_hi(std::size_t b) const;
+  /// Smallest x such that at least `q` fraction of the mass is <= x
+  /// (bucket-upper-bound resolution).
+  double quantile(double q) const;
+  std::string to_string(std::size_t max_width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace qclique

@@ -1,0 +1,75 @@
+#include "common/table.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  QCLIQUE_CHECK(!headers_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  QCLIQUE_CHECK(cells.size() == headers_.size(), "Table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == 'e' || c == 'E' || c == 'x' || c == '%')) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      const bool right = looks_numeric(row[c]);
+      out << "  ";
+      if (right) out << std::string(pad, ' ');
+      out << row[c];
+      if (!right) out << std::string(pad, ' ');
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  std::size_t rule = 0;
+  for (std::size_t w : widths) rule += w + 2;
+  out << "  " << std::string(rule, '-').substr(0, rule) << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::cout << "\n== " << title << " ==\n" << to_string() << std::flush;
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt(std::uint64_t v) { return std::to_string(v); }
+std::string Table::fmt(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace qclique

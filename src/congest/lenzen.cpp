@@ -1,0 +1,123 @@
+#include "congest/lenzen.hpp"
+
+#include <algorithm>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+
+namespace {
+RouteStats profile(const CliqueNetwork& net, const std::vector<Message>& batch) {
+  RouteStats st;
+  st.messages = batch.size();
+  std::vector<std::uint64_t> src_load(net.size(), 0), dst_load(net.size(), 0);
+  for (const Message& m : batch) {
+    QCLIQUE_CHECK(m.src < net.size() && m.dst < net.size(),
+                  "route: endpoint out of range");
+    QCLIQUE_CHECK(m.payload.size <= net.config().fields_per_message,
+                  "route: payload exceeds per-message budget");
+    ++src_load[m.src];
+    ++dst_load[m.dst];
+  }
+  for (std::uint32_t v = 0; v < net.size(); ++v) {
+    st.max_source_load = std::max(st.max_source_load, src_load[v]);
+    st.max_dest_load = std::max(st.max_dest_load, dst_load[v]);
+  }
+  return st;
+}
+}  // namespace
+
+RouteStats route(CliqueNetwork& net, const std::vector<Message>& batch,
+                 const std::string& phase) {
+  RouteStats st = profile(net, batch);
+  if (batch.empty()) return st;
+  const std::uint64_t n = net.size();
+  const std::uint64_t load = std::max(st.max_source_load, st.max_dest_load);
+  // Lemma 1 delivers any n-per-source/dest batch in 2 rounds; a batch with
+  // load L splits into ceil(L/n) such sub-batches.
+  st.rounds = 2 * ceil_div(load, n);
+  for (const Message& m : batch) net.deposit(m);
+  net.ledger().charge(phase, st.rounds, batch.size());
+  return st;
+}
+
+RouteStats route_two_phase(CliqueNetwork& net, const std::vector<Message>& batch,
+                           Rng& rng, const std::string& phase) {
+  RouteStats st = profile(net, batch);
+  if (batch.empty()) return st;
+  const std::uint32_t n = net.size();
+  const std::uint64_t before = net.rounds();
+
+  // Phase 1: each source assigns its messages to distinct relays in a random
+  // rotation; a source with k <= n messages uses k distinct relays, so phase 1
+  // is collision-free per link when loads are within Lemma 1's bound.
+  // Relay messages are wrapped: [final_dst, original fields...]. The wrapper
+  // consumes one extra field, which models the routing header.
+  struct Wrapped {
+    NodeId relay;
+    Message inner;
+  };
+  std::vector<std::vector<const Message*>> by_src(n);
+  for (const Message& m : batch) by_src[m.src].push_back(&m);
+  std::vector<Wrapped> wrapped;
+  wrapped.reserve(batch.size());
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (by_src[s].empty()) continue;
+    const std::uint32_t offset = static_cast<std::uint32_t>(rng.uniform_u64(n));
+    for (std::size_t i = 0; i < by_src[s].size(); ++i) {
+      const NodeId relay = static_cast<NodeId>((offset + i) % n);
+      wrapped.push_back(Wrapped{relay, *by_src[s][i]});
+    }
+  }
+  for (const Wrapped& w : wrapped) {
+    // The relay header (final destination) consumes one field, so wrapped
+    // payloads must leave one field of headroom.
+    QCLIQUE_CHECK(w.inner.payload.size + 1 <= net.config().fields_per_message,
+                  "route_two_phase: payload too large to wrap with header");
+    Payload p;
+    p.tag = w.inner.payload.tag;
+    p.push(static_cast<std::int64_t>(w.inner.dst));
+    for (std::size_t i = 0; i < w.inner.payload.size; ++i) {
+      p.push(w.inner.payload.fields[i]);
+    }
+    if (w.relay == w.inner.src) {
+      // Source happens to be its own relay; skip the network hop.
+      net.deposit(Message{w.inner.src, w.relay, p});
+    } else {
+      net.send(w.inner.src, w.relay, p);
+    }
+  }
+  net.run_until_drained(phase);
+
+  // Phase 2: relays unwrap and forward to final destinations. Several
+  // messages at one relay may share a destination; those collide on the
+  // (relay, dst) link and cost extra measured rounds -- exactly the
+  // balls-into-bins tail the deterministic Lenzen schedule eliminates.
+  // Snapshot all relay inboxes first: forwarding deposits into inboxes we
+  // are still iterating otherwise (self-delivery would be lost or looped).
+  std::vector<std::vector<Message>> staged(n);
+  for (std::uint32_t relay = 0; relay < n; ++relay) {
+    staged[relay] = std::move(net.inbox(relay));
+    net.inbox(relay).clear();
+  }
+  for (std::uint32_t relay = 0; relay < n; ++relay) {
+    for (const Message& m : staged[relay]) {
+      const NodeId final_dst = static_cast<NodeId>(m.payload.at(0));
+      Payload p;
+      p.tag = m.payload.tag;
+      for (std::size_t i = 1; i < m.payload.size; ++i) p.push(m.payload.fields[i]);
+      if (relay == final_dst) {
+        net.deposit(Message{relay, final_dst, p});
+      } else {
+        net.send(relay, final_dst, p);
+      }
+    }
+  }
+  net.run_until_drained(phase);
+
+  st.rounds = net.rounds() - before;
+  return st;
+}
+
+}  // namespace qclique

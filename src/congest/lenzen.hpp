@@ -1,0 +1,52 @@
+// Bulk routing under Lemma 1 (Dolev, Lenzen, Peled 2012 / Lenzen 2013).
+//
+//   "In the CONGEST-CLIQUE model a set of messages in which no node is the
+//    source of more than n messages and no node is the destination of more
+//    than n messages can be delivered within two rounds if the source and
+//    destination of each message is known in advance to all nodes."
+//
+// `route` is the primitive protocols use: it validates the load profile of a
+// message batch, charges 2 * ceil(L / n) rounds (L = max per-node
+// source/destination load, i.e. repeated application of Lemma 1 to n-sized
+// sub-batches), and deposits the messages. The deterministic 2-round
+// schedule itself (a sorting network construction) is *charged*, not
+// step-simulated -- this is the one place where the simulator trusts a cost
+// model rather than measuring queues; `route_two_phase` provides a genuine
+// stepped randomized 2-phase implementation used by tests and bench E9 to
+// validate that the charge is achievable within small constant factors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace qclique {
+class Rng;
+
+/// Outcome of a routing call.
+struct RouteStats {
+  std::uint64_t rounds = 0;          // rounds charged (or measured)
+  std::uint64_t messages = 0;        // batch size
+  std::uint64_t max_source_load = 0; // max messages sourced by one node
+  std::uint64_t max_dest_load = 0;   // max messages destined to one node
+};
+
+/// Validates and delivers `batch` under the Lemma 1 cost model, charging
+/// `2 * ceil(max_load / n)` rounds to `phase` on the network's ledger.
+/// Every message's payload must fit the per-message field budget.
+RouteStats route(CliqueNetwork& net, const std::vector<Message>& batch,
+                 const std::string& phase);
+
+/// Genuine stepped implementation: round 1 spreads each source's messages
+/// over random intermediate relays, round 2 forwards relay -> destination;
+/// both phases run through CliqueNetwork::step so collisions on a link cost
+/// real rounds. Returns measured (not charged) rounds. With max loads <= n
+/// the expected measured cost is O(1) rounds per phase (Theta(log n / log
+/// log n) worst link in the balls-into-bins tail), which bench E9 reports
+/// next to the Lemma 1 charge of 2.
+RouteStats route_two_phase(CliqueNetwork& net, const std::vector<Message>& batch,
+                           Rng& rng, const std::string& phase);
+
+}  // namespace qclique

@@ -1,0 +1,60 @@
+// Message representation for the CONGEST-CLIQUE simulator.
+//
+// In the CONGEST-CLIQUE model each ordered pair of nodes can exchange one
+// message of O(log n) bits per synchronous round. We model an O(log n)-bit
+// message as a fixed small number of *fields*, where one field holds one
+// logical value of O(log n + log W) bits (a vertex identifier, a weight, a
+// counter). This keeps round accounting proportional to the true bit
+// complexity for polynomially-bounded weights without simulating individual
+// bits. The per-message field budget is configurable (see NetworkConfig);
+// sends that exceed it throw BandwidthError.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+/// Index of a simulated network node, in [0, n).
+using NodeId = std::uint32_t;
+
+/// Hard upper bound on fields a single Payload can carry; the configured
+/// per-round budget (NetworkConfig::fields_per_message) must be <= this.
+inline constexpr std::size_t kMaxPayloadFields = 6;
+
+/// A small fixed-capacity record transported by one message.
+/// `tag` multiplexes protocol phases sharing a network.
+struct Payload {
+  std::uint32_t tag = 0;
+  std::uint8_t size = 0;
+  std::array<std::int64_t, kMaxPayloadFields> fields{};
+
+  /// Appends one field; throws if capacity exhausted.
+  void push(std::int64_t v) {
+    QCLIQUE_CHECK(size < kMaxPayloadFields, "Payload field capacity exceeded");
+    fields[size++] = v;
+  }
+
+  std::int64_t at(std::size_t i) const {
+    QCLIQUE_CHECK(i < size, "Payload field index out of range");
+    return fields[i];
+  }
+
+  static Payload make(std::uint32_t tag, std::initializer_list<std::int64_t> fs) {
+    Payload p;
+    p.tag = tag;
+    for (auto f : fs) p.push(f);
+    return p;
+  }
+};
+
+/// A message in flight: source, destination, payload.
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  Payload payload;
+};
+
+}  // namespace qclique

@@ -1,0 +1,115 @@
+#include "congest/primitives.hpp"
+
+#include <algorithm>
+
+#include "common/math.hpp"
+#include "congest/lenzen.hpp"
+
+namespace qclique {
+
+void broadcast_fields(CliqueNetwork& net, NodeId src,
+                      const std::vector<std::int64_t>& fields, std::uint32_t tag,
+                      const std::string& phase) {
+  const std::size_t budget = net.config().fields_per_message;
+  for (std::size_t base = 0; base < fields.size(); base += budget) {
+    Payload p;
+    p.tag = tag;
+    for (std::size_t i = base; i < std::min(fields.size(), base + budget); ++i) {
+      p.push(fields[i]);
+    }
+    for (NodeId v = 0; v < net.size(); ++v) {
+      if (v != src) net.send(src, v, p);
+    }
+  }
+  net.run_until_drained(phase);
+  if (fields.empty()) return;
+}
+
+void gather_fields(CliqueNetwork& net, NodeId collector,
+                   const std::vector<std::vector<std::int64_t>>& fields_per_node,
+                   std::uint32_t tag, const std::string& phase) {
+  QCLIQUE_CHECK(fields_per_node.size() == net.size(),
+                "gather_fields: one row per node required");
+  const std::size_t budget = net.config().fields_per_message;
+  for (NodeId v = 0; v < net.size(); ++v) {
+    if (v == collector) continue;
+    const auto& row = fields_per_node[v];
+    for (std::size_t base = 0; base < row.size(); base += budget) {
+      Payload p;
+      p.tag = tag;
+      for (std::size_t i = base; i < std::min(row.size(), base + budget); ++i) {
+        p.push(row[i]);
+      }
+      net.send(v, collector, p);
+    }
+  }
+  net.run_until_drained(phase);
+}
+
+void disseminate_fields(CliqueNetwork& net, NodeId src,
+                        const std::vector<std::int64_t>& fields, std::uint32_t tag,
+                        const std::string& phase) {
+  if (fields.empty()) return;
+  const std::uint32_t n = net.size();
+  const std::size_t budget = net.config().fields_per_message;
+
+  // Stage 1: chop `fields` into n chunks; ship chunk v to node v via route().
+  // Each chunk is <= ceil(|fields|/n) fields; message counts obey Lemma 1's
+  // per-source bound in batches.
+  const std::size_t chunk = ceil_div(fields.size(), n);
+  std::vector<Message> batch;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::size_t lo = std::min(fields.size(), static_cast<std::size_t>(v) * chunk);
+    const std::size_t hi = std::min(fields.size(), lo + chunk);
+    for (std::size_t base = lo; base < hi; base += budget) {
+      Message m;
+      m.src = src;
+      m.dst = v;
+      m.payload.tag = tag;
+      for (std::size_t i = base; i < std::min(hi, base + budget); ++i) {
+        m.payload.push(fields[i]);
+      }
+      batch.push_back(m);
+    }
+  }
+  route(net, batch, phase);
+
+  // Stage 2: every node rebroadcasts its chunk. Chunk order equals node id,
+  // and within a chunk message order is preserved, so receivers can
+  // reassemble by (src, arrival order).
+  std::vector<Message> rebatch;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    // Gather what v just received with our tag.
+    std::vector<Payload> mine;
+    auto& box = net.inbox(v);
+    auto it = std::stable_partition(box.begin(), box.end(), [&](const Message& m) {
+      return m.payload.tag != tag;
+    });
+    for (auto jt = it; jt != box.end(); ++jt) mine.push_back(jt->payload);
+    box.erase(it, box.end());
+    for (const Payload& p : mine) {
+      for (std::uint32_t w = 0; w < n; ++w) {
+        rebatch.push_back(Message{v, w, p});
+      }
+    }
+  }
+  route(net, rebatch, phase);
+}
+
+std::vector<std::int64_t> collect_inbox_fields(CliqueNetwork& net, NodeId v,
+                                               std::uint32_t tag) {
+  std::vector<std::int64_t> out;
+  auto& box = net.inbox(v);
+  auto it = std::stable_partition(box.begin(), box.end(), [&](const Message& m) {
+    return m.payload.tag != tag;
+  });
+  for (auto jt = it; jt != box.end(); ++jt) {
+    for (std::size_t i = 0; i < jt->payload.size; ++i) {
+      out.push_back(jt->payload.fields[i]);
+    }
+  }
+  box.erase(it, box.end());
+  return out;
+}
+
+}  // namespace qclique

@@ -1,0 +1,67 @@
+#include "congest/round_ledger.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qclique {
+
+void RoundLedger::charge(const std::string& phase, std::uint64_t rounds,
+                         std::uint64_t messages) {
+  PhaseStats& s = phases_[phase];
+  s.rounds += rounds;
+  s.messages += messages;
+  total_rounds_ += rounds;
+  total_messages_ += messages;
+}
+
+void RoundLedger::charge_quantum(const std::string& phase, std::uint64_t rounds,
+                                 std::uint64_t oracle_calls) {
+  PhaseStats& s = phases_[phase];
+  s.rounds += rounds;
+  s.quantum_oracle_calls += oracle_calls;
+  total_rounds_ += rounds;
+  total_oracle_calls_ += oracle_calls;
+}
+
+std::uint64_t RoundLedger::phase_rounds(const std::string& phase) const {
+  auto it = phases_.find(phase);
+  return it == phases_.end() ? 0 : it->second.rounds;
+}
+
+void RoundLedger::absorb(const RoundLedger& other) {
+  for (const auto& [name, s] : other.phases_) {
+    PhaseStats& mine = phases_[name];
+    mine.rounds += s.rounds;
+    mine.messages += s.messages;
+    mine.quantum_oracle_calls += s.quantum_oracle_calls;
+  }
+  total_rounds_ += other.total_rounds_;
+  total_messages_ += other.total_messages_;
+  total_oracle_calls_ += other.total_oracle_calls_;
+}
+
+void RoundLedger::reset() {
+  phases_.clear();
+  total_rounds_ = 0;
+  total_messages_ = 0;
+  total_oracle_calls_ = 0;
+}
+
+std::string RoundLedger::report() const {
+  std::vector<std::pair<std::string, PhaseStats>> sorted(phases_.begin(), phases_.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.rounds > b.second.rounds;
+  });
+  std::ostringstream out;
+  out << "total rounds: " << total_rounds_ << "  (messages: " << total_messages_
+      << ", quantum oracle calls: " << total_oracle_calls_ << ")\n";
+  for (const auto& [name, s] : sorted) {
+    out << "  " << name << ": " << s.rounds << " rounds";
+    if (s.messages > 0) out << ", " << s.messages << " msgs";
+    if (s.quantum_oracle_calls > 0) out << ", " << s.quantum_oracle_calls << " oracle calls";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace qclique

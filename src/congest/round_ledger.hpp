@@ -1,0 +1,61 @@
+// Round accounting for simulated protocols.
+//
+// The reproduction's headline numbers are *round counts*, so every cost in
+// the system flows through one ledger: synchronous message rounds measured
+// by the network, routing rounds charged under Lemma 1, and quantum rounds
+// charged per Grover oracle invocation (Le Gall-Magniez conversion: an
+// r-round classical evaluation costs O(r) rounds per quantum query).
+// Phases are named so benches can break totals down by algorithm step.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qclique {
+
+/// Per-phase round/message/traffic statistics.
+struct PhaseStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t quantum_oracle_calls = 0;
+};
+
+/// Accumulates rounds across named phases; thread-compatible (single-owner).
+class RoundLedger {
+ public:
+  /// Adds `rounds` rounds (and optionally message traffic) to `phase`.
+  void charge(const std::string& phase, std::uint64_t rounds,
+              std::uint64_t messages = 0);
+
+  /// Records a quantum oracle invocation costing `rounds` rounds.
+  void charge_quantum(const std::string& phase, std::uint64_t rounds,
+                      std::uint64_t oracle_calls = 1);
+
+  std::uint64_t total_rounds() const { return total_rounds_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t total_oracle_calls() const { return total_oracle_calls_; }
+
+  /// Rounds charged to a single phase (0 if the phase never ran).
+  std::uint64_t phase_rounds(const std::string& phase) const;
+
+  const std::map<std::string, PhaseStats>& phases() const { return phases_; }
+
+  /// Merges another ledger's phases into this one (used when a sub-protocol
+  /// runs on its own ledger and the parent absorbs the cost).
+  void absorb(const RoundLedger& other);
+
+  void reset();
+
+  /// Multi-line human-readable report sorted by descending rounds.
+  std::string report() const;
+
+ private:
+  std::map<std::string, PhaseStats> phases_;
+  std::uint64_t total_rounds_ = 0;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_oracle_calls_ = 0;
+};
+
+}  // namespace qclique

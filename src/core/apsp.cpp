@@ -1,0 +1,40 @@
+#include "core/apsp.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+
+QuantumApspResult quantum_apsp(const Digraph& g, const QuantumApspOptions& options,
+                               Rng& rng) {
+  const std::uint32_t n = g.size();
+  QuantumApspResult res(n);
+  DistMatrix acc = g.to_dist_matrix();
+  if (n <= 1) {
+    res.distances = acc;
+    return res;
+  }
+
+  std::uint64_t covered = 1;
+  while (covered < static_cast<std::uint64_t>(n - 1)) {
+    Rng child = rng.split();
+    TriangleProductResult prod =
+        distance_product_via_triangles(acc, acc, options.product, child);
+    acc = std::move(prod.product);
+    res.ledger.absorb(prod.ledger);
+    res.find_edges_calls += prod.find_edges_calls;
+    ++res.products;
+    covered *= 2;
+  }
+
+  if (options.check_negative_cycles) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      QCLIQUE_CHECK(acc.at(i, i) >= 0, "quantum_apsp: negative cycle in input");
+    }
+  }
+  res.distances = std::move(acc);
+  res.rounds = res.ledger.total_rounds();
+  return res;
+}
+
+}  // namespace qclique

@@ -1,0 +1,277 @@
+#include "core/compute_pairs.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "congest/lenzen.hpp"
+#include "congest/network.hpp"
+#include "core/evaluation.hpp"
+#include "core/identify_class.hpp"
+#include "core/lambda_sampler.hpp"
+#include "core/partitions.hpp"
+#include "graph/triangles.hpp"
+#include "quantum/multi_search.hpp"
+
+namespace qclique {
+
+namespace {
+
+/// Step 1 of ComputePairs: ship f(u, w') / f(w', v) for every triple to its
+/// t-node through one measured routing batch.
+void step1_load_weights(CliqueNetwork& net, const WeightedGraph& g,
+                        const Partitions& parts) {
+  std::vector<Message> batch;
+  const std::uint32_t B = parts.num_vblocks();
+  const std::uint32_t Wb = parts.num_wblocks();
+  for (std::uint32_t ub = 0; ub < B; ++ub) {
+    const auto us = parts.vblock_vertices(ub);
+    for (std::uint32_t vb = 0; vb < B; ++vb) {
+      const auto vs = parts.vblock_vertices(vb);
+      for (std::uint32_t wb = 0; wb < Wb; ++wb) {
+        const NodeId dst = parts.t_node(ub, vb, wb);
+        const auto ws = parts.wblock_vertices(wb);
+        for (std::uint32_t w : ws) {
+          for (std::uint32_t u : us) {
+            if (u == w || !g.has_edge(u, w)) continue;
+            Message m;
+            m.src = static_cast<NodeId>(u);
+            m.dst = dst;
+            m.payload.tag = 60;
+            m.payload.push(u);
+            m.payload.push(w);
+            m.payload.push(g.weight(u, w));
+            if (m.src != m.dst) batch.push_back(m);
+          }
+          for (std::uint32_t v : vs) {
+            if (v == w || !g.has_edge(w, v)) continue;
+            Message m;
+            m.src = static_cast<NodeId>(w);
+            m.dst = dst;
+            m.payload.tag = 60;
+            m.payload.push(w);
+            m.payload.push(v);
+            m.payload.push(g.weight(w, v));
+            if (m.src != m.dst) batch.push_back(m);
+          }
+        }
+      }
+    }
+  }
+  route(net, batch, "step1/load");
+  net.clear_inboxes();  // contents modeled through the semantic oracle below
+}
+
+/// Step 2 weight/S loading for the sampled Lambda families (measured).
+void step2_load_lambda(CliqueNetwork& net, const WeightedGraph& g,
+                       const Partitions& parts,
+                       const std::vector<std::vector<LambdaFamily>>& families,
+                       const std::set<VertexPair>& s_set) {
+  std::vector<Message> batch;
+  const std::uint32_t B = parts.num_vblocks();
+  for (std::uint32_t ub = 0; ub < B; ++ub) {
+    for (std::uint32_t vb = 0; vb < B; ++vb) {
+      const auto& fam = families[ub][vb];
+      for (std::uint32_t x = 0; x < fam.sets.size(); ++x) {
+        const NodeId dst = parts.x_node(ub, vb, x);
+        for (const auto& [u, v] : fam.sets[x]) {
+          if (!g.has_edge(u, v)) continue;  // non-edges carry no weight
+          Message m;
+          m.src = static_cast<NodeId>(u);
+          m.dst = dst;
+          m.payload.tag = 61;
+          m.payload.push(u);
+          m.payload.push(v);
+          m.payload.push(g.weight(u, v));
+          m.payload.push(s_set.contains(VertexPair(u, v)) ? 1 : 0);
+          if (m.src != m.dst) batch.push_back(m);
+        }
+      }
+    }
+  }
+  route(net, batch, "step2/load");
+  net.clear_inboxes();
+}
+
+}  // namespace
+
+ComputePairsResult compute_pairs(const WeightedGraph& g,
+                                 const std::vector<VertexPair>& s_pairs,
+                                 const ComputePairsOptions& options, Rng& rng) {
+  const std::uint32_t n = g.size();
+  QCLIQUE_CHECK(n >= 2, "compute_pairs needs at least two vertices");
+  QCLIQUE_CHECK(std::is_sorted(s_pairs.begin(), s_pairs.end()),
+                "s_pairs must be sorted");
+  ComputePairsResult res;
+  const Constants& cst = options.constants;
+  const Partitions parts(n);
+  CliqueNetwork net(n);
+  const std::set<VertexPair> s_set(s_pairs.begin(), s_pairs.end());
+
+  // Input-promise diagnostic (Gamma(u,v) <= promise * log n for S pairs).
+  {
+    const double limit = cst.promise * paper_log(n);
+    for (const auto& pr : s_pairs) {
+      if (static_cast<double>(gamma(g, pr.a, pr.b)) > limit) {
+        ++res.input_promise_violations;
+      }
+    }
+  }
+
+  // ---- Step 1 -------------------------------------------------------------
+  step1_load_weights(net, g, parts);
+
+  // ---- Step 2 -------------------------------------------------------------
+  const std::uint32_t B = parts.num_vblocks();
+  std::vector<std::vector<LambdaFamily>> families(B);
+  for (std::uint32_t ub = 0; ub < B; ++ub) {
+    families[ub].reserve(B);
+    for (std::uint32_t vb = 0; vb < B; ++vb) {
+      Rng child = rng.split();
+      families[ub].push_back(sample_lambda_family(parts, ub, vb, cst, child));
+      if (!families[ub][vb].well_balanced) {
+        res.aborted = true;
+        res.rounds = net.ledger().total_rounds();
+        res.ledger = net.ledger();
+        return res;
+      }
+    }
+  }
+  step2_load_lambda(net, g, parts, families, s_set);
+
+  // ---- Step 3.1: IdentifyClass. --------------------------------------------
+  Rng ic_rng = rng.split();
+  const IdentifyClassResult classes =
+      identify_class(net, g, parts, s_pairs, cst, ic_rng);
+  if (classes.aborted) {
+    res.aborted = true;
+    res.rounds = net.ledger().total_rounds();
+    res.ledger = net.ledger();
+    return res;
+  }
+  res.max_alpha = classes.max_alpha;
+
+  // ---- Step 3.2: searches per alpha and block pair. ------------------------
+  // The alpha values are processed sequentially (Figure 3's "for each
+  // alpha"), but all (u, v) block-pair groups run concurrently: the third
+  // labeling assigns each group its own x-nodes and each evaluation its own
+  // t-nodes, so a round of one group is a round of every group. Each
+  // group's cost is therefore measured on an isolated scratch network and
+  // the *maximum* over groups is charged per alpha. (With inexact roots the
+  // labelings wrap and a little cross-group sharing exists; the paper
+  // assumes exact sizes, and we document the approximation in DESIGN.md.)
+  std::set<VertexPair> hot;
+  for (std::uint32_t alpha = 0; alpha <= classes.max_alpha; ++alpha) {
+    std::uint64_t alpha_max_rounds = 0;
+    std::uint64_t alpha_oracle_calls = 0;
+    for (std::uint32_t ub = 0; ub < B; ++ub) {
+      for (std::uint32_t vb = 0; vb < B; ++vb) {
+        const auto t_alpha = classes.t_alpha(ub, vb, alpha, B);
+        if (t_alpha.empty()) continue;
+
+        // Active searches: for every x-node, its Lambda_x /\ S /\ E pairs.
+        // Shared solution-set cache: the same pair may appear under several
+        // x (Lambda is a covering, not a partition).
+        const auto& fam = families[ub][vb];
+        std::map<VertexPair, std::vector<std::size_t>> solution_cache;
+        auto solutions_of = [&](const VertexPair& pr) {
+          auto it = solution_cache.find(pr);
+          if (it != solution_cache.end()) return it->second;
+          std::vector<std::size_t> sols;
+          for (std::size_t pos = 0; pos < t_alpha.size(); ++pos) {
+            const auto ws = parts.wblock_vertices(t_alpha[pos]);
+            if (exists_negative_triangle_via(g, pr.a, pr.b, ws)) {
+              sols.push_back(pos);
+            }
+          }
+          solution_cache.emplace(pr, sols);
+          return sols;
+        };
+
+        std::vector<SearchInstance> searches;
+        std::vector<VertexPair> search_pairs;
+        EvalQuerySet queries;
+        queries.queries.resize(parts.num_wblocks());
+        Rng qrng = rng.split();
+        for (std::uint32_t x = 0; x < fam.sets.size(); ++x) {
+          for (const auto& [u, v] : fam.sets[x]) {
+            const VertexPair pr(u, v);
+            if (!g.has_edge(u, v) || !s_set.contains(pr)) continue;
+            SearchInstance inst;
+            inst.solutions = solutions_of(pr);
+            searches.push_back(std::move(inst));
+            search_pairs.push_back(pr);
+            // Sampled query for the cost-measuring evaluation run: uniform
+            // over the domain (the searches start in uniform superposition).
+            queries.queries[x].emplace_back(
+                pr, static_cast<std::uint32_t>(qrng.uniform_u64(t_alpha.size())));
+          }
+        }
+        if (searches.empty()) continue;
+        res.searches_total += searches.size();
+
+        // Measure the evaluation procedure's round cost r (Figures 4-5) on
+        // an isolated scratch network: this group's nodes are its own.
+        CliqueNetwork scratch(n);
+        const EvalRunStats eval = run_evaluation(scratch, g, parts, ub, vb, alpha,
+                                                 t_alpha, queries, cst,
+                                                 /*include_duplication=*/true);
+        res.eval_promise_violations += eval.promise_violations;
+        const std::uint64_t r_eval =
+            std::max<std::uint64_t>(1, eval.rounds - eval.duplication_rounds);
+        const DistributedSearchCost cost{.eval_rounds_per_call = r_eval,
+                                         .compute_uncompute_factor = 2};
+
+        std::uint64_t group_rounds = eval.duplication_rounds;  // Fig 5 step 0
+        if (options.use_quantum) {
+          MultiSearchOptions mso;
+          mso.cutoff_factor = options.search_cutoff_factor;
+          mso.typicality_beta = eval_list_promise(n, alpha, cst);
+          mso.audit_samples_per_stage = options.audit_samples_per_stage;
+          Rng srng = rng.split();
+          RoundLedger group_ledger;
+          const MultiSearchResult ms = multi_search(
+              t_alpha.size(), searches, cost, mso, group_ledger, "g", srng);
+          group_rounds += ms.rounds_charged;
+          alpha_oracle_calls = std::max(alpha_oracle_calls, ms.joint_oracle_calls);
+          res.audit_tuples += ms.audit_tuples;
+          res.audit_violations += ms.audit_violations;
+          for (std::size_t i = 0; i < searches.size(); ++i) {
+            if (ms.found[i].has_value()) {
+              hot.insert(search_pairs[i]);
+              ++res.searches_found;
+            }
+          }
+        } else {
+          // Classical scan: every W-block of the domain is checked once; all
+          // m searches share each joint evaluation, so the cost is
+          // |T_alpha| * r rounds and the outcome is exact.
+          group_rounds += t_alpha.size() * r_eval;
+          alpha_oracle_calls = std::max<std::uint64_t>(alpha_oracle_calls,
+                                                       t_alpha.size());
+          for (std::size_t i = 0; i < searches.size(); ++i) {
+            if (!searches[i].solutions.empty()) {
+              hot.insert(search_pairs[i]);
+              ++res.searches_found;
+            }
+          }
+        }
+        alpha_max_rounds = std::max(alpha_max_rounds, group_rounds);
+      }
+    }
+    if (alpha_max_rounds > 0) {
+      net.ledger().charge_quantum(
+          "search/alpha" + std::to_string(alpha) + (options.use_quantum ? "/q" : "/c"),
+          alpha_max_rounds, alpha_oracle_calls);
+    }
+  }
+
+  res.hot_pairs.assign(hot.begin(), hot.end());
+  std::sort(res.hot_pairs.begin(), res.hot_pairs.end());
+  res.rounds = net.ledger().total_rounds();
+  res.ledger = net.ledger();
+  return res;
+}
+
+}  // namespace qclique

@@ -1,0 +1,73 @@
+// Algorithm ComputePairs (Figure 1): the O~(n^{1/4})-round quantum solver
+// for FindEdgesWithPromise (Theorem 2).
+//
+// Steps, mapped to this implementation:
+//   1. Weight loading: every node (u, v, w) receives f(u, w') and f(w', v)
+//      for its blocks (measured Lemma 1 routing).
+//   2. Partition procedure: nodes (u, v, x) sample Lambda_x(u, v); the run
+//      aborts if any set is not well-balanced (Lemma 2 tail event), and the
+//      sampled pairs' weights and S-membership are loaded (measured).
+//   3. IdentifyClass splits the triples into classes T_alpha (Figure 2,
+//      Proposition 5), then for every alpha the nodes run lockstep Grover
+//      searches over T_alpha[u, v] (Section 5.3, Figures 4-5): the
+//      evaluation procedure is executed once per (block pair, alpha) with
+//      sampled queries to *measure* its round cost r, quantum searches are
+//      then simulated exactly and charged O~(r sqrt(|T_alpha[u,v]|)) rounds
+//      through the Theorem 3 cost model, and the typicality audit samples
+//      query tuples to verify the congestion assumption empirically.
+//
+// Setting `use_quantum = false` replaces the Grover searches with the
+// classical sequential scan over all of V' (the O(sqrt(n))-round classical
+// implementation the paper mentions below Figure 1), which is the internal
+// quantum-vs-classical comparison used by the benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/round_ledger.hpp"
+#include "core/constants.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace qclique {
+
+class Rng;
+
+/// Knobs for one ComputePairs run.
+struct ComputePairsOptions {
+  Constants constants = Constants::paper();
+  /// true: Grover searches (Theorem 2); false: classical O(sqrt n) scan.
+  bool use_quantum = true;
+  /// BBHT iteration budget factor (passed to multi_search).
+  double search_cutoff_factor = 9.0;
+  /// Typicality-audit tuples per BBHT stage (0 disables the audit).
+  std::size_t audit_samples_per_stage = 2;
+};
+
+/// Result and diagnostics of one run.
+struct ComputePairsResult {
+  /// Pairs of S found to be in a negative triangle (sorted, unique).
+  std::vector<VertexPair> hot_pairs;
+  /// Lemma 2 / IdentifyClass abort (retry with fresh randomness).
+  bool aborted = false;
+
+  std::uint64_t rounds = 0;
+  RoundLedger ledger;
+
+  // Diagnostics.
+  std::uint32_t max_alpha = 0;
+  std::uint64_t searches_total = 0;
+  std::uint64_t searches_found = 0;
+  std::uint64_t eval_promise_violations = 0;
+  std::uint64_t input_promise_violations = 0;  // S pairs with Gamma > c log n
+  std::uint64_t audit_tuples = 0;
+  std::uint64_t audit_violations = 0;
+};
+
+/// Runs ComputePairs on graph g with promise set `s_pairs` (sorted by
+/// VertexPair order). The caller owns retry-on-abort (see find_edges).
+ComputePairsResult compute_pairs(const WeightedGraph& g,
+                                 const std::vector<VertexPair>& s_pairs,
+                                 const ComputePairsOptions& options, Rng& rng);
+
+}  // namespace qclique

@@ -1,0 +1,25 @@
+#include "core/constants.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+Constants Constants::scaled(double f) {
+  QCLIQUE_CHECK(f > 0, "Constants::scaled requires a positive factor");
+  Constants c;
+  const auto s = [f](double v) { return std::max(v * f, 0.25); };
+  c.lambda_sample = s(c.lambda_sample);
+  c.balance_threshold = s(c.balance_threshold);
+  c.promise = s(c.promise);
+  c.prop1_sample = s(c.prop1_sample);
+  c.identify_sample = s(c.identify_sample);
+  c.identify_abort = s(c.identify_abort);
+  c.identify_class_base = s(c.identify_class_base);
+  c.eval_load = s(c.eval_load);
+  c.class_size = s(c.class_size);
+  return c;
+}
+
+}  // namespace qclique

@@ -1,0 +1,66 @@
+// The paper's numeric constants, gathered in one configurable profile.
+//
+// The proofs choose generous constants (10 log n sampling rates, 90 log n
+// promises, thresholds like 100 n^{1/4} log n) so every Chernoff bound has
+// slack at astronomically large n. At simulable sizes those constants
+// degenerate: sampling probabilities cap at 1 and thresholds exceed the
+// whole population, so the interesting regime (real sampling, real load
+// limits) never activates. Every algorithm therefore reads its constants
+// from this struct: `paper()` is the faithful default, `scaled(f)` shrinks
+// the multiplicative constants by f so tests and benches can exercise the
+// tail events the paper's analysis is about.
+#pragma once
+
+#include <cstdint>
+
+namespace qclique {
+
+/// Multiplicative constants of the paper's algorithms. Fields are named
+/// after the expressions they scale.
+struct Constants {
+  /// Lambda_x(u,v) sampling rate: pair kept with prob c * log n / sqrt(n)
+  /// (Section 5.1 partition procedure; paper c = 10).
+  double lambda_sample = 10.0;
+
+  /// Well-balancedness threshold: Lambda_x(u,v) is well-balanced if every
+  /// u-row holds <= c * n^{1/4} * log n sampled pairs (Lemma 2; paper 100).
+  double balance_threshold = 100.0;
+
+  /// The FindEdgesWithPromise promise: Gamma(u,v) <= c log n (paper 90).
+  double promise = 90.0;
+
+  /// Proposition 1 edge-sampling: at loop iteration i each edge survives
+  /// with prob sqrt(c * 2^i * log n / n), and the loop runs while
+  /// c * 2^i * log n <= n (paper c = 60).
+  double prop1_sample = 60.0;
+
+  /// IdentifyClass R-sampling rate: c * log n / n (Figure 2; paper 10).
+  double identify_sample = 10.0;
+
+  /// IdentifyClass abort threshold: abort if |Lambda(u)| > c log n
+  /// (Figure 2; paper 20).
+  double identify_abort = 20.0;
+
+  /// IdentifyClass class boundaries: cuvw = min { c >= 0 : duvw <
+  /// identify_class_base * 2^c * log n } (Figure 2; paper 10).
+  double identify_class_base = 10.0;
+
+  /// Evaluation-procedure list-size promise: |L^k_w| <= c * 2^alpha *
+  /// sqrt(n) * log n (Figures 4-5; paper 800).
+  double eval_load = 800.0;
+
+  /// Class-size bound |T_alpha[u,v]| <= c * sqrt(n) * log n / 2^alpha
+  /// (Lemma 4; paper 720). Also sets the alpha > 0 duplication factor
+  /// 2^alpha / (c * log n) of Section 5.3.2.
+  double class_size = 720.0;
+
+  /// The paper's values.
+  static Constants paper() { return Constants{}; }
+
+  /// All multiplicative constants scaled by `f` (f < 1 activates the
+  /// sampling/threshold regime at small n). Values clamp below at a small
+  /// positive floor so probabilities and thresholds stay meaningful.
+  static Constants scaled(double f);
+};
+
+}  // namespace qclique

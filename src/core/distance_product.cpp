@@ -1,0 +1,103 @@
+#include "core/distance_product.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace qclique {
+
+TriangleProductResult distance_product_via_triangles(
+    const DistMatrix& a, const DistMatrix& b, const DistanceProductOptions& options,
+    Rng& rng) {
+  const std::uint32_t n = a.size();
+  QCLIQUE_CHECK(b.size() == n, "distance product size mismatch");
+  TriangleProductResult res(n);
+
+  // Entry range: finite entries of A, B lie within [-M, M]; sums within
+  // [-2M, 2M]. The sentinel guess 2M+1 distinguishes +inf results.
+  std::int64_t m_bound = std::max<std::int64_t>(
+      {1, a.max_abs_finite(), b.max_abs_finite()});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      QCLIQUE_CHECK(!is_minus_inf(a.at(i, j)) && !is_minus_inf(b.at(i, j)),
+                    "-inf entries are not supported by the reduction");
+    }
+  }
+  const std::int64_t lo0 = -2 * m_bound;
+  const std::int64_t hi0 = 2 * m_bound + 2;  // exclusive sentinel
+
+  // Per-entry brackets: lo = smallest still-possible "first d with C < d";
+  // entries are resolved when lo == hi.
+  std::vector<std::int64_t> lo(static_cast<std::size_t>(n) * n, lo0);
+  std::vector<std::int64_t> hi(static_cast<std::size_t>(n) * n, hi0);
+
+  auto unresolved = [&]() {
+    for (std::size_t e = 0; e < lo.size(); ++e) {
+      if (lo[e] < hi[e]) return true;
+    }
+    return false;
+  };
+
+  while (unresolved()) {
+    // Build the guess matrix D: mid for active entries, a silent value for
+    // resolved ones (D = lo0 makes "C < D" false for every achievable C, so
+    // resolved entries contribute no triangles and no noise).
+    DistMatrix d(n, lo0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        const std::size_t e = static_cast<std::size_t>(i) * n + j;
+        if (lo[e] < hi[e]) {
+          // Floor midpoint (works for negative values too).
+          std::int64_t mid = lo[e] + (hi[e] - lo[e]) / 2;
+          d.set(i, j, mid);
+        }
+      }
+    }
+    const WeightedGraph gadget = tripartite_gadget(a, b, d);
+    Rng child = rng.split();
+    const FindEdgesResult fe = find_edges(gadget, options.find_edges, child);
+    ++res.find_edges_calls;
+    res.ledger.absorb(fe.ledger);
+
+    // Hot I-J pairs: C[i,j] < D[i,j].
+    std::vector<bool> hot(static_cast<std::size_t>(n) * n, false);
+    for (const auto& pr : fe.hot_pairs) {
+      // Gadget labels: I = [0,n), J = [n,2n), K = [2n,3n).
+      const auto [pa, ia] = tripartite_decode(pr.a, n);
+      const auto [pb, ib] = tripartite_decode(pr.b, n);
+      if (pa == 0 && pb == 1) {
+        hot[static_cast<std::size_t>(ia) * n + ib] = true;
+      } else if (pa == 1 && pb == 0) {
+        hot[static_cast<std::size_t>(ib) * n + ia] = true;
+      }
+      // I-K / J-K hot pairs exist too; they carry no information here.
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        const std::size_t e = static_cast<std::size_t>(i) * n + j;
+        if (lo[e] >= hi[e]) continue;
+        const std::int64_t mid = lo[e] + (hi[e] - lo[e]) / 2;
+        if (hot[e]) {
+          hi[e] = mid;  // C < mid: first-true d is <= mid
+        } else {
+          lo[e] = mid + 1;  // C >= mid
+        }
+      }
+    }
+  }
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const std::size_t e = static_cast<std::size_t>(i) * n + j;
+      // lo = smallest d with C[i,j] < d, i.e. C = lo - 1; lo beyond the
+      // probe range means no finite sum exists.
+      res.product.set(i, j, lo[e] >= hi0 ? kPlusInf : lo[e] - 1);
+    }
+  }
+  res.rounds = res.ledger.total_rounds();
+  return res;
+}
+
+}  // namespace qclique

@@ -1,0 +1,42 @@
+// Distance product via negative-triangle detection: the Vassilevska
+// Williams-Williams reduction (Proposition 2).
+//
+// To compute C = A * B (min-plus) for matrices with entries in
+// {-M..M} u {+inf}, maintain per-entry binary-search brackets over the
+// achievable range [-2M, 2M+1]; each refinement step materializes the guess
+// matrix D, builds the tripartite gadget graph on 3n vertices (f(i,k) =
+// A[i,k], f(j,k) = B[k,j], f(i,j) = -D[i,j]), and runs FindEdges: the pair
+// {i, j} lies in a negative triangle exactly when C[i,j] < D[i,j]
+// (Inequality (1)). O(log M) FindEdges calls resolve every entry.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/round_ledger.hpp"
+#include "core/find_edges.hpp"
+#include "matrix/dist_matrix.hpp"
+
+namespace qclique {
+
+/// Knobs for the reduction.
+struct DistanceProductOptions {
+  FindEdgesOptions find_edges;
+};
+
+/// Result of a distance product computed through the reduction.
+struct TriangleProductResult {
+  DistMatrix product;
+  std::uint64_t rounds = 0;
+  std::uint64_t find_edges_calls = 0;
+  RoundLedger ledger;
+
+  explicit TriangleProductResult(std::uint32_t n) : product(n) {}
+};
+
+/// Computes A * B through the Proposition 2 reduction. Entries of A and B
+/// must be finite in [-M, M] or +inf; -inf is rejected.
+TriangleProductResult distance_product_via_triangles(
+    const DistMatrix& a, const DistMatrix& b, const DistanceProductOptions& options,
+    Rng& rng);
+
+}  // namespace qclique

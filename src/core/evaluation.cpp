@@ -1,0 +1,183 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "congest/lenzen.hpp"
+#include "graph/triangles.hpp"
+
+namespace qclique {
+
+double eval_list_promise(std::uint32_t n, std::uint32_t alpha,
+                         const Constants& constants) {
+  return constants.eval_load * std::pow(2.0, alpha) *
+         std::sqrt(static_cast<double>(n)) * paper_log(n);
+}
+
+std::uint32_t duplication_factor(std::uint32_t n, std::uint32_t alpha,
+                                 const Constants& constants) {
+  const double d = std::pow(2.0, alpha) / (constants.class_size * paper_log(n));
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::floor(d)));
+}
+
+EvalRunStats run_evaluation(CliqueNetwork& net, const WeightedGraph& g,
+                            const Partitions& parts, std::uint32_t ub,
+                            std::uint32_t vb, std::uint32_t alpha,
+                            const std::vector<std::uint32_t>& t_alpha,
+                            const EvalQuerySet& queries,
+                            const Constants& constants, bool include_duplication) {
+  const std::uint32_t n = parts.n();
+  const std::uint32_t num_x = parts.num_wblocks();
+  QCLIQUE_CHECK(queries.queries.size() == num_x,
+                "EvalQuerySet must have one entry per x-node");
+  EvalRunStats stats;
+  stats.answers.assign(num_x, {});
+  const std::uint64_t rounds_before = net.ledger().total_rounds();
+  const std::uint32_t dup = duplication_factor(n, alpha, constants);
+  const double promise = eval_list_promise(n, alpha, constants);
+  const std::string phase = "eval/alpha" + std::to_string(alpha);
+
+  // --- Figure 5 Step 0: duplicate (u, v, w) data onto helper nodes. -------
+  if (include_duplication && dup > 1) {
+    const std::uint64_t dup_before = net.ledger().total_rounds();
+    std::vector<Message> batch;
+    const auto us = parts.vblock_vertices(ub);
+    const auto vs = parts.vblock_vertices(vb);
+    for (std::uint32_t wb : t_alpha) {
+      const NodeId src = parts.t_node(ub, vb, wb);
+      const auto ws = parts.wblock_vertices(wb);
+      for (std::uint32_t y = 1; y < dup; ++y) {  // y = 0 is the original
+        const NodeId dst = parts.dup_node(ub, vb, wb, y, dup);
+        if (dst == src) continue;
+        // Ship every stored weight f(u, w') and f(w', v): 3 fields each.
+        for (std::uint32_t w : ws) {
+          for (std::uint32_t u : us) {
+            if (!g.has_edge(u, w)) continue;
+            Message m;
+            m.src = src;
+            m.dst = dst;
+            m.payload.tag = 50;
+            m.payload.push(u);
+            m.payload.push(w);
+            m.payload.push(g.weight(u, w));
+            batch.push_back(m);
+          }
+          for (std::uint32_t v : vs) {
+            if (!g.has_edge(w, v)) continue;
+            Message m;
+            m.src = src;
+            m.dst = dst;
+            m.payload.tag = 50;
+            m.payload.push(w);
+            m.payload.push(v);
+            m.payload.push(g.weight(w, v));
+            batch.push_back(m);
+          }
+        }
+      }
+    }
+    route(net, batch, phase + "/duplicate");
+    net.clear_inboxes();
+    stats.duplication_rounds = net.ledger().total_rounds() - dup_before;
+  }
+
+  // --- Step 1: build the lists L^k_w and ship them. ------------------------
+  // Query payload: [u, v, f(u,v), slot] where slot lets the responder route
+  // the answer bit back to the right search. For alpha > 0 the list toward
+  // block w is split across the dup helper nodes round-robin.
+  std::vector<Message> query_batch;
+  // Track per (x, w) list sizes for the promise audit.
+  std::vector<std::uint64_t> list_len(static_cast<std::size_t>(num_x) * t_alpha.size(),
+                                      0);
+  for (std::uint32_t x = 0; x < num_x; ++x) {
+    const NodeId src = parts.x_node(ub, vb, x);
+    for (std::uint32_t i = 0; i < queries.queries[x].size(); ++i) {
+      const auto& [pair, wpos] = queries.queries[x][i];
+      QCLIQUE_CHECK(wpos < t_alpha.size(), "query outside T_alpha");
+      const std::uint32_t wb = t_alpha[wpos];
+      const std::uint64_t len =
+          ++list_len[static_cast<std::size_t>(x) * t_alpha.size() + wpos];
+      const std::uint32_t y = static_cast<std::uint32_t>(len % dup);
+      const NodeId dst = dup == 1 ? parts.t_node(ub, vb, wb)
+                                  : parts.dup_node(ub, vb, wb, y, dup);
+      Message m;
+      m.src = src;
+      m.dst = dst;
+      m.payload.tag = 51;
+      m.payload.push(pair.a);
+      m.payload.push(pair.b);
+      m.payload.push(g.weight(pair.a, pair.b));
+      m.payload.push(static_cast<std::int64_t>(
+          (static_cast<std::uint64_t>(x) << 20) | i));  // reply slot
+      if (m.src == m.dst) {
+        net.deposit(m);
+      } else {
+        query_batch.push_back(m);
+      }
+      ++stats.messages;
+    }
+  }
+  for (std::uint64_t len : list_len) {
+    stats.max_list_len = std::max(stats.max_list_len, len);
+    if (static_cast<double>(len) > promise) ++stats.promise_violations;
+  }
+  route(net, query_batch, phase + "/queries");
+
+  // --- Step 2: responders check Inequality (2) and reply. ------------------
+  // Note: the paper's Figure 4 writes "min <= f(u,v)"; Definition 1 requires
+  // f(u,v) + f(u,w) + f(w,v) < 0, i.e. min_{w} (f(u,w) + f(w,v)) < -f(u,v).
+  // We implement the Definition 1 form (the Figure's inequality appears to
+  // drop the sign flip from the distance-product gadget where f(i,j) =
+  // -D[i,j]).
+  std::vector<Message> reply_batch;
+  // Responders need to know which W-block a query addressed; the mapping
+  // (dst node, dup slot) -> wb is known from the labeling scheme, but for
+  // the simulation we simply re-derive the answer from the queried block.
+  // Build a reverse index: which (x, i) queried which wb.
+  for (std::uint32_t x = 0; x < num_x; ++x) {
+    stats.answers[x].assign(queries.queries[x].size(), false);
+  }
+  // Consume the delivered queries from inboxes to keep message flow honest.
+  for (NodeId v = 0; v < net.size(); ++v) {
+    auto& box = net.inbox(v);
+    std::erase_if(box, [](const Message& m) {
+      return m.payload.tag == 51 || m.payload.tag == 50;
+    });
+  }
+  for (std::uint32_t x = 0; x < num_x; ++x) {
+    const NodeId xnode = parts.x_node(ub, vb, x);
+    for (std::uint32_t i = 0; i < queries.queries[x].size(); ++i) {
+      const auto& [pair, wpos] = queries.queries[x][i];
+      const std::uint32_t wb = t_alpha[wpos];
+      const auto ws = parts.wblock_vertices(wb);
+      const bool hit = exists_negative_triangle_via(g, pair.a, pair.b, ws);
+      stats.answers[x][i] = hit;
+      // Reply: one field (slot | bit). Same (src, dst) profile as the query,
+      // reversed.
+      const std::uint64_t len_slot =
+          static_cast<std::size_t>(x) * t_alpha.size() + wpos;
+      const std::uint32_t y = static_cast<std::uint32_t>(list_len[len_slot] % dup);
+      const NodeId responder = dup == 1 ? parts.t_node(ub, vb, wb)
+                                        : parts.dup_node(ub, vb, wb, y, dup);
+      if (responder == xnode) continue;  // local answer
+      Message m;
+      m.src = responder;
+      m.dst = xnode;
+      m.payload.tag = 52;
+      m.payload.push(static_cast<std::int64_t>(
+          ((static_cast<std::uint64_t>(x) << 20) | i) << 1 | (hit ? 1 : 0)));
+      reply_batch.push_back(m);
+    }
+  }
+  route(net, reply_batch, phase + "/replies");
+  for (NodeId v = 0; v < net.size(); ++v) {
+    auto& box = net.inbox(v);
+    std::erase_if(box, [](const Message& m) { return m.payload.tag == 52; });
+  }
+
+  stats.rounds = net.ledger().total_rounds() - rounds_before;
+  return stats;
+}
+
+}  // namespace qclique

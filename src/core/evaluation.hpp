@@ -1,0 +1,71 @@
+// The checking (evaluation) procedures of Figures 4 and 5.
+//
+// During Step 3 of ComputePairs each node (u, v, x) runs m parallel Grover
+// searches over T_alpha[u, v]; each Grover iteration needs one *joint
+// evaluation*: every search ships its queried W-block a message ("does some
+// w in this block close a negative triangle over my pair?") and receives
+// one bit back. Figure 4 (alpha = 0) sends list L^k_w directly to node
+// (u, v, w); Figure 5 (alpha > 0) first duplicates each (u, v, w) node's
+// Step 1 data onto 2^alpha / (class_size * log n) helper nodes (u, v, w, y)
+// and splits the lists across them, which restores O~(1)-round checking
+// despite the 2^alpha-fold heavier lists.
+//
+// In the simulation the evaluation runs once per (block pair, alpha) with
+// queries *sampled* from the searches' current Born distributions: the
+// measured round cost of that run is the `r` charged per oracle call by
+// the quantum cost model (Le Gall-Magniez conversion), and the run also
+// audits the |L^k_w| <= eval_load * 2^alpha * sqrt(n) * log n promise that
+// Theorem 3's typical-input machinery guarantees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "core/constants.hpp"
+#include "core/partitions.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace qclique {
+
+/// One sampled joint query set for a block pair: for every x-node, the
+/// W-block position (index into t_alpha) each active search queries, and
+/// the pair it is searching for.
+struct EvalQuerySet {
+  /// queries[x] = list of (pair, queried index into t_alpha).
+  std::vector<std::vector<std::pair<VertexPair, std::uint32_t>>> queries;
+};
+
+/// Outcome of one evaluation run.
+struct EvalRunStats {
+  std::uint64_t rounds = 0;             // measured message rounds
+  std::uint64_t duplication_rounds = 0; // Figure 5 step 0 (included in rounds)
+  std::uint64_t messages = 0;
+  std::uint64_t max_list_len = 0;       // max |L^k_w| observed
+  std::uint64_t promise_violations = 0; // lists exceeding the promise
+  /// answers[x][i] = evaluation bit for queries.queries[x][i].
+  std::vector<std::vector<bool>> answers;
+};
+
+/// The list-size promise threshold eval_load * 2^alpha * sqrt(n) * log n.
+double eval_list_promise(std::uint32_t n, std::uint32_t alpha,
+                         const Constants& constants);
+
+/// The Figure 5 duplication factor max(1, floor(2^alpha / (class_size *
+/// log n))) (1 means no duplication, which also covers Figure 4).
+std::uint32_t duplication_factor(std::uint32_t n, std::uint32_t alpha,
+                                 const Constants& constants);
+
+/// Executes the evaluation procedure for block pair (ub, vb) and class
+/// alpha over domain `t_alpha` (list of W-block ids). Queries follow
+/// `queries`; answers are computed from g. `include_duplication` runs the
+/// Figure 5 step 0 broadcast (callers set it for the first evaluation of a
+/// given alpha only -- the duplicated data persists).
+EvalRunStats run_evaluation(CliqueNetwork& net, const WeightedGraph& g,
+                            const Partitions& parts, std::uint32_t ub,
+                            std::uint32_t vb, std::uint32_t alpha,
+                            const std::vector<std::uint32_t>& t_alpha,
+                            const EvalQuerySet& queries,
+                            const Constants& constants, bool include_duplication);
+
+}  // namespace qclique

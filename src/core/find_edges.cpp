@@ -1,0 +1,82 @@
+#include "core/find_edges.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+
+namespace {
+
+/// Runs ComputePairs with abort retries (fresh randomness each time).
+ComputePairsResult run_with_retries(const WeightedGraph& g,
+                                    const std::vector<VertexPair>& s,
+                                    const FindEdgesOptions& options, Rng& rng,
+                                    FindEdgesResult& agg) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    Rng child = rng.split();
+    ComputePairsResult r = compute_pairs(g, s, options.compute_pairs, child);
+    ++agg.compute_pairs_calls;
+    agg.ledger.absorb(r.ledger);
+    if (!r.aborted) return r;
+    ++agg.aborts_retried;
+    QCLIQUE_CHECK(attempt < options.max_abort_retries,
+                  "compute_pairs aborted too many times");
+  }
+}
+
+}  // namespace
+
+FindEdgesResult find_edges(const WeightedGraph& g, const FindEdgesOptions& options,
+                           Rng& rng) {
+  const std::uint32_t n = g.size();
+  FindEdgesResult res;
+  const Constants& cst = options.compute_pairs.constants;
+
+  // S <- P(V); M <- empty.
+  std::vector<VertexPair> s;
+  s.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) s.emplace_back(u, v);
+  }
+  std::set<VertexPair> m_found;
+
+  // While c * 2^i * log n <= n: sample, solve, peel off the found pairs.
+  const double logn = paper_log(n);
+  for (std::uint32_t i = 0; cst.prop1_sample * std::pow(2.0, i) * logn <=
+                            static_cast<double>(n);
+       ++i) {
+    ++res.loop_iterations;
+    const double p =
+        std::sqrt(cst.prop1_sample * std::pow(2.0, i) * logn / static_cast<double>(n));
+    Rng grng = rng.split();
+    WeightedGraph gs = g.sample_edges(std::min(1.0, p), grng);
+    // Keep every S-pair's own edge (see header note).
+    for (const auto& pr : s) {
+      if (g.has_edge(pr.a, pr.b)) gs.set_edge(pr.a, pr.b, g.weight(pr.a, pr.b));
+    }
+    const ComputePairsResult step = run_with_retries(gs, s, options, rng, res);
+    if (!step.hot_pairs.empty()) {
+      for (const auto& pr : step.hot_pairs) m_found.insert(pr);
+      std::vector<VertexPair> remaining;
+      remaining.reserve(s.size());
+      std::set_difference(s.begin(), s.end(), step.hot_pairs.begin(),
+                          step.hot_pairs.end(), std::back_inserter(remaining));
+      s = std::move(remaining);
+    }
+  }
+
+  // Final call on the full graph.
+  const ComputePairsResult last = run_with_retries(g, s, options, rng, res);
+  for (const auto& pr : last.hot_pairs) m_found.insert(pr);
+
+  res.hot_pairs.assign(m_found.begin(), m_found.end());
+  std::sort(res.hot_pairs.begin(), res.hot_pairs.end());
+  res.rounds = res.ledger.total_rounds();
+  return res;
+}
+
+}  // namespace qclique

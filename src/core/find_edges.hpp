@@ -1,0 +1,47 @@
+// FindEdges via Proposition 1: the randomized reduction from the general
+// problem (no promise on Gamma) to O(log n) FindEdgesWithPromise calls.
+//
+// Algorithm B of the paper: starting from S = P(V), repeatedly run
+// ComputePairs on an edge-sampled subgraph G' whose sampling rate doubles
+// each iteration -- pairs with many negative triangles survive sampling and
+// are removed from S early, so by the time the full graph is used, every
+// remaining pair satisfies the Gamma <= promise * log n promise.
+//
+// Sampling detail: the analysis treats the pair {u, v} under test as always
+// present and samples only the two w-legs (E[Gamma_G'] = Gamma_G * p^2).
+// We therefore keep every S-pair's own edge and sample the rest, which
+// preserves soundness exactly (G' is a subgraph of G, so any triangle found
+// is real) and matches the intended expectation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/round_ledger.hpp"
+#include "core/compute_pairs.hpp"
+
+namespace qclique {
+
+/// Knobs for FindEdges.
+struct FindEdgesOptions {
+  ComputePairsOptions compute_pairs;
+  /// Retries per abort (Lemma 2 / IdentifyClass tail events).
+  std::uint32_t max_abort_retries = 5;
+};
+
+/// Result of FindEdges.
+struct FindEdgesResult {
+  std::vector<VertexPair> hot_pairs;  // sorted, unique
+  std::uint64_t rounds = 0;
+  RoundLedger ledger;
+  std::uint64_t compute_pairs_calls = 0;
+  std::uint64_t loop_iterations = 0;
+  std::uint64_t aborts_retried = 0;
+};
+
+/// Solves FindEdges on g: every pair of P(V) involved in a negative
+/// triangle (Proposition 1 reduction over ComputePairs).
+FindEdgesResult find_edges(const WeightedGraph& g, const FindEdgesOptions& options,
+                           Rng& rng);
+
+}  // namespace qclique

@@ -1,0 +1,148 @@
+#include "core/identify_class.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "congest/primitives.hpp"
+#include "graph/triangles.hpp"
+
+namespace qclique {
+
+std::vector<std::uint32_t> IdentifyClassResult::t_alpha(std::uint32_t ub,
+                                                        std::uint32_t vb,
+                                                        std::uint32_t a,
+                                                        std::uint32_t num_vblocks) const {
+  std::vector<std::uint32_t> out;
+  const auto& row = classes[static_cast<std::size_t>(ub) * num_vblocks + vb];
+  for (std::uint32_t wb = 0; wb < row.size(); ++wb) {
+    if (row[wb] == a) out.push_back(wb);
+  }
+  return out;
+}
+
+std::uint64_t delta_exact(const WeightedGraph& g, const Partitions& parts,
+                          const std::vector<VertexPair>& s_pairs, std::uint32_t ub,
+                          std::uint32_t vb, std::uint32_t wb) {
+  const auto ws = parts.wblock_vertices(wb);
+  std::uint64_t count = 0;
+  for (const auto& [u, v] : parts.block_pairs(ub, vb)) {
+    if (!std::binary_search(s_pairs.begin(), s_pairs.end(), VertexPair(u, v))) {
+      continue;
+    }
+    for (std::uint32_t w : ws) {
+      if (is_negative_triangle(g, u, v, w)) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+IdentifyClassResult identify_class(CliqueNetwork& net, const WeightedGraph& g,
+                                   const Partitions& parts,
+                                   const std::vector<VertexPair>& s_pairs,
+                                   const Constants& constants, Rng& rng) {
+  const std::uint32_t n = parts.n();
+  IdentifyClassResult res;
+  const std::uint64_t rounds_before = net.ledger().total_rounds();
+
+  // --- Step 1: each node u samples Lambda(u) from its S-neighborhood. -----
+  const double p = std::min(1.0, constants.identify_sample * paper_log(n) /
+                                     static_cast<double>(n));
+  const double abort_threshold = constants.identify_abort * paper_log(n);
+  std::vector<std::vector<std::uint32_t>> lambda(n);
+  // Node u's S-neighborhood: pairs {u, v} in S. (S is sorted by VertexPair.)
+  for (const auto& pr : s_pairs) {
+    // Sampling is directional in the paper ("each node u selects v"): both
+    // endpoints get a chance, matching "R = union over u of {u} x Lambda(u)".
+    if (rng.bernoulli(p)) lambda[pr.a].push_back(pr.b);
+    if (rng.bernoulli(p)) lambda[pr.b].push_back(pr.a);
+  }
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (static_cast<double>(lambda[u].size()) > abort_threshold) {
+      res.aborted = true;
+      res.rounds = net.ledger().total_rounds() - rounds_before;
+      return res;
+    }
+  }
+
+  // --- Broadcast Lambda(u) with weights: R becomes public. ----------------
+  // Fields per entry: (v, f(u, v)); receivers attribute entries to u = src.
+  // All broadcasts are enqueued before a single drain: different sources use
+  // disjoint links, so the whole exchange costs max_u ceil(2|Lambda(u)| / B)
+  // rounds, not the sum.
+  const std::size_t budget = net.config().fields_per_message;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (lambda[u].empty()) continue;
+    std::vector<std::int64_t> fields;
+    for (std::uint32_t v : lambda[u]) {
+      fields.push_back(static_cast<std::int64_t>(v));
+      fields.push_back(g.weight(u, v));
+    }
+    for (std::size_t base = 0; base < fields.size(); base += budget) {
+      Payload p;
+      p.tag = 41;
+      for (std::size_t i = base; i < std::min(fields.size(), base + budget); ++i) {
+        p.push(fields[i]);
+      }
+      for (NodeId v = 0; v < n; ++v) {
+        if (v != u) net.send(static_cast<NodeId>(u), v, p);
+      }
+    }
+  }
+  net.run_until_drained("identify/broadcast");
+  net.clear_inboxes();  // contents are the public R; modeled globally below
+
+  // The public set R (every node now knows it).
+  std::set<VertexPair> r_set;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v : lambda[u]) r_set.insert(VertexPair(u, v));
+  }
+  res.sampled_pairs = r_set.size();
+
+  // --- Step 2: local duvw and cuvw per triple. -----------------------------
+  // Node (u, v, w) already holds f(u, w'), f(w', v) for w' in w from Step 1
+  // of ComputePairs and learned R (with weights) above, so duvw is local.
+  const std::uint32_t B = parts.num_vblocks();
+  const std::uint32_t Wb = parts.num_wblocks();
+  res.classes.assign(static_cast<std::size_t>(B) * B,
+                     std::vector<std::uint32_t>(Wb, 0));
+  const double base = constants.identify_class_base * paper_log(n);
+  // Bucket R by (u-block, v-block); a pair whose endpoints sit in distinct
+  // V-blocks belongs to both orientations, matching P(u, v) = P(v, u).
+  std::vector<std::vector<VertexPair>> r_by_blocks(static_cast<std::size_t>(B) * B);
+  for (const auto& pr : r_set) {
+    const std::uint32_t ba = parts.vblock_of(pr.a);
+    const std::uint32_t bb = parts.vblock_of(pr.b);
+    r_by_blocks[static_cast<std::size_t>(ba) * B + bb].push_back(pr);
+    if (ba != bb) r_by_blocks[static_cast<std::size_t>(bb) * B + ba].push_back(pr);
+  }
+  for (std::uint32_t ub = 0; ub < B; ++ub) {
+    for (std::uint32_t vb = 0; vb < B; ++vb) {
+      const auto& rpairs = r_by_blocks[static_cast<std::size_t>(ub) * B + vb];
+      for (std::uint32_t wb = 0; wb < Wb; ++wb) {
+        const auto ws = parts.wblock_vertices(wb);
+        std::uint64_t duvw = 0;
+        for (const auto& pr : rpairs) {
+          for (std::uint32_t w : ws) {
+            if (is_negative_triangle(g, pr.a, pr.b, w)) {
+              ++duvw;
+              break;
+            }
+          }
+        }
+        std::uint32_t c = 0;
+        while (static_cast<double>(duvw) >= base * std::pow(2.0, c)) ++c;
+        res.classes[static_cast<std::size_t>(ub) * B + vb][wb] = c;
+        res.max_alpha = std::max(res.max_alpha, c);
+      }
+    }
+  }
+  res.rounds = net.ledger().total_rounds() - rounds_before;
+  return res;
+}
+
+}  // namespace qclique

@@ -1,0 +1,67 @@
+// Algorithm IdentifyClass (Figure 2) and the class structure of Section 5.2.
+//
+// The quantity Delta(u, v; w) -- how many S-pairs of P(u, v) close a
+// negative triangle through W-block w -- controls how much traffic the
+// checking procedure sends toward node (u, v, w). IdentifyClass estimates
+// it for every triple by sampling a public random pair set R (each node u
+// samples neighbors into Lambda(u) with prob identify_sample * log n / n
+// and broadcasts them with weights), counting
+//   duvw = |{ pairs of P(u, v) /\ R : some w in w closes a negative
+//             triangle }|
+// locally, and assigning the class index
+//   cuvw = min { c >= 0 : duvw < identify_class_base * 2^c * log n }.
+// Proposition 5: with probability 1 - 2/n the protocol does not abort and
+// 2^{alpha-3} n <= |Delta| <= 2^{alpha+1} n for every triple in class
+// alpha > 0 (and |Delta| <= 2n in class 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "core/constants.hpp"
+#include "core/partitions.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace qclique {
+
+class Rng;
+
+/// Output of IdentifyClass: one class index per triple, encoded as
+/// classes[ub][vb][wb] = alpha.
+struct IdentifyClassResult {
+  bool aborted = false;
+  /// classes[ub * B + vb][wb] = cuvw, with B = num_vblocks.
+  std::vector<std::vector<std::uint32_t>> classes;
+  /// Largest class index assigned.
+  std::uint32_t max_alpha = 0;
+  /// |R| (diagnostic).
+  std::uint64_t sampled_pairs = 0;
+  std::uint64_t rounds = 0;
+
+  std::uint32_t alpha(std::uint32_t ub, std::uint32_t vb, std::uint32_t wb,
+                      std::uint32_t num_vblocks) const {
+    return classes[static_cast<std::size_t>(ub) * num_vblocks + vb][wb];
+  }
+
+  /// T_alpha[u, v]: the W-blocks of class `a` for block pair (ub, vb).
+  std::vector<std::uint32_t> t_alpha(std::uint32_t ub, std::uint32_t vb,
+                                     std::uint32_t a,
+                                     std::uint32_t num_vblocks) const;
+};
+
+/// The exact |Delta(u, v; w)| (centralized oracle used by tests and by
+/// Proposition 5 validation; the protocol itself never computes it).
+std::uint64_t delta_exact(const WeightedGraph& g, const Partitions& parts,
+                          const std::vector<VertexPair>& s_pairs, std::uint32_t ub,
+                          std::uint32_t vb, std::uint32_t wb);
+
+/// Runs IdentifyClass on the network (rounds measured: the Lambda(u)
+/// broadcast goes through real messages; duvw / cuvw are local).
+/// `s_pairs` is the promise set S, sorted.
+IdentifyClassResult identify_class(CliqueNetwork& net, const WeightedGraph& g,
+                                   const Partitions& parts,
+                                   const std::vector<VertexPair>& s_pairs,
+                                   const Constants& constants, Rng& rng);
+
+}  // namespace qclique

@@ -1,0 +1,53 @@
+#include "core/lambda_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace qclique {
+
+double lambda_sample_probability(std::uint32_t n, const Constants& constants) {
+  const double p = constants.lambda_sample * paper_log(n) /
+                   std::max(1.0, std::sqrt(static_cast<double>(n)));
+  return std::min(1.0, p);
+}
+
+double lambda_balance_threshold(std::uint32_t n, const Constants& constants) {
+  return constants.balance_threshold *
+         static_cast<double>(iroot4_ceil(n)) * paper_log(n);
+}
+
+LambdaFamily sample_lambda_family(const Partitions& parts, std::uint32_t ub,
+                                  std::uint32_t vb, const Constants& constants,
+                                  Rng& rng) {
+  const std::uint32_t n = parts.n();
+  const double p = lambda_sample_probability(n, constants);
+  const double threshold = lambda_balance_threshold(n, constants);
+  const auto all_pairs = parts.block_pairs(ub, vb);
+  const std::uint32_t num_x = parts.num_wblocks();
+
+  LambdaFamily fam;
+  fam.sets.resize(num_x);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> covered;
+  for (std::uint32_t x = 0; x < num_x; ++x) {
+    auto& set = fam.sets[x];
+    std::map<std::uint32_t, std::uint64_t> row_load;
+    for (const auto& pr : all_pairs) {
+      if (!rng.bernoulli(p)) continue;
+      set.push_back(pr);
+      covered.insert(pr);
+      const std::uint64_t load = ++row_load[pr.first];
+      fam.max_row_load = std::max(fam.max_row_load, load);
+    }
+    for (const auto& [u, load] : row_load) {
+      if (static_cast<double>(load) > threshold) fam.well_balanced = false;
+    }
+  }
+  fam.covers = covered.size() == all_pairs.size();
+  return fam;
+}
+
+}  // namespace qclique

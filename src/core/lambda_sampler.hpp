@@ -1,0 +1,46 @@
+// The partition procedure of Section 5.1: random covering sets
+// Lambda_x(u, v) and the well-balancedness predicate of Lemma 2.
+//
+// Each node (u, v, x) keeps each pair {u, v} in P(u, v) independently with
+// probability `lambda_sample * log n / sqrt(n)`. The set is well-balanced
+// when no single u-row contributes more than `balance_threshold * n^{1/4} *
+// log n` pairs; ComputePairs aborts otherwise (a <= 2/n probability event
+// by Lemma 2), and the union over x must cover P(u, v).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/constants.hpp"
+#include "core/partitions.hpp"
+
+namespace qclique {
+
+class Rng;
+
+/// The sampled sets for one (u-block, v-block) and all x in [sqrt(n)].
+struct LambdaFamily {
+  /// sets[x] = pairs (u, v) of Lambda_x(u, v), in P(u, v) order.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> sets;
+  /// Was every set well-balanced?
+  bool well_balanced = true;
+  /// Did the union of sets cover P(u, v)?
+  bool covers = true;
+  /// Largest per-u row load observed across sets (Lemma 2 statistic).
+  std::uint64_t max_row_load = 0;
+};
+
+/// The sampling probability min(1, c log n / sqrt(n)).
+double lambda_sample_probability(std::uint32_t n, const Constants& constants);
+
+/// The well-balancedness row threshold c * n^{1/4} * log n.
+double lambda_balance_threshold(std::uint32_t n, const Constants& constants);
+
+/// Runs the partition procedure for block pair (ub, vb): constructs
+/// Lambda_x(u, v) for every x, evaluates well-balancedness and coverage.
+/// (Callers treat !well_balanced as the Lemma 2 abort event.)
+LambdaFamily sample_lambda_family(const Partitions& parts, std::uint32_t ub,
+                                  std::uint32_t vb, const Constants& constants,
+                                  Rng& rng);
+
+}  // namespace qclique

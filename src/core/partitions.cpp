@@ -1,0 +1,83 @@
+#include "core/partitions.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+namespace {
+std::uint64_t clampu(std::uint64_t v, std::uint64_t lo, std::uint64_t hi) {
+  return std::max(lo, std::min(v, hi));
+}
+}  // namespace
+
+Partitions::Partitions(std::uint32_t n)
+    : n_(n),
+      vblocks_(n, clampu(iroot4_ceil(n), 1, n)),
+      wblocks_(n, clampu(isqrt_ceil(n), 1, n)) {
+  QCLIQUE_CHECK(n >= 1, "Partitions requires n >= 1");
+}
+
+std::vector<std::uint32_t> Partitions::vblock_vertices(std::uint32_t ub) const {
+  QCLIQUE_CHECK(ub < num_vblocks(), "V-block index out of range");
+  std::vector<std::uint32_t> out;
+  for (std::uint64_t v = vblocks_.block_begin(ub); v < vblocks_.block_end(ub); ++v) {
+    out.push_back(static_cast<std::uint32_t>(v));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Partitions::wblock_vertices(std::uint32_t wb) const {
+  QCLIQUE_CHECK(wb < num_wblocks(), "W-block index out of range");
+  std::vector<std::uint32_t> out;
+  for (std::uint64_t v = wblocks_.block_begin(wb); v < wblocks_.block_end(wb); ++v) {
+    out.push_back(static_cast<std::uint32_t>(v));
+  }
+  return out;
+}
+
+NodeId Partitions::t_node(std::uint32_t ub, std::uint32_t vb, std::uint32_t wb) const {
+  QCLIQUE_CHECK(ub < num_vblocks() && vb < num_vblocks() && wb < num_wblocks(),
+                "t_node label out of range");
+  const std::uint64_t idx =
+      (static_cast<std::uint64_t>(ub) * num_vblocks() + vb) * num_wblocks() + wb;
+  return static_cast<NodeId>(idx % n_);
+}
+
+NodeId Partitions::x_node(std::uint32_t ub, std::uint32_t vb, std::uint32_t x) const {
+  QCLIQUE_CHECK(ub < num_vblocks() && vb < num_vblocks() && x < num_wblocks(),
+                "x_node label out of range");
+  const std::uint64_t idx =
+      (static_cast<std::uint64_t>(ub) * num_vblocks() + vb) * num_wblocks() + x;
+  // Offset by one half so the two labelings do not collapse onto the same
+  // physical nodes (both are bijections-modulo-n either way).
+  return static_cast<NodeId>((idx + n_ / 2) % n_);
+}
+
+NodeId Partitions::dup_node(std::uint32_t ub, std::uint32_t vb, std::uint32_t wb,
+                            std::uint32_t y, std::uint32_t dup) const {
+  QCLIQUE_CHECK(dup >= 1 && y < dup, "dup_node duplicate index out of range");
+  const std::uint64_t base =
+      ((static_cast<std::uint64_t>(ub) * num_vblocks() + vb) * num_wblocks() + wb);
+  return static_cast<NodeId>((base * dup + y) % n_);
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> Partitions::block_pairs(
+    std::uint32_t ub, std::uint32_t vb) const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  const auto us = vblock_vertices(ub);
+  const auto vs = vblock_vertices(vb);
+  for (std::uint32_t u : us) {
+    for (std::uint32_t v : vs) {
+      if (ub == vb) {
+        if (u < v) out.emplace_back(u, v);
+      } else if (u != v) {
+        out.emplace_back(u, v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qclique

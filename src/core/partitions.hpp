@@ -1,0 +1,83 @@
+// The vertex partitions and node labeling schemes of Section 5.1.
+//
+// Two partitions of V:
+//   * V-blocks ("V" in the paper): n^{1/4} blocks of n^{3/4} vertices; the
+//     bold u and v of the paper range over these.
+//   * W-blocks ("V'"): sqrt(n) blocks of sqrt(n) vertices; the bold w
+//     ranges over these, and they form the quantum search domain.
+// Two extra labelings of the n network nodes:
+//   * second labeling T = V x V x V' (|T| = n when the roots are exact):
+//     node (u, v, w) gathers the weights of P(u, w) and P(w, v);
+//   * third labeling V x V x [sqrt(n)]: node (u, v, x) runs the searches
+//     for its sampled pair set Lambda_x(u, v).
+// When n is not a perfect fourth power the label spaces can exceed n; label
+// -> node maps then wrap modulo n ("slightly adjust the sizes of the
+// sets"), and the routing layer measures whatever congestion the sharing
+// causes, so the accounting stays honest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/math.hpp"
+#include "congest/message.hpp"
+
+namespace qclique {
+
+/// Partition geometry and labelings for an n-node instance.
+class Partitions {
+ public:
+  explicit Partitions(std::uint32_t n);
+
+  std::uint32_t n() const { return n_; }
+
+  /// Number of V-blocks (~ n^{1/4}).
+  std::uint32_t num_vblocks() const {
+    return static_cast<std::uint32_t>(vblocks_.num_blocks());
+  }
+  /// Number of W-blocks (~ sqrt(n)); also the per-(u,v) search-domain size
+  /// and the range of the third labeling's x coordinate.
+  std::uint32_t num_wblocks() const {
+    return static_cast<std::uint32_t>(wblocks_.num_blocks());
+  }
+
+  const BlockPartition& vblocks() const { return vblocks_; }
+  const BlockPartition& wblocks() const { return wblocks_; }
+
+  /// Vertices of V-block ub.
+  std::vector<std::uint32_t> vblock_vertices(std::uint32_t ub) const;
+  /// Vertices of W-block wb.
+  std::vector<std::uint32_t> wblock_vertices(std::uint32_t wb) const;
+
+  /// V-block containing vertex v.
+  std::uint32_t vblock_of(std::uint32_t v) const {
+    return static_cast<std::uint32_t>(vblocks_.block_of(v));
+  }
+  /// W-block containing vertex v.
+  std::uint32_t wblock_of(std::uint32_t v) const {
+    return static_cast<std::uint32_t>(wblocks_.block_of(v));
+  }
+
+  /// Second labeling: node responsible for triple (ub, vb, wb).
+  NodeId t_node(std::uint32_t ub, std::uint32_t vb, std::uint32_t wb) const;
+
+  /// Third labeling: node responsible for (ub, vb, x), x in [0, sqrt n).
+  NodeId x_node(std::uint32_t ub, std::uint32_t vb, std::uint32_t x) const;
+
+  /// Fourth labeling (Section 5.3.2): node (ub, vb, wb, y) holding the
+  /// y-th duplicate of t_node(ub, vb, wb)'s data, y in [0, dup).
+  NodeId dup_node(std::uint32_t ub, std::uint32_t vb, std::uint32_t wb,
+                  std::uint32_t y, std::uint32_t dup) const;
+
+  /// All unordered pairs {u, v} with u in V-block ub, v in V-block vb,
+  /// u != v -- the paper's P(u, v). For ub == vb this is P(u) (u < v).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> block_pairs(
+      std::uint32_t ub, std::uint32_t vb) const;
+
+ private:
+  std::uint32_t n_;
+  BlockPartition vblocks_;
+  BlockPartition wblocks_;
+};
+
+}  // namespace qclique

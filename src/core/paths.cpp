@@ -1,0 +1,123 @@
+#include "core/paths.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "congest/lenzen.hpp"
+#include "congest/network.hpp"
+
+namespace qclique {
+
+SuccessorResult build_successors(const Digraph& g, const DistMatrix& dist) {
+  const std::uint32_t n = g.size();
+  QCLIQUE_CHECK(dist.size() == n, "distance matrix size mismatch");
+  SuccessorResult res;
+  res.successor.assign(static_cast<std::size_t>(n) * n,
+                       std::numeric_limits<std::uint32_t>::max());
+  CliqueNetwork net(std::max<std::uint32_t>(n, 2));
+
+  // Each node u needs row d(x, *) for every out-neighbor x. Node x owns its
+  // row, so the traffic is: for every arc (u, x), n entries from x to u.
+  // Entries are batched (budget - 1 per message, 1 header field for the
+  // column base; the row owner is the message source).
+  const std::size_t budget = net.config().fields_per_message;
+  QCLIQUE_CHECK(budget >= 2, "build_successors needs >= 2 fields per message");
+  const std::size_t per_msg = budget - 1;
+  std::vector<Message> batch;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t x = 0; x < n; ++x) {
+      if (u == x || !g.has_arc(u, x)) continue;
+      for (std::uint32_t base = 0; base < n;
+           base += static_cast<std::uint32_t>(per_msg)) {
+        Message m;
+        m.src = static_cast<NodeId>(x);
+        m.dst = static_cast<NodeId>(u);
+        m.payload.tag = 70;
+        m.payload.push(base);
+        for (std::uint32_t j = base;
+             j < std::min<std::uint32_t>(n, base + static_cast<std::uint32_t>(per_msg));
+             ++j) {
+          m.payload.push(dist.at(x, j));
+        }
+        batch.push_back(m);
+      }
+    }
+  }
+  route(net, batch, "paths/rows");
+
+  // Hop counts: h(u, v) = fewest edges over weight-shortest u->v paths.
+  // Zero-weight arcs make "any relaxing neighbor" successor choices cyclic;
+  // requiring the hop count to strictly decrease breaks every tie. h is
+  // computed by value iteration over the shortest-path DAG-with-ties (at
+  // most n sweeps; local computation, no extra communication beyond the
+  // rows already gathered).
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> hops(static_cast<std::size_t>(n) * n, kUnset);
+  for (std::uint32_t v = 0; v < n; ++v) hops[static_cast<std::size_t>(v) * n + v] = 0;
+  for (std::uint32_t sweep = 0; sweep < n; ++sweep) {
+    bool changed = false;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (u == v || is_plus_inf(dist.at(u, v))) continue;
+        for (std::uint32_t x = 0; x < n; ++x) {
+          if (x == u || !g.has_arc(u, x)) continue;
+          if (sat_add(g.weight(u, x), dist.at(x, v)) != dist.at(u, v)) continue;
+          const std::uint32_t hx = hops[static_cast<std::size_t>(x) * n + v];
+          if (hx == kUnset) continue;
+          auto& hu = hops[static_cast<std::size_t>(u) * n + v];
+          if (hu == kUnset || hx + 1 < hu) {
+            hu = hx + 1;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // succ(u, v) = a relaxing out-neighbor whose hop count strictly drops.
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u == v || is_plus_inf(dist.at(u, v))) continue;
+      const std::uint32_t hu = hops[static_cast<std::size_t>(u) * n + v];
+      for (std::uint32_t x = 0; x < n; ++x) {
+        if (x == u || !g.has_arc(u, x)) continue;
+        if (sat_add(g.weight(u, x), dist.at(x, v)) != dist.at(u, v)) continue;
+        const std::uint32_t hx = hops[static_cast<std::size_t>(x) * n + v];
+        if (hu != kUnset && hx != kUnset && hx + 1 == hu) {
+          res.successor[static_cast<std::size_t>(u) * n + v] = x;
+          break;
+        }
+      }
+      QCLIQUE_CHECK(res.successor[static_cast<std::size_t>(u) * n + v] != kUnset,
+                    "no relaxing neighbor: dist is not a valid distance matrix");
+    }
+  }
+  res.rounds = net.ledger().total_rounds();
+  res.ledger = net.ledger();
+  return res;
+}
+
+std::vector<std::uint32_t> successor_path(const SuccessorResult& succ,
+                                          std::uint32_t n, std::uint32_t u,
+                                          std::uint32_t v) {
+  QCLIQUE_CHECK(u < n && v < n, "successor_path endpoint out of range");
+  if (u == v) return {u};
+  if (succ.successor[static_cast<std::size_t>(u) * n + v] ==
+      std::numeric_limits<std::uint32_t>::max()) {
+    return {};
+  }
+  std::vector<std::uint32_t> path{u};
+  std::uint32_t cur = u;
+  while (cur != v) {
+    QCLIQUE_CHECK(path.size() <= n, "successor chain longer than n: cycle");
+    cur = succ.successor[static_cast<std::size_t>(cur) * n + v];
+    QCLIQUE_CHECK(cur != std::numeric_limits<std::uint32_t>::max(),
+                  "successor chain broke before reaching the target");
+    path.push_back(cur);
+  }
+  return path;
+}
+
+}  // namespace qclique

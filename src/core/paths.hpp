@@ -1,0 +1,45 @@
+// Distributed shortest-path reconstruction (the paper's footnote 1).
+//
+// The APSP pipeline returns distances; "using standard techniques ... the
+// approach can be adapted to return the shortest paths as well, at a cost
+// of increasing the complexity only by a polylogarithmic factor." The
+// standard technique implemented here: once every node u holds its distance
+// row d(u, *), a successor matrix is computable with one round of
+// neighbor-row exchange -- succ(u, v) is any neighbor x of u with
+// w(u, x) + d(x, v) = d(u, v). Each node needs d(x, *) for its
+// out-neighbors x, which is one n-word row per neighbor, delivered by
+// Lemma 1 routing in O(ceil(deg / 1)) batched rounds; paths are then read
+// off by successor chasing with no further communication.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/round_ledger.hpp"
+#include "graph/digraph.hpp"
+#include "matrix/dist_matrix.hpp"
+
+namespace qclique {
+
+/// Successor matrix plus the rounds its construction cost.
+struct SuccessorResult {
+  /// succ[u*n + v] = next hop on a shortest u->v path; UINT32_MAX when
+  /// v is unreachable from u (or u == v).
+  std::vector<std::uint32_t> successor;
+  std::uint64_t rounds = 0;
+  RoundLedger ledger;
+};
+
+/// Builds the successor matrix on a simulated clique: node u gathers the
+/// distance rows of its out-neighbors and resolves succ(u, v) locally.
+/// `dist` must be the exact distance matrix of g (e.g. from quantum_apsp).
+SuccessorResult build_successors(const Digraph& g, const DistMatrix& dist);
+
+/// Extracts the path u -> v from a successor matrix. Empty when v is
+/// unreachable; {u} when u == v. Throws if the successor matrix is
+/// inconsistent (cycle longer than n).
+std::vector<std::uint32_t> successor_path(const SuccessorResult& succ,
+                                          std::uint32_t n, std::uint32_t u,
+                                          std::uint32_t v);
+
+}  // namespace qclique

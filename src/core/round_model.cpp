@@ -1,0 +1,44 @@
+#include "core/round_model.hpp"
+
+#include <cmath>
+
+namespace qclique {
+
+double RoundModel::quantum_search_rounds(double dim) const {
+  return uncompute_factor * eval_rounds * (bbht_cutoff * std::sqrt(dim) + 3.0);
+}
+
+double RoundModel::classical_search_rounds(double dim) const {
+  return eval_rounds * dim;
+}
+
+double RoundModel::theorem2_rounds(double n) const {
+  return quantum_search_rounds(std::sqrt(n));
+}
+
+double RoundModel::classical_step3_rounds(double n) const {
+  return classical_search_rounds(std::sqrt(n));
+}
+
+double RoundModel::theorem1_rounds(double n, double w) const {
+  const double logn = std::log2(std::max(2.0, n));
+  const double logm = std::log2(std::max(2.0, 4.0 * n * w));
+  return theorem2_rounds(n) * logn * logn * logm;
+}
+
+double RoundModel::classical_apsp_rounds(double n, double w) const {
+  const double logn = std::log2(std::max(2.0, n));
+  const double logm = std::log2(std::max(2.0, 4.0 * n * w));
+  return std::cbrt(n) * logn * logm;
+}
+
+double RoundModel::search_crossover_n() const {
+  for (double n = 4; n <= std::pow(2.0, 40); n *= 2) {
+    if (quantum_search_rounds(std::sqrt(n)) < classical_search_rounds(std::sqrt(n))) {
+      return n;
+    }
+  }
+  return 0;
+}
+
+}  // namespace qclique

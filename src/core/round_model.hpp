@@ -1,0 +1,51 @@
+// Analytic round-complexity model: the paper's bounds as evaluatable
+// formulas.
+//
+// The benches compare *measured* simulator rounds against these predicted
+// shapes; the ablation bench uses them to locate the quantum-classical
+// crossover implied by the implementation's constants (BBHT budget,
+// compute/uncompute factor), which the paper's O~-notation hides.
+#pragma once
+
+#include <cstdint>
+
+namespace qclique {
+
+/// Shape parameters of the implemented searches (defaults match the
+/// implementation's knobs).
+struct RoundModel {
+  /// BBHT total-iteration budget factor (multi_search cutoff_factor).
+  double bbht_cutoff = 9.0;
+  /// Compute + uncompute multiplier per oracle call.
+  double uncompute_factor = 2.0;
+  /// Per-evaluation round cost r (O~(1) in the paper's regime).
+  double eval_rounds = 2.0;
+
+  /// Predicted quantum search rounds for domain size `dim`:
+  /// ~ uncompute * eval * (cutoff * sqrt(dim)).
+  double quantum_search_rounds(double dim) const;
+
+  /// Predicted classical scan rounds: eval * dim.
+  double classical_search_rounds(double dim) const;
+
+  /// Theorem 2 shape: quantum FindEdgesWithPromise rounds ~ n^{1/4}
+  /// (search domain sqrt(n), polylog factors dropped).
+  double theorem2_rounds(double n) const;
+
+  /// Classical step-3 shape: ~ sqrt(n).
+  double classical_step3_rounds(double n) const;
+
+  /// Theorem 1 shape: theorem2 * log2(n)^2 * log2(max(2, 4nW)) -- the
+  /// Prop 1 (log n) x Prop 3 (log n) x Prop 2 (log M, M = nW) layers.
+  double theorem1_rounds(double n, double w) const;
+
+  /// Censor-Hillel classical APSP shape: n^{1/3} * log n * log(nW).
+  double classical_apsp_rounds(double n, double w) const;
+
+  /// Smallest power of two n at which the predicted quantum search cost
+  /// drops below the classical one (the constants-implied crossover).
+  /// Returns 0 if no crossover below 2^40.
+  double search_crossover_n() const;
+};
+
+}  // namespace qclique

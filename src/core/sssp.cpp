@@ -1,0 +1,18 @@
+#include "core/sssp.hpp"
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+SsspResult quantum_sssp(const Digraph& g, std::uint32_t source,
+                        const QuantumApspOptions& options, Rng& rng) {
+  QCLIQUE_CHECK(source < g.size(), "sssp source out of range");
+  const QuantumApspResult apsp = quantum_apsp(g, options, rng);
+  SsspResult res;
+  res.distances = apsp.distances.row(source);
+  res.rounds = apsp.rounds;
+  res.ledger = apsp.ledger;
+  return res;
+}
+
+}  // namespace qclique

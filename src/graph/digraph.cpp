@@ -1,0 +1,66 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "matrix/dist_matrix.hpp"
+
+namespace qclique {
+
+Digraph::Digraph(std::uint32_t n)
+    : n_(n), w_(static_cast<std::size_t>(n) * n, kPlusInf) {
+  QCLIQUE_CHECK(n >= 1, "Digraph needs at least one vertex");
+}
+
+bool Digraph::has_arc(std::uint32_t u, std::uint32_t v) const {
+  QCLIQUE_CHECK(u < n_ && v < n_, "vertex out of range");
+  if (u == v) return false;
+  return !is_plus_inf(w_[idx(u, v)]);
+}
+
+std::int64_t Digraph::weight(std::uint32_t u, std::uint32_t v) const {
+  QCLIQUE_CHECK(u < n_ && v < n_, "vertex out of range");
+  if (u == v) return kPlusInf;
+  return w_[idx(u, v)];
+}
+
+void Digraph::set_arc(std::uint32_t u, std::uint32_t v, std::int64_t w) {
+  QCLIQUE_CHECK(u < n_ && v < n_, "vertex out of range");
+  QCLIQUE_CHECK(u != v, "no self-loops");
+  QCLIQUE_CHECK(!is_plus_inf(w), "use remove_arc to delete an arc");
+  if (is_plus_inf(w_[idx(u, v)])) ++num_arcs_;
+  w_[idx(u, v)] = w;
+}
+
+void Digraph::remove_arc(std::uint32_t u, std::uint32_t v) {
+  QCLIQUE_CHECK(u < n_ && v < n_, "vertex out of range");
+  if (u == v) return;
+  if (!is_plus_inf(w_[idx(u, v)])) --num_arcs_;
+  w_[idx(u, v)] = kPlusInf;
+}
+
+std::int64_t Digraph::max_abs_weight() const {
+  std::int64_t m = 0;
+  for (std::uint32_t u = 0; u < n_; ++u) {
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      if (u != v && !is_plus_inf(w_[idx(u, v)])) {
+        m = std::max(m, std::abs(w_[idx(u, v)]));
+      }
+    }
+  }
+  return m;
+}
+
+DistMatrix Digraph::to_dist_matrix() const {
+  DistMatrix a(n_, kPlusInf);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    a.set(i, i, 0);
+    for (std::uint32_t j = 0; j < n_; ++j) {
+      if (i != j && !is_plus_inf(w_[idx(i, j)])) a.set(i, j, w_[idx(i, j)]);
+    }
+  }
+  return a;
+}
+
+}  // namespace qclique

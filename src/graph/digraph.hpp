@@ -1,0 +1,49 @@
+// Directed weighted graph, the input type of the APSP problem (Theorem 1):
+// integer weights in {-W, ..., W}, no self-loops, and (for well-posed
+// shortest paths) no negative cycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/math.hpp"
+
+namespace qclique {
+
+class DistMatrix;
+
+/// Directed graph with integer arc weights (kPlusInf = absent arc).
+class Digraph {
+ public:
+  explicit Digraph(std::uint32_t n);
+
+  std::uint32_t size() const { return n_; }
+
+  bool has_arc(std::uint32_t u, std::uint32_t v) const;
+
+  /// Weight of arc (u, v); kPlusInf if absent.
+  std::int64_t weight(std::uint32_t u, std::uint32_t v) const;
+
+  void set_arc(std::uint32_t u, std::uint32_t v, std::int64_t w);
+  void remove_arc(std::uint32_t u, std::uint32_t v);
+
+  std::uint64_t num_arcs() const { return num_arcs_; }
+
+  /// Largest |w| over present arcs (the paper's W); 0 for an arc-less graph.
+  std::int64_t max_abs_weight() const;
+
+  /// The matrix A_G of the paper (Section 3): A[i][i] = 0, A[i][j] = w(i,j)
+  /// for arcs, +inf otherwise. Its n-th min-plus power is the APSP matrix.
+  DistMatrix to_dist_matrix() const;
+
+ private:
+  std::size_t idx(std::uint32_t u, std::uint32_t v) const {
+    return static_cast<std::size_t>(u) * n_ + v;
+  }
+
+  std::uint32_t n_;
+  std::uint64_t num_arcs_ = 0;
+  std::vector<std::int64_t> w_;
+};
+
+}  // namespace qclique

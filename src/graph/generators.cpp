@@ -1,0 +1,127 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/triangles.hpp"
+#include "matrix/dist_matrix.hpp"
+
+namespace qclique {
+
+Digraph random_digraph(std::uint32_t n, double density, std::int64_t wmin,
+                       std::int64_t wmax, Rng& rng, bool no_negative_cycles) {
+  QCLIQUE_CHECK(wmin <= wmax, "random_digraph requires wmin <= wmax");
+  Digraph g(n);
+  if (!no_negative_cycles) {
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (u != v && rng.bernoulli(density)) {
+          g.set_arc(u, v, rng.uniform_i64(wmin, wmax));
+        }
+      }
+    }
+    return g;
+  }
+  // Potential trick: base costs c >= 0 reweighted by a random potential give
+  // arcs in a range around [wmin, wmax] with possibly-negative weights but no
+  // negative cycle (cycle weights telescope to the sum of the c's >= 0).
+  const std::int64_t span = wmax - wmin;
+  const std::int64_t half = span / 2;
+  std::vector<std::int64_t> pot(n);
+  for (auto& p : pot) p = rng.uniform_i64(-half / 2 - 1, half / 2 + 1);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u == v || !rng.bernoulli(density)) continue;
+      const std::int64_t c = rng.uniform_i64(0, std::max<std::int64_t>(1, half));
+      const std::int64_t w = std::clamp(c + pot[u] - pot[v], wmin, wmax);
+      // Clamping can only increase a weight toward wmin when c + p(u) - p(v)
+      // underflows wmin; raising weights preserves cycle non-negativity.
+      g.set_arc(u, v, std::max(w, c + pot[u] - pot[v]));
+    }
+  }
+  return g;
+}
+
+WeightedGraph random_weighted_graph(std::uint32_t n, double density,
+                                    std::int64_t wmin, std::int64_t wmax, Rng& rng) {
+  QCLIQUE_CHECK(wmin <= wmax, "random_weighted_graph requires wmin <= wmax");
+  WeightedGraph g(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(density)) g.set_edge(u, v, rng.uniform_i64(wmin, wmax));
+    }
+  }
+  return g;
+}
+
+WeightedGraph planted_negative_triangles(std::uint32_t n, std::uint32_t planted,
+                                         Rng& rng, std::vector<VertexPair>* out_pairs) {
+  QCLIQUE_CHECK(n >= 3, "need at least 3 vertices to plant a triangle");
+  WeightedGraph g(n);
+  // Background: a moderately dense graph with strongly positive weights, so
+  // no accidental negative triangle can arise from background edges alone.
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(0.4)) g.set_edge(u, v, rng.uniform_i64(100, 200));
+    }
+  }
+  // Planted triangles: overwrite three edges with weights summing well below
+  // zero. Mixing one planted edge with background edges keeps the sum
+  // positive (-350*2 + ... no: planted edges are -150 each, two planted plus
+  // one background >= -300 + 100 = -200 < 0!) -- so planted edges must be
+  // rare enough not to combine. We pick disjoint vertex triples to guarantee
+  // that two planted edges never share a triangle with a background edge.
+  QCLIQUE_CHECK(3ull * planted <= n, "planted triangles must fit disjointly");
+  std::vector<std::uint32_t> verts(n);
+  for (std::uint32_t i = 0; i < n; ++i) verts[i] = i;
+  rng.shuffle(verts);
+  for (std::uint32_t t = 0; t < planted; ++t) {
+    const std::uint32_t a = verts[3 * t], b = verts[3 * t + 1], c = verts[3 * t + 2];
+    // Each planted edge is -10: triangle sum -30 < 0, but any triangle with
+    // at most two planted edges has sum >= -20 + 100 > 0.
+    g.set_edge(a, b, -10);
+    g.set_edge(a, c, -10);
+    g.set_edge(b, c, -10);
+    if (out_pairs) {
+      out_pairs->emplace_back(a, b);
+      out_pairs->emplace_back(a, c);
+      out_pairs->emplace_back(b, c);
+    }
+  }
+  if (out_pairs) std::sort(out_pairs->begin(), out_pairs->end());
+  return g;
+}
+
+WeightedGraph tripartite_gadget(const DistMatrix& a, const DistMatrix& b,
+                                const DistMatrix& d) {
+  const std::uint32_t n = a.size();
+  QCLIQUE_CHECK(b.size() == n && d.size() == n, "matrix sizes must agree");
+  WeightedGraph g(3 * n);
+  const auto I = [](std::uint32_t i) { return i; };
+  const auto J = [n](std::uint32_t j) { return n + j; };
+  const auto K = [n](std::uint32_t k) { return 2 * n + k; };
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t k = 0; k < n; ++k) {
+      if (!is_plus_inf(a.at(i, k))) g.set_edge(I(i), K(k), a.at(i, k));
+    }
+  }
+  for (std::uint32_t k = 0; k < n; ++k) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (!is_plus_inf(b.at(k, j))) g.set_edge(J(j), K(k), b.at(k, j));
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (!is_plus_inf(d.at(i, j))) g.set_edge(I(i), J(j), -d.at(i, j));
+    }
+  }
+  return g;
+}
+
+std::pair<int, std::uint32_t> tripartite_decode(std::uint32_t vertex, std::uint32_t n) {
+  QCLIQUE_CHECK(vertex < 3 * n, "tripartite vertex out of range");
+  return {static_cast<int>(vertex / n), vertex % n};
+}
+
+}  // namespace qclique

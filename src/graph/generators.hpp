@@ -1,0 +1,52 @@
+// Workload generators for tests, examples, and the benchmark harness.
+//
+// The key construction is `tripartite_gadget`, the Vassilevska Williams -
+// Williams reduction (paper Proposition 2): from matrices A, B and a guess
+// matrix D, build the tripartite graph on I | J | K in which {i, j} lies in a
+// negative triangle iff min_k { A[i,k] + B[k,j] } < D[i,j].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace qclique {
+
+class Rng;
+class DistMatrix;
+
+/// Random directed graph with arc probability `density` and weights uniform
+/// in [wmin, wmax]. When `no_negative_cycles` is set, weights are produced
+/// through a random vertex potential (w(u,v) = c(u,v) + p(u) - p(v) with
+/// c(u,v) >= 0), which permits negative arcs but makes every cycle
+/// non-negative -- the precondition of the APSP reduction.
+Digraph random_digraph(std::uint32_t n, double density, std::int64_t wmin,
+                       std::int64_t wmax, Rng& rng, bool no_negative_cycles = true);
+
+/// Random undirected weighted graph with edge probability `density` and
+/// weights uniform in [wmin, wmax].
+WeightedGraph random_weighted_graph(std::uint32_t n, double density,
+                                    std::int64_t wmin, std::int64_t wmax, Rng& rng);
+
+/// A graph with heavy positive background edges plus `planted` triangles of
+/// strongly negative total weight. Returns the graph; `out_pairs` (optional)
+/// receives the pairs guaranteed to be in a negative triangle. Useful for
+/// FindEdges tests where ground truth must be nonempty and controlled.
+WeightedGraph planted_negative_triangles(std::uint32_t n, std::uint32_t planted,
+                                         Rng& rng,
+                                         std::vector<VertexPair>* out_pairs = nullptr);
+
+/// The Proposition 2 gadget: vertices [0,n) = I, [n,2n) = J, [2n,3n) = K;
+///   f(i, k) = A[i-ish, k],  f(j, k) = B[k, j-ish],  f(i, j) = -D[i, j].
+/// Entries of A, B, D that are +inf produce absent edges. The pair {i, j}
+/// lies in a negative triangle iff min_k { A[i,k] + B[k,j] } < D[i,j].
+WeightedGraph tripartite_gadget(const DistMatrix& a, const DistMatrix& b,
+                                const DistMatrix& d);
+
+/// Decodes a tripartite-gadget vertex id back to (part, index) with
+/// part 0 = I, 1 = J, 2 = K.
+std::pair<int, std::uint32_t> tripartite_decode(std::uint32_t vertex, std::uint32_t n);
+
+}  // namespace qclique

@@ -1,0 +1,73 @@
+#include "graph/triangles.hpp"
+
+namespace qclique {
+
+bool is_negative_triangle(const WeightedGraph& g, std::uint32_t u, std::uint32_t v,
+                          std::uint32_t w) {
+  if (u == v || u == w || v == w) return false;
+  const std::int64_t fuv = g.weight(u, v);
+  if (is_plus_inf(fuv)) return false;
+  const std::int64_t fuw = g.weight(u, w);
+  if (is_plus_inf(fuw)) return false;
+  const std::int64_t fvw = g.weight(v, w);
+  if (is_plus_inf(fvw)) return false;
+  return sat_add(sat_add(fuv, fuw), fvw) < 0;
+}
+
+std::uint32_t gamma(const WeightedGraph& g, std::uint32_t u, std::uint32_t v) {
+  if (!g.has_edge(u, v)) return 0;
+  std::uint32_t count = 0;
+  for (std::uint32_t w = 0; w < g.size(); ++w) {
+    if (is_negative_triangle(g, u, v, w)) ++count;
+  }
+  return count;
+}
+
+std::vector<std::uint32_t> gamma_all_pairs(const WeightedGraph& g) {
+  const std::uint32_t n = g.size();
+  std::vector<std::uint32_t> out(static_cast<std::size_t>(n) * n, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      if (!g.has_edge(u, v)) continue;
+      const std::uint32_t c = gamma(g, u, v);
+      out[static_cast<std::size_t>(u) * n + v] = c;
+      out[static_cast<std::size_t>(v) * n + u] = c;
+    }
+  }
+  return out;
+}
+
+std::vector<VertexPair> edges_in_negative_triangles(const WeightedGraph& g) {
+  std::vector<VertexPair> out;
+  for (std::uint32_t u = 0; u < g.size(); ++u) {
+    for (std::uint32_t v = u + 1; v < g.size(); ++v) {
+      if (g.has_edge(u, v) && gamma(g, u, v) > 0) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+bool exists_negative_triangle_via(const WeightedGraph& g, std::uint32_t u,
+                                  std::uint32_t v,
+                                  const std::vector<std::uint32_t>& candidates) {
+  if (!g.has_edge(u, v)) return false;
+  for (std::uint32_t w : candidates) {
+    if (is_negative_triangle(g, u, v, w)) return true;
+  }
+  return false;
+}
+
+std::uint64_t count_negative_triangles(const WeightedGraph& g) {
+  std::uint64_t count = 0;
+  for (std::uint32_t u = 0; u < g.size(); ++u) {
+    for (std::uint32_t v = u + 1; v < g.size(); ++v) {
+      if (!g.has_edge(u, v)) continue;
+      for (std::uint32_t w = v + 1; w < g.size(); ++w) {
+        if (is_negative_triangle(g, u, v, w)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace qclique

@@ -1,0 +1,44 @@
+// Negative-triangle census utilities (paper Definition 1).
+//
+// These are the centralized ground-truth oracles used by tests and by the
+// local computations the paper's protocols perform on gathered data:
+//   Gamma(u, v)     = #{ w : {u,v,w} is a negative triangle }
+//   Delta(u,v; W)   = does some w in W close a negative triangle over {u,v}?
+// A triple {u,v,w} is a negative triangle iff all three edges exist and
+// f(u,v) + f(u,w) + f(v,w) < 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+
+namespace qclique {
+
+/// True iff {u, v, w} is a negative triangle in g (u, v, w distinct).
+bool is_negative_triangle(const WeightedGraph& g, std::uint32_t u, std::uint32_t v,
+                          std::uint32_t w);
+
+/// Gamma(u, v): number of vertices w closing a negative triangle over {u,v}.
+std::uint32_t gamma(const WeightedGraph& g, std::uint32_t u, std::uint32_t v);
+
+/// Gamma for every pair, as a symmetric n x n count matrix (row-major).
+std::vector<std::uint32_t> gamma_all_pairs(const WeightedGraph& g);
+
+/// Ground truth for FindEdges: all pairs {u, v} with Gamma(u, v) > 0,
+/// sorted. (Pairs, not only edges: a pair in a negative triangle is an edge
+/// by definition.)
+std::vector<VertexPair> edges_in_negative_triangles(const WeightedGraph& g);
+
+/// True iff some w in `candidates` closes a negative triangle over {u, v}.
+/// This is the predicate each quantum search evaluates (Inequality (2)):
+///   min_{w in candidates} { f(u,w) + f(w,v) } <= -f(u,v) - 1, i.e.
+///   f(u,v) + f(u,w) + f(w,v) < 0.
+bool exists_negative_triangle_via(const WeightedGraph& g, std::uint32_t u,
+                                  std::uint32_t v,
+                                  const std::vector<std::uint32_t>& candidates);
+
+/// Total number of negative triangles in g (each counted once).
+std::uint64_t count_negative_triangles(const WeightedGraph& g);
+
+}  // namespace qclique

@@ -1,0 +1,76 @@
+#include "graph/weighted_graph.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+
+WeightedGraph::WeightedGraph(std::uint32_t n)
+    : n_(n), w_(static_cast<std::size_t>(n) * n, kPlusInf) {
+  QCLIQUE_CHECK(n >= 1, "WeightedGraph needs at least one vertex");
+}
+
+bool WeightedGraph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  QCLIQUE_CHECK(u < n_ && v < n_, "vertex out of range");
+  if (u == v) return false;
+  return !is_plus_inf(w_[idx(u, v)]);
+}
+
+std::int64_t WeightedGraph::weight(std::uint32_t u, std::uint32_t v) const {
+  QCLIQUE_CHECK(u < n_ && v < n_, "vertex out of range");
+  if (u == v) return kPlusInf;
+  return w_[idx(u, v)];
+}
+
+void WeightedGraph::set_edge(std::uint32_t u, std::uint32_t v, std::int64_t w) {
+  QCLIQUE_CHECK(u < n_ && v < n_, "vertex out of range");
+  QCLIQUE_CHECK(u != v, "no self-loops");
+  QCLIQUE_CHECK(!is_plus_inf(w), "use remove_edge to delete an edge");
+  if (is_plus_inf(w_[idx(u, v)])) ++num_edges_;
+  w_[idx(u, v)] = w;
+  w_[idx(v, u)] = w;
+}
+
+void WeightedGraph::remove_edge(std::uint32_t u, std::uint32_t v) {
+  QCLIQUE_CHECK(u < n_ && v < n_, "vertex out of range");
+  if (u == v) return;
+  if (!is_plus_inf(w_[idx(u, v)])) --num_edges_;
+  w_[idx(u, v)] = kPlusInf;
+  w_[idx(v, u)] = kPlusInf;
+}
+
+std::vector<std::pair<VertexPair, std::int64_t>> WeightedGraph::edges() const {
+  std::vector<std::pair<VertexPair, std::int64_t>> out;
+  out.reserve(num_edges_);
+  for (std::uint32_t u = 0; u < n_; ++u) {
+    for (std::uint32_t v = u + 1; v < n_; ++v) {
+      if (!is_plus_inf(w_[idx(u, v)])) {
+        out.emplace_back(VertexPair{u, v}, w_[idx(u, v)]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> WeightedGraph::neighbors(std::uint32_t u) const {
+  QCLIQUE_CHECK(u < n_, "vertex out of range");
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    if (v != u && !is_plus_inf(w_[idx(u, v)])) out.push_back(v);
+  }
+  return out;
+}
+
+WeightedGraph WeightedGraph::sample_edges(double p, Rng& rng) const {
+  WeightedGraph g(n_);
+  for (std::uint32_t u = 0; u < n_; ++u) {
+    for (std::uint32_t v = u + 1; v < n_; ++v) {
+      if (!is_plus_inf(w_[idx(u, v)]) && rng.bernoulli(p)) {
+        g.set_edge(u, v, w_[idx(u, v)]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace qclique

@@ -1,0 +1,70 @@
+// Undirected weighted graph G = (V, E, f), the input type of FindEdges /
+// FindEdgesWithPromise (paper Section 3).
+//
+// Vertices are [0, n). The representation is a dense symmetric weight matrix
+// with kPlusInf meaning "no edge" -- dense is the right choice here because
+// CONGEST-CLIQUE inputs always have exactly one vertex per network node and
+// the algorithms stream whole rows between nodes.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/math.hpp"
+
+namespace qclique {
+
+/// Unordered vertex pair {u, v}, normalized so first < second.
+struct VertexPair {
+  std::uint32_t a;
+  std::uint32_t b;
+
+  VertexPair(std::uint32_t u, std::uint32_t v) : a(u < v ? u : v), b(u < v ? v : u) {}
+
+  friend bool operator==(const VertexPair&, const VertexPair&) = default;
+  friend auto operator<=>(const VertexPair&, const VertexPair&) = default;
+};
+
+/// Undirected graph with integer edge weights (kPlusInf = absent edge).
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(std::uint32_t n);
+
+  std::uint32_t size() const { return n_; }
+
+  bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+  /// Weight of {u, v}; kPlusInf if absent. weight(u, u) is kPlusInf by
+  /// convention (the paper's graphs have no self-loops).
+  std::int64_t weight(std::uint32_t u, std::uint32_t v) const;
+
+  /// Adds or updates the edge {u, v}. u != v required.
+  void set_edge(std::uint32_t u, std::uint32_t v, std::int64_t w);
+
+  /// Removes the edge if present.
+  void remove_edge(std::uint32_t u, std::uint32_t v);
+
+  std::uint64_t num_edges() const { return num_edges_; }
+
+  /// All edges as normalized pairs with weights, ordered by (a, b).
+  std::vector<std::pair<VertexPair, std::int64_t>> edges() const;
+
+  /// Neighbors of u (vertices v with {u,v} in E).
+  std::vector<std::uint32_t> neighbors(std::uint32_t u) const;
+
+  /// Keeps each edge independently with probability p (the edge-sampling
+  /// step of Proposition 1). Returns the subgraph.
+  WeightedGraph sample_edges(double p, class Rng& rng) const;
+
+ private:
+  std::size_t idx(std::uint32_t u, std::uint32_t v) const {
+    return static_cast<std::size_t>(u) * n_ + v;
+  }
+
+  std::uint32_t n_;
+  std::uint64_t num_edges_ = 0;
+  std::vector<std::int64_t> w_;  // dense, symmetric, kPlusInf = absent
+};
+
+}  // namespace qclique

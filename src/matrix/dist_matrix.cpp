@@ -1,0 +1,57 @@
+#include "matrix/dist_matrix.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+DistMatrix::DistMatrix(std::uint32_t n, std::int64_t fill)
+    : n_(n), v_(static_cast<std::size_t>(n) * n, fill) {
+  QCLIQUE_CHECK(n >= 1, "DistMatrix needs n >= 1");
+}
+
+std::vector<std::int64_t> DistMatrix::row(std::uint32_t i) const {
+  QCLIQUE_CHECK(i < n_, "row index out of range");
+  return std::vector<std::int64_t>(v_.begin() + static_cast<std::ptrdiff_t>(i) * n_,
+                                   v_.begin() + static_cast<std::ptrdiff_t>(i + 1) * n_);
+}
+
+DistMatrix DistMatrix::identity(std::uint32_t n) {
+  DistMatrix m(n, kPlusInf);
+  for (std::uint32_t i = 0; i < n; ++i) m.set(i, i, 0);
+  return m;
+}
+
+std::int64_t DistMatrix::max_abs_finite() const {
+  std::int64_t best = 0;
+  for (std::int64_t x : v_) {
+    if (!is_plus_inf(x) && !is_minus_inf(x)) best = std::max(best, std::abs(x));
+  }
+  return best;
+}
+
+bool DistMatrix::entries_within(std::int64_t m) const {
+  for (std::int64_t x : v_) {
+    if (is_plus_inf(x) || is_minus_inf(x) || std::abs(x) > m) return false;
+  }
+  return true;
+}
+
+std::string DistMatrix::first_difference(const DistMatrix& other) const {
+  if (n_ != other.n_) return "size mismatch";
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    for (std::uint32_t j = 0; j < n_; ++j) {
+      if (at(i, j) != other.at(i, j)) {
+        std::ostringstream out;
+        out << "(" << i << "," << j << "): " << at(i, j) << " vs " << other.at(i, j);
+        return out.str();
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace qclique

@@ -1,0 +1,55 @@
+// Square matrices over the min-plus (tropical) semiring, the algebra of the
+// distance product (paper Definition 2):
+//   (A * B)[i][j] = min_k { A[i][k] + B[k][j] }.
+// Entries live in Z union {-inf, +inf}, represented by the saturating
+// sentinels of common/math.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/math.hpp"
+
+namespace qclique {
+
+/// Dense n x n matrix with int64 entries and +-inf sentinels.
+class DistMatrix {
+ public:
+  /// n x n matrix with every entry = `fill` (default +inf, the min-plus
+  /// additive identity... of the "no path" kind).
+  explicit DistMatrix(std::uint32_t n, std::int64_t fill = kPlusInf);
+
+  std::uint32_t size() const { return n_; }
+
+  std::int64_t at(std::uint32_t i, std::uint32_t j) const {
+    return v_[static_cast<std::size_t>(i) * n_ + j];
+  }
+
+  void set(std::uint32_t i, std::uint32_t j, std::int64_t w) {
+    v_[static_cast<std::size_t>(i) * n_ + j] = w;
+  }
+
+  /// Row i as a span-like vector copy (protocols ship whole rows).
+  std::vector<std::int64_t> row(std::uint32_t i) const;
+
+  /// The min-plus multiplicative identity: 0 diagonal, +inf elsewhere.
+  static DistMatrix identity(std::uint32_t n);
+
+  /// Largest finite |entry|; 0 if all entries are infinite.
+  std::int64_t max_abs_finite() const;
+
+  /// True if every entry is finite and within [-m, m].
+  bool entries_within(std::int64_t m) const;
+
+  friend bool operator==(const DistMatrix&, const DistMatrix&) = default;
+
+  /// Index of the first differing entry, as "(i,j): a vs b", or "" if equal.
+  std::string first_difference(const DistMatrix& other) const;
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::int64_t> v_;
+};
+
+}  // namespace qclique

@@ -1,0 +1,78 @@
+#include "matrix/min_plus.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+DistMatrix distance_product_naive(const DistMatrix& a, const DistMatrix& b) {
+  const std::uint32_t n = a.size();
+  QCLIQUE_CHECK(b.size() == n, "distance product size mismatch");
+  DistMatrix c(n, kPlusInf);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t k = 0; k < n; ++k) {
+      const std::int64_t aik = a.at(i, k);
+      if (is_plus_inf(aik)) continue;
+      for (std::uint32_t j = 0; j < n; ++j) {
+        const std::int64_t s = sat_add(aik, b.at(k, j));
+        if (s < c.at(i, j)) c.set(i, j, s);
+      }
+    }
+  }
+  return c;
+}
+
+DistMatrix distance_product_with_witness(const DistMatrix& a, const DistMatrix& b,
+                                         std::vector<std::uint32_t>& wit) {
+  const std::uint32_t n = a.size();
+  QCLIQUE_CHECK(b.size() == n, "distance product size mismatch");
+  DistMatrix c(n, kPlusInf);
+  wit.assign(static_cast<std::size_t>(n) * n, std::numeric_limits<std::uint32_t>::max());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t k = 0; k < n; ++k) {
+      const std::int64_t aik = a.at(i, k);
+      if (is_plus_inf(aik)) continue;
+      for (std::uint32_t j = 0; j < n; ++j) {
+        const std::int64_t s = sat_add(aik, b.at(k, j));
+        if (s < c.at(i, j)) {
+          c.set(i, j, s);
+          wit[static_cast<std::size_t>(i) * n + j] = k;
+        }
+      }
+    }
+  }
+  return c;
+}
+
+DistMatrix min_plus_power(const DistMatrix& a, std::uint64_t p, const ProductFn& product) {
+  QCLIQUE_CHECK(p >= 1, "min_plus_power requires p >= 1");
+  // Squaring with early fixpoint: distances stabilize once p >= n-1, and for
+  // APSP inputs (0 diagonal) A^(2^k) is monotone nonincreasing in k, so
+  // plain repeated squaring of A up to the next power of two >= p is exact.
+  DistMatrix acc = a;
+  std::uint64_t covered = 1;
+  while (covered < p) {
+    acc = product(acc, acc);
+    covered *= 2;
+  }
+  return acc;
+}
+
+DistMatrix apsp_by_squaring(const DistMatrix& a) {
+  const std::uint32_t n = a.size();
+  if (n == 1) return a;
+  return min_plus_power(a, n - 1, distance_product_naive);
+}
+
+std::uint32_t squaring_product_count(std::uint64_t p) {
+  std::uint32_t count = 0;
+  std::uint64_t covered = 1;
+  while (covered < p) {
+    ++count;
+    covered *= 2;
+  }
+  return count;
+}
+
+}  // namespace qclique

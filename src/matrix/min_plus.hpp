@@ -1,0 +1,43 @@
+// Centralized min-plus (distance product) computations.
+//
+// These are the ground-truth oracles against which the distributed
+// reductions are tested, plus the repeated-squaring scheme of
+// Proposition 3: A_G^n (min-plus power) holds all pairwise distances, and
+// can be computed with O(log n) distance products.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "matrix/dist_matrix.hpp"
+
+namespace qclique {
+
+/// Naive O(n^3) distance product C[i][j] = min_k { A[i][k] + B[k][j] }.
+DistMatrix distance_product_naive(const DistMatrix& a, const DistMatrix& b);
+
+/// Distance product that also returns a witness matrix: wit[i][j] = a k
+/// attaining the minimum (UINT32_MAX when C[i][j] = +inf). Used for path
+/// reconstruction (paper footnote 1).
+DistMatrix distance_product_with_witness(const DistMatrix& a, const DistMatrix& b,
+                                         std::vector<std::uint32_t>& wit);
+
+/// A callable computing a distance product; the repeated-squaring driver is
+/// parameterized on this so it can run over the naive oracle, the classical
+/// distributed implementation, or the quantum one.
+using ProductFn = std::function<DistMatrix(const DistMatrix&, const DistMatrix&)>;
+
+/// Repeated squaring: returns A^q for q = the smallest power of two >= p
+/// (ceil(log2 p) products). For matrices with a zero diagonal (APSP inputs),
+/// powers are monotone and A^q with q >= n-1 equals the distance closure, so
+/// overshooting p is harmless and exact.
+DistMatrix min_plus_power(const DistMatrix& a, std::uint64_t p, const ProductFn& product);
+
+/// Convenience: A^(>=n-1) with the naive product (centralized APSP oracle
+/// through the same reduction path the distributed solvers use).
+DistMatrix apsp_by_squaring(const DistMatrix& a);
+
+/// Number of distance products min_plus_power(a, p, .) will invoke.
+std::uint32_t squaring_product_count(std::uint64_t p);
+
+}  // namespace qclique

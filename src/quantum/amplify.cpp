@@ -1,0 +1,37 @@
+#include "quantum/amplify.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+
+std::uint32_t repetitions_for_target(double p_fail, double target) {
+  QCLIQUE_CHECK(p_fail > 0.0 && p_fail < 1.0, "p_fail must be in (0, 1)");
+  QCLIQUE_CHECK(target > 0.0 && target < 1.0, "target must be in (0, 1)");
+  if (target >= p_fail) return 1;
+  const double r = std::ceil(std::log(target) / std::log(p_fail));
+  return static_cast<std::uint32_t>(std::max(1.0, r));
+}
+
+AmplifiedSearchResult amplified_search(std::size_t dim, const Oracle& oracle,
+                                       const DistributedSearchCost& cost,
+                                       std::uint32_t max_repetitions,
+                                       RoundLedger& ledger, const std::string& phase,
+                                       Rng& rng) {
+  QCLIQUE_CHECK(max_repetitions >= 1, "need at least one repetition");
+  AmplifiedSearchResult res;
+  for (std::uint32_t rep = 0; rep < max_repetitions; ++rep) {
+    Rng child = rng.split();
+    const DistributedSearchResult run =
+        distributed_search(dim, oracle, cost, ledger, phase, child);
+    ++res.repetitions;
+    res.rounds_charged += run.rounds_charged;
+    res.grover = run.grover;
+    if (run.grover.found.has_value()) break;
+  }
+  return res;
+}
+
+}  // namespace qclique

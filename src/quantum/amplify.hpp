@@ -1,0 +1,40 @@
+// Success-probability amplification by independent repetition.
+//
+// Grover/BBHT searches succeed with constant probability per run; the
+// paper's algorithms quote "with high probability" results obtained by
+// repeating a logarithmic number of times (e.g. below Theorem 3, and the
+// footnote in Section 4.1 about dummy solutions). This wrapper runs a
+// search up to `max_repetitions` times, returning on the first verified
+// hit, and exposes the failure-probability arithmetic used to size the
+// repetition count.
+#pragma once
+
+#include <cstdint>
+
+#include "quantum/distributed_search.hpp"
+
+namespace qclique {
+
+/// Repetitions needed to push a per-run failure probability `p_fail` below
+/// `target`: ceil(log(target) / log(p_fail)). At least 1.
+std::uint32_t repetitions_for_target(double p_fail, double target);
+
+/// Result of an amplified search.
+struct AmplifiedSearchResult {
+  GroverResult grover;           // last run (the successful one if any)
+  std::uint32_t repetitions = 0; // runs executed
+  std::uint64_t rounds_charged = 0;
+};
+
+/// Runs `distributed_search` up to `max_repetitions` times with independent
+/// randomness, stopping at the first verified solution. All runs are
+/// charged. A search that truly has no solution pays every repetition --
+/// callers that expect frequent empty searches should keep the count low
+/// (the paper's algorithms tolerate one-sided error here).
+AmplifiedSearchResult amplified_search(std::size_t dim, const Oracle& oracle,
+                                       const DistributedSearchCost& cost,
+                                       std::uint32_t max_repetitions,
+                                       RoundLedger& ledger, const std::string& phase,
+                                       Rng& rng);
+
+}  // namespace qclique

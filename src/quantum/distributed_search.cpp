@@ -1,0 +1,21 @@
+#include "quantum/distributed_search.hpp"
+
+namespace qclique {
+
+std::uint64_t search_round_cost(const DistributedSearchCost& cost,
+                                std::uint64_t oracle_calls) {
+  return oracle_calls * cost.compute_uncompute_factor * cost.eval_rounds_per_call;
+}
+
+DistributedSearchResult distributed_search(std::size_t dim, const Oracle& oracle,
+                                           const DistributedSearchCost& cost,
+                                           RoundLedger& ledger,
+                                           const std::string& phase, Rng& rng) {
+  DistributedSearchResult res;
+  res.grover = search_bbht(dim, oracle, rng);
+  res.rounds_charged = search_round_cost(cost, res.grover.oracle_calls);
+  ledger.charge_quantum(phase, res.rounds_charged, res.grover.oracle_calls);
+  return res;
+}
+
+}  // namespace qclique

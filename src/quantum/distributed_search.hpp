@@ -1,0 +1,49 @@
+// Distributed quantum search cost model (paper Section 4.1).
+//
+// Le Gall-Magniez: if a node can evaluate g : X -> {0,1} with an r-round
+// classical distributed procedure C, then the unitary corresponding to C can
+// be implemented in O(r) rounds, and Grover search over X completes in
+// O~(r * sqrt(|X|)) rounds. This wrapper runs the *exact* Grover simulation
+// (grover.hpp) and charges rounds on a ledger: every oracle invocation costs
+// `eval_rounds_per_call` rounds for the evaluation circuit plus the same
+// again for uncomputation, and each diffusion is local (free). The
+// evaluation cost itself is *measured* by the caller, who runs the classical
+// evaluation procedure through the CliqueNetwork once and passes the
+// observed round count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "congest/round_ledger.hpp"
+#include "quantum/grover.hpp"
+
+namespace qclique {
+
+/// Cost-model parameters for one distributed search.
+struct DistributedSearchCost {
+  /// Measured rounds of one batched evaluation of the classical procedure.
+  std::uint64_t eval_rounds_per_call = 1;
+  /// Multiplier covering compute + uncompute of the evaluation circuit.
+  std::uint64_t compute_uncompute_factor = 2;
+};
+
+/// Result of a distributed search: the Grover outcome plus charged rounds.
+struct DistributedSearchResult {
+  GroverResult grover;
+  std::uint64_t rounds_charged = 0;
+};
+
+/// Runs BBHT Grover search over [0, dim) with the given semantic oracle,
+/// charging `cost` per oracle call to `ledger` under `phase`.
+DistributedSearchResult distributed_search(std::size_t dim, const Oracle& oracle,
+                                           const DistributedSearchCost& cost,
+                                           RoundLedger& ledger,
+                                           const std::string& phase, Rng& rng);
+
+/// Rounds one search with `oracle_calls` oracle invocations costs under the
+/// model: oracle_calls * compute_uncompute_factor * eval_rounds_per_call.
+std::uint64_t search_round_cost(const DistributedSearchCost& cost,
+                                std::uint64_t oracle_calls);
+
+}  // namespace qclique

@@ -1,0 +1,79 @@
+#include "quantum/grover.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+
+std::uint64_t grover_optimal_iterations(std::size_t dim, std::size_t solutions) {
+  QCLIQUE_CHECK(solutions >= 1 && solutions <= dim, "solution count out of range");
+  if (2 * solutions >= dim) return 0;
+  const double theta =
+      std::asin(std::sqrt(static_cast<double>(solutions) / static_cast<double>(dim)));
+  return static_cast<std::uint64_t>(std::floor(M_PI / (4.0 * theta)));
+}
+
+double grover_success_probability(std::size_t dim, std::size_t solutions,
+                                  std::uint64_t k) {
+  QCLIQUE_CHECK(solutions <= dim, "solution count out of range");
+  if (solutions == 0) return 0.0;
+  const double theta =
+      std::asin(std::sqrt(static_cast<double>(solutions) / static_cast<double>(dim)));
+  const double s = std::sin((2.0 * static_cast<double>(k) + 1.0) * theta);
+  return s * s;
+}
+
+GroverResult search_known_count(std::size_t dim, std::size_t solutions,
+                                const Oracle& oracle, Rng& rng) {
+  QCLIQUE_CHECK(solutions >= 1, "search_known_count requires a solution");
+  GroverResult res;
+  const std::uint64_t k = grover_optimal_iterations(dim, solutions);
+  // The evolved state is deterministic, so simulate the circuit once and
+  // reuse it -- but each measurement attempt physically re-prepares and
+  // re-runs the circuit, so every attempt is charged k iterations.
+  StateVector psi = StateVector::uniform(dim);
+  for (std::uint64_t i = 0; i < k; ++i) psi.apply_grover_iteration(oracle);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    res.iterations += k;
+    res.oracle_calls += k;
+    const std::size_t x = psi.measure(rng);
+    ++res.measurements;
+    ++res.oracle_calls;  // classical verification of the measured element
+    if (oracle(x)) {
+      res.found = x;
+      return res;
+    }
+  }
+  return res;
+}
+
+GroverResult search_bbht(std::size_t dim, const Oracle& oracle, Rng& rng,
+                         double cutoff_factor) {
+  GroverResult res;
+  const double sqrt_dim = std::sqrt(static_cast<double>(dim));
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(std::ceil(cutoff_factor * sqrt_dim)) + 3;
+  double m = 1.0;
+  const double lambda = 6.0 / 5.0;
+  while (res.iterations < budget) {
+    const std::uint64_t j = rng.uniform_u64(static_cast<std::uint64_t>(m) + 1);
+    StateVector psi = StateVector::uniform(dim);
+    for (std::uint64_t t = 0; t < j; ++t) psi.apply_grover_iteration(oracle);
+    res.iterations += j;
+    res.oracle_calls += j;
+    const std::size_t x = psi.measure(rng);
+    ++res.measurements;
+    ++res.oracle_calls;  // classical verification of the measured element
+    if (oracle(x)) {
+      res.found = x;
+      return res;
+    }
+    m = std::min(lambda * m, sqrt_dim);
+  }
+  return res;  // concluded: no solution (w.h.p.)
+}
+
+}  // namespace qclique

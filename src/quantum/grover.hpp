@@ -1,0 +1,63 @@
+// Grover's search algorithm, simulated exactly (paper Section 4.1).
+//
+// Two drivers are provided:
+//   * search_known_count -- the textbook fixed-iteration schedule
+//     k = floor(pi/4 * sqrt(N/M)) when the number of solutions M is known;
+//   * search_bbht -- Boyer-Brassard-Hoyer-Tapp exponential schedule for an
+//     unknown number of solutions, which is what the paper's algorithms
+//     need (a node does not know how many blocks w contain a witness).
+// Both return the measured element (classically verified against the
+// oracle), the number of Grover iterations executed, and the number of
+// oracle invocations -- the quantity the distributed layer converts into
+// rounds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "quantum/statevector.hpp"
+
+namespace qclique {
+
+class Rng;
+
+/// Oracle predicate over [0, dim).
+using Oracle = std::function<bool(std::size_t)>;
+
+/// Outcome of one Grover search.
+struct GroverResult {
+  /// Verified solution, or nullopt when the search concluded "no solution".
+  std::optional<std::size_t> found;
+  /// Total Grover iterations executed (across BBHT stages if applicable).
+  std::uint64_t iterations = 0;
+  /// Oracle invocations: one per iteration plus one classical verification
+  /// per measurement.
+  std::uint64_t oracle_calls = 0;
+  /// Number of measurements performed (BBHT stages).
+  std::uint64_t measurements = 0;
+};
+
+/// floor(pi/4 * sqrt(dim / solutions)); 0 when solutions >= dim/2 (measuring
+/// the uniform state already succeeds with probability >= 1/2).
+std::uint64_t grover_optimal_iterations(std::size_t dim, std::size_t solutions);
+
+/// Success probability of measuring a solution after `k` iterations on a
+/// dim-sized domain with `solutions` marked elements (closed form
+/// sin^2((2k+1) * theta), theta = asin(sqrt(M/N))).
+double grover_success_probability(std::size_t dim, std::size_t solutions,
+                                  std::uint64_t k);
+
+/// Fixed-schedule Grover with known solution count. Requires solutions >= 1.
+GroverResult search_known_count(std::size_t dim, std::size_t solutions,
+                                const Oracle& oracle, Rng& rng);
+
+/// BBHT search with unknown solution count. Performs exponentially growing
+/// random iteration counts; concludes "no solution" after the total
+/// iteration budget exceeds `cutoff_factor * sqrt(dim)` without a verified
+/// hit (error probability exponentially small in cutoff_factor; the
+/// default matches the paper's w.h.p. regime at the cost of a constant).
+GroverResult search_bbht(std::size_t dim, const Oracle& oracle, Rng& rng,
+                         double cutoff_factor = 9.0);
+
+}  // namespace qclique

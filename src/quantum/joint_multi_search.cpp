@@ -1,0 +1,171 @@
+#include "quantum/joint_multi_search.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "quantum/typical_set.hpp"
+
+namespace qclique {
+
+JointMultiSearch::JointMultiSearch(const JointConfig& config,
+                                   std::vector<std::vector<bool>> marked)
+    : config_(config), marked_(std::move(marked)) {
+  QCLIQUE_CHECK(config_.dim >= 2, "joint simulation needs |X| >= 2");
+  QCLIQUE_CHECK(config_.m >= 1, "joint simulation needs m >= 1");
+  QCLIQUE_CHECK(marked_.size() == config_.m, "one marked vector per register");
+  for (const auto& v : marked_) {
+    QCLIQUE_CHECK(v.size() == config_.dim, "marked vector size must be |X|");
+  }
+  // dim^m with overflow guard; callers keep this small (<= ~2^22).
+  joint_dim_ = 1;
+  for (std::size_t i = 0; i < config_.m; ++i) {
+    QCLIQUE_CHECK(joint_dim_ <= (std::size_t{1} << 22) / config_.dim,
+                  "joint dimension too large for exact simulation");
+    joint_dim_ *= config_.dim;
+  }
+
+  typical_.resize(joint_dim_);
+  all_marked_.resize(joint_dim_);
+  ideal_phase_.resize(joint_dim_);
+  garbage_phase_.resize(joint_dim_);
+  std::uint64_t hash_state = 0x2545f4914f6cdd1dULL;
+  std::vector<std::uint32_t> freq(config_.dim);
+  for (std::size_t b = 0; b < joint_dim_; ++b) {
+    std::fill(freq.begin(), freq.end(), 0);
+    std::size_t rest = b;
+    std::uint32_t marked_regs = 0;
+    std::uint32_t max_freq = 0;
+    for (std::size_t i = 0; i < config_.m; ++i) {
+      const std::size_t x = rest % config_.dim;
+      rest /= config_.dim;
+      marked_regs += marked_[i][x] ? 1 : 0;
+      max_freq = std::max(max_freq, ++freq[x]);
+    }
+    typical_[b] = (max_freq <= config_.beta) ? 1 : 0;
+    all_marked_[b] = (marked_regs == config_.m) ? 1 : 0;
+    ideal_phase_[b] = static_cast<std::uint8_t>(marked_regs & 1);
+    garbage_phase_[b] = static_cast<std::uint8_t>(splitmix64(hash_state) & 1);
+  }
+}
+
+std::size_t JointMultiSearch::marked_count(std::size_t basis) const {
+  std::size_t rest = basis;
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < config_.m; ++i) {
+    c += marked_[i][rest % config_.dim] ? 1 : 0;
+    rest /= config_.dim;
+  }
+  return c;
+}
+
+bool JointMultiSearch::is_typical(std::size_t basis) const {
+  return typical_[basis] != 0;
+}
+
+void JointMultiSearch::apply_ideal_oracle(std::vector<std::complex<double>>& amps) const {
+  for (std::size_t b = 0; b < joint_dim_; ++b) {
+    if (ideal_phase_[b]) amps[b] = -amps[b];
+  }
+}
+
+void JointMultiSearch::apply_truncated_oracle(
+    std::vector<std::complex<double>>& amps) const {
+  for (std::size_t b = 0; b < joint_dim_; ++b) {
+    if (typical_[b]) {
+      if (ideal_phase_[b]) amps[b] = -amps[b];
+    } else {
+      switch (config_.mode) {
+        case TruncationMode::kErase:
+          break;  // error output: no phase kickback at all
+        case TruncationMode::kGarbage:
+          if (garbage_phase_[b]) amps[b] = -amps[b];
+          break;
+      }
+    }
+  }
+}
+
+void JointMultiSearch::apply_diffusion_all_registers(
+    std::vector<std::complex<double>>& amps) const {
+  // Apply D = 2|u><u| - I independently on each register. For register i
+  // with stride s, the register's dim-sized slices are
+  // { base + x*s : x in [0, dim) } for every `base` whose i-th digit is 0.
+  const std::size_t dim = config_.dim;
+  std::size_t stride = 1;
+  for (std::size_t reg = 0; reg < config_.m; ++reg) {
+    const std::size_t block = stride * dim;
+    for (std::size_t outer = 0; outer < joint_dim_; outer += block) {
+      for (std::size_t inner = 0; inner < stride; ++inner) {
+        const std::size_t base = outer + inner;
+        std::complex<double> mean = 0;
+        for (std::size_t x = 0; x < dim; ++x) mean += amps[base + x * stride];
+        mean /= static_cast<double>(dim);
+        for (std::size_t x = 0; x < dim; ++x) {
+          auto& a = amps[base + x * stride];
+          a = 2.0 * mean - a;
+        }
+      }
+    }
+    stride = block;
+  }
+}
+
+double JointMultiSearch::success_mass(
+    const std::vector<std::complex<double>>& amps) const {
+  double p = 0;
+  for (std::size_t b = 0; b < joint_dim_; ++b) {
+    if (all_marked_[b]) p += std::norm(amps[b]);
+  }
+  return p;
+}
+
+double JointMultiSearch::atypical_norm(
+    const std::vector<std::complex<double>>& amps) const {
+  double p = 0;
+  for (std::size_t b = 0; b < joint_dim_; ++b) {
+    if (!typical_[b]) p += std::norm(amps[b]);
+  }
+  return std::sqrt(p);
+}
+
+double JointMultiSearch::uniform_atypical_mass() const {
+  double atypical = 0;
+  for (std::size_t b = 0; b < joint_dim_; ++b) {
+    if (!typical_[b]) atypical += 1.0;
+  }
+  return atypical / static_cast<double>(joint_dim_);
+}
+
+JointReport JointMultiSearch::run(std::uint64_t iterations) {
+  const double amp0 = 1.0 / std::sqrt(static_cast<double>(joint_dim_));
+  std::vector<std::complex<double>> ideal(joint_dim_, amp0);
+  std::vector<std::complex<double>> trunc(joint_dim_, amp0);
+
+  JointReport rep;
+  rep.iterations = iterations;
+  // The initial state belongs to H_m; include its atypical norm in the sum
+  // (the appendix telescopes from k = 0).
+  double sum_atypical = atypical_norm(ideal);
+  rep.max_atypical_norm = sum_atypical;
+
+  for (std::uint64_t k = 0; k < iterations; ++k) {
+    apply_ideal_oracle(ideal);
+    apply_diffusion_all_registers(ideal);
+    apply_truncated_oracle(trunc);
+    apply_diffusion_all_registers(trunc);
+    const double an = atypical_norm(ideal);
+    rep.max_atypical_norm = std::max(rep.max_atypical_norm, an);
+    sum_atypical += an;
+  }
+
+  rep.telescoping_bound = 2.0 * sum_atypical;
+  rep.ideal_success = success_mass(ideal);
+  rep.truncated_success = success_mass(trunc);
+  double dev = 0;
+  for (std::size_t b = 0; b < joint_dim_; ++b) dev += std::norm(ideal[b] - trunc[b]);
+  rep.final_deviation = std::sqrt(dev);
+  return rep;
+}
+
+}  // namespace qclique

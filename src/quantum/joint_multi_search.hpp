@@ -1,0 +1,93 @@
+// Exact joint simulation of m parallel Grover searches (paper Appendix A).
+//
+// This is the validation instrument for Theorem 3: the full tensor-product
+// state over X^m is evolved twice, once with the ideal evaluation operator
+// C_m (each register's phase oracle applied everywhere) and once with the
+// truncated operator C~_m that behaves arbitrarily outside the typical set
+// Upsilon_beta(m, X). The report exposes exactly the quantities the
+// appendix's proof manipulates:
+//   * the atypical mass || Pi_m |Phi_k> || at every step,
+//   * the telescoping bound 2 * sum_k || Pi_m |Phi_k> || on the final
+//     deviation || |Phi_k> - |Phi~_k> ||,
+//   * the measured deviation and both success probabilities.
+// Dimensions are dim^m, so this is only for small instances -- by design:
+// it checks the *mechanism* of the proof, while multi_search.hpp scales the
+// independent-register form to real sizes.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace qclique {
+
+class Rng;
+
+/// How the truncated evaluation C~_m behaves on atypical basis states.
+enum class TruncationMode {
+  /// Outputs all-zero answers: no phase is applied (an "error message").
+  kErase,
+  /// Outputs arbitrary garbage: a fixed pseudo-random phase per basis state.
+  kGarbage,
+};
+
+/// Configuration of an exact joint run.
+struct JointConfig {
+  std::size_t dim = 2;  // |X|
+  std::size_t m = 2;    // number of registers (searches)
+  double beta = 1e18;   // Upsilon_beta threshold (large = everything typical)
+  TruncationMode mode = TruncationMode::kErase;
+};
+
+/// Step-by-step comparison of the ideal and truncated evolutions.
+struct JointReport {
+  std::uint64_t iterations = 0;
+  /// P[measuring a tuple in A1_1 x ... x A1_m] for each track.
+  double ideal_success = 0.0;
+  double truncated_success = 0.0;
+  /// || |Phi_k> - |Phi~_k> || after the last iteration.
+  double final_deviation = 0.0;
+  /// max_k || Pi_m |Phi_k> || (atypical amplitude of the *ideal* track).
+  double max_atypical_norm = 0.0;
+  /// 2 * sum_k || Pi_m |Phi_k> ||: the appendix's upper bound on
+  /// final_deviation; the test suite asserts final_deviation <= this.
+  double telescoping_bound = 0.0;
+};
+
+/// Exact joint simulator.
+class JointMultiSearch {
+ public:
+  /// `marked[i]` is the indicator vector of A1_i over [0, dim).
+  JointMultiSearch(const JointConfig& config,
+                   std::vector<std::vector<bool>> marked);
+
+  /// Evolves both tracks from the uniform superposition for `iterations`
+  /// Grover steps and reports the comparison.
+  JointReport run(std::uint64_t iterations);
+
+  /// Probability mass outside Upsilon_beta for the uniform start state
+  /// (the quantity Lemma 5 bounds for states of H_m).
+  double uniform_atypical_mass() const;
+
+  std::size_t joint_dim() const { return joint_dim_; }
+
+ private:
+  std::size_t marked_count(std::size_t basis) const;
+  bool is_typical(std::size_t basis) const;
+  void apply_ideal_oracle(std::vector<std::complex<double>>& amps) const;
+  void apply_truncated_oracle(std::vector<std::complex<double>>& amps) const;
+  void apply_diffusion_all_registers(std::vector<std::complex<double>>& amps) const;
+  double success_mass(const std::vector<std::complex<double>>& amps) const;
+  double atypical_norm(const std::vector<std::complex<double>>& amps) const;
+
+  JointConfig config_;
+  std::vector<std::vector<bool>> marked_;
+  std::size_t joint_dim_;
+  // Precomputed per-basis-state data.
+  std::vector<std::uint8_t> typical_;       // 1 if basis tuple in Upsilon_beta
+  std::vector<std::uint8_t> all_marked_;    // 1 if every register is marked
+  std::vector<std::uint8_t> ideal_phase_;   // parity of marked registers
+  std::vector<std::uint8_t> garbage_phase_; // arbitrary fixed phases
+};
+
+}  // namespace qclique

@@ -1,0 +1,127 @@
+#include "quantum/multi_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "quantum/typical_set.hpp"
+
+namespace qclique {
+
+std::size_t MultiSearchResult::num_found() const {
+  std::size_t c = 0;
+  for (const auto& f : found) c += f.has_value();
+  return c;
+}
+
+double analytic_success_probability(std::size_t dim, std::size_t solutions,
+                                    std::uint64_t k) {
+  return grover_success_probability(dim, solutions, k);
+}
+
+namespace {
+
+/// Samples a measurement outcome of search `inst` after `k` iterations from
+/// the uniform start: a solution with probability sin^2((2k+1) theta),
+/// uniform within its class either way. Exact (2D invariant subspace).
+std::size_t sample_outcome(std::size_t dim, const SearchInstance& inst,
+                           std::uint64_t k, Rng& rng) {
+  const std::size_t M = inst.solutions.size();
+  if (M == 0) {
+    // No marked element: the state never moves off uniform-over-unmarked.
+    return rng.uniform_u64(dim);
+  }
+  const double p = grover_success_probability(dim, M, k);
+  if (rng.bernoulli(p)) {
+    return inst.solutions[rng.uniform_u64(M)];
+  }
+  // Uniform over unmarked elements (solutions are sorted: skip over them).
+  const std::size_t unmarked = dim - M;
+  if (unmarked == 0) return inst.solutions[rng.uniform_u64(M)];
+  std::size_t r = rng.uniform_u64(unmarked);
+  // Map r into [0, dim) \ solutions.
+  for (std::size_t s : inst.solutions) {
+    if (r >= s) ++r;  // works because solutions are sorted ascending
+  }
+  return r;
+}
+
+bool is_solution(const SearchInstance& inst, std::size_t x) {
+  return std::binary_search(inst.solutions.begin(), inst.solutions.end(), x);
+}
+
+}  // namespace
+
+MultiSearchResult multi_search(std::size_t dim,
+                               const std::vector<SearchInstance>& searches,
+                               const DistributedSearchCost& cost,
+                               const MultiSearchOptions& options,
+                               RoundLedger& ledger, const std::string& phase,
+                               Rng& rng) {
+  QCLIQUE_CHECK(dim >= 1, "multi_search needs dim >= 1");
+  for (const auto& s : searches) {
+    QCLIQUE_CHECK(std::is_sorted(s.solutions.begin(), s.solutions.end()),
+                  "SearchInstance solutions must be sorted");
+    QCLIQUE_CHECK(s.solutions.empty() || s.solutions.back() < dim,
+                  "solution outside domain");
+  }
+
+  MultiSearchResult res;
+  res.found.assign(searches.size(), std::nullopt);
+  const double sqrt_dim = std::sqrt(static_cast<double>(dim));
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(std::ceil(options.cutoff_factor * sqrt_dim)) + 3;
+
+  // Searches without solutions can never verify, so they keep every stage
+  // running to the budget -- the unavoidable cost of concluding "no".
+  std::size_t remaining = searches.size();
+
+  // Lockstep BBHT: one shared stage schedule for all m searches. A stage of
+  // j iterations costs j joint oracle calls (+1 verification); searches that
+  // already succeeded sit out but the joint evaluation still runs, so the
+  // cost does not depend on how many are done.
+  double mstage = 1.0;
+  const double lambda = 6.0 / 5.0;
+  std::uint64_t iters_done = 0;
+  while (remaining > 0 && iters_done < budget) {
+    const std::uint64_t j = rng.uniform_u64(static_cast<std::uint64_t>(mstage) + 1);
+    iters_done += j;
+    ++res.stages;
+    res.joint_oracle_calls += j + 1;  // j iterations + 1 verification round
+
+    for (std::size_t i = 0; i < searches.size(); ++i) {
+      if (res.found[i].has_value()) continue;
+      const std::size_t x = sample_outcome(dim, searches[i], j, rng);
+      if (is_solution(searches[i], x)) {
+        res.found[i] = x;
+        --remaining;
+      }
+    }
+
+    // Typicality audit: sample joint query tuples from the *current* product
+    // distribution (the state each search would be measured in at this
+    // stage) and test membership in Upsilon_beta.
+    if (options.typicality_beta > 0 && options.audit_samples_per_stage > 0) {
+      for (std::size_t t = 0; t < options.audit_samples_per_stage; ++t) {
+        std::vector<std::size_t> tuple;
+        tuple.reserve(searches.size());
+        for (std::size_t i = 0; i < searches.size(); ++i) {
+          tuple.push_back(sample_outcome(dim, searches[i], j, rng));
+        }
+        const FrequencyProfile prof = frequency_profile(tuple, dim);
+        ++res.audit_tuples;
+        res.audit_max_frequency = std::max(res.audit_max_frequency, prof.max_frequency);
+        if (!prof.within(options.typicality_beta)) ++res.audit_violations;
+      }
+    }
+
+    mstage = std::min(lambda * mstage, sqrt_dim);
+  }
+
+  res.rounds_charged = search_round_cost(cost, res.joint_oracle_calls);
+  ledger.charge_quantum(phase, res.rounds_charged, res.joint_oracle_calls);
+  return res;
+}
+
+}  // namespace qclique

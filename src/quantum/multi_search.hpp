@@ -1,0 +1,82 @@
+// Parallel multiple quantum searches (paper Sections 4.1-4.2).
+//
+// A node runs m Grover searches over a common domain X in lockstep: one
+// joint evaluation answers all m oracles, so a stage of j Grover iterations
+// costs j joint oracle calls regardless of m. This module simulates the m
+// searches *exactly* using the 2-dimensional invariant-subspace form of
+// Grover's dynamics: starting from the uniform superposition, the state
+// stays in span{ |psi_0>, |psi_1> } and the success amplitude after k
+// iterations is sin((2k+1) * theta) with theta = asin(sqrt(M/N)). This is
+// algebraically identical to the full state-vector simulation (a property
+// test cross-checks the two) but runs in O(1) per search per stage, which
+// is what makes simulating Theta(n log n) searches per node feasible.
+//
+// The typicality audit implements the substitution described in DESIGN.md:
+// instead of evolving the (infeasible) joint superposition over X^m, it
+// Monte-Carlo samples query tuples from the product of the per-search Born
+// distributions at every BBHT stage and measures how often they leave
+// Upsilon_beta(m, X) -- the congestion events Theorem 3 proves negligible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "congest/round_ledger.hpp"
+#include "quantum/distributed_search.hpp"
+
+namespace qclique {
+
+class Rng;
+
+/// One search instance: the set of marked elements in [0, dim).
+/// (The simulator needs the explicit set to sample measurement outcomes;
+/// algorithms construct it from their semantic oracle.)
+struct SearchInstance {
+  std::vector<std::size_t> solutions;  // sorted, distinct, each < dim
+};
+
+/// Options controlling the lockstep BBHT schedule and the typicality audit.
+struct MultiSearchOptions {
+  /// Total per-search iteration budget factor (budget = factor * sqrt(dim)).
+  double cutoff_factor = 9.0;
+  /// If > 0, audit tuples against Upsilon_beta with this beta.
+  double typicality_beta = 0.0;
+  /// Joint tuples sampled per BBHT stage for the audit.
+  std::size_t audit_samples_per_stage = 0;
+};
+
+/// Aggregate result of m lockstep searches.
+struct MultiSearchResult {
+  /// Per-search verified solution, or nullopt ("no solution" conclusion).
+  std::vector<std::optional<std::size_t>> found;
+  std::uint64_t stages = 0;
+  /// Joint oracle calls: Grover iterations summed over stages, plus one
+  /// verification call per stage (all m searches evaluated together).
+  std::uint64_t joint_oracle_calls = 0;
+  std::uint64_t rounds_charged = 0;
+  // Typicality audit counters (zero when the audit is disabled).
+  std::uint64_t audit_tuples = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint32_t audit_max_frequency = 0;
+
+  /// Number of searches that found a solution.
+  std::size_t num_found() const;
+};
+
+/// Exact closed-form success probability of one search after k iterations
+/// (identical to grover_success_probability; re-exported for clarity).
+double analytic_success_probability(std::size_t dim, std::size_t solutions,
+                                    std::uint64_t k);
+
+/// Runs m lockstep BBHT searches over [0, dim), charging
+/// `cost` per joint oracle call to `ledger` under `phase`.
+MultiSearchResult multi_search(std::size_t dim,
+                               const std::vector<SearchInstance>& searches,
+                               const DistributedSearchCost& cost,
+                               const MultiSearchOptions& options,
+                               RoundLedger& ledger, const std::string& phase,
+                               Rng& rng);
+
+}  // namespace qclique

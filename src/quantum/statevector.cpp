@@ -1,0 +1,93 @@
+#include "quantum/statevector.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+
+StateVector::StateVector(std::size_t dim, std::size_t i0) : amps_(dim) {
+  QCLIQUE_CHECK(dim >= 1, "StateVector needs dimension >= 1");
+  QCLIQUE_CHECK(i0 < dim, "initial basis state out of range");
+  amps_[i0] = 1.0;
+}
+
+StateVector StateVector::uniform(std::size_t dim) {
+  StateVector s(dim);
+  const double a = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (auto& x : s.amps_) x = a;
+  return s;
+}
+
+double StateVector::norm_sq() const {
+  double s = 0;
+  for (const auto& a : amps_) s += std::norm(a);
+  return s;
+}
+
+void StateVector::normalize() {
+  const double n = std::sqrt(norm_sq());
+  QCLIQUE_CHECK(n > 1e-300, "cannot normalize the zero vector");
+  for (auto& a : amps_) a /= n;
+}
+
+double StateVector::probability(std::size_t i) const {
+  QCLIQUE_CHECK(i < amps_.size(), "basis state out of range");
+  return std::norm(amps_[i]);
+}
+
+double StateVector::probability_of(const std::function<bool(std::size_t)>& pred) const {
+  double p = 0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (pred(i)) p += std::norm(amps_[i]);
+  }
+  return p;
+}
+
+std::size_t StateVector::measure(Rng& rng) const {
+  double u = rng.uniform_double() * norm_sq();
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    u -= std::norm(amps_[i]);
+    if (u <= 0) return i;
+  }
+  return amps_.size() - 1;  // numerical slack lands on the last state
+}
+
+void StateVector::apply_phase_oracle(const std::function<bool(std::size_t)>& marked) {
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (marked(i)) amps_[i] = -amps_[i];
+  }
+}
+
+void StateVector::apply_diffusion() {
+  std::complex<double> mean = 0;
+  for (const auto& a : amps_) mean += a;
+  mean /= static_cast<double>(amps_.size());
+  for (auto& a : amps_) a = 2.0 * mean - a;
+}
+
+void StateVector::apply_grover_iteration(const std::function<bool(std::size_t)>& marked) {
+  apply_phase_oracle(marked);
+  apply_diffusion();
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  QCLIQUE_CHECK(dim() == other.dim(), "fidelity dimension mismatch");
+  std::complex<double> ip = 0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    ip += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return std::norm(ip);
+}
+
+double StateVector::l2_distance(const StateVector& other) const {
+  QCLIQUE_CHECK(dim() == other.dim(), "l2_distance dimension mismatch");
+  double s = 0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    s += std::norm(amps_[i] - other.amps_[i]);
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace qclique

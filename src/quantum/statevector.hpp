@@ -1,0 +1,70 @@
+// Exact state-vector simulation over an arbitrary finite search domain.
+//
+// Grover search (paper Section 4.1) operates on superpositions over a finite
+// set X -- not necessarily of power-of-two size -- so the state vector is
+// indexed directly by elements of [0, |X|) with no qubit encoding. The only
+// operations the distributed search framework needs are the phase oracle
+// (one sign flip per marked element) and the Grover diffusion (reflection
+// about the uniform superposition); both are implemented exactly in
+// O(|X|) arithmetic.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace qclique {
+
+class Rng;
+
+/// Exact complex state vector over dimension `dim`.
+class StateVector {
+ public:
+  /// Basis state |i0>.
+  explicit StateVector(std::size_t dim, std::size_t i0 = 0);
+
+  /// |Phi_0> = uniform superposition over all of X.
+  static StateVector uniform(std::size_t dim);
+
+  std::size_t dim() const { return amps_.size(); }
+
+  std::complex<double> amp(std::size_t i) const { return amps_[i]; }
+  void set_amp(std::size_t i, std::complex<double> a) { amps_[i] = a; }
+
+  /// Squared norm (should remain 1 under unitary evolution).
+  double norm_sq() const;
+
+  /// Rescales to unit norm; throws on the zero vector.
+  void normalize();
+
+  /// Probability of measuring basis state i.
+  double probability(std::size_t i) const;
+
+  /// Total probability mass on elements satisfying `pred`.
+  double probability_of(const std::function<bool(std::size_t)>& pred) const;
+
+  /// Samples a basis state from the Born distribution.
+  std::size_t measure(Rng& rng) const;
+
+  /// Phase oracle: amp[i] *= -1 for every i with marked(i).
+  void apply_phase_oracle(const std::function<bool(std::size_t)>& marked);
+
+  /// Grover diffusion: reflection about the uniform superposition,
+  /// amp -> 2 * mean - amp.
+  void apply_diffusion();
+
+  /// One full Grover iterate G = D . O_f.
+  void apply_grover_iteration(const std::function<bool(std::size_t)>& marked);
+
+  /// |<this|other>|^2 (states must have equal dimension).
+  double fidelity(const StateVector& other) const;
+
+  /// L2 distance || this - other ||.
+  double l2_distance(const StateVector& other) const;
+
+ private:
+  std::vector<std::complex<double>> amps_;
+};
+
+}  // namespace qclique

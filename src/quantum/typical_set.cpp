@@ -1,0 +1,42 @@
+#include "quantum/typical_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+FrequencyProfile frequency_profile(const std::vector<std::size_t>& tuple,
+                                   std::size_t dim) {
+  FrequencyProfile p;
+  p.counts.assign(dim, 0);
+  for (std::size_t x : tuple) {
+    QCLIQUE_CHECK(x < dim, "tuple element outside domain");
+    ++p.counts[x];
+    p.max_frequency = std::max(p.max_frequency, p.counts[x]);
+  }
+  return p;
+}
+
+bool in_typical_set(const std::vector<std::size_t>& tuple, std::size_t dim,
+                    double beta) {
+  return frequency_profile(tuple, dim).within(beta);
+}
+
+double lemma5_atypical_mass_bound(std::size_t dim, std::size_t m) {
+  QCLIQUE_CHECK(dim >= 1 && m >= 1, "lemma5 bound needs dim, m >= 1");
+  return static_cast<double>(dim) *
+         std::exp(-2.0 * static_cast<double>(m) / (9.0 * static_cast<double>(dim)));
+}
+
+bool theorem3_preconditions_hold(std::size_t dim, std::size_t m, double beta) {
+  if (m < 2) return false;
+  const double log_m = std::log2(static_cast<double>(m));
+  if (!(static_cast<double>(dim) < static_cast<double>(m) / (36.0 * log_m))) {
+    return false;
+  }
+  return beta > 8.0 * static_cast<double>(m) / static_cast<double>(dim);
+}
+
+}  // namespace qclique

@@ -1,0 +1,45 @@
+// The typical-input set Upsilon_beta(m, X) of paper Section 4.2.
+//
+// Upsilon_beta(m, X) is the set of tuples (x_1, ..., x_m) in X^m in which no
+// element of X appears more than beta times. The paper's Theorem 3 shows
+// that multiple distributed Grover searches may use an evaluation procedure
+// that is only correct on Upsilon_beta -- the congestion-free inputs --
+// because the joint superposition keeps almost all its mass there (Lemma 5).
+// This header provides membership tests, frequency profiles, and the
+// Lemma 5 bound, used both by the algorithms (load-balancing thresholds)
+// and by the audit machinery that validates the assumption empirically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qclique {
+
+/// Frequency profile of a tuple over domain [0, dim).
+struct FrequencyProfile {
+  std::vector<std::uint32_t> counts;  // counts[x] = multiplicity of x
+  std::uint32_t max_frequency = 0;
+
+  /// True iff every element's multiplicity is <= beta, i.e. the tuple lies
+  /// in Upsilon_beta(m, X).
+  bool within(double beta) const { return max_frequency <= beta; }
+};
+
+/// Computes the frequency profile of `tuple` over domain [0, dim).
+FrequencyProfile frequency_profile(const std::vector<std::size_t>& tuple,
+                                   std::size_t dim);
+
+/// Membership test: tuple in Upsilon_beta(m, X)?
+bool in_typical_set(const std::vector<std::size_t>& tuple, std::size_t dim,
+                    double beta);
+
+/// The Lemma 5 bound on the atypical mass of any state in H_m:
+///   || Pi_m |phi> ||^2 < |X| * exp(-2m / (9 |X|)).
+/// Returned uncapped; values >= 1 mean the bound is vacuous at these sizes.
+double lemma5_atypical_mass_bound(std::size_t dim, std::size_t m);
+
+/// The paper's Theorem 3 preconditions for domain size `dim`, search count
+/// `m`, and threshold `beta`: |X| < m / (36 log m) and beta > 8 m / |X|.
+bool theorem3_preconditions_hold(std::size_t dim, std::size_t m, double beta);
+
+}  // namespace qclique

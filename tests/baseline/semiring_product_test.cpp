@@ -1,0 +1,107 @@
+// Tests for the distributed O~(n^{1/3})-round semiring distance product and
+// the classical APSP pipeline built on it.
+#include "baseline/semiring_product.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/classical_apsp.hpp"
+#include "baseline/shortest_paths.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "matrix/min_plus.hpp"
+
+namespace qclique {
+namespace {
+
+DistMatrix random_matrix(std::uint32_t n, std::int64_t lo, std::int64_t hi,
+                         double inf_prob, Rng& rng) {
+  DistMatrix m(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (!rng.bernoulli(inf_prob)) m.set(i, j, rng.uniform_i64(lo, hi));
+    }
+  }
+  return m;
+}
+
+class SemiringProductSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SemiringProductSizes, MatchesNaiveProduct) {
+  const std::uint32_t n = GetParam();
+  Rng rng(100 + n);
+  CliqueNetwork net(n);
+  const auto a = random_matrix(n, -9, 9, 0.2, rng);
+  const auto b = random_matrix(n, -9, 9, 0.2, rng);
+  const auto res = semiring_distance_product(net, a, b);
+  const auto want = distance_product_naive(a, b);
+  EXPECT_EQ(res.product, want) << res.product.first_difference(want);
+  EXPECT_GT(res.rounds, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SemiringProductSizes,
+                         ::testing::Values(2u, 3u, 5u, 8u, 13u, 16u, 27u, 32u));
+
+TEST(SemiringProduct, AllInfMatrices) {
+  CliqueNetwork net(6);
+  DistMatrix a(6), b(6);
+  const auto res = semiring_distance_product(net, a, b);
+  EXPECT_EQ(res.product, DistMatrix(6));
+}
+
+TEST(SemiringProduct, IdentityNeutral) {
+  Rng rng(7);
+  const std::uint32_t n = 9;
+  CliqueNetwork net(n);
+  const auto a = random_matrix(n, -5, 5, 0.3, rng);
+  const auto res = semiring_distance_product(net, a, DistMatrix::identity(n));
+  EXPECT_EQ(res.product, a);
+}
+
+TEST(SemiringProduct, RoundsScaleSubLinearly) {
+  // The cube algorithm's rounds grow like n^{1/3} (up to log factors from
+  // payload chunking). Check the fitted exponent stays well below the
+  // trivial 1.0 (broadcast-everything) and above 0.
+  Rng rng(8);
+  std::vector<double> ns, rounds;
+  for (std::uint32_t n : {8u, 16u, 32u, 64u}) {
+    CliqueNetwork net(n);
+    const auto a = random_matrix(n, -9, 9, 0.1, rng);
+    const auto b = random_matrix(n, -9, 9, 0.1, rng);
+    const auto res = semiring_distance_product(net, a, b);
+    ns.push_back(n);
+    rounds.push_back(static_cast<double>(res.rounds));
+  }
+  const auto fit = fit_power_law(ns, rounds);
+  EXPECT_LT(fit.slope, 0.85);
+  EXPECT_GT(fit.slope, 0.05);
+}
+
+TEST(ClassicalApsp, MatchesFloydWarshall) {
+  Rng rng(9);
+  for (std::uint32_t n : {4u, 9u, 16u}) {
+    const auto g = random_digraph(n, 0.45, -4, 9, rng);
+    const auto fw = floyd_warshall(g);
+    ASSERT_TRUE(fw.has_value());
+    const auto res = classical_apsp(g);
+    EXPECT_EQ(res.distances, *fw) << res.distances.first_difference(*fw);
+    EXPECT_GT(res.rounds, 0u);
+  }
+}
+
+TEST(ClassicalApsp, SingleVertex) {
+  Digraph g(1);
+  const auto res = classical_apsp(g);
+  EXPECT_EQ(res.distances.at(0, 0), 0);
+}
+
+TEST(ClassicalApsp, LedgerHasSemiringPhases) {
+  Rng rng(10);
+  const auto g = random_digraph(8, 0.5, 0, 5, rng, false);
+  const auto res = classical_apsp(g);
+  EXPECT_GT(res.ledger.phase_rounds("semiring/distribute"), 0u);
+  EXPECT_GT(res.ledger.phase_rounds("semiring/combine"), 0u);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,156 @@
+// Tests for the centralized shortest-path oracles, cross-validating them
+// against each other and against min-plus squaring.
+#include "baseline/shortest_paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "matrix/min_plus.hpp"
+
+namespace qclique {
+namespace {
+
+Digraph line_graph(std::uint32_t n, std::int64_t w) {
+  Digraph g(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) g.set_arc(i, i + 1, w);
+  return g;
+}
+
+TEST(FloydWarshall, LineGraphDistances) {
+  const auto g = line_graph(5, 2);
+  const auto d = floyd_warshall(g);
+  ASSERT_TRUE(d.has_value());
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    for (std::uint32_t j = 0; j < 5; ++j) {
+      if (j >= i) {
+        EXPECT_EQ(d->at(i, j), 2 * (j - i));
+      } else {
+        EXPECT_TRUE(is_plus_inf(d->at(i, j)));
+      }
+    }
+  }
+}
+
+TEST(FloydWarshall, NegativeEdgesNoCycle) {
+  Digraph g(3);
+  g.set_arc(0, 1, 5);
+  g.set_arc(1, 2, -3);
+  g.set_arc(0, 2, 4);
+  const auto d = floyd_warshall(g);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->at(0, 2), 2);
+}
+
+TEST(FloydWarshall, DetectsNegativeCycle) {
+  Digraph g(3);
+  g.set_arc(0, 1, 1);
+  g.set_arc(1, 0, -2);
+  EXPECT_FALSE(floyd_warshall(g).has_value());
+}
+
+TEST(BellmanFord, MatchesFloydWarshallRow) {
+  Rng rng(1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto g = random_digraph(14, 0.4, -5, 10, rng);
+    const auto fw = floyd_warshall(g);
+    ASSERT_TRUE(fw.has_value());
+    for (std::uint32_t s = 0; s < 14; s += 5) {
+      const auto bf = bellman_ford(g, s);
+      ASSERT_TRUE(bf.has_value());
+      for (std::uint32_t t = 0; t < 14; ++t) EXPECT_EQ((*bf)[t], fw->at(s, t));
+    }
+  }
+}
+
+TEST(BellmanFord, DetectsReachableNegativeCycle) {
+  Digraph g(4);
+  g.set_arc(0, 1, 1);
+  g.set_arc(1, 2, -5);
+  g.set_arc(2, 1, 2);
+  EXPECT_FALSE(bellman_ford(g, 0).has_value());
+  // Unreachable negative cycle is fine for source 3.
+  EXPECT_TRUE(bellman_ford(g, 3).has_value());
+}
+
+TEST(Dijkstra, RejectsNegativeWeights) {
+  Digraph g(3);
+  g.set_arc(0, 1, -1);
+  EXPECT_THROW(dijkstra(g, 0), SimulationError);
+}
+
+TEST(Dijkstra, MatchesBellmanFordOnNonNegative) {
+  Rng rng(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto g = random_digraph(16, 0.4, 0, 12, rng, false);
+    for (std::uint32_t s = 0; s < 16; s += 7) {
+      const auto dj = dijkstra(g, s);
+      const auto bf = bellman_ford(g, s);
+      ASSERT_TRUE(bf.has_value());
+      EXPECT_EQ(dj, *bf);
+    }
+  }
+}
+
+TEST(Johnson, MatchesFloydWarshall) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto g = random_digraph(15, 0.35, -6, 12, rng);
+    const auto fw = floyd_warshall(g);
+    const auto jo = johnson(g);
+    ASSERT_TRUE(fw.has_value());
+    ASSERT_TRUE(jo.has_value());
+    EXPECT_EQ(*fw, *jo) << fw->first_difference(*jo);
+  }
+}
+
+TEST(Johnson, DetectsNegativeCycle) {
+  Digraph g(3);
+  g.set_arc(0, 1, -1);
+  g.set_arc(1, 2, -1);
+  g.set_arc(2, 0, -1);
+  EXPECT_FALSE(johnson(g).has_value());
+}
+
+TEST(Oracles, AgreeWithMinPlusSquaring) {
+  Rng rng(4);
+  const auto g = random_digraph(12, 0.5, -4, 9, rng);
+  const auto fw = floyd_warshall(g);
+  ASSERT_TRUE(fw.has_value());
+  EXPECT_EQ(*fw, apsp_by_squaring(g.to_dist_matrix()));
+}
+
+TEST(ReconstructPath, RecoversValidShortestPath) {
+  Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto g = random_digraph(12, 0.5, 1, 9, rng, false);
+    const auto d = floyd_warshall(g);
+    ASSERT_TRUE(d.has_value());
+    for (std::uint32_t u = 0; u < 12; u += 3) {
+      for (std::uint32_t v = 0; v < 12; v += 4) {
+        const auto path = reconstruct_path(g, *d, u, v);
+        if (u == v) {
+          ASSERT_EQ(path.size(), 1u);
+          continue;
+        }
+        if (is_plus_inf(d->at(u, v))) {
+          EXPECT_TRUE(path.empty());
+          continue;
+        }
+        ASSERT_GE(path.size(), 2u);
+        EXPECT_EQ(path.front(), u);
+        EXPECT_EQ(path.back(), v);
+        std::int64_t total = 0;
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          ASSERT_TRUE(g.has_arc(path[i], path[i + 1]));
+          total += g.weight(path[i], path[i + 1]);
+        }
+        EXPECT_EQ(total, d->at(u, v));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,76 @@
+// Tests for the Dolev-Lenzen-Peled triangle listing baseline.
+#include "baseline/tri_tri_again.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+
+namespace qclique {
+namespace {
+
+class TriTriSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TriTriSizes, HotPairsMatchBruteForce) {
+  const std::uint32_t n = GetParam();
+  Rng rng(500 + n);
+  const auto g = random_weighted_graph(n, 0.5, -6, 10, rng);
+  const auto res = tri_tri_again_find_edges(g);
+  EXPECT_EQ(res.hot_pairs, edges_in_negative_triangles(g));
+  EXPECT_EQ(res.negative_triangles, count_negative_triangles(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TriTriSizes,
+                         ::testing::Values(3u, 5u, 8u, 12u, 16u, 20u, 27u, 33u));
+
+TEST(TriTriAgain, EmptyGraphHasNoPairs) {
+  WeightedGraph g(10);
+  const auto res = tri_tri_again_find_edges(g);
+  EXPECT_TRUE(res.hot_pairs.empty());
+  EXPECT_EQ(res.negative_triangles, 0u);
+}
+
+TEST(TriTriAgain, AllPositiveWeights) {
+  Rng rng(2);
+  const auto g = random_weighted_graph(18, 0.6, 1, 10, rng);
+  const auto res = tri_tri_again_find_edges(g);
+  EXPECT_TRUE(res.hot_pairs.empty());
+}
+
+TEST(TriTriAgain, PlantedTrianglesRecovered) {
+  Rng rng(3);
+  std::vector<VertexPair> planted;
+  const auto g = planted_negative_triangles(21, 4, rng, &planted);
+  const auto res = tri_tri_again_find_edges(g);
+  EXPECT_EQ(res.hot_pairs, planted);
+  EXPECT_EQ(res.negative_triangles, 4u);
+}
+
+TEST(TriTriAgain, RoundsScaleSubLinearly) {
+  Rng rng(4);
+  std::vector<double> ns, rounds;
+  for (std::uint32_t n : {8u, 16u, 32u, 64u}) {
+    const auto g = random_weighted_graph(n, 0.4, -5, 10, rng);
+    const auto res = tri_tri_again_find_edges(g);
+    ns.push_back(n);
+    rounds.push_back(static_cast<double>(std::max<std::uint64_t>(res.rounds, 1)));
+  }
+  const auto fit = fit_power_law(ns, rounds);
+  EXPECT_LT(fit.slope, 0.9);
+}
+
+TEST(TriTriAgain, DenseNegativeClique) {
+  // Every triangle negative: hot pairs = all edges.
+  WeightedGraph g(9);
+  for (std::uint32_t u = 0; u < 9; ++u) {
+    for (std::uint32_t v = u + 1; v < 9; ++v) g.set_edge(u, v, -1);
+  }
+  const auto res = tri_tri_again_find_edges(g);
+  EXPECT_EQ(res.hot_pairs.size(), 36u);
+  EXPECT_EQ(res.negative_triangles, 84u);  // C(9,3)
+}
+
+}  // namespace
+}  // namespace qclique

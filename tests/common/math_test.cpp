@@ -1,0 +1,144 @@
+// Unit tests for common/math.hpp: saturating min-plus arithmetic, integer
+// logs/roots, and the balanced block partition used by the paper's V / V'
+// vertex partitions.
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(SatAdd, FiniteValues) {
+  EXPECT_EQ(sat_add(3, 4), 7);
+  EXPECT_EQ(sat_add(-10, 4), -6);
+  EXPECT_EQ(sat_add(0, 0), 0);
+}
+
+TEST(SatAdd, PlusInfAbsorbs) {
+  EXPECT_TRUE(is_plus_inf(sat_add(kPlusInf, 5)));
+  EXPECT_TRUE(is_plus_inf(sat_add(5, kPlusInf)));
+  EXPECT_TRUE(is_plus_inf(sat_add(kPlusInf, kPlusInf)));
+}
+
+TEST(SatAdd, MinusInfAbsorbs) {
+  EXPECT_TRUE(is_minus_inf(sat_add(kMinusInf, 5)));
+  EXPECT_TRUE(is_minus_inf(sat_add(5, kMinusInf)));
+}
+
+TEST(SatAdd, PlusInfDominatesWhenMixed) {
+  // Convention: +inf wins over -inf (matches the distance-product use where
+  // +inf means "no edge", and no-edge annihilates a path).
+  EXPECT_TRUE(is_plus_inf(sat_add(kPlusInf, kMinusInf)));
+}
+
+TEST(SatAdd, SaturatesNearSentinels) {
+  EXPECT_TRUE(is_plus_inf(sat_add(kPlusInf - 1, kPlusInf - 1)));
+  EXPECT_TRUE(is_minus_inf(sat_add(kMinusInf + 1, kMinusInf + 1)));
+}
+
+TEST(Log2, FloorAndCeil) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Log2, PaperLogNeverZero) {
+  EXPECT_EQ(paper_log(1), 1);
+  EXPECT_EQ(paper_log(2), 1);
+  EXPECT_EQ(paper_log(3), 2);
+  EXPECT_EQ(paper_log(256), 8);
+}
+
+TEST(Isqrt, ExactSquaresAndBetween) {
+  for (std::uint64_t r = 0; r < 2000; ++r) {
+    EXPECT_EQ(isqrt(r * r), r);
+    if (r > 0) EXPECT_EQ(isqrt(r * r + 1), r);
+  }
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(15), 3u);
+  EXPECT_EQ(isqrt(16), 4u);
+  EXPECT_EQ(isqrt(17), 4u);
+}
+
+TEST(Isqrt, CeilVariant) {
+  EXPECT_EQ(isqrt_ceil(16), 4u);
+  EXPECT_EQ(isqrt_ceil(17), 5u);
+  EXPECT_EQ(isqrt_ceil(1), 1u);
+}
+
+TEST(Iroot, FourthRoot) {
+  EXPECT_EQ(iroot4_ceil(16), 2u);
+  EXPECT_EQ(iroot4_ceil(17), 3u);
+  EXPECT_EQ(iroot4_ceil(81), 3u);
+  EXPECT_EQ(iroot4_ceil(256), 4u);
+  EXPECT_EQ(iroot4_ceil(1), 1u);
+  EXPECT_EQ(iroot4_ceil(0), 0u);
+}
+
+TEST(Iroot, CubeRoot) {
+  EXPECT_EQ(iroot3_ceil(27), 3u);
+  EXPECT_EQ(iroot3_ceil(28), 4u);
+  EXPECT_EQ(iroot3_ceil(64), 4u);
+}
+
+TEST(Iroot, AgreesWithFloatingPointOnSweep) {
+  for (std::uint64_t n = 1; n <= 100000; n += 37) {
+    const auto r4 = iroot4_ceil(n);
+    EXPECT_GE(static_cast<double>(r4 * r4) * static_cast<double>(r4 * r4),
+              static_cast<double>(n));
+    if (r4 > 1) {
+      const auto s = r4 - 1;
+      EXPECT_LT(static_cast<double>(s * s) * static_cast<double>(s * s),
+                static_cast<double>(n));
+    }
+  }
+}
+
+TEST(BlockPartition, SizesDifferByAtMostOne) {
+  for (std::uint64_t n : {7u, 16u, 100u, 101u}) {
+    for (std::uint64_t b = 1; b <= n; b += 3) {
+      BlockPartition part(n, b);
+      ASSERT_EQ(part.num_blocks(), b);
+      std::uint64_t lo = n, hi = 0, total = 0;
+      for (std::uint64_t i = 0; i < b; ++i) {
+        lo = std::min(lo, part.block_size(i));
+        hi = std::max(hi, part.block_size(i));
+        total += part.block_size(i);
+      }
+      EXPECT_EQ(total, n);
+      EXPECT_LE(hi - lo, 1u);
+    }
+  }
+}
+
+TEST(BlockPartition, BlockOfIsConsistent) {
+  BlockPartition part(101, 7);
+  for (std::uint64_t i = 0; i < 101; ++i) {
+    const std::uint64_t b = part.block_of(i);
+    EXPECT_GE(i, part.block_begin(b));
+    EXPECT_LT(i, part.block_end(b));
+  }
+}
+
+TEST(BlockPartition, RejectsBadArguments) {
+  EXPECT_THROW(BlockPartition(5, 0), SimulationError);
+  EXPECT_THROW(BlockPartition(5, 6), SimulationError);
+}
+
+TEST(Ipow, SmallCases) {
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(3, 0), 1u);
+  EXPECT_EQ(ipow(10, 6), 1000000u);
+}
+
+}  // namespace
+}  // namespace qclique

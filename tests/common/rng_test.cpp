@@ -1,0 +1,118 @@
+// Tests for the deterministic RNG: reproducibility, distribution sanity, and
+// the sampling helpers protocols depend on.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBoundRespected) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformI64CoversRange) {
+  Rng r(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform_i64(-3, 3));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = r.uniform_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliClampsOutOfRange) {
+  Rng r(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(r.bernoulli(1.5));   // paper's >1 sampling rates clamp to 1
+    EXPECT_FALSE(r.bernoulli(-0.5));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(13);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(101);
+  Rng c1 = parent.split();
+  Rng c2 = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.next_u64() == c2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng r(5);
+  for (std::size_t n : {10u, 50u, 200u}) {
+    for (std::size_t k : {0u, 1u, 5u, 10u}) {
+      auto s = r.sample_without_replacement(n, k);
+      ASSERT_EQ(s.size(), k);
+      std::set<std::size_t> uniq(s.begin(), s.end());
+      EXPECT_EQ(uniq.size(), k);
+      for (std::size_t x : s) EXPECT_LT(x, n);
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng r(6);
+  auto s = r.sample_without_replacement(8, 8);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 8u);
+}
+
+TEST(Rng, SampleRejectsOverdraw) {
+  Rng r(1);
+  EXPECT_THROW(r.sample_without_replacement(3, 4), SimulationError);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,103 @@
+// Tests for the statistics toolkit, including the power-law fitter the
+// benches use to extract scaling exponents.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, EmptyMinThrows) {
+  OnlineStats s;
+  EXPECT_THROW(s.min(), SimulationError);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  const auto fit = fit_linear({1, 2, 3, 4}, {3, 5, 7, 9});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineRecoversSlope) {
+  Rng rng(17);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(0.5 * x + 10 + (rng.uniform_double() - 0.5));
+  }
+  const auto fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFitTest, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_linear({1.0}, {2.0}), SimulationError);
+  EXPECT_THROW(fit_linear({1, 1, 1}, {1, 2, 3}), SimulationError);
+  EXPECT_THROW(fit_linear({1, 2}, {1, 2, 3}), SimulationError);
+}
+
+TEST(PowerLawFit, RecoversExponent) {
+  // y = 3 * x^0.25 -- the shape of the paper's Theorem 2 bound.
+  std::vector<double> xs, ys;
+  for (double x : {16.0, 32.0, 64.0, 128.0, 256.0, 512.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 0.25));
+  }
+  const auto fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.25, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(PowerLawFit, RejectsNonPositive) {
+  EXPECT_THROW(fit_power_law({1, 2}, {0, 1}), SimulationError);
+  EXPECT_THROW(fit_power_law({-1, 2}, {1, 1}), SimulationError);
+}
+
+TEST(HistogramTest, BucketsAndQuantiles) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.buckets()[b], 10u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.01);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1e-9);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0, 1, 4);
+  h.add(-5);
+  h.add(42);
+  EXPECT_EQ(h.buckets().front(), 1u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1, 1, 4), SimulationError);
+  EXPECT_THROW(Histogram(0, 1, 0), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,56 @@
+// Tests for the console table printer used by the bench harness.
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAlign) {
+  Table t({"x", "longheader"});
+  t.add_row({"longvalue", "1"});
+  const std::string s = t.to_string();
+  // Every line has the same length (trailing alignment).
+  std::size_t prev = std::string::npos;
+  std::size_t pos = 0;
+  int lines = 0;
+  while (pos < s.size()) {
+    const std::size_t eol = s.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (lines == 0) prev = len;
+    // Header and data lines must agree (the rule line may differ slightly).
+    if (lines == 0 || lines == 2) EXPECT_EQ(len, prev);
+    pos = eol + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(TableTest, ArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), SimulationError);
+  EXPECT_THROW(Table({}), SimulationError);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::fmt(std::int64_t{-7}), "-7");
+  EXPECT_EQ(Table::fmt(0.5, 0), "0");  // rounds
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,150 @@
+// Tests for Lemma 1 routing: the charged cost model and the genuine stepped
+// two-phase implementation, including adversarial load patterns.
+#include "congest/lenzen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace qclique {
+namespace {
+
+std::vector<Message> all_to_one(std::uint32_t n, NodeId dst) {
+  std::vector<Message> batch;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == dst) continue;
+    batch.push_back(Message{v, dst, Payload::make(1, {v})});
+  }
+  return batch;
+}
+
+TEST(Route, WithinLemma1BoundChargesTwoRounds) {
+  CliqueNetwork net(16);
+  // Each node sends one message to node (v+1) mod n: loads are 1 <= n.
+  std::vector<Message> batch;
+  for (NodeId v = 0; v < 16; ++v) {
+    batch.push_back(Message{v, static_cast<NodeId>((v + 1) % 16), Payload::make(0, {v})});
+  }
+  const RouteStats st = route(net, batch, "r");
+  EXPECT_EQ(st.rounds, 2u);
+  EXPECT_EQ(st.max_source_load, 1u);
+  EXPECT_EQ(st.max_dest_load, 1u);
+  EXPECT_EQ(net.ledger().phase_rounds("r"), 2u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(net.inbox(v).size(), 1u);
+}
+
+TEST(Route, FullSaturationStillTwoRounds) {
+  // Every node sends n messages (one to each node incl. spread): load = n.
+  const std::uint32_t n = 8;
+  CliqueNetwork net(n);
+  std::vector<Message> batch;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      batch.push_back(Message{u, v, Payload::make(0, {u, v})});
+    }
+  }
+  const RouteStats st = route(net, batch, "r");
+  EXPECT_EQ(st.rounds, 2u);  // load n-1 <= n -> one Lemma 1 batch
+}
+
+TEST(Route, OverloadedBatchChargesProportionally) {
+  // One destination sinks 3n messages -> 3 Lemma 1 batches -> 6 rounds.
+  const std::uint32_t n = 8;
+  CliqueNetwork net(n);
+  std::vector<Message> batch;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (NodeId v = 1; v < n; ++v) {
+      batch.push_back(Message{v, 0, Payload::make(0, {rep})});
+    }
+    // Pad so dest load is exactly 3n: add self-free fill from node 1.
+  }
+  for (std::uint64_t i = batch.size(); i < 3 * n; ++i) {
+    batch.push_back(Message{1, 0, Payload::make(0, {0})});
+  }
+  const RouteStats st = route(net, batch, "r");
+  EXPECT_EQ(st.max_dest_load, 3u * n);
+  EXPECT_EQ(st.rounds, 6u);
+}
+
+TEST(Route, EmptyBatchIsFree) {
+  CliqueNetwork net(4);
+  const RouteStats st = route(net, {}, "r");
+  EXPECT_EQ(st.rounds, 0u);
+  EXPECT_EQ(net.ledger().total_rounds(), 0u);
+}
+
+TEST(Route, RejectsOversizedPayload) {
+  CliqueNetwork net(4, NetworkConfig{.fields_per_message = 2});
+  std::vector<Message> batch{Message{0, 1, Payload::make(0, {1, 2, 3})}};
+  EXPECT_THROW(route(net, batch, "r"), SimulationError);
+}
+
+TEST(RouteTwoPhase, DeliversAllMessagesIntact) {
+  const std::uint32_t n = 16;
+  CliqueNetwork net(n);
+  Rng rng(42);
+  std::vector<Message> batch;
+  for (NodeId v = 0; v < n; ++v) {
+    for (int j = 0; j < 3; ++j) {
+      const NodeId dst = static_cast<NodeId>(rng.uniform_u64(n));
+      batch.push_back(Message{v, dst, Payload::make(9, {v, j})});
+    }
+  }
+  const RouteStats st = route_two_phase(net, batch, rng, "r2");
+  EXPECT_EQ(st.messages, batch.size());
+
+  // Every (src, j) pair must arrive at its destination exactly once.
+  std::map<std::pair<std::int64_t, std::int64_t>, int> want, got;
+  for (const auto& m : batch) ++want[{m.payload.at(0), m.payload.at(1)}];
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& m : net.inbox(v)) {
+      ASSERT_EQ(m.payload.tag, 9u);
+      ++got[{m.payload.at(0), m.payload.at(1)}];
+    }
+  }
+  EXPECT_EQ(want, got);
+}
+
+TEST(RouteTwoPhase, MeasuredRoundsAreSmallForBalancedLoad) {
+  const std::uint32_t n = 32;
+  CliqueNetwork net(n);
+  Rng rng(7);
+  // Balanced permutation-like load: every node sends n/2 messages to random
+  // destinations. Expected measured rounds: O(log n / log log n), and far
+  // below the serial bound of n/2.
+  std::vector<Message> batch;
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t j = 0; j < n / 2; ++j) {
+      const NodeId dst = static_cast<NodeId>(rng.uniform_u64(n));
+      batch.push_back(Message{v, dst, Payload::make(0, {v})});
+    }
+  }
+  const RouteStats st = route_two_phase(net, batch, rng, "r2");
+  EXPECT_LE(st.rounds, 24u);  // generous; typical is ~6-10
+  EXPECT_GE(st.rounds, 2u);
+}
+
+TEST(RouteTwoPhase, AdversarialSingleDestination) {
+  // All nodes target node 0. Dest load = n-1 <= n, so Lemma 1 would charge 2;
+  // the naive two-phase scheme measures more than 2 but stays near-constant.
+  const std::uint32_t n = 32;
+  CliqueNetwork net(n);
+  Rng rng(3);
+  const RouteStats st = route_two_phase(net, all_to_one(n, 0), rng, "r2");
+  EXPECT_EQ(net.inbox(0).size(), static_cast<std::size_t>(n - 1));
+  EXPECT_LE(st.rounds, 16u);
+}
+
+TEST(RouteTwoPhase, HeaderRoomEnforced) {
+  CliqueNetwork net(4, NetworkConfig{.fields_per_message = 2});
+  Rng rng(1);
+  // Payload of 2 fields + 1 header exceeds budget 2.
+  std::vector<Message> batch{Message{0, 1, Payload::make(0, {1, 2})}};
+  EXPECT_THROW(route_two_phase(net, batch, rng, "r2"), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,120 @@
+// Property tests for the network simulator under randomized traffic:
+// conservation (every sent message is delivered exactly once), per-link
+// FIFO order, and round-count equivalence with the max-queue invariant.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "congest/lenzen.hpp"
+#include "congest/network.hpp"
+
+namespace qclique {
+namespace {
+
+struct TrafficCase {
+  std::uint32_t n;
+  std::uint32_t messages_per_node;
+  std::uint64_t seed;
+};
+
+class RandomTraffic : public ::testing::TestWithParam<TrafficCase> {};
+
+TEST_P(RandomTraffic, ConservationAndMeasuredRounds) {
+  const auto& tc = GetParam();
+  Rng rng(tc.seed);
+  CliqueNetwork net(tc.n);
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> link_count;
+  std::uint64_t sent = 0;
+  for (NodeId v = 0; v < tc.n; ++v) {
+    for (std::uint32_t j = 0; j < tc.messages_per_node; ++j) {
+      NodeId dst = static_cast<NodeId>(rng.uniform_u64(tc.n));
+      if (dst == v) dst = static_cast<NodeId>((dst + 1) % tc.n);
+      net.send(v, dst, Payload::make(1, {static_cast<std::int64_t>(sent)}));
+      ++link_count[{v, dst}];
+      ++sent;
+    }
+  }
+  std::uint64_t max_link = 0;
+  for (const auto& [link, c] : link_count) max_link = std::max(max_link, c);
+
+  const std::uint64_t rounds = net.run_until_drained("p");
+  EXPECT_EQ(rounds, max_link);  // rounds = worst link queue, exactly
+
+  std::uint64_t received = 0;
+  for (NodeId v = 0; v < tc.n; ++v) received += net.inbox(v).size();
+  EXPECT_EQ(received, sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomTraffic,
+    ::testing::Values(TrafficCase{4, 3, 1}, TrafficCase{8, 10, 2},
+                      TrafficCase{16, 40, 3}, TrafficCase{32, 5, 4},
+                      TrafficCase{64, 64, 5}, TrafficCase{100, 17, 6}));
+
+TEST(NetworkStress, PerLinkFifoPreservedUnderInterleaving) {
+  Rng rng(9);
+  CliqueNetwork net(6);
+  // Interleave sends on several links; sequence numbers must arrive in
+  // order per (src, dst).
+  std::map<std::pair<NodeId, NodeId>, std::int64_t> next_seq;
+  for (int i = 0; i < 300; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.uniform_u64(6));
+    NodeId d = static_cast<NodeId>(rng.uniform_u64(6));
+    if (d == s) d = static_cast<NodeId>((d + 1) % 6);
+    net.send(s, d, Payload::make(0, {next_seq[{s, d}]++}));
+  }
+  net.run_until_drained("p");
+  std::map<std::pair<NodeId, NodeId>, std::int64_t> seen;
+  for (NodeId v = 0; v < 6; ++v) {
+    for (const auto& m : net.inbox(v)) {
+      auto& expect = seen[{m.src, m.dst}];
+      EXPECT_EQ(m.payload.at(0), expect) << "link " << m.src << "->" << m.dst;
+      ++expect;
+    }
+  }
+}
+
+TEST(NetworkStress, RouteConservationAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(100 + seed);
+    const std::uint32_t n = 24;
+    CliqueNetwork net(n);
+    std::vector<Message> batch;
+    const std::size_t count = 500;
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeId s = static_cast<NodeId>(rng.uniform_u64(n));
+      const NodeId d = static_cast<NodeId>(rng.uniform_u64(n));
+      batch.push_back(Message{s, d, Payload::make(2, {static_cast<std::int64_t>(i)})});
+    }
+    route(net, batch, "r");
+    std::size_t received = 0;
+    for (NodeId v = 0; v < n; ++v) received += net.inbox(v).size();
+    EXPECT_EQ(received, count) << "seed " << seed;
+  }
+}
+
+TEST(NetworkStress, InterleavedPhasesKeepIndependentLedgers) {
+  CliqueNetwork net(8);
+  for (int round = 0; round < 5; ++round) {
+    net.send(0, 1, Payload::make(0, {round}));
+    net.step("a");
+    net.send(2, 3, Payload::make(0, {round}));
+    net.step("b");
+  }
+  EXPECT_EQ(net.ledger().phase_rounds("a"), 5u);
+  EXPECT_EQ(net.ledger().phase_rounds("b"), 5u);
+  EXPECT_EQ(net.rounds(), 10u);
+}
+
+TEST(NetworkStress, LargeCliqueConstructionAndSingleRound) {
+  // n = 512: 262k links; must construct and step without trouble.
+  CliqueNetwork net(512);
+  for (NodeId v = 0; v < 512; ++v) {
+    net.send(v, static_cast<NodeId>((v + 1) % 512), Payload::make(0, {v}));
+  }
+  EXPECT_EQ(net.run_until_drained("p"), 1u);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,135 @@
+// Tests for the CONGEST-CLIQUE network simulator: bandwidth enforcement,
+// round measurement from real congestion, and ledger accounting.
+#include "congest/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(CliqueNetwork, SingleMessageTakesOneRound) {
+  CliqueNetwork net(4);
+  net.send(0, 1, Payload::make(7, {42}));
+  EXPECT_EQ(net.run_until_drained("p"), 1u);
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].src, 0u);
+  EXPECT_EQ(net.inbox(1)[0].payload.tag, 7u);
+  EXPECT_EQ(net.inbox(1)[0].payload.at(0), 42);
+}
+
+TEST(CliqueNetwork, ParallelLinksDeliverSimultaneously) {
+  // n-1 messages from distinct sources to distinct destinations: one round.
+  CliqueNetwork net(8);
+  for (NodeId v = 1; v < 8; ++v) net.send(v, v - 1, Payload::make(0, {v}));
+  EXPECT_EQ(net.run_until_drained("p"), 1u);
+}
+
+TEST(CliqueNetwork, CongestedLinkCostsItsQueueLength) {
+  CliqueNetwork net(4);
+  for (int i = 0; i < 5; ++i) net.send(2, 3, Payload::make(0, {i}));
+  EXPECT_EQ(net.max_link_load(), 5u);
+  EXPECT_EQ(net.run_until_drained("p"), 5u);
+  EXPECT_EQ(net.inbox(3).size(), 5u);
+  // FIFO per link.
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(net.inbox(3)[i].payload.at(0), i);
+}
+
+TEST(CliqueNetwork, MixedLoadCostsMaxLinkLoad) {
+  CliqueNetwork net(4);
+  // Link (0,1): 3 msgs. Link (2,3): 1 msg. Total rounds = 3.
+  for (int i = 0; i < 3; ++i) net.send(0, 1, Payload::make(0, {i}));
+  net.send(2, 3, Payload::make(0, {9}));
+  EXPECT_EQ(net.run_until_drained("p"), 3u);
+}
+
+TEST(CliqueNetwork, OneNodeFanOutIsOneRound) {
+  // In the clique a node can message all others simultaneously.
+  CliqueNetwork net(16);
+  for (NodeId v = 1; v < 16; ++v) net.send(0, v, Payload::make(0, {v}));
+  EXPECT_EQ(net.run_until_drained("p"), 1u);
+}
+
+TEST(CliqueNetwork, StrictPayloadThrowsOnOverflow) {
+  CliqueNetwork net(4, NetworkConfig{.fields_per_message = 2, .strict_payload = true});
+  Payload p = Payload::make(0, {1, 2, 3});
+  EXPECT_THROW(net.send(0, 1, p), BandwidthError);
+}
+
+TEST(CliqueNetwork, NonStrictPayloadSplitsAcrossRounds) {
+  CliqueNetwork net(4, NetworkConfig{.fields_per_message = 2, .strict_payload = false});
+  net.send(0, 1, Payload::make(5, {1, 2, 3, 4, 5}));
+  // 5 fields at 2/message -> 3 messages -> 3 rounds on one link.
+  EXPECT_EQ(net.run_until_drained("p"), 3u);
+  ASSERT_EQ(net.inbox(1).size(), 3u);
+  EXPECT_EQ(net.inbox(1)[2].payload.at(0), 5);
+}
+
+TEST(CliqueNetwork, SelfMessageRejected) {
+  CliqueNetwork net(4);
+  EXPECT_THROW(net.send(2, 2, Payload::make(0, {1})), SimulationError);
+}
+
+TEST(CliqueNetwork, OutOfRangeEndpointsRejected) {
+  CliqueNetwork net(4);
+  EXPECT_THROW(net.send(0, 4, Payload::make(0, {1})), SimulationError);
+  EXPECT_THROW(net.send(5, 1, Payload::make(0, {1})), SimulationError);
+}
+
+TEST(CliqueNetwork, LedgerTracksPhases) {
+  CliqueNetwork net(4);
+  net.send(0, 1, Payload::make(0, {1}));
+  net.run_until_drained("alpha");
+  net.send(0, 1, Payload::make(0, {1}));
+  net.send(0, 1, Payload::make(0, {2}));
+  net.run_until_drained("beta");
+  EXPECT_EQ(net.ledger().phase_rounds("alpha"), 1u);
+  EXPECT_EQ(net.ledger().phase_rounds("beta"), 2u);
+  EXPECT_EQ(net.ledger().total_rounds(), 3u);
+  EXPECT_EQ(net.ledger().total_messages(), 3u);
+}
+
+TEST(CliqueNetwork, ClearInboxes) {
+  CliqueNetwork net(4);
+  net.send(0, 1, Payload::make(0, {1}));
+  net.run_until_drained("p");
+  net.clear_inboxes();
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(CliqueNetwork, DrainOnEmptyIsZeroRounds) {
+  CliqueNetwork net(4);
+  EXPECT_EQ(net.run_until_drained("p"), 0u);
+  EXPECT_EQ(net.rounds(), 0u);
+}
+
+TEST(PayloadTest, CapacityEnforced) {
+  Payload p;
+  for (std::size_t i = 0; i < kMaxPayloadFields; ++i) p.push(1);
+  EXPECT_THROW(p.push(1), SimulationError);
+  EXPECT_THROW(p.at(kMaxPayloadFields), SimulationError);
+}
+
+TEST(RoundLedgerTest, AbsorbMergesPhases) {
+  RoundLedger a, b;
+  a.charge("x", 3, 10);
+  b.charge("x", 2, 5);
+  b.charge_quantum("q", 7, 2);
+  a.absorb(b);
+  EXPECT_EQ(a.phase_rounds("x"), 5u);
+  EXPECT_EQ(a.phase_rounds("q"), 7u);
+  EXPECT_EQ(a.total_rounds(), 12u);
+  EXPECT_EQ(a.total_oracle_calls(), 2u);
+}
+
+TEST(RoundLedgerTest, ResetClearsEverything) {
+  RoundLedger a;
+  a.charge("x", 3);
+  a.reset();
+  EXPECT_EQ(a.total_rounds(), 0u);
+  EXPECT_TRUE(a.phases().empty());
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,91 @@
+// Tests for the collective communication primitives.
+#include "congest/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(Broadcast, EveryoneReceivesAllFieldsInOrder) {
+  CliqueNetwork net(8);
+  const std::vector<std::int64_t> data{10, 20, 30, 40, 50, 60, 70};
+  broadcast_fields(net, 2, data, 5, "bc");
+  for (NodeId v = 0; v < 8; ++v) {
+    if (v == 2) continue;
+    EXPECT_EQ(collect_inbox_fields(net, v, 5), data);
+  }
+}
+
+TEST(Broadcast, RoundCostIsCeilFieldsOverBudget) {
+  CliqueNetwork net(8, NetworkConfig{.fields_per_message = 4});
+  std::vector<std::int64_t> data(10, 1);  // 10 fields -> 3 messages/link
+  broadcast_fields(net, 0, data, 1, "bc");
+  EXPECT_EQ(net.ledger().phase_rounds("bc"), 3u);
+}
+
+TEST(Broadcast, EmptyIsFree) {
+  CliqueNetwork net(4);
+  broadcast_fields(net, 0, {}, 1, "bc");
+  EXPECT_EQ(net.ledger().total_rounds(), 0u);
+}
+
+TEST(Gather, CollectorReceivesEveryRow) {
+  CliqueNetwork net(6);
+  std::vector<std::vector<std::int64_t>> rows(6);
+  for (NodeId v = 0; v < 6; ++v) rows[v] = {v * 10, v * 10 + 1};
+  gather_fields(net, 3, rows, 2, "g");
+  auto got = collect_inbox_fields(net, 3, 2);
+  // Node 3's own row is not sent; 5 rows * 2 fields.
+  EXPECT_EQ(got.size(), 10u);
+}
+
+TEST(Gather, ParallelLinksCostOnlyMaxRow) {
+  CliqueNetwork net(8, NetworkConfig{.fields_per_message = 2});
+  std::vector<std::vector<std::int64_t>> rows(8);
+  for (NodeId v = 0; v < 8; ++v) rows[v].assign(6, v);  // 3 messages per node
+  gather_fields(net, 0, rows, 1, "g");
+  EXPECT_EQ(net.ledger().phase_rounds("g"), 3u);
+}
+
+TEST(Disseminate, AllNodesLearnAllFields) {
+  const std::uint32_t n = 8;
+  CliqueNetwork net(n);
+  std::vector<std::int64_t> data;
+  for (int i = 0; i < 40; ++i) data.push_back(100 + i);
+  disseminate_fields(net, 1, data, 7, "d");
+  for (NodeId v = 0; v < n; ++v) {
+    auto got = collect_inbox_fields(net, v, 7);
+    std::sort(got.begin(), got.end());
+    std::vector<std::int64_t> want = data;
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "node " << v;
+  }
+}
+
+TEST(Disseminate, CheaperThanNaiveBroadcastForLargeData) {
+  const std::uint32_t n = 16;
+  CliqueNetwork a(n), b(n);
+  std::vector<std::int64_t> data(n * 4, 9);  // n*4 fields
+  disseminate_fields(a, 0, data, 1, "d");
+  broadcast_fields(b, 0, data, 1, "bc");
+  EXPECT_LT(a.ledger().total_rounds(), b.ledger().total_rounds());
+}
+
+TEST(CollectInbox, FiltersByTagAndPreservesOthers) {
+  CliqueNetwork net(4);
+  net.send(0, 1, Payload::make(1, {11}));
+  net.send(0, 1, Payload::make(2, {22}));
+  net.send(2, 1, Payload::make(1, {33}));
+  net.run_until_drained("p");
+  auto got = collect_inbox_fields(net, 1, 1);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::int64_t>{11, 33}));
+  // Tag-2 message still present.
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].payload.tag, 2u);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,127 @@
+// End-to-end tests for Theorem 1: the full quantum APSP pipeline against
+// the centralized oracles.
+#include "core/apsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/shortest_paths.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace qclique {
+namespace {
+
+class ApspSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApspSeeds, MatchesFloydWarshallOnRandomDigraphs) {
+  Rng rng(GetParam());
+  const std::uint32_t n = 10;
+  const auto g = random_digraph(n, 0.45, -4, 9, rng);
+  const auto fw = floyd_warshall(g);
+  ASSERT_TRUE(fw.has_value());
+  QuantumApspOptions opt;
+  const auto res = quantum_apsp(g, opt, rng);
+  EXPECT_EQ(res.distances, *fw) << res.distances.first_difference(*fw);
+  EXPECT_GT(res.rounds, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApspSeeds, ::testing::Values(1ull, 2ull, 3ull, 4ull));
+
+TEST(QuantumApsp, LargerInstance) {
+  Rng rng(10);
+  const std::uint32_t n = 16;
+  const auto g = random_digraph(n, 0.4, -5, 10, rng);
+  const auto fw = floyd_warshall(g);
+  ASSERT_TRUE(fw.has_value());
+  QuantumApspOptions opt;
+  const auto res = quantum_apsp(g, opt, rng);
+  EXPECT_EQ(res.distances, *fw) << res.distances.first_difference(*fw);
+}
+
+TEST(QuantumApsp, NonNegativeWeightsMatchJohnson) {
+  Rng rng(11);
+  const auto g = random_digraph(12, 0.5, 0, 8, rng, false);
+  const auto jo = johnson(g);
+  ASSERT_TRUE(jo.has_value());
+  QuantumApspOptions opt;
+  const auto res = quantum_apsp(g, opt, rng);
+  EXPECT_EQ(res.distances, *jo);
+}
+
+TEST(QuantumApsp, DisconnectedGraphKeepsInfinities) {
+  Digraph g(6);
+  g.set_arc(0, 1, 3);
+  g.set_arc(1, 2, -1);
+  // Vertices 3..5 isolated.
+  Rng rng(12);
+  QuantumApspOptions opt;
+  const auto res = quantum_apsp(g, opt, rng);
+  EXPECT_EQ(res.distances.at(0, 2), 2);
+  EXPECT_TRUE(is_plus_inf(res.distances.at(0, 3)));
+  EXPECT_TRUE(is_plus_inf(res.distances.at(3, 0)));
+  EXPECT_EQ(res.distances.at(3, 3), 0);
+}
+
+TEST(QuantumApsp, SingleVertexAndTinyGraphs) {
+  Rng rng(13);
+  QuantumApspOptions opt;
+  const auto r1 = quantum_apsp(Digraph(1), opt, rng);
+  EXPECT_EQ(r1.distances.at(0, 0), 0);
+  Digraph g2(2);
+  g2.set_arc(0, 1, -7);
+  const auto r2 = quantum_apsp(g2, opt, rng);
+  EXPECT_EQ(r2.distances.at(0, 1), -7);
+  EXPECT_TRUE(is_plus_inf(r2.distances.at(1, 0)));
+}
+
+TEST(QuantumApsp, NegativeCycleDetected) {
+  Digraph g(3);
+  g.set_arc(0, 1, -2);
+  g.set_arc(1, 0, 1);
+  Rng rng(14);
+  QuantumApspOptions opt;
+  EXPECT_THROW(quantum_apsp(g, opt, rng), SimulationError);
+}
+
+TEST(QuantumApsp, ProductCountIsCeilLog) {
+  Rng rng(15);
+  const auto g = random_digraph(9, 0.5, 0, 5, rng, false);
+  QuantumApspOptions opt;
+  const auto res = quantum_apsp(g, opt, rng);
+  EXPECT_EQ(res.products, 3u);  // ceil(log2(8))
+}
+
+TEST(QuantumApsp, ClassicalStep3VariantMatches) {
+  Rng rng(16);
+  const auto g = random_digraph(10, 0.45, -3, 8, rng);
+  const auto fw = floyd_warshall(g);
+  ASSERT_TRUE(fw.has_value());
+  QuantumApspOptions opt;
+  opt.product.find_edges.compute_pairs.use_quantum = false;
+  const auto res = quantum_apsp(g, opt, rng);
+  EXPECT_EQ(res.distances, *fw);
+}
+
+TEST(QuantumApsp, PathReconstructionThroughDistances) {
+  // Footnote 1: paths from the distance matrix via the standard technique.
+  Rng rng(17);
+  const auto g = random_digraph(10, 0.5, 1, 9, rng, false);
+  QuantumApspOptions opt;
+  const auto res = quantum_apsp(g, opt, rng);
+  for (std::uint32_t u = 0; u < 10; u += 2) {
+    for (std::uint32_t v = 1; v < 10; v += 3) {
+      if (is_plus_inf(res.distances.at(u, v)) || u == v) continue;
+      const auto path = reconstruct_path(g, res.distances, u, v);
+      ASSERT_GE(path.size(), 2u);
+      std::int64_t total = 0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        total += g.weight(path[i], path[i + 1]);
+      }
+      EXPECT_EQ(total, res.distances.at(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qclique

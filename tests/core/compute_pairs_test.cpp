@@ -1,0 +1,197 @@
+// Tests for Algorithm ComputePairs (Theorem 2): correctness against the
+// brute-force census, quantum vs classical step 3, promise handling,
+// abort injection, and constants-profile behavior.
+#include "core/compute_pairs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+
+namespace qclique {
+namespace {
+
+std::vector<VertexPair> all_pairs(std::uint32_t n) {
+  std::vector<VertexPair> s;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) s.emplace_back(u, v);
+  }
+  return s;
+}
+
+class ComputePairsSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ComputePairsSizes, QuantumMatchesBruteForce) {
+  const std::uint32_t n = GetParam();
+  Rng rng(1000 + n);
+  const auto g = random_weighted_graph(n, 0.5, -6, 10, rng);
+  ComputePairsOptions opt;
+  const auto res = compute_pairs(g, all_pairs(n), opt, rng);
+  ASSERT_FALSE(res.aborted);
+  EXPECT_EQ(res.hot_pairs, edges_in_negative_triangles(g));
+  EXPECT_GT(res.rounds, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ComputePairsSizes,
+                         ::testing::Values(4u, 8u, 16u, 25u, 36u, 49u, 64u, 81u));
+
+TEST(ComputePairs, ClassicalMatchesBruteForce) {
+  for (std::uint32_t n : {9u, 16u, 36u}) {
+    Rng rng(2000 + n);
+    const auto g = random_weighted_graph(n, 0.5, -6, 10, rng);
+    ComputePairsOptions opt;
+    opt.use_quantum = false;
+    const auto res = compute_pairs(g, all_pairs(n), opt, rng);
+    ASSERT_FALSE(res.aborted);
+    EXPECT_EQ(res.hot_pairs, edges_in_negative_triangles(g));
+  }
+}
+
+TEST(ComputePairs, RestrictedSOnlyReportsSPairs) {
+  Rng rng(3);
+  const std::uint32_t n = 30;
+  const auto g = random_weighted_graph(n, 0.6, -8, 8, rng);
+  const auto want_all = edges_in_negative_triangles(g);
+  ASSERT_GE(want_all.size(), 4u);
+  // S = half of the hot pairs plus some cold pairs.
+  std::vector<VertexPair> s;
+  for (std::size_t i = 0; i < want_all.size(); i += 2) s.push_back(want_all[i]);
+  const std::size_t hot_in_s = s.size();
+  s.emplace_back(0, 1);
+  s.emplace_back(2, 5);
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+  ComputePairsOptions opt;
+  const auto res = compute_pairs(g, s, opt, rng);
+  ASSERT_FALSE(res.aborted);
+  // Every reported pair is in S and truly hot.
+  for (const auto& pr : res.hot_pairs) {
+    EXPECT_TRUE(std::binary_search(s.begin(), s.end(), pr));
+    EXPECT_GT(gamma(g, pr.a, pr.b), 0u);
+  }
+  EXPECT_GE(res.hot_pairs.size(), hot_in_s - 1);  // quantum may miss w.s.p.
+}
+
+TEST(ComputePairs, EmptySIsTrivial) {
+  Rng rng(4);
+  const auto g = random_weighted_graph(20, 0.5, -6, 6, rng);
+  ComputePairsOptions opt;
+  const auto res = compute_pairs(g, {}, opt, rng);
+  ASSERT_FALSE(res.aborted);
+  EXPECT_TRUE(res.hot_pairs.empty());
+  EXPECT_EQ(res.searches_total, 0u);
+}
+
+TEST(ComputePairs, NoNegativeTrianglesMeansNoOutput) {
+  Rng rng(5);
+  const auto g = random_weighted_graph(36, 0.6, 1, 12, rng);
+  ComputePairsOptions opt;
+  const auto res = compute_pairs(g, all_pairs(36), opt, rng);
+  ASSERT_FALSE(res.aborted);
+  EXPECT_TRUE(res.hot_pairs.empty());
+}
+
+TEST(ComputePairs, ScaledConstantsStillExact) {
+  // Shrunken constants activate real sampling; the covering property can
+  // fail for a few pairs, but with 0.3 scaling it holds w.h.p.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Rng rng(seed);
+    const std::uint32_t n = 49;
+    const auto g = random_weighted_graph(n, 0.5, -6, 10, rng);
+    ComputePairsOptions opt;
+    opt.constants = Constants::scaled(0.3);
+    const auto res = compute_pairs(g, all_pairs(n), opt, rng);
+    if (res.aborted) continue;  // legitimate tail event under scaling
+    EXPECT_EQ(res.hot_pairs, edges_in_negative_triangles(g)) << "seed " << seed;
+  }
+}
+
+TEST(ComputePairs, AbortInjectionViaBalanceThreshold) {
+  Rng rng(6);
+  const auto g = random_weighted_graph(25, 0.5, -5, 10, rng);
+  ComputePairsOptions opt;
+  opt.constants.balance_threshold = 1e-9;
+  const auto res = compute_pairs(g, all_pairs(25), opt, rng);
+  EXPECT_TRUE(res.aborted);
+  EXPECT_TRUE(res.hot_pairs.empty());
+}
+
+TEST(ComputePairs, AbortInjectionViaIdentifyClass) {
+  Rng rng(7);
+  const auto g = random_weighted_graph(25, 0.6, -8, 5, rng);
+  ComputePairsOptions opt;
+  opt.constants.identify_abort = 1e-9;
+  opt.constants.identify_sample = 1e9;
+  const auto res = compute_pairs(g, all_pairs(25), opt, rng);
+  EXPECT_TRUE(res.aborted);
+}
+
+TEST(ComputePairs, PromiseViolationDiagnosticCounts) {
+  // A dense all-negative clique wildly violates Gamma <= 90 log n... only
+  // for large n; at n = 32 the bound 90*5 exceeds n, so force it by
+  // shrinking the promise constant.
+  WeightedGraph g(32);
+  for (std::uint32_t u = 0; u < 32; ++u) {
+    for (std::uint32_t v = u + 1; v < 32; ++v) g.set_edge(u, v, -1);
+  }
+  Rng rng(8);
+  ComputePairsOptions opt;
+  opt.constants.promise = 0.5;  // 0.5 * log n << n - 2 closing vertices
+  const auto res = compute_pairs(g, all_pairs(32), opt, rng);
+  ASSERT_FALSE(res.aborted);
+  EXPECT_GT(res.input_promise_violations, 0u);
+  // The algorithm still finds everything (violations only threaten the
+  // paper's round bound, not our soundness).
+  EXPECT_EQ(res.hot_pairs.size(), all_pairs(32).size());
+}
+
+TEST(ComputePairs, QuantumChargesOracleCalls) {
+  Rng rng(9);
+  std::vector<VertexPair> planted;
+  const auto g = planted_negative_triangles(27, 3, rng, &planted);
+  ComputePairsOptions opt;
+  const auto res = compute_pairs(g, all_pairs(27), opt, rng);
+  ASSERT_FALSE(res.aborted);
+  EXPECT_EQ(res.hot_pairs, planted);
+  EXPECT_GT(res.ledger.total_oracle_calls(), 0u);
+  EXPECT_GT(res.searches_found, 0u);
+}
+
+TEST(ComputePairs, LedgerHasStepPhases) {
+  Rng rng(10);
+  const auto g = random_weighted_graph(36, 0.6, -6, 8, rng);
+  ComputePairsOptions opt;
+  const auto res = compute_pairs(g, all_pairs(36), opt, rng);
+  ASSERT_FALSE(res.aborted);
+  EXPECT_GT(res.ledger.phase_rounds("step1/load"), 0u);
+  EXPECT_GT(res.ledger.phase_rounds("step2/load"), 0u);
+  EXPECT_GT(res.ledger.phase_rounds("identify/broadcast"), 0u);
+}
+
+TEST(ComputePairs, TypicalityAuditProducesData) {
+  Rng rng(11);
+  const auto g = random_weighted_graph(49, 0.6, -7, 8, rng);
+  ComputePairsOptions opt;
+  opt.audit_samples_per_stage = 4;
+  const auto res = compute_pairs(g, all_pairs(49), opt, rng);
+  ASSERT_FALSE(res.aborted);
+  if (res.searches_total > 0) {
+    EXPECT_GT(res.audit_tuples, 0u);
+    // Theorem 3 regime: violations should be rare at paper thresholds.
+    EXPECT_LE(static_cast<double>(res.audit_violations),
+              0.05 * static_cast<double>(res.audit_tuples) + 1.0);
+  }
+}
+
+TEST(ComputePairs, RejectsUnsortedS) {
+  Rng rng(12);
+  const auto g = random_weighted_graph(8, 0.5, -3, 3, rng);
+  std::vector<VertexPair> s{VertexPair(2, 3), VertexPair(0, 1)};
+  ComputePairsOptions opt;
+  EXPECT_THROW(compute_pairs(g, s, opt, rng), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,43 @@
+// Tests for the constants profiles.
+#include "core/constants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(ConstantsTest, PaperDefaults) {
+  const Constants c = Constants::paper();
+  EXPECT_EQ(c.lambda_sample, 10.0);
+  EXPECT_EQ(c.balance_threshold, 100.0);
+  EXPECT_EQ(c.promise, 90.0);
+  EXPECT_EQ(c.prop1_sample, 60.0);
+  EXPECT_EQ(c.identify_sample, 10.0);
+  EXPECT_EQ(c.identify_abort, 20.0);
+  EXPECT_EQ(c.identify_class_base, 10.0);
+  EXPECT_EQ(c.eval_load, 800.0);
+  EXPECT_EQ(c.class_size, 720.0);
+}
+
+TEST(ConstantsTest, ScalingIsProportional) {
+  const Constants c = Constants::scaled(0.5);
+  EXPECT_EQ(c.lambda_sample, 5.0);
+  EXPECT_EQ(c.promise, 45.0);
+  EXPECT_EQ(c.eval_load, 400.0);
+}
+
+TEST(ConstantsTest, ScalingClampsAtFloor) {
+  const Constants c = Constants::scaled(1e-6);
+  EXPECT_GE(c.lambda_sample, 0.25);
+  EXPECT_GE(c.class_size, 0.25);
+}
+
+TEST(ConstantsTest, RejectsNonPositiveFactor) {
+  EXPECT_THROW(Constants::scaled(0.0), SimulationError);
+  EXPECT_THROW(Constants::scaled(-1.0), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

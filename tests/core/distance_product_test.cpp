@@ -1,0 +1,115 @@
+// Tests for the Proposition 2 reduction: distance product via negative-
+// triangle detection, validated against the naive product.
+#include "core/distance_product.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "matrix/min_plus.hpp"
+
+namespace qclique {
+namespace {
+
+DistMatrix random_matrix(std::uint32_t n, std::int64_t lo, std::int64_t hi,
+                         double inf_prob, Rng& rng) {
+  DistMatrix m(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (!rng.bernoulli(inf_prob)) m.set(i, j, rng.uniform_i64(lo, hi));
+    }
+  }
+  return m;
+}
+
+class TriangleProductSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TriangleProductSizes, MatchesNaiveProduct) {
+  const std::uint32_t n = GetParam();
+  Rng rng(4000 + n);
+  const auto a = random_matrix(n, -7, 7, 0.2, rng);
+  const auto b = random_matrix(n, -7, 7, 0.2, rng);
+  DistanceProductOptions opt;
+  const auto res = distance_product_via_triangles(a, b, opt, rng);
+  const auto want = distance_product_naive(a, b);
+  EXPECT_EQ(res.product, want) << res.product.first_difference(want);
+  EXPECT_GT(res.find_edges_calls, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TriangleProductSizes,
+                         ::testing::Values(2u, 3u, 5u, 8u, 12u));
+
+TEST(TriangleProduct, HandlesInfEntries) {
+  Rng rng(1);
+  const auto a = random_matrix(6, -4, 4, 0.5, rng);
+  const auto b = random_matrix(6, -4, 4, 0.5, rng);
+  DistanceProductOptions opt;
+  const auto res = distance_product_via_triangles(a, b, opt, rng);
+  EXPECT_EQ(res.product, distance_product_naive(a, b));
+}
+
+TEST(TriangleProduct, AllInfProducesAllInf) {
+  Rng rng(2);
+  DistMatrix a(4), b(4);
+  DistanceProductOptions opt;
+  const auto res = distance_product_via_triangles(a, b, opt, rng);
+  EXPECT_EQ(res.product, DistMatrix(4));
+}
+
+TEST(TriangleProduct, ExtremeEntriesAtRangeBoundary) {
+  // Entries pinned at +-M stress the binary-search bracket endpoints.
+  DistMatrix a(3), b(3);
+  const std::int64_t M = 5;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      a.set(i, j, (i + j) % 2 == 0 ? M : -M);
+      b.set(i, j, (i * j) % 2 == 0 ? -M : M);
+    }
+  }
+  Rng rng(3);
+  DistanceProductOptions opt;
+  const auto res = distance_product_via_triangles(a, b, opt, rng);
+  EXPECT_EQ(res.product, distance_product_naive(a, b));
+}
+
+TEST(TriangleProduct, FindEdgesCallsScaleWithLogM) {
+  Rng rng(4);
+  std::uint64_t calls_small = 0, calls_large = 0;
+  {
+    const auto a = random_matrix(4, -2, 2, 0.0, rng);
+    const auto b = random_matrix(4, -2, 2, 0.0, rng);
+    DistanceProductOptions opt;
+    calls_small = distance_product_via_triangles(a, b, opt, rng).find_edges_calls;
+  }
+  {
+    const auto a = random_matrix(4, -2000, 2000, 0.0, rng);
+    const auto b = random_matrix(4, -2000, 2000, 0.0, rng);
+    DistanceProductOptions opt;
+    calls_large = distance_product_via_triangles(a, b, opt, rng).find_edges_calls;
+  }
+  // log2(8*2000+) ~ 14 vs log2(8*2+) ~ 5.
+  EXPECT_GT(calls_large, calls_small);
+  EXPECT_LE(calls_large, 16u);
+}
+
+TEST(TriangleProduct, RejectsMinusInf) {
+  DistMatrix a(2, 0), b(2, 0);
+  a.set(0, 1, kMinusInf);
+  Rng rng(5);
+  DistanceProductOptions opt;
+  EXPECT_THROW(distance_product_via_triangles(a, b, opt, rng), SimulationError);
+}
+
+TEST(TriangleProduct, IdentityNeutral) {
+  Rng rng(6);
+  const auto a = random_matrix(5, -6, 6, 0.2, rng);
+  DistanceProductOptions opt;
+  const auto res =
+      distance_product_via_triangles(a, DistMatrix::identity(5), opt, rng);
+  EXPECT_EQ(res.product, a) << res.product.first_difference(a);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,167 @@
+// Tests for the Figures 4-5 evaluation procedures: answer correctness,
+// measured round costs, the list-size promise audit, and the alpha > 0
+// duplication scheme.
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+
+namespace qclique {
+namespace {
+
+struct Fixture {
+  std::uint32_t n;
+  WeightedGraph g;
+  Partitions parts;
+  CliqueNetwork net;
+
+  explicit Fixture(std::uint32_t n_, std::uint64_t seed, double density = 0.5)
+      : n(n_), g(n_), parts(n_), net(n_) {
+    Rng rng(seed);
+    g = random_weighted_graph(n_, density, -8, 10, rng);
+  }
+};
+
+/// All W-blocks as the search domain.
+std::vector<std::uint32_t> full_domain(const Partitions& parts) {
+  std::vector<std::uint32_t> t;
+  for (std::uint32_t wb = 0; wb < parts.num_wblocks(); ++wb) t.push_back(wb);
+  return t;
+}
+
+TEST(Evaluation, AnswersMatchSemanticOracle) {
+  Fixture f(36, 1);
+  const auto t = full_domain(f.parts);
+  EvalQuerySet qs;
+  qs.queries.resize(f.parts.num_wblocks());
+  Rng rng(2);
+  // Every edge in block pair (0, 0) queries a random W-block from x = 0.
+  for (const auto& [u, v] : f.parts.block_pairs(0, 0)) {
+    if (!f.g.has_edge(u, v)) continue;
+    qs.queries[0].emplace_back(VertexPair(u, v),
+                               static_cast<std::uint32_t>(rng.uniform_u64(t.size())));
+  }
+  const auto stats = run_evaluation(f.net, f.g, f.parts, 0, 0, /*alpha=*/0, t, qs,
+                                    Constants::paper(), false);
+  ASSERT_EQ(stats.answers[0].size(), qs.queries[0].size());
+  for (std::size_t i = 0; i < qs.queries[0].size(); ++i) {
+    const auto& [pair, wpos] = qs.queries[0][i];
+    const auto ws = f.parts.wblock_vertices(t[wpos]);
+    EXPECT_EQ(stats.answers[0][i],
+              exists_negative_triangle_via(f.g, pair.a, pair.b, ws));
+  }
+}
+
+TEST(Evaluation, RoundsMeasuredPositiveWithTraffic) {
+  Fixture f(25, 3);
+  const auto t = full_domain(f.parts);
+  EvalQuerySet qs;
+  qs.queries.resize(f.parts.num_wblocks());
+  bool any = false;
+  for (const auto& [u, v] : f.parts.block_pairs(0, 0)) {
+    if (f.g.has_edge(u, v)) {
+      qs.queries[1 % f.parts.num_wblocks()].emplace_back(VertexPair(u, v), 0u);
+      any = true;
+    }
+  }
+  ASSERT_TRUE(any);
+  const auto stats = run_evaluation(f.net, f.g, f.parts, 0, 0, 0, t, qs,
+                                    Constants::paper(), false);
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_GT(stats.messages, 0u);
+}
+
+TEST(Evaluation, EmptyQueriesCostNothing) {
+  Fixture f(16, 4);
+  EvalQuerySet qs;
+  qs.queries.resize(f.parts.num_wblocks());
+  const auto stats = run_evaluation(f.net, f.g, f.parts, 0, 0, 0, full_domain(f.parts),
+                                    qs, Constants::paper(), false);
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_EQ(stats.max_list_len, 0u);
+}
+
+TEST(Evaluation, PromiseViolationDetectedUnderTinyThreshold) {
+  Fixture f(36, 5, 0.9);
+  Constants cst = Constants::paper();
+  cst.eval_load = 1e-9;  // any nonempty list violates
+  const auto t = full_domain(f.parts);
+  EvalQuerySet qs;
+  qs.queries.resize(f.parts.num_wblocks());
+  for (const auto& [u, v] : f.parts.block_pairs(0, 0)) {
+    if (f.g.has_edge(u, v)) qs.queries[0].emplace_back(VertexPair(u, v), 0u);
+  }
+  const auto stats =
+      run_evaluation(f.net, f.g, f.parts, 0, 0, 0, t, qs, cst, false);
+  EXPECT_GT(stats.promise_violations, 0u);
+}
+
+TEST(Evaluation, DuplicationFactorFormula) {
+  // Paper constants: 2^alpha / (720 log n) < 1 until alpha is large.
+  EXPECT_EQ(duplication_factor(256, 0, Constants::paper()), 1u);
+  EXPECT_EQ(duplication_factor(256, 5, Constants::paper()), 1u);
+  // 2^13 = 8192 > 720 * 8: factor kicks in.
+  EXPECT_GE(duplication_factor(256, 13, Constants::paper()), 1u);
+  // Scaled constants activate duplication at small alpha.
+  Constants cst = Constants::paper();
+  cst.class_size = 0.25;
+  EXPECT_GE(duplication_factor(256, 4, cst), 2u);
+}
+
+TEST(Evaluation, AlphaPositiveWithDuplicationStillCorrect) {
+  Fixture f(49, 6, 0.7);
+  Constants cst = Constants::paper();
+  cst.class_size = 0.25;  // force duplication at alpha = 3
+  const std::uint32_t alpha = 3;
+  ASSERT_GE(duplication_factor(f.n, alpha, cst), 2u);
+  const auto t = full_domain(f.parts);
+  EvalQuerySet qs;
+  qs.queries.resize(f.parts.num_wblocks());
+  Rng rng(7);
+  for (const auto& [u, v] : f.parts.block_pairs(0, 1)) {
+    if (!f.g.has_edge(u, v)) continue;
+    qs.queries[rng.uniform_u64(f.parts.num_wblocks())].emplace_back(
+        VertexPair(u, v), static_cast<std::uint32_t>(rng.uniform_u64(t.size())));
+  }
+  const auto stats =
+      run_evaluation(f.net, f.g, f.parts, 0, 1, alpha, t, qs, cst, true);
+  EXPECT_GT(stats.duplication_rounds, 0u);
+  for (std::uint32_t x = 0; x < f.parts.num_wblocks(); ++x) {
+    for (std::size_t i = 0; i < qs.queries[x].size(); ++i) {
+      const auto& [pair, wpos] = qs.queries[x][i];
+      const auto ws = f.parts.wblock_vertices(t[wpos]);
+      EXPECT_EQ(stats.answers[x][i],
+                exists_negative_triangle_via(f.g, pair.a, pair.b, ws));
+    }
+  }
+}
+
+TEST(Evaluation, ListPromiseFormula) {
+  // 800 * 2^alpha * sqrt(n) * log n.
+  const double v = eval_list_promise(256, 2, Constants::paper());
+  EXPECT_NEAR(v, 800.0 * 4 * 16 * 8, 1e-6);
+}
+
+TEST(Evaluation, RejectsMalformedQuerySet) {
+  Fixture f(16, 8);
+  EvalQuerySet qs;  // wrong arity
+  EXPECT_THROW(run_evaluation(f.net, f.g, f.parts, 0, 0, 0, full_domain(f.parts),
+                              qs, Constants::paper(), false),
+               SimulationError);
+}
+
+TEST(Evaluation, RejectsQueryOutsideDomain) {
+  Fixture f(16, 9);
+  EvalQuerySet qs;
+  qs.queries.resize(f.parts.num_wblocks());
+  qs.queries[0].emplace_back(VertexPair(0, 1), 999u);
+  EXPECT_THROW(run_evaluation(f.net, f.g, f.parts, 0, 0, 0, full_domain(f.parts),
+                              qs, Constants::paper(), false),
+               SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,124 @@
+// Tests for FindEdges (Proposition 1): exactness on random and planted
+// instances, the sampling loop's behavior, and abort-retry handling.
+#include "core/find_edges.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+
+namespace qclique {
+namespace {
+
+class FindEdgesSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FindEdgesSizes, MatchesBruteForce) {
+  const std::uint32_t n = GetParam();
+  Rng rng(3000 + n);
+  const auto g = random_weighted_graph(n, 0.5, -6, 10, rng);
+  FindEdgesOptions opt;
+  const auto res = find_edges(g, opt, rng);
+  EXPECT_EQ(res.hot_pairs, edges_in_negative_triangles(g));
+  EXPECT_GE(res.compute_pairs_calls, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FindEdgesSizes,
+                         ::testing::Values(4u, 9u, 16u, 25u, 36u, 49u));
+
+TEST(FindEdges, PlantedTrianglesRecovered) {
+  Rng rng(1);
+  std::vector<VertexPair> planted;
+  const auto g = planted_negative_triangles(30, 5, rng, &planted);
+  FindEdgesOptions opt;
+  const auto res = find_edges(g, opt, rng);
+  EXPECT_EQ(res.hot_pairs, planted);
+}
+
+TEST(FindEdges, EmptyAndAllPositiveGraphs) {
+  Rng rng(2);
+  const WeightedGraph empty(12);
+  FindEdgesOptions opt;
+  EXPECT_TRUE(find_edges(empty, opt, rng).hot_pairs.empty());
+  const auto pos = random_weighted_graph(16, 0.6, 1, 10, rng);
+  EXPECT_TRUE(find_edges(pos, opt, rng).hot_pairs.empty());
+}
+
+TEST(FindEdges, DenseNegativeClique) {
+  // Every pair hot: the extreme case with Gamma(u,v) = n - 2 everywhere
+  // (promise violated in spirit; Prop 1's sampling loop is exactly what
+  // handles such instances at scale).
+  const std::uint32_t n = 20;
+  WeightedGraph g(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) g.set_edge(u, v, -1);
+  }
+  Rng rng(3);
+  FindEdgesOptions opt;
+  const auto res = find_edges(g, opt, rng);
+  EXPECT_EQ(res.hot_pairs.size(), static_cast<std::size_t>(n) * (n - 1) / 2);
+}
+
+TEST(FindEdges, LoopIterationsMatchPaperSchedule) {
+  // The while loop runs while prop1_sample * 2^i * log n <= n. With paper
+  // constants and small n it never runs; shrink the constant to see it.
+  Rng rng(4);
+  const std::uint32_t n = 36;
+  const auto g = random_weighted_graph(n, 0.5, -5, 10, rng);
+  FindEdgesOptions opt;
+  EXPECT_EQ(find_edges(g, opt, rng).loop_iterations, 0u);  // 60*6 > 36
+
+  FindEdgesOptions opt2;
+  opt2.compute_pairs.constants.prop1_sample = 1.0;  // 2^i * 6 <= 36: i=0,1,2
+  const auto res2 = find_edges(g, opt2, rng);
+  EXPECT_EQ(res2.loop_iterations, 3u);
+  EXPECT_EQ(res2.hot_pairs, edges_in_negative_triangles(g));
+}
+
+TEST(FindEdges, ClassicalVariantMatches) {
+  Rng rng(5);
+  const auto g = random_weighted_graph(30, 0.5, -7, 9, rng);
+  FindEdgesOptions opt;
+  opt.compute_pairs.use_quantum = false;
+  const auto res = find_edges(g, opt, rng);
+  EXPECT_EQ(res.hot_pairs, edges_in_negative_triangles(g));
+}
+
+TEST(FindEdges, AbortRetryExhaustionThrows) {
+  Rng rng(6);
+  const auto g = random_weighted_graph(16, 0.5, -4, 8, rng);
+  FindEdgesOptions opt;
+  opt.compute_pairs.constants.balance_threshold = 1e-12;  // always abort
+  opt.max_abort_retries = 2;
+  EXPECT_THROW(find_edges(g, opt, rng), SimulationError);
+}
+
+TEST(FindEdges, RoundsAccumulateAcrossCalls) {
+  Rng rng(7);
+  const auto g = random_weighted_graph(25, 0.5, -6, 9, rng);
+  FindEdgesOptions opt;
+  opt.compute_pairs.constants.prop1_sample = 1.0;  // force loop iterations
+  const auto res = find_edges(g, opt, rng);
+  EXPECT_GE(res.compute_pairs_calls, res.loop_iterations + 1);
+  EXPECT_GT(res.rounds, 0u);
+  EXPECT_EQ(res.rounds, res.ledger.total_rounds());
+}
+
+TEST(FindEdges, SoundnessUnderSampling) {
+  // Whatever the sampling does, reported pairs are always truly hot
+  // (G' is a subgraph of G).
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(100 + seed);
+    const auto g = random_weighted_graph(32, 0.4, -9, 6, rng);
+    FindEdgesOptions opt;
+    opt.compute_pairs.constants.prop1_sample = 0.5;
+    const auto res = find_edges(g, opt, rng);
+    for (const auto& pr : res.hot_pairs) {
+      EXPECT_GT(gamma(g, pr.a, pr.b), 0u) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,150 @@
+// Tests for Algorithm IdentifyClass (Figure 2) and Proposition 5's class
+// bracketing.
+#include "core/identify_class.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+
+namespace qclique {
+namespace {
+
+std::vector<VertexPair> all_pairs(std::uint32_t n) {
+  std::vector<VertexPair> s;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) s.emplace_back(u, v);
+  }
+  return s;
+}
+
+TEST(DeltaExact, CountsWitnessedPairs) {
+  // Triangle {0,1,2} negative; Delta for the block pair containing {0,1}
+  // and the W-block containing 2 must count the pair once.
+  WeightedGraph g(16);
+  g.set_edge(0, 1, -5);
+  g.set_edge(0, 2, 1);
+  g.set_edge(1, 2, 1);
+  Partitions parts(16);
+  const auto s = all_pairs(16);
+  const std::uint32_t ub = parts.vblock_of(0);
+  const std::uint32_t vb = parts.vblock_of(1);
+  const std::uint32_t wb = parts.wblock_of(2);
+  EXPECT_GE(delta_exact(g, parts, s, ub, vb, wb), 1u);
+  // A W-block without witnesses counts zero.
+  std::uint64_t other_total = 0;
+  for (std::uint32_t w = 0; w < parts.num_wblocks(); ++w) {
+    if (w != wb) other_total += delta_exact(g, parts, s, ub, vb, w);
+  }
+  EXPECT_EQ(other_total, 0u);
+}
+
+TEST(IdentifyClass, RunsWithoutAbortAtPaperConstants) {
+  Rng rng(1);
+  const std::uint32_t n = 36;
+  const auto g = random_weighted_graph(n, 0.5, -6, 10, rng);
+  CliqueNetwork net(n);
+  Partitions parts(n);
+  const auto res = identify_class(net, g, parts, all_pairs(n), Constants::paper(), rng);
+  EXPECT_FALSE(res.aborted);
+  EXPECT_GT(res.rounds, 0u);  // the Lambda(u) broadcasts cost real rounds
+}
+
+TEST(IdentifyClass, AbortInjection) {
+  // An absurd abort threshold triggers the Figure 2 abort path.
+  Rng rng(2);
+  const std::uint32_t n = 25;
+  const auto g = random_weighted_graph(n, 0.6, -8, 4, rng);
+  Constants cst = Constants::paper();
+  cst.identify_abort = 1e-9;
+  cst.identify_sample = 1e9;  // sample everything
+  CliqueNetwork net(n);
+  Partitions parts(n);
+  const auto res = identify_class(net, g, parts, all_pairs(n), cst, rng);
+  EXPECT_TRUE(res.aborted);
+}
+
+TEST(IdentifyClass, ClassZeroWhenNoNegativeTriangles) {
+  Rng rng(3);
+  const std::uint32_t n = 30;
+  const auto g = random_weighted_graph(n, 0.5, 1, 9, rng);  // all positive
+  CliqueNetwork net(n);
+  Partitions parts(n);
+  const auto res = identify_class(net, g, parts, all_pairs(n), Constants::paper(), rng);
+  ASSERT_FALSE(res.aborted);
+  EXPECT_EQ(res.max_alpha, 0u);
+  for (const auto& row : res.classes) {
+    for (std::uint32_t c : row) EXPECT_EQ(c, 0u);
+  }
+}
+
+TEST(IdentifyClass, TAlphaPartitionsWBlocks) {
+  Rng rng(4);
+  const std::uint32_t n = 49;
+  const auto g = random_weighted_graph(n, 0.6, -9, 6, rng);
+  CliqueNetwork net(n);
+  Partitions parts(n);
+  const auto res = identify_class(net, g, parts, all_pairs(n), Constants::paper(), rng);
+  ASSERT_FALSE(res.aborted);
+  const std::uint32_t B = parts.num_vblocks();
+  for (std::uint32_t ub = 0; ub < B; ++ub) {
+    for (std::uint32_t vb = 0; vb < B; ++vb) {
+      std::size_t total = 0;
+      for (std::uint32_t a = 0; a <= res.max_alpha; ++a) {
+        total += res.t_alpha(ub, vb, a, B).size();
+      }
+      EXPECT_EQ(total, parts.num_wblocks());
+    }
+  }
+}
+
+// Proposition 5 statistics: with full sampling (identify_sample huge), duvw
+// equals |Delta| exactly, so classes must bracket |Delta| by construction;
+// with the paper's sampling the bracket holds with high probability.
+TEST(IdentifyClass, Prop5BracketsHoldUnderFullSampling) {
+  Rng rng(5);
+  const std::uint32_t n = 32;
+  const auto g = random_weighted_graph(n, 0.7, -10, 4, rng);
+  Constants cst = Constants::paper();
+  cst.identify_sample = 1e9;   // R = S: duvw is exact
+  cst.identify_abort = 1e9;    // never abort
+  CliqueNetwork net(n);
+  Partitions parts(n);
+  const auto s = all_pairs(n);
+  const auto res = identify_class(net, g, parts, s, cst, rng);
+  ASSERT_FALSE(res.aborted);
+  const std::uint32_t B = parts.num_vblocks();
+  const double base = cst.identify_class_base * paper_log(n);
+  for (std::uint32_t ub = 0; ub < B; ++ub) {
+    for (std::uint32_t vb = 0; vb < B; ++vb) {
+      for (std::uint32_t wb = 0; wb < parts.num_wblocks(); ++wb) {
+        const std::uint64_t delta = delta_exact(g, parts, s, ub, vb, wb);
+        const std::uint32_t alpha = res.alpha(ub, vb, wb, B);
+        // cuvw = min{c : duvw < base * 2^c} with duvw == delta.
+        EXPECT_LT(static_cast<double>(delta), base * std::pow(2.0, alpha));
+        if (alpha > 0) {
+          EXPECT_GE(static_cast<double>(delta), base * std::pow(2.0, alpha - 1));
+        }
+      }
+    }
+  }
+}
+
+TEST(IdentifyClass, SampledPairsTracked) {
+  Rng rng(6);
+  const std::uint32_t n = 40;
+  const auto g = random_weighted_graph(n, 0.5, -5, 10, rng);
+  CliqueNetwork net(n);
+  Partitions parts(n);
+  const auto res = identify_class(net, g, parts, all_pairs(n), Constants::paper(), rng);
+  ASSERT_FALSE(res.aborted);
+  // With p = min(1, 10 log n / n) and ~n^2/2 pairs double-sampled, R is
+  // nonempty with overwhelming probability.
+  EXPECT_GT(res.sampled_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,106 @@
+// Tests for the Lambda_x(u, v) partition procedure (Lemma 2): coverage,
+// well-balancedness, and the abort regime under shrunken constants.
+#include "core/lambda_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(LambdaSampler, PaperConstantsCapProbabilityAtOne) {
+  // 10 log n / sqrt(n) >= 1 for all n <= ~10^6, so every pair is sampled.
+  EXPECT_EQ(lambda_sample_probability(256, Constants::paper()), 1.0);
+  Partitions parts(64);
+  Rng rng(1);
+  const auto fam = sample_lambda_family(parts, 0, 0, Constants::paper(), rng);
+  const auto all = parts.block_pairs(0, 0);
+  for (const auto& set : fam.sets) EXPECT_EQ(set.size(), all.size());
+  EXPECT_TRUE(fam.covers);
+  EXPECT_TRUE(fam.well_balanced);
+}
+
+TEST(LambdaSampler, ScaledConstantsActuallySample) {
+  const Constants cst = Constants::scaled(0.05);
+  const double p = lambda_sample_probability(256, cst);
+  EXPECT_LT(p, 1.0);
+  EXPECT_GT(p, 0.0);
+  Partitions parts(256);
+  Rng rng(2);
+  const auto fam = sample_lambda_family(parts, 0, 1, cst, rng);
+  const auto all = parts.block_pairs(0, 1);
+  // Sampled sets should hold roughly p * |P(u,v)| pairs.
+  double mean = 0;
+  for (const auto& set : fam.sets) mean += static_cast<double>(set.size());
+  mean /= static_cast<double>(fam.sets.size());
+  EXPECT_NEAR(mean, p * static_cast<double>(all.size()),
+              0.3 * p * static_cast<double>(all.size()) + 3.0);
+}
+
+TEST(LambdaSampler, CoverageHoldsAtPaperRates) {
+  // Lemma 2(ii): with the paper's sampling rate the union covers P(u, v)
+  // with probability 1 - O(1/n). At the capped rate coverage is certain;
+  // with scaled constants it holds empirically for most seeds.
+  Partitions parts(144);
+  int covered = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(100 + t);
+    const auto fam =
+        sample_lambda_family(parts, 0, 0, Constants::scaled(0.3), rng);
+    covered += fam.covers ? 1 : 0;
+  }
+  EXPECT_GE(covered, trials - 2);
+}
+
+TEST(LambdaSampler, WellBalancedAtPaperThreshold) {
+  // Lemma 2(i): the row-load threshold 100 n^{1/4} log n is far above the
+  // expected load 10 n^{1/4} log n, so imbalance is a tail event.
+  Partitions parts(196);
+  int balanced = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(t);
+    const auto fam = sample_lambda_family(parts, 0, 1, Constants::paper(), rng);
+    balanced += fam.well_balanced ? 1 : 0;
+  }
+  EXPECT_EQ(balanced, trials);
+}
+
+TEST(LambdaSampler, TinyBalanceThresholdForcesAbortRegime) {
+  // A deliberately absurd threshold makes every family unbalanced -- the
+  // failure-injection path ComputePairs handles by aborting.
+  Constants cst = Constants::paper();
+  cst.balance_threshold = 1e-6;
+  Partitions parts(64);
+  Rng rng(5);
+  const auto fam = sample_lambda_family(parts, 0, 0, cst, rng);
+  EXPECT_FALSE(fam.well_balanced);
+}
+
+TEST(LambdaSampler, MaxRowLoadReported) {
+  Partitions parts(81);
+  Rng rng(6);
+  const auto fam = sample_lambda_family(parts, 0, 0, Constants::paper(), rng);
+  EXPECT_GT(fam.max_row_load, 0u);
+  EXPECT_LE(static_cast<double>(fam.max_row_load),
+            lambda_balance_threshold(81, Constants::paper()));
+}
+
+TEST(LambdaSampler, SetsContainOnlyBlockPairs) {
+  Partitions parts(100);
+  Rng rng(7);
+  const auto fam = sample_lambda_family(parts, 1, 2, Constants::scaled(0.5), rng);
+  const auto all = parts.block_pairs(1, 2);
+  const std::set<std::pair<std::uint32_t, std::uint32_t>> allowed(all.begin(),
+                                                                  all.end());
+  for (const auto& set : fam.sets) {
+    for (const auto& pr : set) EXPECT_TRUE(allowed.contains(pr));
+  }
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,111 @@
+// Tests for the Section 5.1 partitions and labeling schemes.
+#include "core/partitions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(PartitionsTest, BlockCountsNearRoots) {
+  // Perfect fourth power: exact counts.
+  Partitions p(256);
+  EXPECT_EQ(p.num_vblocks(), 4u);   // 256^{1/4}
+  EXPECT_EQ(p.num_wblocks(), 16u);  // sqrt(256)
+}
+
+TEST(PartitionsTest, NonPerfectSizesRoundUp) {
+  Partitions p(100);
+  EXPECT_EQ(p.num_vblocks(), 4u);   // ceil(100^{1/4}) = 4
+  EXPECT_EQ(p.num_wblocks(), 10u);  // sqrt(100)
+  Partitions q(50);
+  EXPECT_GE(q.num_vblocks(), 3u);
+  EXPECT_GE(q.num_wblocks(), 8u);
+}
+
+TEST(PartitionsTest, BlocksPartitionAllVertices) {
+  for (std::uint32_t n : {5u, 16u, 81u, 100u}) {
+    Partitions p(n);
+    std::set<std::uint32_t> seen;
+    for (std::uint32_t b = 0; b < p.num_vblocks(); ++b) {
+      for (std::uint32_t v : p.vblock_vertices(b)) {
+        EXPECT_TRUE(seen.insert(v).second) << "duplicate vertex " << v;
+        EXPECT_EQ(p.vblock_of(v), b);
+      }
+    }
+    EXPECT_EQ(seen.size(), n);
+    seen.clear();
+    for (std::uint32_t b = 0; b < p.num_wblocks(); ++b) {
+      for (std::uint32_t v : p.wblock_vertices(b)) {
+        EXPECT_TRUE(seen.insert(v).second);
+        EXPECT_EQ(p.wblock_of(v), b);
+      }
+    }
+    EXPECT_EQ(seen.size(), n);
+  }
+}
+
+TEST(PartitionsTest, LabelingsMapIntoNodeRange) {
+  Partitions p(60);
+  for (std::uint32_t ub = 0; ub < p.num_vblocks(); ++ub) {
+    for (std::uint32_t vb = 0; vb < p.num_vblocks(); ++vb) {
+      for (std::uint32_t wb = 0; wb < p.num_wblocks(); ++wb) {
+        EXPECT_LT(p.t_node(ub, vb, wb), 60u);
+        EXPECT_LT(p.x_node(ub, vb, wb), 60u);
+      }
+    }
+  }
+}
+
+TEST(PartitionsTest, SecondLabelingNearBijectiveOnPerfectSizes) {
+  // n = 256: |T| = 4 * 4 * 16 = 256 = n, so t_node is a bijection.
+  Partitions p(256);
+  std::set<NodeId> seen;
+  for (std::uint32_t ub = 0; ub < 4; ++ub) {
+    for (std::uint32_t vb = 0; vb < 4; ++vb) {
+      for (std::uint32_t wb = 0; wb < 16; ++wb) {
+        seen.insert(p.t_node(ub, vb, wb));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(PartitionsTest, BlockPairsDiagonalAndOffDiagonal) {
+  Partitions p(16);  // 2 V-blocks of 8
+  const auto diag = p.block_pairs(0, 0);
+  EXPECT_EQ(diag.size(), 8u * 7 / 2);
+  for (const auto& [u, v] : diag) EXPECT_LT(u, v);
+  const auto off = p.block_pairs(0, 1);
+  EXPECT_EQ(off.size(), 64u);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> uniq(off.begin(), off.end());
+  EXPECT_EQ(uniq.size(), off.size());
+}
+
+TEST(PartitionsTest, DupNodeValidation) {
+  Partitions p(32);
+  EXPECT_LT(p.dup_node(0, 0, 0, 0, 4), 32u);
+  EXPECT_THROW(p.dup_node(0, 0, 0, 4, 4), SimulationError);
+  EXPECT_THROW(p.dup_node(0, 0, 0, 0, 0), SimulationError);
+}
+
+TEST(PartitionsTest, TinyGraphs) {
+  Partitions p(2);
+  EXPECT_GE(p.num_vblocks(), 1u);
+  EXPECT_GE(p.num_wblocks(), 1u);
+  EXPECT_EQ(p.block_pairs(0, 0).size() + [&] {
+    std::size_t cross = 0;
+    for (std::uint32_t a = 0; a < p.num_vblocks(); ++a) {
+      for (std::uint32_t b = a + 1; b < p.num_vblocks(); ++b) {
+        cross += p.block_pairs(a, b).size();
+      }
+    }
+    return cross;
+  }(), 1u);  // exactly the pair {0, 1}
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,94 @@
+// Tests for distributed successor construction and path extraction
+// (footnote 1).
+#include "core/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/shortest_paths.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace qclique {
+namespace {
+
+struct PathCase {
+  std::uint32_t n;
+  double density;
+  std::int64_t wmin, wmax;
+  std::uint64_t seed;
+};
+
+class SuccessorSweep : public ::testing::TestWithParam<PathCase> {};
+
+TEST_P(SuccessorSweep, EveryPathIsValidAndShortest) {
+  const auto& tc = GetParam();
+  Rng rng(tc.seed);
+  const auto g = random_digraph(tc.n, tc.density, tc.wmin, tc.wmax, rng);
+  const auto dist = floyd_warshall(g);
+  ASSERT_TRUE(dist.has_value());
+  const auto succ = build_successors(g, *dist);
+  for (std::uint32_t u = 0; u < tc.n; ++u) {
+    for (std::uint32_t v = 0; v < tc.n; ++v) {
+      const auto path = successor_path(succ, tc.n, u, v);
+      if (u == v) {
+        ASSERT_EQ(path, std::vector<std::uint32_t>{u});
+        continue;
+      }
+      if (is_plus_inf(dist->at(u, v))) {
+        EXPECT_TRUE(path.empty());
+        continue;
+      }
+      ASSERT_GE(path.size(), 2u);
+      EXPECT_EQ(path.front(), u);
+      EXPECT_EQ(path.back(), v);
+      std::int64_t total = 0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        ASSERT_TRUE(g.has_arc(path[i], path[i + 1]));
+        total += g.weight(path[i], path[i + 1]);
+      }
+      EXPECT_EQ(total, dist->at(u, v)) << u << "->" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SuccessorSweep,
+                         ::testing::Values(PathCase{8, 0.5, 1, 9, 1},
+                                           PathCase{12, 0.4, -4, 10, 2},
+                                           PathCase{16, 0.3, -6, 12, 3},
+                                           PathCase{20, 0.6, 0, 5, 4}));
+
+TEST(Successors, RoundsMeasuredAndProportionalToDegree) {
+  Rng rng(5);
+  const auto sparse = random_digraph(16, 0.1, 1, 5, rng);
+  const auto dense = random_digraph(16, 0.9, 1, 5, rng);
+  const auto ds = floyd_warshall(sparse);
+  const auto dd = floyd_warshall(dense);
+  ASSERT_TRUE(ds && dd);
+  const auto rs = build_successors(sparse, *ds);
+  const auto rd = build_successors(dense, *dd);
+  EXPECT_LT(rs.rounds, rd.rounds);
+  EXPECT_GT(rd.rounds, 0u);
+}
+
+TEST(Successors, RejectsBogusDistanceMatrix) {
+  Digraph g(3);
+  g.set_arc(0, 1, 5);
+  DistMatrix lies(3, kPlusInf);
+  lies.set(0, 0, 0);
+  lies.set(1, 1, 0);
+  lies.set(2, 2, 0);
+  lies.set(0, 1, 3);  // unachievable: the only arc has weight 5
+  EXPECT_THROW(build_successors(g, lies), SimulationError);
+}
+
+TEST(SuccessorPath, OutOfRangeRejected) {
+  Digraph g(2);
+  g.set_arc(0, 1, 1);
+  const auto dist = floyd_warshall(g);
+  const auto succ = build_successors(g, *dist);
+  EXPECT_THROW(successor_path(succ, 2, 0, 5), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

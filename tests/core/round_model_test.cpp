@@ -1,0 +1,62 @@
+// Tests for the analytic round model.
+#include "core/round_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qclique {
+namespace {
+
+TEST(RoundModelTest, QuantumBeatsClassicalAsymptotically) {
+  RoundModel m;
+  // At the crossover and beyond, quantum search is cheaper.
+  const double cross = m.search_crossover_n();
+  ASSERT_GT(cross, 0.0);
+  EXPECT_LT(m.quantum_search_rounds(std::sqrt(2 * cross)),
+            m.classical_search_rounds(std::sqrt(2 * cross)));
+  // Below it, classical wins (the small-n regime the benches live in).
+  EXPECT_GT(m.quantum_search_rounds(std::sqrt(cross / 4)),
+            m.classical_search_rounds(std::sqrt(cross / 4)));
+}
+
+TEST(RoundModelTest, CrossoverNearTenToTheFive) {
+  // With the default constants (cutoff 9, uncompute 2) the crossover sits
+  // around n ~ 1e5-1e6 -- the number quoted in the benches.
+  RoundModel m;
+  const double cross = m.search_crossover_n();
+  EXPECT_GE(cross, 1e4);
+  EXPECT_LE(cross, 1e7);
+}
+
+TEST(RoundModelTest, SmallerCutoffMovesCrossoverDown) {
+  RoundModel aggressive;
+  aggressive.bbht_cutoff = 2.0;
+  RoundModel conservative;
+  conservative.bbht_cutoff = 20.0;
+  EXPECT_LT(aggressive.search_crossover_n(), conservative.search_crossover_n());
+}
+
+TEST(RoundModelTest, Theorem1ShapeMonotonicInNandW) {
+  RoundModel m;
+  EXPECT_LT(m.theorem1_rounds(256, 8), m.theorem1_rounds(1024, 8));
+  EXPECT_LT(m.theorem1_rounds(256, 8), m.theorem1_rounds(256, 1024));
+}
+
+TEST(RoundModelTest, QuarterPowerShape) {
+  RoundModel m;
+  // theorem2(16 n) / theorem2(n) -> 2 as n grows (n^{1/4} doubling).
+  const double r = m.theorem2_rounds(16e8) / m.theorem2_rounds(1e8);
+  EXPECT_NEAR(r, 2.0, 0.05);
+}
+
+TEST(RoundModelTest, ClassicalApspCubeRootShape) {
+  RoundModel m;
+  const double r = m.classical_apsp_rounds(8e9, 8) / m.classical_apsp_rounds(1e9, 8);
+  // n^{1/3} doubling x mild log growth.
+  EXPECT_GT(r, 2.0);
+  EXPECT_LT(r, 2.4);
+}
+
+}  // namespace
+}  // namespace qclique

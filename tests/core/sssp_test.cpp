@@ -1,0 +1,47 @@
+// Tests for the SSSP wrapper.
+#include "core/sssp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/shortest_paths.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(QuantumSssp, MatchesBellmanFord) {
+  Rng rng(1);
+  const auto g = random_digraph(10, 0.5, -4, 9, rng);
+  QuantumApspOptions opt;
+  for (std::uint32_t s : {0u, 4u, 9u}) {
+    Rng child = rng.split();
+    const auto res = quantum_sssp(g, s, opt, child);
+    const auto bf = bellman_ford(g, s);
+    ASSERT_TRUE(bf.has_value());
+    EXPECT_EQ(res.distances, *bf) << "source " << s;
+    EXPECT_GT(res.rounds, 0u);
+  }
+}
+
+TEST(QuantumSssp, UnreachableVerticesAreInf) {
+  Digraph g(5);
+  g.set_arc(0, 1, 2);
+  Rng rng(2);
+  QuantumApspOptions opt;
+  const auto res = quantum_sssp(g, 0, opt, rng);
+  EXPECT_EQ(res.distances[0], 0);
+  EXPECT_EQ(res.distances[1], 2);
+  EXPECT_TRUE(is_plus_inf(res.distances[2]));
+}
+
+TEST(QuantumSssp, RejectsBadSource) {
+  Digraph g(3);
+  Rng rng(3);
+  QuantumApspOptions opt;
+  EXPECT_THROW(quantum_sssp(g, 3, opt, rng), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,105 @@
+// Shape regression guards: cheap statistical assertions that pin the
+// scaling behavior the benches report, so a refactor that silently breaks
+// the round accounting (e.g. re-introducing sum-over-groups accounting, or
+// losing the lockstep sharing of joint evaluations) fails CI rather than
+// only skewing EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/compute_pairs.hpp"
+#include "graph/generators.hpp"
+
+namespace qclique {
+namespace {
+
+std::vector<VertexPair> all_pairs(std::uint32_t n) {
+  std::vector<VertexPair> s;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) s.emplace_back(u, v);
+  }
+  return s;
+}
+
+ComputePairsResult run(std::uint32_t n, bool quantum, double lambda_override) {
+  Rng rng(40000 + n + (quantum ? 1 : 0));
+  const auto g = random_weighted_graph(n, 0.4, -6, 10, rng);
+  ComputePairsOptions opt;
+  opt.use_quantum = quantum;
+  if (lambda_override > 0) opt.constants.lambda_sample = lambda_override;
+  Rng child = rng.split();
+  return compute_pairs(g, all_pairs(n), opt, child);
+}
+
+TEST(TheoremShapes, QuantumOracleCallsGrowSlowerThanClassicalEvals) {
+  // Theorem 2's core: ~n^{1/4} quantum calls vs ~n^{1/2} classical domain
+  // evaluations. Guard the fitted-exponent ordering over a fast sweep.
+  std::vector<double> ns, qc, cc;
+  for (const std::uint32_t n : {36u, 81u, 144u, 225u}) {
+    const auto q = run(n, true, 6.0 / paper_log(n));
+    const auto c = run(n, false, 6.0 / paper_log(n));
+    ns.push_back(n);
+    qc.push_back(static_cast<double>(
+        std::max<std::uint64_t>(1, q.ledger.total_oracle_calls())));
+    cc.push_back(static_cast<double>(
+        std::max<std::uint64_t>(1, c.ledger.total_oracle_calls())));
+  }
+  const auto qfit = fit_power_law(ns, qc);
+  const auto cfit = fit_power_law(ns, cc);
+  EXPECT_LT(qfit.slope, cfit.slope) << "quantum must scale strictly slower";
+  EXPECT_LT(qfit.slope, 0.85);
+  EXPECT_GT(cfit.slope, 0.4);
+}
+
+TEST(TheoremShapes, SearchRoundsChargeMaxNotSumOverGroups) {
+  // With B^2 > 1 block-pair groups running in parallel, per-alpha search
+  // rounds must be far below the sum of per-group costs. Proxy: total
+  // search rounds / oracle calls gives the per-call round factor, which
+  // must stay within a small multiple of one evaluation's cost (it would
+  // be ~B^2 x larger under sum-accounting).
+  const auto q = run(100, true, 0);
+  ASSERT_FALSE(q.aborted);
+  std::uint64_t search = 0;
+  for (const auto& [name, st] : q.ledger.phases()) {
+    if (name.starts_with("search/")) search += st.rounds;
+  }
+  const std::uint64_t calls = q.ledger.total_oracle_calls();
+  ASSERT_GT(calls, 0u);
+  const double per_call = static_cast<double>(search) / static_cast<double>(calls);
+  // One evaluation at n=100 in the saturated regime costs ~2-40 rounds;
+  // sum-accounting across ~16 groups would push this past 300.
+  EXPECT_LT(per_call, 200.0);
+}
+
+TEST(TheoremShapes, SetupPhasesStayPolylog) {
+  // step1/step2/identify are O~(1)-to-polylog phases; they must not grow
+  // like the search phases.
+  std::vector<double> ns, setup;
+  for (const std::uint32_t n : {49u, 100u, 196u, 324u}) {
+    const auto q = run(n, false, 0);
+    std::uint64_t s = q.ledger.phase_rounds("step1/load") +
+                      q.ledger.phase_rounds("step2/load") +
+                      q.ledger.phase_rounds("identify/broadcast");
+    ns.push_back(n);
+    setup.push_back(static_cast<double>(std::max<std::uint64_t>(1, s)));
+  }
+  const auto fit = fit_power_law(ns, setup);
+  // Saturated-sampling regime inflates this toward ~sqrt(n); anything near
+  // linear signals a lost parallelism bug.
+  EXPECT_LT(fit.slope, 0.95);
+}
+
+TEST(TheoremShapes, ClassicalEvalsTrackDomainSize) {
+  // The classical scan evaluates each W-block once per alpha: calls per
+  // run are bounded by (#alpha values) * sqrt(n)-ish.
+  for (const std::uint32_t n : {64u, 144u}) {
+    const auto c = run(n, false, 0);
+    ASSERT_FALSE(c.aborted);
+    const std::uint64_t wb = isqrt_ceil(n);
+    EXPECT_LE(c.ledger.total_oracle_calls(), (c.max_alpha + 1) * wb + wb);
+  }
+}
+
+}  // namespace
+}  // namespace qclique

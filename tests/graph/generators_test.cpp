@@ -1,0 +1,159 @@
+// Tests for the workload generators, in particular the negative-cycle-free
+// digraph construction and the Vassilevska Williams-Williams tripartite
+// gadget (the heart of Proposition 2).
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/triangles.hpp"
+#include "matrix/dist_matrix.hpp"
+#include "matrix/min_plus.hpp"
+
+namespace qclique {
+namespace {
+
+// Bellman-Ford negative-cycle detector over all components (adds a virtual
+// source). Used only as a test oracle.
+bool has_negative_cycle(const Digraph& g) {
+  const std::uint32_t n = g.size();
+  std::vector<std::int64_t> dist(n, 0);
+  for (std::uint32_t pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (u == v || !g.has_arc(u, v)) continue;
+        const std::int64_t cand = sat_add(dist[u], g.weight(u, v));
+        if (cand < dist[v]) {
+          dist[v] = cand;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+TEST(RandomDigraph, RespectsWeightRangeWhenCyclic) {
+  Rng rng(1);
+  const auto g = random_digraph(20, 0.4, -5, 9, rng, /*no_negative_cycles=*/false);
+  for (std::uint32_t u = 0; u < 20; ++u) {
+    for (std::uint32_t v = 0; v < 20; ++v) {
+      if (g.has_arc(u, v)) {
+        EXPECT_GE(g.weight(u, v), -5);
+        EXPECT_LE(g.weight(u, v), 9);
+      }
+    }
+  }
+}
+
+TEST(RandomDigraph, NoNegativeCycleModeHolds) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const auto g = random_digraph(16, 0.5, -10, 10, rng);
+    EXPECT_FALSE(has_negative_cycle(g)) << "seed " << seed;
+  }
+}
+
+TEST(RandomDigraph, ProducesSomeNegativeArcs) {
+  Rng rng(3);
+  const auto g = random_digraph(30, 0.5, -10, 10, rng);
+  bool any_negative = false;
+  for (std::uint32_t u = 0; u < 30 && !any_negative; ++u) {
+    for (std::uint32_t v = 0; v < 30; ++v) {
+      if (u != v && g.has_arc(u, v) && g.weight(u, v) < 0) {
+        any_negative = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(RandomDigraph, DensityApproximatelyRespected) {
+  Rng rng(4);
+  const std::uint32_t n = 40;
+  const auto g = random_digraph(n, 0.3, 0, 10, rng);
+  const double density = static_cast<double>(g.num_arcs()) /
+                         static_cast<double>(n * (n - 1));
+  EXPECT_NEAR(density, 0.3, 0.06);
+}
+
+TEST(RandomWeightedGraph, SymmetricWithDensity) {
+  Rng rng(5);
+  const auto g = random_weighted_graph(30, 0.5, -3, 3, rng);
+  const double density = static_cast<double>(g.num_edges()) /
+                         static_cast<double>(30 * 29 / 2);
+  EXPECT_NEAR(density, 0.5, 0.08);
+}
+
+TEST(PlantedTriangles, ExactlyPlantedPairsAreHot) {
+  Rng rng(6);
+  std::vector<VertexPair> planted;
+  const auto g = planted_negative_triangles(24, 4, rng, &planted);
+  EXPECT_EQ(planted.size(), 12u);  // 3 pairs per triangle
+  EXPECT_EQ(edges_in_negative_triangles(g), planted);
+  // Promise holds: every planted pair closes exactly one negative triangle.
+  for (const auto& p : planted) EXPECT_EQ(gamma(g, p.a, p.b), 1u);
+}
+
+TEST(PlantedTriangles, RejectsOvercrowding) {
+  Rng rng(7);
+  EXPECT_THROW(planted_negative_triangles(8, 3, rng), SimulationError);
+}
+
+TEST(TripartiteGadget, NegativeTrianglesMatchDistanceProductPredicate) {
+  Rng rng(8);
+  const std::uint32_t n = 8;
+  DistMatrix a(n), b(n), d(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      a.set(i, j, rng.uniform_i64(-6, 6));
+      b.set(i, j, rng.uniform_i64(-6, 6));
+      d.set(i, j, rng.uniform_i64(-12, 12));
+    }
+  }
+  const auto g = tripartite_gadget(a, b, d);
+  const auto c = distance_product_naive(a, b);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const bool in_triangle = gamma(g, i, n + j) > 0;
+      EXPECT_EQ(in_triangle, c.at(i, j) < d.at(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(TripartiteGadget, InfEntriesProduceNoEdges) {
+  DistMatrix a(2), b(2), d(2);
+  // All +inf: the gadget has no edges at all.
+  const auto g = tripartite_gadget(a, b, d);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(TripartiteGadget, IsProperlyTripartite) {
+  Rng rng(9);
+  const std::uint32_t n = 5;
+  DistMatrix a(n, 1), b(n, 2), d(n, 3);
+  const auto g = tripartite_gadget(a, b, d);
+  // No edges inside any part.
+  for (int part = 0; part < 3; ++part) {
+    for (std::uint32_t x = 0; x < n; ++x) {
+      for (std::uint32_t y = x + 1; y < n; ++y) {
+        EXPECT_FALSE(g.has_edge(part * n + x, part * n + y));
+      }
+    }
+  }
+}
+
+TEST(TripartiteDecode, RoundTrips) {
+  const std::uint32_t n = 7;
+  EXPECT_EQ(tripartite_decode(3, n), (std::pair<int, std::uint32_t>{0, 3}));
+  EXPECT_EQ(tripartite_decode(n + 2, n), (std::pair<int, std::uint32_t>{1, 2}));
+  EXPECT_EQ(tripartite_decode(2 * n + 6, n), (std::pair<int, std::uint32_t>{2, 6}));
+  EXPECT_THROW(tripartite_decode(3 * n, n), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,120 @@
+// Tests for the negative-triangle census (paper Definition 1 and the
+// Gamma / Delta oracles).
+#include "graph/triangles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace qclique {
+namespace {
+
+WeightedGraph small_triangle(std::int64_t a, std::int64_t b, std::int64_t c) {
+  WeightedGraph g(3);
+  g.set_edge(0, 1, a);
+  g.set_edge(0, 2, b);
+  g.set_edge(1, 2, c);
+  return g;
+}
+
+TEST(IsNegativeTriangle, SignBoundary) {
+  EXPECT_TRUE(is_negative_triangle(small_triangle(-1, 0, 0), 0, 1, 2));
+  EXPECT_FALSE(is_negative_triangle(small_triangle(0, 0, 0), 0, 1, 2));  // sum 0
+  EXPECT_FALSE(is_negative_triangle(small_triangle(1, 1, -1), 0, 1, 2));
+  EXPECT_TRUE(is_negative_triangle(small_triangle(5, 5, -11), 0, 1, 2));
+}
+
+TEST(IsNegativeTriangle, MissingEdgeMeansNoTriangle) {
+  WeightedGraph g(3);
+  g.set_edge(0, 1, -5);
+  g.set_edge(0, 2, -5);
+  EXPECT_FALSE(is_negative_triangle(g, 0, 1, 2));
+}
+
+TEST(IsNegativeTriangle, DegenerateVerticesRejected) {
+  auto g = small_triangle(-1, -1, -1);
+  EXPECT_FALSE(is_negative_triangle(g, 0, 0, 2));
+  EXPECT_FALSE(is_negative_triangle(g, 1, 2, 2));
+}
+
+TEST(Gamma, CountsClosingVertices) {
+  // K4 where all edges weigh -1: every pair has two closing vertices.
+  WeightedGraph g(4);
+  for (std::uint32_t u = 0; u < 4; ++u) {
+    for (std::uint32_t v = u + 1; v < 4; ++v) g.set_edge(u, v, -1);
+  }
+  for (std::uint32_t u = 0; u < 4; ++u) {
+    for (std::uint32_t v = u + 1; v < 4; ++v) EXPECT_EQ(gamma(g, u, v), 2u);
+  }
+}
+
+TEST(Gamma, ZeroWithoutEdge) {
+  WeightedGraph g(4);
+  g.set_edge(0, 2, -9);
+  g.set_edge(1, 2, -9);
+  EXPECT_EQ(gamma(g, 0, 1), 0u);  // {0,1} not an edge
+}
+
+TEST(GammaAllPairs, MatchesPointwiseGamma) {
+  Rng rng(5);
+  const auto g = random_weighted_graph(12, 0.5, -10, 10, rng);
+  const auto all = gamma_all_pairs(g);
+  for (std::uint32_t u = 0; u < 12; ++u) {
+    for (std::uint32_t v = 0; v < 12; ++v) {
+      if (u == v) continue;
+      EXPECT_EQ(all[u * 12 + v], gamma(g, u, v)) << u << "," << v;
+    }
+  }
+}
+
+TEST(EdgesInNegativeTriangles, PlantedGroundTruth) {
+  Rng rng(7);
+  std::vector<VertexPair> planted;
+  const auto g = planted_negative_triangles(18, 3, rng, &planted);
+  const auto found = edges_in_negative_triangles(g);
+  EXPECT_EQ(found, planted);
+}
+
+TEST(EdgesInNegativeTriangles, EmptyOnAllPositive) {
+  Rng rng(8);
+  const auto g = random_weighted_graph(15, 0.6, 1, 20, rng);
+  EXPECT_TRUE(edges_in_negative_triangles(g).empty());
+}
+
+TEST(ExistsNegativeTriangleVia, RestrictsToCandidates) {
+  // Triangle {0,1,2} negative; {0,1,3} not.
+  WeightedGraph g(4);
+  g.set_edge(0, 1, -5);
+  g.set_edge(0, 2, 1);
+  g.set_edge(1, 2, 1);
+  g.set_edge(0, 3, 10);
+  g.set_edge(1, 3, 10);
+  EXPECT_TRUE(exists_negative_triangle_via(g, 0, 1, {2}));
+  EXPECT_FALSE(exists_negative_triangle_via(g, 0, 1, {3}));
+  EXPECT_TRUE(exists_negative_triangle_via(g, 0, 1, {3, 2}));
+  EXPECT_FALSE(exists_negative_triangle_via(g, 0, 1, {}));
+}
+
+TEST(CountNegativeTriangles, CountsEachOnce) {
+  WeightedGraph g(4);
+  for (std::uint32_t u = 0; u < 4; ++u) {
+    for (std::uint32_t v = u + 1; v < 4; ++v) g.set_edge(u, v, -1);
+  }
+  EXPECT_EQ(count_negative_triangles(g), 4u);  // C(4,3)
+}
+
+TEST(CountNegativeTriangles, ConsistentWithGammaSum) {
+  Rng rng(11);
+  const auto g = random_weighted_graph(14, 0.5, -8, 12, rng);
+  const auto all = gamma_all_pairs(g);
+  std::uint64_t sum = 0;
+  for (std::uint32_t u = 0; u < 14; ++u) {
+    for (std::uint32_t v = u + 1; v < 14; ++v) sum += all[u * 14 + v];
+  }
+  // Each triangle contributes to exactly 3 pairs.
+  EXPECT_EQ(sum, 3 * count_negative_triangles(g));
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,116 @@
+// Tests for the undirected weighted graph type.
+#include "graph/weighted_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(WeightedGraphTest, EmptyGraph) {
+  WeightedGraph g(5);
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(is_plus_inf(g.weight(0, 1)));
+}
+
+TEST(WeightedGraphTest, SetAndGetSymmetric) {
+  WeightedGraph g(4);
+  g.set_edge(1, 3, -7);
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(3, 1));
+  EXPECT_EQ(g.weight(1, 3), -7);
+  EXPECT_EQ(g.weight(3, 1), -7);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(WeightedGraphTest, UpdateDoesNotDoubleCount) {
+  WeightedGraph g(4);
+  g.set_edge(0, 1, 5);
+  g.set_edge(0, 1, 9);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.weight(0, 1), 9);
+}
+
+TEST(WeightedGraphTest, RemoveEdge) {
+  WeightedGraph g(4);
+  g.set_edge(0, 1, 5);
+  g.remove_edge(1, 0);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 0u);
+  g.remove_edge(0, 1);  // idempotent
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(WeightedGraphTest, NoSelfLoops) {
+  WeightedGraph g(4);
+  EXPECT_THROW(g.set_edge(2, 2, 1), SimulationError);
+  EXPECT_FALSE(g.has_edge(2, 2));
+  EXPECT_TRUE(is_plus_inf(g.weight(2, 2)));
+}
+
+TEST(WeightedGraphTest, EdgesListSortedAndComplete) {
+  WeightedGraph g(5);
+  g.set_edge(3, 1, 10);
+  g.set_edge(0, 4, 20);
+  g.set_edge(2, 0, 30);
+  const auto es = g.edges();
+  ASSERT_EQ(es.size(), 3u);
+  EXPECT_EQ(es[0].first, VertexPair(0, 2));
+  EXPECT_EQ(es[0].second, 30);
+  EXPECT_EQ(es[1].first, VertexPair(0, 4));
+  EXPECT_EQ(es[2].first, VertexPair(1, 3));
+}
+
+TEST(WeightedGraphTest, Neighbors) {
+  WeightedGraph g(5);
+  g.set_edge(2, 0, 1);
+  g.set_edge(2, 4, 1);
+  EXPECT_EQ(g.neighbors(2), (std::vector<std::uint32_t>{0, 4}));
+  EXPECT_TRUE(g.neighbors(1).empty());
+}
+
+TEST(WeightedGraphTest, SampleEdgesExtremes) {
+  Rng rng(1);
+  WeightedGraph g(6);
+  g.set_edge(0, 1, 1);
+  g.set_edge(2, 3, 2);
+  g.set_edge(4, 5, 3);
+  const auto all = g.sample_edges(1.0, rng);
+  EXPECT_EQ(all.num_edges(), 3u);
+  const auto none = g.sample_edges(0.0, rng);
+  EXPECT_EQ(none.num_edges(), 0u);
+}
+
+TEST(WeightedGraphTest, SampleEdgesRate) {
+  Rng rng(2);
+  WeightedGraph g(40);
+  for (std::uint32_t u = 0; u < 40; ++u) {
+    for (std::uint32_t v = u + 1; v < 40; ++v) g.set_edge(u, v, 1);
+  }
+  const auto s = g.sample_edges(0.25, rng);
+  const double rate = static_cast<double>(s.num_edges()) /
+                      static_cast<double>(g.num_edges());
+  EXPECT_NEAR(rate, 0.25, 0.05);
+  // Sampled weights preserved.
+  for (const auto& [e, w] : s.edges()) EXPECT_EQ(w, 1);
+}
+
+TEST(VertexPairTest, NormalizesOrder) {
+  EXPECT_EQ(VertexPair(5, 2), VertexPair(2, 5));
+  EXPECT_LT(VertexPair(0, 1), VertexPair(0, 2));
+  EXPECT_LT(VertexPair(0, 9), VertexPair(1, 2));
+}
+
+TEST(WeightedGraphTest, OutOfRangeRejected) {
+  WeightedGraph g(3);
+  EXPECT_THROW(g.set_edge(0, 3, 1), SimulationError);
+  EXPECT_THROW(g.weight(3, 0), SimulationError);
+  EXPECT_THROW(g.neighbors(7), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

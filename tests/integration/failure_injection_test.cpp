@@ -1,0 +1,127 @@
+// Failure-injection and adversarial-input tests across module boundaries.
+#include <gtest/gtest.h>
+
+#include "baseline/tri_tri_again.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/compute_pairs.hpp"
+#include "core/distance_product.hpp"
+#include "core/find_edges.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+#include "matrix/min_plus.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(FailureInjection, TinyEvalLoadCountsViolationsButStaysSound) {
+  // Forcing the Figures 4-5 list promise to zero floods the violation
+  // counter; the simulation still answers correctly (the counter is the
+  // instrument that would expose a congestion-unsound implementation).
+  Rng rng(1);
+  const auto g = random_weighted_graph(30, 0.6, -7, 8, rng);
+  std::vector<VertexPair> s;
+  for (std::uint32_t u = 0; u < 30; ++u) {
+    for (std::uint32_t v = u + 1; v < 30; ++v) s.emplace_back(u, v);
+  }
+  ComputePairsOptions opt;
+  opt.constants.eval_load = 1e-9;
+  const auto res = compute_pairs(g, s, opt, rng);
+  ASSERT_FALSE(res.aborted);
+  EXPECT_GT(res.eval_promise_violations, 0u);
+  EXPECT_EQ(res.hot_pairs, edges_in_negative_triangles(g));
+}
+
+TEST(FailureInjection, GadgetGraphsFlowThroughEverySolver) {
+  // The Prop 2 gadget is itself a FindEdges instance; all three solvers
+  // must agree on it (cross-module adversarial input: tripartite, negative
+  // D-edges, duplicated weights).
+  Rng rng(2);
+  const std::uint32_t n = 7;
+  DistMatrix a(n), b(n), d(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      a.set(i, j, rng.uniform_i64(-5, 5));
+      b.set(i, j, rng.uniform_i64(-5, 5));
+      d.set(i, j, rng.uniform_i64(-8, 8));
+    }
+  }
+  const auto gadget = tripartite_gadget(a, b, d);
+  const auto truth = edges_in_negative_triangles(gadget);
+  FindEdgesOptions qopt;
+  Rng r1 = rng.split();
+  EXPECT_EQ(find_edges(gadget, qopt, r1).hot_pairs, truth);
+  EXPECT_EQ(tri_tri_again_find_edges(gadget).hot_pairs, truth);
+}
+
+TEST(FailureInjection, ZeroWeightEdgesEverywhere) {
+  // All-zero weights: no negative triangle anywhere (sum 0 is not < 0);
+  // boundary case for every comparison in the pipeline.
+  WeightedGraph g(18);
+  for (std::uint32_t u = 0; u < 18; ++u) {
+    for (std::uint32_t v = u + 1; v < 18; ++v) g.set_edge(u, v, 0);
+  }
+  Rng rng(3);
+  FindEdgesOptions opt;
+  EXPECT_TRUE(find_edges(g, opt, rng).hot_pairs.empty());
+  EXPECT_TRUE(tri_tri_again_find_edges(g).hot_pairs.empty());
+}
+
+TEST(FailureInjection, SingleNegativeEdgeNeverTriggersAlone) {
+  // One edge of weight -1 in a positive graph: a triangle needs the sum
+  // negative, so hotness depends on its incident triangles only.
+  Rng rng(4);
+  auto g = random_weighted_graph(20, 0.5, 10, 20, rng);
+  g.set_edge(0, 1, -100);  // beats any two positive edges <= 40 total
+  const auto truth = edges_in_negative_triangles(g);
+  FindEdgesOptions opt;
+  Rng r1 = rng.split();
+  EXPECT_EQ(find_edges(g, opt, r1).hot_pairs, truth);
+  // The planted edge is hot iff it closes at least one triangle.
+  const bool has_common_neighbor = gamma(g, 0, 1) > 0;
+  const bool reported = std::binary_search(truth.begin(), truth.end(), VertexPair(0, 1));
+  EXPECT_EQ(reported, has_common_neighbor);
+}
+
+TEST(FailureInjection, DistanceProductWithAsymmetricRanges) {
+  // A in [-1000, -900], B in [900, 1000]: sums near zero exercise the
+  // binary search's sign boundary.
+  Rng rng(5);
+  DistMatrix a(5), b(5);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    for (std::uint32_t j = 0; j < 5; ++j) {
+      a.set(i, j, rng.uniform_i64(-1000, -900));
+      b.set(i, j, rng.uniform_i64(900, 1000));
+    }
+  }
+  DistanceProductOptions opt;
+  const auto res = distance_product_via_triangles(a, b, opt, rng);
+  EXPECT_EQ(res.product, distance_product_naive(a, b));
+}
+
+TEST(FailureInjection, StarGraphHasNoTriangles) {
+  WeightedGraph g(16);
+  for (std::uint32_t v = 1; v < 16; ++v) g.set_edge(0, v, -50);
+  Rng rng(6);
+  FindEdgesOptions opt;
+  EXPECT_TRUE(find_edges(g, opt, rng).hot_pairs.empty());
+}
+
+TEST(FailureInjection, DeterministicGivenSeed) {
+  Rng g_rng(7);
+  const auto g = random_weighted_graph(24, 0.5, -6, 9, g_rng);
+  ComputePairsOptions opt;
+  std::vector<VertexPair> s;
+  for (std::uint32_t u = 0; u < 24; ++u) {
+    for (std::uint32_t v = u + 1; v < 24; ++v) s.emplace_back(u, v);
+  }
+  Rng r1(99), r2(99);
+  const auto a = compute_pairs(g, s, opt, r1);
+  const auto b = compute_pairs(g, s, opt, r2);
+  EXPECT_EQ(a.hot_pairs, b.hot_pairs);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.searches_total, b.searches_total);
+}
+
+}  // namespace
+}  // namespace qclique

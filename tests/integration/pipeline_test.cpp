@@ -1,0 +1,146 @@
+// Cross-module integration tests: the independent implementations must
+// agree with each other on shared problems, under parameter sweeps.
+#include <gtest/gtest.h>
+
+#include "baseline/classical_apsp.hpp"
+#include "baseline/shortest_paths.hpp"
+#include "baseline/tri_tri_again.hpp"
+#include "common/rng.hpp"
+#include "core/apsp.hpp"
+#include "core/find_edges.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+#include "matrix/min_plus.hpp"
+
+namespace qclique {
+namespace {
+
+// Three independent FindEdges solvers (quantum pipeline, classical pipeline,
+// Tri-Tri-Again) against the brute-force census.
+struct FindEdgesCase {
+  std::uint32_t n;
+  double density;
+  std::int64_t wmin, wmax;
+  std::uint64_t seed;
+};
+
+class FindEdgesAgreement : public ::testing::TestWithParam<FindEdgesCase> {};
+
+TEST_P(FindEdgesAgreement, AllSolversAgree) {
+  const auto& tc = GetParam();
+  Rng rng(tc.seed);
+  const auto g = random_weighted_graph(tc.n, tc.density, tc.wmin, tc.wmax, rng);
+  const auto truth = edges_in_negative_triangles(g);
+
+  FindEdgesOptions qopt;
+  Rng r1 = rng.split();
+  EXPECT_EQ(find_edges(g, qopt, r1).hot_pairs, truth) << "quantum pipeline";
+
+  FindEdgesOptions copt;
+  copt.compute_pairs.use_quantum = false;
+  Rng r2 = rng.split();
+  EXPECT_EQ(find_edges(g, copt, r2).hot_pairs, truth) << "classical pipeline";
+
+  EXPECT_EQ(tri_tri_again_find_edges(g).hot_pairs, truth) << "tri-tri-again";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FindEdgesAgreement,
+    ::testing::Values(FindEdgesCase{12, 0.3, -5, 10, 1},
+                      FindEdgesCase{20, 0.5, -8, 8, 2},
+                      FindEdgesCase{28, 0.7, -4, 12, 3},
+                      FindEdgesCase{36, 0.4, -10, 3, 4},
+                      FindEdgesCase{33, 0.6, -1, 1, 5},
+                      FindEdgesCase{25, 0.9, -2, 6, 6}));
+
+// Quantum APSP vs the distributed classical APSP vs the centralized oracle.
+struct ApspCase {
+  std::uint32_t n;
+  double density;
+  std::int64_t w;
+  std::uint64_t seed;
+};
+
+class ApspAgreement : public ::testing::TestWithParam<ApspCase> {};
+
+TEST_P(ApspAgreement, AllSolversAgree) {
+  const auto& tc = GetParam();
+  Rng rng(tc.seed);
+  const auto g = random_digraph(tc.n, tc.density, -tc.w / 2, tc.w, rng);
+  const auto oracle = floyd_warshall(g);
+  ASSERT_TRUE(oracle.has_value());
+
+  const auto classical = classical_apsp(g);
+  EXPECT_EQ(classical.distances, *oracle) << "classical distributed";
+
+  QuantumApspOptions opt;
+  Rng r1 = rng.split();
+  const auto quantum = quantum_apsp(g, opt, r1);
+  EXPECT_EQ(quantum.distances, *oracle)
+      << "quantum: " << quantum.distances.first_difference(*oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ApspAgreement,
+                         ::testing::Values(ApspCase{6, 0.5, 6, 1},
+                                           ApspCase{9, 0.4, 10, 2},
+                                           ApspCase{12, 0.3, 4, 3},
+                                           ApspCase{10, 0.7, 20, 4},
+                                           ApspCase{8, 0.6, 100, 5}));
+
+TEST(PipelineIntegration, WideWeightRangeStressesBinarySearch) {
+  // W = 5000: Prop 2 runs ~15 binary probes per product; everything must
+  // still be exact.
+  Rng rng(77);
+  const auto g = random_digraph(8, 0.5, -2500, 5000, rng);
+  const auto oracle = floyd_warshall(g);
+  ASSERT_TRUE(oracle.has_value());
+  QuantumApspOptions opt;
+  const auto res = quantum_apsp(g, opt, rng);
+  EXPECT_EQ(res.distances, *oracle);
+}
+
+TEST(PipelineIntegration, DistanceProductChainMatchesDirectSquaring) {
+  // Running Prop 2 products inside the squaring chain must equal the naive
+  // min-plus power at every step, not only at the end.
+  Rng rng(78);
+  const auto g = random_digraph(9, 0.5, -3, 8, rng);
+  DistMatrix acc_triangle = g.to_dist_matrix();
+  DistMatrix acc_naive = g.to_dist_matrix();
+  DistanceProductOptions opt;
+  for (int step = 0; step < 3; ++step) {
+    Rng child = rng.split();
+    acc_triangle = distance_product_via_triangles(acc_triangle, acc_triangle, opt,
+                                                  child)
+                       .product;
+    acc_naive = distance_product_naive(acc_naive, acc_naive);
+    ASSERT_EQ(acc_triangle, acc_naive)
+        << "step " << step << ": " << acc_triangle.first_difference(acc_naive);
+  }
+}
+
+TEST(PipelineIntegration, HotPairCountsConsistentAcrossSampledRuns) {
+  // FindEdges is randomized; across seeds the output must be identical
+  // (it is exact w.h.p. and our sizes make failures vanishingly rare).
+  Rng gen(79);
+  const auto g = random_weighted_graph(24, 0.5, -6, 9, gen);
+  const auto truth = edges_in_negative_triangles(g);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(1000 + seed);
+    FindEdgesOptions opt;
+    EXPECT_EQ(find_edges(g, opt, rng).hot_pairs, truth) << "seed " << seed;
+  }
+}
+
+TEST(PipelineIntegration, RoundLedgersAreInternallyConsistent) {
+  Rng rng(80);
+  const auto g = random_digraph(8, 0.5, -4, 8, rng);
+  QuantumApspOptions opt;
+  const auto res = quantum_apsp(g, opt, rng);
+  std::uint64_t phase_sum = 0;
+  for (const auto& [name, stats] : res.ledger.phases()) phase_sum += stats.rounds;
+  EXPECT_EQ(phase_sum, res.ledger.total_rounds());
+  EXPECT_EQ(res.rounds, res.ledger.total_rounds());
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,164 @@
+// Tests for min-plus matrices, the distance product, and repeated squaring
+// (Propositions 2-3 substrate).
+#include "matrix/min_plus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/digraph.hpp"
+#include "graph/generators.hpp"
+
+namespace qclique {
+namespace {
+
+DistMatrix random_matrix(std::uint32_t n, std::int64_t lo, std::int64_t hi,
+                         double inf_prob, Rng& rng) {
+  DistMatrix m(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (!rng.bernoulli(inf_prob)) m.set(i, j, rng.uniform_i64(lo, hi));
+    }
+  }
+  return m;
+}
+
+TEST(DistMatrixTest, IdentityIsNeutral) {
+  Rng rng(1);
+  const auto a = random_matrix(6, -5, 5, 0.2, rng);
+  const auto id = DistMatrix::identity(6);
+  EXPECT_EQ(distance_product_naive(a, id), a);
+  EXPECT_EQ(distance_product_naive(id, a), a);
+}
+
+TEST(DistanceProduct, SmallHandComputedExample) {
+  DistMatrix a(2), b(2);
+  a.set(0, 0, 1); a.set(0, 1, 10);
+  a.set(1, 0, 2); a.set(1, 1, 3);
+  b.set(0, 0, 4); b.set(0, 1, -1);
+  b.set(1, 0, 7); b.set(1, 1, 0);
+  const auto c = distance_product_naive(a, b);
+  EXPECT_EQ(c.at(0, 0), 5);   // min(1+4, 10+7)
+  EXPECT_EQ(c.at(0, 1), 0);   // min(1-1, 10+0)
+  EXPECT_EQ(c.at(1, 0), 6);   // min(2+4, 3+7)
+  EXPECT_EQ(c.at(1, 1), 1);   // min(2-1, 3+0)
+}
+
+TEST(DistanceProduct, InfRowsAndColumnsPropagate) {
+  DistMatrix a(3), b(3);
+  // a row 0 entirely +inf -> c row 0 entirely +inf.
+  a.set(1, 1, 0);
+  a.set(2, 0, 1);
+  b.set(0, 2, 1);
+  b.set(1, 1, 0);
+  const auto c = distance_product_naive(a, b);
+  for (std::uint32_t j = 0; j < 3; ++j) EXPECT_TRUE(is_plus_inf(c.at(0, j)));
+  EXPECT_EQ(c.at(2, 2), 2);
+  EXPECT_EQ(c.at(1, 1), 0);
+}
+
+TEST(DistanceProduct, IsAssociative) {
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto a = random_matrix(7, -4, 9, 0.3, rng);
+    const auto b = random_matrix(7, -4, 9, 0.3, rng);
+    const auto c = random_matrix(7, -4, 9, 0.3, rng);
+    const auto left = distance_product_naive(distance_product_naive(a, b), c);
+    const auto right = distance_product_naive(a, distance_product_naive(b, c));
+    EXPECT_EQ(left, right) << left.first_difference(right);
+  }
+}
+
+TEST(DistanceProductWitness, WitnessAttainsMinimum) {
+  Rng rng(3);
+  const auto a = random_matrix(8, -5, 5, 0.25, rng);
+  const auto b = random_matrix(8, -5, 5, 0.25, rng);
+  std::vector<std::uint32_t> wit;
+  const auto c = distance_product_with_witness(a, b, wit);
+  EXPECT_EQ(c, distance_product_naive(a, b));
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    for (std::uint32_t j = 0; j < 8; ++j) {
+      const std::uint32_t k = wit[i * 8 + j];
+      if (is_plus_inf(c.at(i, j))) {
+        EXPECT_EQ(k, std::numeric_limits<std::uint32_t>::max());
+      } else {
+        ASSERT_LT(k, 8u);
+        EXPECT_EQ(sat_add(a.at(i, k), b.at(k, j)), c.at(i, j));
+      }
+    }
+  }
+}
+
+TEST(MinPlusPower, MatchesFloydWarshallOnDigraphs) {
+  Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = random_digraph(10, 0.4, -4, 10, rng);
+    const auto a = g.to_dist_matrix();
+    const auto via_squaring = apsp_by_squaring(a);
+    // Floyd-Warshall oracle.
+    DistMatrix fw = a;
+    for (std::uint32_t k = 0; k < 10; ++k) {
+      for (std::uint32_t i = 0; i < 10; ++i) {
+        for (std::uint32_t j = 0; j < 10; ++j) {
+          const auto via = sat_add(fw.at(i, k), fw.at(k, j));
+          if (via < fw.at(i, j)) fw.set(i, j, via);
+        }
+      }
+    }
+    EXPECT_EQ(via_squaring, fw) << via_squaring.first_difference(fw);
+  }
+}
+
+TEST(MinPlusPower, ProductCountIsCeilLog) {
+  EXPECT_EQ(squaring_product_count(1), 0u);
+  EXPECT_EQ(squaring_product_count(2), 1u);
+  EXPECT_EQ(squaring_product_count(3), 2u);
+  EXPECT_EQ(squaring_product_count(15), 4u);
+  EXPECT_EQ(squaring_product_count(16), 4u);
+  EXPECT_EQ(squaring_product_count(17), 5u);
+}
+
+TEST(MinPlusPower, CustomProductFnIsUsed) {
+  int calls = 0;
+  const ProductFn counting = [&](const DistMatrix& x, const DistMatrix& y) {
+    ++calls;
+    return distance_product_naive(x, y);
+  };
+  const auto id = DistMatrix::identity(4);
+  min_plus_power(id, 8, counting);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(DistMatrixTest, MaxAbsFiniteIgnoresSentinels) {
+  DistMatrix m(3);
+  m.set(0, 0, -42);
+  m.set(1, 2, 17);
+  m.set(2, 2, kMinusInf);
+  EXPECT_EQ(m.max_abs_finite(), 42);
+}
+
+TEST(DistMatrixTest, EntriesWithin) {
+  DistMatrix m(2, 0);
+  EXPECT_TRUE(m.entries_within(0));
+  m.set(0, 1, 5);
+  EXPECT_FALSE(m.entries_within(4));
+  EXPECT_TRUE(m.entries_within(5));
+  m.set(1, 0, kPlusInf);
+  EXPECT_FALSE(m.entries_within(100));
+}
+
+TEST(DistMatrixTest, FirstDifferenceReports) {
+  DistMatrix a(2, 0), b(2, 0);
+  EXPECT_EQ(a.first_difference(b), "");
+  b.set(1, 0, 3);
+  EXPECT_NE(a.first_difference(b), "");
+}
+
+TEST(DistMatrixTest, RowCopies) {
+  DistMatrix a(3, 7);
+  a.set(1, 2, 9);
+  const auto r = a.row(1);
+  EXPECT_EQ(r, (std::vector<std::int64_t>{7, 7, 9}));
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,119 @@
+// Property tests for the min-plus (tropical) semiring laws that the
+// reduction chain silently relies on. Parameterized across sizes and seeds.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "matrix/min_plus.hpp"
+
+namespace qclique {
+namespace {
+
+DistMatrix random_matrix(std::uint32_t n, std::int64_t lo, std::int64_t hi,
+                         double inf_prob, Rng& rng) {
+  DistMatrix m(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (!rng.bernoulli(inf_prob)) m.set(i, j, rng.uniform_i64(lo, hi));
+    }
+  }
+  return m;
+}
+
+DistMatrix entrywise_min(const DistMatrix& a, const DistMatrix& b) {
+  DistMatrix c(a.size());
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    for (std::uint32_t j = 0; j < a.size(); ++j) {
+      c.set(i, j, std::min(a.at(i, j), b.at(i, j)));
+    }
+  }
+  return c;
+}
+
+struct LawCase {
+  std::uint32_t n;
+  double inf_prob;
+  std::uint64_t seed;
+};
+
+class SemiringLaws : public ::testing::TestWithParam<LawCase> {};
+
+TEST_P(SemiringLaws, LeftDistributivityOverMin) {
+  // A * min(B, C) == min(A*B, A*C): the law that makes "min over k" the
+  // semiring addition the binary search of Prop 2 can exploit.
+  const auto& tc = GetParam();
+  Rng rng(tc.seed);
+  const auto a = random_matrix(tc.n, -9, 9, tc.inf_prob, rng);
+  const auto b = random_matrix(tc.n, -9, 9, tc.inf_prob, rng);
+  const auto c = random_matrix(tc.n, -9, 9, tc.inf_prob, rng);
+  const auto lhs = distance_product_naive(a, entrywise_min(b, c));
+  const auto rhs =
+      entrywise_min(distance_product_naive(a, b), distance_product_naive(a, c));
+  EXPECT_EQ(lhs, rhs) << lhs.first_difference(rhs);
+}
+
+TEST_P(SemiringLaws, RightDistributivityOverMin) {
+  const auto& tc = GetParam();
+  Rng rng(tc.seed + 1000);
+  const auto a = random_matrix(tc.n, -9, 9, tc.inf_prob, rng);
+  const auto b = random_matrix(tc.n, -9, 9, tc.inf_prob, rng);
+  const auto c = random_matrix(tc.n, -9, 9, tc.inf_prob, rng);
+  const auto lhs = distance_product_naive(entrywise_min(a, b), c);
+  const auto rhs =
+      entrywise_min(distance_product_naive(a, c), distance_product_naive(b, c));
+  EXPECT_EQ(lhs, rhs) << lhs.first_difference(rhs);
+}
+
+TEST_P(SemiringLaws, InfIsAnnihilator) {
+  const auto& tc = GetParam();
+  Rng rng(tc.seed + 2000);
+  const auto a = random_matrix(tc.n, -9, 9, tc.inf_prob, rng);
+  const DistMatrix all_inf(tc.n);
+  EXPECT_EQ(distance_product_naive(a, all_inf), all_inf);
+  EXPECT_EQ(distance_product_naive(all_inf, a), all_inf);
+}
+
+TEST_P(SemiringLaws, MonotoneInBothArguments) {
+  // Lowering any entry can only lower product entries.
+  const auto& tc = GetParam();
+  Rng rng(tc.seed + 3000);
+  const auto a = random_matrix(tc.n, -9, 9, tc.inf_prob, rng);
+  const auto b = random_matrix(tc.n, -9, 9, tc.inf_prob, rng);
+  auto a2 = a;
+  const std::uint32_t i = static_cast<std::uint32_t>(rng.uniform_u64(tc.n));
+  const std::uint32_t j = static_cast<std::uint32_t>(rng.uniform_u64(tc.n));
+  a2.set(i, j, is_plus_inf(a.at(i, j)) ? -20 : a.at(i, j) - 5);
+  const auto before = distance_product_naive(a, b);
+  const auto after = distance_product_naive(a2, b);
+  for (std::uint32_t x = 0; x < tc.n; ++x) {
+    for (std::uint32_t y = 0; y < tc.n; ++y) {
+      EXPECT_LE(after.at(x, y), before.at(x, y));
+    }
+  }
+}
+
+TEST_P(SemiringLaws, ZeroDiagonalPowersAreMonotone) {
+  // With a zero diagonal (APSP inputs), A^(2^k) is entrywise nonincreasing
+  // in k -- the property min_plus_power relies on for overshoot-exactness.
+  const auto& tc = GetParam();
+  Rng rng(tc.seed + 4000);
+  auto a = random_matrix(tc.n, -3, 9, tc.inf_prob, rng);
+  for (std::uint32_t i = 0; i < tc.n; ++i) a.set(i, i, 0);
+  DistMatrix prev = a;
+  for (int k = 0; k < 4; ++k) {
+    const DistMatrix next = distance_product_naive(prev, prev);
+    for (std::uint32_t x = 0; x < tc.n; ++x) {
+      for (std::uint32_t y = 0; y < tc.n; ++y) {
+        ASSERT_LE(next.at(x, y), prev.at(x, y));
+      }
+    }
+    prev = next;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SemiringLaws,
+                         ::testing::Values(LawCase{3, 0.0, 1}, LawCase{5, 0.2, 2},
+                                           LawCase{8, 0.4, 3}, LawCase{10, 0.6, 4},
+                                           LawCase{13, 0.3, 5}, LawCase{16, 0.1, 6}));
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,60 @@
+// Tests for the distributed-search cost model wrapper.
+#include "quantum/distributed_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(DistributedSearch, FindsMarkedElementAndChargesLedger) {
+  Rng rng(1);
+  RoundLedger ledger;
+  const DistributedSearchCost cost{.eval_rounds_per_call = 7,
+                                   .compute_uncompute_factor = 2};
+  const auto res = distributed_search(128, [](std::size_t x) { return x == 99; },
+                                      cost, ledger, "ds", rng);
+  ASSERT_TRUE(res.grover.found.has_value());
+  EXPECT_EQ(*res.grover.found, 99u);
+  EXPECT_EQ(res.rounds_charged, res.grover.oracle_calls * 14);
+  EXPECT_EQ(ledger.phase_rounds("ds"), res.rounds_charged);
+  EXPECT_EQ(ledger.total_oracle_calls(), res.grover.oracle_calls);
+}
+
+TEST(DistributedSearch, NoSolutionConcludesAndStillCharges) {
+  Rng rng(2);
+  RoundLedger ledger;
+  const auto res = distributed_search(64, [](std::size_t) { return false; },
+                                      DistributedSearchCost{}, ledger, "ds", rng);
+  EXPECT_FALSE(res.grover.found.has_value());
+  EXPECT_GT(res.rounds_charged, 0u);
+}
+
+TEST(DistributedSearch, CostModelArithmetic) {
+  const DistributedSearchCost cost{.eval_rounds_per_call = 3,
+                                   .compute_uncompute_factor = 2};
+  EXPECT_EQ(search_round_cost(cost, 10), 60u);
+  EXPECT_EQ(search_round_cost(DistributedSearchCost{}, 5), 10u);
+}
+
+TEST(DistributedSearch, QuadraticAdvantageOverBruteForce) {
+  // For one marked element in |X| = 4096, the quantum cost must be far
+  // below the classical r * |X| brute force.
+  Rng rng(3);
+  RoundLedger ledger;
+  const DistributedSearchCost cost{.eval_rounds_per_call = 1,
+                                   .compute_uncompute_factor = 2};
+  OnlineStats rounds;
+  for (int t = 0; t < 10; ++t) {
+    const auto res = distributed_search(4096, [](std::size_t x) { return x == 1; },
+                                        cost, ledger, "ds", rng);
+    ASSERT_TRUE(res.grover.found.has_value());
+    rounds.add(static_cast<double>(res.rounds_charged));
+  }
+  EXPECT_LT(rounds.mean(), 4096.0 / 2);  // typically ~200
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,103 @@
+// Property tests of Grover dynamics on the exact state vector: rotation
+// periodicity, unitarity, the two-dimensional invariant subspace, and the
+// overshoot behavior the BBHT driver must tolerate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "quantum/grover.hpp"
+#include "quantum/statevector.hpp"
+
+namespace qclique {
+namespace {
+
+struct GroverCase {
+  std::size_t dim;
+  std::size_t solutions;
+};
+
+class GroverDynamics : public ::testing::TestWithParam<GroverCase> {};
+
+TEST_P(GroverDynamics, UnitarityAcrossManyIterations) {
+  const auto& tc = GetParam();
+  StateVector psi = StateVector::uniform(tc.dim);
+  const auto oracle = [&](std::size_t i) { return i < tc.solutions; };
+  for (int k = 0; k < 50; ++k) {
+    psi.apply_grover_iteration(oracle);
+    ASSERT_NEAR(psi.norm_sq(), 1.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST_P(GroverDynamics, TwoDimensionalInvariantSubspace) {
+  // Amplitudes stay uniform within the marked class and within the
+  // unmarked class at every step.
+  const auto& tc = GetParam();
+  if (tc.solutions == 0 || tc.solutions >= tc.dim) GTEST_SKIP();
+  StateVector psi = StateVector::uniform(tc.dim);
+  const auto oracle = [&](std::size_t i) { return i < tc.solutions; };
+  for (int k = 0; k < 12; ++k) {
+    psi.apply_grover_iteration(oracle);
+    const auto a0 = psi.amp(0);                  // marked representative
+    const auto b0 = psi.amp(tc.dim - 1);         // unmarked representative
+    for (std::size_t i = 0; i < tc.dim; ++i) {
+      const auto want = oracle(i) ? a0 : b0;
+      ASSERT_NEAR(std::abs(psi.amp(i) - want), 0.0, 1e-9) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST_P(GroverDynamics, SinusoidWithTheRightPeriod) {
+  // p(k) = sin^2((2k+1) theta): the half-period in k is pi / (2 theta).
+  const auto& tc = GetParam();
+  if (tc.solutions == 0 || 2 * tc.solutions >= tc.dim) GTEST_SKIP();
+  const double theta = std::asin(
+      std::sqrt(static_cast<double>(tc.solutions) / static_cast<double>(tc.dim)));
+  const std::uint64_t half_period =
+      static_cast<std::uint64_t>(std::round(M_PI / (2.0 * theta)));
+  if (half_period < 3) GTEST_SKIP();
+  const double p0 = grover_success_probability(tc.dim, tc.solutions, 1);
+  const double p1 = grover_success_probability(tc.dim, tc.solutions, 1 + half_period);
+  EXPECT_NEAR(p0, p1, 0.12);  // discrete period rounding allows slack
+}
+
+TEST_P(GroverDynamics, OvershootDecreasesSuccess) {
+  // Past the optimal k the success probability falls -- the reason a wrong
+  // iteration count (and hence BBHT's randomization) matters.
+  const auto& tc = GetParam();
+  if (tc.solutions == 0 || 8 * tc.solutions >= tc.dim) GTEST_SKIP();
+  const std::uint64_t k = grover_optimal_iterations(tc.dim, tc.solutions);
+  const double at_opt = grover_success_probability(tc.dim, tc.solutions, k);
+  const double past = grover_success_probability(tc.dim, tc.solutions, 2 * k + 1);
+  EXPECT_GT(at_opt, 0.8);
+  EXPECT_LT(past, at_opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GroverDynamics,
+                         ::testing::Values(GroverCase{16, 1}, GroverCase{64, 1},
+                                           GroverCase{64, 3}, GroverCase{128, 2},
+                                           GroverCase{256, 1}, GroverCase{256, 8},
+                                           GroverCase{37, 5}, GroverCase{100, 10}));
+
+TEST(GroverProperties, DiffusionPreservesUniformOnAnyDim) {
+  for (std::size_t dim : {2u, 3u, 17u, 100u}) {
+    StateVector s = StateVector::uniform(dim);
+    StateVector before = s;
+    s.apply_diffusion();
+    EXPECT_NEAR(s.l2_distance(before), 0.0, 1e-12) << dim;
+  }
+}
+
+TEST(GroverProperties, AllMarkedIsFixedPointOfIteration) {
+  // With everything marked, O = -I and D restores: G|u> = |u> up to phase;
+  // probabilities never change.
+  StateVector s = StateVector::uniform(32);
+  const auto oracle = [](std::size_t) { return true; };
+  for (int k = 0; k < 5; ++k) {
+    s.apply_grover_iteration(oracle);
+    for (std::size_t i = 0; i < 32; ++i) ASSERT_NEAR(s.probability(i), 1.0 / 32, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace qclique

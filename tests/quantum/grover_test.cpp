@@ -1,0 +1,141 @@
+// Tests for the Grover drivers: the closed-form success probability, the
+// optimal iteration schedule, and the BBHT unknown-count search. These
+// validate the sqrt(|X|) oracle-call scaling that Theorem 2's round bound
+// inherits.
+#include "quantum/grover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "quantum/statevector.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(GroverMath, OptimalIterationsMatchTextbook) {
+  // N=4, M=1: theta = pi/6, pi/(4 theta) = 1.5 -> k = 1 (exact success).
+  EXPECT_EQ(grover_optimal_iterations(4, 1), 1u);
+  EXPECT_NEAR(grover_success_probability(4, 1, 1), 1.0, 1e-12);
+  // Large N: k ~ (pi/4) sqrt(N).
+  const std::uint64_t k = grover_optimal_iterations(1 << 16, 1);
+  EXPECT_NEAR(static_cast<double>(k), M_PI / 4.0 * 256.0, 2.0);
+}
+
+TEST(GroverMath, ManySolutionsNeedNoIterations) {
+  EXPECT_EQ(grover_optimal_iterations(8, 4), 0u);
+  EXPECT_EQ(grover_optimal_iterations(8, 8), 0u);
+}
+
+TEST(GroverMath, SuccessProbabilityAtOptimalIsHigh) {
+  for (std::size_t dim : {16u, 64u, 256u, 1024u}) {
+    for (std::size_t m : {1u, 2u, 5u}) {
+      const std::uint64_t k = grover_optimal_iterations(dim, m);
+      EXPECT_GT(grover_success_probability(dim, m, k), 0.8)
+          << "dim=" << dim << " m=" << m;
+    }
+  }
+}
+
+TEST(GroverMath, ZeroSolutionsMeansZeroProbability) {
+  EXPECT_EQ(grover_success_probability(64, 0, 10), 0.0);
+}
+
+// Cross-validation: the closed form sin^2((2k+1) theta) must match the full
+// state-vector simulation exactly. This is the property that justifies the
+// fast analytic path in multi_search.
+TEST(GroverCrossValidation, ClosedFormMatchesStateVector) {
+  const std::size_t dim = 37;  // deliberately not a power of two
+  const std::vector<std::size_t> marked{3, 17, 30};
+  StateVector psi = StateVector::uniform(dim);
+  const auto oracle = [&](std::size_t i) {
+    return std::find(marked.begin(), marked.end(), i) != marked.end();
+  };
+  for (std::uint64_t k = 0; k <= 12; ++k) {
+    const double analytic = grover_success_probability(dim, marked.size(), k);
+    const double simulated = psi.probability_of(oracle);
+    EXPECT_NEAR(simulated, analytic, 1e-10) << "k=" << k;
+    psi.apply_grover_iteration(oracle);
+  }
+}
+
+TEST(SearchKnownCount, FindsUniqueSolution) {
+  Rng rng(1);
+  int hits = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto res = search_known_count(64, 1, [](std::size_t i) { return i == 13; }, rng);
+    if (res.found.has_value()) {
+      EXPECT_EQ(*res.found, 13u);
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 48);  // per-run success ~0.996 after retries
+}
+
+TEST(SearchKnownCount, IterationCountNearOptimal) {
+  Rng rng(2);
+  const auto res = search_known_count(1024, 1, [](std::size_t i) { return i == 5; }, rng);
+  ASSERT_TRUE(res.found.has_value());
+  EXPECT_LE(res.iterations, 3 * grover_optimal_iterations(1024, 1));
+}
+
+TEST(SearchBBHT, FindsSolutionWithUnknownCount) {
+  Rng rng(3);
+  for (std::size_t dim : {16u, 100u, 333u}) {
+    int found = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto res =
+          search_bbht(dim, [dim](std::size_t i) { return i == dim / 2; }, rng);
+      if (res.found.has_value()) {
+        EXPECT_EQ(*res.found, dim / 2);
+        ++found;
+      }
+    }
+    EXPECT_GE(found, 19) << "dim=" << dim;
+  }
+}
+
+TEST(SearchBBHT, ConcludesNoSolution) {
+  Rng rng(4);
+  const auto res = search_bbht(64, [](std::size_t) { return false; }, rng);
+  EXPECT_FALSE(res.found.has_value());
+  // Budget respected: iterations bounded by cutoff * sqrt(dim) + slack.
+  EXPECT_LE(res.iterations, static_cast<std::uint64_t>(9.0 * 8.0) + 16);
+}
+
+TEST(SearchBBHT, ManySolutionsFoundQuickly) {
+  Rng rng(5);
+  // Half the domain marked: expected O(1) iterations.
+  OnlineStats iters;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto res = search_bbht(256, [](std::size_t i) { return i % 2 == 0; }, rng);
+    ASSERT_TRUE(res.found.has_value());
+    EXPECT_EQ(*res.found % 2, 0u);
+    iters.add(static_cast<double>(res.iterations));
+  }
+  EXPECT_LT(iters.mean(), 6.0);
+}
+
+// The sqrt scaling itself: mean BBHT oracle calls on a single-solution
+// domain grow like sqrt(dim). Fit the exponent over a dim sweep.
+TEST(SearchBBHT, OracleCallsScaleAsSqrtDim) {
+  Rng rng(6);
+  std::vector<double> dims, calls;
+  for (std::size_t dim : {64u, 256u, 1024u, 4096u}) {
+    OnlineStats s;
+    for (int trial = 0; trial < 40; ++trial) {
+      const auto res =
+          search_bbht(dim, [dim](std::size_t i) { return i == dim - 1; }, rng);
+      s.add(static_cast<double>(res.oracle_calls));
+    }
+    dims.push_back(static_cast<double>(dim));
+    calls.push_back(s.mean());
+  }
+  const LinearFit fit = fit_power_law(dims, calls);
+  EXPECT_NEAR(fit.slope, 0.5, 0.15);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,135 @@
+// Exact joint-superposition validation of Theorem 3 (paper Appendix A).
+//
+// These tests run the full tensor-product simulation of m parallel Grover
+// searches with both the ideal oracle C_m and the truncated oracle C~_m and
+// verify the mechanism of the proof:
+//   1. with everything typical, the two evolutions agree exactly;
+//   2. the final deviation obeys the appendix's telescoping bound
+//      || |Phi_k> - |Phi~_k> || <= 2 sum_k || Pi_m |Phi_k> ||;
+//   3. when the atypical mass is small, the truncated algorithm's success
+//      probability matches the ideal one;
+//   4. the uniform (initial) state's atypical mass is tiny for balanced
+//      instances.
+#include "quantum/joint_multi_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "quantum/grover.hpp"
+#include "quantum/typical_set.hpp"
+
+namespace qclique {
+namespace {
+
+// m registers over [0, dim), register i marked exactly on {i mod dim}.
+std::vector<std::vector<bool>> balanced_marks(std::size_t dim, std::size_t m) {
+  std::vector<std::vector<bool>> marked(m, std::vector<bool>(dim, false));
+  for (std::size_t i = 0; i < m; ++i) marked[i][i % dim] = true;
+  return marked;
+}
+
+// All registers marked on element 0: solutions concentrate, so the solution
+// tuple itself is maximally atypical.
+std::vector<std::vector<bool>> concentrated_marks(std::size_t dim, std::size_t m) {
+  std::vector<std::vector<bool>> marked(m, std::vector<bool>(dim, false));
+  for (std::size_t i = 0; i < m; ++i) marked[i][0] = true;
+  return marked;
+}
+
+TEST(JointMultiSearch, IdealTrackReproducesGroverClosedFormPerRegister) {
+  // With independent registers, the joint success probability after k steps
+  // is prod_i sin^2((2k+1) theta_i). Check against the closed form.
+  JointConfig cfg{.dim = 4, .m = 3, .beta = 1e18, .mode = TruncationMode::kErase};
+  JointMultiSearch sim(cfg, balanced_marks(4, 3));
+  const auto rep = sim.run(grover_optimal_iterations(4, 1));
+  const double per = grover_success_probability(4, 1, grover_optimal_iterations(4, 1));
+  EXPECT_NEAR(rep.ideal_success, per * per * per, 1e-10);
+}
+
+TEST(JointMultiSearch, FullyTypicalMeansExactAgreement) {
+  // beta >= m: every tuple is typical, so C~_m == C_m and the tracks match
+  // to machine precision.
+  JointConfig cfg{.dim = 3, .m = 5, .beta = 5.0, .mode = TruncationMode::kGarbage};
+  JointMultiSearch sim(cfg, balanced_marks(3, 5));
+  const auto rep = sim.run(4);
+  EXPECT_NEAR(rep.final_deviation, 0.0, 1e-12);
+  EXPECT_NEAR(rep.ideal_success, rep.truncated_success, 1e-12);
+}
+
+TEST(JointMultiSearch, TelescopingBoundHoldsErase) {
+  for (double beta : {2.0, 3.0, 4.0}) {
+    JointConfig cfg{.dim = 3, .m = 7, .beta = beta, .mode = TruncationMode::kErase};
+    JointMultiSearch sim(cfg, balanced_marks(3, 7));
+    const auto rep = sim.run(3);
+    EXPECT_LE(rep.final_deviation, rep.telescoping_bound + 1e-9) << "beta=" << beta;
+  }
+}
+
+TEST(JointMultiSearch, TelescopingBoundHoldsGarbage) {
+  for (double beta : {2.0, 3.0, 4.0}) {
+    JointConfig cfg{.dim = 3, .m = 7, .beta = beta, .mode = TruncationMode::kGarbage};
+    JointMultiSearch sim(cfg, balanced_marks(3, 7));
+    const auto rep = sim.run(3);
+    EXPECT_LE(rep.final_deviation, rep.telescoping_bound + 1e-9) << "beta=" << beta;
+  }
+}
+
+TEST(JointMultiSearch, SmallAtypicalMassImpliesMatchingSuccess) {
+  // Balanced instance with beta comfortably above the typical frequency
+  // m/|X| but below m: atypical mass is small, so the truncated success
+  // probability tracks the ideal one closely.
+  JointConfig cfg{.dim = 4, .m = 8, .beta = 5.0, .mode = TruncationMode::kErase};
+  JointMultiSearch sim(cfg, balanced_marks(4, 8));
+  // At the per-register optimum (N=4, M=1: one iteration hits probability
+  // exactly 1) the joint success is the product over registers.
+  const auto rep = sim.run(grover_optimal_iterations(4, 1));
+  EXPECT_LT(rep.max_atypical_norm, 0.2);
+  EXPECT_NEAR(rep.ideal_success, rep.truncated_success, 0.1);
+  EXPECT_GT(rep.truncated_success, 0.5);
+}
+
+TEST(JointMultiSearch, ConcentratedSolutionsBreakTruncatedSearch) {
+  // The negative control: solutions concentrated on one element violate the
+  // theorem's premise A1_1 x ... x A1_m within Upsilon_{beta/2}. The
+  // truncated oracle then diverges from the ideal one instead of agreeing.
+  JointConfig cfg{.dim = 3, .m = 8, .beta = 3.0, .mode = TruncationMode::kErase};
+  JointMultiSearch sim(cfg, concentrated_marks(3, 8));
+  const auto rep = sim.run(grover_optimal_iterations(3, 1));
+  // Ideal search still drives mass onto the (atypical) solution tuple;
+  // truncated cannot, because the oracle never fires there.
+  EXPECT_GT(rep.ideal_success, 0.5);
+  EXPECT_LT(rep.truncated_success, rep.ideal_success - 0.3);
+}
+
+TEST(JointMultiSearch, UniformAtypicalMassSmallForModerateBeta) {
+  JointConfig cfg{.dim = 4, .m = 8, .beta = 6.0, .mode = TruncationMode::kErase};
+  JointMultiSearch sim(cfg, balanced_marks(4, 8));
+  // P[max multiplicity of 8 iid uniform over 4 exceeds 6] is tiny.
+  EXPECT_LT(sim.uniform_atypical_mass(), 0.01);
+}
+
+TEST(JointMultiSearch, UniformAtypicalMassRespectsMonotonicity) {
+  // Larger beta -> smaller atypical mass.
+  double prev = 1.0;
+  for (double beta : {2.0, 3.0, 4.0, 5.0}) {
+    JointConfig cfg{.dim = 3, .m = 6, .beta = beta, .mode = TruncationMode::kErase};
+    JointMultiSearch sim(cfg, balanced_marks(3, 6));
+    const double mass = sim.uniform_atypical_mass();
+    EXPECT_LE(mass, prev + 1e-12);
+    prev = mass;
+  }
+}
+
+TEST(JointMultiSearch, RejectsOversizedJointDimension) {
+  JointConfig cfg{.dim = 32, .m = 8, .beta = 100.0, .mode = TruncationMode::kErase};
+  EXPECT_THROW(JointMultiSearch(cfg, balanced_marks(32, 8)), SimulationError);
+}
+
+TEST(JointMultiSearch, RejectsMalformedMarks) {
+  JointConfig cfg{.dim = 3, .m = 2, .beta = 10.0, .mode = TruncationMode::kErase};
+  std::vector<std::vector<bool>> bad{std::vector<bool>(3, false)};
+  EXPECT_THROW(JointMultiSearch(cfg, bad), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,149 @@
+// Tests for lockstep multiple quantum searches and the typicality audit.
+#include "quantum/multi_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "quantum/typical_set.hpp"
+
+namespace qclique {
+namespace {
+
+SearchInstance inst(std::initializer_list<std::size_t> sols) {
+  SearchInstance s;
+  s.solutions.assign(sols);
+  return s;
+}
+
+TEST(MultiSearch, AllSearchesFindTheirSolutions) {
+  Rng rng(1);
+  RoundLedger ledger;
+  std::vector<SearchInstance> searches;
+  const std::size_t dim = 64;
+  for (std::size_t i = 0; i < 30; ++i) searches.push_back(inst({i, i + 30}));
+  const auto res = multi_search(dim, searches, DistributedSearchCost{.eval_rounds_per_call = 3},
+                                MultiSearchOptions{}, ledger, "ms", rng);
+  EXPECT_EQ(res.num_found(), searches.size());
+  for (std::size_t i = 0; i < searches.size(); ++i) {
+    ASSERT_TRUE(res.found[i].has_value());
+    EXPECT_TRUE(*res.found[i] == i || *res.found[i] == i + 30);
+  }
+}
+
+TEST(MultiSearch, EmptySearchesConcludeNoSolution) {
+  Rng rng(2);
+  RoundLedger ledger;
+  std::vector<SearchInstance> searches{inst({}), inst({5}), inst({})};
+  const auto res = multi_search(16, searches, DistributedSearchCost{},
+                                MultiSearchOptions{}, ledger, "ms", rng);
+  EXPECT_FALSE(res.found[0].has_value());
+  ASSERT_TRUE(res.found[1].has_value());
+  EXPECT_EQ(*res.found[1], 5u);
+  EXPECT_FALSE(res.found[2].has_value());
+}
+
+TEST(MultiSearch, JointCostIndependentOfSearchCount) {
+  // The whole point of lockstep parallel searches: 10x more searches must
+  // not cost 10x more joint oracle calls. (Schedules are random, so compare
+  // with generous slack.)
+  Rng rng1(3), rng2(3);
+  RoundLedger l1, l2;
+  std::vector<SearchInstance> few, many;
+  for (std::size_t i = 0; i < 4; ++i) few.push_back(inst({i}));
+  for (std::size_t i = 0; i < 40; ++i) many.push_back(inst({i % 16}));
+  const auto r1 = multi_search(16, few, DistributedSearchCost{}, MultiSearchOptions{},
+                               l1, "ms", rng1);
+  const auto r2 = multi_search(16, many, DistributedSearchCost{}, MultiSearchOptions{},
+                               l2, "ms", rng2);
+  EXPECT_LE(r2.joint_oracle_calls, 4 * (r1.joint_oracle_calls + 8));
+}
+
+TEST(MultiSearch, RoundsChargedMatchCostModel) {
+  Rng rng(4);
+  RoundLedger ledger;
+  std::vector<SearchInstance> searches{inst({1})};
+  const DistributedSearchCost cost{.eval_rounds_per_call = 5,
+                                   .compute_uncompute_factor = 2};
+  const auto res = multi_search(32, searches, cost, MultiSearchOptions{}, ledger,
+                                "ms", rng);
+  EXPECT_EQ(res.rounds_charged, res.joint_oracle_calls * 10);
+  EXPECT_EQ(ledger.total_rounds(), res.rounds_charged);
+  EXPECT_EQ(ledger.total_oracle_calls(), res.joint_oracle_calls);
+}
+
+TEST(MultiSearch, SuccessRateIsHighOverManyRuns) {
+  Rng rng(5);
+  RoundLedger ledger;
+  std::size_t total = 0, found = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<SearchInstance> searches;
+    for (std::size_t i = 0; i < 10; ++i) searches.push_back(inst({(i * 7) % 25}));
+    const auto res = multi_search(25, searches, DistributedSearchCost{},
+                                  MultiSearchOptions{}, ledger, "ms", rng);
+    total += searches.size();
+    found += res.num_found();
+  }
+  EXPECT_GE(static_cast<double>(found) / static_cast<double>(total), 0.97);
+}
+
+TEST(MultiSearch, TypicalityAuditRunsAndCountsViolations) {
+  Rng rng(6);
+  RoundLedger ledger;
+  // 40 searches over a domain of 4 whose solutions all sit on element 0:
+  // as searches converge, sampled tuples concentrate on 0 and must violate
+  // a small beta.
+  std::vector<SearchInstance> searches;
+  for (std::size_t i = 0; i < 40; ++i) searches.push_back(inst({0}));
+  MultiSearchOptions opt;
+  opt.typicality_beta = 12.0;  // < m would eventually be violated near the end
+  opt.audit_samples_per_stage = 8;
+  const auto res = multi_search(4, searches, DistributedSearchCost{}, opt, ledger,
+                                "ms", rng);
+  EXPECT_GT(res.audit_tuples, 0u);
+  EXPECT_GT(res.audit_max_frequency, 10u);  // concentration detected
+}
+
+TEST(MultiSearch, BalancedSolutionsProduceFewViolations) {
+  Rng rng(7);
+  RoundLedger ledger;
+  // Solutions spread uniformly over the domain: typical tuples stay well
+  // below beta = 8 m / |X| (the Theorem 3 threshold).
+  const std::size_t dim = 16, m = 64;
+  std::vector<SearchInstance> searches;
+  for (std::size_t i = 0; i < m; ++i) searches.push_back(inst({i % dim}));
+  MultiSearchOptions opt;
+  opt.typicality_beta = 8.0 * m / dim;  // = 32
+  opt.audit_samples_per_stage = 8;
+  const auto res = multi_search(dim, searches, DistributedSearchCost{}, opt, ledger,
+                                "ms", rng);
+  EXPECT_EQ(res.audit_violations, 0u);
+}
+
+TEST(MultiSearch, RejectsUnsortedSolutions) {
+  Rng rng(8);
+  RoundLedger ledger;
+  SearchInstance bad;
+  bad.solutions = {5, 2};
+  EXPECT_THROW(multi_search(8, {bad}, DistributedSearchCost{}, MultiSearchOptions{},
+                            ledger, "ms", rng),
+               SimulationError);
+}
+
+TEST(MultiSearch, RejectsOutOfDomainSolutions) {
+  Rng rng(9);
+  RoundLedger ledger;
+  SearchInstance bad;
+  bad.solutions = {8};
+  EXPECT_THROW(multi_search(8, {bad}, DistributedSearchCost{}, MultiSearchOptions{},
+                            ledger, "ms", rng),
+               SimulationError);
+}
+
+TEST(AnalyticProbability, MatchesGroverClosedForm) {
+  EXPECT_DOUBLE_EQ(analytic_success_probability(64, 2, 3),
+                   grover_success_probability(64, 2, 3));
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,118 @@
+// Tests for the exact state-vector simulator.
+#include "quantum/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(StateVectorTest, BasisStateHasUnitMass) {
+  StateVector s(5, 2);
+  EXPECT_NEAR(s.norm_sq(), 1.0, 1e-12);
+  EXPECT_NEAR(s.probability(2), 1.0, 1e-12);
+  EXPECT_NEAR(s.probability(0), 0.0, 1e-12);
+}
+
+TEST(StateVectorTest, UniformStateProbabilities) {
+  StateVector s = StateVector::uniform(8);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(s.probability(i), 0.125, 1e-12);
+}
+
+TEST(StateVectorTest, PhaseOracleFlipsOnlyMarked) {
+  StateVector s = StateVector::uniform(4);
+  s.apply_phase_oracle([](std::size_t i) { return i == 1; });
+  EXPECT_GT(s.amp(0).real(), 0);
+  EXPECT_LT(s.amp(1).real(), 0);
+  EXPECT_NEAR(s.norm_sq(), 1.0, 1e-12);
+}
+
+TEST(StateVectorTest, DiffusionFixesUniform) {
+  StateVector s = StateVector::uniform(16);
+  StateVector before = s;
+  s.apply_diffusion();
+  EXPECT_NEAR(s.l2_distance(before), 0.0, 1e-12);
+}
+
+TEST(StateVectorTest, DiffusionIsInvolution) {
+  // D^2 = I: applying the reflection twice restores any state.
+  StateVector s(8, 3);
+  s.apply_phase_oracle([](std::size_t i) { return i % 2 == 0; });
+  StateVector before = s;
+  s.apply_diffusion();
+  s.apply_diffusion();
+  EXPECT_NEAR(s.l2_distance(before), 0.0, 1e-12);
+}
+
+TEST(StateVectorTest, GroverIterationPreservesNorm) {
+  StateVector s = StateVector::uniform(32);
+  for (int k = 0; k < 10; ++k) {
+    s.apply_grover_iteration([](std::size_t i) { return i == 7; });
+    EXPECT_NEAR(s.norm_sq(), 1.0, 1e-10);
+  }
+}
+
+TEST(StateVectorTest, GroverAmplifiesMarked) {
+  StateVector s = StateVector::uniform(64);
+  const auto oracle = [](std::size_t i) { return i == 42; };
+  double prev = s.probability(42);
+  // First few iterations strictly increase the marked amplitude.
+  for (int k = 0; k < 4; ++k) {
+    s.apply_grover_iteration(oracle);
+    EXPECT_GT(s.probability(42), prev);
+    prev = s.probability(42);
+  }
+  EXPECT_GT(prev, 0.3);
+}
+
+TEST(StateVectorTest, MeasureFollowsBornRule) {
+  StateVector s = StateVector::uniform(4);
+  s.apply_grover_iteration([](std::size_t i) { return i == 3; });
+  Rng rng(99);
+  int hits = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) hits += (s.measure(rng) == 3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, s.probability(3), 0.02);
+}
+
+TEST(StateVectorTest, ProbabilityOfPredicate) {
+  StateVector s = StateVector::uniform(10);
+  const double p = s.probability_of([](std::size_t i) { return i < 3; });
+  EXPECT_NEAR(p, 0.3, 1e-12);
+}
+
+TEST(StateVectorTest, FidelityOfIdenticalStatesIsOne) {
+  StateVector s = StateVector::uniform(6);
+  EXPECT_NEAR(s.fidelity(s), 1.0, 1e-12);
+}
+
+TEST(StateVectorTest, FidelityOfOrthogonalStatesIsZero) {
+  StateVector a(4, 0), b(4, 1);
+  EXPECT_NEAR(a.fidelity(b), 0.0, 1e-12);
+}
+
+TEST(StateVectorTest, NormalizeRestoresUnitNorm) {
+  StateVector s(3, 0);
+  s.set_amp(0, {2.0, 0.0});
+  s.set_amp(1, {0.0, 2.0});
+  s.normalize();
+  EXPECT_NEAR(s.norm_sq(), 1.0, 1e-12);
+}
+
+TEST(StateVectorTest, InvalidConstructionRejected) {
+  EXPECT_THROW(StateVector(0), SimulationError);
+  EXPECT_THROW(StateVector(4, 4), SimulationError);
+}
+
+TEST(StateVectorTest, DimensionMismatchRejected) {
+  StateVector a(4), b(5);
+  EXPECT_THROW(a.fidelity(b), SimulationError);
+  EXPECT_THROW(a.l2_distance(b), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,92 @@
+// Tests for Upsilon_beta membership, frequency profiles, and the Lemma 5
+// bound arithmetic.
+#include "quantum/typical_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qclique {
+namespace {
+
+TEST(FrequencyProfileTest, CountsMultiplicities) {
+  const auto p = frequency_profile({0, 1, 1, 2, 1}, 4);
+  EXPECT_EQ(p.counts[0], 1u);
+  EXPECT_EQ(p.counts[1], 3u);
+  EXPECT_EQ(p.counts[2], 1u);
+  EXPECT_EQ(p.counts[3], 0u);
+  EXPECT_EQ(p.max_frequency, 3u);
+}
+
+TEST(FrequencyProfileTest, EmptyTuple) {
+  const auto p = frequency_profile({}, 3);
+  EXPECT_EQ(p.max_frequency, 0u);
+  EXPECT_TRUE(p.within(0.0));
+}
+
+TEST(FrequencyProfileTest, RejectsOutOfDomain) {
+  EXPECT_THROW(frequency_profile({3}, 3), SimulationError);
+}
+
+TEST(TypicalSetTest, MembershipBoundary) {
+  // Tuple with max frequency 3.
+  const std::vector<std::size_t> t{0, 0, 0, 1, 2};
+  EXPECT_TRUE(in_typical_set(t, 3, 3.0));
+  EXPECT_TRUE(in_typical_set(t, 3, 3.5));
+  EXPECT_FALSE(in_typical_set(t, 3, 2.9));
+}
+
+TEST(TypicalSetTest, UniformishTupleIsTypical) {
+  std::vector<std::size_t> t;
+  for (std::size_t i = 0; i < 100; ++i) t.push_back(i % 10);
+  // Every frequency is exactly 10 = m/|X|; beta slightly above passes.
+  EXPECT_TRUE(in_typical_set(t, 10, 10.0));
+  EXPECT_FALSE(in_typical_set(t, 10, 9.0));
+}
+
+TEST(Lemma5Bound, FormulaMatches) {
+  // |X| * exp(-2m / (9|X|)).
+  EXPECT_NEAR(lemma5_atypical_mass_bound(2, 18), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(lemma5_atypical_mass_bound(4, 36), 4.0 * std::exp(-2.0), 1e-12);
+}
+
+TEST(Lemma5Bound, DecreasesInM) {
+  double prev = lemma5_atypical_mass_bound(8, 8);
+  for (std::size_t m = 16; m <= 512; m *= 2) {
+    const double b = lemma5_atypical_mass_bound(8, m);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Lemma5Bound, NontrivialRegime) {
+  // For m >> |X| log |X| the bound drops below 1 (meaningful); the paper's
+  // regime m = Theta(n log n), |X| <= sqrt(n) is deep inside it.
+  EXPECT_LT(lemma5_atypical_mass_bound(2, 16), 1.0);
+  EXPECT_LT(lemma5_atypical_mass_bound(16, 1024), 2e-5);
+}
+
+TEST(Theorem3Preconditions, PaperRegimeHolds) {
+  // |X| = sqrt(n), m = 100 n log n at n = 2^12: |X| = 64,
+  // m = 100 * 4096 * 12 ~ 4.9M, m / (36 log m) ~ 4.9M / (36 * 22.2) ~ 6146
+  // > 64, and beta = 8m/|X| + 1 satisfies the beta condition.
+  const std::size_t dim = 64;
+  const std::size_t m = 100ull * 4096 * 12;
+  const double beta = 8.0 * m / dim + 1;
+  EXPECT_TRUE(theorem3_preconditions_hold(dim, m, beta));
+}
+
+TEST(Theorem3Preconditions, FailsWhenDomainTooLarge) {
+  EXPECT_FALSE(theorem3_preconditions_hold(64, 70, 100.0));
+}
+
+TEST(Theorem3Preconditions, FailsWhenBetaTooSmall) {
+  const std::size_t dim = 4;
+  const std::size_t m = 100000;
+  EXPECT_FALSE(theorem3_preconditions_hold(dim, m, 8.0 * m / dim - 1));
+}
+
+}  // namespace
+}  // namespace qclique
