@@ -7,16 +7,19 @@
 // multiplicative in log W through the binary-search depth of Prop 2).
 #include <iostream>
 
-#include "baseline/shortest_paths.hpp"
+#include "api/registry.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "core/apsp.hpp"
 #include "graph/generators.hpp"
 
 int main() {
   using namespace qclique;
   std::cout << "E1: quantum APSP scaling (Theorem 1: O~(n^{1/4} log W) rounds)\n";
+
+  SolverRegistry& registry = SolverRegistry::instance();
+  const ApspSolver& quantum = registry.get("quantum");
+  const ApspSolver& oracle_solver = registry.get("floyd-warshall");
 
   Table table({"n", "W", "rounds", "products", "FindEdges calls", "exact"});
   std::vector<double> ns, rounds_small_w;
@@ -24,14 +27,15 @@ int main() {
     for (const std::uint32_t n : {8u, 12u, 16u, 20u}) {
       Rng rng(1000 + n + static_cast<std::uint64_t>(w));
       const auto g = random_digraph(n, 0.45, -w / 2, w, rng);
-      const auto oracle = floyd_warshall(g);
-      QuantumApspOptions opt;
-      Rng arng = rng.split();
-      const auto res = quantum_apsp(g, opt, arng);
-      const bool exact = oracle.has_value() && res.distances == *oracle;
+      ExecutionContext octx(1);
+      const ApspReport oracle = oracle_solver.solve(g, octx);
+      ExecutionContext ctx(2000 + n + static_cast<std::uint64_t>(w));
+      const ApspReport res = quantum.solve(g, ctx);
+      const bool exact = res.distances == oracle.distances;
       table.add_row({Table::fmt(static_cast<std::uint64_t>(n)), Table::fmt(w),
-                     Table::fmt(res.rounds), Table::fmt(res.products),
-                     Table::fmt(res.find_edges_calls), exact ? "yes" : "NO"});
+                     Table::fmt(res.rounds), Table::fmt(res.metrics.at("products")),
+                     Table::fmt(res.metrics.at("find_edges_calls")),
+                     exact ? "yes" : "NO"});
       if (w == 8) {
         ns.push_back(n);
         rounds_small_w.push_back(static_cast<double>(res.rounds));

@@ -10,10 +10,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "baseline/shortest_paths.hpp"
-#include "common/rng.hpp"
+#include "api/registry.hpp"
 #include "common/table.hpp"
-#include "core/apsp.hpp"
 #include "core/round_model.hpp"
 #include "graph/generators.hpp"
 
@@ -27,14 +25,15 @@ int main(int argc, char** argv) {
   std::cout << "Quantum APSP on n = " << n << ", W = " << w << " ("
             << g.num_arcs() << " arcs)\n\n";
 
-  QuantumApspOptions opt;
-  Rng arng = rng.split();
-  const auto res = quantum_apsp(g, opt, arng);
-  const auto oracle = floyd_warshall(g);
-  std::cout << "exact: " << (oracle && res.distances == *oracle ? "yes" : "NO")
-            << ", " << res.products << " distance products, "
-            << res.find_edges_calls << " FindEdges calls, " << res.rounds
-            << " total rounds\n\n";
+  SolverRegistry& registry = SolverRegistry::instance();
+  ExecutionContext ctx(5);
+  const ApspReport res = registry.get("quantum").solve(g, ctx);
+  ExecutionContext octx(5);
+  const ApspReport oracle = registry.get("floyd-warshall").solve(g, octx);
+  std::cout << "exact: " << (res.distances == oracle.distances ? "yes" : "NO")
+            << ", " << res.metrics.at("products") << " distance products, "
+            << res.metrics.at("find_edges_calls") << " FindEdges calls, "
+            << res.rounds << " total rounds\n\n";
 
   Table phases({"phase", "rounds", "share"});
   for (const auto& [name, stats] : res.ledger.phases()) {

@@ -1,20 +1,21 @@
-// Quickstart: solve APSP on a small weighted digraph with the quantum
-// CONGEST-CLIQUE pipeline and inspect the result.
+// Quickstart: solve APSP on a small weighted digraph through the unified
+// solver API and inspect the result.
 //
-//   $ ./example_quickstart
+//   $ ./example_quickstart [solver]
 //
-// Walks through the public API end to end: build a graph, run
-// quantum_apsp, verify against the centralized Floyd-Warshall oracle, and
-// print the distance matrix plus the round-cost breakdown by phase.
+// Walks through the public API end to end: build a graph, look a backend up
+// in the SolverRegistry (default: the quantum Theorem 1 pipeline), solve
+// under an ExecutionContext, verify against the "floyd-warshall" reference
+// backend, and print the distance matrix plus the round-cost breakdown.
 #include <iostream>
 
+#include "api/registry.hpp"
 #include "baseline/shortest_paths.hpp"
-#include "common/rng.hpp"
-#include "core/apsp.hpp"
 #include "graph/digraph.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qclique;
+  const std::string solver_name = argc > 1 ? argv[1] : "quantum";
 
   // A little 8-vertex digraph with negative (but cycle-safe) weights.
   Digraph g(8);
@@ -33,39 +34,55 @@ int main() {
   std::cout << "Input: " << g.size() << " vertices, " << g.num_arcs()
             << " arcs, max |weight| = " << g.max_abs_weight() << "\n\n";
 
-  // Run the full quantum pipeline (Theorem 1): APSP -> distance products ->
-  // negative-triangle detection -> distributed Grover searches.
-  Rng rng(2024);
-  QuantumApspOptions options;
-  const QuantumApspResult result = quantum_apsp(g, options, rng);
+  SolverRegistry& registry = SolverRegistry::instance();
+  std::cout << "Registered backends:\n";
+  for (const std::string& name : registry.names()) {
+    const ApspSolver& s = registry.get(name);
+    std::cout << "  " << name << (s.capabilities().distributed ? "  [distributed]" : "")
+              << " -- " << s.description() << "\n";
+  }
 
-  std::cout << "Distance matrix (INF = unreachable):\n    ";
+  // Solve through the selected backend under a seeded context.
+  ExecutionContext ctx(2024);
+  ApspReport report(g.size());
+  try {
+    report = registry.get(solver_name).solve(g, ctx);
+  } catch (const SimulationError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "\nSolver '" << report.solver << "' distance matrix (INF = unreachable):\n    ";
   for (std::uint32_t j = 0; j < g.size(); ++j) std::cout << "\tv" << j;
   std::cout << "\n";
   for (std::uint32_t i = 0; i < g.size(); ++i) {
     std::cout << "  v" << i;
     for (std::uint32_t j = 0; j < g.size(); ++j) {
-      const std::int64_t d = result.distances.at(i, j);
+      const std::int64_t d = report.distances.at(i, j);
       std::cout << "\t" << (is_plus_inf(d) ? std::string("INF") : std::to_string(d));
     }
     std::cout << "\n";
   }
 
-  // Cross-check against the centralized oracle.
-  const auto oracle = floyd_warshall(g);
-  std::cout << "\nMatches Floyd-Warshall oracle: "
-            << (oracle && result.distances == *oracle ? "yes" : "NO") << "\n";
+  // Cross-check against the reference backend through the same API.
+  ExecutionContext oracle_ctx(2024);
+  const ApspReport oracle = registry.get("floyd-warshall").solve(g, oracle_ctx);
+  const bool match = report.distances == oracle.distances;
+  std::cout << "\nMatches floyd-warshall reference backend: " << (match ? "yes" : "NO")
+            << "\n";
 
   // Path reconstruction (the paper's footnote 1).
-  const auto path = reconstruct_path(g, result.distances, 0, 7);
+  const auto path = reconstruct_path(g, report.distances, 0, 7);
   std::cout << "Shortest path 0 -> 7:";
   for (std::uint32_t v : path) std::cout << " " << v;
-  std::cout << "  (length " << result.distances.at(0, 7) << ")\n";
+  std::cout << "  (length " << report.distances.at(0, 7) << ")\n";
 
-  std::cout << "\nSimulated CONGEST-CLIQUE cost: " << result.rounds
-            << " rounds over " << result.products << " distance products and "
-            << result.find_edges_calls << " FindEdges calls.\n\n"
+  std::cout << "\nSimulated CONGEST-CLIQUE cost: " << report.rounds << " rounds";
+  for (const auto& [key, value] : report.metrics) {
+    std::cout << ", " << key << " = " << value;
+  }
+  std::cout << " (wall " << report.wall_ms << " ms)\n\n"
             << "Round breakdown by phase:\n"
-            << result.ledger.report();
-  return 0;
+            << report.ledger.report() << "\nJSON: " << report.to_json() << "\n";
+  return match ? 0 : 1;
 }

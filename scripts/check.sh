@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus an API smoke run.
+#
+#   $ scripts/check.sh [build-dir]
+#
+# 1. configure + build everything (library, tests, benches, examples),
+# 2. run the full ctest suite,
+# 3. smoke-run examples/quickstart through the SolverRegistry, for both a
+#    distributed backend and a centralized oracle (quickstart exits
+#    non-zero when the solver's distances disagree with floyd-warshall),
+# 4. smoke-run the BatchRunner backend matrix (exits non-zero unless all
+#    registered backends agree and parallel == serial determinism holds).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== smoke: quickstart via SolverRegistry =="
+"$BUILD_DIR/example_quickstart" quantum > /dev/null
+"$BUILD_DIR/example_quickstart" semiring > /dev/null
+"$BUILD_DIR/example_quickstart" floyd-warshall > /dev/null
+
+echo "== smoke: BatchRunner backend matrix =="
+"$BUILD_DIR/bench_backend_matrix" > /dev/null
+
+echo "OK: build, tests, and API smoke runs all passed."

@@ -1,0 +1,206 @@
+// Built-in ApspSolver backends: adapters from the unified API onto the
+// concrete implementations. Besides unit tests and the pipeline-internal
+// SSSP projection (core/sssp.cpp, which wraps quantum_apsp to reuse the
+// full run), this file is the only caller of the per-algorithm entry
+// points (quantum_apsp, classical_apsp, the centralized oracles) —
+// everything else goes through the SolverRegistry.
+#include <memory>
+
+#include "api/registry.hpp"
+#include "baseline/classical_apsp.hpp"
+#include "baseline/shortest_paths.hpp"
+#include "common/error.hpp"
+#include "core/apsp.hpp"
+#include "matrix/min_plus.hpp"
+
+namespace qclique {
+namespace {
+
+// --- Theorem 1 pipeline (quantum and classical-search variants). -----------
+
+class PipelineSolver : public ApspSolver {
+ public:
+  explicit PipelineSolver(bool use_quantum) : use_quantum_(use_quantum) {}
+
+  std::string name() const override {
+    return use_quantum_ ? "quantum" : "classical-search";
+  }
+
+  std::string description() const override {
+    return use_quantum_
+               ? "Theorem 1 pipeline with O~(n^{1/4})-round quantum searches"
+               : "Theorem 1 pipeline with the classical O(sqrt n) step-3 scan";
+  }
+
+  SolverCapabilities capabilities() const override {
+    return {.negative_weights = true, .distributed = true, .quantum = use_quantum_};
+  }
+
+ protected:
+  ApspReport do_solve(const Digraph& g, ExecutionContext& ctx) const override {
+    QuantumApspOptions options;
+    options.check_negative_cycles = ctx.check_negative_cycles();
+    options.product.find_edges.compute_pairs.use_quantum = use_quantum_;
+    const QuantumApspResult res = quantum_apsp(g, options, ctx.rng());
+
+    ApspReport report(g.size());
+    report.distances = res.distances;
+    report.rounds = res.rounds;
+    report.ledger = res.ledger;
+    report.metrics["products"] = res.products;
+    report.metrics["find_edges_calls"] = res.find_edges_calls;
+    report.metrics["oracle_calls"] = res.ledger.total_oracle_calls();
+    return report;
+  }
+
+ private:
+  bool use_quantum_;
+};
+
+// --- Censor-Hillel semiring baseline (the paper's classical bound). --------
+
+class SemiringSolver : public ApspSolver {
+ public:
+  std::string name() const override { return "semiring"; }
+
+  std::string description() const override {
+    return "repeated squaring over the O~(n^{1/3})-round semiring product";
+  }
+
+  SolverCapabilities capabilities() const override {
+    return {.negative_weights = true, .distributed = true, .quantum = false};
+  }
+
+ protected:
+  ApspReport do_solve(const Digraph& g, ExecutionContext& ctx) const override {
+    const ApspResult res = classical_apsp(g, ctx.network_config());
+    ApspReport report(g.size());
+    report.distances = res.distances;
+    report.rounds = res.rounds;
+    report.ledger = res.ledger;
+    report.metrics["products"] = res.products;
+    return report;
+  }
+};
+
+// --- Centralized oracles (rounds = 0 by definition). -----------------------
+
+class DenseSquaringSolver : public ApspSolver {
+ public:
+  std::string name() const override { return "dense-squaring"; }
+
+  std::string description() const override {
+    return "centralized min-plus repeated squaring (Proposition 3 oracle)";
+  }
+
+  SolverCapabilities capabilities() const override { return {}; }
+
+ protected:
+  ApspReport do_solve(const Digraph& g, ExecutionContext&) const override {
+    ApspReport report(g.size());
+    report.distances = apsp_by_squaring(g.to_dist_matrix());
+    report.metrics["products"] =
+        squaring_product_count(g.size() > 1 ? g.size() - 1 : 1);
+    return report;
+  }
+};
+
+class FloydWarshallSolver : public ApspSolver {
+ public:
+  std::string name() const override { return "floyd-warshall"; }
+
+  std::string description() const override {
+    return "centralized Floyd-Warshall (general-weights reference oracle)";
+  }
+
+  SolverCapabilities capabilities() const override { return {}; }
+
+ protected:
+  ApspReport do_solve(const Digraph& g, ExecutionContext&) const override {
+    const auto dist = floyd_warshall(g);
+    QCLIQUE_CHECK(dist.has_value(), "floyd-warshall: negative cycle in input");
+    ApspReport report(g.size());
+    report.distances = *dist;
+    return report;
+  }
+};
+
+class JohnsonSolver : public ApspSolver {
+ public:
+  std::string name() const override { return "johnson"; }
+
+  std::string description() const override {
+    return "centralized Johnson (reweighting + n Dijkstra runs)";
+  }
+
+  SolverCapabilities capabilities() const override { return {}; }
+
+ protected:
+  ApspReport do_solve(const Digraph& g, ExecutionContext&) const override {
+    const auto dist = johnson(g);
+    QCLIQUE_CHECK(dist.has_value(), "johnson: negative cycle in input");
+    ApspReport report(g.size());
+    report.distances = *dist;
+    return report;
+  }
+};
+
+class BellmanFordSolver : public ApspSolver {
+ public:
+  std::string name() const override { return "bellman-ford"; }
+
+  std::string description() const override {
+    return "centralized Bellman-Ford from every source";
+  }
+
+  SolverCapabilities capabilities() const override { return {}; }
+
+ protected:
+  ApspReport do_solve(const Digraph& g, ExecutionContext&) const override {
+    ApspReport report(g.size());
+    for (std::uint32_t s = 0; s < g.size(); ++s) {
+      const auto row = bellman_ford(g, s);
+      QCLIQUE_CHECK(row.has_value(), "bellman-ford: negative cycle in input");
+      for (std::uint32_t v = 0; v < g.size(); ++v) report.distances.set(s, v, (*row)[v]);
+    }
+    return report;
+  }
+};
+
+class DijkstraSolver : public ApspSolver {
+ public:
+  std::string name() const override { return "dijkstra"; }
+
+  std::string description() const override {
+    return "centralized Dijkstra from every source (non-negative weights)";
+  }
+
+  SolverCapabilities capabilities() const override {
+    return {.negative_weights = false, .distributed = false, .quantum = false};
+  }
+
+ protected:
+  ApspReport do_solve(const Digraph& g, ExecutionContext&) const override {
+    ApspReport report(g.size());
+    for (std::uint32_t s = 0; s < g.size(); ++s) {
+      const auto row = dijkstra(g, s);
+      for (std::uint32_t v = 0; v < g.size(); ++v) report.distances.set(s, v, row[v]);
+    }
+    return report;
+  }
+};
+
+}  // namespace
+
+void register_builtin_solvers(SolverRegistry& registry) {
+  registry.add(std::make_unique<PipelineSolver>(/*use_quantum=*/true));
+  registry.add(std::make_unique<PipelineSolver>(/*use_quantum=*/false));
+  registry.add(std::make_unique<SemiringSolver>());
+  registry.add(std::make_unique<DenseSquaringSolver>());
+  registry.add(std::make_unique<FloydWarshallSolver>());
+  registry.add(std::make_unique<JohnsonSolver>());
+  registry.add(std::make_unique<BellmanFordSolver>());
+  registry.add(std::make_unique<DijkstraSolver>());
+}
+
+}  // namespace qclique

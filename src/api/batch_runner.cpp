@@ -1,0 +1,82 @@
+#include "api/batch_runner.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+std::vector<BatchResult> BatchRunner::run(const std::vector<BatchJob>& jobs) const {
+  std::vector<BatchResult> results(jobs.size());
+
+  const auto run_one = [&](std::size_t i) {
+    BatchResult& out = results[i];
+    out.job_index = i;
+    out.solver = jobs[i].solver;
+    out.label = jobs[i].label;
+    try {
+      QCLIQUE_CHECK(jobs[i].graph != nullptr, "batch job without a graph");
+      const ApspSolver& solver = registry_.get(jobs[i].solver);
+      // Fork by job index so results do not depend on worker scheduling,
+      // and mix the job's salt so callers can vary randomness per job.
+      ExecutionContext ctx =
+          base_.fork(static_cast<std::uint64_t>(i) * 0x100000001b3ULL +
+                     jobs[i].seed_salt);
+      out.report = solver.solve(*jobs[i].graph, ctx);
+      out.ok = true;
+    } catch (const std::exception& e) {
+      out.ok = false;
+      out.error = e.what();
+    }
+  };
+
+  unsigned workers = base_.num_threads();
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, jobs.size() > 0 ? jobs.size() : 1));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < jobs.size();
+             i = next.fetch_add(1)) {
+          run_one(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  // Workers have joined: aggregate per-job costs single-threaded.
+  for (const BatchResult& r : results) {
+    if (r.ok) batch_ledger_.absorb(r.report->ledger);
+  }
+  return results;
+}
+
+std::vector<BatchResult> BatchRunner::run_all(const Digraph& g,
+                                              std::vector<std::string> solvers) const {
+  if (solvers.empty()) {
+    const bool negative = g.has_negative_arc();
+    for (const std::string& name : registry_.names()) {
+      if (negative && !registry_.get(name).capabilities().negative_weights) continue;
+      solvers.push_back(name);
+    }
+  }
+  const auto shared = std::make_shared<const Digraph>(g);
+  std::vector<BatchJob> jobs;
+  jobs.reserve(solvers.size());
+  for (const std::string& name : solvers) {
+    jobs.push_back(BatchJob{.graph = shared, .solver = name, .seed_salt = 0,
+                            .label = name});
+  }
+  return run(jobs);
+}
+
+}  // namespace qclique

@@ -1,0 +1,80 @@
+// Many (graph, solver) jobs, one facade.
+//
+// BatchRunner is the harness layer on top of the SolverRegistry: hand it a
+// list of jobs and it executes them — across worker threads when asked —
+// returning one BatchResult per job in input order. Determinism is
+// schedule-independent: each job runs under a context forked from the base
+// context by job index, so thread count and completion order never change
+// any report. Solvers are stateless and every job owns its context, which
+// is what makes the fan-out safe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+
+namespace qclique {
+
+/// One unit of work: solve APSP on `graph` with backend `solver`. The
+/// graph is shared, not copied — many jobs (e.g. one per backend) can
+/// reference one instance; solvers only read it.
+struct BatchJob {
+  std::shared_ptr<const Digraph> graph;
+  std::string solver;
+  /// Extra salt mixed into the forked context seed (jobs that should see
+  /// different randomness with everything else equal).
+  std::uint64_t seed_salt = 0;
+  /// Free-form tag echoed into the result (scenario name, sweep point).
+  std::string label;
+};
+
+/// Outcome of one job. `report` is set iff `ok`; otherwise `error` holds
+/// the exception message (a failing job never aborts the batch).
+struct BatchResult {
+  std::size_t job_index = 0;
+  std::string solver;
+  std::string label;
+  bool ok = false;
+  std::string error;
+  std::optional<ApspReport> report;
+};
+
+class BatchRunner {
+ public:
+  /// Runs against `registry`, deriving each job's ExecutionContext from
+  /// `base` (fork by job index + seed_salt). The registry and base context
+  /// must outlive the runner.
+  explicit BatchRunner(const SolverRegistry& registry = SolverRegistry::instance(),
+                       ExecutionContext base = ExecutionContext())
+      : registry_(registry), base_(base) {}
+
+  /// Executes all jobs on `base.num_threads()` workers (0 = one per
+  /// hardware thread; the worker count is also capped by the job count).
+  /// Results are in job order regardless of scheduling.
+  std::vector<BatchResult> run(const std::vector<BatchJob>& jobs) const;
+
+  /// Convenience: one graph, many backends. Builds one job per name in
+  /// `solvers` (all registered backends when empty, skipping those whose
+  /// capabilities reject g's weights) and runs them. The graph is copied
+  /// once and shared by every job.
+  std::vector<BatchResult> run_all(const Digraph& g,
+                                   std::vector<std::string> solvers = {}) const;
+
+  const ExecutionContext& base_context() const { return base_; }
+
+  /// Aggregate ledger over every successful job this runner has executed.
+  /// (Jobs run on forked contexts, so `base_context().ledger()` stays
+  /// empty; per-job costs are absorbed here after each `run`.)
+  const RoundLedger& batch_ledger() const { return batch_ledger_; }
+
+ private:
+  const SolverRegistry& registry_;
+  ExecutionContext base_;
+  mutable RoundLedger batch_ledger_;
+};
+
+}  // namespace qclique

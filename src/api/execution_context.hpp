@@ -1,0 +1,80 @@
+// Execution environment shared by every solver backend.
+//
+// An ExecutionContext bundles everything a solver run needs besides the
+// input graph: the deterministic RNG stream, the simulated-network
+// configuration, the ledger that accumulates round costs across runs, and
+// the parallelism knobs harnesses use when fanning out jobs. One context =
+// one reproducible stream of work: constructing two contexts from the same
+// seed and replaying the same calls yields bit-identical results, which is
+// what makes cross-backend comparisons and CI regression checks meaningful.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "congest/network.hpp"
+#include "congest/round_ledger.hpp"
+
+namespace qclique {
+
+/// Default seed used when callers do not care about the stream identity.
+inline constexpr std::uint64_t kDefaultExecutionSeed = 0x51c1197eULL;
+
+/// Owns the per-run mutable state (Rng, RoundLedger) plus the static knobs
+/// (NetworkConfig, thread count) that solvers and harnesses read.
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(std::uint64_t seed = kDefaultExecutionSeed)
+      : seed_(seed), rng_(seed) {}
+
+  /// The seed this context (or fork) was created from.
+  std::uint64_t seed() const { return seed_; }
+
+  /// The context's RNG stream. Solvers draw all randomness from here (or
+  /// from `rng().split()` children), never from global state.
+  Rng& rng() { return rng_; }
+
+  /// Configuration applied to every CliqueNetwork a solver builds under
+  /// this context (per-message field budget, strict-payload policy).
+  NetworkConfig& network_config() { return network_config_; }
+  const NetworkConfig& network_config() const { return network_config_; }
+
+  /// Ledger accumulating the cost of every solve run executed directly on
+  /// this context. Individual runs also report their own per-run ledger in
+  /// ApspReport; batch jobs run on forked contexts, so their aggregate is
+  /// BatchRunner::batch_ledger(), not this.
+  RoundLedger& ledger() { return ledger_; }
+  const RoundLedger& ledger() const { return ledger_; }
+
+  /// Worker threads a batch harness may use. 0 = one per hardware thread.
+  unsigned num_threads() const { return num_threads_; }
+  void set_num_threads(unsigned n) { num_threads_ = n; }
+
+  /// Whether solvers must verify the no-negative-cycle precondition and
+  /// throw SimulationError when it is violated.
+  bool check_negative_cycles() const { return check_negative_cycles_; }
+  void set_check_negative_cycles(bool v) { check_negative_cycles_ = v; }
+
+  /// Derives an independent context: same configuration, RNG stream keyed
+  /// by (seed, salt) only. Forking by job index gives batch runners
+  /// schedule-independent determinism — the child stream does not depend
+  /// on how much randomness the parent has consumed.
+  ExecutionContext fork(std::uint64_t salt) const {
+    std::uint64_t s = seed_ ^ (0x9e3779b97f4a7c15ULL + salt);
+    ExecutionContext child(splitmix64(s));
+    child.network_config_ = network_config_;
+    child.num_threads_ = num_threads_;
+    child.check_negative_cycles_ = check_negative_cycles_;
+    return child;
+  }
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+  NetworkConfig network_config_;
+  RoundLedger ledger_;
+  unsigned num_threads_ = 0;
+  bool check_negative_cycles_ = true;
+};
+
+}  // namespace qclique

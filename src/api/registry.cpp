@@ -1,0 +1,67 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+SolverRegistry& SolverRegistry::instance() {
+  // Builtins are registered lazily here rather than via static-initializer
+  // self-registration: the library is linked statically, and nothing would
+  // anchor a registrar translation unit against linker dead-stripping.
+  static SolverRegistry* global = [] {
+    auto* r = new SolverRegistry();
+    register_builtin_solvers(*r);
+    return r;
+  }();
+  return *global;
+}
+
+void SolverRegistry::add(std::unique_ptr<ApspSolver> solver) {
+  QCLIQUE_CHECK(solver != nullptr, "registry: null solver");
+  const std::string name = solver->name();
+  QCLIQUE_CHECK(!name.empty(), "registry: solver with empty name");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto pos = std::lower_bound(
+      solvers_.begin(), solvers_.end(), name,
+      [](const auto& s, const std::string& key) { return s->name() < key; });
+  QCLIQUE_CHECK(pos == solvers_.end() || (*pos)->name() != name,
+                "registry: duplicate solver name '" + name + "'");
+  solvers_.insert(pos, std::move(solver));
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(solvers_.begin(), solvers_.end(),
+                     [&](const auto& s) { return s->name() == name; });
+}
+
+const ApspSolver& SolverRegistry::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& s : solvers_) {
+    if (s->name() == name) return *s;
+  }
+  std::string known;
+  for (const auto& s : solvers_) {
+    if (!known.empty()) known += ", ";
+    known += s->name();
+  }
+  throw SimulationError("registry: unknown solver '" + name +
+                        "' (known: " + known + ")");
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(solvers_.size());
+  for (const auto& s : solvers_) out.push_back(s->name());
+  return out;
+}
+
+std::size_t SolverRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return solvers_.size();
+}
+
+}  // namespace qclique

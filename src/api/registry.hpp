@@ -1,0 +1,58 @@
+// Name -> solver registry.
+//
+// The process-wide registry is the seam between backends and harnesses:
+// backends register once (builtins at first use, external backends via
+// `add`), and every bench / example / test resolves solvers by name. The
+// registry owns its solvers; lookups return stable references that stay
+// valid for the registry's lifetime. Registration is mutex-guarded;
+// lookups after setup are safe from concurrent BatchRunner workers.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/solver.hpp"
+
+namespace qclique {
+
+class SolverRegistry {
+ public:
+  /// The process-wide registry, with all built-in backends registered.
+  static SolverRegistry& instance();
+
+  /// An empty registry (tests; embedding several independent registries).
+  SolverRegistry() = default;
+
+  SolverRegistry(const SolverRegistry&) = delete;
+  SolverRegistry& operator=(const SolverRegistry&) = delete;
+
+  /// Registers a solver under solver->name(). Throws SimulationError on a
+  /// duplicate name or a null/empty-named solver.
+  void add(std::unique_ptr<ApspSolver> solver);
+
+  bool contains(const std::string& name) const;
+
+  /// Looks up a backend; throws SimulationError naming the known backends
+  /// when `name` is not registered.
+  const ApspSolver& get(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ApspSolver>> solvers_;  // sorted by name
+};
+
+/// Registers every built-in backend into `registry` (quantum pipeline,
+/// classical-search pipeline, semiring baseline, dense squaring oracle,
+/// Floyd-Warshall, Johnson, Bellman-Ford, Dijkstra). Called once by
+/// SolverRegistry::instance(); exposed so tests can build private
+/// registries with the same population.
+void register_builtin_solvers(SolverRegistry& registry);
+
+}  // namespace qclique

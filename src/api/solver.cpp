@@ -1,0 +1,50 @@
+#include "api/solver.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+ApspReport ApspSolver::solve(const Digraph& g, ExecutionContext& ctx) const {
+  const SolverCapabilities caps = capabilities();
+  QCLIQUE_CHECK(caps.negative_weights || !g.has_negative_arc(),
+                "solver '" + name() + "' requires non-negative weights");
+
+  const auto start = std::chrono::steady_clock::now();
+  ApspReport report = do_solve(g, ctx);
+  const auto stop = std::chrono::steady_clock::now();
+
+  report.solver = name();
+  report.n = g.size();
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+
+  if (ctx.check_negative_cycles()) {
+    for (std::uint32_t i = 0; i < g.size(); ++i) {
+      QCLIQUE_CHECK(report.distances.at(i, i) >= 0,
+                    "solver '" + name() + "': negative cycle in input");
+    }
+  }
+
+  ctx.ledger().absorb(report.ledger);
+  return report;
+}
+
+std::string ApspReport::to_json() const {
+  std::ostringstream out;
+  out << "{\"solver\":" << json_quote(solver) << ",\"n\":" << n
+      << ",\"rounds\":" << rounds << ",\"wall_ms\":" << wall_ms
+      << ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!first) out << ",";
+    first = false;
+    out << json_quote(key) << ":" << value;
+  }
+  out << "},\"ledger\":" << ledger.to_json() << "}";
+  return out.str();
+}
+
+}  // namespace qclique

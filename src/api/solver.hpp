@@ -1,0 +1,79 @@
+// The unified APSP solver interface.
+//
+// Every APSP implementation in the repository — the quantum Theorem 1
+// pipeline, its classical-search twin, the Censor-Hillel semiring baseline,
+// and the centralized oracles — plugs in behind one abstract ApspSolver.
+// Harnesses (benches, examples, BatchRunner, tests) drive solvers only
+// through this interface, so adding a backend or a scenario is a one-file
+// change: implement do_solve, register the solver, and every harness can
+// run it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "api/execution_context.hpp"
+#include "graph/digraph.hpp"
+#include "matrix/dist_matrix.hpp"
+
+namespace qclique {
+
+/// Static properties a harness can query before dispatching a graph.
+struct SolverCapabilities {
+  /// Accepts negative arc weights (negative cycles are never accepted).
+  bool negative_weights = true;
+  /// Runs on the CONGEST-CLIQUE simulator and reports genuine round costs;
+  /// false means a centralized oracle whose `rounds` is always 0.
+  bool distributed = false;
+  /// Uses the quantum search layer (Grover / multi-search).
+  bool quantum = false;
+};
+
+/// Uniform result of one solve run, whatever the backend.
+struct ApspReport {
+  std::string solver;        // registry name of the backend that ran
+  std::uint32_t n = 0;       // input size
+  DistMatrix distances;      // the APSP matrix
+  std::uint64_t rounds = 0;  // simulated CONGEST-CLIQUE rounds (0 = oracle)
+  RoundLedger ledger;        // per-phase breakdown of `rounds`
+  /// Backend-specific counters ("products", "find_edges_calls",
+  /// "oracle_calls", ...). Uniformly typed so tables and exports need no
+  /// per-backend code.
+  std::map<std::string, std::uint64_t> metrics;
+  double wall_ms = 0.0;      // wall-clock time of the solve call
+
+  explicit ApspReport(std::uint32_t n_) : n(n_), distances(n_) {}
+
+  /// Machine-readable summary (single JSON object, ledger inlined).
+  std::string to_json() const;
+};
+
+/// Abstract APSP backend. Implementations are stateless adapters: all
+/// mutable run state lives in the ExecutionContext, so one solver instance
+/// may serve many concurrent jobs as long as each has its own context.
+class ApspSolver {
+ public:
+  virtual ~ApspSolver() = default;
+
+  /// Registry key, e.g. "quantum" or "floyd-warshall".
+  virtual std::string name() const = 0;
+
+  /// One-line human description (shown by harness listings).
+  virtual std::string description() const = 0;
+
+  virtual SolverCapabilities capabilities() const = 0;
+
+  /// Solves APSP on g under ctx. Non-virtual wrapper: validates the input
+  /// against capabilities(), times the run, stamps the report with the
+  /// solver name, and absorbs the run's ledger into ctx.ledger().
+  /// Throws SimulationError on precondition violations (negative cycle,
+  /// negative weights for a non-negative-only backend).
+  ApspReport solve(const Digraph& g, ExecutionContext& ctx) const;
+
+ protected:
+  /// Backend hook: fill distances / rounds / ledger / metrics.
+  virtual ApspReport do_solve(const Digraph& g, ExecutionContext& ctx) const = 0;
+};
+
+}  // namespace qclique

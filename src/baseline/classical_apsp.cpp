@@ -6,15 +6,16 @@
 
 namespace qclique {
 
-ApspResult classical_apsp(const Digraph& g) {
+ApspResult classical_apsp(const Digraph& g, const NetworkConfig& net_config) {
   const std::uint32_t n = g.size();
   ApspResult res(n);
-  CliqueNetwork net(std::max<std::uint32_t>(n, 2));
+  CliqueNetwork net(std::max<std::uint32_t>(n, 2), net_config);
 
   DistMatrix acc = g.to_dist_matrix();
   std::uint64_t covered = 1;
   while (covered < static_cast<std::uint64_t>(n > 1 ? n - 1 : 1)) {
     acc = semiring_distance_product(net, acc, acc).product;
+    ++res.products;
     covered *= 2;
   }
   for (std::uint32_t i = 0; i < n; ++i) {

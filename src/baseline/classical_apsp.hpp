@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "congest/network.hpp"
 #include "congest/round_ledger.hpp"
 #include "graph/digraph.hpp"
 #include "matrix/dist_matrix.hpp"
@@ -16,16 +17,17 @@ namespace qclique {
 struct ApspResult {
   DistMatrix distances;
   std::uint64_t rounds = 0;
-  RoundLedger ledger;  // phase breakdown
+  std::uint64_t products = 0;  // semiring distance products run
+  RoundLedger ledger;          // phase breakdown
 
   explicit ApspResult(std::uint32_t n) : distances(n) {}
 };
 
 /// Runs the classical baseline APSP on a fresh simulated clique of g.size()
-/// nodes: A_G is raised to the (n-1)-th min-plus power via repeated
-/// squaring, each product running the distributed semiring algorithm.
-/// Precondition: no negative cycles (checked against the diagonal; throws
-/// SimulationError if violated).
-ApspResult classical_apsp(const Digraph& g);
+/// nodes (configured by `net_config`): A_G is raised to the (n-1)-th
+/// min-plus power via repeated squaring, each product running the
+/// distributed semiring algorithm. Precondition: no negative cycles
+/// (checked against the diagonal; throws SimulationError if violated).
+ApspResult classical_apsp(const Digraph& g, const NetworkConfig& net_config = {});
 
 }  // namespace qclique

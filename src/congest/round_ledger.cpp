@@ -1,6 +1,7 @@
 #include "congest/round_ledger.hpp"
 
 #include <algorithm>
+#include <iomanip>
 #include <sstream>
 
 namespace qclique {
@@ -61,6 +62,46 @@ std::string RoundLedger::report() const {
     if (s.quantum_oracle_calls > 0) out << ", " << s.quantum_oracle_calls << " oracle calls";
     out << "\n";
   }
+  return out.str();
+}
+
+std::string json_quote(const std::string& s) {
+  std::ostringstream out;
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c) << std::dec;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+  return out.str();
+}
+
+std::string RoundLedger::to_json() const {
+  std::ostringstream out;
+  out << "{\"total_rounds\":" << total_rounds_
+      << ",\"total_messages\":" << total_messages_
+      << ",\"total_oracle_calls\":" << total_oracle_calls_ << ",\"phases\":{";
+  bool first = true;
+  for (const auto& [name, s] : phases_) {
+    if (!first) out << ",";
+    first = false;
+    out << json_quote(name) << ":{\"rounds\":" << s.rounds
+        << ",\"messages\":" << s.messages
+        << ",\"oracle_calls\":" << s.quantum_oracle_calls << "}";
+  }
+  out << "}}";
   return out.str();
 }
 

@@ -15,6 +15,10 @@
 
 namespace qclique {
 
+/// Quotes and escapes a string as a JSON string literal (backslash, quote,
+/// and control characters). Shared by the ledger/report JSON exports.
+std::string json_quote(const std::string& s);
+
 /// Per-phase round/message/traffic statistics.
 struct PhaseStats {
   std::uint64_t rounds = 0;
@@ -50,6 +54,10 @@ class RoundLedger {
 
   /// Multi-line human-readable report sorted by descending rounds.
   std::string report() const;
+
+  /// Machine-readable export: one JSON object with totals and a "phases"
+  /// map, for harnesses that persist run costs (ApspReport, check scripts).
+  std::string to_json() const;
 
  private:
   std::map<std::string, PhaseStats> phases_;

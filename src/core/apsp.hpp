@@ -1,14 +1,23 @@
-// Quantum distributed APSP (Theorem 1).
+// Quantum distributed APSP (Theorem 1) -- the pipeline implementation.
 //
-// The full pipeline of the paper:
+// The full reduction chain of the paper:
 //   APSP  --Prop 3-->  O(log n) distance products (repeated squaring)
 //         --Prop 2-->  O(log M) FindEdges calls per product (binary search
 //                      over the tripartite gadget)
 //         --Prop 1-->  O(log n) FindEdgesWithPromise calls per FindEdges
 //         --Thm 2--->  ComputePairs with O~(n^{1/4})-round quantum searches.
-// Round complexity: O~(n^{1/4} log W). Setting `use_quantum = false` runs
-// the identical pipeline over the classical O(sqrt n) search, giving the
-// like-for-like comparison the paper draws against [4]'s O~(n^{1/3}).
+// Round complexity: O~(n^{1/4} log W). Setting `use_quantum = false` (via
+// ComputePairsOptions) runs the identical pipeline over the classical
+// O(sqrt n) search, giving the like-for-like comparison the paper draws
+// against [4]'s O~(n^{1/3}).
+//
+// `quantum_apsp` below is the pipeline's internal entry point. Harnesses
+// should not call it directly: the public surface is the unified solver API
+// in api/ -- `SolverRegistry::instance().get("quantum")` (or
+// "classical-search") wraps this function behind the abstract `ApspSolver`
+// interface, runs it under an `ExecutionContext`, and returns a uniform
+// `ApspReport` comparable across every backend (see docs/API.md). The only
+// production caller of this function is the adapter in api/backends.cpp.
 #pragma once
 
 #include <cstdint>

@@ -52,6 +52,15 @@ std::int64_t Digraph::max_abs_weight() const {
   return m;
 }
 
+bool Digraph::has_negative_arc() const {
+  for (std::uint32_t u = 0; u < n_; ++u) {
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      if (u != v && !is_plus_inf(w_[idx(u, v)]) && w_[idx(u, v)] < 0) return true;
+    }
+  }
+  return false;
+}
+
 DistMatrix Digraph::to_dist_matrix() const {
   DistMatrix a(n_, kPlusInf);
   for (std::uint32_t i = 0; i < n_; ++i) {

@@ -32,6 +32,9 @@ class Digraph {
   /// Largest |w| over present arcs (the paper's W); 0 for an arc-less graph.
   std::int64_t max_abs_weight() const;
 
+  /// True if any arc has negative weight (solver capability dispatch).
+  bool has_negative_arc() const;
+
   /// The matrix A_G of the paper (Section 3): A[i][i] = 0, A[i][j] = w(i,j)
   /// for arcs, +inf otherwise. Its n-th min-plus power is the APSP matrix.
   DistMatrix to_dist_matrix() const;

@@ -1,0 +1,95 @@
+// Cross-backend agreement: every registered solver must produce the
+// identical distance matrix on shared inputs -- the API-level restatement
+// of the repository's core invariant that all implementations solve the
+// same problem exactly.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "api/registry.hpp"
+#include "graph/generators.hpp"
+
+namespace qclique {
+namespace {
+
+struct AgreementCase {
+  std::uint32_t n;
+  double density;
+  std::int64_t wmin, wmax;
+  std::uint64_t seed;
+};
+
+class BackendAgreement : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(BackendAgreement, AllBackendsProduceIdenticalDistances) {
+  const auto& tc = GetParam();
+  Rng rng(tc.seed);
+  const Digraph g = random_digraph(tc.n, tc.density, tc.wmin, tc.wmax, rng);
+  const bool has_negative = tc.wmin < 0;
+
+  SolverRegistry& registry = SolverRegistry::instance();
+  std::optional<ApspReport> reference;
+  std::string reference_name;
+
+  for (const std::string& name : registry.names()) {
+    const ApspSolver& solver = registry.get(name);
+    if (has_negative && !solver.capabilities().negative_weights) continue;
+    ExecutionContext ctx(tc.seed * 1000 + 1);
+    const ApspReport report = solver.solve(g, ctx);
+    if (!reference.has_value()) {
+      reference = report;
+      reference_name = name;
+      continue;
+    }
+    EXPECT_EQ(report.distances, reference->distances)
+        << name << " vs " << reference_name << ": "
+        << report.distances.first_difference(reference->distances);
+  }
+  ASSERT_TRUE(reference.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BackendAgreement,
+    ::testing::Values(AgreementCase{6, 0.5, -3, 6, 1},
+                      AgreementCase{9, 0.4, -5, 10, 2},
+                      AgreementCase{12, 0.3, -2, 4, 3},
+                      AgreementCase{10, 0.7, -10, 20, 4},
+                      // Non-negative weights: dijkstra participates too.
+                      AgreementCase{10, 0.5, 0, 9, 5},
+                      AgreementCase{8, 0.8, 1, 15, 6}));
+
+TEST(BackendAgreement, DistributedBackendsChargeRoundsOraclesDoNot) {
+  Rng rng(9);
+  const Digraph g = random_digraph(10, 0.5, -3, 8, rng);
+  SolverRegistry& registry = SolverRegistry::instance();
+  for (const std::string& name : registry.names()) {
+    const ApspSolver& solver = registry.get(name);
+    if (!solver.capabilities().negative_weights) continue;
+    ExecutionContext ctx(10);
+    const ApspReport report = solver.solve(g, ctx);
+    if (solver.capabilities().distributed) {
+      EXPECT_GT(report.rounds, 0u) << name;
+      EXPECT_EQ(report.rounds, report.ledger.total_rounds()) << name;
+    } else {
+      EXPECT_EQ(report.rounds, 0u) << name;
+    }
+  }
+}
+
+TEST(BackendAgreement, NegativeCycleRejectedByEveryBackend) {
+  Digraph g(4);
+  g.set_arc(0, 1, 2);
+  g.set_arc(1, 2, -5);
+  g.set_arc(2, 0, 1);  // cycle weight -2
+  g.set_arc(2, 3, 3);
+  SolverRegistry& registry = SolverRegistry::instance();
+  for (const std::string& name : registry.names()) {
+    const ApspSolver& solver = registry.get(name);
+    if (!solver.capabilities().negative_weights) continue;
+    ExecutionContext ctx(1);
+    EXPECT_THROW(solver.solve(g, ctx), SimulationError) << name;
+  }
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,114 @@
+// Tests for BatchRunner: parallel fan-out over the registry, per-job error
+// isolation, and schedule-independent determinism.
+#include "api/batch_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace qclique {
+namespace {
+
+Digraph test_graph(std::uint32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_digraph(n, 0.5, -4, 9, rng);
+}
+
+TEST(BatchRunner, RunAllFansOutAtLeastFourBackendsWithIdenticalDistances) {
+  const Digraph g = test_graph(9, 21);
+  const BatchRunner runner(SolverRegistry::instance(), ExecutionContext(3));
+  const auto results = runner.run_all(g);
+  ASSERT_GE(results.size(), 4u);
+
+  std::size_t ok = 0;
+  std::uint64_t summed_rounds = 0;
+  const DistMatrix* reference = nullptr;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok) << r.solver << ": " << r.error;
+    ASSERT_TRUE(r.report.has_value());
+    ++ok;
+    summed_rounds += r.report->ledger.total_rounds();
+    if (reference == nullptr) {
+      reference = &r.report->distances;
+    } else {
+      EXPECT_EQ(r.report->distances, *reference) << r.solver;
+    }
+  }
+  EXPECT_GE(ok, 4u);
+  // The runner's aggregate ledger matches the per-job ledgers.
+  EXPECT_EQ(runner.batch_ledger().total_rounds(), summed_rounds);
+  EXPECT_GT(summed_rounds, 0u);  // distributed backends charged rounds
+}
+
+TEST(BatchRunner, SkipsNonNegativeOnlyBackendsOnNegativeGraphs) {
+  const Digraph g = test_graph(8, 22);  // has negative arcs
+  const BatchRunner runner;
+  const auto results = runner.run_all(g);
+  for (const auto& r : results) EXPECT_NE(r.solver, "dijkstra");
+
+  Rng rng(23);
+  const Digraph gp = random_digraph(8, 0.5, 0, 9, rng);  // non-negative
+  const auto results_p = runner.run_all(gp);
+  bool saw_dijkstra = false;
+  for (const auto& r : results_p) saw_dijkstra = saw_dijkstra || r.solver == "dijkstra";
+  EXPECT_TRUE(saw_dijkstra);
+}
+
+TEST(BatchRunner, ResultsInJobOrderRegardlessOfThreads) {
+  const auto g = std::make_shared<const Digraph>(test_graph(8, 24));
+  std::vector<BatchJob> jobs;
+  const std::vector<std::string> names = {"semiring", "floyd-warshall",
+                                          "dense-squaring", "johnson",
+                                          "bellman-ford", "semiring"};
+  for (const auto& name : names) {
+    jobs.push_back(BatchJob{.graph = g, .solver = name, .seed_salt = 0,
+                            .label = "job-" + name});
+  }
+
+  ExecutionContext parallel_base(7);
+  parallel_base.set_num_threads(4);
+  ExecutionContext serial_base(7);
+  serial_base.set_num_threads(1);
+
+  const auto parallel = BatchRunner(SolverRegistry::instance(), parallel_base).run(jobs);
+  const auto serial = BatchRunner(SolverRegistry::instance(), serial_base).run(jobs);
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(parallel[i].job_index, i);
+    EXPECT_EQ(parallel[i].solver, names[i]);
+    EXPECT_EQ(parallel[i].label, "job-" + names[i]);
+    ASSERT_TRUE(parallel[i].ok && serial[i].ok);
+    EXPECT_EQ(parallel[i].report->distances, serial[i].report->distances);
+    EXPECT_EQ(parallel[i].report->rounds, serial[i].report->rounds);
+    EXPECT_EQ(parallel[i].report->metrics, serial[i].report->metrics);
+  }
+}
+
+TEST(BatchRunner, FailingJobIsIsolated) {
+  const auto g = std::make_shared<const Digraph>(test_graph(8, 25));
+  std::vector<BatchJob> jobs;
+  jobs.push_back(BatchJob{.graph = g, .solver = "semiring", .seed_salt = 0, .label = ""});
+  jobs.push_back(BatchJob{.graph = g, .solver = "no-such-backend", .seed_salt = 0,
+                          .label = ""});
+  jobs.push_back(BatchJob{.graph = g, .solver = "dijkstra",  // negative arcs
+                          .seed_salt = 0, .label = ""});
+  jobs.push_back(BatchJob{.graph = g, .solver = "floyd-warshall", .seed_salt = 0,
+                          .label = ""});
+
+  const auto results = BatchRunner().run(jobs);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_NE(results[1].error.find("no-such-backend"), std::string::npos);
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_NE(results[2].error.find("non-negative"), std::string::npos);
+  EXPECT_TRUE(results[3].ok);
+  EXPECT_EQ(results[0].report->distances, results[3].report->distances);
+}
+
+TEST(BatchRunner, EmptyBatchIsEmpty) {
+  EXPECT_TRUE(BatchRunner().run({}).empty());
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,99 @@
+// Tests for ExecutionContext: the determinism contract (same seed => same
+// report, for every backend), schedule-independent forking, and ledger
+// accumulation across runs.
+#include "api/execution_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include "api/registry.hpp"
+#include "graph/generators.hpp"
+
+namespace qclique {
+namespace {
+
+Digraph test_graph(std::uint32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_digraph(n, 0.5, -4, 9, rng);
+}
+
+TEST(ExecutionContext, SameSeedSameRngStream) {
+  ExecutionContext a(77), b(77);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+}
+
+TEST(ExecutionContext, ForkIsDeterministicAndIndependentOfParentUse) {
+  ExecutionContext a(5), b(5);
+  // Consume randomness from one parent only: forks must still agree.
+  for (int i = 0; i < 10; ++i) a.rng().next_u64();
+  ExecutionContext fa = a.fork(3), fb = b.fork(3);
+  EXPECT_EQ(fa.seed(), fb.seed());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.rng().next_u64(), fb.rng().next_u64());
+  // Different salts give decorrelated streams.
+  EXPECT_NE(b.fork(3).seed(), b.fork(4).seed());
+}
+
+TEST(ExecutionContext, ForkInheritsConfiguration) {
+  ExecutionContext ctx(1);
+  ctx.network_config().fields_per_message = 2;
+  ctx.network_config().strict_payload = false;
+  ctx.set_num_threads(3);
+  ctx.set_check_negative_cycles(false);
+  const ExecutionContext child = ctx.fork(0);
+  EXPECT_EQ(child.network_config().fields_per_message, 2u);
+  EXPECT_FALSE(child.network_config().strict_payload);
+  EXPECT_EQ(child.num_threads(), 3u);
+  EXPECT_FALSE(child.check_negative_cycles());
+}
+
+// Same seed => identical ApspReport, for every registered backend. This is
+// the reproducibility contract benches and CI regression checks rely on.
+class ContextDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ContextDeterminism, SameSeedSameReport) {
+  const std::string name = GetParam();
+  const ApspSolver& solver = SolverRegistry::instance().get(name);
+  const Digraph g = test_graph(9, 2);
+
+  ExecutionContext c1(4242), c2(4242);
+  const ApspReport r1 = solver.solve(g, c1);
+  const ApspReport r2 = solver.solve(g, c2);
+
+  EXPECT_EQ(r1.distances, r2.distances);
+  EXPECT_EQ(r1.rounds, r2.rounds);
+  EXPECT_EQ(r1.metrics, r2.metrics);
+  EXPECT_EQ(r1.ledger.total_rounds(), r2.ledger.total_rounds());
+  EXPECT_EQ(r1.ledger.total_messages(), r2.ledger.total_messages());
+  EXPECT_EQ(r1.ledger.total_oracle_calls(), r2.ledger.total_oracle_calls());
+  EXPECT_EQ(r1.solver, name);
+  EXPECT_EQ(r1.n, g.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ContextDeterminism,
+                         ::testing::Values("quantum", "classical-search",
+                                           "semiring", "dense-squaring",
+                                           "floyd-warshall", "johnson",
+                                           "bellman-ford"));
+
+TEST(ExecutionContext, LedgerAccumulatesAcrossRuns) {
+  const Digraph g = test_graph(8, 3);
+  const ApspSolver& solver = SolverRegistry::instance().get("semiring");
+  ExecutionContext ctx(9);
+  const ApspReport r1 = solver.solve(g, ctx);
+  const std::uint64_t after_one = ctx.ledger().total_rounds();
+  EXPECT_EQ(after_one, r1.ledger.total_rounds());
+  solver.solve(g, ctx);
+  EXPECT_EQ(ctx.ledger().total_rounds(), 2 * after_one);
+}
+
+TEST(ApspReport, JsonExportContainsSolverAndLedger) {
+  const Digraph g = test_graph(8, 4);
+  ExecutionContext ctx(11);
+  const ApspReport r = SolverRegistry::instance().get("semiring").solve(g, ctx);
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"solver\":\"semiring\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_rounds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"products\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qclique

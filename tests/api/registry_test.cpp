@@ -1,0 +1,104 @@
+// Tests for the SolverRegistry: builtin population, lookup semantics,
+// duplicate rejection, and capability flags harnesses dispatch on.
+#include "api/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qclique {
+namespace {
+
+class NullSolver : public ApspSolver {
+ public:
+  explicit NullSolver(std::string name) : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  std::string description() const override { return "test stub"; }
+  SolverCapabilities capabilities() const override { return {}; }
+
+ protected:
+  ApspReport do_solve(const Digraph& g, ExecutionContext&) const override {
+    return ApspReport(g.size());
+  }
+
+ private:
+  std::string name_;
+};
+
+TEST(SolverRegistry, BuiltinBackendsAreRegistered) {
+  SolverRegistry& r = SolverRegistry::instance();
+  for (const char* name : {"quantum", "classical-search", "semiring",
+                           "dense-squaring", "floyd-warshall", "johnson",
+                           "bellman-ford", "dijkstra"}) {
+    EXPECT_TRUE(r.contains(name)) << name;
+    EXPECT_EQ(r.get(name).name(), name);
+    EXPECT_FALSE(r.get(name).description().empty()) << name;
+  }
+  EXPECT_GE(r.size(), 8u);
+}
+
+TEST(SolverRegistry, NamesAreSortedAndMatchSize) {
+  SolverRegistry& r = SolverRegistry::instance();
+  const auto names = r.names();
+  EXPECT_EQ(names.size(), r.size());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(SolverRegistry, UnknownNameThrowsListingKnownBackends) {
+  SolverRegistry& r = SolverRegistry::instance();
+  EXPECT_FALSE(r.contains("no-such-solver"));
+  try {
+    r.get("no-such-solver");
+    FAIL() << "expected SimulationError";
+  } catch (const SimulationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-solver"), std::string::npos);
+    EXPECT_NE(what.find("quantum"), std::string::npos) << "should list known names";
+  }
+}
+
+TEST(SolverRegistry, DuplicateRegistrationThrows) {
+  SolverRegistry r;
+  r.add(std::make_unique<NullSolver>("stub"));
+  EXPECT_TRUE(r.contains("stub"));
+  EXPECT_THROW(r.add(std::make_unique<NullSolver>("stub")), SimulationError);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(SolverRegistry, NullAndEmptyNamedSolversRejected) {
+  SolverRegistry r;
+  EXPECT_THROW(r.add(nullptr), SimulationError);
+  EXPECT_THROW(r.add(std::make_unique<NullSolver>("")), SimulationError);
+}
+
+TEST(SolverRegistry, PrivateRegistryGetsSameBuiltins) {
+  SolverRegistry r;
+  register_builtin_solvers(r);
+  EXPECT_EQ(r.names(), SolverRegistry::instance().names());
+}
+
+TEST(SolverRegistry, CapabilityFlags) {
+  SolverRegistry& r = SolverRegistry::instance();
+  EXPECT_TRUE(r.get("quantum").capabilities().quantum);
+  EXPECT_TRUE(r.get("quantum").capabilities().distributed);
+  EXPECT_FALSE(r.get("classical-search").capabilities().quantum);
+  EXPECT_TRUE(r.get("classical-search").capabilities().distributed);
+  EXPECT_TRUE(r.get("semiring").capabilities().distributed);
+  EXPECT_FALSE(r.get("floyd-warshall").capabilities().distributed);
+  EXPECT_FALSE(r.get("dijkstra").capabilities().negative_weights);
+  EXPECT_TRUE(r.get("johnson").capabilities().negative_weights);
+}
+
+TEST(SolverRegistry, NonNegativeOnlySolverRejectsNegativeArcs) {
+  Digraph g(3);
+  g.set_arc(0, 1, -2);
+  g.set_arc(1, 2, 5);
+  ExecutionContext ctx(1);
+  EXPECT_THROW(SolverRegistry::instance().get("dijkstra").solve(g, ctx),
+               SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

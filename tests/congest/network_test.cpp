@@ -66,6 +66,64 @@ TEST(CliqueNetwork, NonStrictPayloadSplitsAcrossRounds) {
   EXPECT_EQ(net.inbox(1)[2].payload.at(0), 5);
 }
 
+TEST(CliqueNetwork, SplitPreservesEveryFieldTagAndOrder) {
+  // Regression: the non-strict split must deliver every field exactly once,
+  // in order, with the original tag on each chunk.
+  CliqueNetwork net(4, NetworkConfig{.fields_per_message = 2, .strict_payload = false});
+  net.send(0, 1, Payload::make(9, {10, 11, 12, 13, 14}));
+  net.run_until_drained("p");
+  std::vector<std::int64_t> fields;
+  for (const Message& m : net.inbox(1)) {
+    EXPECT_EQ(m.payload.tag, 9u);
+    EXPECT_LE(m.payload.size, 2u);
+    for (std::size_t i = 0; i < m.payload.size; ++i) fields.push_back(m.payload.at(i));
+  }
+  EXPECT_EQ(fields, (std::vector<std::int64_t>{10, 11, 12, 13, 14}));
+}
+
+TEST(CliqueNetwork, SplitOnExactMultipleProducesNoEmptyChunk) {
+  // 4 fields at 2/message: exactly 2 full chunks, no trailing empty one.
+  CliqueNetwork net(4, NetworkConfig{.fields_per_message = 2, .strict_payload = false});
+  net.send(0, 1, Payload::make(3, {1, 2, 3, 4}));
+  EXPECT_EQ(net.pending_messages(), 2u);
+  EXPECT_EQ(net.run_until_drained("p"), 2u);
+  ASSERT_EQ(net.inbox(1).size(), 2u);
+  EXPECT_EQ(net.inbox(1)[0].payload.size, 2u);
+  EXPECT_EQ(net.inbox(1)[1].payload.size, 2u);
+}
+
+TEST(CliqueNetwork, SplitChargesOneMessagePerChunkOnTheLedger) {
+  // The round/message accounting must see the chunks, not the logical send:
+  // a max-capacity payload over a width-1 budget is 6 link messages.
+  CliqueNetwork net(4, NetworkConfig{.fields_per_message = 1, .strict_payload = false});
+  net.send(0, 1, Payload::make(0, {1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(net.max_link_load(), 6u);
+  EXPECT_EQ(net.run_until_drained("p"), 6u);
+  EXPECT_EQ(net.ledger().total_messages(), 6u);
+  EXPECT_EQ(net.ledger().phase_rounds("p"), 6u);
+}
+
+TEST(CliqueNetwork, SplitKeepsPerLinkFifoWithLaterSends) {
+  // A follow-up send on the same link must drain after all chunks of the
+  // earlier oversized payload.
+  CliqueNetwork net(4, NetworkConfig{.fields_per_message = 2, .strict_payload = false});
+  net.send(0, 1, Payload::make(1, {1, 2, 3}));  // chunks {1,2} {3}
+  net.send(0, 1, Payload::make(2, {7}));
+  net.run_until_drained("p");
+  ASSERT_EQ(net.inbox(1).size(), 3u);
+  EXPECT_EQ(net.inbox(1)[0].payload.tag, 1u);
+  EXPECT_EQ(net.inbox(1)[1].payload.tag, 1u);
+  EXPECT_EQ(net.inbox(1)[1].payload.at(0), 3);
+  EXPECT_EQ(net.inbox(1)[2].payload.tag, 2u);
+}
+
+TEST(CliqueNetwork, FittingPayloadNeverSplitsInNonStrictMode) {
+  CliqueNetwork net(4, NetworkConfig{.fields_per_message = 4, .strict_payload = false});
+  net.send(0, 1, Payload::make(0, {1, 2, 3, 4}));
+  EXPECT_EQ(net.pending_messages(), 1u);
+  EXPECT_EQ(net.run_until_drained("p"), 1u);
+}
+
 TEST(CliqueNetwork, SelfMessageRejected) {
   CliqueNetwork net(4);
   EXPECT_THROW(net.send(2, 2, Payload::make(0, {1})), SimulationError);

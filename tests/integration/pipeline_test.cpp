@@ -2,11 +2,11 @@
 // agree with each other on shared problems, under parameter sweeps.
 #include <gtest/gtest.h>
 
-#include "baseline/classical_apsp.hpp"
+#include "api/registry.hpp"
 #include "baseline/shortest_paths.hpp"
 #include "baseline/tri_tri_again.hpp"
 #include "common/rng.hpp"
-#include "core/apsp.hpp"
+#include "core/distance_product.hpp"
 #include "core/find_edges.hpp"
 #include "graph/generators.hpp"
 #include "graph/triangles.hpp"
@@ -70,12 +70,13 @@ TEST_P(ApspAgreement, AllSolversAgree) {
   const auto oracle = floyd_warshall(g);
   ASSERT_TRUE(oracle.has_value());
 
-  const auto classical = classical_apsp(g);
+  SolverRegistry& registry = SolverRegistry::instance();
+  ExecutionContext cctx(tc.seed);
+  const auto classical = registry.get("semiring").solve(g, cctx);
   EXPECT_EQ(classical.distances, *oracle) << "classical distributed";
 
-  QuantumApspOptions opt;
-  Rng r1 = rng.split();
-  const auto quantum = quantum_apsp(g, opt, r1);
+  ExecutionContext qctx(tc.seed);
+  const auto quantum = registry.get("quantum").solve(g, qctx);
   EXPECT_EQ(quantum.distances, *oracle)
       << "quantum: " << quantum.distances.first_difference(*oracle);
 }
@@ -94,8 +95,8 @@ TEST(PipelineIntegration, WideWeightRangeStressesBinarySearch) {
   const auto g = random_digraph(8, 0.5, -2500, 5000, rng);
   const auto oracle = floyd_warshall(g);
   ASSERT_TRUE(oracle.has_value());
-  QuantumApspOptions opt;
-  const auto res = quantum_apsp(g, opt, rng);
+  ExecutionContext ctx(77);
+  const auto res = SolverRegistry::instance().get("quantum").solve(g, ctx);
   EXPECT_EQ(res.distances, *oracle);
 }
 
@@ -134,8 +135,8 @@ TEST(PipelineIntegration, HotPairCountsConsistentAcrossSampledRuns) {
 TEST(PipelineIntegration, RoundLedgersAreInternallyConsistent) {
   Rng rng(80);
   const auto g = random_digraph(8, 0.5, -4, 8, rng);
-  QuantumApspOptions opt;
-  const auto res = quantum_apsp(g, opt, rng);
+  ExecutionContext ctx(80);
+  const auto res = SolverRegistry::instance().get("quantum").solve(g, ctx);
   std::uint64_t phase_sum = 0;
   for (const auto& [name, stats] : res.ledger.phases()) phase_sum += stats.rounds;
   EXPECT_EQ(phase_sum, res.ledger.total_rounds());
