@@ -64,8 +64,44 @@ int main() {
   }
 
   table.print("All backends x all graphs");
+
+  // ---- Topology axis (bench_transport's sibling table): the distributed
+  // backends re-run on every registered topology. Distances must not depend
+  // on the communication model -- only rounds do. Sparse topologies reject
+  // some runs structurally (e.g. a disconnected communication graph has no
+  // route); those rows report the error instead of failing the bench.
+  Table topo_table({"topology", "solver", "rounds", "msgs", "wall ms", "agrees"});
+  bool topo_agree = true;
+  {
+    const std::uint32_t n = 10;
+    Rng rng(99);
+    const auto g = random_digraph(n, 0.6, -4, 16, rng);
+    ExecutionContext oracle_ctx(1);
+    const DistMatrix reference =
+        registry.get("floyd-warshall").solve(g, oracle_ctx).distances;
+    for (const auto& topology : TopologyRegistry::instance().names()) {
+      for (const std::string solver : {"quantum", "classical-search", "semiring"}) {
+        ExecutionContext ctx(8100 + n);
+        ctx.set_topology(topology);
+        try {
+          const ApspReport report = registry.get(solver).solve(g, ctx);
+          const bool agrees = report.distances == reference;
+          topo_agree = topo_agree && agrees;
+          topo_table.add_row({topology, solver, Table::fmt(report.rounds),
+                              Table::fmt(report.ledger.total_messages()),
+                              Table::fmt(report.wall_ms, 2),
+                              agrees ? "yes" : "NO"});
+        } catch (const std::exception& e) {
+          topo_table.add_row({topology, solver, "-", "-", "-",
+                              std::string("rejected: ") + e.what()});
+        }
+      }
+    }
+  }
+  topo_table.print("Distributed backends x topologies (n=10)");
+
   std::cout << "\nCross-backend agreement: " << (all_agree ? "yes" : "NO")
             << "\nParallel == serial determinism: " << (deterministic ? "yes" : "NO")
-            << "\n";
-  return all_agree && deterministic ? 0 : 1;
+            << "\nCross-topology agreement: " << (topo_agree ? "yes" : "NO") << "\n";
+  return all_agree && deterministic && topo_agree ? 0 : 1;
 }

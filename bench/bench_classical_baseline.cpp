@@ -9,6 +9,7 @@
 #include "baseline/semiring_product.hpp"
 #include "baseline/tri_tri_again.hpp"
 #include "common/math.hpp"
+#include "congest/network.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"

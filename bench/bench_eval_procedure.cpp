@@ -11,6 +11,7 @@
 #include "common/table.hpp"
 #include "core/evaluation.hpp"
 #include "graph/generators.hpp"
+#include "congest/network.hpp"
 
 int main() {
   using namespace qclique;

@@ -12,6 +12,7 @@
 #include "common/table.hpp"
 #include "core/identify_class.hpp"
 #include "graph/generators.hpp"
+#include "congest/network.hpp"
 
 int main() {
   using namespace qclique;

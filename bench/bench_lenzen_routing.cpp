@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "congest/lenzen.hpp"
+#include "congest/network.hpp"
 
 int main() {
   using namespace qclique;

@@ -11,6 +11,7 @@
 #include "graph/generators.hpp"
 #include "matrix/min_plus.hpp"
 #include "quantum/statevector.hpp"
+#include "congest/network.hpp"
 
 namespace {
 

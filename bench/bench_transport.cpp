@@ -1,0 +1,215 @@
+// Experiment E15: transport-layer drain throughput.
+//
+// Three questions, one table each:
+//   1. Layout: does the flat round-bucketed message arena beat the seed's
+//      per-link std::deque array on the all-to-all drain hot path? The old
+//      layout is reproduced verbatim below (DequeClique) so the comparison
+//      survives the seed implementation's replacement; acceptance is
+//      arena >= deque throughput for every n >= 128.
+//   2. Topology: what does the same all-to-all batch cost (rounds and wall
+//      time) on every registered topology? Clique drains in one round;
+//      sparse transports pay relaying, which is the scenario axis this PR
+//      opens.
+//   3. Instrumentation: the TrafficMatrix export for the clique run, next
+//      to the ledger JSON, so harnesses can persist per-link load.
+#include <chrono>
+#include <deque>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "congest/network.hpp"
+#include "congest/transport.hpp"
+#include "core/round_model.hpp"
+
+namespace qclique {
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The seed's CliqueNetwork storage layout, kept as the bench baseline: one
+/// std::deque per ordered pair plus a busy-link index. Semantically
+/// identical to the arena clique (same rounds, same per-link FIFO); only
+/// the memory layout differs.
+class DequeClique {
+ public:
+  explicit DequeClique(std::uint32_t n)
+      : n_(n),
+        links_(static_cast<std::size_t>(n) * n),
+        inboxes_(n),
+        link_busy_flag_(static_cast<std::size_t>(n) * n, 0) {}
+
+  void send(NodeId src, NodeId dst, const Payload& payload) {
+    const std::size_t li = static_cast<std::size_t>(src) * n_ + dst;
+    links_[li].push_back(payload);
+    if (!link_busy_flag_[li]) {
+      link_busy_flag_[li] = 1;
+      busy_links_.push_back(li);
+    }
+    ++pending_;
+  }
+
+  void step() {
+    std::vector<std::size_t> still_busy;
+    still_busy.reserve(busy_links_.size());
+    for (std::size_t li : busy_links_) {
+      auto& q = links_[li];
+      const NodeId src = static_cast<NodeId>(li / n_);
+      const NodeId dst = static_cast<NodeId>(li % n_);
+      inboxes_[dst].push_back(Message{src, dst, q.front()});
+      q.pop_front();
+      --pending_;
+      if (!q.empty()) {
+        still_busy.push_back(li);
+      } else {
+        link_busy_flag_[li] = 0;
+      }
+    }
+    busy_links_ = std::move(still_busy);
+  }
+
+  std::uint64_t drain() {
+    std::uint64_t rounds = 0;
+    while (pending_ > 0) {
+      step();
+      ++rounds;
+    }
+    return rounds;
+  }
+
+  void clear_inboxes() {
+    for (auto& box : inboxes_) box.clear();
+  }
+
+  std::uint64_t delivered() const {
+    std::uint64_t d = 0;
+    for (const auto& box : inboxes_) d += box.size();
+    return d;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::deque<Payload>> links_;
+  std::vector<std::vector<Message>> inboxes_;
+  std::vector<std::size_t> busy_links_;
+  std::vector<char> link_busy_flag_;
+  std::uint64_t pending_ = 0;
+};
+
+/// One all-to-all wave: every ordered pair carries `waves` messages.
+template <typename Net>
+std::uint64_t send_all_to_all(Net& net, std::uint32_t n, std::uint32_t waves) {
+  std::uint64_t sent = 0;
+  for (std::uint32_t wave = 0; wave < waves; ++wave) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (u == v) continue;
+        net.send(u, v, Payload::make(1, {static_cast<std::int64_t>(wave)}));
+        ++sent;
+      }
+    }
+  }
+  return sent;
+}
+
+}  // namespace
+}  // namespace qclique
+
+int main() {
+  using namespace qclique;
+  std::cout << "E15: transport drain throughput (flat arena vs deque layout, "
+               "per-topology)\n\n";
+
+  // ---- 1. Layout shoot-out on the clique all-to-all drain. ------------------
+  Table layout({"n", "waves", "msgs", "deque ms", "arena ms", "speedup",
+                "arena wins"});
+  bool arena_wins_all_large = true;
+  const std::uint32_t kWaves = 4;
+  const int kReps = 3;
+  for (const std::uint32_t n : {32u, 64u, 128u, 192u, 256u, 384u}) {
+    double deque_ms = 0.0, arena_ms = 0.0;
+    std::uint64_t msgs = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      {
+        DequeClique old_net(n);
+        const double t0 = now_ms();
+        msgs = send_all_to_all(old_net, n, kWaves);
+        const std::uint64_t rounds = old_net.drain();
+        deque_ms += now_ms() - t0;
+        if (rounds != kWaves || old_net.delivered() != msgs) {
+          std::cout << "deque layout misbehaved\n";
+          return 1;
+        }
+        old_net.clear_inboxes();
+      }
+      {
+        CliqueNetwork net(n);
+        const double t0 = now_ms();
+        send_all_to_all(net, n, kWaves);
+        const std::uint64_t rounds = net.run_until_drained("drain");
+        arena_ms += now_ms() - t0;
+        std::uint64_t delivered = 0;
+        for (NodeId v = 0; v < n; ++v) delivered += net.inbox(v).size();
+        if (rounds != kWaves || delivered != msgs) {
+          std::cout << "arena layout misbehaved\n";
+          return 1;
+        }
+        net.clear_inboxes();
+      }
+    }
+    const bool wins = arena_ms <= deque_ms;
+    if (n >= 128) arena_wins_all_large = arena_wins_all_large && wins;
+    layout.add_row({Table::fmt(static_cast<std::uint64_t>(n)),
+                    Table::fmt(static_cast<std::uint64_t>(kWaves)),
+                    Table::fmt(msgs), Table::fmt(deque_ms / kReps, 2),
+                    Table::fmt(arena_ms / kReps, 2),
+                    Table::fmt(deque_ms / arena_ms, 2), wins ? "yes" : "NO"});
+  }
+  layout.print("All-to-all drain: seed deque layout vs flat arena");
+
+  // ---- 2. The same batch across every registered topology. ------------------
+  // "model hops" is RoundModel::for_topology's transport dilation -- the
+  // analytic per-message hop estimate the prediction benches scale by; the
+  // measured "phys/msgs" column (average physical traversals per logical
+  // message) is its empirical counterpart.
+  Table topo({"topology", "n", "msgs", "rounds", "wall ms", "max link",
+              "phys/msgs", "model hops"});
+  for (const std::uint32_t n : {32u, 64u}) {
+    for (const std::string& name : TopologyRegistry::instance().names()) {
+      TransportOptions options;
+      options.topology = name;
+      options.record_traffic = true;
+      auto net = make_network(n, options);
+      const double t0 = now_ms();
+      const std::uint64_t msgs = send_all_to_all(*net, n, 1);
+      const std::uint64_t rounds = net->run_until_drained("drain");
+      const double ms = now_ms() - t0;
+      const RoundModel model = RoundModel::for_topology(name, n);
+      topo.add_row({name, Table::fmt(static_cast<std::uint64_t>(n)),
+                    Table::fmt(msgs), Table::fmt(rounds), Table::fmt(ms, 2),
+                    Table::fmt(net->traffic()->max_load()),
+                    Table::fmt(static_cast<double>(net->traffic()->total()) /
+                                   static_cast<double>(msgs),
+                               2),
+                    Table::fmt(model.topology_dilation, 2)});
+    }
+  }
+  topo.print("All-to-all batch per topology (1 wave)");
+
+  // ---- 3. Instrumentation export (ledger + traffic side by side). -----------
+  {
+    CliqueNetwork net(16);
+    net.enable_traffic_matrix();
+    send_all_to_all(net, 16, 2);
+    net.run_until_drained("drain");
+    std::cout << "\nledger:  " << net.ledger().to_json()
+              << "\ntraffic: " << net.traffic()->to_json() << "\n";
+  }
+
+  std::cout << "\nArena beats deque at every n >= 128: "
+            << (arena_wins_all_large ? "yes" : "NO") << "\n";
+  return arena_wins_all_large ? 0 : 1;
+}

@@ -1,12 +1,14 @@
 // Quickstart: solve APSP on a small weighted digraph through the unified
 // solver API and inspect the result.
 //
-//   $ ./example_quickstart [solver]
+//   $ ./example_quickstart [solver] [topology]
 //
 // Walks through the public API end to end: build a graph, look a backend up
-// in the SolverRegistry (default: the quantum Theorem 1 pipeline), solve
-// under an ExecutionContext, verify against the "floyd-warshall" reference
-// backend, and print the distance matrix plus the round-cost breakdown.
+// in the SolverRegistry (default: the quantum Theorem 1 pipeline), pick a
+// communication topology from the TopologyRegistry (default: "clique"),
+// solve under an ExecutionContext, verify against the "floyd-warshall"
+// reference backend, and print the distance matrix plus the round-cost
+// breakdown.
 #include <iostream>
 
 #include "api/registry.hpp"
@@ -16,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace qclique;
   const std::string solver_name = argc > 1 ? argv[1] : "quantum";
+  const std::string topology_name = argc > 2 ? argv[2] : "clique";
 
   // A little 8-vertex digraph with negative (but cycle-safe) weights.
   Digraph g(8);
@@ -42,8 +45,15 @@ int main(int argc, char** argv) {
               << " -- " << s.description() << "\n";
   }
 
-  // Solve through the selected backend under a seeded context.
+  std::cout << "Registered topologies:";
+  for (const std::string& name : TopologyRegistry::instance().names()) {
+    std::cout << " " << name;
+  }
+  std::cout << "\n";
+
+  // Solve through the selected backend and topology under a seeded context.
   ExecutionContext ctx(2024);
+  ctx.set_topology(topology_name);
   ApspReport report(g.size());
   try {
     report = registry.get(solver_name).solve(g, ctx);

@@ -10,13 +10,26 @@
 #    non-zero when the solver's distances disagree with floyd-warshall),
 # 4. smoke-run the BatchRunner backend matrix (exits non-zero unless all
 #    registered backends agree and parallel == serial determinism holds).
+# Set QCLIQUE_SANITIZE=address,undefined (any -fsanitize= value) to run the
+# whole suite under sanitizers; any finding aborts (abort_on_error /
+# -fno-sanitize-recover), so CI fails on the first report.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
+CMAKE_EXTRA_ARGS=()
+if [[ -n "${QCLIQUE_SANITIZE:-}" ]]; then
+  SAN_FLAGS="-fsanitize=${QCLIQUE_SANITIZE} -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  CMAKE_EXTRA_ARGS+=("-DCMAKE_CXX_FLAGS=${SAN_FLAGS}"
+                     "-DCMAKE_EXE_LINKER_FLAGS=${SAN_FLAGS}")
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+  echo "== sanitizers: ${QCLIQUE_SANITIZE} =="
+fi
+
 echo "== configure =="
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "${CMAKE_EXTRA_ARGS[@]}"
 
 echo "== build =="
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -31,5 +44,8 @@ echo "== smoke: quickstart via SolverRegistry =="
 
 echo "== smoke: BatchRunner backend matrix =="
 "$BUILD_DIR/bench_backend_matrix" > /dev/null
+
+echo "== smoke: transport layouts and topologies =="
+"$BUILD_DIR/bench_transport" > /dev/null
 
 echo "OK: build, tests, and API smoke runs all passed."

@@ -41,6 +41,7 @@ class PipelineSolver : public ApspSolver {
     QuantumApspOptions options;
     options.check_negative_cycles = ctx.check_negative_cycles();
     options.product.find_edges.compute_pairs.use_quantum = use_quantum_;
+    options.transport() = ctx.transport();
     const QuantumApspResult res = quantum_apsp(g, options, ctx.rng());
 
     ApspReport report(g.size());
@@ -73,7 +74,7 @@ class SemiringSolver : public ApspSolver {
 
  protected:
   ApspReport do_solve(const Digraph& g, ExecutionContext& ctx) const override {
-    const ApspResult res = classical_apsp(g, ctx.network_config());
+    const ApspResult res = classical_apsp(g, ctx.transport());
     ApspReport report(g.size());
     report.distances = res.distances;
     report.rounds = res.rounds;

@@ -1,19 +1,21 @@
 // Execution environment shared by every solver backend.
 //
 // An ExecutionContext bundles everything a solver run needs besides the
-// input graph: the deterministic RNG stream, the simulated-network
-// configuration, the ledger that accumulates round costs across runs, and
-// the parallelism knobs harnesses use when fanning out jobs. One context =
-// one reproducible stream of work: constructing two contexts from the same
-// seed and replaying the same calls yields bit-identical results, which is
-// what makes cross-backend comparisons and CI regression checks meaningful.
+// input graph: the deterministic RNG stream, the transport options that
+// select and configure the simulated communication topology, the ledger
+// that accumulates round costs across runs, and the parallelism knobs
+// harnesses use when fanning out jobs. One context = one reproducible
+// stream of work: constructing two contexts from the same seed and
+// replaying the same calls yields bit-identical results, which is what
+// makes cross-backend comparisons and CI regression checks meaningful.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.hpp"
-#include "congest/network.hpp"
 #include "congest/round_ledger.hpp"
+#include "congest/transport.hpp"
 
 namespace qclique {
 
@@ -21,7 +23,7 @@ namespace qclique {
 inline constexpr std::uint64_t kDefaultExecutionSeed = 0x51c1197eULL;
 
 /// Owns the per-run mutable state (Rng, RoundLedger) plus the static knobs
-/// (NetworkConfig, thread count) that solvers and harnesses read.
+/// (TransportOptions, thread count) that solvers and harnesses read.
 class ExecutionContext {
  public:
   explicit ExecutionContext(std::uint64_t seed = kDefaultExecutionSeed)
@@ -34,10 +36,28 @@ class ExecutionContext {
   /// from `rng().split()` children), never from global state.
   Rng& rng() { return rng_; }
 
-  /// Configuration applied to every CliqueNetwork a solver builds under
-  /// this context (per-message field budget, strict-payload policy).
-  NetworkConfig& network_config() { return network_config_; }
-  const NetworkConfig& network_config() const { return network_config_; }
+  /// Transport scenario applied to every network a solver builds under
+  /// this context: the topology (TopologyRegistry key), the NetworkConfig
+  /// (per-message field budget, strict-payload policy), and the
+  /// per-topology parameters (degree cap, explicit link set, traffic
+  /// instrumentation).
+  TransportOptions& transport() { return transport_; }
+  const TransportOptions& transport() const { return transport_; }
+
+  /// The transport's topology name ("clique" by default).
+  const std::string& topology() const { return transport_.topology; }
+  void set_topology(std::string name) { transport_.topology = std::move(name); }
+
+  /// The NetworkConfig inside the transport options (kept as a named
+  /// accessor because most callers only tune the bandwidth model).
+  NetworkConfig& network_config() { return transport_.config; }
+  const NetworkConfig& network_config() const { return transport_.config; }
+
+  /// Builds an n-node network for this context's transport options through
+  /// the TopologyRegistry.
+  std::unique_ptr<Network> make_network(std::uint32_t n) const {
+    return qclique::make_network(n, transport_);
+  }
 
   /// Ledger accumulating the cost of every solve run executed directly on
   /// this context. Individual runs also report their own per-run ledger in
@@ -62,7 +82,7 @@ class ExecutionContext {
   ExecutionContext fork(std::uint64_t salt) const {
     std::uint64_t s = seed_ ^ (0x9e3779b97f4a7c15ULL + salt);
     ExecutionContext child(splitmix64(s));
-    child.network_config_ = network_config_;
+    child.transport_ = transport_;
     child.num_threads_ = num_threads_;
     child.check_negative_cycles_ = check_negative_cycles_;
     return child;
@@ -71,7 +91,7 @@ class ExecutionContext {
  private:
   std::uint64_t seed_;
   Rng rng_;
-  NetworkConfig network_config_;
+  TransportOptions transport_;
   RoundLedger ledger_;
   unsigned num_threads_ = 0;
   bool check_negative_cycles_ = true;

@@ -17,6 +17,7 @@ ApspReport ApspSolver::solve(const Digraph& g, ExecutionContext& ctx) const {
   const auto stop = std::chrono::steady_clock::now();
 
   report.solver = name();
+  report.topology = ctx.topology();
   report.n = g.size();
   report.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
@@ -34,7 +35,8 @@ ApspReport ApspSolver::solve(const Digraph& g, ExecutionContext& ctx) const {
 
 std::string ApspReport::to_json() const {
   std::ostringstream out;
-  out << "{\"solver\":" << json_quote(solver) << ",\"n\":" << n
+  out << "{\"solver\":" << json_quote(solver)
+      << ",\"topology\":" << json_quote(topology) << ",\"n\":" << n
       << ",\"rounds\":" << rounds << ",\"wall_ms\":" << wall_ms
       << ",\"metrics\":{";
   bool first = true;

@@ -33,6 +33,7 @@ struct SolverCapabilities {
 /// Uniform result of one solve run, whatever the backend.
 struct ApspReport {
   std::string solver;        // registry name of the backend that ran
+  std::string topology;      // transport the run was measured on
   std::uint32_t n = 0;       // input size
   DistMatrix distances;      // the APSP matrix
   std::uint64_t rounds = 0;  // simulated CONGEST-CLIQUE rounds (0 = oracle)

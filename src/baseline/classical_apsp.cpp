@@ -1,15 +1,20 @@
 #include "baseline/classical_apsp.hpp"
 
+#include <memory>
+
 #include "baseline/semiring_product.hpp"
 #include "common/error.hpp"
-#include "congest/network.hpp"
+#include "congest/transport.hpp"
 
 namespace qclique {
 
-ApspResult classical_apsp(const Digraph& g, const NetworkConfig& net_config) {
+ApspResult classical_apsp(const Digraph& g, const TransportOptions& transport) {
   const std::uint32_t n = g.size();
   ApspResult res(n);
-  CliqueNetwork net(std::max<std::uint32_t>(n, 2), net_config);
+  const std::uint32_t net_n = std::max<std::uint32_t>(n, 2);
+  const std::unique_ptr<Network> net_ptr = make_network_for(
+      net_n, transport, [&g] { return g.symmetric_adjacency(); });
+  Network& net = *net_ptr;
 
   DistMatrix acc = g.to_dist_matrix();
   std::uint64_t covered = 1;
@@ -25,6 +30,12 @@ ApspResult classical_apsp(const Digraph& g, const NetworkConfig& net_config) {
   res.rounds = net.ledger().total_rounds();
   res.ledger = net.ledger();
   return res;
+}
+
+ApspResult classical_apsp(const Digraph& g, const NetworkConfig& net_config) {
+  TransportOptions transport;
+  transport.config = net_config;
+  return classical_apsp(g, transport);
 }
 
 }  // namespace qclique

@@ -6,8 +6,8 @@
 
 #include <cstdint>
 
-#include "congest/network.hpp"
 #include "congest/round_ledger.hpp"
+#include "congest/transport.hpp"
 #include "graph/digraph.hpp"
 #include "matrix/dist_matrix.hpp"
 
@@ -23,11 +23,16 @@ struct ApspResult {
   explicit ApspResult(std::uint32_t n) : distances(n) {}
 };
 
-/// Runs the classical baseline APSP on a fresh simulated clique of g.size()
-/// nodes (configured by `net_config`): A_G is raised to the (n-1)-th
-/// min-plus power via repeated squaring, each product running the
-/// distributed semiring algorithm. Precondition: no negative cycles
-/// (checked against the diagonal; throws SimulationError if violated).
-ApspResult classical_apsp(const Digraph& g, const NetworkConfig& net_config = {});
+/// Runs the classical baseline APSP on a fresh simulated network of
+/// g.size() nodes built from `transport` (topology + NetworkConfig; for
+/// graph-induced "congest" links the digraph's arcs, symmetrized, become
+/// the communication graph): A_G is raised to the (n-1)-th min-plus power
+/// via repeated squaring, each product running the distributed semiring
+/// algorithm. Precondition: no negative cycles (checked against the
+/// diagonal; throws SimulationError if violated).
+ApspResult classical_apsp(const Digraph& g, const TransportOptions& transport = {});
+
+/// Back-compat convenience: clique topology with `net_config`.
+ApspResult classical_apsp(const Digraph& g, const NetworkConfig& net_config);
 
 }  // namespace qclique

@@ -22,7 +22,7 @@ NodeId cube_node(std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_
 
 }  // namespace
 
-DistributedProductResult semiring_distance_product(CliqueNetwork& net,
+DistributedProductResult semiring_distance_product(Network& net,
                                                    const DistMatrix& a,
                                                    const DistMatrix& b) {
   const std::uint32_t n = a.size();

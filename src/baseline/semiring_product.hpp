@@ -13,8 +13,10 @@
 //     Lemma 1 routing), computes its partial block locally, and
 //   * partial results are min-combined at the row owners (another n^{4/3}
 //     entries per node, O(n^{1/3}) rounds).
-// The implementation runs genuinely on the CliqueNetwork: all traffic goes
-// through route() batches, so the reported rounds come from measured loads.
+// The implementation runs genuinely on the Network transport: all traffic
+// goes through route() batches, so the reported rounds come from measured
+// loads (and the Lemma 1 charge degrades to stepped delivery on non-clique
+// topologies -- see congest/lenzen.hpp).
 //
 // This is the paper's classical comparison point: Theorem 1's O~(n^{1/4})
 // quantum algorithm beats this O~(n^{1/3}) bound.
@@ -22,7 +24,7 @@
 
 #include <cstdint>
 
-#include "congest/network.hpp"
+#include "congest/transport.hpp"
 #include "matrix/dist_matrix.hpp"
 
 namespace qclique {
@@ -40,7 +42,7 @@ struct DistributedProductResult {
 /// (node i holds row i of A and row i of B), and on return node i holds row
 /// i of the product (the full matrix is also returned for convenience).
 /// Rounds are charged to phase "semiring/*" on the network's ledger.
-DistributedProductResult semiring_distance_product(CliqueNetwork& net,
+DistributedProductResult semiring_distance_product(Network& net,
                                                    const DistMatrix& a,
                                                    const DistMatrix& b);
 

@@ -1,6 +1,7 @@
 #include "baseline/tri_tri_again.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "common/error.hpp"
@@ -9,10 +10,14 @@
 
 namespace qclique {
 
-TriangleListingResult tri_tri_again_find_edges(const WeightedGraph& g) {
+TriangleListingResult tri_tri_again_find_edges(const WeightedGraph& g,
+                                               const TransportOptions& transport) {
   const std::uint32_t n = g.size();
   TriangleListingResult res;
-  CliqueNetwork net(std::max<std::uint32_t>(n, 2));
+  const std::uint32_t net_n = std::max<std::uint32_t>(n, 2);
+  const std::unique_ptr<Network> net_ptr = make_network_for(
+      net_n, transport, [&g] { return g.adjacency_lists(); });
+  Network& net = *net_ptr;
   const std::uint64_t rounds_before = net.ledger().total_rounds();
 
   const std::uint32_t q = static_cast<std::uint32_t>(iroot3_ceil(n));

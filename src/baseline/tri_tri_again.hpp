@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "congest/network.hpp"
+#include "congest/transport.hpp"
 #include "graph/weighted_graph.hpp"
 
 namespace qclique {
@@ -28,8 +28,10 @@ struct TriangleListingResult {
   std::uint64_t rounds = 0;
 };
 
-/// Runs the listing on a fresh simulated clique of g.size() nodes and
-/// returns the negative-triangle census -- the classical FindEdges solver.
-TriangleListingResult tri_tri_again_find_edges(const WeightedGraph& g);
+/// Runs the listing on a fresh simulated network of g.size() nodes (built
+/// from `transport`; graph-induced links for "congest") and returns the
+/// negative-triangle census -- the classical FindEdges solver.
+TriangleListingResult tri_tri_again_find_edges(const WeightedGraph& g,
+                                               const TransportOptions& transport = {});
 
 }  // namespace qclique

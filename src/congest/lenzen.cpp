@@ -8,7 +8,7 @@
 namespace qclique {
 
 namespace {
-RouteStats profile(const CliqueNetwork& net, const std::vector<Message>& batch) {
+RouteStats profile(const Network& net, const std::vector<Message>& batch) {
   RouteStats st;
   st.messages = batch.size();
   std::vector<std::uint64_t> src_load(net.size(), 0), dst_load(net.size(), 0);
@@ -28,10 +28,26 @@ RouteStats profile(const CliqueNetwork& net, const std::vector<Message>& batch) 
 }
 }  // namespace
 
-RouteStats route(CliqueNetwork& net, const std::vector<Message>& batch,
+RouteStats route(Network& net, const std::vector<Message>& batch,
                  const std::string& phase) {
   RouteStats st = profile(net, batch);
   if (batch.empty()) return st;
+  if (!net.capabilities().lemma1_routing) {
+    // Lemma 1 does not hold off the clique: deliver the batch by genuine
+    // stepped routing (the transport relays hop-by-hop) and report the
+    // measured cost instead of the charge.
+    const std::uint64_t before = net.rounds();
+    for (const Message& m : batch) {
+      if (m.src == m.dst) {
+        net.deposit(m);
+      } else {
+        net.send(m);
+      }
+    }
+    net.run_until_drained(phase);
+    st.rounds = net.rounds() - before;
+    return st;
+  }
   const std::uint64_t n = net.size();
   const std::uint64_t load = std::max(st.max_source_load, st.max_dest_load);
   // Lemma 1 delivers any n-per-source/dest batch in 2 rounds; a batch with
@@ -42,8 +58,11 @@ RouteStats route(CliqueNetwork& net, const std::vector<Message>& batch,
   return st;
 }
 
-RouteStats route_two_phase(CliqueNetwork& net, const std::vector<Message>& batch,
+RouteStats route_two_phase(Network& net, const std::vector<Message>& batch,
                            Rng& rng, const std::string& phase) {
+  QCLIQUE_CHECK(net.capabilities().fully_connected,
+                "route_two_phase needs a fully connected topology (relays "
+                "assume direct links)");
   RouteStats st = profile(net, batch);
   if (batch.empty()) return st;
   const std::uint32_t n = net.size();

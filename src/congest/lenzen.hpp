@@ -14,13 +14,20 @@
 // model rather than measuring queues; `route_two_phase` provides a genuine
 // stepped randomized 2-phase implementation used by tests and bench E9 to
 // validate that the charge is achievable within small constant factors.
+//
+// Topology awareness: Lemma 1 only holds on the fully connected clique, so
+// `route` consults `Network::capabilities()`. On a transport without
+// `lemma1_routing` (general CONGEST, bounded-degree overlays) the batch is
+// delivered by genuine stepped hop-by-hop routing instead and the *measured*
+// rounds are reported -- protocols keep working unchanged, they just pay the
+// true cost of the sparser communication graph.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "congest/network.hpp"
+#include "congest/transport.hpp"
 
 namespace qclique {
 class Rng;
@@ -36,17 +43,17 @@ struct RouteStats {
 /// Validates and delivers `batch` under the Lemma 1 cost model, charging
 /// `2 * ceil(max_load / n)` rounds to `phase` on the network's ledger.
 /// Every message's payload must fit the per-message field budget.
-RouteStats route(CliqueNetwork& net, const std::vector<Message>& batch,
+RouteStats route(Network& net, const std::vector<Message>& batch,
                  const std::string& phase);
 
 /// Genuine stepped implementation: round 1 spreads each source's messages
 /// over random intermediate relays, round 2 forwards relay -> destination;
-/// both phases run through CliqueNetwork::step so collisions on a link cost
+/// both phases run through Network::step so collisions on a link cost
 /// real rounds. Returns measured (not charged) rounds. With max loads <= n
 /// the expected measured cost is O(1) rounds per phase (Theta(log n / log
 /// log n) worst link in the balls-into-bins tail), which bench E9 reports
 /// next to the Lemma 1 charge of 2.
-RouteStats route_two_phase(CliqueNetwork& net, const std::vector<Message>& batch,
+RouteStats route_two_phase(Network& net, const std::vector<Message>& batch,
                            Rng& rng, const std::string& phase);
 
 }  // namespace qclique

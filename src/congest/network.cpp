@@ -1,109 +1,47 @@
 #include "congest/network.hpp"
 
-#include <algorithm>
-
 namespace qclique {
 
 CliqueNetwork::CliqueNetwork(std::uint32_t n, NetworkConfig config)
-    : n_(n),
-      config_(config),
-      links_(static_cast<std::size_t>(n) * n),
-      inboxes_(n),
-      link_busy_flag_(static_cast<std::size_t>(n) * n, 0) {
-  QCLIQUE_CHECK(n >= 2, "CliqueNetwork needs at least two nodes");
-  QCLIQUE_CHECK(config_.fields_per_message >= 1 &&
-                    config_.fields_per_message <= kMaxPayloadFields,
-                "fields_per_message out of range");
-}
+    : Network(n, config), link_load_(static_cast<std::size_t>(n) * n, 0) {}
 
-void CliqueNetwork::send(NodeId src, NodeId dst, Payload payload) {
-  QCLIQUE_CHECK(src < n_ && dst < n_, "send endpoint out of range");
-  QCLIQUE_CHECK(src != dst, "a node does not message itself in the model");
-  if (payload.size > config_.fields_per_message) {
-    QCLIQUE_BANDWIDTH_CHECK(!config_.strict_payload,
-                            "payload exceeds per-message field budget");
-    // Non-strict mode: split into budget-sized chunks, preserving order.
-    Payload chunk;
-    chunk.tag = payload.tag;
-    for (std::size_t i = 0; i < payload.size; ++i) {
-      chunk.push(payload.fields[i]);
-      if (chunk.size == config_.fields_per_message) {
-        send(src, dst, chunk);
-        chunk.size = 0;
-      }
-    }
-    if (chunk.size > 0) send(src, dst, chunk);
-    return;
-  }
+void CliqueNetwork::enqueue(NodeId src, NodeId dst, const Payload& payload) {
   const std::size_t li = link_index(src, dst);
-  links_[li].push_back(payload);
-  if (!link_busy_flag_[li]) {
-    link_busy_flag_[li] = 1;
-    busy_links_.push_back(li);
+  // The link has link_load_[li] messages ahead of this one, so it delivers
+  // exactly that many rounds from now: append to that round's bucket.
+  const std::uint32_t slot = link_load_[li]++;
+  if (slot >= buckets_.size()) {
+    if (!bucket_pool_.empty()) {
+      buckets_.push_back(std::move(bucket_pool_.back()));
+      bucket_pool_.pop_back();
+    } else {
+      buckets_.emplace_back();
+    }
   }
-  ++pending_;
+  buckets_[slot].push_back(QueuedMessage{static_cast<std::uint32_t>(li), payload});
 }
 
 void CliqueNetwork::step(const std::string& phase) {
   ++rounds_;
   std::uint64_t delivered = 0;
-  // Each busy link delivers exactly one message this round.
-  std::vector<std::size_t> still_busy;
-  still_busy.reserve(busy_links_.size());
-  for (std::size_t li : busy_links_) {
-    auto& q = links_[li];
-    if (q.empty()) {
-      link_busy_flag_[li] = 0;
-      continue;
+  if (!buckets_.empty()) {
+    std::vector<QueuedMessage>& front = buckets_.front();
+    for (QueuedMessage& qm : front) {
+      const NodeId src = static_cast<NodeId>(qm.link / n_);
+      const NodeId dst = static_cast<NodeId>(qm.link % n_);
+      record_traffic(src, dst);
+      deliver_to_inbox(Message{src, dst, std::move(qm.payload)});
+      --link_load_[qm.link];
+      ++delivered;
+      --pending_;
     }
-    const NodeId src = static_cast<NodeId>(li / n_);
-    const NodeId dst = static_cast<NodeId>(li % n_);
-    inboxes_[dst].push_back(Message{src, dst, q.front()});
-    q.pop_front();
-    ++delivered;
-    --pending_;
-    if (!q.empty()) {
-      still_busy.push_back(li);
-    } else {
-      link_busy_flag_[li] = 0;
-    }
+    front.clear();
+    bucket_pool_.push_back(std::move(front));
+    buckets_.pop_front();
   }
-  busy_links_ = std::move(still_busy);
   ledger_.charge(phase, 1, delivered);
 }
 
-std::uint64_t CliqueNetwork::run_until_drained(const std::string& phase) {
-  std::uint64_t steps = 0;
-  while (pending_ > 0) {
-    step(phase);
-    ++steps;
-  }
-  return steps;
-}
-
-std::vector<Message>& CliqueNetwork::inbox(NodeId v) {
-  QCLIQUE_CHECK(v < n_, "inbox index out of range");
-  return inboxes_[v];
-}
-
-const std::vector<Message>& CliqueNetwork::inbox(NodeId v) const {
-  QCLIQUE_CHECK(v < n_, "inbox index out of range");
-  return inboxes_[v];
-}
-
-void CliqueNetwork::clear_inboxes() {
-  for (auto& box : inboxes_) box.clear();
-}
-
-std::uint64_t CliqueNetwork::max_link_load() const {
-  std::uint64_t m = 0;
-  for (std::size_t li : busy_links_) m = std::max<std::uint64_t>(m, links_[li].size());
-  return m;
-}
-
-void CliqueNetwork::deposit(const Message& m) {
-  QCLIQUE_CHECK(m.src < n_ && m.dst < n_, "deposit endpoint out of range");
-  inboxes_[m.dst].push_back(m);
-}
+std::uint64_t CliqueNetwork::max_link_load() const { return buckets_.size(); }
 
 }  // namespace qclique

@@ -7,7 +7,7 @@
 
 namespace qclique {
 
-void broadcast_fields(CliqueNetwork& net, NodeId src,
+void broadcast_fields(Network& net, NodeId src,
                       const std::vector<std::int64_t>& fields, std::uint32_t tag,
                       const std::string& phase) {
   const std::size_t budget = net.config().fields_per_message;
@@ -25,7 +25,7 @@ void broadcast_fields(CliqueNetwork& net, NodeId src,
   if (fields.empty()) return;
 }
 
-void gather_fields(CliqueNetwork& net, NodeId collector,
+void gather_fields(Network& net, NodeId collector,
                    const std::vector<std::vector<std::int64_t>>& fields_per_node,
                    std::uint32_t tag, const std::string& phase) {
   QCLIQUE_CHECK(fields_per_node.size() == net.size(),
@@ -46,7 +46,7 @@ void gather_fields(CliqueNetwork& net, NodeId collector,
   net.run_until_drained(phase);
 }
 
-void disseminate_fields(CliqueNetwork& net, NodeId src,
+void disseminate_fields(Network& net, NodeId src,
                         const std::vector<std::int64_t>& fields, std::uint32_t tag,
                         const std::string& phase) {
   if (fields.empty()) return;
@@ -96,7 +96,7 @@ void disseminate_fields(CliqueNetwork& net, NodeId src,
   route(net, rebatch, phase);
 }
 
-std::vector<std::int64_t> collect_inbox_fields(CliqueNetwork& net, NodeId v,
+std::vector<std::int64_t> collect_inbox_fields(Network& net, NodeId v,
                                                std::uint32_t tag) {
   std::vector<std::int64_t> out;
   auto& box = net.inbox(v);

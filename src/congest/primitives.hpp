@@ -1,4 +1,4 @@
-// Collective communication primitives built on CliqueNetwork / route().
+// Collective communication primitives built on the Network transport / route().
 //
 // These cover the patterns the paper's protocols use repeatedly:
 //   * broadcast_fields  -- one node sends the same k fields to everyone
@@ -15,20 +15,20 @@
 #include <string>
 #include <vector>
 
-#include "congest/network.hpp"
+#include "congest/transport.hpp"
 
 namespace qclique {
 
 /// Node `src` sends `fields` to every other node; every inbox (except src's)
 /// receives the data as consecutive messages with tag `tag`. Costs
 /// ceil(|fields| / fields_per_message) measured rounds.
-void broadcast_fields(CliqueNetwork& net, NodeId src,
+void broadcast_fields(Network& net, NodeId src,
                       const std::vector<std::int64_t>& fields, std::uint32_t tag,
                       const std::string& phase);
 
 /// Every node v sends its row `fields_per_node[v]` (k fields each) to node
 /// `collector`. Costs max_v ceil(k_v / B) measured rounds.
-void gather_fields(CliqueNetwork& net, NodeId collector,
+void gather_fields(Network& net, NodeId collector,
                    const std::vector<std::vector<std::int64_t>>& fields_per_node,
                    std::uint32_t tag, const std::string& phase);
 
@@ -36,13 +36,13 @@ void gather_fields(CliqueNetwork& net, NodeId collector,
 /// know all of them. Implemented as: spread distinct chunks to all nodes
 /// (1 batch), then every node broadcasts its chunk (1 batch), both through
 /// route(); total charged rounds are O(ceil(|fields| / (n * B)) ).
-void disseminate_fields(CliqueNetwork& net, NodeId src,
+void disseminate_fields(Network& net, NodeId src,
                         const std::vector<std::int64_t>& fields, std::uint32_t tag,
                         const std::string& phase);
 
 /// Reads back, in sending order, the fields node `v` received with tag `tag`
 /// and clears those messages from the inbox.
-std::vector<std::int64_t> collect_inbox_fields(CliqueNetwork& net, NodeId v,
+std::vector<std::int64_t> collect_inbox_fields(Network& net, NodeId v,
                                                std::uint32_t tag);
 
 }  // namespace qclique

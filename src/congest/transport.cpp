@@ -1,0 +1,436 @@
+#include "congest/transport.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "congest/network.hpp"
+
+namespace qclique {
+
+// ----------------------------------------------------------- TrafficMatrix --
+
+TrafficMatrix::TrafficMatrix(std::uint32_t n)
+    : n_(n), loads_(static_cast<std::size_t>(n) * n, 0) {}
+
+void TrafficMatrix::record(NodeId src, NodeId dst) {
+  ++loads_[static_cast<std::size_t>(src) * n_ + dst];
+  ++total_;
+}
+
+void TrafficMatrix::record_deposit(NodeId src, NodeId dst) {
+  ++loads_[static_cast<std::size_t>(src) * n_ + dst];
+  ++total_;
+  ++deposits_;
+}
+
+std::uint64_t TrafficMatrix::load(NodeId src, NodeId dst) const {
+  QCLIQUE_CHECK(src < n_ && dst < n_, "TrafficMatrix::load endpoint out of range");
+  return loads_[static_cast<std::size_t>(src) * n_ + dst];
+}
+
+std::uint64_t TrafficMatrix::max_load() const {
+  std::uint64_t m = 0;
+  for (std::uint64_t l : loads_) m = std::max(m, l);
+  return m;
+}
+
+std::uint64_t TrafficMatrix::links_used() const {
+  std::uint64_t used = 0;
+  for (std::uint64_t l : loads_) used += (l > 0) ? 1 : 0;
+  return used;
+}
+
+std::string TrafficMatrix::to_json() const {
+  // Find the heaviest link for the export; the full matrix would be n^2
+  // numbers, which harnesses that want it can read through load().
+  std::uint64_t best = 0;
+  std::uint32_t bs = 0, bd = 0;
+  for (std::uint32_t s = 0; s < n_; ++s) {
+    for (std::uint32_t d = 0; d < n_; ++d) {
+      const std::uint64_t l = loads_[static_cast<std::size_t>(s) * n_ + d];
+      if (l > best) {
+        best = l;
+        bs = s;
+        bd = d;
+      }
+    }
+  }
+  std::ostringstream out;
+  out << "{\"n\":" << n_ << ",\"total_messages\":" << total_
+      << ",\"deposits\":" << deposits_ << ",\"links_used\":" << links_used()
+      << ",\"max_link_load\":" << best << ",\"max_link\":[" << bs << "," << bd
+      << "]}";
+  return out.str();
+}
+
+// ----------------------------------------------------------------- Network --
+
+Network::Network(std::uint32_t n, NetworkConfig config)
+    : n_(n), config_(config), inboxes_(n) {
+  QCLIQUE_CHECK(n >= 2, "a network needs at least two nodes");
+  QCLIQUE_CHECK(config_.fields_per_message >= 1 &&
+                    config_.fields_per_message <= kMaxPayloadFields,
+                "fields_per_message out of range");
+}
+
+void Network::send(NodeId src, NodeId dst, Payload payload) {
+  // Validate before touching any queue state: out-of-range ids or a
+  // self-message must surface as a typed error, never as UB or a partial
+  // enqueue of split chunks.
+  QCLIQUE_CHECK(src < n_ && dst < n_, "send endpoint out of range");
+  QCLIQUE_CHECK(src != dst, "a node does not message itself in the model");
+  if (payload.size > config_.fields_per_message) {
+    QCLIQUE_BANDWIDTH_CHECK(!config_.strict_payload,
+                            "payload exceeds per-message field budget");
+    // Non-strict mode: split into budget-sized chunks, preserving order.
+    Payload chunk;
+    chunk.tag = payload.tag;
+    for (std::size_t i = 0; i < payload.size; ++i) {
+      chunk.push(payload.fields[i]);
+      if (chunk.size == config_.fields_per_message) {
+        enqueue(src, dst, chunk);
+        ++pending_;
+        chunk.size = 0;
+      }
+    }
+    if (chunk.size > 0) {
+      enqueue(src, dst, chunk);
+      ++pending_;
+    }
+    return;
+  }
+  enqueue(src, dst, payload);
+  ++pending_;
+}
+
+std::uint64_t Network::run_until_drained(const std::string& phase) {
+  std::uint64_t steps = 0;
+  while (pending_ > 0) {
+    step(phase);
+    ++steps;
+  }
+  return steps;
+}
+
+std::vector<Message>& Network::inbox(NodeId v) {
+  QCLIQUE_CHECK(v < n_, "inbox index out of range");
+  return inboxes_[v];
+}
+
+const std::vector<Message>& Network::inbox(NodeId v) const {
+  QCLIQUE_CHECK(v < n_, "inbox index out of range");
+  return inboxes_[v];
+}
+
+void Network::clear_inboxes() {
+  for (auto& box : inboxes_) box.clear();
+}
+
+void Network::deposit(const Message& m) {
+  QCLIQUE_CHECK(m.src < n_ && m.dst < n_, "deposit endpoint out of range");
+  if (traffic_) traffic_->record_deposit(m.src, m.dst);
+  inboxes_[m.dst].push_back(m);
+}
+
+void Network::enable_traffic_matrix() {
+  if (!traffic_) traffic_ = std::make_unique<TrafficMatrix>(n_);
+}
+
+// ---------------------------------------------------- general CONGEST ------
+
+namespace {
+
+/// Sparse topology: physical links only along a communication graph;
+/// messages between non-adjacent nodes are relayed hop-by-hop on
+/// precomputed shortest (BFS) paths, one message per directed edge per
+/// round. Also serves "bounded-degree" (the overlay is just a particular
+/// communication graph).
+class SparseNetwork final : public Network {
+ public:
+  SparseNetwork(std::uint32_t n, NetworkConfig config, std::string name,
+                const std::vector<std::vector<NodeId>>& links)
+      : Network(n, config),
+        name_(std::move(name)),
+        adj_(n),
+        next_hop_(static_cast<std::size_t>(n) * n, kNoRoute),
+        edge_stamp_(static_cast<std::size_t>(n) * n, 0) {
+    QCLIQUE_CHECK(links.size() == n, "topology links: one adjacency row per node");
+    // Symmetrize and sort: CONGEST links are bidirectional and routing must
+    // be deterministic.
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (NodeId v : links[u]) {
+        QCLIQUE_CHECK(v < n, "topology links: neighbor out of range");
+        if (v == u) continue;
+        adj_[u].push_back(v);
+        adj_[v].push_back(static_cast<NodeId>(u));
+      }
+    }
+    for (auto& row : adj_) {
+      std::sort(row.begin(), row.end());
+      row.erase(std::unique(row.begin(), row.end()), row.end());
+      max_degree_ = std::max<std::uint32_t>(
+          max_degree_, static_cast<std::uint32_t>(row.size()));
+    }
+    build_next_hops();
+  }
+
+  std::string topology() const override { return name_; }
+
+  TransportCapabilities capabilities() const override {
+    return {.fully_connected = false,
+            .lemma1_routing = false,
+            .max_degree = max_degree_};
+  }
+
+  void step(const std::string& phase) override {
+    ++rounds_;
+    std::uint64_t delivered = 0;
+    next_flight_.clear();
+    next_flight_.reserve(flight_.size());
+    for (Flight& f : flight_) {
+      const NodeId hop = next_hop_[static_cast<std::size_t>(f.cur) * n_ + f.dst];
+      const std::size_t edge = static_cast<std::size_t>(f.cur) * n_ + hop;
+      if (edge_stamp_[edge] == rounds_) {
+        // This directed edge already carried its message this round.
+        next_flight_.push_back(std::move(f));
+        continue;
+      }
+      edge_stamp_[edge] = rounds_;
+      record_traffic(f.cur, hop);
+      f.cur = hop;
+      if (f.cur == f.dst) {
+        deliver_to_inbox(Message{f.origin, f.dst, f.payload});
+        ++delivered;
+        --pending_;
+      } else {
+        next_flight_.push_back(std::move(f));
+      }
+    }
+    flight_.swap(next_flight_);
+    ledger_.charge(phase, 1, delivered);
+  }
+
+  std::uint64_t max_link_load() const override {
+    // Heaviest next-hop queue right now (a lower bound on the drain cost:
+    // messages re-contend for every later edge of their paths).
+    std::vector<std::uint32_t> count(static_cast<std::size_t>(n_) * n_, 0);
+    std::uint64_t m = 0;
+    for (const Flight& f : flight_) {
+      const NodeId hop = next_hop_[static_cast<std::size_t>(f.cur) * n_ + f.dst];
+      m = std::max<std::uint64_t>(
+          m, ++count[static_cast<std::size_t>(f.cur) * n_ + hop]);
+    }
+    return m;
+  }
+
+ protected:
+  void enqueue(NodeId src, NodeId dst, const Payload& payload) override {
+    QCLIQUE_CHECK(next_hop_[static_cast<std::size_t>(src) * n_ + dst] != kNoRoute,
+                  "no route between endpoints in this topology");
+    flight_.push_back(Flight{src, dst, src, payload});
+  }
+
+ private:
+  static constexpr NodeId kNoRoute = static_cast<NodeId>(-1);
+
+  struct Flight {
+    NodeId origin;
+    NodeId dst;
+    NodeId cur;
+    Payload payload;
+  };
+
+  /// BFS from every destination: next_hop_[u * n + dst] is u's neighbor on
+  /// a shortest path toward dst (deterministic: adjacency is sorted).
+  void build_next_hops() {
+    std::vector<std::uint32_t> dist(n_);
+    std::queue<NodeId> frontier;
+    for (std::uint32_t dst = 0; dst < n_; ++dst) {
+      std::fill(dist.begin(), dist.end(), kUnreached);
+      dist[dst] = 0;
+      next_hop_[static_cast<std::size_t>(dst) * n_ + dst] = dst;
+      frontier.push(static_cast<NodeId>(dst));
+      while (!frontier.empty()) {
+        const NodeId v = frontier.front();
+        frontier.pop();
+        for (NodeId u : adj_[v]) {
+          if (dist[u] != kUnreached) continue;
+          dist[u] = dist[v] + 1;
+          // u's first hop toward dst is v (v is one step closer).
+          next_hop_[static_cast<std::size_t>(u) * n_ + dst] = v;
+          frontier.push(u);
+        }
+      }
+    }
+  }
+
+  static constexpr std::uint32_t kUnreached = static_cast<std::uint32_t>(-1);
+
+  std::string name_;
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<NodeId> next_hop_;        // indexed cur * n + dst
+  std::vector<std::uint64_t> edge_stamp_;  // last round each edge delivered
+  std::vector<Flight> flight_, next_flight_;
+  std::uint32_t max_degree_ = 0;
+};
+
+/// Default communication graph for "congest" when the caller supplies none:
+/// a ring (the sparsest connected topology, the worst case for congestion).
+std::vector<std::vector<NodeId>> ring_links(std::uint32_t n) {
+  std::vector<std::vector<NodeId>> links(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    links[u].push_back(static_cast<NodeId>((u + 1) % n));
+  }
+  return links;
+}
+
+/// Deterministic degree-capped overlay: ring + power-of-two chords
+/// (i -> i + 2^k), a Chord-style graph with diameter O(n / 2^(cap/2)) that
+/// stays connected for any cap >= 2.
+std::vector<std::vector<NodeId>> overlay_links(std::uint32_t n, std::uint32_t cap) {
+  QCLIQUE_CHECK(cap >= 2, "bounded-degree topology needs degree_cap >= 2");
+  std::vector<std::vector<NodeId>> links(n);
+  // Ring first (2 of the degree budget), then chords while every endpoint
+  // stays under the cap. Chord i -> i + 2^k adds one to both endpoints'
+  // degrees, so the per-node chord budget is (cap - 2) / 2 on each side.
+  for (std::uint32_t u = 0; u < n; ++u) {
+    links[u].push_back(static_cast<NodeId>((u + 1) % n));
+  }
+  const std::uint32_t chords_per_node = (cap - 2) / 2;
+  for (std::uint32_t k = 1; k <= chords_per_node; ++k) {
+    const std::uint64_t span = 1ull << k;
+    if (span >= n) break;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      links[u].push_back(static_cast<NodeId>((u + span) % n));
+    }
+  }
+  return links;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- TopologyRegistry --
+
+TopologyRegistry& TopologyRegistry::instance() {
+  static TopologyRegistry* registry = [] {
+    auto* r = new TopologyRegistry();
+    register_builtin_topologies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void TopologyRegistry::add(TopologyInfo info) {
+  QCLIQUE_CHECK(!info.name.empty(), "topology name must be non-empty");
+  QCLIQUE_CHECK(info.factory != nullptr, "topology factory must be non-null");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::lower_bound(
+      topologies_.begin(), topologies_.end(), info.name,
+      [](const TopologyInfo& t, const std::string& name) { return t.name < name; });
+  QCLIQUE_CHECK(it == topologies_.end() || it->name != info.name,
+                "duplicate topology name: " + info.name);
+  topologies_.insert(it, std::move(info));
+}
+
+bool TopologyRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::lower_bound(
+      topologies_.begin(), topologies_.end(), name,
+      [](const TopologyInfo& t, const std::string& n) { return t.name < n; });
+  return it != topologies_.end() && it->name == name;
+}
+
+const TopologyInfo& TopologyRegistry::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::lower_bound(
+      topologies_.begin(), topologies_.end(), name,
+      [](const TopologyInfo& t, const std::string& n) { return t.name < n; });
+  if (it == topologies_.end() || it->name != name) {
+    std::string known;
+    for (const auto& t : topologies_) {
+      if (!known.empty()) known += ", ";
+      known += t.name;
+    }
+    throw SimulationError("unknown topology \"" + name + "\" (known: " + known + ")");
+  }
+  return *it;
+}
+
+std::vector<std::string> TopologyRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(topologies_.size());
+  for (const auto& t : topologies_) out.push_back(t.name);
+  return out;
+}
+
+std::size_t TopologyRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return topologies_.size();
+}
+
+void register_builtin_topologies(TopologyRegistry& registry) {
+  registry.add(TopologyInfo{
+      "clique",
+      "CONGEST-CLIQUE: all ordered pairs linked, Lemma 1 routing valid",
+      [](std::uint32_t n, const TransportOptions& options) -> std::unique_ptr<Network> {
+        return std::make_unique<CliqueNetwork>(n, options.config);
+      }});
+  registry.add(TopologyInfo{
+      "congest",
+      "general CONGEST: links along a communication graph, hop-by-hop relay",
+      [](std::uint32_t n, const TransportOptions& options) -> std::unique_ptr<Network> {
+        if (options.links) {
+          return std::make_unique<SparseNetwork>(n, options.config, "congest",
+                                                 *options.links);
+        }
+        return std::make_unique<SparseNetwork>(n, options.config, "congest",
+                                               ring_links(n));
+      },
+      /*graph_induced_links=*/true});
+  registry.add(TopologyInfo{
+      "bounded-degree",
+      "clique API over a degree-capped ring+chords overlay",
+      [](std::uint32_t n, const TransportOptions& options) -> std::unique_ptr<Network> {
+        return std::make_unique<SparseNetwork>(
+            n, options.config, "bounded-degree",
+            overlay_links(n, options.degree_cap));
+      }});
+}
+
+std::unique_ptr<Network> make_network(std::uint32_t n,
+                                      const TransportOptions& options) {
+  std::unique_ptr<Network> net =
+      TopologyRegistry::instance().get(options.topology).factory(n, options);
+  if (options.record_traffic) net->enable_traffic_matrix();
+  return net;
+}
+
+TransportOptions with_links(const TransportOptions& options,
+                            std::vector<std::vector<NodeId>> adjacency) {
+  TransportOptions out = options;
+  out.links = std::make_shared<const std::vector<std::vector<NodeId>>>(
+      std::move(adjacency));
+  return out;
+}
+
+bool wants_graph_links(const TransportOptions& options) {
+  if (options.links) return false;
+  const TopologyRegistry& registry = TopologyRegistry::instance();
+  return registry.contains(options.topology) &&
+         registry.get(options.topology).graph_induced_links;
+}
+
+std::unique_ptr<Network> make_network_for(
+    std::uint32_t n, const TransportOptions& options,
+    const std::function<std::vector<std::vector<NodeId>>()>& derive_links) {
+  if (wants_graph_links(options)) {
+    std::vector<std::vector<NodeId>> adjacency = derive_links();
+    adjacency.resize(n);  // pad when the network is larger than the graph
+    return make_network(n, with_links(options, std::move(adjacency)));
+  }
+  return make_network(n, options);
+}
+
+}  // namespace qclique

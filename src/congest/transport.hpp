@@ -1,0 +1,297 @@
+// The pluggable transport/topology API of the CONGEST simulator.
+//
+// The paper's round costs are defined by the communication model, so the
+// model itself is a first-class scenario axis: every protocol layer talks to
+// the abstract `Network` interface below, and concrete topologies register
+// themselves in the `TopologyRegistry` (the transport-layer mirror of
+// `SolverRegistry` one layer up). Built-ins:
+//
+//   * "clique"         -- the CONGEST-CLIQUE of the paper: every ordered
+//                         pair is a direct link, one message per link per
+//                         round, Lemma 1 routing valid. The default, and
+//                         the implementation behind `CliqueNetwork`
+//                         (congest/network.hpp).
+//   * "congest"        -- general CONGEST: links exist only along the edges
+//                         of a caller-supplied communication graph; messages
+//                         between non-adjacent nodes are relayed hop-by-hop
+//                         along shortest paths, one message per directed
+//                         edge per round. This is the model the paper's
+//                         CONGEST-CLIQUE results are contrasted against.
+//   * "bounded-degree" -- the clique API (any node may address any other)
+//                         over a degree-capped deterministic overlay (ring
+//                         plus power-of-two chords), for bandwidth-restricted
+//                         experiments.
+//
+// Every topology upholds the same cost-model contract (documented in
+// docs/TRANSPORT.md and enforced by tests/congest/transport_conformance_test):
+// FIFO delivery per ordered (src, dst) pair, at most one message per
+// physical link per round, one ledger round charged per `step`, and
+// `deposit` bypassing bandwidth for primitives that charge rounds through a
+// validated cost model instead (congest/lenzen.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "congest/round_ledger.hpp"
+
+namespace qclique {
+
+/// Static configuration shared by every topology: the per-message bandwidth
+/// model (see message.hpp).
+struct NetworkConfig {
+  /// Fields (O(log n)-bit values) one message may carry per round per link.
+  std::size_t fields_per_message = 4;
+  /// If true, `send` throws BandwidthError when a payload exceeds the field
+  /// budget; if false the payload is silently split across rounds (the model
+  /// permits this, it just costs more rounds). Protocols in this repo always
+  /// size payloads to one message, so the default is strict.
+  bool strict_payload = true;
+};
+
+/// What a harness (or a routing primitive) may assume about a topology.
+struct TransportCapabilities {
+  /// Every ordered pair of nodes is a direct physical link.
+  bool fully_connected = false;
+  /// The Lemma 1 (Lenzen routing) charge `2 * ceil(L / n)` is a valid cost
+  /// model for bulk batches; `route()` falls back to stepped delivery on
+  /// topologies where it is not.
+  bool lemma1_routing = false;
+  /// Upper bound on a node's physical degree (n - 1 on the clique).
+  std::uint32_t max_degree = 0;
+};
+
+/// Per-link traffic instrumentation. When enabled on a network, every
+/// physical link traversal is counted, so benches can export the load
+/// distribution next to `RoundLedger::to_json` and locate hot links.
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(std::uint32_t n);
+
+  std::uint32_t size() const { return n_; }
+
+  /// Counts one message crossing the physical link (src, dst).
+  void record(NodeId src, NodeId dst);
+
+  /// Counts a bandwidth-free deposit (charged-model delivery).
+  void record_deposit(NodeId src, NodeId dst);
+
+  /// Messages that crossed link (src, dst).
+  std::uint64_t load(NodeId src, NodeId dst) const;
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t deposits() const { return deposits_; }
+
+  /// Heaviest per-link load (0 for an idle network).
+  std::uint64_t max_load() const;
+
+  /// Links that carried at least one message.
+  std::uint64_t links_used() const;
+
+  /// One JSON object: totals plus the heaviest link, exported alongside
+  /// RoundLedger::to_json by benches that persist run costs.
+  std::string to_json() const;
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::uint64_t> loads_;  // indexed src * n + dst
+  std::uint64_t total_ = 0;
+  std::uint64_t deposits_ = 0;
+};
+
+/// Abstract synchronous message-passing network. Protocol code follows the
+/// queue-then-drain discipline regardless of topology:
+///
+///   1. a phase enqueues the messages it wants delivered (`send`),
+///   2. `run_until_drained(phase)` advances rounds, enforcing each
+///      topology's per-link capacity, until nothing is in flight, measuring
+///      the phase's true round cost from the actual congestion,
+///   3. nodes read their inboxes and compute locally (free in the model).
+class Network {
+ public:
+  Network(std::uint32_t n, NetworkConfig config);
+  virtual ~Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  std::uint32_t size() const { return n_; }
+  const NetworkConfig& config() const { return config_; }
+
+  /// Registry name of this topology ("clique", "congest", ...).
+  virtual std::string topology() const = 0;
+
+  virtual TransportCapabilities capabilities() const = 0;
+
+  /// Enqueues a message from src to dst for later delivery in FIFO order
+  /// per ordered (src, dst) pair. Validates src/dst bounds and src != dst
+  /// (typed SimulationError) before any state is touched; oversized
+  /// payloads throw BandwidthError under strict_payload and are split into
+  /// budget-sized chunks otherwise.
+  void send(NodeId src, NodeId dst, Payload payload);
+
+  /// Convenience overload.
+  void send(const Message& m) { send(m.src, m.dst, m.payload); }
+
+  /// Advances one synchronous round: every physical link carries at most
+  /// one message. Charges exactly one round to `phase` on the ledger.
+  virtual void step(const std::string& phase) = 0;
+
+  /// Steps until nothing is in flight; returns rounds run (0 if there was
+  /// nothing to deliver).
+  std::uint64_t run_until_drained(const std::string& phase);
+
+  /// Messages delivered to node v and not yet consumed.
+  std::vector<Message>& inbox(NodeId v);
+  const std::vector<Message>& inbox(NodeId v) const;
+
+  /// Clears all inboxes (typically at the end of a phase).
+  void clear_inboxes();
+
+  /// Messages currently queued or in flight (not yet delivered).
+  std::uint64_t pending_messages() const { return pending_; }
+
+  /// Largest queue on any physical link. On the clique the next drain takes
+  /// exactly this many rounds; on multi-hop topologies it is a lower bound.
+  virtual std::uint64_t max_link_load() const = 0;
+
+  /// Directly deposits a message into an inbox *without* consuming link
+  /// bandwidth. Reserved for routing primitives that charge rounds through
+  /// a validated cost model (see lenzen.hpp); protocol code must not use it.
+  void deposit(const Message& m);
+
+  RoundLedger& ledger() { return ledger_; }
+  const RoundLedger& ledger() const { return ledger_; }
+
+  /// Total rounds this network has stepped (all phases).
+  std::uint64_t rounds() const { return rounds_; }
+
+  /// Turns on per-link load recording (off by default: the counters cost
+  /// n^2 memory and one increment per delivery).
+  void enable_traffic_matrix();
+  const TrafficMatrix* traffic() const { return traffic_.get(); }
+
+ protected:
+  /// Topology hook: queue one budget-sized message (endpoints validated).
+  virtual void enqueue(NodeId src, NodeId dst, const Payload& payload) = 0;
+
+  /// Places a delivered message into its destination inbox.
+  void deliver_to_inbox(const Message& m) { inboxes_[m.dst].push_back(m); }
+
+  /// Records one physical traversal of (src, dst) when instrumentation is on.
+  void record_traffic(NodeId src, NodeId dst) {
+    if (traffic_) traffic_->record(src, dst);
+  }
+
+  std::uint32_t n_;
+  NetworkConfig config_;
+  std::vector<std::vector<Message>> inboxes_;
+  std::uint64_t pending_ = 0;  // send increments; topologies decrement on delivery
+  std::uint64_t rounds_ = 0;
+  RoundLedger ledger_;
+  std::unique_ptr<TrafficMatrix> traffic_;
+};
+
+/// Scenario knobs selecting and parameterizing a topology. This is the
+/// transport analogue of picking a solver backend by name: harnesses set
+/// `topology` (and the per-topology parameters below) on an
+/// ExecutionContext and every network the run builds goes through
+/// `make_network`.
+struct TransportOptions {
+  /// TopologyRegistry key. Built-ins: "clique", "congest", "bounded-degree".
+  std::string topology = "clique";
+  NetworkConfig config;
+  /// "bounded-degree": per-node physical degree cap (>= 2; ring + chords).
+  std::uint32_t degree_cap = 8;
+  /// "congest": the communication graph's adjacency lists (made symmetric).
+  /// When unset, protocol entry points derive it from their input graph
+  /// (general CONGEST: communication network == problem graph); direct
+  /// `make_network` callers get a ring.
+  std::shared_ptr<const std::vector<std::vector<NodeId>>> links;
+  /// Build networks with the TrafficMatrix instrumentation enabled.
+  bool record_traffic = false;
+};
+
+/// Builds a concrete network for a registered topology.
+using NetworkFactory =
+    std::function<std::unique_ptr<Network>(std::uint32_t n, const TransportOptions&)>;
+
+/// One registered topology.
+struct TopologyInfo {
+  std::string name;
+  std::string description;
+  NetworkFactory factory;
+  /// The topology derives its links from the input graph when the caller
+  /// pins none (general CONGEST: communication network == problem graph).
+  /// Protocol entry points consult this through `wants_graph_links`.
+  bool graph_induced_links = false;
+};
+
+/// Name -> topology registry, mirroring SolverRegistry: topologies register
+/// once, and every harness resolves them by name so benches and tests can
+/// sweep communication models the same way they sweep solver backends.
+class TopologyRegistry {
+ public:
+  /// The process-wide registry, with all built-in topologies registered.
+  static TopologyRegistry& instance();
+
+  /// An empty registry (tests; embedding independent registries).
+  TopologyRegistry() = default;
+
+  TopologyRegistry(const TopologyRegistry&) = delete;
+  TopologyRegistry& operator=(const TopologyRegistry&) = delete;
+
+  /// Registers a topology. Throws SimulationError on a duplicate or empty
+  /// name or a null factory.
+  void add(TopologyInfo info);
+
+  bool contains(const std::string& name) const;
+
+  /// Looks up a topology; throws SimulationError naming the known
+  /// topologies when `name` is not registered.
+  const TopologyInfo& get(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TopologyInfo> topologies_;  // sorted by name
+};
+
+/// Registers the built-in topologies ("clique", "congest",
+/// "bounded-degree"). Called once by TopologyRegistry::instance(); exposed
+/// so tests can build private registries with the same population.
+void register_builtin_topologies(TopologyRegistry& registry);
+
+/// Builds a network of `n` nodes for `options.topology` through the
+/// process-wide registry, applying `options.config` and per-topology
+/// parameters. Throws SimulationError for an unknown topology.
+std::unique_ptr<Network> make_network(std::uint32_t n, const TransportOptions& options);
+
+/// `options` with `links` replaced by `adjacency` (helper for protocol
+/// entry points deriving the general-CONGEST communication graph from
+/// their input graph when the caller did not pin one).
+TransportOptions with_links(const TransportOptions& options,
+                            std::vector<std::vector<NodeId>> adjacency);
+
+/// True when `options.topology` wants graph-induced links and the caller
+/// has not pinned an explicit link set.
+bool wants_graph_links(const TransportOptions& options);
+
+/// `make_network`, with graph-induced links installed on demand: when
+/// `wants_graph_links(options)`, `derive_links()` supplies the input
+/// graph's adjacency (protocol entry points pass a lambda over their
+/// graph); otherwise it is never called.
+std::unique_ptr<Network> make_network_for(
+    std::uint32_t n, const TransportOptions& options,
+    const std::function<std::vector<std::vector<NodeId>>()>& derive_links);
+
+}  // namespace qclique

@@ -33,6 +33,14 @@ struct QuantumApspOptions {
   DistanceProductOptions product;
   /// Verify no negative cycle (negative diagonal) and throw if found.
   bool check_negative_cycles = true;
+
+  /// Communication model for every network the pipeline builds, however
+  /// deep (aliases the nested ComputePairs transport knob so callers can
+  /// set the topology in one place).
+  TransportOptions& transport() { return product.find_edges.compute_pairs.transport; }
+  const TransportOptions& transport() const {
+    return product.find_edges.compute_pairs.transport;
+  }
 };
 
 /// Result of the pipeline.

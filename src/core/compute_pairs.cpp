@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "common/rng.hpp"
 #include "congest/lenzen.hpp"
-#include "congest/network.hpp"
+#include "congest/transport.hpp"
 #include "core/evaluation.hpp"
 #include "core/identify_class.hpp"
 #include "core/lambda_sampler.hpp"
@@ -18,9 +19,16 @@ namespace qclique {
 
 namespace {
 
+/// Builds the run's network from the transport options (graph-induced
+/// links derived from g when the topology wants them).
+std::unique_ptr<Network> network_for(const WeightedGraph& g,
+                                     const TransportOptions& options) {
+  return make_network_for(g.size(), options, [&g] { return g.adjacency_lists(); });
+}
+
 /// Step 1 of ComputePairs: ship f(u, w') / f(w', v) for every triple to its
 /// t-node through one measured routing batch.
-void step1_load_weights(CliqueNetwork& net, const WeightedGraph& g,
+void step1_load_weights(Network& net, const WeightedGraph& g,
                         const Partitions& parts) {
   std::vector<Message> batch;
   const std::uint32_t B = parts.num_vblocks();
@@ -64,7 +72,7 @@ void step1_load_weights(CliqueNetwork& net, const WeightedGraph& g,
 }
 
 /// Step 2 weight/S loading for the sampled Lambda families (measured).
-void step2_load_lambda(CliqueNetwork& net, const WeightedGraph& g,
+void step2_load_lambda(Network& net, const WeightedGraph& g,
                        const Partitions& parts,
                        const std::vector<std::vector<LambdaFamily>>& families,
                        const std::set<VertexPair>& s_set) {
@@ -106,7 +114,8 @@ ComputePairsResult compute_pairs(const WeightedGraph& g,
   ComputePairsResult res;
   const Constants& cst = options.constants;
   const Partitions parts(n);
-  CliqueNetwork net(n);
+  const std::unique_ptr<Network> net_ptr = network_for(g, options.transport);
+  Network& net = *net_ptr;
   const std::set<VertexPair> s_set(s_pairs.begin(), s_pairs.end());
 
   // Input-promise diagnostic (Gamma(u,v) <= promise * log n for S pairs).
@@ -213,8 +222,9 @@ ComputePairsResult compute_pairs(const WeightedGraph& g,
 
         // Measure the evaluation procedure's round cost r (Figures 4-5) on
         // an isolated scratch network: this group's nodes are its own.
-        CliqueNetwork scratch(n);
-        const EvalRunStats eval = run_evaluation(scratch, g, parts, ub, vb, alpha,
+        const std::unique_ptr<Network> scratch_ptr =
+            network_for(g, options.transport);
+        const EvalRunStats eval = run_evaluation(*scratch_ptr, g, parts, ub, vb, alpha,
                                                  t_alpha, queries, cst,
                                                  /*include_duplication=*/true);
         res.eval_promise_violations += eval.promise_violations;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "congest/round_ledger.hpp"
+#include "congest/transport.hpp"
 #include "core/constants.hpp"
 #include "graph/weighted_graph.hpp"
 
@@ -42,6 +43,10 @@ struct ComputePairsOptions {
   double search_cutoff_factor = 9.0;
   /// Typicality-audit tuples per BBHT stage (0 disables the audit).
   std::size_t audit_samples_per_stage = 2;
+  /// Communication model the run is measured on. For the "congest" topology
+  /// with no explicit link set, the input graph's edges become the links
+  /// (general CONGEST: communication network == problem graph).
+  TransportOptions transport;
 };
 
 /// Result and diagnostics of one run.

@@ -21,7 +21,7 @@ std::uint32_t duplication_factor(std::uint32_t n, std::uint32_t alpha,
   return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::floor(d)));
 }
 
-EvalRunStats run_evaluation(CliqueNetwork& net, const WeightedGraph& g,
+EvalRunStats run_evaluation(Network& net, const WeightedGraph& g,
                             const Partitions& parts, std::uint32_t ub,
                             std::uint32_t vb, std::uint32_t alpha,
                             const std::vector<std::uint32_t>& t_alpha,

@@ -21,7 +21,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "congest/network.hpp"
+#include "congest/transport.hpp"
 #include "core/constants.hpp"
 #include "core/partitions.hpp"
 #include "graph/weighted_graph.hpp"
@@ -61,7 +61,7 @@ std::uint32_t duplication_factor(std::uint32_t n, std::uint32_t alpha,
 /// `queries`; answers are computed from g. `include_duplication` runs the
 /// Figure 5 step 0 broadcast (callers set it for the first evaluation of a
 /// given alpha only -- the duplicated data persists).
-EvalRunStats run_evaluation(CliqueNetwork& net, const WeightedGraph& g,
+EvalRunStats run_evaluation(Network& net, const WeightedGraph& g,
                             const Partitions& parts, std::uint32_t ub,
                             std::uint32_t vb, std::uint32_t alpha,
                             const std::vector<std::uint32_t>& t_alpha,

@@ -36,6 +36,17 @@ FindEdgesResult find_edges(const WeightedGraph& g, const FindEdgesOptions& optio
   FindEdgesResult res;
   const Constants& cst = options.compute_pairs.constants;
 
+  // The communication topology is a property of the run, not of the sampled
+  // subgraphs: for graph-induced links, pin the *input* graph's edges once
+  // so every ComputePairs call (including the edge-sampled ones) runs on
+  // the same communication network.
+  FindEdgesOptions run_options = options;
+  if (wants_graph_links(run_options.compute_pairs.transport)) {
+    run_options.compute_pairs.transport =
+        with_links(run_options.compute_pairs.transport, g.adjacency_lists());
+  }
+  const FindEdgesOptions& opts = run_options;
+
   // S <- P(V); M <- empty.
   std::vector<VertexPair> s;
   s.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
@@ -58,7 +69,7 @@ FindEdgesResult find_edges(const WeightedGraph& g, const FindEdgesOptions& optio
     for (const auto& pr : s) {
       if (g.has_edge(pr.a, pr.b)) gs.set_edge(pr.a, pr.b, g.weight(pr.a, pr.b));
     }
-    const ComputePairsResult step = run_with_retries(gs, s, options, rng, res);
+    const ComputePairsResult step = run_with_retries(gs, s, opts, rng, res);
     if (!step.hot_pairs.empty()) {
       for (const auto& pr : step.hot_pairs) m_found.insert(pr);
       std::vector<VertexPair> remaining;
@@ -70,7 +81,7 @@ FindEdgesResult find_edges(const WeightedGraph& g, const FindEdgesOptions& optio
   }
 
   // Final call on the full graph.
-  const ComputePairsResult last = run_with_retries(g, s, options, rng, res);
+  const ComputePairsResult last = run_with_retries(g, s, opts, rng, res);
   for (const auto& pr : last.hot_pairs) m_found.insert(pr);
 
   res.hot_pairs.assign(m_found.begin(), m_found.end());

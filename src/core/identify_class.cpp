@@ -41,7 +41,7 @@ std::uint64_t delta_exact(const WeightedGraph& g, const Partitions& parts,
   return count;
 }
 
-IdentifyClassResult identify_class(CliqueNetwork& net, const WeightedGraph& g,
+IdentifyClassResult identify_class(Network& net, const WeightedGraph& g,
                                    const Partitions& parts,
                                    const std::vector<VertexPair>& s_pairs,
                                    const Constants& constants, Rng& rng) {

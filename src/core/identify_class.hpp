@@ -18,7 +18,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "congest/network.hpp"
+#include "congest/transport.hpp"
 #include "core/constants.hpp"
 #include "core/partitions.hpp"
 #include "graph/weighted_graph.hpp"
@@ -59,7 +59,7 @@ std::uint64_t delta_exact(const WeightedGraph& g, const Partitions& parts,
 /// Runs IdentifyClass on the network (rounds measured: the Lambda(u)
 /// broadcast goes through real messages; duvw / cuvw are local).
 /// `s_pairs` is the promise set S, sorted.
-IdentifyClassResult identify_class(CliqueNetwork& net, const WeightedGraph& g,
+IdentifyClassResult identify_class(Network& net, const WeightedGraph& g,
                                    const Partitions& parts,
                                    const std::vector<VertexPair>& s_pairs,
                                    const Constants& constants, Rng& rng);

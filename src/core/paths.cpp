@@ -1,21 +1,26 @@
 #include "core/paths.hpp"
 
 #include <limits>
+#include <memory>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "congest/lenzen.hpp"
-#include "congest/network.hpp"
+#include "congest/transport.hpp"
 
 namespace qclique {
 
-SuccessorResult build_successors(const Digraph& g, const DistMatrix& dist) {
+SuccessorResult build_successors(const Digraph& g, const DistMatrix& dist,
+                                 const TransportOptions& transport) {
   const std::uint32_t n = g.size();
   QCLIQUE_CHECK(dist.size() == n, "distance matrix size mismatch");
   SuccessorResult res;
   res.successor.assign(static_cast<std::size_t>(n) * n,
                        std::numeric_limits<std::uint32_t>::max());
-  CliqueNetwork net(std::max<std::uint32_t>(n, 2));
+  const std::uint32_t net_n = std::max<std::uint32_t>(n, 2);
+  const std::unique_ptr<Network> net_ptr = make_network_for(
+      net_n, transport, [&g] { return g.symmetric_adjacency(); });
+  Network& net = *net_ptr;
 
   // Each node u needs row d(x, *) for every out-neighbor x. Node x owns its
   // row, so the traffic is: for every arc (u, x), n entries from x to u.

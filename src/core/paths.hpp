@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "congest/round_ledger.hpp"
+#include "congest/transport.hpp"
 #include "graph/digraph.hpp"
 #include "matrix/dist_matrix.hpp"
 
@@ -30,10 +31,12 @@ struct SuccessorResult {
   RoundLedger ledger;
 };
 
-/// Builds the successor matrix on a simulated clique: node u gathers the
+/// Builds the successor matrix on a simulated network built from
+/// `transport` (graph-induced links for "congest"): node u gathers the
 /// distance rows of its out-neighbors and resolves succ(u, v) locally.
 /// `dist` must be the exact distance matrix of g (e.g. from quantum_apsp).
-SuccessorResult build_successors(const Digraph& g, const DistMatrix& dist);
+SuccessorResult build_successors(const Digraph& g, const DistMatrix& dist,
+                                 const TransportOptions& transport = {});
 
 /// Extracts the path u -> v from a successor matrix. Empty when v is
 /// unreachable; {u} when u == v. Throws if the successor matrix is

@@ -4,12 +4,25 @@
 
 namespace qclique {
 
+RoundModel RoundModel::for_topology(const std::string& topology, double n) {
+  RoundModel model;
+  if (topology == "bounded-degree") {
+    // Ring + power-of-two chords: messages cross O(log n) overlay hops.
+    model.topology_dilation = std::max(1.0, std::log2(std::max(2.0, n)));
+  } else if (topology == "congest") {
+    // Default ring communication graph: average shortest path ~ n / 4.
+    model.topology_dilation = std::max(1.0, n / 4.0);
+  }
+  return model;
+}
+
 double RoundModel::quantum_search_rounds(double dim) const {
-  return uncompute_factor * eval_rounds * (bbht_cutoff * std::sqrt(dim) + 3.0);
+  return topology_dilation * uncompute_factor * eval_rounds *
+         (bbht_cutoff * std::sqrt(dim) + 3.0);
 }
 
 double RoundModel::classical_search_rounds(double dim) const {
-  return eval_rounds * dim;
+  return topology_dilation * eval_rounds * dim;
 }
 
 double RoundModel::theorem2_rounds(double n) const {

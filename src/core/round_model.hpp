@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace qclique {
 
@@ -20,9 +21,19 @@ struct RoundModel {
   double uncompute_factor = 2.0;
   /// Per-evaluation round cost r (O~(1) in the paper's regime).
   double eval_rounds = 2.0;
+  /// Transport dilation: the factor every message round pays on a
+  /// non-clique topology (1 on the clique; ~diameter for a relayed batch
+  /// whose messages cross that many hops). Multiplies every predicted
+  /// search cost, so predictions stay comparable across the topology axis.
+  double topology_dilation = 1.0;
+
+  /// Model preset for a registered topology: "clique" keeps dilation 1,
+  /// "bounded-degree" pays the O(log n) overlay diameter, "congest" pays a
+  /// caller-estimated diameter (n/4 hop average for the default ring).
+  static RoundModel for_topology(const std::string& topology, double n);
 
   /// Predicted quantum search rounds for domain size `dim`:
-  /// ~ uncompute * eval * (cutoff * sqrt(dim)).
+  /// ~ dilation * uncompute * eval * (cutoff * sqrt(dim)).
   double quantum_search_rounds(double dim) const;
 
   /// Predicted classical scan rounds: eval * dim.

@@ -5,6 +5,9 @@
 // SSSP is known). This wrapper runs the full pipeline and projects the
 // source row, so callers that only need one source still get the
 // O~(n^{1/4} log W) behavior -- and the ledger shows them what they paid.
+// The communication model follows `options.transport()` like every other
+// pipeline entry point: select a TopologyRegistry topology there and the
+// reported rounds are measured on it.
 #pragma once
 
 #include <cstdint>

@@ -61,6 +61,16 @@ bool Digraph::has_negative_arc() const {
   return false;
 }
 
+std::vector<std::vector<std::uint32_t>> Digraph::symmetric_adjacency() const {
+  std::vector<std::vector<std::uint32_t>> adj(n_);
+  for (std::uint32_t u = 0; u < n_; ++u) {
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      if (u != v && (has_arc(u, v) || has_arc(v, u))) adj[u].push_back(v);
+    }
+  }
+  return adj;
+}
+
 DistMatrix Digraph::to_dist_matrix() const {
   DistMatrix a(n_, kPlusInf);
   for (std::uint32_t i = 0; i < n_; ++i) {

@@ -35,6 +35,11 @@ class Digraph {
   /// True if any arc has negative weight (solver capability dispatch).
   bool has_negative_arc() const;
 
+  /// Undirected adjacency: u and v are adjacent when either arc exists
+  /// (the graph-induced communication links of the general-CONGEST
+  /// transport; see congest/transport.hpp).
+  std::vector<std::vector<std::uint32_t>> symmetric_adjacency() const;
+
   /// The matrix A_G of the paper (Section 3): A[i][i] = 0, A[i][j] = w(i,j)
   /// for arcs, +inf otherwise. Its n-th min-plus power is the APSP matrix.
   DistMatrix to_dist_matrix() const;

@@ -61,6 +61,12 @@ std::vector<std::uint32_t> WeightedGraph::neighbors(std::uint32_t u) const {
   return out;
 }
 
+std::vector<std::vector<std::uint32_t>> WeightedGraph::adjacency_lists() const {
+  std::vector<std::vector<std::uint32_t>> adj(n_);
+  for (std::uint32_t u = 0; u < n_; ++u) adj[u] = neighbors(u);
+  return adj;
+}
+
 WeightedGraph WeightedGraph::sample_edges(double p, Rng& rng) const {
   WeightedGraph g(n_);
   for (std::uint32_t u = 0; u < n_; ++u) {

@@ -53,6 +53,10 @@ class WeightedGraph {
   /// Neighbors of u (vertices v with {u,v} in E).
   std::vector<std::uint32_t> neighbors(std::uint32_t u) const;
 
+  /// All adjacency lists at once (the graph-induced communication links of
+  /// the general-CONGEST transport; see congest/transport.hpp).
+  std::vector<std::vector<std::uint32_t>> adjacency_lists() const;
+
   /// Keeps each edge independently with probability p (the edge-sampling
   /// step of Proposition 1). Returns the subgraph.
   WeightedGraph sample_edges(double p, class Rng& rng) const;

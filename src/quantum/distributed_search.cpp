@@ -18,4 +18,11 @@ DistributedSearchResult distributed_search(std::size_t dim, const Oracle& oracle
   return res;
 }
 
+DistributedSearchResult distributed_search(std::size_t dim, const Oracle& oracle,
+                                           const DistributedSearchCost& cost,
+                                           Network& net, const std::string& phase,
+                                           Rng& rng) {
+  return distributed_search(dim, oracle, cost, net.ledger(), phase, rng);
+}
+
 }  // namespace qclique

@@ -8,14 +8,16 @@
 // `eval_rounds_per_call` rounds for the evaluation circuit plus the same
 // again for uncomputation, and each diffusion is local (free). The
 // evaluation cost itself is *measured* by the caller, who runs the classical
-// evaluation procedure through the CliqueNetwork once and passes the
-// observed round count.
+// evaluation procedure through a `Network` transport once (any registered
+// topology -- the measured r already reflects the communication model) and
+// passes the observed round count.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "congest/round_ledger.hpp"
+#include "congest/transport.hpp"
 #include "quantum/grover.hpp"
 
 namespace qclique {
@@ -40,6 +42,14 @@ DistributedSearchResult distributed_search(std::size_t dim, const Oracle& oracle
                                            const DistributedSearchCost& cost,
                                            RoundLedger& ledger,
                                            const std::string& phase, Rng& rng);
+
+/// Convenience overload charging the rounds straight onto a transport's
+/// ledger, for harnesses that measure a search against a live network
+/// (equivalent to passing net.ledger()).
+DistributedSearchResult distributed_search(std::size_t dim, const Oracle& oracle,
+                                           const DistributedSearchCost& cost,
+                                           Network& net, const std::string& phase,
+                                           Rng& rng);
 
 /// Rounds one search with `oracle_calls` oracle invocations costs under the
 /// model: oracle_calls * compute_uncompute_factor * eval_rounds_per_call.

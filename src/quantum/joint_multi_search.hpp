@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "quantum/distributed_search.hpp"
+
 namespace qclique {
 
 class Rng;
@@ -52,6 +54,13 @@ struct JointReport {
   /// 2 * sum_k || Pi_m |Phi_k> ||: the appendix's upper bound on
   /// final_deviation; the test suite asserts final_deviation <= this.
   double telescoping_bound = 0.0;
+
+  /// Rounds this joint run would cost under the distributed search cost
+  /// model (one joint evaluation per iteration): what a transport's ledger
+  /// would be charged if the run executed against a live network.
+  std::uint64_t charged_rounds(const DistributedSearchCost& cost) const {
+    return search_round_cost(cost, iterations);
+  }
 };
 
 /// Exact joint simulator.

@@ -124,4 +124,12 @@ MultiSearchResult multi_search(std::size_t dim,
   return res;
 }
 
+MultiSearchResult multi_search(std::size_t dim,
+                               const std::vector<SearchInstance>& searches,
+                               const DistributedSearchCost& cost,
+                               const MultiSearchOptions& options, Network& net,
+                               const std::string& phase, Rng& rng) {
+  return multi_search(dim, searches, cost, options, net.ledger(), phase, rng);
+}
+
 }  // namespace qclique

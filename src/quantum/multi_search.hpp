@@ -79,4 +79,13 @@ MultiSearchResult multi_search(std::size_t dim,
                                RoundLedger& ledger, const std::string& phase,
                                Rng& rng);
 
+/// Convenience overload charging straight onto a transport's ledger, for
+/// harnesses measuring against a live network (equivalent to passing
+/// net.ledger()).
+MultiSearchResult multi_search(std::size_t dim,
+                               const std::vector<SearchInstance>& searches,
+                               const DistributedSearchCost& cost,
+                               const MultiSearchOptions& options, Network& net,
+                               const std::string& phase, Rng& rng);
+
 }  // namespace qclique

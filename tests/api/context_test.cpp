@@ -36,14 +36,67 @@ TEST(ExecutionContext, ForkInheritsConfiguration) {
   ExecutionContext ctx(1);
   ctx.network_config().fields_per_message = 2;
   ctx.network_config().strict_payload = false;
+  ctx.set_topology("bounded-degree");
+  ctx.transport().degree_cap = 4;
   ctx.set_num_threads(3);
   ctx.set_check_negative_cycles(false);
   const ExecutionContext child = ctx.fork(0);
   EXPECT_EQ(child.network_config().fields_per_message, 2u);
   EXPECT_FALSE(child.network_config().strict_payload);
+  EXPECT_EQ(child.topology(), "bounded-degree");
+  EXPECT_EQ(child.transport().degree_cap, 4u);
   EXPECT_EQ(child.num_threads(), 3u);
   EXPECT_FALSE(child.check_negative_cycles());
 }
+
+TEST(ExecutionContext, BuildsNetworksThroughTheTopologyRegistry) {
+  ExecutionContext ctx(2);
+  auto clique = ctx.make_network(6);
+  EXPECT_EQ(clique->topology(), "clique");
+  EXPECT_TRUE(clique->capabilities().lemma1_routing);
+  EXPECT_EQ(clique->config().fields_per_message,
+            ctx.network_config().fields_per_message);
+
+  ctx.set_topology("bounded-degree");
+  ctx.transport().degree_cap = 4;
+  ctx.network_config().fields_per_message = 3;
+  auto overlay = ctx.make_network(16);
+  EXPECT_EQ(overlay->topology(), "bounded-degree");
+  EXPECT_LE(overlay->capabilities().max_degree, 4u);
+  EXPECT_EQ(overlay->config().fields_per_message, 3u);
+
+  ctx.set_topology("no-such-topology");
+  EXPECT_THROW(ctx.make_network(4), SimulationError);
+}
+
+// The distributed backends accept any registered topology through the
+// context knob and still produce oracle-exact distances: the communication
+// model changes what runs *cost*, never what they *compute*.
+class TopologyAxis : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TopologyAxis, DistributedBackendsAgreeWithOracleOnEveryTopology) {
+  const Digraph g = test_graph(8, 6);
+  ExecutionContext oracle_ctx(1);
+  const DistMatrix reference =
+      SolverRegistry::instance().get("floyd-warshall").solve(g, oracle_ctx).distances;
+  for (const std::string solver : {"classical-search", "semiring"}) {
+    ExecutionContext ctx(321);
+    ctx.set_topology(GetParam());
+    const ApspReport report = SolverRegistry::instance().get(solver).solve(g, ctx);
+    EXPECT_EQ(report.distances, reference) << solver << " on " << GetParam();
+    EXPECT_EQ(report.topology, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, TopologyAxis,
+                         ::testing::ValuesIn(TopologyRegistry::instance().names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
 
 // Same seed => identical ApspReport, for every registered backend. This is
 // the reproducibility contract benches and CI regression checks rely on.

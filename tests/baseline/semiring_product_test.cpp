@@ -7,6 +7,7 @@
 #include "baseline/classical_apsp.hpp"
 #include "baseline/shortest_paths.hpp"
 #include "common/rng.hpp"
+#include "congest/network.hpp"
 #include "common/stats.hpp"
 #include "graph/generators.hpp"
 #include "matrix/min_plus.hpp"

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "common/rng.hpp"
+#include "congest/network.hpp"
 
 namespace qclique {
 namespace {

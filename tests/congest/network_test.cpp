@@ -135,6 +135,39 @@ TEST(CliqueNetwork, OutOfRangeEndpointsRejected) {
   EXPECT_THROW(net.send(5, 1, Payload::make(0, {1})), SimulationError);
 }
 
+TEST(CliqueNetwork, SendValidationRegressions) {
+  // Regression (PR 2): endpoint validation must be a typed SimulationError
+  // raised before *any* queue state changes -- never an out-of-bounds index
+  // into the link structures, and never a partial enqueue.
+  CliqueNetwork net(4);
+  // Extreme ids would index far outside any n*n structure if unvalidated.
+  const NodeId huge = std::numeric_limits<NodeId>::max();
+  EXPECT_THROW(net.send(huge, 1, Payload::make(0, {1})), SimulationError);
+  EXPECT_THROW(net.send(1, huge, Payload::make(0, {1})), SimulationError);
+  EXPECT_THROW(net.send(huge, huge, Payload::make(0, {1})), SimulationError);
+  EXPECT_EQ(net.pending_messages(), 0u);
+  EXPECT_EQ(net.run_until_drained("p"), 0u);
+  EXPECT_EQ(net.ledger().total_rounds(), 0u);
+
+  // A self-message keeps rejecting even when the payload would need a
+  // non-strict split (validation happens before the split loop).
+  CliqueNetwork loose(4, NetworkConfig{.fields_per_message = 1, .strict_payload = false});
+  EXPECT_THROW(loose.send(3, 3, Payload::make(0, {1, 2, 3})), SimulationError);
+  EXPECT_THROW(loose.send(0, 7, Payload::make(0, {1, 2, 3})), SimulationError);
+  EXPECT_EQ(loose.pending_messages(), 0u);
+
+  // The inbox/deposit surfaces validate the same way.
+  EXPECT_THROW(net.inbox(4), SimulationError);
+  EXPECT_THROW(net.deposit(Message{0, 4, Payload::make(0, {1})}), SimulationError);
+  EXPECT_THROW(net.deposit(Message{huge, 0, Payload::make(0, {1})}), SimulationError);
+
+  // After all the rejected calls the network still works normally.
+  net.send(0, 1, Payload::make(0, {9}));
+  EXPECT_EQ(net.run_until_drained("p"), 1u);
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].payload.at(0), 9);
+}
+
 TEST(CliqueNetwork, LedgerTracksPhases) {
   CliqueNetwork net(4);
   net.send(0, 1, Payload::make(0, {1}));

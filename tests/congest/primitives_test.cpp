@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/math.hpp"
+#include "congest/network.hpp"
 
 namespace qclique {
 namespace {

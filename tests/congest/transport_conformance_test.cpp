@@ -1,0 +1,272 @@
+// Topology conformance suite: every topology registered in the
+// TopologyRegistry must uphold the transport cost-model contract
+// (docs/TRANSPORT.md) that protocol layers rely on:
+//   * send validates endpoints (typed SimulationError) and bandwidth
+//     (BandwidthError) before touching queue state;
+//   * FIFO delivery per ordered (src, dst) pair;
+//   * per-link capacity: one message per physical link per round, so k
+//     messages on one logical link cost at least k rounds;
+//   * round charging: every step charges exactly one round to the phase;
+//   * conservation: every sent message is delivered exactly once;
+//   * deposit bypasses bandwidth (no pending message, no rounds);
+//   * max_link_load lower-bounds the drain cost;
+//   * the TrafficMatrix hook observes deliveries when enabled.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "congest/transport.hpp"
+
+namespace qclique {
+namespace {
+
+class TopologyConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<Network> make(std::uint32_t n, NetworkConfig config = {}) const {
+    TransportOptions options;
+    options.topology = GetParam();
+    options.config = config;
+    return make_network(n, options);
+  }
+};
+
+TEST_P(TopologyConformance, ReportsItsRegistryNameAndCapabilities) {
+  auto net = make(8);
+  EXPECT_EQ(net->topology(), GetParam());
+  EXPECT_GE(net->capabilities().max_degree, 1u);
+  EXPECT_EQ(net->size(), 8u);
+}
+
+TEST_P(TopologyConformance, DeliversAMessageIntact) {
+  auto net = make(8);
+  net->send(0, 5, Payload::make(7, {42, -3}));
+  const std::uint64_t rounds = net->run_until_drained("p");
+  EXPECT_GE(rounds, 1u);
+  ASSERT_EQ(net->inbox(5).size(), 1u);
+  EXPECT_EQ(net->inbox(5)[0].src, 0u);
+  EXPECT_EQ(net->inbox(5)[0].dst, 5u);
+  EXPECT_EQ(net->inbox(5)[0].payload.tag, 7u);
+  EXPECT_EQ(net->inbox(5)[0].payload.at(0), 42);
+  EXPECT_EQ(net->inbox(5)[0].payload.at(1), -3);
+}
+
+TEST_P(TopologyConformance, SendValidatesEndpointsWithTypedErrors) {
+  auto net = make(4);
+  EXPECT_THROW(net->send(0, 4, Payload::make(0, {1})), SimulationError);
+  EXPECT_THROW(net->send(9, 1, Payload::make(0, {1})), SimulationError);
+  EXPECT_THROW(net->send(2, 2, Payload::make(0, {1})), SimulationError);
+  // Nothing was enqueued by the rejected sends.
+  EXPECT_EQ(net->pending_messages(), 0u);
+  EXPECT_EQ(net->run_until_drained("p"), 0u);
+}
+
+TEST_P(TopologyConformance, StrictPayloadBudgetEnforced) {
+  auto net = make(4, NetworkConfig{.fields_per_message = 2, .strict_payload = true});
+  EXPECT_THROW(net->send(0, 1, Payload::make(0, {1, 2, 3})), BandwidthError);
+  EXPECT_EQ(net->pending_messages(), 0u);
+}
+
+TEST_P(TopologyConformance, NonStrictSplitDeliversEveryFieldInOrder) {
+  auto net = make(4, NetworkConfig{.fields_per_message = 2, .strict_payload = false});
+  net->send(0, 1, Payload::make(9, {10, 11, 12, 13, 14}));
+  EXPECT_EQ(net->pending_messages(), 3u);  // ceil(5/2) chunks
+  net->run_until_drained("p");
+  std::vector<std::int64_t> fields;
+  for (const Message& m : net->inbox(1)) {
+    EXPECT_EQ(m.payload.tag, 9u);
+    for (std::size_t i = 0; i < m.payload.size; ++i) fields.push_back(m.payload.at(i));
+  }
+  EXPECT_EQ(fields, (std::vector<std::int64_t>{10, 11, 12, 13, 14}));
+}
+
+TEST_P(TopologyConformance, FifoPerOrderedPair) {
+  auto net = make(6);
+  Rng rng(21);
+  std::map<std::pair<NodeId, NodeId>, std::int64_t> next_seq;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.uniform_u64(6));
+    NodeId d = static_cast<NodeId>(rng.uniform_u64(6));
+    if (d == s) d = static_cast<NodeId>((d + 1) % 6);
+    net->send(s, d, Payload::make(0, {next_seq[{s, d}]++}));
+  }
+  net->run_until_drained("p");
+  std::map<std::pair<NodeId, NodeId>, std::int64_t> seen;
+  for (NodeId v = 0; v < 6; ++v) {
+    for (const auto& m : net->inbox(v)) {
+      auto& expect = seen[{m.src, m.dst}];
+      EXPECT_EQ(m.payload.at(0), expect) << "pair " << m.src << "->" << m.dst;
+      ++expect;
+    }
+  }
+}
+
+TEST_P(TopologyConformance, CongestedLinkCostsAtLeastItsQueueLength) {
+  auto net = make(4);
+  for (int i = 0; i < 5; ++i) net->send(2, 3, Payload::make(0, {i}));
+  EXPECT_GE(net->max_link_load(), 1u);
+  const std::uint64_t load = net->max_link_load();
+  const std::uint64_t rounds = net->run_until_drained("p");
+  EXPECT_GE(rounds, 5u);    // one message per link per round
+  EXPECT_GE(rounds, load);  // max_link_load lower-bounds the drain
+  EXPECT_EQ(net->inbox(3).size(), 5u);
+}
+
+TEST_P(TopologyConformance, EveryStepChargesExactlyOneRound) {
+  auto net = make(8);
+  for (NodeId v = 1; v < 8; ++v) net->send(0, v, Payload::make(0, {v}));
+  const std::uint64_t steps = net->run_until_drained("phase");
+  EXPECT_EQ(net->ledger().phase_rounds("phase"), steps);
+  EXPECT_EQ(net->rounds(), steps);
+}
+
+TEST_P(TopologyConformance, ConservationUnderRandomTraffic) {
+  const std::uint32_t n = 16;
+  auto net = make(n);
+  Rng rng(5);
+  std::uint64_t sent = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (int j = 0; j < 20; ++j) {
+      NodeId dst = static_cast<NodeId>(rng.uniform_u64(n));
+      if (dst == v) dst = static_cast<NodeId>((dst + 1) % n);
+      net->send(v, dst, Payload::make(1, {static_cast<std::int64_t>(sent)}));
+      ++sent;
+    }
+  }
+  EXPECT_EQ(net->pending_messages(), sent);
+  net->run_until_drained("p");
+  EXPECT_EQ(net->pending_messages(), 0u);
+  std::uint64_t received = 0;
+  for (NodeId v = 0; v < n; ++v) received += net->inbox(v).size();
+  EXPECT_EQ(received, sent);
+  EXPECT_EQ(net->ledger().total_messages(), sent);
+}
+
+TEST_P(TopologyConformance, DepositBypassesBandwidth) {
+  auto net = make(4);
+  net->deposit(Message{0, 2, Payload::make(3, {77})});
+  // Deposits never enter the queues: nothing pending, no rounds charged.
+  EXPECT_EQ(net->pending_messages(), 0u);
+  EXPECT_EQ(net->run_until_drained("p"), 0u);
+  EXPECT_EQ(net->ledger().total_rounds(), 0u);
+  ASSERT_EQ(net->inbox(2).size(), 1u);
+  EXPECT_EQ(net->inbox(2)[0].payload.at(0), 77);
+  EXPECT_THROW(net->deposit(Message{0, 9, Payload::make(0, {1})}), SimulationError);
+}
+
+TEST_P(TopologyConformance, TrafficMatrixObservesDeliveries) {
+  auto net = make(8);
+  net->enable_traffic_matrix();
+  for (NodeId v = 1; v < 8; ++v) net->send(0, v, Payload::make(0, {v}));
+  net->deposit(Message{3, 4, Payload::make(0, {9})});
+  net->run_until_drained("p");
+  ASSERT_NE(net->traffic(), nullptr);
+  // Every sent message crossed at least one physical link (multi-hop
+  // topologies cross several), plus the one deposit.
+  EXPECT_GE(net->traffic()->total(), 8u);
+  EXPECT_EQ(net->traffic()->deposits(), 1u);
+  EXPECT_GE(net->traffic()->max_load(), 1u);
+  EXPECT_GE(net->traffic()->links_used(), 2u);
+  EXPECT_FALSE(net->traffic()->to_json().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, TopologyConformance,
+                         ::testing::ValuesIn(TopologyRegistry::instance().names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(TopologyRegistry, BuiltinsRegisteredAndSorted) {
+  auto& reg = TopologyRegistry::instance();
+  EXPECT_GE(reg.size(), 3u);
+  EXPECT_TRUE(reg.contains("clique"));
+  EXPECT_TRUE(reg.contains("congest"));
+  EXPECT_TRUE(reg.contains("bounded-degree"));
+  const auto names = reg.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_FALSE(reg.get("clique").description.empty());
+}
+
+TEST(TopologyRegistry, UnknownTopologyThrowsNamingKnownOnes) {
+  try {
+    make_network(4, TransportOptions{.topology = "torus"});
+    FAIL() << "expected SimulationError";
+  } catch (const SimulationError& e) {
+    EXPECT_NE(std::string(e.what()).find("clique"), std::string::npos);
+  }
+}
+
+TEST(TopologyRegistry, DuplicateAndInvalidRegistrationThrow) {
+  TopologyRegistry reg;
+  register_builtin_topologies(reg);
+  EXPECT_EQ(reg.size(), TopologyRegistry::instance().size());
+  EXPECT_THROW(reg.add(TopologyInfo{"clique", "dup", nullptr}), SimulationError);
+  EXPECT_THROW(
+      reg.add(TopologyInfo{"", "anon",
+                           [](std::uint32_t, const TransportOptions&)
+                               -> std::unique_ptr<Network> { return nullptr; }}),
+      SimulationError);
+}
+
+TEST(BoundedDegreeTopology, RespectsTheDegreeCap) {
+  TransportOptions options;
+  options.topology = "bounded-degree";
+  options.degree_cap = 4;
+  auto net = make_network(64, options);
+  EXPECT_LE(net->capabilities().max_degree, 4u);
+  EXPECT_FALSE(net->capabilities().fully_connected);
+  EXPECT_FALSE(net->capabilities().lemma1_routing);
+  // Any-to-any addressing still works (clique API over the overlay).
+  net->send(0, 37, Payload::make(0, {1}));
+  net->run_until_drained("p");
+  ASSERT_EQ(net->inbox(37).size(), 1u);
+  EXPECT_EQ(net->inbox(37)[0].src, 0u);
+}
+
+TEST(CongestTopology, RoutesOnlyAlongSuppliedLinks) {
+  // Path graph 0-1-2-3: a message 0 -> 3 must take 3 rounds (3 hops, no
+  // shortcut links exist).
+  TransportOptions options;
+  options.topology = "congest";
+  options.links = std::make_shared<const std::vector<std::vector<NodeId>>>(
+      std::vector<std::vector<NodeId>>{{1}, {2}, {3}, {}});
+  auto net = make_network(4, options);
+  net->send(0, 3, Payload::make(0, {5}));
+  EXPECT_EQ(net->run_until_drained("p"), 3u);
+  ASSERT_EQ(net->inbox(3).size(), 1u);
+  EXPECT_EQ(net->inbox(3)[0].src, 0u);  // original source, not the last relay
+}
+
+TEST(CongestTopology, DisconnectedEndpointsThrowNoRoute) {
+  TransportOptions options;
+  options.topology = "congest";
+  options.links = std::make_shared<const std::vector<std::vector<NodeId>>>(
+      std::vector<std::vector<NodeId>>{{1}, {}, {3}, {}});
+  auto net = make_network(4, options);
+  EXPECT_THROW(net->send(0, 2, Payload::make(0, {1})), SimulationError);
+  net->send(0, 1, Payload::make(0, {2}));  // within the component: fine
+  EXPECT_EQ(net->run_until_drained("p"), 1u);
+}
+
+TEST(CongestTopology, EdgeCapacityCongestsSharedBottlenecks) {
+  // Star around node 0 (links 1-0, 2-0, 3-0): messages 1->2 and 3->2 share
+  // the directed edge 0->2 on their second hop, so the drain needs 3
+  // rounds, not 2.
+  TransportOptions options;
+  options.topology = "congest";
+  options.links = std::make_shared<const std::vector<std::vector<NodeId>>>(
+      std::vector<std::vector<NodeId>>{{1, 2, 3}, {}, {}, {}});
+  auto net = make_network(4, options);
+  net->send(1, 2, Payload::make(0, {1}));
+  net->send(3, 2, Payload::make(0, {2}));
+  EXPECT_EQ(net->run_until_drained("p"), 3u);
+  EXPECT_EQ(net->inbox(2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace qclique

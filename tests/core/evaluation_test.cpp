@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "congest/network.hpp"
 #include "graph/generators.hpp"
 #include "graph/triangles.hpp"
 

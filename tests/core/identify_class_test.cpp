@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "congest/network.hpp"
 #include "graph/generators.hpp"
 #include "graph/triangles.hpp"
 

@@ -58,5 +58,29 @@ TEST(RoundModelTest, ClassicalApspCubeRootShape) {
   EXPECT_LT(r, 2.4);
 }
 
+TEST(RoundModelTest, TopologyPresetsSetTheDilation) {
+  EXPECT_DOUBLE_EQ(RoundModel::for_topology("clique", 256).topology_dilation, 1.0);
+  EXPECT_DOUBLE_EQ(RoundModel::for_topology("bounded-degree", 256).topology_dilation,
+                   8.0);  // log2(256)
+  EXPECT_DOUBLE_EQ(RoundModel::for_topology("congest", 256).topology_dilation,
+                   64.0);  // default ring: n / 4 average hops
+  // Unknown topologies get no dilation rather than an arbitrary guess.
+  EXPECT_DOUBLE_EQ(RoundModel::for_topology("torus", 256).topology_dilation, 1.0);
+}
+
+TEST(RoundModelTest, DilationScalesPredictionsLinearly) {
+  const RoundModel clique = RoundModel::for_topology("clique", 1024);
+  const RoundModel overlay = RoundModel::for_topology("bounded-degree", 1024);
+  const double factor = overlay.topology_dilation;
+  EXPECT_GT(factor, 1.0);
+  EXPECT_DOUBLE_EQ(overlay.quantum_search_rounds(1024),
+                   factor * clique.quantum_search_rounds(1024));
+  EXPECT_DOUBLE_EQ(overlay.classical_search_rounds(1024),
+                   factor * clique.classical_search_rounds(1024));
+  // The quantum/classical crossover is dilation-invariant: both sides pay
+  // the same transport factor.
+  EXPECT_DOUBLE_EQ(overlay.search_crossover_n(), clique.search_crossover_n());
+}
+
 }  // namespace
 }  // namespace qclique

@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "congest/network.hpp"
 
 namespace qclique {
 namespace {
@@ -54,6 +55,29 @@ TEST(DistributedSearch, QuadraticAdvantageOverBruteForce) {
     rounds.add(static_cast<double>(res.rounds_charged));
   }
   EXPECT_LT(rounds.mean(), 4096.0 / 2);  // typically ~200
+}
+
+TEST(DistributedSearch, NetworkOverloadChargesTheTransportLedger) {
+  // The Network& overload and the RoundLedger& overload are the same search:
+  // identical outcome and charge for identical RNG streams, with the rounds
+  // landing on the transport's ledger.
+  const DistributedSearchCost cost{.eval_rounds_per_call = 3,
+                                   .compute_uncompute_factor = 2};
+  const Oracle oracle = [](std::size_t x) { return x == 5; };
+
+  Rng rng_net(42);
+  CliqueNetwork net(4);
+  const auto via_net = distributed_search(64, oracle, cost, net, "search", rng_net);
+
+  Rng rng_ledger(42);
+  RoundLedger ledger;
+  const auto via_ledger =
+      distributed_search(64, oracle, cost, ledger, "search", rng_ledger);
+
+  EXPECT_EQ(via_net.rounds_charged, via_ledger.rounds_charged);
+  EXPECT_EQ(via_net.grover.oracle_calls, via_ledger.grover.oracle_calls);
+  EXPECT_EQ(net.ledger().phase_rounds("search"), via_net.rounds_charged);
+  EXPECT_EQ(net.ledger().total_oracle_calls(), via_net.grover.oracle_calls);
 }
 
 }  // namespace

@@ -131,5 +131,20 @@ TEST(JointMultiSearch, RejectsMalformedMarks) {
   EXPECT_THROW(JointMultiSearch(cfg, bad), SimulationError);
 }
 
+TEST(JointMultiSearch, ChargedRoundsFollowTheSearchCostModel) {
+  JointConfig config;
+  config.dim = 4;
+  config.m = 2;
+  JointMultiSearch sim(config, {{true, false, false, false},
+                                {false, true, false, false}});
+  const JointReport report = sim.run(3);
+  EXPECT_EQ(report.iterations, 3u);
+  const DistributedSearchCost cost{.eval_rounds_per_call = 5,
+                                   .compute_uncompute_factor = 2};
+  // One joint evaluation per iteration, compute + uncompute, r rounds each.
+  EXPECT_EQ(report.charged_rounds(cost), 3u * 2u * 5u);
+  EXPECT_EQ(report.charged_rounds(cost), search_round_cost(cost, report.iterations));
+}
+
 }  // namespace
 }  // namespace qclique

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "congest/network.hpp"
 #include "quantum/typical_set.hpp"
 
 namespace qclique {
@@ -138,6 +139,26 @@ TEST(MultiSearch, RejectsOutOfDomainSolutions) {
   EXPECT_THROW(multi_search(8, {bad}, DistributedSearchCost{}, MultiSearchOptions{},
                             ledger, "ms", rng),
                SimulationError);
+}
+
+TEST(MultiSearch, NetworkOverloadChargesTheTransportLedger) {
+  std::vector<SearchInstance> searches{inst({3}), inst({7}), inst({})};
+  const DistributedSearchCost cost{.eval_rounds_per_call = 2};
+
+  Rng rng_net(9);
+  CliqueNetwork net(4);
+  const auto via_net =
+      multi_search(16, searches, cost, MultiSearchOptions{}, net, "ms", rng_net);
+
+  Rng rng_ledger(9);
+  RoundLedger ledger;
+  const auto via_ledger =
+      multi_search(16, searches, cost, MultiSearchOptions{}, ledger, "ms", rng_ledger);
+
+  EXPECT_EQ(via_net.rounds_charged, via_ledger.rounds_charged);
+  EXPECT_EQ(via_net.joint_oracle_calls, via_ledger.joint_oracle_calls);
+  EXPECT_EQ(net.ledger().phase_rounds("ms"), via_net.rounds_charged);
+  EXPECT_EQ(net.ledger().total_oracle_calls(), via_net.joint_oracle_calls);
 }
 
 TEST(AnalyticProbability, MatchesGroverClosedForm) {
