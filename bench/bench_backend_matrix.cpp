@@ -100,8 +100,51 @@ int main() {
   }
   topo_table.print("Distributed backends x topologies (n=10)");
 
+  // ---- Kernel axis (the engine's sibling table): the kernel-dependent
+  // backends re-run on every registered min-plus kernel through
+  // BatchRunner::run_kernels. Distances must not depend on the kernel --
+  // only wall time does (docs/KERNELS.md) -- and every report is stamped
+  // with the kernel it ran on. One JSON record per run is printed next to
+  // the table (the ledger-export sibling for bench artifacts).
+  Table kernel_table({"kernel", "solver", "rounds", "wall ms", "agrees"});
+  bool kernel_agree = true;
+  std::string kernel_json = "[";
+  {
+    const std::uint32_t n = 14;
+    Rng rng(123);
+    const auto g = random_digraph(n, 0.5, -6, 24, rng);
+    ExecutionContext oracle_ctx(1);
+    const DistMatrix reference =
+        registry.get("floyd-warshall").solve(g, oracle_ctx).distances;
+    bool first = true;
+    for (const std::string solver : {"dense-squaring", "semiring"}) {
+      ExecutionContext base(9200 + n);
+      const BatchRunner runner(registry, base);
+      for (const auto& r : runner.run_kernels(g, solver)) {
+        if (!r.ok) {
+          kernel_table.add_row({r.label, solver, "-", "-",
+                                std::string("rejected: ") + r.error});
+          kernel_agree = false;
+          continue;
+        }
+        const bool agrees =
+            r.report->distances == reference && r.report->kernel == r.label;
+        kernel_agree = kernel_agree && agrees;
+        kernel_table.add_row({r.label, solver, Table::fmt(r.report->rounds),
+                              Table::fmt(r.report->wall_ms, 2),
+                              agrees ? "yes" : "NO"});
+        kernel_json += (first ? "" : ",") + r.report->to_json();
+        first = false;
+      }
+    }
+    kernel_json += "]";
+  }
+  kernel_table.print("Backends x kernels (n=14)");
+  std::cout << "\nkernel_matrix_json: " << kernel_json << "\n";
+
   std::cout << "\nCross-backend agreement: " << (all_agree ? "yes" : "NO")
             << "\nParallel == serial determinism: " << (deterministic ? "yes" : "NO")
-            << "\nCross-topology agreement: " << (topo_agree ? "yes" : "NO") << "\n";
-  return all_agree && deterministic && topo_agree ? 0 : 1;
+            << "\nCross-topology agreement: " << (topo_agree ? "yes" : "NO")
+            << "\nCross-kernel agreement: " << (kernel_agree ? "yes" : "NO") << "\n";
+  return all_agree && deterministic && topo_agree && kernel_agree ? 0 : 1;
 }

@@ -10,9 +10,14 @@
 #    non-zero when the solver's distances disagree with floyd-warshall),
 # 4. smoke-run the BatchRunner backend matrix (exits non-zero unless all
 #    registered backends agree and parallel == serial determinism holds).
-# Set QCLIQUE_SANITIZE=address,undefined (any -fsanitize= value) to run the
-# whole suite under sanitizers; any finding aborts (abort_on_error /
+# Set QCLIQUE_SANITIZE=address,undefined (any -fsanitize= value, including
+# `thread` for TSan over the parallel min-plus kernel) to run the whole
+# suite under sanitizers; any finding aborts (abort_on_error /
 # -fno-sanitize-recover), so CI fails on the first report.
+# Set QCLIQUE_KERNEL=<regex> to filter ctest down to matching suites (e.g.
+# QCLIQUE_KERNEL=Kernel runs the kernel conformance + registry suites);
+# with a filter active the API smoke runs are skipped — that mode exists
+# for targeted sanitizer jobs, not for tier-1 verification.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +30,7 @@ if [[ -n "${QCLIQUE_SANITIZE:-}" ]]; then
                      "-DCMAKE_EXE_LINKER_FLAGS=${SAN_FLAGS}")
   export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-abort_on_error=1:halt_on_error=1}"
   echo "== sanitizers: ${QCLIQUE_SANITIZE} =="
 fi
 
@@ -34,8 +40,22 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "${CMAKE_EXTRA_ARGS
 echo "== build =="
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-echo "== ctest =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+CTEST_FILTER_ARGS=()
+if [[ -n "${QCLIQUE_KERNEL:-}" ]]; then
+  # --no-tests=error: a filter that matches nothing (renamed suite, typo
+  # in CI) must fail loudly, not pass vacuously.
+  CTEST_FILTER_ARGS+=("-R" "${QCLIQUE_KERNEL}" "--no-tests=error")
+  echo "== ctest (filtered: ${QCLIQUE_KERNEL}) =="
+else
+  echo "== ctest =="
+fi
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+      "${CTEST_FILTER_ARGS[@]}"
+
+if [[ -n "${QCLIQUE_KERNEL:-}" ]]; then
+  echo "OK: filtered suite (${QCLIQUE_KERNEL}) passed."
+  exit 0
+fi
 
 echo "== smoke: quickstart via SolverRegistry =="
 "$BUILD_DIR/example_quickstart" quantum > /dev/null

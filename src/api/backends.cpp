@@ -74,7 +74,7 @@ class SemiringSolver : public ApspSolver {
 
  protected:
   ApspReport do_solve(const Digraph& g, ExecutionContext& ctx) const override {
-    const ApspResult res = classical_apsp(g, ctx.transport());
+    const ApspResult res = classical_apsp(g, ctx.transport(), ctx.kernel_options());
     ApspReport report(g.size());
     report.distances = res.distances;
     report.rounds = res.rounds;
@@ -97,9 +97,9 @@ class DenseSquaringSolver : public ApspSolver {
   SolverCapabilities capabilities() const override { return {}; }
 
  protected:
-  ApspReport do_solve(const Digraph& g, ExecutionContext&) const override {
+  ApspReport do_solve(const Digraph& g, ExecutionContext& ctx) const override {
     ApspReport report(g.size());
-    report.distances = apsp_by_squaring(g.to_dist_matrix());
+    report.distances = apsp_by_squaring(g.to_dist_matrix(), ctx.kernel_options());
     report.metrics["products"] =
         squaring_product_count(g.size() > 1 ? g.size() - 1 : 1);
     return report;

@@ -8,6 +8,15 @@
 namespace qclique {
 
 std::vector<BatchResult> BatchRunner::run(const std::vector<BatchJob>& jobs) const {
+  unsigned workers = base_.num_threads();
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, jobs.size() > 0 ? jobs.size() : 1));
+  return run_with_workers(jobs, workers);
+}
+
+std::vector<BatchResult> BatchRunner::run_with_workers(
+    const std::vector<BatchJob>& jobs, unsigned workers) const {
   std::vector<BatchResult> results(jobs.size());
 
   const auto run_one = [&](std::size_t i) {
@@ -23,6 +32,13 @@ std::vector<BatchResult> BatchRunner::run(const std::vector<BatchJob>& jobs) con
       ExecutionContext ctx =
           base_.fork(static_cast<std::uint64_t>(i) * 0x100000001b3ULL +
                      jobs[i].seed_salt);
+      if (!jobs[i].kernel.empty()) ctx.set_kernel(jobs[i].kernel);
+      // A fanned-out batch already saturates the machine with one worker
+      // per hardware thread; letting every job's "parallel" kernel spawn
+      // its own full thread pool on top would oversubscribe quadratically.
+      // Serialize the kernels instead -- results are identical by the
+      // kernel contract, only wall time changes.
+      if (workers > 1) ctx.kernel_options().config.num_threads = 1;
       out.report = solver.solve(*jobs[i].graph, ctx);
       out.ok = true;
     } catch (const std::exception& e) {
@@ -30,11 +46,6 @@ std::vector<BatchResult> BatchRunner::run(const std::vector<BatchJob>& jobs) con
       out.error = e.what();
     }
   };
-
-  unsigned workers = base_.num_threads();
-  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
-  workers = static_cast<unsigned>(
-      std::min<std::size_t>(workers, jobs.size() > 0 ? jobs.size() : 1));
 
   if (workers <= 1) {
     for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
@@ -73,10 +84,28 @@ std::vector<BatchResult> BatchRunner::run_all(const Digraph& g,
   std::vector<BatchJob> jobs;
   jobs.reserve(solvers.size());
   for (const std::string& name : solvers) {
-    jobs.push_back(BatchJob{.graph = shared, .solver = name, .seed_salt = 0,
-                            .label = name});
+    jobs.push_back(BatchJob{.graph = shared, .solver = name, .kernel = "",
+                            .seed_salt = 0, .label = name});
   }
   return run(jobs);
+}
+
+std::vector<BatchResult> BatchRunner::run_kernels(const Digraph& g,
+                                                  const std::string& solver,
+                                                  std::vector<std::string> kernels) const {
+  if (kernels.empty()) kernels = KernelRegistry::instance().names();
+  const auto shared = std::make_shared<const Digraph>(g);
+  std::vector<BatchJob> jobs;
+  jobs.reserve(kernels.size());
+  for (const std::string& name : kernels) {
+    jobs.push_back(BatchJob{.graph = shared, .solver = solver, .kernel = name,
+                            .seed_salt = 0, .label = name});
+  }
+  // One batch worker: this sweep exists to compare kernel wall times, so
+  // each job must own the whole machine (a parallel batch would both skew
+  // the timings and trip run()'s kernel-thread cap, silently benchmarking
+  // "parallel" as "blocked").
+  return run_with_workers(jobs, 1);
 }
 
 }  // namespace qclique

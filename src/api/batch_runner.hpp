@@ -25,6 +25,10 @@ namespace qclique {
 struct BatchJob {
   std::shared_ptr<const Digraph> graph;
   std::string solver;
+  /// Min-plus kernel for this job (KernelRegistry key); empty = inherit the
+  /// base context's kernel. This is how harnesses sweep kernels the same
+  /// way they sweep backends.
+  std::string kernel;
   /// Extra salt mixed into the forked context seed (jobs that should see
   /// different randomness with everything else equal).
   std::uint64_t seed_salt = 0;
@@ -54,7 +58,10 @@ class BatchRunner {
 
   /// Executes all jobs on `base.num_threads()` workers (0 = one per
   /// hardware thread; the worker count is also capped by the job count).
-  /// Results are in job order regardless of scheduling.
+  /// Results are in job order regardless of scheduling. When more than one
+  /// worker runs, each job's min-plus kernel is forced to a single thread
+  /// -- the batch already saturates the machine, and kernel results are
+  /// thread-count independent by the kernel contract.
   std::vector<BatchResult> run(const std::vector<BatchJob>& jobs) const;
 
   /// Convenience: one graph, many backends. Builds one job per name in
@@ -64,6 +71,15 @@ class BatchRunner {
   std::vector<BatchResult> run_all(const Digraph& g,
                                    std::vector<std::string> solvers = {}) const;
 
+  /// Convenience: one graph, one backend, many kernels. Builds one job per
+  /// name in `kernels` (all registered kernels when empty) and runs them;
+  /// job labels are the kernel names. By the kernel contract every result's
+  /// distance matrix is identical -- only wall time varies. Jobs run on a
+  /// single batch worker so each kernel (including "parallel" with its full
+  /// thread pool) gets the machine to itself and the wall times compare.
+  std::vector<BatchResult> run_kernels(const Digraph& g, const std::string& solver,
+                                       std::vector<std::string> kernels = {}) const;
+
   const ExecutionContext& base_context() const { return base_; }
 
   /// Aggregate ledger over every successful job this runner has executed.
@@ -72,6 +88,10 @@ class BatchRunner {
   const RoundLedger& batch_ledger() const { return batch_ledger_; }
 
  private:
+  /// `run` with an explicit worker count (run_kernels pins it to 1).
+  std::vector<BatchResult> run_with_workers(const std::vector<BatchJob>& jobs,
+                                            unsigned workers) const;
+
   const SolverRegistry& registry_;
   ExecutionContext base_;
   mutable RoundLedger batch_ledger_;

@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "congest/round_ledger.hpp"
 #include "congest/transport.hpp"
+#include "matrix/kernels.hpp"
 
 namespace qclique {
 
@@ -59,6 +60,23 @@ class ExecutionContext {
     return qclique::make_network(n, transport_);
   }
 
+  /// Min-plus kernel applied to every dense distance product a solver (or
+  /// a protocol's local computation) runs under this context: the
+  /// KernelRegistry key plus its tuning config. The kernel is the third
+  /// scenario axis next to the backend and the topology; by the kernel
+  /// contract it changes what runs cost in wall time, never what they
+  /// compute.
+  KernelOptions& kernel_options() { return kernel_; }
+  const KernelOptions& kernel_options() const { return kernel_; }
+
+  /// The kernel's registry name ("blocked" by default).
+  const std::string& kernel() const { return kernel_.name; }
+  void set_kernel(std::string name) { kernel_.name = std::move(name); }
+
+  /// Resolves the selected kernel through the KernelRegistry (throws
+  /// SimulationError naming the known kernels on a miss).
+  const MinPlusKernel& min_plus_kernel() const { return kernel_.resolve(); }
+
   /// Ledger accumulating the cost of every solve run executed directly on
   /// this context. Individual runs also report their own per-run ledger in
   /// ApspReport; batch jobs run on forked contexts, so their aggregate is
@@ -83,6 +101,7 @@ class ExecutionContext {
     std::uint64_t s = seed_ ^ (0x9e3779b97f4a7c15ULL + salt);
     ExecutionContext child(splitmix64(s));
     child.transport_ = transport_;
+    child.kernel_ = kernel_;
     child.num_threads_ = num_threads_;
     child.check_negative_cycles_ = check_negative_cycles_;
     return child;
@@ -92,6 +111,7 @@ class ExecutionContext {
   std::uint64_t seed_;
   Rng rng_;
   TransportOptions transport_;
+  KernelOptions kernel_;
   RoundLedger ledger_;
   unsigned num_threads_ = 0;
   bool check_negative_cycles_ = true;

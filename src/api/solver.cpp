@@ -18,6 +18,7 @@ ApspReport ApspSolver::solve(const Digraph& g, ExecutionContext& ctx) const {
 
   report.solver = name();
   report.topology = ctx.topology();
+  report.kernel = ctx.kernel();
   report.n = g.size();
   report.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
@@ -36,7 +37,8 @@ ApspReport ApspSolver::solve(const Digraph& g, ExecutionContext& ctx) const {
 std::string ApspReport::to_json() const {
   std::ostringstream out;
   out << "{\"solver\":" << json_quote(solver)
-      << ",\"topology\":" << json_quote(topology) << ",\"n\":" << n
+      << ",\"topology\":" << json_quote(topology)
+      << ",\"kernel\":" << json_quote(kernel) << ",\"n\":" << n
       << ",\"rounds\":" << rounds << ",\"wall_ms\":" << wall_ms
       << ",\"metrics\":{";
   bool first = true;

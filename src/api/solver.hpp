@@ -34,6 +34,7 @@ struct SolverCapabilities {
 struct ApspReport {
   std::string solver;        // registry name of the backend that ran
   std::string topology;      // transport the run was measured on
+  std::string kernel;        // min-plus kernel the run was configured with
   std::uint32_t n = 0;       // input size
   DistMatrix distances;      // the APSP matrix
   std::uint64_t rounds = 0;  // simulated CONGEST-CLIQUE rounds (0 = oracle)

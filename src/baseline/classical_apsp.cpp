@@ -8,7 +8,8 @@
 
 namespace qclique {
 
-ApspResult classical_apsp(const Digraph& g, const TransportOptions& transport) {
+ApspResult classical_apsp(const Digraph& g, const TransportOptions& transport,
+                          const KernelOptions& kernel) {
   const std::uint32_t n = g.size();
   ApspResult res(n);
   const std::uint32_t net_n = std::max<std::uint32_t>(n, 2);
@@ -19,7 +20,7 @@ ApspResult classical_apsp(const Digraph& g, const TransportOptions& transport) {
   DistMatrix acc = g.to_dist_matrix();
   std::uint64_t covered = 1;
   while (covered < static_cast<std::uint64_t>(n > 1 ? n - 1 : 1)) {
-    acc = semiring_distance_product(net, acc, acc).product;
+    acc = semiring_distance_product(net, acc, acc, kernel).product;
     ++res.products;
     covered *= 2;
   }

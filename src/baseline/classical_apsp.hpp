@@ -10,6 +10,7 @@
 #include "congest/transport.hpp"
 #include "graph/digraph.hpp"
 #include "matrix/dist_matrix.hpp"
+#include "matrix/kernels.hpp"
 
 namespace qclique {
 
@@ -28,9 +29,11 @@ struct ApspResult {
 /// graph-induced "congest" links the digraph's arcs, symmetrized, become
 /// the communication graph): A_G is raised to the (n-1)-th min-plus power
 /// via repeated squaring, each product running the distributed semiring
-/// algorithm. Precondition: no negative cycles (checked against the
+/// algorithm; the cube nodes' local block products run on the selected
+/// min-plus kernel. Precondition: no negative cycles (checked against the
 /// diagonal; throws SimulationError if violated).
-ApspResult classical_apsp(const Digraph& g, const TransportOptions& transport = {});
+ApspResult classical_apsp(const Digraph& g, const TransportOptions& transport = {},
+                          const KernelOptions& kernel = {});
 
 /// Back-compat convenience: clique topology with `net_config`.
 ApspResult classical_apsp(const Digraph& g, const NetworkConfig& net_config);

@@ -24,10 +24,12 @@ NodeId cube_node(std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_
 
 DistributedProductResult semiring_distance_product(Network& net,
                                                    const DistMatrix& a,
-                                                   const DistMatrix& b) {
+                                                   const DistMatrix& b,
+                                                   const KernelOptions& kernel) {
   const std::uint32_t n = a.size();
   QCLIQUE_CHECK(b.size() == n, "semiring product size mismatch");
   QCLIQUE_CHECK(net.size() == n, "network must have one node per matrix row");
+  const MinPlusKernel& block_kernel = kernel.resolve();
   DistributedProductResult res(n);
   const std::uint64_t rounds_before = net.ledger().total_rounds();
 
@@ -49,6 +51,7 @@ DistributedProductResult semiring_distance_product(Network& net,
     for (std::uint64_t i = blocks.block_begin(row_blk); i < blocks.block_end(row_blk);
          ++i) {
       const NodeId owner = static_cast<NodeId>(i);
+      const std::int64_t* mrow = m.row_ptr(static_cast<std::uint32_t>(i));
       for (std::uint64_t jb = blocks.block_begin(col_blk);
            jb < blocks.block_end(col_blk); jb += entries_per_msg) {
         Message msg;
@@ -60,7 +63,7 @@ DistributedProductResult semiring_distance_product(Network& net,
         for (std::uint64_t j = jb;
              j < std::min<std::uint64_t>(blocks.block_end(col_blk), jb + entries_per_msg);
              ++j) {
-          msg.payload.push(m.at(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)));
+          msg.payload.push(mrow[j]);
         }
         if (msg.src == msg.dst) {
           net.deposit(msg);  // local data needs no bandwidth
@@ -82,6 +85,14 @@ DistributedProductResult semiring_distance_product(Network& net,
   }
   route(net, batch, "semiring/distribute");
   batch.clear();
+
+  // Scratch for the per-cell partial products, sized once for the largest
+  // block (sizes differ by at most one) and reused across every cube cell.
+  std::size_t max_blk = 0;
+  for (std::uint32_t blk = 0; blk < q; ++blk) {
+    max_blk = std::max<std::size_t>(max_blk, blocks.block_size(blk));
+  }
+  std::vector<std::int64_t> pblk(max_blk * max_blk);
 
   // ---- Phase 2: local block products, then min-combine at row owners. -----
   // Each cube node reconstructs its two blocks from its inbox and computes
@@ -115,13 +126,15 @@ DistributedProductResult semiring_distance_product(Network& net,
             }
           }
         }
-        // Partial block product.
+        // Partial block product through the kernel engine (rectangular
+        // raw-buffer form: ar x ac times ac x bc) into the shared scratch.
+        block_kernel.run(ablk.data(), bblk.data(), pblk.data(),
+                         static_cast<std::uint32_t>(ar), static_cast<std::uint32_t>(ac),
+                         static_cast<std::uint32_t>(bc), kernel.config,
+                         /*witness=*/nullptr);
         for (std::size_t i = 0; i < ar; ++i) {
           for (std::size_t j = 0; j < bc; ++j) {
-            std::int64_t best = kPlusInf;
-            for (std::size_t k = 0; k < ac; ++k) {
-              best = std::min(best, sat_add(ablk[i * ac + k], bblk[k * bc + j]));
-            }
+            const std::int64_t best = pblk[i * bc + j];
             if (is_plus_inf(best)) continue;  // +inf partials need no message
             const std::uint32_t gi = static_cast<std::uint32_t>(ra0 + i);
             const std::uint32_t gj = static_cast<std::uint32_t>(cb0 + j);

@@ -26,6 +26,7 @@
 
 #include "congest/transport.hpp"
 #include "matrix/dist_matrix.hpp"
+#include "matrix/kernels.hpp"
 
 namespace qclique {
 
@@ -41,9 +42,12 @@ struct DistributedProductResult {
 /// have exactly a.size() == n nodes; input distribution is the standard one
 /// (node i holds row i of A and row i of B), and on return node i holds row
 /// i of the product (the full matrix is also returned for convenience).
-/// Rounds are charged to phase "semiring/*" on the network's ledger.
+/// Rounds are charged to phase "semiring/*" on the network's ledger. The
+/// cube nodes' local block products (free in the round model, the wall-time
+/// hot path of the simulation) run on the selected min-plus kernel.
 DistributedProductResult semiring_distance_product(Network& net,
                                                    const DistMatrix& a,
-                                                   const DistMatrix& b);
+                                                   const DistMatrix& b,
+                                                   const KernelOptions& kernel = {});
 
 }  // namespace qclique

@@ -11,8 +11,10 @@
 namespace qclique {
 
 TriangleListingResult tri_tri_again_find_edges(const WeightedGraph& g,
-                                               const TransportOptions& transport) {
+                                               const TransportOptions& transport,
+                                               const KernelOptions& kernel) {
   const std::uint32_t n = g.size();
+  const MinPlusKernel& prune_kernel = kernel.resolve();
   TriangleListingResult res;
   const std::uint32_t net_n = std::max<std::uint32_t>(n, 2);
   const std::unique_ptr<Network> net_ptr = make_network_for(
@@ -121,6 +123,14 @@ TriangleListingResult tri_tri_again_find_edges(const WeightedGraph& g,
       w[static_cast<std::size_t>(pu) * ln + pv] = wt;
       w[static_cast<std::size_t>(pv) * ln + pu] = wt;
     }
+    // Pruning oracle: the min-plus square of the local view. p[i][j] is the
+    // cheapest two-hop i -> k -> j detour over *any* local k, so a pair with
+    // w(i,j) + p(i,j) >= 0 closes no negative triangle and its enumeration
+    // loop can be skipped wholesale (free in the round model -- this is
+    // node-local computation; the kernel only changes wall time).
+    std::vector<std::int64_t> p(static_cast<std::size_t>(ln) * ln);
+    prune_kernel.run(w.data(), w.data(), p.data(), ln, ln, ln, kernel.config,
+                     /*witness=*/nullptr);
     // List triangles with one vertex in each group slot. A triangle whose
     // vertices span groups {ga, gb, gc} is listed by exactly that sorted
     // triple, so counting is exact (no double counting across triples).
@@ -128,6 +138,7 @@ TriangleListingResult tri_tri_again_find_edges(const WeightedGraph& g,
       for (std::uint32_t j = i + 1; j < ln; ++j) {
         const std::int64_t wij = w[static_cast<std::size_t>(i) * ln + j];
         if (is_plus_inf(wij)) continue;
+        if (sat_add(wij, p[static_cast<std::size_t>(i) * ln + j]) >= 0) continue;
         for (std::uint32_t k = j + 1; k < ln; ++k) {
           const std::int64_t wik = w[static_cast<std::size_t>(i) * ln + k];
           if (is_plus_inf(wik)) continue;

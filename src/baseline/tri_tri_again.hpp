@@ -16,6 +16,7 @@
 
 #include "congest/transport.hpp"
 #include "graph/weighted_graph.hpp"
+#include "matrix/kernels.hpp"
 
 namespace qclique {
 
@@ -30,8 +31,13 @@ struct TriangleListingResult {
 
 /// Runs the listing on a fresh simulated network of g.size() nodes (built
 /// from `transport`; graph-induced links for "congest") and returns the
-/// negative-triangle census -- the classical FindEdges solver.
+/// negative-triangle census -- the classical FindEdges solver. Each triple
+/// node first runs a min-plus square of its local weight view on the
+/// selected kernel and uses it to prune pairs that cannot close a negative
+/// triangle, then enumerates exactly (counts are unchanged by the kernel
+/// choice).
 TriangleListingResult tri_tri_again_find_edges(const WeightedGraph& g,
-                                               const TransportOptions& transport = {});
+                                               const TransportOptions& transport = {},
+                                               const KernelOptions& kernel = {});
 
 }  // namespace qclique

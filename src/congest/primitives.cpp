@@ -8,7 +8,7 @@
 namespace qclique {
 
 void broadcast_fields(Network& net, NodeId src,
-                      const std::vector<std::int64_t>& fields, std::uint32_t tag,
+                      std::span<const std::int64_t> fields, std::uint32_t tag,
                       const std::string& phase) {
   const std::size_t budget = net.config().fields_per_message;
   for (std::size_t base = 0; base < fields.size(); base += budget) {
@@ -25,15 +25,12 @@ void broadcast_fields(Network& net, NodeId src,
   if (fields.empty()) return;
 }
 
-void gather_fields(Network& net, NodeId collector,
-                   const std::vector<std::vector<std::int64_t>>& fields_per_node,
+void gather_fields(Network& net, NodeId collector, const RowProvider& row_of,
                    std::uint32_t tag, const std::string& phase) {
-  QCLIQUE_CHECK(fields_per_node.size() == net.size(),
-                "gather_fields: one row per node required");
   const std::size_t budget = net.config().fields_per_message;
   for (NodeId v = 0; v < net.size(); ++v) {
     if (v == collector) continue;
-    const auto& row = fields_per_node[v];
+    const std::span<const std::int64_t> row = row_of(v);
     for (std::size_t base = 0; base < row.size(); base += budget) {
       Payload p;
       p.tag = tag;
@@ -46,8 +43,18 @@ void gather_fields(Network& net, NodeId collector,
   net.run_until_drained(phase);
 }
 
+void gather_fields(Network& net, NodeId collector,
+                   const std::vector<std::vector<std::int64_t>>& fields_per_node,
+                   std::uint32_t tag, const std::string& phase) {
+  QCLIQUE_CHECK(fields_per_node.size() == net.size(),
+                "gather_fields: one row per node required");
+  gather_fields(net, collector,
+                [&](NodeId v) { return std::span<const std::int64_t>(fields_per_node[v]); },
+                tag, phase);
+}
+
 void disseminate_fields(Network& net, NodeId src,
-                        const std::vector<std::int64_t>& fields, std::uint32_t tag,
+                        std::span<const std::int64_t> fields, std::uint32_t tag,
                         const std::string& phase) {
   if (fields.empty()) return;
   const std::uint32_t n = net.size();

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,13 +23,23 @@ namespace qclique {
 
 /// Node `src` sends `fields` to every other node; every inbox (except src's)
 /// receives the data as consecutive messages with tag `tag`. Costs
-/// ceil(|fields| / fields_per_message) measured rounds.
+/// ceil(|fields| / fields_per_message) measured rounds. Takes a view, not an
+/// owning vector: callers shipping matrix rows pass DistMatrix::row_span
+/// (zero-copy) instead of materializing row copies.
 void broadcast_fields(Network& net, NodeId src,
-                      const std::vector<std::int64_t>& fields, std::uint32_t tag,
+                      std::span<const std::int64_t> fields, std::uint32_t tag,
                       const std::string& phase);
 
-/// Every node v sends its row `fields_per_node[v]` (k fields each) to node
-/// `collector`. Costs max_v ceil(k_v / B) measured rounds.
+/// Yields node v's outgoing row for a gather (a zero-copy view valid for
+/// the duration of the collective, e.g. DistMatrix::row_span(v)).
+using RowProvider = std::function<std::span<const std::int64_t>(NodeId)>;
+
+/// Every node v sends its row `row_of(v)` (k_v fields) to node `collector`.
+/// Costs max_v ceil(k_v / B) measured rounds.
+void gather_fields(Network& net, NodeId collector, const RowProvider& row_of,
+                   std::uint32_t tag, const std::string& phase);
+
+/// Back-compat convenience over materialized per-node rows.
 void gather_fields(Network& net, NodeId collector,
                    const std::vector<std::vector<std::int64_t>>& fields_per_node,
                    std::uint32_t tag, const std::string& phase);
@@ -37,7 +49,7 @@ void gather_fields(Network& net, NodeId collector,
 /// (1 batch), then every node broadcasts its chunk (1 batch), both through
 /// route(); total charged rounds are O(ceil(|fields| / (n * B)) ).
 void disseminate_fields(Network& net, NodeId src,
-                        const std::vector<std::int64_t>& fields, std::uint32_t tag,
+                        std::span<const std::int64_t> fields, std::uint32_t tag,
                         const std::string& phase);
 
 /// Reads back, in sending order, the fields node `v` received with tag `tag`

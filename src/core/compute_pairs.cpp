@@ -40,27 +40,31 @@ void step1_load_weights(Network& net, const WeightedGraph& g,
       for (std::uint32_t wb = 0; wb < Wb; ++wb) {
         const NodeId dst = parts.t_node(ub, vb, wb);
         const auto ws = parts.wblock_vertices(wb);
+        // One zero-copy weight row per w instead of per-entry
+        // has_edge/weight index arithmetic (this triple loop touches every
+        // (u, w') and (w', v) pair once per cube cell).
         for (std::uint32_t w : ws) {
+          const std::int64_t* wrow = g.row_ptr(w);
           for (std::uint32_t u : us) {
-            if (u == w || !g.has_edge(u, w)) continue;
+            if (u == w || is_plus_inf(wrow[u])) continue;
             Message m;
             m.src = static_cast<NodeId>(u);
             m.dst = dst;
             m.payload.tag = 60;
             m.payload.push(u);
             m.payload.push(w);
-            m.payload.push(g.weight(u, w));
+            m.payload.push(wrow[u]);
             if (m.src != m.dst) batch.push_back(m);
           }
           for (std::uint32_t v : vs) {
-            if (v == w || !g.has_edge(w, v)) continue;
+            if (v == w || is_plus_inf(wrow[v])) continue;
             Message m;
             m.src = static_cast<NodeId>(w);
             m.dst = dst;
             m.payload.tag = 60;
             m.payload.push(w);
             m.payload.push(v);
-            m.payload.push(g.weight(w, v));
+            m.payload.push(wrow[v]);
             if (m.src != m.dst) batch.push_back(m);
           }
         }

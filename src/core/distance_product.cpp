@@ -20,8 +20,10 @@ TriangleProductResult distance_product_via_triangles(
   std::int64_t m_bound = std::max<std::int64_t>(
       {1, a.max_abs_finite(), b.max_abs_finite()});
   for (std::uint32_t i = 0; i < n; ++i) {
+    const std::int64_t* arow = a.row_ptr(i);
+    const std::int64_t* brow = b.row_ptr(i);
     for (std::uint32_t j = 0; j < n; ++j) {
-      QCLIQUE_CHECK(!is_minus_inf(a.at(i, j)) && !is_minus_inf(b.at(i, j)),
+      QCLIQUE_CHECK(!is_minus_inf(arow[j]) && !is_minus_inf(brow[j]),
                     "-inf entries are not supported by the reduction");
     }
   }
@@ -43,15 +45,18 @@ TriangleProductResult distance_product_via_triangles(
   while (unresolved()) {
     // Build the guess matrix D: mid for active entries, a silent value for
     // resolved ones (D = lo0 makes "C < D" false for every achievable C, so
-    // resolved entries contribute no triangles and no noise).
+    // resolved entries contribute no triangles and no noise). Materialized
+    // row-wise through the raw accessor: this runs once per refinement
+    // round over all n^2 brackets.
     DistMatrix d(n, lo0);
     for (std::uint32_t i = 0; i < n; ++i) {
+      std::int64_t* drow = d.row_ptr(i);
+      const std::size_t base = static_cast<std::size_t>(i) * n;
       for (std::uint32_t j = 0; j < n; ++j) {
-        const std::size_t e = static_cast<std::size_t>(i) * n + j;
+        const std::size_t e = base + j;
         if (lo[e] < hi[e]) {
           // Floor midpoint (works for negative values too).
-          std::int64_t mid = lo[e] + (hi[e] - lo[e]) / 2;
-          d.set(i, j, mid);
+          drow[j] = lo[e] + (hi[e] - lo[e]) / 2;
         }
       }
     }
@@ -89,11 +94,12 @@ TriangleProductResult distance_product_via_triangles(
   }
 
   for (std::uint32_t i = 0; i < n; ++i) {
+    std::int64_t* prow = res.product.row_ptr(i);
+    const std::size_t base = static_cast<std::size_t>(i) * n;
     for (std::uint32_t j = 0; j < n; ++j) {
-      const std::size_t e = static_cast<std::size_t>(i) * n + j;
       // lo = smallest d with C[i,j] < d, i.e. C = lo - 1; lo beyond the
       // probe range means no finite sum exists.
-      res.product.set(i, j, lo[e] >= hi0 ? kPlusInf : lo[e] - 1);
+      prow[j] = lo[base + j] >= hi0 ? kPlusInf : lo[base + j] - 1;
     }
   }
   res.rounds = res.ledger.total_rounds();

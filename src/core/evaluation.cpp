@@ -51,27 +51,30 @@ EvalRunStats run_evaluation(Network& net, const WeightedGraph& g,
         const NodeId dst = parts.dup_node(ub, vb, wb, y, dup);
         if (dst == src) continue;
         // Ship every stored weight f(u, w') and f(w', v): 3 fields each.
+        // One zero-copy weight row per w' instead of per-entry
+        // has_edge/weight index arithmetic.
         for (std::uint32_t w : ws) {
+          const std::int64_t* wrow = g.row_ptr(w);
           for (std::uint32_t u : us) {
-            if (!g.has_edge(u, w)) continue;
+            if (u == w || is_plus_inf(wrow[u])) continue;
             Message m;
             m.src = src;
             m.dst = dst;
             m.payload.tag = 50;
             m.payload.push(u);
             m.payload.push(w);
-            m.payload.push(g.weight(u, w));
+            m.payload.push(wrow[u]);
             batch.push_back(m);
           }
           for (std::uint32_t v : vs) {
-            if (!g.has_edge(w, v)) continue;
+            if (v == w || is_plus_inf(wrow[v])) continue;
             Message m;
             m.src = src;
             m.dst = dst;
             m.payload.tag = 50;
             m.payload.push(w);
             m.payload.push(v);
-            m.payload.push(g.weight(w, v));
+            m.payload.push(wrow[v]);
             batch.push_back(m);
           }
         }

@@ -33,6 +33,9 @@ SuccessorResult build_successors(const Digraph& g, const DistMatrix& dist,
   for (std::uint32_t u = 0; u < n; ++u) {
     for (std::uint32_t x = 0; x < n; ++x) {
       if (u == x || !g.has_arc(u, x)) continue;
+      // Whole-row shipment straight off the matrix storage (no per-entry
+      // index arithmetic, no row copy).
+      const std::int64_t* xrow = dist.row_ptr(x);
       for (std::uint32_t base = 0; base < n;
            base += static_cast<std::uint32_t>(per_msg)) {
         Message m;
@@ -43,7 +46,7 @@ SuccessorResult build_successors(const Digraph& g, const DistMatrix& dist,
         for (std::uint32_t j = base;
              j < std::min<std::uint32_t>(n, base + static_cast<std::uint32_t>(per_msg));
              ++j) {
-          m.payload.push(dist.at(x, j));
+          m.payload.push(xrow[j]);
         }
         batch.push_back(m);
       }

@@ -102,18 +102,21 @@ WeightedGraph tripartite_gadget(const DistMatrix& a, const DistMatrix& b,
   const auto J = [n](std::uint32_t j) { return n + j; };
   const auto K = [n](std::uint32_t k) { return 2 * n + k; };
   for (std::uint32_t i = 0; i < n; ++i) {
+    const std::int64_t* arow = a.row_ptr(i);
     for (std::uint32_t k = 0; k < n; ++k) {
-      if (!is_plus_inf(a.at(i, k))) g.set_edge(I(i), K(k), a.at(i, k));
+      if (!is_plus_inf(arow[k])) g.set_edge(I(i), K(k), arow[k]);
     }
   }
   for (std::uint32_t k = 0; k < n; ++k) {
+    const std::int64_t* brow = b.row_ptr(k);
     for (std::uint32_t j = 0; j < n; ++j) {
-      if (!is_plus_inf(b.at(k, j))) g.set_edge(J(j), K(k), b.at(k, j));
+      if (!is_plus_inf(brow[j])) g.set_edge(J(j), K(k), brow[j]);
     }
   }
   for (std::uint32_t i = 0; i < n; ++i) {
+    const std::int64_t* drow = d.row_ptr(i);
     for (std::uint32_t j = 0; j < n; ++j) {
-      if (!is_plus_inf(d.at(i, j))) g.set_edge(I(i), J(j), -d.at(i, j));
+      if (!is_plus_inf(drow[j])) g.set_edge(I(i), J(j), -drow[j]);
     }
   }
   return g;

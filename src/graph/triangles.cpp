@@ -1,5 +1,7 @@
 #include "graph/triangles.hpp"
 
+#include "common/error.hpp"
+
 namespace qclique {
 
 bool is_negative_triangle(const WeightedGraph& g, std::uint32_t u, std::uint32_t v,
@@ -51,8 +53,21 @@ bool exists_negative_triangle_via(const WeightedGraph& g, std::uint32_t u,
                                   std::uint32_t v,
                                   const std::vector<std::uint32_t>& candidates) {
   if (!g.has_edge(u, v)) return false;
+  // Zero-copy row scan: this is the solution oracle ComputePairs evaluates
+  // once per (pair, W-block), so the candidate sweep reads the two incident
+  // weight rows directly instead of paying weight()'s per-call index math.
+  const std::uint32_t n = g.size();
+  const std::int64_t fuv = g.weight(u, v);
+  const std::int64_t* urow = g.row_ptr(u);
+  const std::int64_t* vrow = g.row_ptr(v);
   for (std::uint32_t w : candidates) {
-    if (is_negative_triangle(g, u, v, w)) return true;
+    QCLIQUE_CHECK(w < n, "candidate vertex out of range");
+    if (w == u || w == v) continue;
+    const std::int64_t fuw = urow[w];
+    if (is_plus_inf(fuw)) continue;
+    const std::int64_t fvw = vrow[w];
+    if (is_plus_inf(fvw)) continue;
+    if (sat_add(sat_add(fuv, fuw), fvw) < 0) return true;
   }
   return false;
 }

@@ -22,6 +22,13 @@ std::int64_t WeightedGraph::weight(std::uint32_t u, std::uint32_t v) const {
   return w_[idx(u, v)];
 }
 
+const std::int64_t* WeightedGraph::row_ptr(std::uint32_t u) const {
+  QCLIQUE_CHECK(u < n_, "vertex out of range");
+  // The diagonal entry is kPlusInf by construction (no self-loops), so the
+  // raw row agrees with weight(u, .) entry for entry.
+  return w_.data() + idx(u, 0);
+}
+
 void WeightedGraph::set_edge(std::uint32_t u, std::uint32_t v, std::int64_t w) {
   QCLIQUE_CHECK(u < n_ && v < n_, "vertex out of range");
   QCLIQUE_CHECK(u != v, "no self-loops");

@@ -39,6 +39,11 @@ class WeightedGraph {
   /// convention (the paper's graphs have no self-loops).
   std::int64_t weight(std::uint32_t u, std::uint32_t v) const;
 
+  /// Zero-copy pointer to row u of the dense weight matrix (n entries,
+  /// kPlusInf = absent) -- the accessor hot loops use instead of per-entry
+  /// weight() index arithmetic.
+  const std::int64_t* row_ptr(std::uint32_t u) const;
+
   /// Adds or updates the edge {u, v}. u != v required.
   void set_edge(std::uint32_t u, std::uint32_t v, std::int64_t w);
 

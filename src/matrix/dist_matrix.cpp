@@ -13,10 +13,28 @@ DistMatrix::DistMatrix(std::uint32_t n, std::int64_t fill)
   QCLIQUE_CHECK(n >= 1, "DistMatrix needs n >= 1");
 }
 
-std::vector<std::int64_t> DistMatrix::row(std::uint32_t i) const {
+std::int64_t* DistMatrix::row_ptr(std::uint32_t i) {
   QCLIQUE_CHECK(i < n_, "row index out of range");
-  return std::vector<std::int64_t>(v_.begin() + static_cast<std::ptrdiff_t>(i) * n_,
-                                   v_.begin() + static_cast<std::ptrdiff_t>(i + 1) * n_);
+  return v_.data() + static_cast<std::size_t>(i) * n_;
+}
+
+const std::int64_t* DistMatrix::row_ptr(std::uint32_t i) const {
+  QCLIQUE_CHECK(i < n_, "row index out of range");
+  return v_.data() + static_cast<std::size_t>(i) * n_;
+}
+
+std::vector<std::int64_t> DistMatrix::row(std::uint32_t i) const {
+  const std::int64_t* r = row_ptr(i);
+  return std::vector<std::int64_t>(r, r + n_);
+}
+
+void DistMatrix::fill(std::int64_t value) {
+  std::fill(v_.begin(), v_.end(), value);
+}
+
+void DistMatrix::assign_row(std::uint32_t i, std::span<const std::int64_t> values) {
+  QCLIQUE_CHECK(values.size() == n_, "assign_row needs exactly n entries");
+  std::copy(values.begin(), values.end(), row_ptr(i));
 }
 
 DistMatrix DistMatrix::identity(std::uint32_t n) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,8 +31,29 @@ class DistMatrix {
     v_[static_cast<std::size_t>(i) * n_ + j] = w;
   }
 
-  /// Row i as a span-like vector copy (protocols ship whole rows).
+  /// Raw row-major storage (n*n entries): row i occupies
+  /// [data() + i*n, data() + (i+1)*n). The accessors kernels and protocol
+  /// layers use to avoid per-entry index arithmetic and row copies.
+  std::int64_t* data() { return v_.data(); }
+  const std::int64_t* data() const { return v_.data(); }
+
+  /// Zero-copy pointer to the start of row i (n entries, bounds-checked).
+  std::int64_t* row_ptr(std::uint32_t i);
+  const std::int64_t* row_ptr(std::uint32_t i) const;
+
+  /// Zero-copy view of row i (protocols ship whole rows without copying).
+  std::span<const std::int64_t> row_span(std::uint32_t i) const {
+    return {row_ptr(i), n_};
+  }
+
+  /// Row i as an owning vector copy (callers that must outlive the matrix).
   std::vector<std::int64_t> row(std::uint32_t i) const;
+
+  /// Overwrites every entry with `value` (contiguous fill, no n^2 set()).
+  void fill(std::int64_t value);
+
+  /// Overwrites row i from `values` (must hold exactly n entries).
+  void assign_row(std::uint32_t i, std::span<const std::int64_t> values);
 
   /// The min-plus multiplicative identity: 0 diagonal, +inf elsewhere.
   static DistMatrix identity(std::uint32_t n);

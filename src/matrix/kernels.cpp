@@ -1,0 +1,324 @@
+#include "matrix/kernels.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+namespace {
+
+/// Sanitizes the public block_size knob into a tile edge the loops can
+/// trust: at least 1, at most the largest dimension (so tile arithmetic
+/// like `cols + bs - 1` and `ii += bs` cannot wrap uint32 for any
+/// representable matrix).
+std::uint32_t clamp_block(std::uint32_t block, std::uint32_t rows,
+                          std::uint32_t inner, std::uint32_t cols) {
+  const std::uint32_t dim_max = std::max({rows, inner, cols, 1u});
+  return std::min(std::max<std::uint32_t>(1, block), dim_max);
+}
+
+/// clean[k * ntiles + t] = 1 when row k of B has no sentinel inside column
+/// tile t (all entries strictly between kMinusInf and kPlusInf), for tiles
+/// of `bs` columns. Computed once per product and shared by every row band.
+std::vector<std::uint8_t> classify_b_tiles(const std::int64_t* b, std::uint32_t inner,
+                                           std::uint32_t cols, std::uint32_t bs) {
+  const std::uint32_t ntiles = (cols + bs - 1) / bs;
+  std::vector<std::uint8_t> clean(static_cast<std::size_t>(inner) * ntiles, 1);
+  for (std::uint32_t k = 0; k < inner; ++k) {
+    const std::int64_t* brow = b + static_cast<std::size_t>(k) * cols;
+    for (std::uint32_t t = 0; t < ntiles; ++t) {
+      const std::uint32_t jh = std::min(cols, (t + 1) * bs);
+      for (std::uint32_t j = t * bs; j < jh; ++j) {
+        if (is_plus_inf(brow[j]) || is_minus_inf(brow[j])) {
+          clean[static_cast<std::size_t>(k) * ntiles + t] = 0;
+          break;
+        }
+      }
+    }
+  }
+  return clean;
+}
+
+/// Tiled i/k/j block product over one row band [0, rows). Shared by the
+/// "blocked" kernel (whole matrix) and each "parallel" worker (its band).
+/// Witness rule matches the naive oracle: update only on strict
+/// improvement while k ascends, so each entry records the smallest k
+/// attaining the final minimum regardless of tiling.
+///
+/// The hot loop exploits two saturation facts to drop per-element sentinel
+/// checks without changing a single output bit:
+///   * every stored c entry lies in [kMinusInf, kPlusInf], so a sum that
+///     would saturate to +inf can never pass the `s < c` test -- sums over
+///     sentinel-free tiles need no upper clamp at all;
+///   * the lower clamp only matters when the raw sum already beat c, so it
+///     runs on the (rare) update path, not per element.
+/// Tiles of B containing +-inf sentinels (per `clean`, from
+/// classify_b_tiles with the same `bs`) take a careful loop that mirrors
+/// sat_add case by case.
+void blocked_band(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+                  std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+                  std::uint32_t bs, const std::uint8_t* clean,
+                  std::uint32_t* witness) {
+  std::fill(c, c + static_cast<std::size_t>(rows) * cols, kPlusInf);
+  if (witness != nullptr) {
+    std::fill(witness, witness + static_cast<std::size_t>(rows) * cols, kNoWitness);
+  }
+  const std::uint32_t ntiles = (cols + bs - 1) / bs;
+  for (std::uint32_t ii = 0; ii < rows; ii += bs) {
+    const std::uint32_t ih = std::min(rows, ii + bs);
+    for (std::uint32_t kk = 0; kk < inner; kk += bs) {
+      const std::uint32_t kh = std::min(inner, kk + bs);
+      for (std::uint32_t jj = 0; jj < cols; jj += bs) {
+        const std::uint32_t jh = std::min(cols, jj + bs);
+        const std::uint32_t tile = jj / bs;
+        for (std::uint32_t i = ii; i < ih; ++i) {
+          const std::int64_t* arow = a + static_cast<std::size_t>(i) * inner;
+          std::int64_t* crow = c + static_cast<std::size_t>(i) * cols;
+          std::uint32_t* wrow =
+              witness ? witness + static_cast<std::size_t>(i) * cols : nullptr;
+          for (std::uint32_t k = kk; k < kh; ++k) {
+            const std::int64_t aik = arow[k];
+            if (is_plus_inf(aik)) continue;  // +inf sums never win
+            const std::int64_t* brow = b + static_cast<std::size_t>(k) * cols;
+            if (is_minus_inf(aik)) {
+              // -inf + x = -inf unless x = +inf; -inf beats everything
+              // except an already-recorded -inf.
+              for (std::uint32_t j = jj; j < jh; ++j) {
+                if (is_plus_inf(brow[j]) || crow[j] <= kMinusInf) continue;
+                crow[j] = kMinusInf;
+                if (wrow) wrow[j] = k;
+              }
+              continue;
+            }
+            if (clean[static_cast<std::size_t>(k) * ntiles + tile]) {
+              // Fast path: finite aik, sentinel-free B tile. |aik|, |bkj| <
+              // kPlusInf <= INT64_MAX/4, so the raw sum cannot overflow; a
+              // sum >= kPlusInf loses the min on its own (every stored c is
+              // <= kPlusInf), and the lower clamp commutes with the min.
+              if (wrow == nullptr) {
+                // Branchless min/max form the compiler can vectorize.
+                for (std::uint32_t j = jj; j < jh; ++j) {
+                  const std::int64_t s = aik + brow[j];
+                  const std::int64_t v = s <= kMinusInf ? kMinusInf : s;
+                  crow[j] = v < crow[j] ? v : crow[j];
+                }
+                continue;
+              }
+              for (std::uint32_t j = jj; j < jh; ++j) {
+                const std::int64_t s = aik + brow[j];
+                if (s < crow[j]) {
+                  // Clamp below only on the update path (rare), re-testing
+                  // so a sum under an already-stored -inf stays a no-op.
+                  const std::int64_t v = s <= kMinusInf ? kMinusInf : s;
+                  if (v < crow[j]) {
+                    crow[j] = v;
+                    wrow[j] = k;
+                  }
+                }
+              }
+              continue;
+            }
+            for (std::uint32_t j = jj; j < jh; ++j) {
+              const std::int64_t bkj = brow[j];
+              if (bkj >= kPlusInf) continue;  // s = +inf: never < crow[j]
+              std::int64_t s;
+              if (bkj <= kMinusInf) {
+                s = kMinusInf;
+              } else {
+                s = aik + bkj;
+                if (s >= kPlusInf) continue;  // saturates to +inf: never wins
+                if (s <= kMinusInf) s = kMinusInf;
+              }
+              if (s < crow[j]) {
+                crow[j] = s;
+                if (wrow) wrow[j] = k;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+class NaiveKernel final : public MinPlusKernel {
+ public:
+  std::string name() const override { return "naive"; }
+
+  std::string description() const override {
+    return "the seed triple loop (conformance oracle, out-of-line sat_add)";
+  }
+
+  void run(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+           std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+           const KernelConfig& /*config*/, std::uint32_t* witness) const override {
+    std::fill(c, c + static_cast<std::size_t>(rows) * cols, kPlusInf);
+    if (witness != nullptr) {
+      std::fill(witness, witness + static_cast<std::size_t>(rows) * cols, kNoWitness);
+    }
+    for (std::uint32_t i = 0; i < rows; ++i) {
+      for (std::uint32_t k = 0; k < inner; ++k) {
+        const std::int64_t aik = a[static_cast<std::size_t>(i) * inner + k];
+        if (is_plus_inf(aik)) continue;
+        for (std::uint32_t j = 0; j < cols; ++j) {
+          const std::int64_t s = sat_add(aik, b[static_cast<std::size_t>(k) * cols + j]);
+          const std::size_t e = static_cast<std::size_t>(i) * cols + j;
+          if (s < c[e]) {
+            c[e] = s;
+            if (witness) witness[e] = k;
+          }
+        }
+      }
+    }
+  }
+};
+
+class BlockedKernel final : public MinPlusKernel {
+ public:
+  std::string name() const override { return "blocked"; }
+
+  std::string description() const override {
+    return "cache-tiled i/k/j with row pointers and inlined saturating add";
+  }
+
+  void run(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+           std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+           const KernelConfig& config, std::uint32_t* witness) const override {
+    const std::uint32_t bs = clamp_block(config.block_size, rows, inner, cols);
+    const auto clean = classify_b_tiles(b, inner, cols, bs);
+    blocked_band(a, b, c, rows, inner, cols, bs, clean.data(), witness);
+  }
+};
+
+class ParallelKernel final : public MinPlusKernel {
+ public:
+  std::string name() const override { return "parallel"; }
+
+  std::string description() const override {
+    return "the blocked kernel sharded over row bands on std::thread workers";
+  }
+
+  void run(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+           std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+           const KernelConfig& config, std::uint32_t* witness) const override {
+    const std::uint32_t bs = clamp_block(config.block_size, rows, inner, cols);
+    const auto clean = classify_b_tiles(b, inner, cols, bs);
+    unsigned workers = config.num_threads;
+    if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+    workers = static_cast<unsigned>(std::min<std::uint64_t>(workers, rows));
+    // Row i of C depends only on row i of A and all of B, so disjoint row
+    // bands are independent: any worker count computes the same entries in
+    // the same within-row order, which is the determinism contract. The
+    // B-tile classification is shared read-only by every band.
+    if (workers <= 1 ||
+        static_cast<std::uint64_t>(rows) * inner * cols < (1u << 15)) {
+      blocked_band(a, b, c, rows, inner, cols, bs, clean.data(), witness);
+      return;
+    }
+    const BlockPartition bands(rows, workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      const std::uint32_t r0 = static_cast<std::uint32_t>(bands.block_begin(w));
+      const std::uint32_t r1 = static_cast<std::uint32_t>(bands.block_end(w));
+      pool.emplace_back([=, &clean] {
+        blocked_band(a + static_cast<std::size_t>(r0) * inner,
+                     b, c + static_cast<std::size_t>(r0) * cols, r1 - r0, inner,
+                     cols, bs, clean.data(),
+                     witness ? witness + static_cast<std::size_t>(r0) * cols
+                             : nullptr);
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+};
+
+}  // namespace
+
+DistMatrix MinPlusKernel::product(const DistMatrix& a, const DistMatrix& b,
+                                  const KernelConfig& config,
+                                  std::vector<std::uint32_t>* witness) const {
+  const std::uint32_t n = a.size();
+  QCLIQUE_CHECK(b.size() == n, "distance product size mismatch");
+  DistMatrix c(n);
+  if (witness != nullptr) {
+    // Size only: run() fully overwrites both outputs.
+    witness->resize(static_cast<std::size_t>(n) * n);
+  }
+  run(a.data(), b.data(), c.data(), n, n, n, config,
+      witness ? witness->data() : nullptr);
+  return c;
+}
+
+KernelRegistry& KernelRegistry::instance() {
+  // Builtins are registered lazily here rather than via static-initializer
+  // self-registration: the library is linked statically, and nothing would
+  // anchor a registrar translation unit against linker dead-stripping.
+  static KernelRegistry* global = [] {
+    auto* r = new KernelRegistry();
+    register_builtin_kernels(*r);
+    return r;
+  }();
+  return *global;
+}
+
+void KernelRegistry::add(std::unique_ptr<MinPlusKernel> kernel) {
+  QCLIQUE_CHECK(kernel != nullptr, "kernel registry: null kernel");
+  const std::string name = kernel->name();
+  QCLIQUE_CHECK(!name.empty(), "kernel registry: kernel with empty name");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto pos = std::lower_bound(
+      kernels_.begin(), kernels_.end(), name,
+      [](const auto& k, const std::string& key) { return k->name() < key; });
+  QCLIQUE_CHECK(pos == kernels_.end() || (*pos)->name() != name,
+                "kernel registry: duplicate kernel name '" + name + "'");
+  kernels_.insert(pos, std::move(kernel));
+}
+
+bool KernelRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(kernels_.begin(), kernels_.end(),
+                     [&](const auto& k) { return k->name() == name; });
+}
+
+const MinPlusKernel& KernelRegistry::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& k : kernels_) {
+    if (k->name() == name) return *k;
+  }
+  std::string known;
+  for (const auto& k : kernels_) {
+    if (!known.empty()) known += ", ";
+    known += k->name();
+  }
+  throw SimulationError("kernel registry: unknown kernel '" + name +
+                        "' (known: " + known + ")");
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(kernels_.size());
+  for (const auto& k : kernels_) out.push_back(k->name());
+  return out;
+}
+
+std::size_t KernelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kernels_.size();
+}
+
+void register_builtin_kernels(KernelRegistry& registry) {
+  registry.add(std::make_unique<NaiveKernel>());
+  registry.add(std::make_unique<BlockedKernel>());
+  registry.add(std::make_unique<ParallelKernel>());
+}
+
+DistMatrix min_plus_product(const DistMatrix& a, const DistMatrix& b,
+                            const KernelOptions& options) {
+  return options.resolve().product(a, b, options.config);
+}
+
+}  // namespace qclique

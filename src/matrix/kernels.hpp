@@ -1,0 +1,143 @@
+// The min-plus kernel engine: pluggable distance-product implementations.
+//
+// Every layer of the reproduction -- the centralized oracles, the repeated
+// squaring of Proposition 3, the semiring baseline's local block products,
+// and the triangle-reduction pruning -- bottoms out in the same dense
+// computation C[i][j] = min_k { A[i][k] + B[k][j] }. This file makes that
+// computation a first-class registry axis, mirroring SolverRegistry (which
+// backend) and TopologyRegistry (which communication model): harnesses pick
+// a kernel by name and sweep kernels the same way they sweep backends and
+// topologies. Built-ins:
+//
+//   * "naive"    -- the seed triple loop, kept verbatim as the conformance
+//                   oracle (index arithmetic, out-of-line sat_add);
+//   * "blocked"  -- cache-tiled i/k/j with a tunable block size, row-pointer
+//                   access, and an inlined saturating add;
+//   * "parallel" -- the blocked kernel sharded over row bands on
+//                   std::thread workers (the BatchRunner worker-count
+//                   convention: 0 = one per hardware thread).
+//
+// The kernel contract (docs/KERNELS.md, enforced by
+// tests/matrix/kernel_conformance_test.cpp): every kernel produces results
+// bit-for-bit identical to "naive" -- distances *and* witnesses -- on any
+// input, including the +-inf sentinels, for every block size and every
+// thread count. Each output row depends only on row i of A and all of B,
+// which is what makes row-band sharding deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "matrix/dist_matrix.hpp"
+
+namespace qclique {
+
+/// Per-call tuning knobs. Kernels ignore knobs they have no use for (the
+/// naive oracle ignores both).
+struct KernelConfig {
+  /// Worker threads for multithreaded kernels. 0 = one per hardware thread
+  /// (the BatchRunner convention). Results never depend on this value.
+  unsigned num_threads = 0;
+  /// Cache tile edge for blocked kernels (rows/inner/cols per tile).
+  /// Results never depend on this value.
+  std::uint32_t block_size = 64;
+};
+
+/// Sentinel witness value for entries with no finite product (+inf).
+inline constexpr std::uint32_t kNoWitness = 0xffffffffu;
+
+/// One distance-product implementation. Kernels are stateless: all per-call
+/// state lives in the arguments, so one instance may serve concurrent runs.
+class MinPlusKernel {
+ public:
+  virtual ~MinPlusKernel() = default;
+
+  /// Registry key, e.g. "blocked".
+  virtual std::string name() const = 0;
+
+  /// One-line human description (shown by harness listings).
+  virtual std::string description() const = 0;
+
+  /// C = A (x) B over square matrices. When `witness` is non-null it is
+  /// resized to n*n and filled with the smallest k attaining each minimum
+  /// (kNoWitness where C[i][j] = +inf) -- the witness computation is an
+  /// optional kernel output, not a separate implementation.
+  DistMatrix product(const DistMatrix& a, const DistMatrix& b,
+                     const KernelConfig& config = {},
+                     std::vector<std::uint32_t>* witness = nullptr) const;
+
+  /// Rectangular raw-buffer form used by block-level consumers (the
+  /// semiring baseline's cube-cell partials, tri_tri_again's local views):
+  ///   c[i*cols + j] = min_k { a[i*inner + k] + b[k*cols + j] }
+  /// for i in [0, rows), k in [0, inner), j in [0, cols). Buffers are
+  /// row-major; `a` and `b` are read-only and may alias each other (a
+  /// min-plus square passes the same buffer twice), but `c` must not
+  /// alias either input. `c` (rows*cols) is fully overwritten, as is
+  /// `witness` (rows*cols, may be null). Saturating +-inf semantics match
+  /// sat_add exactly.
+  virtual void run(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+                   std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+                   const KernelConfig& config,
+                   std::uint32_t* witness) const = 0;
+};
+
+/// Name -> kernel registry, the third registry alongside SolverRegistry and
+/// TopologyRegistry. Registration is mutex-guarded; lookups return stable
+/// references valid for the registry's lifetime and are safe from
+/// concurrent BatchRunner workers after setup.
+class KernelRegistry {
+ public:
+  /// The process-wide registry, with all built-in kernels registered.
+  static KernelRegistry& instance();
+
+  /// An empty registry (tests; embedding independent registries).
+  KernelRegistry() = default;
+
+  KernelRegistry(const KernelRegistry&) = delete;
+  KernelRegistry& operator=(const KernelRegistry&) = delete;
+
+  /// Registers a kernel under kernel->name(). Throws SimulationError on a
+  /// duplicate name or a null/empty-named kernel.
+  void add(std::unique_ptr<MinPlusKernel> kernel);
+
+  bool contains(const std::string& name) const;
+
+  /// Looks up a kernel; throws SimulationError naming the known kernels
+  /// when `name` is not registered.
+  const MinPlusKernel& get(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<MinPlusKernel>> kernels_;  // sorted by name
+};
+
+/// Registers the built-in kernels ("naive", "blocked", "parallel"). Called
+/// once by KernelRegistry::instance(); exposed so tests can build private
+/// registries with the same population.
+void register_builtin_kernels(KernelRegistry& registry);
+
+/// Selection of a kernel by registry name plus its per-call config -- the
+/// knob harnesses put on an ExecutionContext and thread through the
+/// consumer entry points. Defaults to the production kernel; the results
+/// are identical to "naive" by the kernel contract.
+struct KernelOptions {
+  std::string name = "blocked";
+  KernelConfig config;
+
+  /// Resolves through the process-wide registry (throws on unknown names).
+  const MinPlusKernel& resolve() const { return KernelRegistry::instance().get(name); }
+};
+
+/// Convenience: A (x) B through the selected kernel.
+DistMatrix min_plus_product(const DistMatrix& a, const DistMatrix& b,
+                            const KernelOptions& options = {});
+
+}  // namespace qclique

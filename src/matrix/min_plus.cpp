@@ -1,48 +1,17 @@
 #include "matrix/min_plus.hpp"
 
-#include <limits>
-
 #include "common/error.hpp"
 
 namespace qclique {
 
 DistMatrix distance_product_naive(const DistMatrix& a, const DistMatrix& b) {
-  const std::uint32_t n = a.size();
-  QCLIQUE_CHECK(b.size() == n, "distance product size mismatch");
-  DistMatrix c(n, kPlusInf);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    for (std::uint32_t k = 0; k < n; ++k) {
-      const std::int64_t aik = a.at(i, k);
-      if (is_plus_inf(aik)) continue;
-      for (std::uint32_t j = 0; j < n; ++j) {
-        const std::int64_t s = sat_add(aik, b.at(k, j));
-        if (s < c.at(i, j)) c.set(i, j, s);
-      }
-    }
-  }
-  return c;
+  return KernelRegistry::instance().get("naive").product(a, b);
 }
 
 DistMatrix distance_product_with_witness(const DistMatrix& a, const DistMatrix& b,
-                                         std::vector<std::uint32_t>& wit) {
-  const std::uint32_t n = a.size();
-  QCLIQUE_CHECK(b.size() == n, "distance product size mismatch");
-  DistMatrix c(n, kPlusInf);
-  wit.assign(static_cast<std::size_t>(n) * n, std::numeric_limits<std::uint32_t>::max());
-  for (std::uint32_t i = 0; i < n; ++i) {
-    for (std::uint32_t k = 0; k < n; ++k) {
-      const std::int64_t aik = a.at(i, k);
-      if (is_plus_inf(aik)) continue;
-      for (std::uint32_t j = 0; j < n; ++j) {
-        const std::int64_t s = sat_add(aik, b.at(k, j));
-        if (s < c.at(i, j)) {
-          c.set(i, j, s);
-          wit[static_cast<std::size_t>(i) * n + j] = k;
-        }
-      }
-    }
-  }
-  return c;
+                                         std::vector<std::uint32_t>& wit,
+                                         const KernelOptions& kernel) {
+  return kernel.resolve().product(a, b, kernel.config, &wit);
 }
 
 DistMatrix min_plus_power(const DistMatrix& a, std::uint64_t p, const ProductFn& product) {
@@ -59,10 +28,23 @@ DistMatrix min_plus_power(const DistMatrix& a, std::uint64_t p, const ProductFn&
   return acc;
 }
 
-DistMatrix apsp_by_squaring(const DistMatrix& a) {
+DistMatrix min_plus_power(const DistMatrix& a, std::uint64_t p,
+                          const KernelOptions& kernel) {
+  QCLIQUE_CHECK(p >= 1, "min_plus_power requires p >= 1");
+  const MinPlusKernel& k = kernel.resolve();
+  DistMatrix acc = a;
+  std::uint64_t covered = 1;
+  while (covered < p) {
+    acc = k.product(acc, acc, kernel.config);
+    covered *= 2;
+  }
+  return acc;
+}
+
+DistMatrix apsp_by_squaring(const DistMatrix& a, const KernelOptions& kernel) {
   const std::uint32_t n = a.size();
   if (n == 1) return a;
-  return min_plus_power(a, n - 1, distance_product_naive);
+  return min_plus_power(a, n - 1, kernel);
 }
 
 std::uint32_t squaring_product_count(std::uint64_t p) {

@@ -4,26 +4,35 @@
 // reductions are tested, plus the repeated-squaring scheme of
 // Proposition 3: A_G^n (min-plus power) holds all pairwise distances, and
 // can be computed with O(log n) distance products.
+//
+// The dense computation itself lives in the pluggable kernel engine
+// (matrix/kernels.hpp); the helpers here are thin wrappers that pick a
+// kernel. `distance_product_naive` always runs the "naive" oracle kernel.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
 #include "matrix/dist_matrix.hpp"
+#include "matrix/kernels.hpp"
 
 namespace qclique {
 
-/// Naive O(n^3) distance product C[i][j] = min_k { A[i][k] + B[k][j] }.
+/// Naive O(n^3) distance product C[i][j] = min_k { A[i][k] + B[k][j] } --
+/// the "naive" oracle kernel, by definition the reference result.
 DistMatrix distance_product_naive(const DistMatrix& a, const DistMatrix& b);
 
-/// Distance product that also returns a witness matrix: wit[i][j] = a k
-/// attaining the minimum (UINT32_MAX when C[i][j] = +inf). Used for path
-/// reconstruction (paper footnote 1).
+/// Distance product that also returns a witness matrix: wit[i][j] = the
+/// smallest k attaining the minimum (kNoWitness when C[i][j] = +inf). Used
+/// for path reconstruction (paper footnote 1). One implementation with the
+/// product: the witness is the kernel engine's optional second output, and
+/// any registered kernel produces the identical matrix.
 DistMatrix distance_product_with_witness(const DistMatrix& a, const DistMatrix& b,
-                                         std::vector<std::uint32_t>& wit);
+                                         std::vector<std::uint32_t>& wit,
+                                         const KernelOptions& kernel = {});
 
 /// A callable computing a distance product; the repeated-squaring driver is
-/// parameterized on this so it can run over the naive oracle, the classical
+/// parameterized on this so it can run over any kernel, the classical
 /// distributed implementation, or the quantum one.
 using ProductFn = std::function<DistMatrix(const DistMatrix&, const DistMatrix&)>;
 
@@ -33,9 +42,15 @@ using ProductFn = std::function<DistMatrix(const DistMatrix&, const DistMatrix&)
 /// overshooting p is harmless and exact.
 DistMatrix min_plus_power(const DistMatrix& a, std::uint64_t p, const ProductFn& product);
 
-/// Convenience: A^(>=n-1) with the naive product (centralized APSP oracle
-/// through the same reduction path the distributed solvers use).
-DistMatrix apsp_by_squaring(const DistMatrix& a);
+/// Repeated squaring over a registry kernel (no std::function on the hot
+/// path: the kernel is resolved once and invoked directly).
+DistMatrix min_plus_power(const DistMatrix& a, std::uint64_t p,
+                          const KernelOptions& kernel);
+
+/// Convenience: A^(>=n-1) through the selected kernel (centralized APSP
+/// oracle through the same reduction path the distributed solvers use; the
+/// result is kernel-independent by the conformance contract).
+DistMatrix apsp_by_squaring(const DistMatrix& a, const KernelOptions& kernel = {});
 
 /// Number of distance products min_plus_power(a, p, .) will invoke.
 std::uint32_t squaring_product_count(std::uint64_t p);

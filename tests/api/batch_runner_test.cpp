@@ -61,8 +61,8 @@ TEST(BatchRunner, ResultsInJobOrderRegardlessOfThreads) {
                                           "dense-squaring", "johnson",
                                           "bellman-ford", "semiring"};
   for (const auto& name : names) {
-    jobs.push_back(BatchJob{.graph = g, .solver = name, .seed_salt = 0,
-                            .label = "job-" + name});
+    jobs.push_back(BatchJob{.graph = g, .solver = name, .kernel = "",
+                            .seed_salt = 0, .label = "job-" + name});
   }
 
   ExecutionContext parallel_base(7);
@@ -87,13 +87,14 @@ TEST(BatchRunner, ResultsInJobOrderRegardlessOfThreads) {
 TEST(BatchRunner, FailingJobIsIsolated) {
   const auto g = std::make_shared<const Digraph>(test_graph(8, 25));
   std::vector<BatchJob> jobs;
-  jobs.push_back(BatchJob{.graph = g, .solver = "semiring", .seed_salt = 0, .label = ""});
-  jobs.push_back(BatchJob{.graph = g, .solver = "no-such-backend", .seed_salt = 0,
-                          .label = ""});
-  jobs.push_back(BatchJob{.graph = g, .solver = "dijkstra",  // negative arcs
+  jobs.push_back(BatchJob{.graph = g, .solver = "semiring", .kernel = "",
                           .seed_salt = 0, .label = ""});
-  jobs.push_back(BatchJob{.graph = g, .solver = "floyd-warshall", .seed_salt = 0,
-                          .label = ""});
+  jobs.push_back(BatchJob{.graph = g, .solver = "no-such-backend", .kernel = "",
+                          .seed_salt = 0, .label = ""});
+  jobs.push_back(BatchJob{.graph = g, .solver = "dijkstra",  // negative arcs
+                          .kernel = "", .seed_salt = 0, .label = ""});
+  jobs.push_back(BatchJob{.graph = g, .solver = "floyd-warshall", .kernel = "",
+                          .seed_salt = 0, .label = ""});
 
   const auto results = BatchRunner().run(jobs);
   ASSERT_EQ(results.size(), 4u);
@@ -108,6 +109,44 @@ TEST(BatchRunner, FailingJobIsIsolated) {
 
 TEST(BatchRunner, EmptyBatchIsEmpty) {
   EXPECT_TRUE(BatchRunner().run({}).empty());
+}
+
+// The kernel axis: run_kernels sweeps one backend over every registered
+// min-plus kernel; by the kernel contract the distances are identical and
+// each report is stamped with the kernel it ran on.
+TEST(BatchRunner, RunKernelsSweepsEveryRegisteredKernel) {
+  const Digraph g = test_graph(9, 26);
+  const BatchRunner runner(SolverRegistry::instance(), ExecutionContext(5));
+  const auto results = runner.run_kernels(g, "dense-squaring");
+  const auto names = KernelRegistry::instance().names();
+  ASSERT_EQ(results.size(), names.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << results[i].error;
+    EXPECT_EQ(results[i].label, names[i]);
+    EXPECT_EQ(results[i].report->kernel, names[i]);
+    EXPECT_EQ(results[i].report->distances, results[0].report->distances)
+        << names[i];
+  }
+}
+
+TEST(BatchRunner, JobKernelOverridesTheBaseContext) {
+  const auto g = std::make_shared<const Digraph>(test_graph(8, 27));
+  ExecutionContext base(6);
+  base.set_kernel("naive");
+  std::vector<BatchJob> jobs;
+  jobs.push_back(BatchJob{.graph = g, .solver = "semiring", .kernel = "",
+                          .seed_salt = 0, .label = "inherit"});
+  jobs.push_back(BatchJob{.graph = g, .solver = "semiring", .kernel = "parallel",
+                          .seed_salt = 0, .label = "override"});
+  jobs.push_back(BatchJob{.graph = g, .solver = "semiring", .kernel = "no-such-kernel",
+                          .seed_salt = 0, .label = "bad"});
+  const auto results = BatchRunner(SolverRegistry::instance(), base).run(jobs);
+  ASSERT_TRUE(results[0].ok && results[1].ok);
+  EXPECT_EQ(results[0].report->kernel, "naive");
+  EXPECT_EQ(results[1].report->kernel, "parallel");
+  EXPECT_EQ(results[0].report->distances, results[1].report->distances);
+  EXPECT_FALSE(results[2].ok);  // unknown kernels fail the job, not the batch
+  EXPECT_NE(results[2].error.find("no-such-kernel"), std::string::npos);
 }
 
 }  // namespace

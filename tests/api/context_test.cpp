@@ -38,6 +38,8 @@ TEST(ExecutionContext, ForkInheritsConfiguration) {
   ctx.network_config().strict_payload = false;
   ctx.set_topology("bounded-degree");
   ctx.transport().degree_cap = 4;
+  ctx.set_kernel("parallel");
+  ctx.kernel_options().config.block_size = 32;
   ctx.set_num_threads(3);
   ctx.set_check_negative_cycles(false);
   const ExecutionContext child = ctx.fork(0);
@@ -45,8 +47,20 @@ TEST(ExecutionContext, ForkInheritsConfiguration) {
   EXPECT_FALSE(child.network_config().strict_payload);
   EXPECT_EQ(child.topology(), "bounded-degree");
   EXPECT_EQ(child.transport().degree_cap, 4u);
+  EXPECT_EQ(child.kernel(), "parallel");
+  EXPECT_EQ(child.kernel_options().config.block_size, 32u);
   EXPECT_EQ(child.num_threads(), 3u);
   EXPECT_FALSE(child.check_negative_cycles());
+}
+
+TEST(ExecutionContext, KernelKnobResolvesThroughTheKernelRegistry) {
+  ExecutionContext ctx(2);
+  EXPECT_EQ(ctx.kernel(), "blocked");  // the production default
+  EXPECT_EQ(ctx.min_plus_kernel().name(), "blocked");
+  ctx.set_kernel("naive");
+  EXPECT_EQ(ctx.min_plus_kernel().name(), "naive");
+  ctx.set_kernel("no-such-kernel");
+  EXPECT_THROW(ctx.min_plus_kernel(), SimulationError);
 }
 
 TEST(ExecutionContext, BuildsNetworksThroughTheTopologyRegistry) {
@@ -97,6 +111,28 @@ INSTANTIATE_TEST_SUITE_P(AllTopologies, TopologyAxis,
                            }
                            return name;
                          });
+
+// The kernel-dependent backends accept any registered min-plus kernel
+// through the context knob and still produce oracle-exact distances: the
+// kernel changes what runs *cost* in wall time, never what they *compute*.
+class KernelAxis : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelAxis, KernelBackendsAgreeWithOracleOnEveryKernel) {
+  const Digraph g = test_graph(8, 7);
+  ExecutionContext oracle_ctx(1);
+  const DistMatrix reference =
+      SolverRegistry::instance().get("floyd-warshall").solve(g, oracle_ctx).distances;
+  for (const std::string solver : {"dense-squaring", "semiring"}) {
+    ExecutionContext ctx(654);
+    ctx.set_kernel(GetParam());
+    const ApspReport report = SolverRegistry::instance().get(solver).solve(g, ctx);
+    EXPECT_EQ(report.distances, reference) << solver << " on " << GetParam();
+    EXPECT_EQ(report.kernel, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelAxis,
+                         ::testing::ValuesIn(KernelRegistry::instance().names()));
 
 // Same seed => identical ApspReport, for every registered backend. This is
 // the reproducibility contract benches and CI regression checks rely on.

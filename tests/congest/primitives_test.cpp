@@ -5,6 +5,7 @@
 
 #include "common/math.hpp"
 #include "congest/network.hpp"
+#include "matrix/dist_matrix.hpp"
 
 namespace qclique {
 namespace {
@@ -40,6 +41,33 @@ TEST(Gather, CollectorReceivesEveryRow) {
   auto got = collect_inbox_fields(net, 3, 2);
   // Node 3's own row is not sent; 5 rows * 2 fields.
   EXPECT_EQ(got.size(), 10u);
+}
+
+TEST(Gather, RowProviderShipsMatrixRowsZeroCopy) {
+  // The span-based overload gathers whole DistMatrix rows without the
+  // per-call row copies the vector-of-vectors form requires.
+  CliqueNetwork net(5);
+  DistMatrix m(5, 0);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    for (std::uint32_t j = 0; j < 5; ++j) m.set(i, j, 10 * i + j);
+  }
+  gather_fields(net, 1, [&](NodeId v) { return m.row_span(v); }, 9, "g");
+  // FIFO per ordered (src, dst) pair: reassembling each sender's messages
+  // in arrival order recovers exactly its matrix row.
+  std::vector<std::vector<std::int64_t>> per_sender(5);
+  for (const Message& msg : net.inbox(1)) {
+    ASSERT_EQ(msg.payload.tag, 9u);
+    for (std::size_t f = 0; f < msg.payload.size; ++f) {
+      per_sender[msg.src].push_back(msg.payload.fields[f]);
+    }
+  }
+  for (NodeId v = 0; v < 5; ++v) {
+    if (v == 1) {
+      EXPECT_TRUE(per_sender[v].empty());  // the collector's row stays put
+    } else {
+      EXPECT_EQ(per_sender[v], m.row(v)) << "sender " << v;
+    }
+  }
 }
 
 TEST(Gather, ParallelLinksCostOnlyMaxRow) {

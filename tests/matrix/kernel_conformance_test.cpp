@@ -1,0 +1,244 @@
+// Kernel conformance suite: every kernel registered in the KernelRegistry
+// must produce results bit-for-bit identical to the "naive" oracle --
+// distances *and* witnesses -- on any input (docs/KERNELS.md):
+//   * +-inf sentinels and negative entries handled exactly like sat_add;
+//   * results independent of the block size;
+//   * results independent of the thread count (1, 2, and 8 workers);
+//   * the witness is the smallest k attaining each minimum, kNoWitness for
+//     +inf entries;
+//   * the rectangular raw-buffer form agrees on non-square shapes.
+// This is the transport_conformance_test of the third registry axis: it is
+// what lets every consumer (squaring oracle, semiring block products,
+// triangle pruning) switch kernels without changing what it computes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/min_plus.hpp"
+
+namespace qclique {
+namespace {
+
+/// Random matrix mixing finite entries (negative included), +inf holes, and
+/// occasional raw -inf sentinels -- the full entry domain of the contract.
+DistMatrix random_matrix(std::uint32_t n, std::int64_t lo, std::int64_t hi,
+                         double inf_prob, double minus_inf_prob, Rng& rng) {
+  DistMatrix m(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (rng.bernoulli(inf_prob)) continue;  // stay +inf
+      if (rng.bernoulli(minus_inf_prob)) {
+        m.set(i, j, kMinusInf);
+      } else {
+        m.set(i, j, rng.uniform_i64(lo, hi));
+      }
+    }
+  }
+  return m;
+}
+
+class KernelConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  const MinPlusKernel& kernel() const {
+    return KernelRegistry::instance().get(GetParam());
+  }
+  const MinPlusKernel& oracle() const {
+    return KernelRegistry::instance().get("naive");
+  }
+};
+
+TEST_P(KernelConformance, ReportsItsRegistryName) {
+  EXPECT_EQ(kernel().name(), GetParam());
+  EXPECT_FALSE(kernel().description().empty());
+}
+
+// The core contract: distances and witnesses agree bit-for-bit with the
+// naive oracle on random matrices with +-inf sentinels and negative
+// entries, for n in {1, 2, 3, 17, 64}, at 1, 2, and 8 threads.
+TEST_P(KernelConformance, AgreesWithNaiveIncludingSentinelsAndThreads) {
+  Rng rng(1234);
+  for (const std::uint32_t n : {1u, 2u, 3u, 17u, 64u}) {
+    const auto a = random_matrix(n, -40, 40, 0.25, 0.05, rng);
+    const auto b = random_matrix(n, -40, 40, 0.25, 0.05, rng);
+    std::vector<std::uint32_t> want_wit;
+    const DistMatrix want = oracle().product(a, b, {}, &want_wit);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      KernelConfig config;
+      config.num_threads = threads;
+      std::vector<std::uint32_t> wit;
+      const DistMatrix got = kernel().product(a, b, config, &wit);
+      EXPECT_EQ(got, want) << GetParam() << " n=" << n << " threads=" << threads
+                           << ": " << got.first_difference(want);
+      EXPECT_EQ(wit, want_wit)
+          << GetParam() << " witness mismatch at n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+// Tiling must never change results: sweep block sizes from degenerate (1)
+// through "one tile covers everything".
+TEST_P(KernelConformance, ResultsIndependentOfBlockSize) {
+  Rng rng(77);
+  const auto a = random_matrix(33, -9, 9, 0.3, 0.02, rng);
+  const auto b = random_matrix(33, -9, 9, 0.3, 0.02, rng);
+  std::vector<std::uint32_t> want_wit;
+  const DistMatrix want = oracle().product(a, b, {}, &want_wit);
+  // 0 and UINT32_MAX probe the clamp: degenerate and wrap-prone tile
+  // edges must behave like sane ones.
+  for (const std::uint32_t bs : {0u, 1u, 3u, 16u, 64u, 1024u, 0xffffffffu}) {
+    KernelConfig config;
+    config.block_size = bs;
+    config.num_threads = 2;
+    std::vector<std::uint32_t> wit;
+    const DistMatrix got = kernel().product(a, b, config, &wit);
+    EXPECT_EQ(got, want) << GetParam() << " block_size=" << bs << ": "
+                         << got.first_difference(want);
+    EXPECT_EQ(wit, want_wit) << GetParam() << " witness, block_size=" << bs;
+  }
+}
+
+// All-sentinel corner cases: the annihilator (+inf everywhere), a -inf
+// row/column, and entries whose sums saturate at the sentinels.
+TEST_P(KernelConformance, SentinelCornerCases) {
+  const std::uint32_t n = 5;
+  DistMatrix all_inf(n);  // default fill: +inf
+  DistMatrix mixed(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    mixed.set(i, i, 0);
+    mixed.set(i, (i + 1) % n, -3);
+    mixed.set((i + 2) % n, i, kMinusInf);
+  }
+  // Near-saturation entries: sums must clamp exactly like sat_add.
+  DistMatrix hot(n, kPlusInf - 1);
+  hot.set(0, 0, -(kPlusInf - 1));
+  for (const auto* a : {&all_inf, &mixed, &hot}) {
+    for (const auto* b : {&all_inf, &mixed, &hot}) {
+      std::vector<std::uint32_t> want_wit, wit;
+      const DistMatrix want = oracle().product(*a, *b, {}, &want_wit);
+      const DistMatrix got = kernel().product(*a, *b, {}, &wit);
+      EXPECT_EQ(got, want) << GetParam() << ": " << got.first_difference(want);
+      EXPECT_EQ(wit, want_wit) << GetParam() << " witness";
+    }
+  }
+}
+
+// The rectangular raw-buffer form (what the semiring baseline's cube cells
+// and tri_tri_again's local views call) agrees with the oracle on
+// non-square shapes.
+TEST_P(KernelConformance, RectangularRawFormAgreesWithOracle) {
+  Rng rng(5);
+  const std::uint32_t rows = 7, inner = 13, cols = 4;
+  std::vector<std::int64_t> a(static_cast<std::size_t>(rows) * inner);
+  std::vector<std::int64_t> b(static_cast<std::size_t>(inner) * cols);
+  for (auto& x : a) {
+    x = rng.bernoulli(0.2) ? kPlusInf : rng.uniform_i64(-20, 20);
+  }
+  for (auto& x : b) {
+    x = rng.bernoulli(0.2) ? kPlusInf : rng.uniform_i64(-20, 20);
+  }
+  std::vector<std::int64_t> want(static_cast<std::size_t>(rows) * cols);
+  std::vector<std::int64_t> got(want.size());
+  std::vector<std::uint32_t> want_wit(want.size()), wit(want.size());
+  oracle().run(a.data(), b.data(), want.data(), rows, inner, cols, {},
+               want_wit.data());
+  KernelConfig config;
+  config.block_size = 5;  // force ragged tiles
+  config.num_threads = 3;
+  kernel().run(a.data(), b.data(), got.data(), rows, inner, cols, config, wit.data());
+  EXPECT_EQ(got, want) << GetParam();
+  EXPECT_EQ(wit, want_wit) << GetParam();
+}
+
+// Witness semantics: smallest k attaining the minimum; kNoWitness iff the
+// entry is +inf; the witnessed sum realizes the product entry.
+TEST_P(KernelConformance, WitnessRealizesTheMinimum) {
+  Rng rng(9);
+  const std::uint32_t n = 17;
+  const auto a = random_matrix(n, -15, 15, 0.35, 0.0, rng);
+  const auto b = random_matrix(n, -15, 15, 0.35, 0.0, rng);
+  std::vector<std::uint32_t> wit;
+  const DistMatrix c = kernel().product(a, b, {}, &wit);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const std::uint32_t k = wit[static_cast<std::size_t>(i) * n + j];
+      if (is_plus_inf(c.at(i, j))) {
+        EXPECT_EQ(k, kNoWitness);
+        continue;
+      }
+      ASSERT_LT(k, n);
+      EXPECT_EQ(sat_add(a.at(i, k), b.at(k, j)), c.at(i, j));
+      // Minimality: no smaller k attains the same value.
+      for (std::uint32_t k2 = 0; k2 < k; ++k2) {
+        EXPECT_GT(sat_add(a.at(i, k2), b.at(k2, j)), c.at(i, j));
+      }
+    }
+  }
+}
+
+// Two identical calls (same config) are bit-identical -- kernels are
+// stateless and deterministic.
+TEST_P(KernelConformance, RepeatedCallsAreDeterministic) {
+  Rng rng(31);
+  const auto a = random_matrix(29, -10, 10, 0.3, 0.03, rng);
+  const auto b = random_matrix(29, -10, 10, 0.3, 0.03, rng);
+  KernelConfig config;
+  config.num_threads = 4;
+  std::vector<std::uint32_t> w1, w2;
+  EXPECT_EQ(kernel().product(a, b, config, &w1), kernel().product(a, b, config, &w2));
+  EXPECT_EQ(w1, w2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelConformance,
+                         ::testing::ValuesIn(KernelRegistry::instance().names()));
+
+TEST(KernelRegistry, BuiltinsRegisteredAndSorted) {
+  auto& reg = KernelRegistry::instance();
+  EXPECT_GE(reg.size(), 3u);
+  EXPECT_TRUE(reg.contains("naive"));
+  EXPECT_TRUE(reg.contains("blocked"));
+  EXPECT_TRUE(reg.contains("parallel"));
+  const auto names = reg.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_FALSE(reg.get("blocked").description().empty());
+}
+
+TEST(KernelRegistry, UnknownKernelThrowsNamingKnownOnes) {
+  try {
+    KernelRegistry::instance().get("simd");
+    FAIL() << "expected SimulationError";
+  } catch (const SimulationError& e) {
+    EXPECT_NE(std::string(e.what()).find("blocked"), std::string::npos);
+  }
+}
+
+TEST(KernelRegistry, DuplicateAndInvalidRegistrationThrow) {
+  KernelRegistry reg;
+  register_builtin_kernels(reg);
+  EXPECT_EQ(reg.size(), KernelRegistry::instance().size());
+  EXPECT_THROW(register_builtin_kernels(reg), SimulationError);  // duplicates
+  EXPECT_THROW(reg.add(nullptr), SimulationError);
+}
+
+TEST(KernelOptions, ResolvesThroughTheProcessRegistry) {
+  KernelOptions options;  // default: the production kernel
+  EXPECT_EQ(options.resolve().name(), options.name);
+  options.name = "naive";
+  EXPECT_EQ(options.resolve().name(), "naive");
+  options.name = "no-such-kernel";
+  EXPECT_THROW(options.resolve(), SimulationError);
+}
+
+TEST(MinPlusProduct, ConvenienceMatchesNaive) {
+  Rng rng(8);
+  const auto a = random_matrix(12, -6, 6, 0.3, 0.0, rng);
+  const auto b = random_matrix(12, -6, 6, 0.3, 0.0, rng);
+  EXPECT_EQ(min_plus_product(a, b), distance_product_naive(a, b));
+  EXPECT_EQ(min_plus_product(a, b, {.name = "parallel", .config = {.num_threads = 8}}),
+            distance_product_naive(a, b));
+}
+
+}  // namespace
+}  // namespace qclique

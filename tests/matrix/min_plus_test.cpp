@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <limits>
+
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "graph/digraph.hpp"
 #include "graph/generators.hpp"
@@ -88,6 +92,71 @@ TEST(DistanceProductWitness, WitnessAttainsMinimum) {
   }
 }
 
+// Satellite regression for the witness output: reconstructing paths from
+// the per-squaring witness matrices must yield genuine arc walks whose
+// weights sum exactly to the reported distances.
+TEST(DistanceProductWitness, ReconstructedWitnessPathsRealizeDistances) {
+  Rng rng(11);
+  const std::uint32_t n = 12;
+  const auto g = random_digraph(n, 0.45, -2, 9, rng);
+  const DistMatrix a = g.to_dist_matrix();
+
+  // Repeated squaring keeping every level's matrix and witness.
+  std::vector<DistMatrix> levels{a};
+  std::vector<std::vector<std::uint32_t>> wits;
+  std::uint64_t covered = 1;
+  while (covered < n - 1) {
+    std::vector<std::uint32_t> wit;
+    levels.push_back(distance_product_with_witness(
+        levels.back(), levels.back(), wit, {.name = "parallel", .config = {}}));
+    wits.push_back(std::move(wit));
+    covered *= 2;
+  }
+  EXPECT_EQ(levels.back(), apsp_by_squaring(a));
+
+  // Expand (level, i, j) into the arc walk the witnesses encode: at level
+  // t > 0 entry (i, j) decomposes through its witness k into two level
+  // t-1 legs; at level 0 a finite off-diagonal entry is a single arc.
+  std::function<std::vector<std::uint32_t>(std::size_t, std::uint32_t, std::uint32_t)>
+      expand = [&](std::size_t level, std::uint32_t i,
+                   std::uint32_t j) -> std::vector<std::uint32_t> {
+    if (i == j && levels[level].at(i, j) == 0) return {i};
+    if (level == 0) return {i, j};  // must be a real arc, checked below
+    const std::uint32_t k =
+        wits[level - 1][static_cast<std::size_t>(i) * n + j];
+    if (k == std::numeric_limits<std::uint32_t>::max()) {
+      // No improvement at this level: the entry was inherited, i.e. equals
+      // the level-below entry... which squaring never guarantees; witnesses
+      // are only kNoWitness for +inf entries.
+      EXPECT_TRUE(is_plus_inf(levels[level].at(i, j)));
+      return {};
+    }
+    auto left = expand(level - 1, i, k);
+    const auto right = expand(level - 1, k, j);
+    left.insert(left.end(), right.begin() + 1, right.end());
+    return left;
+  };
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const std::int64_t dist = levels.back().at(i, j);
+      if (is_plus_inf(dist)) continue;
+      const auto walk = expand(levels.size() - 1, i, j);
+      ASSERT_FALSE(walk.empty());
+      EXPECT_EQ(walk.front(), i);
+      EXPECT_EQ(walk.back(), j);
+      std::int64_t total = 0;
+      for (std::size_t s = 0; s + 1 < walk.size(); ++s) {
+        ASSERT_TRUE(g.has_arc(walk[s], walk[s + 1]))
+            << walk[s] << "->" << walk[s + 1] << " is not an arc";
+        total += g.weight(walk[s], walk[s + 1]);
+      }
+      EXPECT_EQ(total, dist) << "walk from " << i << " to " << j
+                             << " does not realize the distance";
+    }
+  }
+}
+
 TEST(MinPlusPower, MatchesFloydWarshallOnDigraphs) {
   Rng rng(4);
   for (int trial = 0; trial < 5; ++trial) {
@@ -158,6 +227,36 @@ TEST(DistMatrixTest, RowCopies) {
   a.set(1, 2, 9);
   const auto r = a.row(1);
   EXPECT_EQ(r, (std::vector<std::int64_t>{7, 7, 9}));
+}
+
+TEST(DistMatrixTest, RowPtrAndSpanAreZeroCopyViews) {
+  DistMatrix a(4, 1);
+  a.set(2, 3, -5);
+  // row_ptr aims straight into the row-major storage...
+  EXPECT_EQ(a.row_ptr(2), a.data() + 2 * 4);
+  EXPECT_EQ(a.row_ptr(2)[3], -5);
+  // ...and so does the span view (no copy: same addresses).
+  const auto s = a.row_span(2);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.data(), a.row_ptr(2));
+  EXPECT_EQ(s[3], -5);
+  // Writes through the mutable pointer are visible to at().
+  a.row_ptr(0)[1] = 42;
+  EXPECT_EQ(a.at(0, 1), 42);
+  EXPECT_THROW(a.row_ptr(4), SimulationError);
+}
+
+TEST(DistMatrixTest, FillAndAssignRow) {
+  DistMatrix a(3, 0);
+  a.fill(6);
+  EXPECT_TRUE(a.entries_within(6));
+  EXPECT_EQ(a.at(2, 2), 6);
+  const std::vector<std::int64_t> row{1, 2, 3};
+  a.assign_row(1, row);
+  EXPECT_EQ(a.row(1), row);
+  EXPECT_EQ(a.at(0, 0), 6);  // other rows untouched
+  const std::vector<std::int64_t> wrong{1, 2};
+  EXPECT_THROW(a.assign_row(1, wrong), SimulationError);
 }
 
 }  // namespace
