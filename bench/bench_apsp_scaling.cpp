@@ -11,7 +11,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "graph/generators.hpp"
+#include "graph/families.hpp"
 
 int main() {
   using namespace qclique;
@@ -26,7 +26,7 @@ int main() {
   for (const std::int64_t w : {8ll, 64ll}) {
     for (const std::uint32_t n : {8u, 12u, 16u, 20u}) {
       Rng rng(1000 + n + static_cast<std::uint64_t>(w));
-      const auto g = random_digraph(n, 0.45, -w / 2, w, rng);
+      const auto g = make_family_graph("gnp", family_config(n, 0.45, -w / 2, w), rng);
       ExecutionContext octx(1);
       const ApspReport oracle = oracle_solver.solve(g, octx);
       ExecutionContext ctx(2000 + n + static_cast<std::uint64_t>(w));

@@ -10,7 +10,7 @@
 
 #include "api/batch_runner.hpp"
 #include "common/table.hpp"
-#include "graph/generators.hpp"
+#include "graph/families.hpp"
 
 int main() {
   using namespace qclique;
@@ -28,7 +28,7 @@ int main() {
   for (const std::uint32_t n : {8u, 12u, 16u}) {
     for (const std::int64_t w : {8ll, 64ll}) {
       Rng rng(42 + n + static_cast<std::uint64_t>(w));
-      const auto g = random_digraph(n, 0.5, -w / 2, w, rng);
+      const auto g = make_family_graph("gnp", family_config(n, 0.5, -w / 2, w), rng);
 
       ExecutionContext base(7000 + n);
       const BatchRunner runner(registry, base);
@@ -75,7 +75,7 @@ int main() {
   {
     const std::uint32_t n = 10;
     Rng rng(99);
-    const auto g = random_digraph(n, 0.6, -4, 16, rng);
+    const auto g = make_family_graph("gnp", family_config(n, 0.6, -4, 16), rng);
     ExecutionContext oracle_ctx(1);
     const DistMatrix reference =
         registry.get("floyd-warshall").solve(g, oracle_ctx).distances;
@@ -112,7 +112,7 @@ int main() {
   {
     const std::uint32_t n = 14;
     Rng rng(123);
-    const auto g = random_digraph(n, 0.5, -6, 24, rng);
+    const auto g = make_family_graph("gnp", family_config(n, 0.5, -6, 24), rng);
     ExecutionContext oracle_ctx(1);
     const DistMatrix reference =
         registry.get("floyd-warshall").solve(g, oracle_ctx).distances;

@@ -14,7 +14,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/compute_pairs.hpp"
-#include "graph/generators.hpp"
+#include "graph/families.hpp"
 #include "graph/triangles.hpp"
 #include "matrix/min_plus.hpp"
 
@@ -51,7 +51,7 @@ int main() {
   std::vector<double> ns2, rounds2;
   for (const std::uint32_t n : {27u, 64u, 125u, 216u}) {
     Rng rng(n + 1);
-    const auto g = random_weighted_graph(n, 0.4, -6, 10, rng);
+    const auto g = make_family_weighted("gnp", family_config(n, 0.4, -6, 10), rng);
     const auto res = tri_tri_again_find_edges(g);
     tri.add_row({Table::fmt(static_cast<std::uint64_t>(n)), Table::fmt(res.rounds),
                  Table::fmt(static_cast<std::uint64_t>(res.hot_pairs.size())),
@@ -73,7 +73,7 @@ int main() {
   std::vector<double> ns3, qcalls, ccalls;
   for (const std::uint32_t n : {64u, 144u, 256u, 400u}) {
     Rng rng(n + 2);
-    const auto g = random_weighted_graph(n, 0.35, -6, 10, rng);
+    const auto g = make_family_weighted("gnp", family_config(n, 0.35, -6, 10), rng);
     std::vector<VertexPair> s;
     for (std::uint32_t u = 0; u < n; ++u) {
       for (std::uint32_t v = u + 1; v < n; ++v) s.emplace_back(u, v);

@@ -10,7 +10,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/evaluation.hpp"
-#include "graph/generators.hpp"
+#include "graph/families.hpp"
 #include "congest/network.hpp"
 
 int main() {
@@ -21,7 +21,7 @@ int main() {
                "max |L^k_w|", "promise", "violations"});
   for (const std::uint32_t n : {64u, 144u, 256u}) {
     Rng rng(n);
-    const auto g = random_weighted_graph(n, 0.5, -8, 10, rng);
+    const auto g = make_family_weighted("gnp", family_config(n, 0.5, -8, 10), rng);
     Partitions parts(n);
     std::vector<std::uint32_t> t_alpha;
     for (std::uint32_t wb = 0; wb < parts.num_wblocks(); ++wb) t_alpha.push_back(wb);

@@ -21,7 +21,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/compute_pairs.hpp"
-#include "graph/generators.hpp"
+#include "graph/families.hpp"
 #include "graph/triangles.hpp"
 
 namespace {
@@ -50,7 +50,7 @@ void run_sweep(const std::string& title, const std::vector<std::uint32_t>& sizes
   std::vector<double> ns, qr, cr, qc, cc;
   for (const std::uint32_t n : sizes) {
     Rng rng(7000 + n);
-    const auto g = random_weighted_graph(n, 0.4, -6, 10, rng);
+    const auto g = make_family_weighted("gnp", family_config(n, 0.4, -6, 10), rng);
     std::vector<VertexPair> s;
     for (std::uint32_t u = 0; u < n; ++u) {
       for (std::uint32_t v = u + 1; v < n; ++v) s.emplace_back(u, v);

@@ -11,7 +11,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/identify_class.hpp"
-#include "graph/generators.hpp"
+#include "graph/families.hpp"
 #include "congest/network.hpp"
 
 int main() {
@@ -26,7 +26,7 @@ int main() {
     for (int t = 0; t < trials; ++t) {
       Rng rng(50 * n + t);
       // Dense negative-heavy graphs generate spread-out Delta values.
-      const auto g = random_weighted_graph(n, 0.7, -10, 4, rng);
+      const auto g = make_family_weighted("gnp", family_config(n, 0.7, -10, 4), rng);
       std::vector<VertexPair> s;
       for (std::uint32_t u = 0; u < n; ++u) {
         for (std::uint32_t v = u + 1; v < n; ++v) s.emplace_back(u, v);

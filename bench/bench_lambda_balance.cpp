@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/lambda_sampler.hpp"
+#include "graph/families.hpp"
 
 int main() {
   using namespace qclique;
@@ -55,8 +56,55 @@ int main() {
                     : "Scaled constants x0.05 (sub-saturating p: coverage decays "
                       "as Lemma 2 predicts)");
   }
+  // --- Adversarial workload shape: the lambda-skew family. -----------------
+  // sample_lambda_family spreads P(u, v) uniformly, but the *edge-backed*
+  // pair mass a workload actually queries follows the graph. The
+  // lambda-skew family concentrates that mass on `hubs` rows; this table
+  // contrasts its per-row concentration against gnp at equal edge budget,
+  // next to the Lemma 2 balance threshold the row loads are measured
+  // against.
+  Table skew({"n", "family", "edges", "max row pairs", "mean row pairs",
+              "skew x", "threshold"});
+  for (const std::uint32_t n : {64u, 144u, 256u}) {
+    for (const bool adversarial : {false, true}) {
+      // Equal expected edge budget: the skew family's hub rows are
+      // complete, so its sparse rows get the remainder of gnp's mass.
+      FamilyConfig cfg = family_config(n, adversarial ? 0.05 : 0.1, 1, 9);
+      cfg.hubs = 2;
+      Rng rng(31 * n + adversarial);
+      const auto g = make_family_weighted(adversarial ? "lambda-skew" : "gnp",
+                                          cfg, rng);
+      Partitions parts(n);
+      const std::uint32_t vb = parts.num_vblocks() > 1 ? 1 : 0;
+      std::uint64_t max_row = 0, total = 0;
+      std::uint32_t rows = 0;
+      for (const std::uint32_t u : parts.vblock_vertices(0)) {
+        std::uint64_t row = 0;
+        for (const std::uint32_t v : parts.vblock_vertices(vb)) {
+          row += (u != v && g.has_edge(u, v));
+        }
+        max_row = std::max(max_row, row);
+        total += row;
+        ++rows;
+      }
+      const double mean =
+          rows ? static_cast<double>(total) / static_cast<double>(rows) : 0.0;
+      skew.add_row({Table::fmt(static_cast<std::uint64_t>(n)),
+                    adversarial ? "lambda-skew" : "gnp",
+                    Table::fmt(g.num_edges()), Table::fmt(max_row),
+                    Table::fmt(mean, 1),
+                    Table::fmt(mean > 0 ? static_cast<double>(max_row) / mean : 0.0, 1),
+                    Table::fmt(lambda_balance_threshold(n, Constants::paper()), 0)});
+    }
+  }
+  skew.print("Edge-backed pair mass per u-row, block pair (0, vb): gnp vs "
+             "lambda-skew");
+
   std::cout << "\nReading: empirical covers% tracks the predicted column in both\n"
                "regimes. The paper's constant 10 keeps (1-p)^{sqrt n} <= n^{-4}\n"
-               "asymptotically; at simulable n that forces p = 1.\n";
+               "asymptotically; at simulable n that forces p = 1. The skew\n"
+               "table shows why structured workloads matter: lambda-skew packs\n"
+               "its hub rows to the block width (a skew factor far above gnp's),\n"
+               "exactly the row concentration the Lemma 2 threshold polices.\n";
   return 0;
 }

@@ -1,0 +1,99 @@
+// Experiment E15: the full scenario matrix -- graph family x solver
+// backend x transport topology x min-plus kernel, the four registry axes
+// crossed in one BatchRunner::run_scenarios sweep.
+//
+//   $ ./bench_scenario_matrix [n] [json-path]
+//
+// Every registered graph family is generated once at size n and pushed
+// through the distributed backends on every registered topology (and the
+// centralized reference on the first), across two kernels. Per scenario,
+// all successful runs must agree exactly with the floyd-warshall oracle on
+// that family's graph: graph structure, like the topology and the kernel,
+// changes what runs *cost*, never what they *compute*. Sparse topologies
+// may reject structurally incompatible inputs (a disconnected clustered
+// graph has no congest route); those scenarios report the rejection
+// instead of failing the bench. The full grid is exported as one JSON
+// array (scenarios_to_json) -- the artifact CI uploads.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "api/batch_runner.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qclique;
+  const std::uint32_t n =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 12;
+  const std::string json_path = argc > 2 ? argv[2] : "";
+  std::cout << "E15: scenario matrix (family x backend x topology x kernel), n = "
+            << n << "\n\n";
+
+  SolverRegistry& registry = SolverRegistry::instance();
+  ScenarioSpec spec;
+  spec.solvers = {"quantum", "semiring", "floyd-warshall"};
+  spec.kernels = {"naive", "blocked"};
+  spec.config.n = n;
+  spec.config.wmin = -4;
+  spec.config.wmax = 9;
+  spec.graph_seed = 71;
+
+  const BatchRunner runner(registry, ExecutionContext(4200 + n));
+  const auto results = runner.run_scenarios(spec);
+
+  // Per family: the oracle's distances on that family's graph are the
+  // reference every successful scenario must reproduce.
+  Table table({"family", "scenarios", "ok", "rejected", "rounds min..max",
+               "agree"});
+  bool all_agree = true;
+  std::size_t i = 0;
+  while (i < results.size()) {
+    const std::string family = results[i].family;
+    const DistMatrix* reference = nullptr;
+    std::size_t total = 0, ok = 0, rejected = 0;
+    std::uint64_t rmin = ~0ull, rmax = 0;
+    bool agree = true;
+    for (; i < results.size() && results[i].family == family; ++i) {
+      const auto& r = results[i];
+      ++total;
+      if (!r.ok) {
+        ++rejected;
+        continue;
+      }
+      ++ok;
+      if (r.solver == "floyd-warshall" && reference == nullptr) {
+        reference = &r.report->distances;
+      }
+      rmin = std::min(rmin, r.report->rounds);
+      rmax = std::max(rmax, r.report->rounds);
+    }
+    // Second pass over this family's slice for agreement with the oracle.
+    for (std::size_t j = i - total; j < i; ++j) {
+      const auto& r = results[j];
+      if (!r.ok || reference == nullptr) continue;
+      agree = agree && r.report->distances == *reference;
+    }
+    agree = agree && reference != nullptr && ok > 0;
+    all_agree = all_agree && agree;
+    table.add_row({family, Table::fmt(static_cast<std::uint64_t>(total)),
+                   Table::fmt(static_cast<std::uint64_t>(ok)),
+                   Table::fmt(static_cast<std::uint64_t>(rejected)),
+                   Table::fmt(rmin > rmax ? 0 : rmin) + ".." + Table::fmt(rmax),
+                   agree ? "yes" : "NO"});
+  }
+  table.print("Scenario matrix: per-family cross-backend agreement");
+
+  const std::string json = scenarios_to_json(results);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json << "\n";
+    std::cout << "\nscenario_matrix_json written to " << json_path << " ("
+              << results.size() << " scenarios)\n";
+  } else {
+    std::cout << "\nscenario_matrix_json: " << json << "\n";
+  }
+
+  std::cout << "\nPer-scenario agreement across the whole grid: "
+            << (all_agree ? "yes" : "NO") << "\n";
+  return all_agree ? 0 : 1;
+}

@@ -13,7 +13,7 @@
 #include "api/registry.hpp"
 #include "common/table.hpp"
 #include "core/round_model.hpp"
-#include "graph/generators.hpp"
+#include "graph/families.hpp"
 
 int main(int argc, char** argv) {
   using namespace qclique;
@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const std::int64_t w = argc > 2 ? std::atoll(argv[2]) : 16;
 
   Rng rng(5);
-  const auto g = random_digraph(n, 0.45, -w / 2, w, rng);
+  const auto g = make_family_graph("gnp", family_config(n, 0.45, -w / 2, w), rng);
   std::cout << "Quantum APSP on n = " << n << ", W = " << w << " ("
             << g.num_arcs() << " arcs)\n\n";
 

@@ -12,7 +12,7 @@
 
 #include "api/batch_runner.hpp"
 #include "common/table.hpp"
-#include "graph/generators.hpp"
+#include "graph/families.hpp"
 
 int main() {
   using namespace qclique;
@@ -22,7 +22,7 @@ int main() {
 
   for (std::uint32_t n : {8u, 12u, 16u, 20u}) {
     Rng rng(n);
-    const auto g = random_digraph(n, 0.45, -6, 10, rng);
+    const auto g = make_family_graph("gnp", family_config(n, 0.45, -6, 10), rng);
 
     ExecutionContext base(1234 + n);
     const BatchRunner runner(registry, base);

@@ -16,8 +16,11 @@
 # -fno-sanitize-recover), so CI fails on the first report.
 # Set QCLIQUE_KERNEL=<regex> to filter ctest down to matching suites (e.g.
 # QCLIQUE_KERNEL=Kernel runs the kernel conformance + registry suites);
-# with a filter active the API smoke runs are skipped — that mode exists
-# for targeted sanitizer jobs, not for tier-1 verification.
+# QCLIQUE_FAMILY=<regex> does the same for the graph-family suites (e.g.
+# QCLIQUE_FAMILY=Family runs the family conformance + registry suites).
+# When both are set the filters are OR-ed. With any filter active the API
+# smoke runs are skipped — that mode exists for targeted sanitizer jobs,
+# not for tier-1 verification.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,20 +43,28 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "${CMAKE_EXTRA_ARGS
 echo "== build =="
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-CTEST_FILTER_ARGS=()
+CTEST_FILTER=""
 if [[ -n "${QCLIQUE_KERNEL:-}" ]]; then
+  CTEST_FILTER="${QCLIQUE_KERNEL}"
+fi
+if [[ -n "${QCLIQUE_FAMILY:-}" ]]; then
+  CTEST_FILTER="${CTEST_FILTER:+${CTEST_FILTER}|}${QCLIQUE_FAMILY}"
+fi
+
+CTEST_FILTER_ARGS=()
+if [[ -n "${CTEST_FILTER}" ]]; then
   # --no-tests=error: a filter that matches nothing (renamed suite, typo
   # in CI) must fail loudly, not pass vacuously.
-  CTEST_FILTER_ARGS+=("-R" "${QCLIQUE_KERNEL}" "--no-tests=error")
-  echo "== ctest (filtered: ${QCLIQUE_KERNEL}) =="
+  CTEST_FILTER_ARGS+=("-R" "${CTEST_FILTER}" "--no-tests=error")
+  echo "== ctest (filtered: ${CTEST_FILTER}) =="
 else
   echo "== ctest =="
 fi
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
       "${CTEST_FILTER_ARGS[@]}"
 
-if [[ -n "${QCLIQUE_KERNEL:-}" ]]; then
-  echo "OK: filtered suite (${QCLIQUE_KERNEL}) passed."
+if [[ -n "${CTEST_FILTER}" ]]; then
+  echo "OK: filtered suite (${CTEST_FILTER}) passed."
   exit 0
 fi
 
@@ -67,5 +78,8 @@ echo "== smoke: BatchRunner backend matrix =="
 
 echo "== smoke: transport layouts and topologies =="
 "$BUILD_DIR/bench_transport" > /dev/null
+
+echo "== smoke: scenario matrix (family x backend x topology x kernel) =="
+"$BUILD_DIR/bench_scenario_matrix" 10 "$BUILD_DIR/scenario_matrix.json" > /dev/null
 
 echo "OK: build, tests, and API smoke runs all passed."

@@ -1,6 +1,7 @@
 #include "api/batch_runner.hpp"
 
 #include <atomic>
+#include <sstream>
 #include <thread>
 
 #include "common/error.hpp"
@@ -23,6 +24,7 @@ std::vector<BatchResult> BatchRunner::run_with_workers(
     BatchResult& out = results[i];
     out.job_index = i;
     out.solver = jobs[i].solver;
+    out.family = jobs[i].family;
     out.label = jobs[i].label;
     try {
       QCLIQUE_CHECK(jobs[i].graph != nullptr, "batch job without a graph");
@@ -33,6 +35,7 @@ std::vector<BatchResult> BatchRunner::run_with_workers(
           base_.fork(static_cast<std::uint64_t>(i) * 0x100000001b3ULL +
                      jobs[i].seed_salt);
       if (!jobs[i].kernel.empty()) ctx.set_kernel(jobs[i].kernel);
+      if (!jobs[i].topology.empty()) ctx.set_topology(jobs[i].topology);
       // A fanned-out batch already saturates the machine with one worker
       // per hardware thread; letting every job's "parallel" kernel spawn
       // its own full thread pool on top would oversubscribe quadratically.
@@ -40,6 +43,7 @@ std::vector<BatchResult> BatchRunner::run_with_workers(
       // kernel contract, only wall time changes.
       if (workers > 1) ctx.kernel_options().config.num_threads = 1;
       out.report = solver.solve(*jobs[i].graph, ctx);
+      out.report->family = jobs[i].family;
       out.ok = true;
     } catch (const std::exception& e) {
       out.ok = false;
@@ -85,7 +89,61 @@ std::vector<BatchResult> BatchRunner::run_all(const Digraph& g,
   jobs.reserve(solvers.size());
   for (const std::string& name : solvers) {
     jobs.push_back(BatchJob{.graph = shared, .solver = name, .kernel = "",
-                            .seed_salt = 0, .label = name});
+                            .topology = "", .family = "", .seed_salt = 0,
+                            .label = name});
+  }
+  return run(jobs);
+}
+
+std::vector<BatchResult> BatchRunner::run_scenarios(const ScenarioSpec& spec) const {
+  const std::vector<std::string> families =
+      spec.families.empty() ? GraphFamilyRegistry::instance().names()
+                            : spec.families;
+  const std::vector<std::string> topologies =
+      spec.topologies.empty() ? TopologyRegistry::instance().names()
+                              : spec.topologies;
+  const std::vector<std::string> kernels =
+      spec.kernels.empty() ? KernelRegistry::instance().names() : spec.kernels;
+
+  std::vector<BatchJob> jobs;
+  for (const std::string& family : families) {
+    // Key the family's graph by (graph_seed, family name) -- an FNV-1a
+    // fold through splitmix64 -- so the sweep's composition never changes
+    // any individual family's graph.
+    std::uint64_t fseed = spec.graph_seed ^ 0xcbf29ce484222325ULL;
+    for (const char ch : family) {
+      fseed = (fseed ^ static_cast<unsigned char>(ch)) * 0x100000001b3ULL;
+    }
+    Rng rng(splitmix64(fseed));
+    const auto graph = std::make_shared<const Digraph>(
+        GraphFamilyRegistry::instance().get(family).generate(spec.config, rng));
+
+    std::vector<std::string> solvers = spec.solvers;
+    if (solvers.empty()) {
+      const bool negative = graph->has_negative_arc();
+      for (const std::string& name : registry_.names()) {
+        if (negative && !registry_.get(name).capabilities().negative_weights)
+          continue;
+        solvers.push_back(name);
+      }
+    }
+    for (const std::string& solver : solvers) {
+      const bool distributed =
+          registry_.contains(solver) &&
+          registry_.get(solver).capabilities().distributed;
+      for (std::size_t t = 0; t < topologies.size(); ++t) {
+        // Centralized oracles never touch the transport; one topology row
+        // carries all the information the grid can hold for them.
+        if (!distributed && t > 0) break;
+        for (const std::string& kernel : kernels) {
+          jobs.push_back(BatchJob{
+              .graph = graph, .solver = solver, .kernel = kernel,
+              .topology = topologies[t], .family = family, .seed_salt = 0,
+              .label = family + "/" + solver + "/" + topologies[t] + "/" +
+                       kernel});
+        }
+      }
+    }
   }
   return run(jobs);
 }
@@ -99,13 +157,35 @@ std::vector<BatchResult> BatchRunner::run_kernels(const Digraph& g,
   jobs.reserve(kernels.size());
   for (const std::string& name : kernels) {
     jobs.push_back(BatchJob{.graph = shared, .solver = solver, .kernel = name,
-                            .seed_salt = 0, .label = name});
+                            .topology = "", .family = "", .seed_salt = 0,
+                            .label = name});
   }
   // One batch worker: this sweep exists to compare kernel wall times, so
   // each job must own the whole machine (a parallel batch would both skew
   // the timings and trip run()'s kernel-thread cap, silently benchmarking
   // "parallel" as "blocked").
   return run_with_workers(jobs, 1);
+}
+
+std::string scenarios_to_json(const std::vector<BatchResult>& results) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BatchResult& r = results[i];
+    if (i > 0) out << ",";
+    out << "{\"label\":" << json_quote(r.label)
+        << ",\"family\":" << json_quote(r.family)
+        << ",\"solver\":" << json_quote(r.solver)
+        << ",\"ok\":" << (r.ok ? "true" : "false");
+    if (r.ok) {
+      out << ",\"report\":" << r.report->to_json();
+    } else {
+      out << ",\"error\":" << json_quote(r.error);
+    }
+    out << "}";
+  }
+  out << "]";
+  return out.str();
 }
 
 }  // namespace qclique

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "api/registry.hpp"
+#include "graph/families.hpp"
 
 namespace qclique {
 
@@ -29,6 +30,15 @@ struct BatchJob {
   /// base context's kernel. This is how harnesses sweep kernels the same
   /// way they sweep backends.
   std::string kernel;
+  /// Transport topology for this job (TopologyRegistry key); empty =
+  /// inherit the base context's topology. The fourth per-job scenario
+  /// override next to solver and kernel.
+  std::string topology;
+  /// Graph family the job's input was drawn from (GraphFamilyRegistry
+  /// key); purely descriptive -- the graph is already generated -- but
+  /// echoed into the result and stamped onto the report so scenario grids
+  /// stay self-describing. Empty = ad-hoc input.
+  std::string family;
   /// Extra salt mixed into the forked context seed (jobs that should see
   /// different randomness with everything else equal).
   std::uint64_t seed_salt = 0;
@@ -41,10 +51,28 @@ struct BatchJob {
 struct BatchResult {
   std::size_t job_index = 0;
   std::string solver;
+  std::string family;  // the job's graph family ("" = ad-hoc input)
   std::string label;
   bool ok = false;
   std::string error;
   std::optional<ApspReport> report;
+};
+
+/// Declarative scenario sweep: the cross product of graph families x
+/// solver backends x transport topologies x min-plus kernels, the
+/// four registry axes in one spec. Empty axis lists mean "every
+/// registered name" (solvers additionally skip backends whose
+/// capabilities reject a family's weights, like run_all).
+struct ScenarioSpec {
+  std::vector<std::string> families;    // GraphFamilyRegistry keys
+  std::vector<std::string> solvers;     // SolverRegistry keys
+  std::vector<std::string> topologies;  // TopologyRegistry keys
+  std::vector<std::string> kernels;     // KernelRegistry keys
+  /// Generation knobs shared by every family in the sweep.
+  FamilyConfig config;
+  /// Family graphs are drawn from (graph_seed, family name), so adding or
+  /// reordering families never changes another family's graph.
+  std::uint64_t graph_seed = 1;
 };
 
 class BatchRunner {
@@ -80,6 +108,19 @@ class BatchRunner {
   std::vector<BatchResult> run_kernels(const Digraph& g, const std::string& solver,
                                        std::vector<std::string> kernels = {}) const;
 
+  /// The full scenario matrix: generates one graph per family in
+  /// `spec` (keyed by spec.graph_seed and the family name), then runs
+  /// every (family, solver, topology, kernel) combination as one job.
+  /// Centralized backends (capabilities().distributed == false) run on the
+  /// first topology only -- the communication model cannot affect them, so
+  /// the extra rows would only duplicate results. Each result carries its
+  /// family, and each successful report is stamped with it
+  /// (ApspReport::family, exported by to_json). Per scenario, every
+  /// backend must produce identical distances -- graph structure, like the
+  /// topology and the kernel, changes what runs cost, never what they
+  /// compute.
+  std::vector<BatchResult> run_scenarios(const ScenarioSpec& spec) const;
+
   const ExecutionContext& base_context() const { return base_; }
 
   /// Aggregate ledger over every successful job this runner has executed.
@@ -96,5 +137,11 @@ class BatchRunner {
   ExecutionContext base_;
   mutable RoundLedger batch_ledger_;
 };
+
+/// One JSON array over a batch: successful jobs inline the full
+/// ApspReport::to_json (family stamp included) under "report"; failed jobs
+/// carry their scenario coordinates and the error message. The export
+/// format of bench_scenario_matrix and the CI scenario artifact.
+std::string scenarios_to_json(const std::vector<BatchResult>& results);
 
 }  // namespace qclique

@@ -38,7 +38,8 @@ std::string ApspReport::to_json() const {
   std::ostringstream out;
   out << "{\"solver\":" << json_quote(solver)
       << ",\"topology\":" << json_quote(topology)
-      << ",\"kernel\":" << json_quote(kernel) << ",\"n\":" << n
+      << ",\"kernel\":" << json_quote(kernel)
+      << ",\"family\":" << json_quote(family) << ",\"n\":" << n
       << ",\"rounds\":" << rounds << ",\"wall_ms\":" << wall_ms
       << ",\"metrics\":{";
   bool first = true;

@@ -35,6 +35,10 @@ struct ApspReport {
   std::string solver;        // registry name of the backend that ran
   std::string topology;      // transport the run was measured on
   std::string kernel;        // min-plus kernel the run was configured with
+  /// Graph family the input was drawn from (GraphFamilyRegistry key).
+  /// Stamped by scenario harnesses (BatchRunner jobs carrying a family);
+  /// empty for ad-hoc inputs.
+  std::string family;
   std::uint32_t n = 0;       // input size
   DistMatrix distances;      // the APSP matrix
   std::uint64_t rounds = 0;  // simulated CONGEST-CLIQUE rounds (0 = oracle)

@@ -1,0 +1,541 @@
+#include "graph/families.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace qclique {
+namespace {
+
+using Edge = std::pair<std::uint32_t, std::uint32_t>;
+
+void validate(const FamilyConfig& config) {
+  QCLIQUE_CHECK(config.n >= 1, "graph family requires n >= 1");
+  QCLIQUE_CHECK(config.wmin <= config.wmax,
+                "graph family requires wmin <= wmax");
+}
+
+/// Normalizes to u < v, drops self-loops, sorts, and removes duplicates --
+/// structure builders may emit wraparound edges twice (a 2-row torus) or in
+/// either orientation.
+std::vector<Edge> canonical_edges(std::vector<Edge> edges) {
+  std::vector<Edge> out;
+  out.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    out.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Digraph weights on a symmetric structure must be non-negative: the arc
+/// pair (u, v), (v, u) with weight w is itself a cycle of weight 2w.
+std::int64_t symmetric_wmin(const FamilyConfig& config) {
+  return std::max<std::int64_t>(0, config.wmin);
+}
+
+/// Shared implementation for the structural (undirected) families: a
+/// subclass supplies the edge set, this base samples the weights -- clamped
+/// to [max(0, wmin), wmax] in digraph form, full-range undirected.
+class UndirectedFamily : public GraphFamily {
+ public:
+  Digraph generate(const FamilyConfig& config, Rng& rng) const final {
+    validate(config);
+    QCLIQUE_CHECK(config.wmax >= 0,
+                  "symmetric family '" + name() +
+                      "' requires wmax >= 0: negative symmetric arcs form "
+                      "negative 2-cycles");
+    Digraph g(config.n);
+    const std::int64_t lo = symmetric_wmin(config);
+    for (const auto& [u, v] : canonical_edges(edges(config, rng))) {
+      const std::int64_t w = rng.uniform_i64(lo, config.wmax);
+      g.set_arc(u, v, w);
+      g.set_arc(v, u, w);
+    }
+    return g;
+  }
+
+  WeightedGraph generate_weighted(const FamilyConfig& config, Rng& rng) const final {
+    validate(config);
+    WeightedGraph g(config.n);
+    for (const auto& [u, v] : canonical_edges(edges(config, rng))) {
+      g.set_edge(u, v, rng.uniform_i64(config.wmin, config.wmax));
+    }
+    return g;
+  }
+
+ protected:
+  /// The structure hook: the undirected edge set (self-loops and duplicates
+  /// are filtered by the base).
+  virtual std::vector<Edge> edges(const FamilyConfig& config, Rng& rng) const = 0;
+
+  /// Traits every symmetric family shares; subclasses fill in the rest.
+  FamilyTraits symmetric_traits() const {
+    FamilyTraits t;
+    t.symmetric = true;
+    t.no_negative_cycles = true;   // weights are >= 0 in digraph form
+    t.nonnegative_weights = true;
+    return t;
+  }
+};
+
+// --------------------------------------------------------------- gnp -------
+
+class GnpFamily final : public GraphFamily {
+ public:
+  std::string name() const override { return "gnp"; }
+  std::string description() const override {
+    return "Erdos-Renyi G(n, p) digraph; potential-reweighted arcs keep "
+           "every cycle non-negative when no_negative_cycles is set";
+  }
+  FamilyTraits traits(const FamilyConfig& config) const override {
+    FamilyTraits t;
+    t.no_negative_cycles = config.no_negative_cycles || config.wmin >= 0;
+    t.nonnegative_weights = config.wmin >= 0;
+    return t;
+  }
+  Digraph generate(const FamilyConfig& config, Rng& rng) const override {
+    validate(config);
+    return random_digraph(config.n, config.density, config.wmin, config.wmax,
+                          rng, config.no_negative_cycles);
+  }
+  WeightedGraph generate_weighted(const FamilyConfig& config, Rng& rng) const override {
+    validate(config);
+    return random_weighted_graph(config.n, config.density, config.wmin,
+                                 config.wmax, rng);
+  }
+};
+
+// -------------------------------------------------------- grid / torus -----
+
+/// rows = the largest divisor of n at most sqrt(n) (1 when n is prime, so
+/// the grid degrades to a path and the torus to a cycle).
+std::uint32_t grid_rows(std::uint32_t n) {
+  auto rows = static_cast<std::uint32_t>(isqrt(n));
+  while (rows > 1 && n % rows != 0) --rows;
+  return std::max<std::uint32_t>(1, rows);
+}
+
+std::vector<Edge> lattice_edges(std::uint32_t n, bool torus) {
+  const std::uint32_t rows = grid_rows(n);
+  const std::uint32_t cols = n / rows;
+  std::vector<Edge> edges;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      const std::uint32_t v = r * cols + c;
+      if (c + 1 < cols) {
+        edges.emplace_back(v, v + 1);
+      } else if (torus) {
+        edges.emplace_back(v, r * cols);
+      }
+      if (r + 1 < rows) {
+        edges.emplace_back(v, v + cols);
+      } else if (torus) {
+        edges.emplace_back(v, c);
+      }
+    }
+  }
+  return edges;
+}
+
+class GridFamily final : public UndirectedFamily {
+ public:
+  std::string name() const override { return "grid"; }
+  std::string description() const override {
+    return "2D lattice (rows x cols with rows the largest divisor of n at "
+           "most sqrt n), 4-neighbor";
+  }
+  FamilyTraits traits(const FamilyConfig&) const override {
+    FamilyTraits t = symmetric_traits();
+    t.connected = true;
+    t.degree_bound = 4;
+    return t;
+  }
+
+ protected:
+  std::vector<Edge> edges(const FamilyConfig& config, Rng&) const override {
+    return lattice_edges(config.n, /*torus=*/false);
+  }
+};
+
+class TorusFamily final : public UndirectedFamily {
+ public:
+  std::string name() const override { return "torus"; }
+  std::string description() const override {
+    return "2D lattice with wraparound rows and columns";
+  }
+  FamilyTraits traits(const FamilyConfig&) const override {
+    FamilyTraits t = symmetric_traits();
+    t.connected = true;
+    t.degree_bound = 4;
+    return t;
+  }
+
+ protected:
+  std::vector<Edge> edges(const FamilyConfig& config, Rng&) const override {
+    return lattice_edges(config.n, /*torus=*/true);
+  }
+};
+
+// ----------------------------------------------------- ring of cliques -----
+
+class RingOfCliquesFamily final : public UndirectedFamily {
+ public:
+  std::string name() const override { return "ring-of-cliques"; }
+  std::string description() const override {
+    return "`clusters` near-equal cliques bridged in a ring -- dense local "
+           "structure, single-edge bottlenecks between blocks";
+  }
+  FamilyTraits traits(const FamilyConfig&) const override {
+    FamilyTraits t = symmetric_traits();
+    t.connected = true;
+    return t;
+  }
+
+ protected:
+  std::vector<Edge> edges(const FamilyConfig& config, Rng&) const override {
+    const std::uint32_t k =
+        std::clamp<std::uint32_t>(config.clusters, 1, config.n);
+    const BlockPartition blocks(config.n, k);
+    std::vector<Edge> edges;
+    for (std::uint32_t b = 0; b < k; ++b) {
+      const auto begin = static_cast<std::uint32_t>(blocks.block_begin(b));
+      const auto end = static_cast<std::uint32_t>(blocks.block_end(b));
+      for (std::uint32_t u = begin; u < end; ++u) {
+        for (std::uint32_t v = u + 1; v < end; ++v) edges.emplace_back(u, v);
+      }
+      if (k >= 2) {
+        const std::uint32_t next = (b + 1) % k;
+        edges.emplace_back(end - 1,
+                           static_cast<std::uint32_t>(blocks.block_begin(next)));
+      }
+    }
+    return edges;
+  }
+};
+
+// ------------------------------------------------------------ expander -----
+
+class ExpanderFamily final : public UndirectedFamily {
+ public:
+  std::string name() const override { return "expander"; }
+  std::string description() const override {
+    return "bounded-degree circulant overlay: ring plus power-of-two "
+           "chords, degree capped by `degree`";
+  }
+  FamilyTraits traits(const FamilyConfig& config) const override {
+    FamilyTraits t = symmetric_traits();
+    t.connected = true;
+    t.degree_bound = 2 * std::max<std::uint32_t>(1, config.degree / 2);
+    return t;
+  }
+
+ protected:
+  std::vector<Edge> edges(const FamilyConfig& config, Rng&) const override {
+    const std::uint32_t n = config.n;
+    // Offsets past 2^30 only alias earlier ones mod n; the cap also keeps
+    // the shift below overflow for absurd degree configs.
+    const std::uint32_t chords =
+        std::min(30u, std::max<std::uint32_t>(1, config.degree / 2));
+    std::vector<Edge> edges;
+    std::uint32_t offset = 1;
+    for (std::uint32_t i = 0; i < chords; ++i, offset <<= 1) {
+      for (std::uint32_t v = 0; v < n; ++v) {
+        edges.emplace_back(v, (v + offset) % n);
+      }
+    }
+    return edges;
+  }
+};
+
+// ----------------------------------------------------------- power law -----
+
+class PowerLawFamily final : public UndirectedFamily {
+ public:
+  std::string name() const override { return "power-law"; }
+  std::string description() const override {
+    return "preferential attachment (Barabasi-Albert): each new vertex "
+           "attaches `degree` edges biased toward high-degree hubs";
+  }
+  FamilyTraits traits(const FamilyConfig&) const override {
+    FamilyTraits t = symmetric_traits();
+    t.connected = true;
+    return t;
+  }
+
+ protected:
+  std::vector<Edge> edges(const FamilyConfig& config, Rng& rng) const override {
+    const std::uint32_t n = config.n;
+    if (n == 1) return {};
+    const std::uint32_t attach =
+        std::clamp<std::uint32_t>(config.degree, 1, n - 1);
+    const std::uint32_t seed_size = std::min(n, attach + 1);
+    std::vector<Edge> edges;
+    // `ends` lists every edge endpoint, so drawing a uniform index samples
+    // a vertex proportionally to its current degree.
+    std::vector<std::uint32_t> ends;
+    for (std::uint32_t u = 0; u < seed_size; ++u) {
+      for (std::uint32_t v = u + 1; v < seed_size; ++v) {
+        edges.emplace_back(u, v);
+        ends.push_back(u);
+        ends.push_back(v);
+      }
+    }
+    std::vector<std::uint32_t> chosen;
+    for (std::uint32_t v = seed_size; v < n; ++v) {
+      chosen.clear();
+      const std::uint32_t want = std::min(attach, v);
+      while (chosen.size() < want) {
+        std::uint32_t target = 0;
+        bool found = false;
+        for (int attempt = 0; attempt < 64 && !found; ++attempt) {
+          target = ends[static_cast<std::size_t>(rng.uniform_u64(ends.size()))];
+          found = std::find(chosen.begin(), chosen.end(), target) == chosen.end();
+        }
+        if (!found) {
+          // Degenerate fallback (tiny graphs): the smallest vertex not yet
+          // attached to. Deterministic, and cannot fail since want <= v.
+          for (target = 0; ; ++target) {
+            if (std::find(chosen.begin(), chosen.end(), target) == chosen.end())
+              break;
+          }
+        }
+        chosen.push_back(target);
+        edges.emplace_back(target, v);
+      }
+      for (const std::uint32_t target : chosen) {
+        ends.push_back(target);
+        ends.push_back(v);
+      }
+    }
+    return edges;
+  }
+};
+
+// ------------------------------------------------------------ clustered ----
+
+class ClusteredFamily final : public UndirectedFamily {
+ public:
+  std::string name() const override { return "clustered"; }
+  std::string description() const override {
+    return "`clusters` communities, edge probability intra_density inside "
+           "and inter_density across";
+  }
+  FamilyTraits traits(const FamilyConfig&) const override {
+    // Sparse inter-community edges give no connectivity promise.
+    return symmetric_traits();
+  }
+
+ protected:
+  std::vector<Edge> edges(const FamilyConfig& config, Rng& rng) const override {
+    const std::uint32_t k =
+        std::clamp<std::uint32_t>(config.clusters, 1, config.n);
+    const BlockPartition blocks(config.n, k);
+    std::vector<Edge> edges;
+    for (std::uint32_t u = 0; u < config.n; ++u) {
+      for (std::uint32_t v = u + 1; v < config.n; ++v) {
+        const double p = blocks.block_of(u) == blocks.block_of(v)
+                             ? config.intra_density
+                             : config.inter_density;
+        if (rng.bernoulli(p)) edges.emplace_back(u, v);
+      }
+    }
+    return edges;
+  }
+};
+
+// ---------------------------------------------------------- layered DAG ----
+
+class LayeredDagFamily final : public GraphFamily {
+ public:
+  std::string name() const override { return "layered-dag"; }
+  std::string description() const override {
+    return "`layers` ranks with density-sampled arcs from each rank to the "
+           "next; acyclic, so the full weight range (negatives included) is "
+           "safe";
+  }
+  FamilyTraits traits(const FamilyConfig&) const override {
+    FamilyTraits t;
+    t.acyclic = true;
+    t.no_negative_cycles = true;  // no cycles at all
+    return t;
+  }
+  Digraph generate(const FamilyConfig& config, Rng& rng) const override {
+    validate(config);
+    Digraph g(config.n);
+    for_each_arc(config, rng, [&](std::uint32_t u, std::uint32_t v,
+                                  std::int64_t w) { g.set_arc(u, v, w); });
+    return g;
+  }
+  WeightedGraph generate_weighted(const FamilyConfig& config, Rng& rng) const override {
+    validate(config);
+    WeightedGraph g(config.n);
+    for_each_arc(config, rng, [&](std::uint32_t u, std::uint32_t v,
+                                  std::int64_t w) { g.set_edge(u, v, w); });
+    return g;
+  }
+
+ private:
+  template <typename Emit>
+  void for_each_arc(const FamilyConfig& config, Rng& rng, Emit emit) const {
+    const std::uint32_t layers =
+        std::clamp<std::uint32_t>(config.layers, 1, config.n);
+    const BlockPartition ranks(config.n, layers);
+    for (std::uint32_t l = 0; l + 1 < layers; ++l) {
+      const auto ub = static_cast<std::uint32_t>(ranks.block_begin(l));
+      const auto ue = static_cast<std::uint32_t>(ranks.block_end(l));
+      const auto vb = static_cast<std::uint32_t>(ranks.block_begin(l + 1));
+      const auto ve = static_cast<std::uint32_t>(ranks.block_end(l + 1));
+      for (std::uint32_t u = ub; u < ue; ++u) {
+        for (std::uint32_t v = vb; v < ve; ++v) {
+          if (!rng.bernoulli(config.density)) continue;
+          emit(u, v, rng.uniform_i64(config.wmin, config.wmax));
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------- lambda skew ----
+
+class LambdaSkewFamily final : public GraphFamily {
+ public:
+  std::string name() const override { return "lambda-skew"; }
+  std::string description() const override {
+    return "adversarial row skew: `hubs` rows carry arcs to every vertex "
+           "while the rest stay density-sparse, concentrating pair mass on "
+           "few rows (the Lemma 2 balance stressor)";
+  }
+  FamilyTraits traits(const FamilyConfig&) const override {
+    FamilyTraits t;
+    t.no_negative_cycles = true;
+    t.connected = true;  // hub 0 is undirected-adjacent to every vertex
+    return t;
+  }
+  Digraph generate(const FamilyConfig& config, Rng& rng) const override {
+    validate(config);
+    const std::uint32_t h = std::clamp<std::uint32_t>(config.hubs, 1, config.n);
+    const PotentialWeights weights(config.n, config.wmin, config.wmax, rng);
+    Digraph g(config.n);
+    for (std::uint32_t u = 0; u < config.n; ++u) {
+      for (std::uint32_t v = 0; v < config.n; ++v) {
+        if (u == v) continue;
+        if (u >= h && !rng.bernoulli(config.density)) continue;
+        g.set_arc(u, v, weights.sample(u, v, rng));
+      }
+    }
+    return g;
+  }
+  WeightedGraph generate_weighted(const FamilyConfig& config, Rng& rng) const override {
+    validate(config);
+    const std::uint32_t h = std::clamp<std::uint32_t>(config.hubs, 1, config.n);
+    WeightedGraph g(config.n);
+    for (std::uint32_t u = 0; u < config.n; ++u) {
+      for (std::uint32_t v = u + 1; v < config.n; ++v) {
+        if (u >= h && !rng.bernoulli(config.density)) continue;
+        g.set_edge(u, v, rng.uniform_i64(config.wmin, config.wmax));
+      }
+    }
+    return g;
+  }
+};
+
+}  // namespace
+
+GraphFamilyRegistry& GraphFamilyRegistry::instance() {
+  // Builtins are registered lazily here rather than via static-initializer
+  // self-registration, matching the other three registries: the library is
+  // linked statically and nothing would anchor a registrar TU.
+  static GraphFamilyRegistry* global = [] {
+    auto* r = new GraphFamilyRegistry();
+    register_builtin_families(*r);
+    return r;
+  }();
+  return *global;
+}
+
+void GraphFamilyRegistry::add(std::unique_ptr<GraphFamily> family) {
+  QCLIQUE_CHECK(family != nullptr, "family registry: null family");
+  const std::string name = family->name();
+  QCLIQUE_CHECK(!name.empty(), "family registry: family with empty name");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto pos = std::lower_bound(
+      families_.begin(), families_.end(), name,
+      [](const auto& f, const std::string& key) { return f->name() < key; });
+  QCLIQUE_CHECK(pos == families_.end() || (*pos)->name() != name,
+                "family registry: duplicate family name '" + name + "'");
+  families_.insert(pos, std::move(family));
+}
+
+bool GraphFamilyRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(families_.begin(), families_.end(),
+                     [&](const auto& f) { return f->name() == name; });
+}
+
+const GraphFamily& GraphFamilyRegistry::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& f : families_) {
+    if (f->name() == name) return *f;
+  }
+  std::string known;
+  for (const auto& f : families_) {
+    if (!known.empty()) known += ", ";
+    known += f->name();
+  }
+  throw SimulationError("family registry: unknown family '" + name +
+                        "' (known: " + known + ")");
+}
+
+std::vector<std::string> GraphFamilyRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const auto& f : families_) out.push_back(f->name());
+  return out;
+}
+
+std::size_t GraphFamilyRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return families_.size();
+}
+
+void register_builtin_families(GraphFamilyRegistry& registry) {
+  registry.add(std::make_unique<GnpFamily>());
+  registry.add(std::make_unique<GridFamily>());
+  registry.add(std::make_unique<TorusFamily>());
+  registry.add(std::make_unique<RingOfCliquesFamily>());
+  registry.add(std::make_unique<ExpanderFamily>());
+  registry.add(std::make_unique<PowerLawFamily>());
+  registry.add(std::make_unique<ClusteredFamily>());
+  registry.add(std::make_unique<LayeredDagFamily>());
+  registry.add(std::make_unique<LambdaSkewFamily>());
+}
+
+FamilyConfig family_config(std::uint32_t n, double density, std::int64_t wmin,
+                           std::int64_t wmax) {
+  FamilyConfig config;
+  config.n = n;
+  config.density = density;
+  config.wmin = wmin;
+  config.wmax = wmax;
+  return config;
+}
+
+Digraph make_family_graph(const std::string& family, const FamilyConfig& config,
+                          Rng& rng) {
+  return GraphFamilyRegistry::instance().get(family).generate(config, rng);
+}
+
+WeightedGraph make_family_weighted(const std::string& family,
+                                   const FamilyConfig& config, Rng& rng) {
+  return GraphFamilyRegistry::instance().get(family).generate_weighted(config, rng);
+}
+
+}  // namespace qclique

@@ -1,0 +1,189 @@
+// The graph-family registry: named, config-driven workload generators.
+//
+// The fourth registry axis, next to SolverRegistry (which algorithm),
+// TopologyRegistry (which communication model), and KernelRegistry (which
+// dense product): a GraphFamily turns a FamilyConfig plus an Rng into a
+// reproducible input graph with *promised structural invariants*, and the
+// GraphFamilyRegistry lets every harness sweep graph structure by name the
+// same way it sweeps backends, topologies, and kernels
+// (BatchRunner::run_scenarios crosses all four axes). Built-ins:
+//
+//   * "gnp"             -- Erdos-Renyi G(n, p) digraph, subsuming the seed
+//                          `random_digraph` (potential-reweighted arcs when
+//                          no_negative_cycles is set);
+//   * "grid"            -- rows x cols 2D lattice (rows = largest divisor
+//                          of n at most sqrt(n)), 4-neighbor;
+//   * "torus"           -- the grid with wraparound rows and columns;
+//   * "ring-of-cliques" -- `clusters` near-equal cliques bridged in a ring;
+//   * "expander"        -- bounded-degree circulant overlay (ring plus
+//                          power-of-two chords, the transport layer's
+//                          bounded-degree construction as a *workload*);
+//   * "power-law"       -- preferential attachment (Barabasi-Albert), a few
+//                          high-degree hubs and a heavy-tailed degree
+//                          distribution;
+//   * "layered-dag"     -- `layers` ranks with arcs only from one rank to
+//                          the next (acyclic, so the full weight range is
+//                          safe including negatives);
+//   * "clustered"       -- `clusters` communities, dense inside
+//                          (intra_density), sparse across (inter_density);
+//   * "lambda-skew"     -- adversarial row skew: `hubs` rows carry arcs to
+//                          every vertex while the rest stay sparse,
+//                          concentrating pair mass on few rows to stress
+//                          the Lemma 2 balance statistic of
+//                          `sample_lambda_family`.
+//
+// The family contract (docs/SCENARIOS.md, enforced by
+// tests/graph/families_test.cpp): generate() returns a graph with exactly
+// config.n vertices whose weights and structure satisfy traits(config) --
+// weight bounds, symmetry, degree bounds, acyclicity, negative-cycle
+// freedom, connectivity -- and identical (config, seed) pairs produce
+// bit-identical graphs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace qclique {
+
+class Rng;
+
+/// Generation knobs shared by every family. Families ignore knobs they have
+/// no use for (the grid ignores `density`; gnp ignores `clusters`), exactly
+/// like KernelConfig one registry over.
+struct FamilyConfig {
+  /// Vertex count. Families always produce exactly n vertices (internal
+  /// block sizes are rounded, never the total).
+  std::uint32_t n = 16;
+  /// Weight range for sampled weights. Symmetric families draw digraph
+  /// weights from [max(0, wmin), wmax]: a negative symmetric arc pair is
+  /// itself a negative cycle. Their undirected output (generate_weighted)
+  /// uses the full range.
+  std::int64_t wmin = -4;
+  std::int64_t wmax = 9;
+  /// Arc/edge probability for the random families ("gnp", "layered-dag",
+  /// and the non-hub rows of "lambda-skew").
+  double density = 0.5;
+  /// "gnp": sample arc weights through PotentialWeights so no negative
+  /// cycle exists (the APSP precondition). When false and wmin < 0 the
+  /// digraph may contain negative cycles.
+  bool no_negative_cycles = true;
+  /// "expander": per-vertex degree cap (>= 2). "power-law": edges each new
+  /// vertex attaches with.
+  std::uint32_t degree = 4;
+  /// "ring-of-cliques" / "clustered": number of blocks (clamped to [1, n]).
+  std::uint32_t clusters = 4;
+  /// "clustered": edge probability inside a community.
+  double intra_density = 0.9;
+  /// "clustered": edge probability across communities.
+  double inter_density = 0.05;
+  /// "layered-dag": number of ranks (clamped to [1, n]).
+  std::uint32_t layers = 4;
+  /// "lambda-skew": number of full out-rows (clamped to [1, n]).
+  std::uint32_t hubs = 2;
+};
+
+/// Structural invariants a family promises for its generate() output under
+/// a given config. The conformance suite checks exactly these, so a trait
+/// must only be set when the family guarantees it for every seed.
+struct FamilyTraits {
+  /// Arc (u, v) exists iff (v, u) does, with equal weight (an undirected
+  /// graph in digraph form).
+  bool symmetric = false;
+  /// No directed cycle at all (layered DAG).
+  bool acyclic = false;
+  /// No negative-weight directed cycle (the APSP precondition).
+  bool no_negative_cycles = true;
+  /// Digraph weights are drawn from [max(0, wmin), wmax] rather than the
+  /// full configured range.
+  bool nonnegative_weights = false;
+  /// The underlying undirected graph is connected (n >= 1).
+  bool connected = false;
+  /// Upper bound on any vertex's undirected degree; 0 = no promise.
+  std::uint32_t degree_bound = 0;
+};
+
+/// One workload generator. Families are stateless: all per-call state lives
+/// in the arguments, so one instance serves concurrent harnesses.
+class GraphFamily {
+ public:
+  virtual ~GraphFamily() = default;
+
+  /// Registry key, e.g. "ring-of-cliques".
+  virtual std::string name() const = 0;
+
+  /// One-line human description (shown by harness listings).
+  virtual std::string description() const = 0;
+
+  /// The invariants generate() promises under `config`.
+  virtual FamilyTraits traits(const FamilyConfig& config) const = 0;
+
+  /// Draws one digraph: the APSP input form every solver backend accepts.
+  virtual Digraph generate(const FamilyConfig& config, Rng& rng) const = 0;
+
+  /// Draws one undirected graph over the same structure: the FindEdges /
+  /// negative-triangle input form. Weights span the full [wmin, wmax]
+  /// (undirected graphs have no cycle constraint to respect).
+  virtual WeightedGraph generate_weighted(const FamilyConfig& config,
+                                          Rng& rng) const = 0;
+};
+
+/// Name -> family registry, the fourth registry alongside SolverRegistry,
+/// TopologyRegistry, and KernelRegistry. Registration is mutex-guarded;
+/// lookups return stable references valid for the registry's lifetime and
+/// are safe from concurrent BatchRunner workers after setup.
+class GraphFamilyRegistry {
+ public:
+  /// The process-wide registry, with all built-in families registered.
+  static GraphFamilyRegistry& instance();
+
+  /// An empty registry (tests; embedding independent registries).
+  GraphFamilyRegistry() = default;
+
+  GraphFamilyRegistry(const GraphFamilyRegistry&) = delete;
+  GraphFamilyRegistry& operator=(const GraphFamilyRegistry&) = delete;
+
+  /// Registers a family under family->name(). Throws SimulationError on a
+  /// duplicate name or a null/empty-named family.
+  void add(std::unique_ptr<GraphFamily> family);
+
+  bool contains(const std::string& name) const;
+
+  /// Looks up a family; throws SimulationError naming the known families
+  /// when `name` is not registered.
+  const GraphFamily& get(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<GraphFamily>> families_;  // sorted by name
+};
+
+/// Registers the built-in families listed in the header comment. Called
+/// once by GraphFamilyRegistry::instance(); exposed so tests can build
+/// private registries with the same population.
+void register_builtin_families(GraphFamilyRegistry& registry);
+
+/// Convenience: a FamilyConfig with the four knobs every sweep sets
+/// (remaining fields keep their defaults).
+FamilyConfig family_config(std::uint32_t n, double density, std::int64_t wmin,
+                           std::int64_t wmax);
+
+/// Convenience: one digraph from the process-wide registry.
+Digraph make_family_graph(const std::string& family, const FamilyConfig& config,
+                          Rng& rng);
+
+/// Convenience: one undirected graph from the process-wide registry.
+WeightedGraph make_family_weighted(const std::string& family,
+                                   const FamilyConfig& config, Rng& rng);
+
+}  // namespace qclique

@@ -9,6 +9,28 @@
 
 namespace qclique {
 
+PotentialWeights::PotentialWeights(std::uint32_t n, std::int64_t wmin,
+                                   std::int64_t wmax, Rng& rng)
+    : wmin_(wmin), wmax_(wmax), pot_(n, 0) {
+  QCLIQUE_CHECK(wmin <= wmax, "PotentialWeights requires wmin <= wmax");
+  if (wmin >= 0) return;  // all-positive weights need no potentials
+  QCLIQUE_CHECK(wmax >= 0,
+                "PotentialWeights requires wmax >= 0 when wmin < 0: an "
+                "all-negative range puts a negative cycle on any cycle");
+  // p(u) - p(v) stays in [-h, h] with h <= min(wmax, -wmin), so the base-cost
+  // interval of sample() is never empty and w = c + p(u) - p(v) >= -h >= wmin.
+  const std::int64_t h = std::min(wmax, -wmin);
+  for (auto& p : pot_) p = rng.uniform_i64(0, h);
+}
+
+std::int64_t PotentialWeights::sample(std::uint32_t u, std::uint32_t v,
+                                      Rng& rng) const {
+  const std::int64_t delta = pot_[u] - pot_[v];
+  const std::int64_t c =
+      rng.uniform_i64(std::max<std::int64_t>(0, wmin_ - delta), wmax_ - delta);
+  return c + delta;
+}
+
 Digraph random_digraph(std::uint32_t n, double density, std::int64_t wmin,
                        std::int64_t wmax, Rng& rng, bool no_negative_cycles) {
   QCLIQUE_CHECK(wmin <= wmax, "random_digraph requires wmin <= wmax");
@@ -24,20 +46,16 @@ Digraph random_digraph(std::uint32_t n, double density, std::int64_t wmin,
     return g;
   }
   // Potential trick: base costs c >= 0 reweighted by a random potential give
-  // arcs in a range around [wmin, wmax] with possibly-negative weights but no
+  // arcs w(u,v) = c(u,v) + p(u) - p(v) with possibly-negative weights but no
   // negative cycle (cycle weights telescope to the sum of the c's >= 0).
-  const std::int64_t span = wmax - wmin;
-  const std::int64_t half = span / 2;
-  std::vector<std::int64_t> pot(n);
-  for (auto& p : pot) p = rng.uniform_i64(-half / 2 - 1, half / 2 + 1);
+  // PotentialWeights sizes the potentials and per-arc base-cost intervals so
+  // every weight lands in [wmin, wmax] exactly -- no clamping, which used to
+  // let arcs exceed wmax when c + p(u) - p(v) overflowed the range.
+  const PotentialWeights weights(n, wmin, wmax, rng);
   for (std::uint32_t u = 0; u < n; ++u) {
     for (std::uint32_t v = 0; v < n; ++v) {
       if (u == v || !rng.bernoulli(density)) continue;
-      const std::int64_t c = rng.uniform_i64(0, std::max<std::int64_t>(1, half));
-      const std::int64_t w = std::clamp(c + pot[u] - pot[v], wmin, wmax);
-      // Clamping can only increase a weight toward wmin when c + p(u) - p(v)
-      // underflows wmin; raising weights preserves cycle non-negativity.
-      g.set_arc(u, v, std::max(w, c + pot[u] - pot[v]));
+      g.set_arc(u, v, weights.sample(u, v, rng));
     }
   }
   return g;

@@ -17,11 +17,33 @@ namespace qclique {
 class Rng;
 class DistMatrix;
 
+/// Negative-cycle-free arc-weight sampler: draws w(u, v) = c(u, v) + p(u) -
+/// p(v) with per-arc base costs c >= 0 and a random vertex potential p, so
+/// negative arcs are possible but every cycle weight telescopes to the sum
+/// of the c's >= 0. Potentials and base-cost intervals are sized so every
+/// sampled weight lands in [wmin, wmax] exactly (no clamping). Requires
+/// wmax >= 0 when wmin < 0 (an all-negative range would force a negative
+/// cycle on any cycle). Shared by `random_digraph` and the directed graph
+/// families (graph/families.hpp).
+class PotentialWeights {
+ public:
+  PotentialWeights(std::uint32_t n, std::int64_t wmin, std::int64_t wmax, Rng& rng);
+
+  /// Weight for arc (u, v), uniform over the in-range base costs.
+  std::int64_t sample(std::uint32_t u, std::uint32_t v, Rng& rng) const;
+
+ private:
+  std::int64_t wmin_;
+  std::int64_t wmax_;
+  std::vector<std::int64_t> pot_;
+};
+
 /// Random directed graph with arc probability `density` and weights uniform
 /// in [wmin, wmax]. When `no_negative_cycles` is set, weights are produced
-/// through a random vertex potential (w(u,v) = c(u,v) + p(u) - p(v) with
+/// through `PotentialWeights` (w(u,v) = c(u,v) + p(u) - p(v) with
 /// c(u,v) >= 0), which permits negative arcs but makes every cycle
-/// non-negative -- the precondition of the APSP reduction.
+/// non-negative -- the precondition of the APSP reduction -- while keeping
+/// every weight inside [wmin, wmax].
 Digraph random_digraph(std::uint32_t n, double density, std::int64_t wmin,
                        std::int64_t wmax, Rng& rng, bool no_negative_cycles = true);
 

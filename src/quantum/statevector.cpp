@@ -45,13 +45,28 @@ double StateVector::probability_of(const std::function<bool(std::size_t)>& pred)
   return p;
 }
 
-std::size_t StateVector::measure(Rng& rng) const {
-  double u = rng.uniform_double() * norm_sq();
+std::size_t StateVector::measure_at(double u) const {
+  // Strict-inequality accumulation over supported states only. The seed
+  // implementation tested `u <= 0` after subtracting every amplitude, so a
+  // quantile landing exactly on a cumulative boundary (e.g. u == 0 with
+  // amps_[0] == 0) returned a basis state of probability zero -- an outcome
+  // the Born rule forbids.
+  std::size_t last_support = amps_.size() - 1;
   for (std::size_t i = 0; i < amps_.size(); ++i) {
-    u -= std::norm(amps_[i]);
-    if (u <= 0) return i;
+    const double p = std::norm(amps_[i]);
+    if (p <= 0.0) continue;
+    last_support = i;
+    u -= p;
+    if (u < 0) return i;
   }
-  return amps_.size() - 1;  // numerical slack lands on the last state
+  // Numerical slack (u at or above the total mass) lands on the last state
+  // with nonzero probability; for the zero vector this degrades to the last
+  // basis state, as before.
+  return last_support;
+}
+
+std::size_t StateVector::measure(Rng& rng) const {
+  return measure_at(rng.uniform_double() * norm_sq());
 }
 
 void StateVector::apply_phase_oracle(const std::function<bool(std::size_t)>& marked) {

@@ -44,8 +44,18 @@ class StateVector {
   /// Total probability mass on elements satisfying `pred`.
   double probability_of(const std::function<bool(std::size_t)>& pred) const;
 
-  /// Samples a basis state from the Born distribution.
+  /// Samples a basis state from the Born distribution. Never returns a
+  /// basis state of probability zero (see measure_at).
   std::size_t measure(Rng& rng) const;
+
+  /// Deterministic quantile form of `measure`: returns the basis state the
+  /// cumulative Born distribution selects at mass `u` (measure draws
+  /// u = uniform * norm_sq()). Zero-amplitude states are skipped -- a `u`
+  /// landing exactly on a cumulative boundary selects the next state with
+  /// nonzero probability -- and u >= norm_sq() lands on the last supported
+  /// state. Exposed so the boundary behavior is testable without steering
+  /// an Rng onto exact floating-point values.
+  std::size_t measure_at(double u) const;
 
   /// Phase oracle: amp[i] *= -1 for every i with marked(i).
   void apply_phase_oracle(const std::function<bool(std::size_t)>& marked);

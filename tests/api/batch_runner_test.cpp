@@ -62,7 +62,8 @@ TEST(BatchRunner, ResultsInJobOrderRegardlessOfThreads) {
                                           "bellman-ford", "semiring"};
   for (const auto& name : names) {
     jobs.push_back(BatchJob{.graph = g, .solver = name, .kernel = "",
-                            .seed_salt = 0, .label = "job-" + name});
+                            .topology = "", .family = "", .seed_salt = 0,
+                            .label = "job-" + name});
   }
 
   ExecutionContext parallel_base(7);
@@ -88,13 +89,17 @@ TEST(BatchRunner, FailingJobIsIsolated) {
   const auto g = std::make_shared<const Digraph>(test_graph(8, 25));
   std::vector<BatchJob> jobs;
   jobs.push_back(BatchJob{.graph = g, .solver = "semiring", .kernel = "",
-                          .seed_salt = 0, .label = ""});
+                          .topology = "", .family = "", .seed_salt = 0,
+                          .label = ""});
   jobs.push_back(BatchJob{.graph = g, .solver = "no-such-backend", .kernel = "",
-                          .seed_salt = 0, .label = ""});
+                          .topology = "", .family = "", .seed_salt = 0,
+                          .label = ""});
   jobs.push_back(BatchJob{.graph = g, .solver = "dijkstra",  // negative arcs
-                          .kernel = "", .seed_salt = 0, .label = ""});
-  jobs.push_back(BatchJob{.graph = g, .solver = "floyd-warshall", .kernel = "",
+                          .kernel = "", .topology = "", .family = "",
                           .seed_salt = 0, .label = ""});
+  jobs.push_back(BatchJob{.graph = g, .solver = "floyd-warshall", .kernel = "",
+                          .topology = "", .family = "", .seed_salt = 0,
+                          .label = ""});
 
   const auto results = BatchRunner().run(jobs);
   ASSERT_EQ(results.size(), 4u);
@@ -135,11 +140,14 @@ TEST(BatchRunner, JobKernelOverridesTheBaseContext) {
   base.set_kernel("naive");
   std::vector<BatchJob> jobs;
   jobs.push_back(BatchJob{.graph = g, .solver = "semiring", .kernel = "",
-                          .seed_salt = 0, .label = "inherit"});
+                          .topology = "", .family = "", .seed_salt = 0,
+                          .label = "inherit"});
   jobs.push_back(BatchJob{.graph = g, .solver = "semiring", .kernel = "parallel",
-                          .seed_salt = 0, .label = "override"});
+                          .topology = "", .family = "", .seed_salt = 0,
+                          .label = "override"});
   jobs.push_back(BatchJob{.graph = g, .solver = "semiring", .kernel = "no-such-kernel",
-                          .seed_salt = 0, .label = "bad"});
+                          .topology = "", .family = "", .seed_salt = 0,
+                          .label = "bad"});
   const auto results = BatchRunner(SolverRegistry::instance(), base).run(jobs);
   ASSERT_TRUE(results[0].ok && results[1].ok);
   EXPECT_EQ(results[0].report->kernel, "naive");
@@ -147,6 +155,118 @@ TEST(BatchRunner, JobKernelOverridesTheBaseContext) {
   EXPECT_EQ(results[0].report->distances, results[1].report->distances);
   EXPECT_FALSE(results[2].ok);  // unknown kernels fail the job, not the batch
   EXPECT_NE(results[2].error.find("no-such-kernel"), std::string::npos);
+}
+
+// The topology override: jobs may pin a transport per job, mirroring the
+// kernel override one axis over.
+TEST(BatchRunner, JobTopologyOverridesTheBaseContext) {
+  const auto g = std::make_shared<const Digraph>(test_graph(8, 28));
+  std::vector<BatchJob> jobs;
+  jobs.push_back(BatchJob{.graph = g, .solver = "semiring", .kernel = "",
+                          .topology = "", .family = "", .seed_salt = 0,
+                          .label = "inherit"});
+  jobs.push_back(BatchJob{.graph = g, .solver = "semiring", .kernel = "",
+                          .topology = "bounded-degree", .family = "",
+                          .seed_salt = 0, .label = "override"});
+  jobs.push_back(BatchJob{.graph = g, .solver = "semiring", .kernel = "",
+                          .topology = "no-such-topology", .family = "",
+                          .seed_salt = 0, .label = "bad"});
+  const auto results = BatchRunner().run(jobs);
+  ASSERT_TRUE(results[0].ok && results[1].ok);
+  EXPECT_EQ(results[0].report->topology, "clique");
+  EXPECT_EQ(results[1].report->topology, "bounded-degree");
+  EXPECT_EQ(results[0].report->distances, results[1].report->distances);
+  // The overlay relays messages, so the same protocol costs more rounds.
+  EXPECT_GT(results[1].report->rounds, results[0].report->rounds);
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_NE(results[2].error.find("no-such-topology"), std::string::npos);
+}
+
+// The scenario matrix: families x solvers x topologies x kernels, with
+// per-scenario agreement and family stamps on every report.
+TEST(BatchRunner, RunScenariosCoversTheGridWithFamilyStamps) {
+  ScenarioSpec spec;
+  spec.families = {"gnp", "grid"};
+  spec.solvers = {"semiring", "floyd-warshall"};
+  spec.topologies = {"clique", "bounded-degree"};
+  spec.kernels = {"naive", "blocked"};
+  spec.config.n = 10;
+  const BatchRunner runner(SolverRegistry::instance(), ExecutionContext(9));
+  const auto results = runner.run_scenarios(spec);
+
+  // Per family: semiring (distributed) runs on 2 topologies x 2 kernels,
+  // floyd-warshall (centralized) on the first topology x 2 kernels.
+  ASSERT_EQ(results.size(), 2u * (4u + 2u));
+  const DistMatrix* reference = nullptr;
+  std::string current_family;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok) << r.label << ": " << r.error;
+    EXPECT_FALSE(r.family.empty());
+    EXPECT_EQ(r.report->family, r.family);
+    EXPECT_EQ(r.label.find(r.family + "/" + r.solver), 0u) << r.label;
+    if (r.family != current_family) {
+      current_family = r.family;
+      reference = &r.report->distances;
+    }
+    EXPECT_EQ(r.report->distances, *reference) << r.label;
+  }
+}
+
+TEST(BatchRunner, RunScenariosDefaultsSweepEveryRegisteredFamily) {
+  ScenarioSpec spec;
+  spec.solvers = {"floyd-warshall"};
+  spec.topologies = {"clique"};
+  spec.kernels = {"blocked"};
+  spec.config.n = 12;
+  const BatchRunner runner;
+  const auto results = runner.run_scenarios(spec);
+  const auto families = GraphFamilyRegistry::instance().names();
+  ASSERT_EQ(results.size(), families.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << results[i].label << ": " << results[i].error;
+    EXPECT_EQ(results[i].family, families[i]);
+    EXPECT_EQ(results[i].report->n, 12u);
+  }
+}
+
+TEST(BatchRunner, RunScenariosIsDeterministic) {
+  ScenarioSpec spec;
+  spec.families = {"clustered", "lambda-skew"};
+  spec.solvers = {"semiring"};
+  spec.topologies = {"clique"};
+  spec.kernels = {"blocked"};
+  spec.config.n = 9;
+  const BatchRunner a(SolverRegistry::instance(), ExecutionContext(4));
+  const BatchRunner b(SolverRegistry::instance(), ExecutionContext(4));
+  const auto ra = a.run_scenarios(spec);
+  const auto rb = b.run_scenarios(spec);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_TRUE(ra[i].ok && rb[i].ok);
+    EXPECT_EQ(ra[i].report->distances, rb[i].report->distances);
+    EXPECT_EQ(ra[i].report->rounds, rb[i].report->rounds);
+  }
+}
+
+TEST(BatchRunner, ScenariosToJsonInlinesReportsAndErrors) {
+  const auto g = std::make_shared<const Digraph>(test_graph(8, 29));
+  std::vector<BatchJob> jobs;
+  jobs.push_back(BatchJob{.graph = g, .solver = "floyd-warshall", .kernel = "",
+                          .topology = "", .family = "gnp", .seed_salt = 0,
+                          .label = "gnp/floyd-warshall"});
+  jobs.push_back(BatchJob{.graph = g, .solver = "no-such-backend", .kernel = "",
+                          .topology = "", .family = "gnp", .seed_salt = 0,
+                          .label = "gnp/no-such-backend"});
+  const auto results = BatchRunner().run(jobs);
+  const std::string json = scenarios_to_json(results);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"family\":\"gnp\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"report\":{\"solver\":\"floyd-warshall\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"error\":"), std::string::npos);
 }
 
 }  // namespace

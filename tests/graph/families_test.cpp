@@ -1,0 +1,311 @@
+// The family-conformance property suite: every registered graph family is
+// held to its own traits() -- exact vertex count, weight bounds, symmetry,
+// degree bounds, acyclicity, negative-cycle freedom, connectivity -- and to
+// bit-identical output for identical (config, seed) pairs. Registering a
+// family is what subscribes it to these checks, the same pattern as the
+// kernel and topology conformance suites.
+#include "graph/families.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "matrix/dist_matrix.hpp"
+
+namespace qclique {
+namespace {
+
+// Bellman-Ford negative-cycle detector over all components (virtual
+// source). Test oracle only.
+bool has_negative_cycle(const Digraph& g) {
+  const std::uint32_t n = g.size();
+  std::vector<std::int64_t> dist(n, 0);
+  for (std::uint32_t pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (u == v || !g.has_arc(u, v)) continue;
+        const std::int64_t cand = sat_add(dist[u], g.weight(u, v));
+        if (cand < dist[v]) {
+          dist[v] = cand;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+// Kahn topological check: true iff the digraph has no directed cycle.
+bool is_acyclic(const Digraph& g) {
+  const std::uint32_t n = g.size();
+  std::vector<std::uint32_t> indeg(n, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u != v && g.has_arc(u, v)) ++indeg[v];
+    }
+  }
+  std::queue<std::uint32_t> ready;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) ready.push(v);
+  }
+  std::uint32_t seen = 0;
+  while (!ready.empty()) {
+    const std::uint32_t u = ready.front();
+    ready.pop();
+    ++seen;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u != v && g.has_arc(u, v) && --indeg[v] == 0) ready.push(v);
+    }
+  }
+  return seen == n;
+}
+
+bool is_connected(const Digraph& g) {
+  const auto adj = g.symmetric_adjacency();
+  std::vector<bool> seen(g.size(), false);
+  std::queue<std::uint32_t> bfs;
+  bfs.push(0);
+  seen[0] = true;
+  std::uint32_t count = 1;
+  while (!bfs.empty()) {
+    const std::uint32_t u = bfs.front();
+    bfs.pop();
+    for (const std::uint32_t v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        bfs.push(v);
+      }
+    }
+  }
+  return count == g.size();
+}
+
+void check_digraph_conformance(const GraphFamily& family,
+                               const FamilyConfig& config, std::uint64_t seed) {
+  SCOPED_TRACE("family=" + family.name() + " n=" + std::to_string(config.n) +
+               " seed=" + std::to_string(seed));
+  Rng rng(seed);
+  const Digraph g = family.generate(config, rng);
+  const FamilyTraits traits = family.traits(config);
+
+  ASSERT_EQ(g.size(), config.n);
+
+  const std::int64_t lo = traits.nonnegative_weights
+                              ? std::max<std::int64_t>(0, config.wmin)
+                              : config.wmin;
+  for (std::uint32_t u = 0; u < config.n; ++u) {
+    for (std::uint32_t v = 0; v < config.n; ++v) {
+      if (u == v) continue;
+      if (traits.symmetric) {
+        EXPECT_EQ(g.weight(u, v), g.weight(v, u)) << u << "," << v;
+      }
+      if (!g.has_arc(u, v)) continue;
+      EXPECT_GE(g.weight(u, v), lo) << u << "," << v;
+      EXPECT_LE(g.weight(u, v), config.wmax) << u << "," << v;
+    }
+  }
+  if (traits.degree_bound > 0) {
+    const auto adj = g.symmetric_adjacency();
+    for (std::uint32_t u = 0; u < config.n; ++u) {
+      EXPECT_LE(adj[u].size(), traits.degree_bound) << "vertex " << u;
+    }
+  }
+  if (traits.acyclic) {
+    EXPECT_TRUE(is_acyclic(g));
+  }
+  if (traits.no_negative_cycles) {
+    EXPECT_FALSE(has_negative_cycle(g));
+  }
+  if (traits.connected) {
+    EXPECT_TRUE(is_connected(g));
+  }
+
+  // Bit-identical regeneration from the same (config, seed).
+  Rng rng2(seed);
+  const Digraph g2 = family.generate(config, rng2);
+  EXPECT_EQ(g.num_arcs(), g2.num_arcs());
+  EXPECT_EQ(g.to_dist_matrix(), g2.to_dist_matrix());
+}
+
+void check_weighted_conformance(const GraphFamily& family,
+                                const FamilyConfig& config, std::uint64_t seed) {
+  SCOPED_TRACE("family=" + family.name() + " n=" + std::to_string(config.n) +
+               " seed=" + std::to_string(seed) + " (weighted)");
+  Rng rng(seed);
+  const WeightedGraph g = family.generate_weighted(config, rng);
+  ASSERT_EQ(g.size(), config.n);
+  for (const auto& [pair, w] : g.edges()) {
+    EXPECT_GE(w, config.wmin) << pair.a << "," << pair.b;
+    EXPECT_LE(w, config.wmax) << pair.a << "," << pair.b;
+  }
+  Rng rng2(seed);
+  const WeightedGraph g2 = family.generate_weighted(config, rng2);
+  EXPECT_EQ(g.edges(), g2.edges());
+}
+
+TEST(FamilyConformance, EveryRegisteredFamilyUpholdsItsTraits) {
+  const auto& registry = GraphFamilyRegistry::instance();
+  ASSERT_GE(registry.size(), 7u);
+
+  std::vector<FamilyConfig> configs;
+  configs.push_back(FamilyConfig{});  // defaults: n = 16, weights [-4, 9]
+  FamilyConfig wide;                  // wider symmetric range, larger n
+  wide.n = 24;
+  wide.wmin = -8;
+  wide.wmax = 8;
+  wide.density = 0.4;
+  configs.push_back(wide);
+  FamilyConfig prime;                 // prime n stresses block rounding
+  prime.n = 13;
+  prime.wmin = 0;
+  prime.wmax = 5;
+  prime.clusters = 3;
+  prime.layers = 3;
+  configs.push_back(prime);
+  FamilyConfig tiny;                  // the smallest legal instance
+  tiny.n = 1;
+  configs.push_back(tiny);
+  FamilyConfig two;
+  two.n = 2;
+  configs.push_back(two);
+
+  for (const std::string& name : registry.names()) {
+    const GraphFamily& family = registry.get(name);
+    EXPECT_FALSE(family.description().empty()) << name;
+    for (const FamilyConfig& config : configs) {
+      for (const std::uint64_t seed : {1ull, 99ull}) {
+        check_digraph_conformance(family, config, seed);
+        check_weighted_conformance(family, config, seed);
+      }
+    }
+  }
+}
+
+TEST(FamilyConformance, GnpWithoutCycleGuardKeepsUniformRange) {
+  // no_negative_cycles = false is the one config where gnp may produce
+  // negative cycles; weights must still sit in [wmin, wmax].
+  FamilyConfig config;
+  config.n = 18;
+  config.wmin = -5;
+  config.wmax = 9;
+  config.no_negative_cycles = false;
+  const GraphFamily& gnp = GraphFamilyRegistry::instance().get("gnp");
+  EXPECT_FALSE(gnp.traits(config).no_negative_cycles);
+  check_digraph_conformance(gnp, config, 7);
+}
+
+TEST(FamilyConformance, RingOfCliquesBlocksAreComplete) {
+  FamilyConfig config;
+  config.n = 12;
+  config.clusters = 3;
+  config.wmin = 1;
+  config.wmax = 9;
+  Rng rng(3);
+  const Digraph g = make_family_graph("ring-of-cliques", config, rng);
+  // Blocks of 4: {0..3}, {4..7}, {8..11} are cliques.
+  for (std::uint32_t b = 0; b < 3; ++b) {
+    for (std::uint32_t u = 4 * b; u < 4 * b + 4; ++u) {
+      for (std::uint32_t v = u + 1; v < 4 * b + 4; ++v) {
+        EXPECT_TRUE(g.has_arc(u, v)) << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(FamilyConformance, LayeredDagArcsOnlyRunForward) {
+  FamilyConfig config;
+  config.n = 20;
+  config.layers = 4;
+  config.density = 0.8;
+  Rng rng(5);
+  const Digraph g = make_family_graph("layered-dag", config, rng);
+  EXPECT_GT(g.num_arcs(), 0u);
+  for (std::uint32_t u = 0; u < config.n; ++u) {
+    for (std::uint32_t v = 0; v < config.n; ++v) {
+      if (u != v && g.has_arc(u, v)) {
+        EXPECT_LT(u, v);
+      }
+    }
+  }
+}
+
+TEST(FamilyConformance, LambdaSkewConcentratesMassOnHubRows) {
+  FamilyConfig config;
+  config.n = 32;
+  config.hubs = 2;
+  config.density = 0.05;  // sparse non-hub rows
+  Rng rng(11);
+  const Digraph g = make_family_graph("lambda-skew", config, rng);
+  std::uint64_t hub_arcs = 0;
+  for (std::uint32_t u = 0; u < config.hubs; ++u) {
+    for (std::uint32_t v = 0; v < config.n; ++v) {
+      hub_arcs += (u != v && g.has_arc(u, v));
+    }
+  }
+  // Hub rows are complete; with density 0.05 they dominate the arc mass.
+  EXPECT_EQ(hub_arcs, 2u * (config.n - 1));
+  EXPECT_GT(static_cast<double>(hub_arcs), 0.4 * static_cast<double>(g.num_arcs()));
+}
+
+TEST(FamilyConformance, PowerLawGrowsHubs) {
+  FamilyConfig config;
+  config.n = 128;
+  config.degree = 2;
+  config.wmin = 1;
+  config.wmax = 9;
+  Rng rng(13);
+  const Digraph g = make_family_graph("power-law", config, rng);
+  const auto adj = g.symmetric_adjacency();
+  std::size_t max_degree = 0;
+  for (const auto& nbrs : adj) max_degree = std::max(max_degree, nbrs.size());
+  // Preferential attachment concentrates far above the attachment count.
+  EXPECT_GE(max_degree, 8u);
+}
+
+TEST(GraphFamilyRegistryTest, BuiltinPopulationAndLookup) {
+  GraphFamilyRegistry registry;
+  register_builtin_families(registry);
+  EXPECT_EQ(registry.size(), GraphFamilyRegistry::instance().size());
+  EXPECT_GE(registry.size(), 7u);
+  for (const char* name :
+       {"gnp", "grid", "torus", "ring-of-cliques", "expander", "power-law",
+        "clustered", "layered-dag", "lambda-skew"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_EQ(registry.get(name).name(), name);
+  }
+  const auto names = registry.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(GraphFamilyRegistryTest, UnknownFamilyThrowsNamingTheKnownOnes) {
+  try {
+    GraphFamilyRegistry::instance().get("no-such-family");
+    FAIL() << "expected SimulationError";
+  } catch (const SimulationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-family"), std::string::npos);
+    EXPECT_NE(what.find("gnp"), std::string::npos);
+  }
+}
+
+TEST(GraphFamilyRegistryTest, DuplicateRegistrationThrows) {
+  GraphFamilyRegistry registry;
+  register_builtin_families(registry);
+  EXPECT_THROW(register_builtin_families(registry), SimulationError);
+  EXPECT_THROW(registry.add(nullptr), SimulationError);
+}
+
+TEST(GraphFamilyRegistryTest, ZeroVertexConfigRejected) {
+  FamilyConfig config;
+  config.n = 0;
+  Rng rng(1);
+  EXPECT_THROW(make_family_graph("grid", config, rng), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -49,6 +49,52 @@ TEST(RandomDigraph, RespectsWeightRangeWhenCyclic) {
   }
 }
 
+// Regression: the potential trick used to clamp weights only toward wmin
+// (std::max(clamped, raw) kept the raw value whenever c + p(u) - p(v)
+// exceeded wmax), so no_negative_cycles graphs could carry arcs up to
+// ~2*wmax. The contract is both properties at once, across seeds: every
+// weight in [wmin, wmax] AND no negative cycle.
+TEST(RandomDigraph, NoNegativeCycleModeRespectsWeightRange) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const auto g = random_digraph(16, 0.6, -10, 10, rng);
+    for (std::uint32_t u = 0; u < 16; ++u) {
+      for (std::uint32_t v = 0; v < 16; ++v) {
+        if (u == v || !g.has_arc(u, v)) continue;
+        EXPECT_GE(g.weight(u, v), -10) << "seed " << seed;
+        EXPECT_LE(g.weight(u, v), 10) << "seed " << seed;
+      }
+    }
+    EXPECT_FALSE(has_negative_cycle(g)) << "seed " << seed;
+  }
+}
+
+TEST(RandomDigraph, NoNegativeCycleModeRespectsAsymmetricWeightRange) {
+  // Asymmetric ranges stress both clamp directions of the old code.
+  bool any_negative = false;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(100 + seed);
+    const auto g = random_digraph(14, 0.6, -3, 12, rng);
+    for (std::uint32_t u = 0; u < 14; ++u) {
+      for (std::uint32_t v = 0; v < 14; ++v) {
+        if (u == v || !g.has_arc(u, v)) continue;
+        EXPECT_GE(g.weight(u, v), -3) << "seed " << seed;
+        EXPECT_LE(g.weight(u, v), 12) << "seed " << seed;
+        any_negative = any_negative || g.weight(u, v) < 0;
+      }
+    }
+    EXPECT_FALSE(has_negative_cycle(g)) << "seed " << seed;
+  }
+  EXPECT_TRUE(any_negative);  // negative arcs remain reachable in the range
+}
+
+TEST(RandomDigraph, NoNegativeCycleModeRejectsAllNegativeRanges) {
+  // wmax < 0 makes every cycle negative; the generator must refuse instead
+  // of silently violating the promise.
+  Rng rng(1);
+  EXPECT_THROW(random_digraph(8, 0.5, -9, -1, rng), SimulationError);
+}
+
 TEST(RandomDigraph, NoNegativeCycleModeHolds) {
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     Rng rng(seed);

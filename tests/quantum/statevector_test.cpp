@@ -79,6 +79,35 @@ TEST(StateVectorTest, MeasureFollowsBornRule) {
   EXPECT_NEAR(static_cast<double>(hits) / trials, s.probability(3), 0.02);
 }
 
+// Regression: the seed `measure` accumulated with `u <= 0`, so a sampled
+// quantile landing exactly on a cumulative boundary (uniform_double() == 0
+// with a zero leading amplitude) returned a zero-probability basis state.
+TEST(StateVectorTest, MeasureAtBoundaryNeverReturnsZeroProbabilityState) {
+  // measure_at works in mass space (measure scales the quantile by
+  // norm_sq), so unit amplitudes give exactly representable boundaries at
+  // 0, 1, and 2 -- no floating-point slack in the assertions.
+  StateVector s(5);
+  s.set_amp(0, {0.0, 0.0});  // leading amplitude zero
+  s.set_amp(2, {1.0, 0.0});
+  s.set_amp(4, {1.0, 0.0});
+  EXPECT_EQ(s.measure_at(0.0), 2u);   // the seed bug: returned state 0
+  EXPECT_EQ(s.measure_at(0.5), 2u);
+  EXPECT_EQ(s.measure_at(1.0), 4u);   // interior boundary skips state 3
+  EXPECT_EQ(s.measure_at(1.5), 4u);
+  EXPECT_EQ(s.measure_at(2.0), 4u);   // top boundary: last supported state
+  EXPECT_EQ(s.measure_at(3.0), 4u);   // numerical slack, same landing spot
+}
+
+TEST(StateVectorTest, MeasureNeverSamplesZeroAmplitudeStates) {
+  // All mass on state 4; states 0-3 have probability exactly zero, so no
+  // draw -- whatever quantile the Rng produces -- may return them.
+  StateVector s(6);
+  s.set_amp(0, {0.0, 0.0});
+  s.set_amp(4, {1.0, 0.0});
+  Rng rng(17);
+  for (int t = 0; t < 2000; ++t) EXPECT_EQ(s.measure(rng), 4u);
+}
+
 TEST(StateVectorTest, ProbabilityOfPredicate) {
   StateVector s = StateVector::uniform(10);
   const double p = s.probability_of([](std::size_t i) { return i < 3; });
