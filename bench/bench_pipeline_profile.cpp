@@ -1,0 +1,114 @@
+// Experiment E16: per-phase pipeline profile — the perf-trajectory seed.
+//
+// The round ledger says what each phase costs in the *model*; this harness
+// says what each phase costs to *simulate*: per-phase wall milliseconds and
+// message throughput (messages routed per second of simulator time) for the
+// quantum and classical pipeline backends across three graph families. The
+// JSON artifact (BENCH_pipeline.json) is the perf-tracking baseline future
+// PRs regress against — CI uploads it on every run (see
+// .github/workflows/ci.yml and the QCLIQUE_BENCH_SMOKE knob in
+// scripts/check.sh), and docs/PERFORMANCE.md documents the schema.
+//
+//   usage: bench_pipeline_profile [n] [json-path]
+//
+// Exits non-zero if any run's distances disagree with the floyd-warshall
+// oracle, so the bench doubles as a smoke test.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "graph/families.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qclique;
+  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::stoul(argv[1])) : 20;
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_pipeline.json";
+  std::cout << "E16: per-phase pipeline profile (n = " << n << ")\n\n";
+
+  SolverRegistry& registry = SolverRegistry::instance();
+  const ApspSolver& oracle_solver = registry.get("floyd-warshall");
+  const std::vector<std::string> solvers{"quantum", "classical-search"};
+  const std::vector<std::string> families{"gnp", "grid", "power-law"};
+
+  Table table({"solver", "family", "phase", "wall ms", "messages", "msg/s",
+               "rounds"});
+  std::ostringstream json;
+  json << "{\"bench\":\"pipeline_profile\",\"n\":" << n << ",\"runs\":[";
+  bool all_exact = true;
+  bool first_run = true;
+  for (const std::string& solver_name : solvers) {
+    const ApspSolver& solver = registry.get(solver_name);
+    for (std::size_t f = 0; f < families.size(); ++f) {
+      Rng grng(9000 + n + f);
+      const Digraph g =
+          make_family_graph(families[f], family_config(n, 0.4, -4, 8), grng);
+
+      ExecutionContext octx(1);
+      const ApspReport oracle = oracle_solver.solve(g, octx);
+      ExecutionContext ctx(7000 + f);
+      const ApspReport res = solver.solve(g, ctx);
+      const bool exact = res.distances == oracle.distances;
+      all_exact = all_exact && exact;
+
+      double profiled_ms = 0.0;
+      for (const auto& [phase, timing] : res.profile) {
+        const std::uint64_t rounds =
+            res.ledger.phases().contains(phase)
+                ? res.ledger.phases().at(phase).rounds
+                : 0;
+        const double msg_per_s = timing.wall_ms > 0.0
+                                     ? 1000.0 * static_cast<double>(timing.messages) /
+                                           timing.wall_ms
+                                     : 0.0;
+        table.add_row({solver_name, families[f], phase,
+                       Table::fmt(timing.wall_ms, 3), Table::fmt(timing.messages),
+                       Table::fmt(msg_per_s, 0), Table::fmt(rounds)});
+        profiled_ms += timing.wall_ms;
+      }
+      table.add_row({solver_name, families[f], "(total solve)",
+                     Table::fmt(res.wall_ms, 3), Table::fmt(res.ledger.total_messages()),
+                     "", Table::fmt(res.rounds)});
+
+      if (!first_run) json << ",";
+      first_run = false;
+      json << "{\"solver\":" << json_quote(solver_name)
+           << ",\"family\":" << json_quote(families[f])
+           << ",\"exact\":" << (exact ? "true" : "false")
+           << ",\"wall_ms\":" << res.wall_ms
+           << ",\"profiled_ms\":" << profiled_ms << ",\"rounds\":" << res.rounds
+           << ",\"messages\":" << res.ledger.total_messages() << ",\"phases\":{";
+      bool first_phase = true;
+      for (const auto& [phase, timing] : res.profile) {
+        if (!first_phase) json << ",";
+        first_phase = false;
+        const std::uint64_t rounds =
+            res.ledger.phases().contains(phase)
+                ? res.ledger.phases().at(phase).rounds
+                : 0;
+        json << json_quote(phase) << ":{\"wall_ms\":" << timing.wall_ms
+             << ",\"calls\":" << timing.calls
+             << ",\"messages\":" << timing.messages << ",\"messages_per_sec\":"
+             << (timing.wall_ms > 0.0
+                     ? 1000.0 * static_cast<double>(timing.messages) / timing.wall_ms
+                     : 0.0)
+             << ",\"rounds\":" << rounds << "}";
+      }
+      json << "}}";
+    }
+  }
+  json << "]}";
+
+  table.print("Per-phase pipeline profile (wall time of the simulated phases)");
+
+  std::ofstream out(json_path);
+  out << json.str() << "\n";
+  out.close();
+  std::cout << "\nwrote " << json_path << "\n";
+  std::cout << "all runs exact vs floyd-warshall: " << (all_exact ? "yes" : "NO")
+            << "\n";
+  return all_exact ? 0 : 1;
+}

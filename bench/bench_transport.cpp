@@ -1,6 +1,6 @@
 // Experiment E15: transport-layer drain throughput.
 //
-// Three questions, one table each:
+// Four questions, one table each:
 //   1. Layout: does the flat round-bucketed message arena beat the seed's
 //      per-link std::deque array on the all-to-all drain hot path? The old
 //      layout is reproduced verbatim below (DequeClique) so the comparison
@@ -12,11 +12,19 @@
 //      opens.
 //   3. Instrumentation: the TrafficMatrix export for the clique run, next
 //      to the ledger JSON, so harnesses can persist per-link load.
+//   4. Routing fast paths: the same Lemma 1 batch routed as the seed
+//      std::vector<Message> (materialize + profile + deposit), as a
+//      struct-of-arrays MessageBatch, and counts-only through
+//      route_counts. The counts path is the acceptance gate: >= 3x the
+//      per-Message path at every n >= 128 (with identical ledger charges,
+//      which the routing-equivalence suite pins separately).
 #include <chrono>
+#include <limits>
 #include <deque>
 #include <iostream>
 
 #include "common/table.hpp"
+#include "congest/lenzen.hpp"
 #include "congest/network.hpp"
 #include "congest/transport.hpp"
 #include "core/round_model.hpp"
@@ -209,7 +217,97 @@ int main() {
               << "\ntraffic: " << net.traffic()->to_json() << "\n";
   }
 
+  // ---- 4. Bulk routing fast paths vs the seed per-Message batch. ------------
+  // The workload mirrors the pipeline's step 1 shape: every node sources
+  // `waves` 3-field messages to every other node, routed under Lemma 1.
+  // Timed per path: build the batch representation + route() + clear the
+  // inboxes — exactly what a protocol phase pays.
+  Table paths({"n", "msgs", "vector<Message> ms", "MessageBatch ms", "counts ms",
+               "batch x", "counts x", "counts >= 3x"});
+  bool counts_fast_everywhere = true;
+  const std::uint32_t kRouteWaves = 4;
+  const int kRouteReps = 3;
+  // Best-of-reps per path: the gate divides sub-millisecond timings, so a
+  // single scheduler stall on a shared CI runner must not flip it — the
+  // minimum is robust to one-sided noise where the sum is not.
+  const double kInf = std::numeric_limits<double>::infinity();
+  for (const std::uint32_t n : {64u, 128u, 192u, 256u, 384u}) {
+    double vec_ms = kInf, soa_ms = kInf, cnt_ms = kInf;
+    std::uint64_t msgs = 0, vec_rounds = 0, soa_rounds = 0, cnt_rounds = 0;
+    for (int rep = 0; rep < kRouteReps; ++rep) {
+      {
+        CliqueNetwork net(n);
+        const double t0 = now_ms();
+        std::vector<Message> batch;
+        for (std::uint32_t wave = 0; wave < kRouteWaves; ++wave) {
+          for (NodeId u = 0; u < n; ++u) {
+            for (NodeId v = 0; v < n; ++v) {
+              if (u == v) continue;
+              batch.push_back(Message{
+                  u, v, Payload::make(1, {wave, u, v})});
+            }
+          }
+        }
+        msgs = batch.size();
+        vec_rounds = route(net, batch, "r").rounds;
+        net.clear_inboxes();
+        vec_ms = std::min(vec_ms, now_ms() - t0);
+      }
+      {
+        CliqueNetwork net(n);
+        const double t0 = now_ms();
+        MessageBatch batch;
+        batch.reserve(static_cast<std::size_t>(kRouteWaves) * n * (n - 1),
+                      static_cast<std::size_t>(kRouteWaves) * n * (n - 1) * 3);
+        for (std::uint32_t wave = 0; wave < kRouteWaves; ++wave) {
+          for (NodeId u = 0; u < n; ++u) {
+            for (NodeId v = 0; v < n; ++v) {
+              if (u == v) continue;
+              batch.add(u, v, 1);
+              batch.field(wave);
+              batch.field(u);
+              batch.field(v);
+            }
+          }
+        }
+        soa_rounds = route(net, batch, "r").rounds;
+        net.clear_inboxes();
+        soa_ms = std::min(soa_ms, now_ms() - t0);
+      }
+      {
+        CliqueNetwork net(n);
+        const double t0 = now_ms();
+        LinkCounts counts(n);
+        for (std::uint32_t wave = 0; wave < kRouteWaves; ++wave) {
+          for (NodeId u = 0; u < n; ++u) {
+            for (NodeId v = 0; v < n; ++v) {
+              if (u == v) continue;
+              counts.add(u, v);
+            }
+          }
+        }
+        cnt_rounds = route_counts(net, counts, "r").rounds;
+        cnt_ms = std::min(cnt_ms, now_ms() - t0);
+      }
+    }
+    if (vec_rounds != soa_rounds || vec_rounds != cnt_rounds) {
+      std::cout << "routing fast paths disagreed on rounds\n";
+      return 1;
+    }
+    const double batch_x = vec_ms / soa_ms;
+    const double counts_x = vec_ms / cnt_ms;
+    const bool ok = counts_x >= 3.0;
+    if (n >= 128) counts_fast_everywhere = counts_fast_everywhere && ok;
+    paths.add_row({Table::fmt(static_cast<std::uint64_t>(n)), Table::fmt(msgs),
+                   Table::fmt(vec_ms, 2), Table::fmt(soa_ms, 2),
+                   Table::fmt(cnt_ms, 2), Table::fmt(batch_x, 2),
+                   Table::fmt(counts_x, 2), ok ? "yes" : "NO"});
+  }
+  paths.print("Lemma 1 batch: per-Message vs MessageBatch vs counts-only");
+
   std::cout << "\nArena beats deque at every n >= 128: "
-            << (arena_wins_all_large ? "yes" : "NO") << "\n";
-  return arena_wins_all_large ? 0 : 1;
+            << (arena_wins_all_large ? "yes" : "NO") << "\n"
+            << "Counts-only path >= 3x per-Message at every n >= 128: "
+            << (counts_fast_everywhere ? "yes" : "NO") << "\n";
+  return (arena_wins_all_large && counts_fast_everywhere) ? 0 : 1;
 }

@@ -21,10 +21,15 @@
 # When both are set the filters are OR-ed. With any filter active the API
 # smoke runs are skipped — that mode exists for targeted sanitizer jobs,
 # not for tier-1 verification.
+# Set QCLIQUE_BENCH_SMOKE=1 to append a bench_pipeline_profile run (small
+# n) that writes the BENCH_pipeline.json perf artifact into the build dir
+# (see docs/PERFORMANCE.md); QCLIQUE_BUILD_TYPE overrides the build type
+# (default RelWithDebInfo — use Release for perf numbers).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+BUILD_TYPE="${QCLIQUE_BUILD_TYPE:-RelWithDebInfo}"
 
 CMAKE_EXTRA_ARGS=()
 if [[ -n "${QCLIQUE_SANITIZE:-}" ]]; then
@@ -37,8 +42,8 @@ if [[ -n "${QCLIQUE_SANITIZE:-}" ]]; then
   echo "== sanitizers: ${QCLIQUE_SANITIZE} =="
 fi
 
-echo "== configure =="
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "${CMAKE_EXTRA_ARGS[@]}"
+echo "== configure (${BUILD_TYPE}) =="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}" "${CMAKE_EXTRA_ARGS[@]}"
 
 echo "== build =="
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -81,5 +86,11 @@ echo "== smoke: transport layouts and topologies =="
 
 echo "== smoke: scenario matrix (family x backend x topology x kernel) =="
 "$BUILD_DIR/bench_scenario_matrix" 10 "$BUILD_DIR/scenario_matrix.json" > /dev/null
+
+if [[ -n "${QCLIQUE_BENCH_SMOKE:-}" ]]; then
+  echo "== smoke: pipeline profile (BENCH_pipeline.json) =="
+  "$BUILD_DIR/bench_pipeline_profile" 16 "$BUILD_DIR/BENCH_pipeline.json" > /dev/null
+  echo "wrote $BUILD_DIR/BENCH_pipeline.json"
+fi
 
 echo "OK: build, tests, and API smoke runs all passed."

@@ -28,7 +28,9 @@ inline constexpr std::uint64_t kDefaultExecutionSeed = 0x51c1197eULL;
 class ExecutionContext {
  public:
   explicit ExecutionContext(std::uint64_t seed = kDefaultExecutionSeed)
-      : seed_(seed), rng_(seed) {}
+      : seed_(seed), rng_(seed), profiler_(std::make_shared<PhaseProfiler>()) {
+    transport_.profiler = profiler_;
+  }
 
   /// The seed this context (or fork) was created from.
   std::uint64_t seed() const { return seed_; }
@@ -77,6 +79,14 @@ class ExecutionContext {
   /// SimulationError naming the known kernels on a miss).
   const MinPlusKernel& min_plus_kernel() const { return kernel_.resolve(); }
 
+  /// Wall-clock profiler shared with every network this context builds
+  /// (TransportOptions carries it into make_network): routing primitives
+  /// record per-phase spans keyed by ledger phase, and ApspSolver::solve
+  /// attributes each run's delta to its ApspReport. Accumulates across
+  /// runs like the ledger; not thread-safe — forks get their own.
+  PhaseProfiler& profiler() { return *profiler_; }
+  const PhaseProfiler& profiler() const { return *profiler_; }
+
   /// Ledger accumulating the cost of every solve run executed directly on
   /// this context. Individual runs also report their own per-run ledger in
   /// ApspReport; batch jobs run on forked contexts, so their aggregate is
@@ -101,6 +111,10 @@ class ExecutionContext {
     std::uint64_t s = seed_ ^ (0x9e3779b97f4a7c15ULL + salt);
     ExecutionContext child(splitmix64(s));
     child.transport_ = transport_;
+    // The profiler is per-context state like the Rng, not configuration:
+    // forked jobs may run on worker threads, so each child records into
+    // its own instance.
+    child.transport_.profiler = child.profiler_;
     child.kernel_ = kernel_;
     child.num_threads_ = num_threads_;
     child.check_negative_cycles_ = check_negative_cycles_;
@@ -113,6 +127,7 @@ class ExecutionContext {
   TransportOptions transport_;
   KernelOptions kernel_;
   RoundLedger ledger_;
+  std::shared_ptr<PhaseProfiler> profiler_;
   unsigned num_threads_ = 0;
   bool check_negative_cycles_ = true;
 };

@@ -12,9 +12,12 @@ ApspReport ApspSolver::solve(const Digraph& g, ExecutionContext& ctx) const {
   QCLIQUE_CHECK(caps.negative_weights || !g.has_negative_arc(),
                 "solver '" + name() + "' requires non-negative weights");
 
+  const std::map<std::string, PhaseProfiler::Timing> profile_before =
+      ctx.profiler().phases();
   const auto start = std::chrono::steady_clock::now();
   ApspReport report = do_solve(g, ctx);
   const auto stop = std::chrono::steady_clock::now();
+  report.profile = ctx.profiler().delta_since(profile_before);
 
   report.solver = name();
   report.topology = ctx.topology();
@@ -48,7 +51,8 @@ std::string ApspReport::to_json() const {
     first = false;
     out << json_quote(key) << ":" << value;
   }
-  out << "},\"ledger\":" << ledger.to_json() << "}";
+  out << "},\"profile\":" << profile_to_json(profile)
+      << ",\"ledger\":" << ledger.to_json() << "}";
   return out.str();
 }
 

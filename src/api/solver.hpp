@@ -48,6 +48,10 @@ struct ApspReport {
   /// per-backend code.
   std::map<std::string, std::uint64_t> metrics;
   double wall_ms = 0.0;      // wall-clock time of the solve call
+  /// Per-phase wall-clock profile of this run (keyed by ledger phase;
+  /// delta of the context's PhaseProfiler across the solve call). Empty
+  /// for centralized oracles — they build no network.
+  std::map<std::string, PhaseProfiler::Timing> profile;
 
   explicit ApspReport(std::uint32_t n_) : n(n_), distances(n_) {}
 

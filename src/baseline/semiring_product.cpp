@@ -45,7 +45,10 @@ DistributedProductResult semiring_distance_product(Network& net,
   QCLIQUE_CHECK(budget >= 3, "semiring product needs >= 3 fields per message");
   const std::size_t entries_per_msg = budget - 2;
 
-  std::vector<Message> batch;
+  // Struct-of-arrays batch: the distribute/combine batches are the largest
+  // allocations of the product, and the flat arena removes the per-message
+  // heap objects the seed's std::vector<Message> carried.
+  MessageBatch batch;
   auto emit_block = [&](std::uint32_t tag, const DistMatrix& m, std::uint32_t row_blk,
                         std::uint32_t col_blk, NodeId dst) {
     for (std::uint64_t i = blocks.block_begin(row_blk); i < blocks.block_end(row_blk);
@@ -54,22 +57,24 @@ DistributedProductResult semiring_distance_product(Network& net,
       const std::int64_t* mrow = m.row_ptr(static_cast<std::uint32_t>(i));
       for (std::uint64_t jb = blocks.block_begin(col_blk);
            jb < blocks.block_end(col_blk); jb += entries_per_msg) {
-        Message msg;
-        msg.src = owner;
-        msg.dst = dst;
-        msg.payload.tag = tag;
-        msg.payload.push(static_cast<std::int64_t>(i));
-        msg.payload.push(static_cast<std::int64_t>(jb));
-        for (std::uint64_t j = jb;
-             j < std::min<std::uint64_t>(blocks.block_end(col_blk), jb + entries_per_msg);
-             ++j) {
-          msg.payload.push(mrow[j]);
+        const std::uint64_t jend =
+            std::min<std::uint64_t>(blocks.block_end(col_blk), jb + entries_per_msg);
+        if (owner == dst) {
+          // Local data needs no bandwidth.
+          Message msg;
+          msg.src = owner;
+          msg.dst = dst;
+          msg.payload.tag = tag;
+          msg.payload.push(static_cast<std::int64_t>(i));
+          msg.payload.push(static_cast<std::int64_t>(jb));
+          for (std::uint64_t j = jb; j < jend; ++j) msg.payload.push(mrow[j]);
+          net.deposit(msg);
+          continue;
         }
-        if (msg.src == msg.dst) {
-          net.deposit(msg);  // local data needs no bandwidth
-        } else {
-          batch.push_back(msg);
-        }
+        batch.add(owner, dst, tag);
+        batch.field(static_cast<std::int64_t>(i));
+        batch.field(static_cast<std::int64_t>(jb));
+        for (std::uint64_t j = jb; j < jend; ++j) batch.field(mrow[j]);
       }
     }
   };
@@ -138,17 +143,14 @@ DistributedProductResult semiring_distance_product(Network& net,
             if (is_plus_inf(best)) continue;  // +inf partials need no message
             const std::uint32_t gi = static_cast<std::uint32_t>(ra0 + i);
             const std::uint32_t gj = static_cast<std::uint32_t>(cb0 + j);
-            Message msg;
-            msg.src = node;
-            msg.dst = static_cast<NodeId>(gi);
-            msg.payload.tag = 3;
-            msg.payload.push(gi);
-            msg.payload.push(gj);
-            msg.payload.push(best);
-            if (msg.src == msg.dst) {
-              net.deposit(msg);
+            if (node == static_cast<NodeId>(gi)) {
+              net.deposit(Message{node, static_cast<NodeId>(gi),
+                                  Payload::make(3, {gi, gj, best})});
             } else {
-              batch.push_back(msg);
+              batch.add(node, static_cast<NodeId>(gi), 3);
+              batch.field(gi);
+              batch.field(gj);
+              batch.field(best);
             }
           }
         }

@@ -51,7 +51,7 @@ TriangleListingResult tri_tri_again_find_edges(const WeightedGraph& g,
   // Payload: tag 1, fields [u, v, w(u,v)] for u < v.
   const std::size_t budget = net.config().fields_per_message;
   QCLIQUE_CHECK(budget >= 3, "tri_tri_again needs >= 3 fields per message");
-  std::vector<Message> batch;
+  MessageBatch batch;  // flat struct-of-arrays batch, one shared arena
   auto emit_bipartite = [&](std::uint32_t blk_u, std::uint32_t blk_v, NodeId dst) {
     for (std::uint64_t u = blocks.block_begin(blk_u); u < blocks.block_end(blk_u);
          ++u) {
@@ -61,17 +61,14 @@ TriangleListingResult tri_tri_again_find_edges(const WeightedGraph& g,
         const auto uu = static_cast<std::uint32_t>(u);
         const auto vv = static_cast<std::uint32_t>(v);
         if (!g.has_edge(uu, vv)) continue;
-        Message m;
-        m.src = static_cast<NodeId>(uu);  // row owner sends its incident edges
-        m.dst = dst;
-        m.payload.tag = 1;
-        m.payload.push(uu);
-        m.payload.push(vv);
-        m.payload.push(g.weight(uu, vv));
-        if (m.src == m.dst) {
-          net.deposit(m);
+        // Row owner uu sends its incident edge [u, v, w(u, v)].
+        if (static_cast<NodeId>(uu) == dst) {
+          net.deposit(Message{dst, dst, Payload::make(1, {uu, vv, g.weight(uu, vv)})});
         } else {
-          batch.push_back(m);
+          batch.add(static_cast<NodeId>(uu), dst, 1);
+          batch.field(uu);
+          batch.field(vv);
+          batch.field(g.weight(uu, vv));
         }
       }
     }
@@ -161,23 +158,22 @@ TriangleListingResult tri_tri_again_find_edges(const WeightedGraph& g,
     }
   }
   // Phase 3: report hot pairs to their endpoints. Each pair is one message
-  // to node min(u, v); loads are <= n per destination in batches.
-  batch.clear();
+  // [u, v] to node min(u, v); loads are <= n per destination in batches.
+  // The reported pairs are read from `local_hot` below, never from the
+  // inboxes (the next statement clears them), so the report batch routes
+  // counts-only.
+  LinkCounts report(net.size());
   // (The listing nodes would send these; we attribute each pair to the node
   // of the triple that found it -- for round accounting the worst case is
   // what matters, and route() measures it.)
   for (const auto& [u, v] : local_hot) {
     // Deduplicated set: a single send per hot pair from the finder node.
-    Message m;
-    m.src = static_cast<NodeId>(v % net.size());
-    m.dst = static_cast<NodeId>(u);
-    if (m.src == m.dst) m.src = static_cast<NodeId>((u + 1) % net.size());
-    m.payload.tag = 2;
-    m.payload.push(u);
-    m.payload.push(v);
-    batch.push_back(m);
+    NodeId src = static_cast<NodeId>(v % net.size());
+    const NodeId dst = static_cast<NodeId>(u);
+    if (src == dst) src = static_cast<NodeId>((u + 1) % net.size());
+    report.add(src, dst);
   }
-  route(net, batch, "tri3/report");
+  route_counts(net, report, "tri3/report");
   net.clear_inboxes();
 
   res.hot_pairs.reserve(local_hot.size());

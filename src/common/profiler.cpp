@@ -1,0 +1,93 @@
+#include "common/profiler.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "congest/round_ledger.hpp"  // json_quote
+
+namespace qclique {
+
+PhaseProfiler::Span::Span(PhaseProfiler* owner, std::string phase)
+    : owner_(owner),
+      phase_(std::move(phase)),
+      start_(std::chrono::steady_clock::now()) {}
+
+PhaseProfiler::Span& PhaseProfiler::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    finish();
+    owner_ = std::exchange(other.owner_, nullptr);
+    phase_ = std::move(other.phase_);
+    messages_ = other.messages_;
+    start_ = other.start_;
+  }
+  return *this;
+}
+
+void PhaseProfiler::Span::finish() {
+  if (!owner_) return;
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  std::exchange(owner_, nullptr)->close_span(phase_, ms, messages_);
+}
+
+PhaseProfiler::Span::~Span() { finish(); }
+
+PhaseProfiler::Span PhaseProfiler::span(const std::string& phase) {
+  if (span_open_) return Span();
+  span_open_ = true;
+  return Span(this, phase);
+}
+
+void PhaseProfiler::record(const std::string& phase, double wall_ms,
+                           std::uint64_t messages) {
+  Timing& t = phases_[phase];
+  t.wall_ms += wall_ms;
+  ++t.calls;
+  t.messages += messages;
+}
+
+void PhaseProfiler::close_span(const std::string& phase, double wall_ms,
+                               std::uint64_t messages) {
+  record(phase, wall_ms, messages);
+  span_open_ = false;
+}
+
+void PhaseProfiler::reset() {
+  phases_.clear();
+  span_open_ = false;
+}
+
+std::map<std::string, PhaseProfiler::Timing> PhaseProfiler::delta_since(
+    const std::map<std::string, Timing>& before) const {
+  std::map<std::string, Timing> out;
+  for (const auto& [phase, t] : phases_) {
+    Timing d = t;
+    if (auto it = before.find(phase); it != before.end()) {
+      d.wall_ms -= it->second.wall_ms;
+      d.calls -= it->second.calls;
+      d.messages -= it->second.messages;
+    }
+    if (d.calls > 0 || d.wall_ms > 0.0 || d.messages > 0) out.emplace(phase, d);
+  }
+  return out;
+}
+
+std::string profile_to_json(
+    const std::map<std::string, PhaseProfiler::Timing>& phases) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [phase, t] : phases) {
+    if (!first) out << ",";
+    first = false;
+    out << json_quote(phase) << ":{\"wall_ms\":" << t.wall_ms
+        << ",\"calls\":" << t.calls << ",\"messages\":" << t.messages << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string PhaseProfiler::to_json() const { return profile_to_json(phases_); }
+
+}  // namespace qclique

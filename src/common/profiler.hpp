@@ -1,0 +1,95 @@
+// Wall-clock profiling of protocol phases.
+//
+// The round ledger answers "how many rounds did phase X cost in the model";
+// the PhaseProfiler answers "how many wall-clock milliseconds did
+// *simulating* phase X cost on this machine". Spans are keyed by the same
+// phase names the ledger uses, so harnesses (bench_pipeline_profile,
+// ApspReport::to_json) can report model cost and simulator cost side by
+// side and locate the hot phase of the pipeline.
+//
+// Spans are non-reentrant: opening a span while another is active returns
+// an inert span that records nothing. Routing primitives open spans at
+// their entry points and also inside run_until_drained; without the guard
+// a route() that drains through run_until_drained would double-count its
+// wall time under the same phase.
+//
+// Not thread-safe: one profiler belongs to one ExecutionContext, and
+// ExecutionContext::fork gives every child its own instance — the same
+// single-owner discipline as Rng and RoundLedger.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace qclique {
+
+class PhaseProfiler {
+ public:
+  /// Accumulated wall time of one phase across its spans.
+  struct Timing {
+    double wall_ms = 0.0;
+    std::uint64_t calls = 0;     // spans closed under this phase
+    std::uint64_t messages = 0;  // logical messages attributed to the phase
+  };
+
+  /// RAII timer: records elapsed wall time under its phase on destruction.
+  /// A default-constructed (or nested) span is inert.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    /// Closes (records) the current span, if active, before adopting
+    /// `other` — assigning a fresh Span{} is how a span is ended early.
+    Span& operator=(Span&& other) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span();
+
+    /// Attributes `count` logical messages to the span's phase.
+    void add_messages(std::uint64_t count) { messages_ += count; }
+
+   private:
+    friend class PhaseProfiler;
+    Span(PhaseProfiler* owner, std::string phase);
+    void finish();
+
+    PhaseProfiler* owner_ = nullptr;
+    std::string phase_;
+    std::uint64_t messages_ = 0;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Opens a span for `phase`. Returns an inert span when one is already
+  /// open (nested phases record nothing; see the header comment).
+  Span span(const std::string& phase);
+
+  /// Records a completed measurement directly (one call's worth).
+  void record(const std::string& phase, double wall_ms, std::uint64_t messages = 0);
+
+  const std::map<std::string, Timing>& phases() const { return phases_; }
+  bool empty() const { return phases_.empty(); }
+  void reset();
+
+  /// Per-phase change between `before` (a snapshot of phases()) and the
+  /// current state; phases absent from `before` are returned whole. Lets
+  /// ApspSolver::solve attribute one run's wall time on a shared profiler.
+  std::map<std::string, Timing> delta_since(
+      const std::map<std::string, Timing>& before) const;
+
+  /// JSON object {"phase":{"wall_ms":..,"calls":..,"messages":..},...}.
+  std::string to_json() const;
+
+ private:
+  void close_span(const std::string& phase, double wall_ms, std::uint64_t messages);
+
+  std::map<std::string, Timing> phases_;
+  bool span_open_ = false;
+};
+
+/// JSON for a standalone timing map (the ApspReport `profile` export uses
+/// the same schema as PhaseProfiler::to_json).
+std::string profile_to_json(const std::map<std::string, PhaseProfiler::Timing>& phases);
+
+}  // namespace qclique

@@ -8,17 +8,40 @@
 namespace qclique {
 
 namespace {
-RouteStats profile(const Network& net, const std::vector<Message>& batch) {
+
+// Accessor shims letting one route body serve both delivering batch
+// forms — any future change to the validation or charging logic applies
+// to both (the equivalence suite would catch divergence, the shared body
+// prevents it).
+std::size_t size_of(const std::vector<Message>& b) { return b.size(); }
+std::size_t size_of(const MessageBatch& b) { return b.size(); }
+NodeId src_of(const std::vector<Message>& b, std::size_t i) { return b[i].src; }
+NodeId src_of(const MessageBatch& b, std::size_t i) { return b.src(i); }
+NodeId dst_of(const std::vector<Message>& b, std::size_t i) { return b[i].dst; }
+NodeId dst_of(const MessageBatch& b, std::size_t i) { return b.dst(i); }
+std::size_t field_count_of(const std::vector<Message>& b, std::size_t i) {
+  return b[i].payload.size;
+}
+std::size_t field_count_of(const MessageBatch& b, std::size_t i) {
+  return b.field_count(i);
+}
+const Message& message_of(const std::vector<Message>& b, std::size_t i) {
+  return b[i];
+}
+Message message_of(const MessageBatch& b, std::size_t i) { return b.message(i); }
+
+template <typename Batch>
+RouteStats profile(const Network& net, const Batch& batch) {
   RouteStats st;
-  st.messages = batch.size();
+  st.messages = size_of(batch);
   std::vector<std::uint64_t> src_load(net.size(), 0), dst_load(net.size(), 0);
-  for (const Message& m : batch) {
-    QCLIQUE_CHECK(m.src < net.size() && m.dst < net.size(),
+  for (std::size_t i = 0; i < size_of(batch); ++i) {
+    QCLIQUE_CHECK(src_of(batch, i) < net.size() && dst_of(batch, i) < net.size(),
                   "route: endpoint out of range");
-    QCLIQUE_CHECK(m.payload.size <= net.config().fields_per_message,
+    QCLIQUE_CHECK(field_count_of(batch, i) <= net.config().fields_per_message,
                   "route: payload exceeds per-message budget");
-    ++src_load[m.src];
-    ++dst_load[m.dst];
+    ++src_load[src_of(batch, i)];
+    ++dst_load[dst_of(batch, i)];
   }
   for (std::uint32_t v = 0; v < net.size(); ++v) {
     st.max_source_load = std::max(st.max_source_load, src_load[v]);
@@ -26,18 +49,20 @@ RouteStats profile(const Network& net, const std::vector<Message>& batch) {
   }
   return st;
 }
-}  // namespace
 
-RouteStats route(Network& net, const std::vector<Message>& batch,
-                 const std::string& phase) {
+template <typename Batch>
+RouteStats route_impl(Network& net, const Batch& batch, const std::string& phase) {
+  PhaseProfiler::Span span = net.profile_phase(phase);
+  span.add_messages(size_of(batch));
   RouteStats st = profile(net, batch);
-  if (batch.empty()) return st;
+  if (st.messages == 0) return st;
   if (!net.capabilities().lemma1_routing) {
     // Lemma 1 does not hold off the clique: deliver the batch by genuine
     // stepped routing (the transport relays hop-by-hop) and report the
     // measured cost instead of the charge.
     const std::uint64_t before = net.rounds();
-    for (const Message& m : batch) {
+    for (std::size_t i = 0; i < size_of(batch); ++i) {
+      const Message& m = message_of(batch, i);
       if (m.src == m.dst) {
         net.deposit(m);
       } else {
@@ -53,8 +78,56 @@ RouteStats route(Network& net, const std::vector<Message>& batch,
   // Lemma 1 delivers any n-per-source/dest batch in 2 rounds; a batch with
   // load L splits into ceil(L/n) such sub-batches.
   st.rounds = 2 * ceil_div(load, n);
-  for (const Message& m : batch) net.deposit(m);
-  net.ledger().charge(phase, st.rounds, batch.size());
+  for (std::size_t i = 0; i < size_of(batch); ++i) {
+    net.deposit(message_of(batch, i));
+  }
+  net.ledger().charge(phase, st.rounds, st.messages);
+  return st;
+}
+
+}  // namespace
+
+RouteStats route(Network& net, const std::vector<Message>& batch,
+                 const std::string& phase) {
+  return route_impl(net, batch, phase);
+}
+
+RouteStats route(Network& net, const MessageBatch& batch,
+                 const std::string& phase) {
+  return route_impl(net, batch, phase);
+}
+
+RouteStats route_counts(Network& net, const LinkCounts& counts,
+                        const std::string& phase) {
+  QCLIQUE_CHECK(counts.nodes() == net.size(),
+                "route_counts: profile size mismatch");
+  PhaseProfiler::Span span = net.profile_phase(phase);
+  span.add_messages(counts.total());
+  RouteStats st;
+  st.messages = counts.total();
+  st.max_source_load = counts.max_source_load();
+  st.max_dest_load = counts.max_dest_load();
+  if (counts.empty()) return st;
+  if (!net.capabilities().lemma1_routing) {
+    const std::uint64_t before = net.rounds();
+    counts.for_each_run([&](NodeId src, NodeId dst, std::uint64_t k) {
+      if (src == dst) {
+        net.deposit_counts(src, dst, k);
+      } else {
+        net.send_counts(src, dst, k);
+      }
+    });
+    net.run_until_drained(phase);
+    st.rounds = net.rounds() - before;
+    return st;
+  }
+  const std::uint64_t n = net.size();
+  const std::uint64_t load = std::max(st.max_source_load, st.max_dest_load);
+  st.rounds = 2 * ceil_div(load, n);
+  counts.for_each_run([&](NodeId src, NodeId dst, std::uint64_t k) {
+    net.deposit_counts(src, dst, k);
+  });
+  net.ledger().charge(phase, st.rounds, st.messages);
   return st;
 }
 

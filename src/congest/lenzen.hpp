@@ -46,6 +46,26 @@ struct RouteStats {
 RouteStats route(Network& net, const std::vector<Message>& batch,
                  const std::string& phase);
 
+/// Struct-of-arrays overload: identical validation, charging, delivery
+/// order, and inbox contents to the per-`Message` form (the routing
+/// equivalence suite holds the two bit-identical) with no per-message heap
+/// object — the load profile is read straight off the batch's flat arrays.
+RouteStats route(Network& net, const MessageBatch& batch,
+                 const std::string& phase);
+
+/// Counts-only routing: charges the ledger (and the traffic matrix) for a
+/// batch described by per-(src, dst) message counts without constructing
+/// payloads or touching inboxes. Correct for every call site that clears
+/// its inboxes without reading the delivered payloads (the step 1/2
+/// loads, the evaluation traffic, whole-row shipping). On the clique the
+/// Lemma 1 charge is computed straight from the count profile; off the
+/// clique the counts are replayed in insertion order as phantom messages
+/// through the genuine stepped transport, so measured congestion stays
+/// bit-identical to the per-`Message` path. The caller is responsible for
+/// sizing the (never-built) payloads within the field budget.
+RouteStats route_counts(Network& net, const LinkCounts& counts,
+                        const std::string& phase);
+
 /// Genuine stepped implementation: round 1 spreads each source's messages
 /// over random intermediate relays, round 2 forwards relay -> destination;
 /// both phases run through Network::step so collisions on a link cost

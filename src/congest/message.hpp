@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -55,6 +56,168 @@ struct Message {
   NodeId src = 0;
   NodeId dst = 0;
   Payload payload;
+};
+
+/// Reserved tag marking counts-only (phantom) traffic: a phantom message
+/// consumes link capacity, advances rounds, and is counted by the
+/// TrafficMatrix exactly like a real message, but is never delivered to an
+/// inbox (Network::deliver_to_inbox drops it). Protocol payloads must not
+/// use this tag.
+inline constexpr std::uint32_t kPhantomTag = 0xffffffffu;
+
+/// Struct-of-arrays batch of messages sharing one payload arena.
+///
+/// The per-`Message` batch representation costs ~64 bytes per message and
+/// one copy per hop (producer vector -> inbox); at the pipeline's
+/// O(n^2 sqrt n) batch sizes that materialization dominates the simulated
+/// hot path. A MessageBatch keeps sources, destinations, and tags in flat
+/// arrays and all payload fields in one shared arena, so producers append
+/// with no per-message allocation and `route(Network&, const MessageBatch&,
+/// phase)` reads the load profile straight off the arrays. Semantically a
+/// MessageBatch is exactly the sequence of messages it was built from, in
+/// insertion order — the routing-equivalence suite holds the two batch
+/// forms bit-identical in every model-visible quantity.
+class MessageBatch {
+ public:
+  MessageBatch() = default;
+
+  std::size_t size() const { return src_.size(); }
+  bool empty() const { return src_.empty(); }
+
+  /// Pre-sizes the arrays: `messages` entries, `total_fields` payload
+  /// fields across the whole batch (reserve once, append forever).
+  void reserve(std::size_t messages, std::size_t total_fields) {
+    src_.reserve(messages);
+    dst_.reserve(messages);
+    tag_.reserve(messages);
+    offset_.reserve(messages);
+    fields_.reserve(total_fields);
+  }
+
+  /// Starts a new message; subsequent `field` calls append its payload.
+  void add(NodeId src, NodeId dst, std::uint32_t tag) {
+    QCLIQUE_CHECK(fields_.size() <= UINT32_MAX,
+                  "MessageBatch payload arena exceeds 2^32 fields");
+    src_.push_back(src);
+    dst_.push_back(dst);
+    tag_.push_back(tag);
+    offset_.push_back(static_cast<std::uint32_t>(fields_.size()));
+  }
+
+  /// Appends one payload field to the message opened by the last `add`.
+  void field(std::int64_t v) {
+    QCLIQUE_CHECK(!src_.empty(), "MessageBatch::field before add");
+    fields_.push_back(v);
+  }
+
+  NodeId src(std::size_t i) const { return src_[i]; }
+  NodeId dst(std::size_t i) const { return dst_[i]; }
+  std::uint32_t tag(std::size_t i) const { return tag_[i]; }
+
+  std::size_t field_count(std::size_t i) const { return field_end(i) - offset_[i]; }
+
+  /// Materializes message i (inbox delivery; the one place the AoS form
+  /// is still needed).
+  Message message(std::size_t i) const {
+    Message m;
+    m.src = src_[i];
+    m.dst = dst_[i];
+    m.payload.tag = tag_[i];
+    for (std::size_t f = offset_[i]; f < field_end(i); ++f) {
+      m.payload.push(fields_[f]);
+    }
+    return m;
+  }
+
+  void clear() {
+    src_.clear();
+    dst_.clear();
+    tag_.clear();
+    offset_.clear();
+    fields_.clear();
+  }
+
+ private:
+  std::size_t field_end(std::size_t i) const {
+    return i + 1 < offset_.size() ? offset_[i + 1] : fields_.size();
+  }
+
+  std::vector<NodeId> src_, dst_;
+  std::vector<std::uint32_t> tag_;
+  std::vector<std::uint32_t> offset_;  // first arena index of message i
+  std::vector<std::int64_t> fields_;   // shared payload arena
+};
+
+/// Per-(src, dst) message-count profile for counts-only routing.
+///
+/// Call sites whose receivers never read the delivered payloads (the next
+/// statement clears the inboxes — the step 1/2 loads, the evaluation
+/// traffic, whole-row shipping) describe their batch as counts and
+/// `route_counts` charges identical rounds, messages, and per-link traffic
+/// without constructing a single payload. Insertion order is preserved as
+/// run-length-encoded (link, count) runs because hop-by-hop topologies'
+/// measured congestion depends on enqueue order; the clique fast path only
+/// reads the aggregate load profile.
+class LinkCounts {
+ public:
+  explicit LinkCounts(std::uint32_t n)
+      : n_(n), src_load_(n, 0), dst_load_(n, 0) {}
+
+  std::uint32_t nodes() const { return n_; }
+
+  /// Counts `count` messages src -> dst. src == dst models a
+  /// bandwidth-free self-delivery, mirroring route()'s deposit of
+  /// self-addressed messages (it still counts toward the batch size and
+  /// the load profile, as route()'s profile pass does).
+  void add(NodeId src, NodeId dst, std::uint64_t count = 1) {
+    QCLIQUE_CHECK(src < n_ && dst < n_, "LinkCounts endpoint out of range");
+    if (count == 0) return;
+    const std::uint64_t link = static_cast<std::uint64_t>(src) * n_ + dst;
+    if (!runs_.empty() && runs_.back().link == link) {
+      runs_.back().count += count;
+    } else {
+      runs_.push_back(Run{link, count});
+    }
+    src_load_[src] += count;
+    dst_load_[dst] += count;
+    total_ += count;
+  }
+
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  std::uint64_t max_source_load() const {
+    std::uint64_t m = 0;
+    for (std::uint64_t l : src_load_) m = std::max(m, l);
+    return m;
+  }
+
+  std::uint64_t max_dest_load() const {
+    std::uint64_t m = 0;
+    for (std::uint64_t l : dst_load_) m = std::max(m, l);
+    return m;
+  }
+
+  /// Replays the counted messages in insertion order, one call per run of
+  /// consecutive same-link messages.
+  template <typename Fn>  // void(NodeId src, NodeId dst, std::uint64_t count)
+  void for_each_run(Fn&& fn) const {
+    for (const Run& r : runs_) {
+      fn(static_cast<NodeId>(r.link / n_), static_cast<NodeId>(r.link % n_),
+         r.count);
+    }
+  }
+
+ private:
+  struct Run {
+    std::uint64_t link;  // src * n + dst
+    std::uint64_t count;
+  };
+
+  std::uint32_t n_;
+  std::vector<Run> runs_;
+  std::vector<std::uint64_t> src_load_, dst_load_;
+  std::uint64_t total_ = 0;
 };
 
 }  // namespace qclique

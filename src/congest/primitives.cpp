@@ -64,19 +64,15 @@ void disseminate_fields(Network& net, NodeId src,
   // Each chunk is <= ceil(|fields|/n) fields; message counts obey Lemma 1's
   // per-source bound in batches.
   const std::size_t chunk = ceil_div(fields.size(), n);
-  std::vector<Message> batch;
+  MessageBatch batch;  // flat struct-of-arrays batch, one shared arena
   for (std::uint32_t v = 0; v < n; ++v) {
     const std::size_t lo = std::min(fields.size(), static_cast<std::size_t>(v) * chunk);
     const std::size_t hi = std::min(fields.size(), lo + chunk);
     for (std::size_t base = lo; base < hi; base += budget) {
-      Message m;
-      m.src = src;
-      m.dst = v;
-      m.payload.tag = tag;
+      batch.add(src, v, tag);
       for (std::size_t i = base; i < std::min(hi, base + budget); ++i) {
-        m.payload.push(fields[i]);
+        batch.field(fields[i]);
       }
-      batch.push_back(m);
     }
   }
   route(net, batch, phase);
@@ -84,7 +80,7 @@ void disseminate_fields(Network& net, NodeId src,
   // Stage 2: every node rebroadcasts its chunk. Chunk order equals node id,
   // and within a chunk message order is preserved, so receivers can
   // reassemble by (src, arrival order).
-  std::vector<Message> rebatch;
+  MessageBatch rebatch;
   for (std::uint32_t v = 0; v < n; ++v) {
     // Gather what v just received with our tag.
     std::vector<Payload> mine;
@@ -96,7 +92,8 @@ void disseminate_fields(Network& net, NodeId src,
     box.erase(it, box.end());
     for (const Payload& p : mine) {
       for (std::uint32_t w = 0; w < n; ++w) {
-        rebatch.push_back(Message{v, w, p});
+        rebatch.add(v, w, p.tag);
+        for (std::size_t i = 0; i < p.size; ++i) rebatch.field(p.fields[i]);
       }
     }
   }

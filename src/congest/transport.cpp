@@ -24,6 +24,12 @@ void TrafficMatrix::record_deposit(NodeId src, NodeId dst) {
   ++deposits_;
 }
 
+void TrafficMatrix::record_deposits(NodeId src, NodeId dst, std::uint64_t count) {
+  loads_[static_cast<std::size_t>(src) * n_ + dst] += count;
+  total_ += count;
+  deposits_ += count;
+}
+
 std::uint64_t TrafficMatrix::load(NodeId src, NodeId dst) const {
   QCLIQUE_CHECK(src < n_ && dst < n_, "TrafficMatrix::load endpoint out of range");
   return loads_[static_cast<std::size_t>(src) * n_ + dst];
@@ -104,7 +110,20 @@ void Network::send(NodeId src, NodeId dst, Payload payload) {
   ++pending_;
 }
 
+void Network::send_counts(NodeId src, NodeId dst, std::uint64_t count) {
+  QCLIQUE_CHECK(src < n_ && dst < n_, "send endpoint out of range");
+  QCLIQUE_CHECK(src != dst, "a node does not message itself in the model");
+  Payload phantom;
+  phantom.tag = kPhantomTag;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    enqueue(src, dst, phantom);
+    ++pending_;
+  }
+}
+
 std::uint64_t Network::run_until_drained(const std::string& phase) {
+  PhaseProfiler::Span span = profile_phase(phase);
+  span.add_messages(pending_);
   std::uint64_t steps = 0;
   while (pending_ > 0) {
     step(phase);
@@ -131,6 +150,11 @@ void Network::deposit(const Message& m) {
   QCLIQUE_CHECK(m.src < n_ && m.dst < n_, "deposit endpoint out of range");
   if (traffic_) traffic_->record_deposit(m.src, m.dst);
   inboxes_[m.dst].push_back(m);
+}
+
+void Network::deposit_counts(NodeId src, NodeId dst, std::uint64_t count) {
+  QCLIQUE_CHECK(src < n_ && dst < n_, "deposit endpoint out of range");
+  if (traffic_) traffic_->record_deposits(src, dst, count);
 }
 
 void Network::enable_traffic_matrix() {
@@ -404,6 +428,7 @@ std::unique_ptr<Network> make_network(std::uint32_t n,
   std::unique_ptr<Network> net =
       TopologyRegistry::instance().get(options.topology).factory(n, options);
   if (options.record_traffic) net->enable_traffic_matrix();
+  if (options.profiler) net->install_profiler(options.profiler);
   return net;
 }
 

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "common/profiler.hpp"
 #include "congest/message.hpp"
 #include "congest/round_ledger.hpp"
 
@@ -80,6 +81,9 @@ class TrafficMatrix {
 
   /// Counts a bandwidth-free deposit (charged-model delivery).
   void record_deposit(NodeId src, NodeId dst);
+
+  /// Counts `count` bandwidth-free deposits at once (counts-only routing).
+  void record_deposits(NodeId src, NodeId dst, std::uint64_t count);
 
   /// Messages that crossed link (src, dst).
   std::uint64_t load(NodeId src, NodeId dst) const;
@@ -138,6 +142,14 @@ class Network {
   /// Convenience overload.
   void send(const Message& m) { send(m.src, m.dst, m.payload); }
 
+  /// Counts-only analogue of `send`: enqueues `count` phantom messages on
+  /// the (src, dst) link. Phantoms consume link capacity, advance rounds,
+  /// and are recorded by the TrafficMatrix exactly like real messages, but
+  /// are never delivered to an inbox — the payloadless half of the
+  /// zero-materialization routing fast path (lenzen.hpp route_counts) for
+  /// phases whose receivers are modeled globally and never read the data.
+  void send_counts(NodeId src, NodeId dst, std::uint64_t count = 1);
+
   /// Advances one synchronous round: every physical link carries at most
   /// one message. Charges exactly one round to `phase` on the ledger.
   virtual void step(const std::string& phase) = 0;
@@ -165,6 +177,10 @@ class Network {
   /// a validated cost model (see lenzen.hpp); protocol code must not use it.
   void deposit(const Message& m);
 
+  /// Counts-only analogue of `deposit`: records `count` charged-model
+  /// deliveries on the traffic matrix without touching any inbox.
+  void deposit_counts(NodeId src, NodeId dst, std::uint64_t count = 1);
+
   RoundLedger& ledger() { return ledger_; }
   const RoundLedger& ledger() const { return ledger_; }
 
@@ -176,12 +192,29 @@ class Network {
   void enable_traffic_matrix();
   const TrafficMatrix* traffic() const { return traffic_.get(); }
 
+  /// Installs the run's wall-clock profiler (shared with the
+  /// ExecutionContext that configured the transport; null disables).
+  void install_profiler(std::shared_ptr<PhaseProfiler> profiler) {
+    profiler_ = std::move(profiler);
+  }
+  PhaseProfiler* profiler() const { return profiler_.get(); }
+
+  /// Opens a profiler span keyed by `phase` (inert when no profiler is
+  /// installed, or inside an already-open span). Routing primitives call
+  /// this at their entry points.
+  PhaseProfiler::Span profile_phase(const std::string& phase) const {
+    return profiler_ ? profiler_->span(phase) : PhaseProfiler::Span();
+  }
+
  protected:
   /// Topology hook: queue one budget-sized message (endpoints validated).
   virtual void enqueue(NodeId src, NodeId dst, const Payload& payload) = 0;
 
-  /// Places a delivered message into its destination inbox.
-  void deliver_to_inbox(const Message& m) { inboxes_[m.dst].push_back(m); }
+  /// Places a delivered message into its destination inbox. Phantom
+  /// (counts-only) messages are counted by the caller but never stored.
+  void deliver_to_inbox(const Message& m) {
+    if (m.payload.tag != kPhantomTag) inboxes_[m.dst].push_back(m);
+  }
 
   /// Records one physical traversal of (src, dst) when instrumentation is on.
   void record_traffic(NodeId src, NodeId dst) {
@@ -195,6 +228,7 @@ class Network {
   std::uint64_t rounds_ = 0;
   RoundLedger ledger_;
   std::unique_ptr<TrafficMatrix> traffic_;
+  std::shared_ptr<PhaseProfiler> profiler_;
 };
 
 /// Scenario knobs selecting and parameterizing a topology. This is the
@@ -215,6 +249,10 @@ struct TransportOptions {
   std::shared_ptr<const std::vector<std::vector<NodeId>>> links;
   /// Build networks with the TrafficMatrix instrumentation enabled.
   bool record_traffic = false;
+  /// Wall-clock profiler installed on every network built from these
+  /// options (ExecutionContext shares its own here so per-phase timings
+  /// accumulate across a run; null disables profiling).
+  std::shared_ptr<PhaseProfiler> profiler;
 };
 
 /// Builds a concrete network for a registered topology.

@@ -1,9 +1,7 @@
 #include "core/compute_pairs.hpp"
 
 #include <algorithm>
-#include <map>
 #include <memory>
-#include <set>
 
 #include "common/rng.hpp"
 #include "congest/lenzen.hpp"
@@ -27,10 +25,19 @@ std::unique_ptr<Network> network_for(const WeightedGraph& g,
 }
 
 /// Step 1 of ComputePairs: ship f(u, w') / f(w', v) for every triple to its
-/// t-node through one measured routing batch.
+/// t-node through one measured routing batch. The receivers' data is
+/// modeled through the semantic oracle below (the seed path routed the
+/// payloads and immediately cleared every inbox), so the O(n^2 sqrt n)
+/// batch is described as per-link counts and routed payload-free:
+/// identical rounds/messages/traffic, zero materialization.
 void step1_load_weights(Network& net, const WeightedGraph& g,
                         const Partitions& parts) {
-  std::vector<Message> batch;
+  // Counts-only routing never sees a payload, so the field-budget guard
+  // route() ran per message moves here: every step 1 message carries
+  // 3 fields ([u, w', f]).
+  QCLIQUE_CHECK(net.config().fields_per_message >= 3,
+                "step1/load needs >= 3 fields per message");
+  LinkCounts counts(net.size());
   const std::uint32_t B = parts.num_vblocks();
   const std::uint32_t Wb = parts.num_wblocks();
   for (std::uint32_t ub = 0; ub < B; ++ub) {
@@ -46,41 +53,32 @@ void step1_load_weights(Network& net, const WeightedGraph& g,
         for (std::uint32_t w : ws) {
           const std::int64_t* wrow = g.row_ptr(w);
           for (std::uint32_t u : us) {
-            if (u == w || is_plus_inf(wrow[u])) continue;
-            Message m;
-            m.src = static_cast<NodeId>(u);
-            m.dst = dst;
-            m.payload.tag = 60;
-            m.payload.push(u);
-            m.payload.push(w);
-            m.payload.push(wrow[u]);
-            if (m.src != m.dst) batch.push_back(m);
+            // Message [u, w, f(u, w)] from u to the t-node.
+            if (u == w || is_plus_inf(wrow[u]) || u == dst) continue;
+            counts.add(static_cast<NodeId>(u), dst);
           }
           for (std::uint32_t v : vs) {
-            if (v == w || is_plus_inf(wrow[v])) continue;
-            Message m;
-            m.src = static_cast<NodeId>(w);
-            m.dst = dst;
-            m.payload.tag = 60;
-            m.payload.push(w);
-            m.payload.push(v);
-            m.payload.push(wrow[v]);
-            if (m.src != m.dst) batch.push_back(m);
+            // Message [w, v, f(w, v)] from w to the t-node.
+            if (v == w || is_plus_inf(wrow[v]) || w == dst) continue;
+            counts.add(static_cast<NodeId>(w), dst);
           }
         }
       }
     }
   }
-  route(net, batch, "step1/load");
-  net.clear_inboxes();  // contents modeled through the semantic oracle below
+  route_counts(net, counts, "step1/load");
 }
 
-/// Step 2 weight/S loading for the sampled Lambda families (measured).
+/// Step 2 weight/S loading for the sampled Lambda families (measured,
+/// counts-only: one message [u, v, f(u, v), in_S] per family edge, whose
+/// payload — like step 1's — is modeled globally and never read).
 void step2_load_lambda(Network& net, const WeightedGraph& g,
                        const Partitions& parts,
-                       const std::vector<std::vector<LambdaFamily>>& families,
-                       const std::set<VertexPair>& s_set) {
-  std::vector<Message> batch;
+                       const std::vector<std::vector<LambdaFamily>>& families) {
+  // Counts-only budget guard (see step 1): 4 fields ([u, v, f, in_S]).
+  QCLIQUE_CHECK(net.config().fields_per_message >= 4,
+                "step2/load needs >= 4 fields per message");
+  LinkCounts counts(net.size());
   const std::uint32_t B = parts.num_vblocks();
   for (std::uint32_t ub = 0; ub < B; ++ub) {
     for (std::uint32_t vb = 0; vb < B; ++vb) {
@@ -89,21 +87,13 @@ void step2_load_lambda(Network& net, const WeightedGraph& g,
         const NodeId dst = parts.x_node(ub, vb, x);
         for (const auto& [u, v] : fam.sets[x]) {
           if (!g.has_edge(u, v)) continue;  // non-edges carry no weight
-          Message m;
-          m.src = static_cast<NodeId>(u);
-          m.dst = dst;
-          m.payload.tag = 61;
-          m.payload.push(u);
-          m.payload.push(v);
-          m.payload.push(g.weight(u, v));
-          m.payload.push(s_set.contains(VertexPair(u, v)) ? 1 : 0);
-          if (m.src != m.dst) batch.push_back(m);
+          if (u == dst) continue;
+          counts.add(static_cast<NodeId>(u), dst);
         }
       }
     }
   }
-  route(net, batch, "step2/load");
-  net.clear_inboxes();
+  route_counts(net, counts, "step2/load");
 }
 
 }  // namespace
@@ -120,7 +110,11 @@ ComputePairsResult compute_pairs(const WeightedGraph& g,
   const Partitions parts(n);
   const std::unique_ptr<Network> net_ptr = network_for(g, options.transport);
   Network& net = *net_ptr;
-  const std::set<VertexPair> s_set(s_pairs.begin(), s_pairs.end());
+  // S membership is answered by binary search on the (already sorted,
+  // checked above) input vector — no std::set copy of the hot lookup set.
+  const auto in_s = [&s_pairs](const VertexPair& pr) {
+    return std::binary_search(s_pairs.begin(), s_pairs.end(), pr);
+  };
 
   // Input-promise diagnostic (Gamma(u,v) <= promise * log n for S pairs).
   {
@@ -151,7 +145,7 @@ ComputePairsResult compute_pairs(const WeightedGraph& g,
       }
     }
   }
-  step2_load_lambda(net, g, parts, families, s_set);
+  step2_load_lambda(net, g, parts, families);
 
   // ---- Step 3.1: IdentifyClass. --------------------------------------------
   Rng ic_rng = rng.split();
@@ -174,7 +168,14 @@ ComputePairsResult compute_pairs(const WeightedGraph& g,
   // the *maximum* over groups is charged per alpha. (With inexact roots the
   // labelings wrap and a little cross-group sharing exists; the paper
   // assumes exact sizes, and we document the approximation in DESIGN.md.)
-  std::set<VertexPair> hot;
+  //
+  // One scratch network serves every group (the seed built a fresh one per
+  // (ub, vb) pair): group costs are ledger *deltas*, so reuse changes no
+  // measurement, and off-clique topologies skip rebuilding their O(n^2)
+  // next-hop tables per group. Built lazily — most aborted runs never get
+  // here.
+  std::unique_ptr<Network> scratch_ptr;
+  std::vector<VertexPair> hot;
   for (std::uint32_t alpha = 0; alpha <= classes.max_alpha; ++alpha) {
     std::uint64_t alpha_max_rounds = 0;
     std::uint64_t alpha_oracle_calls = 0;
@@ -184,22 +185,36 @@ ComputePairsResult compute_pairs(const WeightedGraph& g,
         if (t_alpha.empty()) continue;
 
         // Active searches: for every x-node, its Lambda_x /\ S /\ E pairs.
-        // Shared solution-set cache: the same pair may appear under several
-        // x (Lambda is a covering, not a partition).
+        // The same pair may appear under several x (Lambda is a covering,
+        // not a partition), so solution sets are computed once per distinct
+        // candidate pair into a sorted flat table and looked up by binary
+        // search — the seed's std::map cache re-copied the cached vector by
+        // value on every hit.
         const auto& fam = families[ub][vb];
-        std::map<VertexPair, std::vector<std::size_t>> solution_cache;
-        auto solutions_of = [&](const VertexPair& pr) {
-          auto it = solution_cache.find(pr);
-          if (it != solution_cache.end()) return it->second;
-          std::vector<std::size_t> sols;
+        std::vector<VertexPair> cand;
+        for (const auto& set : fam.sets) {
+          for (const auto& [u, v] : set) {
+            const VertexPair pr(u, v);
+            if (g.has_edge(u, v) && in_s(pr)) cand.push_back(pr);
+          }
+        }
+        std::sort(cand.begin(), cand.end());
+        cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+        std::vector<std::vector<std::size_t>> cand_sols(cand.size());
+        for (std::size_t c = 0; c < cand.size(); ++c) {
           for (std::size_t pos = 0; pos < t_alpha.size(); ++pos) {
             const auto ws = parts.wblock_vertices(t_alpha[pos]);
-            if (exists_negative_triangle_via(g, pr.a, pr.b, ws)) {
-              sols.push_back(pos);
+            if (exists_negative_triangle_via(g, cand[c].a, cand[c].b, ws)) {
+              cand_sols[c].push_back(pos);
             }
           }
-          solution_cache.emplace(pr, sols);
-          return sols;
+        }
+        const auto solutions_of =
+            [&](const VertexPair& pr) -> const std::vector<std::size_t>& {
+          const auto it = std::lower_bound(cand.begin(), cand.end(), pr);
+          QCLIQUE_CHECK(it != cand.end() && *it == pr,
+                        "solution lookup for a pair outside the candidate set");
+          return cand_sols[static_cast<std::size_t>(it - cand.begin())];
         };
 
         std::vector<SearchInstance> searches;
@@ -210,7 +225,7 @@ ComputePairsResult compute_pairs(const WeightedGraph& g,
         for (std::uint32_t x = 0; x < fam.sets.size(); ++x) {
           for (const auto& [u, v] : fam.sets[x]) {
             const VertexPair pr(u, v);
-            if (!g.has_edge(u, v) || !s_set.contains(pr)) continue;
+            if (!g.has_edge(u, v) || !in_s(pr)) continue;
             SearchInstance inst;
             inst.solutions = solutions_of(pr);
             searches.push_back(std::move(inst));
@@ -225,9 +240,8 @@ ComputePairsResult compute_pairs(const WeightedGraph& g,
         res.searches_total += searches.size();
 
         // Measure the evaluation procedure's round cost r (Figures 4-5) on
-        // an isolated scratch network: this group's nodes are its own.
-        const std::unique_ptr<Network> scratch_ptr =
-            network_for(g, options.transport);
+        // the pooled scratch network: this group's nodes are its own.
+        if (!scratch_ptr) scratch_ptr = network_for(g, options.transport);
         const EvalRunStats eval = run_evaluation(*scratch_ptr, g, parts, ub, vb, alpha,
                                                  t_alpha, queries, cst,
                                                  /*include_duplication=*/true);
@@ -245,15 +259,20 @@ ComputePairsResult compute_pairs(const WeightedGraph& g,
           mso.audit_samples_per_stage = options.audit_samples_per_stage;
           Rng srng = rng.split();
           RoundLedger group_ledger;
+          // Tight span around the searches themselves: the evaluation
+          // phases above record under their own keys.
+          PhaseProfiler::Span search_span = net.profile_phase(
+              "search/alpha" + std::to_string(alpha) + "/q");
           const MultiSearchResult ms = multi_search(
               t_alpha.size(), searches, cost, mso, group_ledger, "g", srng);
+          search_span = PhaseProfiler::Span();
           group_rounds += ms.rounds_charged;
           alpha_oracle_calls = std::max(alpha_oracle_calls, ms.joint_oracle_calls);
           res.audit_tuples += ms.audit_tuples;
           res.audit_violations += ms.audit_violations;
           for (std::size_t i = 0; i < searches.size(); ++i) {
             if (ms.found[i].has_value()) {
-              hot.insert(search_pairs[i]);
+              hot.push_back(search_pairs[i]);
               ++res.searches_found;
             }
           }
@@ -266,7 +285,7 @@ ComputePairsResult compute_pairs(const WeightedGraph& g,
                                                        t_alpha.size());
           for (std::size_t i = 0; i < searches.size(); ++i) {
             if (!searches[i].solutions.empty()) {
-              hot.insert(search_pairs[i]);
+              hot.push_back(search_pairs[i]);
               ++res.searches_found;
             }
           }
@@ -281,8 +300,11 @@ ComputePairsResult compute_pairs(const WeightedGraph& g,
     }
   }
 
-  res.hot_pairs.assign(hot.begin(), hot.end());
-  std::sort(res.hot_pairs.begin(), res.hot_pairs.end());
+  // The same pair may be found under several (alpha, x): sort + unique
+  // replaces the seed's std::set accumulator.
+  std::sort(hot.begin(), hot.end());
+  hot.erase(std::unique(hot.begin(), hot.end()), hot.end());
+  res.hot_pairs = std::move(hot);
   res.rounds = net.ledger().total_rounds();
   res.ledger = net.ledger();
   return res;

@@ -42,13 +42,17 @@ TriangleProductResult distance_product_via_triangles(
     return false;
   };
 
+  // Guess-matrix and hot-pair scratch allocated once and refilled per
+  // refinement round (the loop runs O(log W) times over n^2 entries).
+  DistMatrix d(n, lo0);
+  std::vector<bool> hot(static_cast<std::size_t>(n) * n);
   while (unresolved()) {
     // Build the guess matrix D: mid for active entries, a silent value for
     // resolved ones (D = lo0 makes "C < D" false for every achievable C, so
     // resolved entries contribute no triangles and no noise). Materialized
     // row-wise through the raw accessor: this runs once per refinement
     // round over all n^2 brackets.
-    DistMatrix d(n, lo0);
+    d.fill(lo0);
     for (std::uint32_t i = 0; i < n; ++i) {
       std::int64_t* drow = d.row_ptr(i);
       const std::size_t base = static_cast<std::size_t>(i) * n;
@@ -67,7 +71,7 @@ TriangleProductResult distance_product_via_triangles(
     res.ledger.absorb(fe.ledger);
 
     // Hot I-J pairs: C[i,j] < D[i,j].
-    std::vector<bool> hot(static_cast<std::size_t>(n) * n, false);
+    hot.assign(hot.size(), false);
     for (const auto& pr : fe.hot_pairs) {
       // Gadget labels: I = [0,n), J = [n,2n), K = [2n,3n).
       const auto [pa, ia] = tripartite_decode(pr.a, n);

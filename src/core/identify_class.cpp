@@ -70,31 +70,25 @@ IdentifyClassResult identify_class(Network& net, const WeightedGraph& g,
   }
 
   // --- Broadcast Lambda(u) with weights: R becomes public. ----------------
-  // Fields per entry: (v, f(u, v)); receivers attribute entries to u = src.
-  // All broadcasts are enqueued before a single drain: different sources use
-  // disjoint links, so the whole exchange costs max_u ceil(2|Lambda(u)| / B)
-  // rounds, not the sum.
+  // Two fields per entry (v, f(u, v)), chunked into the per-message budget;
+  // receivers attribute entries to u = src. The contents are the public R,
+  // modeled globally below, so the broadcast runs payload-free through the
+  // counts-only send path: the same per-link message sequence steps through
+  // the same measured drain, nothing is materialized. All broadcasts are
+  // enqueued before a single drain: different sources use disjoint links,
+  // so the whole exchange costs max_u ceil(2|Lambda(u)| / B) rounds, not
+  // the sum.
   const std::size_t budget = net.config().fields_per_message;
   for (std::uint32_t u = 0; u < n; ++u) {
     if (lambda[u].empty()) continue;
-    std::vector<std::int64_t> fields;
-    for (std::uint32_t v : lambda[u]) {
-      fields.push_back(static_cast<std::int64_t>(v));
-      fields.push_back(g.weight(u, v));
-    }
-    for (std::size_t base = 0; base < fields.size(); base += budget) {
-      Payload p;
-      p.tag = 41;
-      for (std::size_t i = base; i < std::min(fields.size(), base + budget); ++i) {
-        p.push(fields[i]);
-      }
+    const std::size_t fields = 2 * lambda[u].size();
+    for (std::size_t base = 0; base < fields; base += budget) {
       for (NodeId v = 0; v < n; ++v) {
-        if (v != u) net.send(static_cast<NodeId>(u), v, p);
+        if (v != u) net.send_counts(static_cast<NodeId>(u), v);
       }
     }
   }
   net.run_until_drained("identify/broadcast");
-  net.clear_inboxes();  // contents are the public R; modeled globally below
 
   // The public set R (every node now knows it).
   std::set<VertexPair> r_set;

@@ -23,36 +23,23 @@ SuccessorResult build_successors(const Digraph& g, const DistMatrix& dist,
   Network& net = *net_ptr;
 
   // Each node u needs row d(x, *) for every out-neighbor x. Node x owns its
-  // row, so the traffic is: for every arc (u, x), n entries from x to u.
-  // Entries are batched (budget - 1 per message, 1 header field for the
-  // column base; the row owner is the message source).
+  // row, so the traffic is: for every arc (u, x), n entries from x to u,
+  // chunked budget - 1 entries per message (1 header field for the column
+  // base; the row owner is the message source). The successor computation
+  // below reads `dist` directly — no delivered payload is ever consumed —
+  // so the row shipment routes as per-link counts, payload-free.
   const std::size_t budget = net.config().fields_per_message;
   QCLIQUE_CHECK(budget >= 2, "build_successors needs >= 2 fields per message");
-  const std::size_t per_msg = budget - 1;
-  std::vector<Message> batch;
+  const std::uint32_t per_msg = static_cast<std::uint32_t>(budget - 1);
+  const std::uint64_t chunks_per_row = ceil_div(n, per_msg);
+  LinkCounts counts(net.size());
   for (std::uint32_t u = 0; u < n; ++u) {
     for (std::uint32_t x = 0; x < n; ++x) {
       if (u == x || !g.has_arc(u, x)) continue;
-      // Whole-row shipment straight off the matrix storage (no per-entry
-      // index arithmetic, no row copy).
-      const std::int64_t* xrow = dist.row_ptr(x);
-      for (std::uint32_t base = 0; base < n;
-           base += static_cast<std::uint32_t>(per_msg)) {
-        Message m;
-        m.src = static_cast<NodeId>(x);
-        m.dst = static_cast<NodeId>(u);
-        m.payload.tag = 70;
-        m.payload.push(base);
-        for (std::uint32_t j = base;
-             j < std::min<std::uint32_t>(n, base + static_cast<std::uint32_t>(per_msg));
-             ++j) {
-          m.payload.push(xrow[j]);
-        }
-        batch.push_back(m);
-      }
+      counts.add(static_cast<NodeId>(x), static_cast<NodeId>(u), chunks_per_row);
     }
   }
-  route(net, batch, "paths/rows");
+  route_counts(net, counts, "paths/rows");
 
   // Hop counts: h(u, v) = fewest edges over weight-shortest u->v paths.
   // Zero-weight arcs make "any relaxing neighbor" successor choices cyclic;

@@ -25,4 +25,16 @@ DistributedSearchResult distributed_search(std::size_t dim, const Oracle& oracle
   return distributed_search(dim, oracle, cost, net.ledger(), phase, rng);
 }
 
+DistributedSearchResult distributed_search(std::size_t dim,
+                                           const std::vector<std::size_t>& solutions,
+                                           const DistributedSearchCost& cost,
+                                           RoundLedger& ledger,
+                                           const std::string& phase, Rng& rng) {
+  DistributedSearchResult res;
+  res.grover = search_bbht(dim, solutions, rng);
+  res.rounds_charged = search_round_cost(cost, res.grover.oracle_calls);
+  ledger.charge_quantum(phase, res.rounds_charged, res.grover.oracle_calls);
+  return res;
+}
+
 }  // namespace qclique

@@ -51,6 +51,17 @@ DistributedSearchResult distributed_search(std::size_t dim, const Oracle& oracle
                                            Network& net, const std::string& phase,
                                            Rng& rng);
 
+/// Known-marked-set overload: runs the analytic BBHT fast path (no state
+/// vector; see grover.hpp) with identical schedule, accounting, and round
+/// charging. Callers that construct the marked set from their semantic
+/// oracle anyway (the simulator's algorithms do) should prefer this form —
+/// it is O(1) per attempt instead of O(dim) per Grover iteration.
+DistributedSearchResult distributed_search(std::size_t dim,
+                                           const std::vector<std::size_t>& solutions,
+                                           const DistributedSearchCost& cost,
+                                           RoundLedger& ledger,
+                                           const std::string& phase, Rng& rng);
+
 /// Rounds one search with `oracle_calls` oracle invocations costs under the
 /// model: oracle_calls * compute_uncompute_factor * eval_rounds_per_call.
 std::uint64_t search_round_cost(const DistributedSearchCost& cost,

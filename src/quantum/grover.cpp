@@ -76,4 +76,94 @@ GroverResult search_bbht(std::size_t dim, const Oracle& oracle, Rng& rng,
   return res;  // concluded: no solution (w.h.p.)
 }
 
+// --- Analytic fast path ----------------------------------------------------
+
+std::size_t sample_grover_outcome(std::size_t dim,
+                                  const std::vector<std::size_t>& solutions,
+                                  std::uint64_t k, Rng& rng) {
+  const std::size_t M = solutions.size();
+  if (M == 0) {
+    // No marked element: the state never moves off uniform.
+    return rng.uniform_u64(dim);
+  }
+  const double p = grover_success_probability(dim, M, k);
+  if (rng.bernoulli(p)) {
+    return solutions[rng.uniform_u64(M)];
+  }
+  // Uniform over unmarked elements (solutions are sorted: skip over them).
+  const std::size_t unmarked = dim - M;
+  if (unmarked == 0) return solutions[rng.uniform_u64(M)];
+  std::size_t r = rng.uniform_u64(unmarked);
+  // Map r into [0, dim) \ solutions.
+  for (std::size_t s : solutions) {
+    if (r >= s) ++r;  // works because solutions are sorted ascending
+  }
+  return r;
+}
+
+namespace {
+
+void validate_marked_set(std::size_t dim, const std::vector<std::size_t>& solutions) {
+  QCLIQUE_CHECK(std::is_sorted(solutions.begin(), solutions.end()),
+                "marked set must be sorted");
+  QCLIQUE_CHECK(solutions.empty() || solutions.back() < dim,
+                "marked element outside domain");
+}
+
+bool is_marked(const std::vector<std::size_t>& solutions, std::size_t x) {
+  return std::binary_search(solutions.begin(), solutions.end(), x);
+}
+
+}  // namespace
+
+GroverResult search_known_count(std::size_t dim,
+                                const std::vector<std::size_t>& solutions,
+                                Rng& rng) {
+  QCLIQUE_CHECK(!solutions.empty(), "search_known_count requires a solution");
+  validate_marked_set(dim, solutions);
+  GroverResult res;
+  const std::uint64_t k = grover_optimal_iterations(dim, solutions.size());
+  // Same accounting as the circuit driver: every measurement attempt
+  // physically re-prepares and re-runs the circuit, so each is charged k
+  // iterations (here the re-run costs nothing to simulate).
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    res.iterations += k;
+    res.oracle_calls += k;
+    const std::size_t x = sample_grover_outcome(dim, solutions, k, rng);
+    ++res.measurements;
+    ++res.oracle_calls;  // classical verification of the measured element
+    if (is_marked(solutions, x)) {
+      res.found = x;
+      return res;
+    }
+  }
+  return res;
+}
+
+GroverResult search_bbht(std::size_t dim,
+                         const std::vector<std::size_t>& solutions, Rng& rng,
+                         double cutoff_factor) {
+  validate_marked_set(dim, solutions);
+  GroverResult res;
+  const double sqrt_dim = std::sqrt(static_cast<double>(dim));
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(std::ceil(cutoff_factor * sqrt_dim)) + 3;
+  double m = 1.0;
+  const double lambda = 6.0 / 5.0;
+  while (res.iterations < budget) {
+    const std::uint64_t j = rng.uniform_u64(static_cast<std::uint64_t>(m) + 1);
+    res.iterations += j;
+    res.oracle_calls += j;
+    const std::size_t x = sample_grover_outcome(dim, solutions, j, rng);
+    ++res.measurements;
+    ++res.oracle_calls;  // classical verification of the measured element
+    if (is_marked(solutions, x)) {
+      res.found = x;
+      return res;
+    }
+    m = std::min(lambda * m, sqrt_dim);
+  }
+  return res;  // concluded: no solution (w.h.p.)
+}
+
 }  // namespace qclique

@@ -60,4 +60,38 @@ GroverResult search_known_count(std::size_t dim, std::size_t solutions,
 GroverResult search_bbht(std::size_t dim, const Oracle& oracle, Rng& rng,
                          double cutoff_factor = 9.0);
 
+// --- Analytic fast path (known marked set) ---------------------------------
+//
+// When the caller holds the marked set itself (the simulator's algorithms
+// construct SearchInstances from their semantic oracles), evolving an
+// O(dim) StateVector per attempt is pure overhead: from the uniform start
+// the state never leaves the 2D invariant subspace spanned by the uniform
+// superpositions of marked and unmarked elements, so the measurement
+// distribution after k iterations is closed-form. These overloads sample
+// it directly — O(log M) per attempt instead of O(dim) per iteration —
+// and are distribution-identical to the circuit simulation above, which
+// stays as the conformance oracle (tests/quantum/grover_analytic_test).
+
+/// Samples a measurement outcome of a k-iteration Grover run from the
+/// uniform start: a uniformly random marked element with probability
+/// sin^2((2k+1) theta), else a uniformly random unmarked element — exactly
+/// the Born distribution of the simulated circuit. `solutions` must be
+/// sorted ascending, distinct, and within [0, dim); an empty set means the
+/// state never moves off uniform.
+std::size_t sample_grover_outcome(std::size_t dim,
+                                  const std::vector<std::size_t>& solutions,
+                                  std::uint64_t k, Rng& rng);
+
+/// Analytic `search_known_count`: same schedule, attempt accounting, and
+/// outcome distribution, no state vector. Requires a non-empty marked set.
+GroverResult search_known_count(std::size_t dim,
+                                const std::vector<std::size_t>& solutions,
+                                Rng& rng);
+
+/// Analytic `search_bbht`: same BBHT schedule and accounting, outcomes
+/// sampled from the invariant-subspace distribution.
+GroverResult search_bbht(std::size_t dim,
+                         const std::vector<std::size_t>& solutions, Rng& rng,
+                         double cutoff_factor = 9.0);
+
 }  // namespace qclique

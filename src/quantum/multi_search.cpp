@@ -22,29 +22,13 @@ double analytic_success_probability(std::size_t dim, std::size_t solutions,
 
 namespace {
 
-/// Samples a measurement outcome of search `inst` after `k` iterations from
-/// the uniform start: a solution with probability sin^2((2k+1) theta),
-/// uniform within its class either way. Exact (2D invariant subspace).
+/// Samples a measurement outcome of search `inst` after `k` iterations
+/// from the uniform start, through the shared invariant-subspace sampler
+/// (quantum/grover.hpp — the single-search analytic fast path uses the
+/// same distribution).
 std::size_t sample_outcome(std::size_t dim, const SearchInstance& inst,
                            std::uint64_t k, Rng& rng) {
-  const std::size_t M = inst.solutions.size();
-  if (M == 0) {
-    // No marked element: the state never moves off uniform-over-unmarked.
-    return rng.uniform_u64(dim);
-  }
-  const double p = grover_success_probability(dim, M, k);
-  if (rng.bernoulli(p)) {
-    return inst.solutions[rng.uniform_u64(M)];
-  }
-  // Uniform over unmarked elements (solutions are sorted: skip over them).
-  const std::size_t unmarked = dim - M;
-  if (unmarked == 0) return inst.solutions[rng.uniform_u64(M)];
-  std::size_t r = rng.uniform_u64(unmarked);
-  // Map r into [0, dim) \ solutions.
-  for (std::size_t s : inst.solutions) {
-    if (r >= s) ++r;  // works because solutions are sorted ascending
-  }
-  return r;
+  return sample_grover_outcome(dim, inst.solutions, k, rng);
 }
 
 bool is_solution(const SearchInstance& inst, std::size_t x) {

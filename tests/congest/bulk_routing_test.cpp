@@ -1,0 +1,256 @@
+// Routing-equivalence suite for the zero-materialization fast paths.
+//
+// The MessageBatch and counts-only (LinkCounts / send_counts) routing
+// paths exist purely for speed: they must be indistinguishable from the
+// seed per-Message route() in every model-visible quantity — ledger rounds
+// and messages (total and per phase), per-link traffic, RouteStats, and
+// (for the delivering paths) inbox contents — across every registered
+// topology. This suite pins that contract; docs/PERFORMANCE.md documents
+// it.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "congest/lenzen.hpp"
+#include "congest/transport.hpp"
+
+namespace qclique {
+namespace {
+
+constexpr std::uint32_t kN = 10;
+
+std::unique_ptr<Network> make_net(const std::string& topology) {
+  TransportOptions options;
+  options.topology = topology;
+  options.record_traffic = true;
+  return make_network(kN, options);
+}
+
+/// A deterministic batch with uneven loads: multiple messages per link,
+/// several hot destinations, a couple of self-addressed messages (route()
+/// deposits those without consuming bandwidth).
+std::vector<Message> reference_batch() {
+  std::vector<Message> batch;
+  for (std::uint32_t u = 0; u < kN; ++u) {
+    for (std::uint32_t r = 0; r <= u % 3; ++r) {
+      for (std::uint32_t v = 0; v < kN; ++v) {
+        if (v == u && v % 2 == 0) continue;  // keep a few self messages
+        batch.push_back(Message{
+            u, v,
+            Payload::make(7, {static_cast<std::int64_t>(u),
+                              static_cast<std::int64_t>(v),
+                              static_cast<std::int64_t>(r)})});
+      }
+    }
+  }
+  // A hot destination: everyone also messages node 3.
+  for (std::uint32_t u = 0; u < kN; ++u) {
+    if (u == 3) continue;
+    batch.push_back(Message{u, 3, Payload::make(9, {1, 2})});
+  }
+  return batch;
+}
+
+MessageBatch as_message_batch(const std::vector<Message>& batch) {
+  MessageBatch out;
+  out.reserve(batch.size(), batch.size() * 3);
+  for (const Message& m : batch) {
+    out.add(m.src, m.dst, m.payload.tag);
+    for (std::size_t i = 0; i < m.payload.size; ++i) out.field(m.payload.at(i));
+  }
+  return out;
+}
+
+LinkCounts as_link_counts(const std::vector<Message>& batch) {
+  LinkCounts out(kN);
+  for (const Message& m : batch) out.add(m.src, m.dst);
+  return out;
+}
+
+void expect_same_ledger(const Network& a, const Network& b) {
+  EXPECT_EQ(a.ledger().total_rounds(), b.ledger().total_rounds());
+  EXPECT_EQ(a.ledger().total_messages(), b.ledger().total_messages());
+  EXPECT_EQ(a.rounds(), b.rounds());
+  ASSERT_EQ(a.ledger().phases().size(), b.ledger().phases().size());
+  for (const auto& [phase, stats] : a.ledger().phases()) {
+    ASSERT_TRUE(b.ledger().phases().contains(phase)) << phase;
+    const PhaseStats& other = b.ledger().phases().at(phase);
+    EXPECT_EQ(stats.rounds, other.rounds) << phase;
+    EXPECT_EQ(stats.messages, other.messages) << phase;
+  }
+}
+
+void expect_same_traffic(const Network& a, const Network& b) {
+  ASSERT_NE(a.traffic(), nullptr);
+  ASSERT_NE(b.traffic(), nullptr);
+  EXPECT_EQ(a.traffic()->total(), b.traffic()->total());
+  EXPECT_EQ(a.traffic()->deposits(), b.traffic()->deposits());
+  EXPECT_EQ(a.traffic()->max_load(), b.traffic()->max_load());
+  EXPECT_EQ(a.traffic()->links_used(), b.traffic()->links_used());
+  for (std::uint32_t s = 0; s < kN; ++s) {
+    for (std::uint32_t d = 0; d < kN; ++d) {
+      EXPECT_EQ(a.traffic()->load(s, d), b.traffic()->load(s, d))
+          << "link " << s << " -> " << d;
+    }
+  }
+}
+
+void expect_same_stats(const RouteStats& a, const RouteStats& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.max_source_load, b.max_source_load);
+  EXPECT_EQ(a.max_dest_load, b.max_dest_load);
+}
+
+class BulkRoutingEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BulkRoutingEquivalence, MessageBatchMatchesPerMessagePathExactly) {
+  const std::vector<Message> batch = reference_batch();
+  auto seed_net = make_net(GetParam());
+  auto soa_net = make_net(GetParam());
+
+  const RouteStats seed_st = route(*seed_net, batch, "phase/a");
+  const RouteStats soa_st = route(*soa_net, as_message_batch(batch), "phase/a");
+
+  expect_same_stats(seed_st, soa_st);
+  expect_same_ledger(*seed_net, *soa_net);
+  expect_same_traffic(*seed_net, *soa_net);
+  // Delivering path: inbox contents must match message for message.
+  for (std::uint32_t v = 0; v < kN; ++v) {
+    const auto& a = seed_net->inbox(v);
+    const auto& b = soa_net->inbox(v);
+    ASSERT_EQ(a.size(), b.size()) << "inbox " << v;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].src, b[i].src);
+      EXPECT_EQ(a[i].dst, b[i].dst);
+      EXPECT_EQ(a[i].payload.tag, b[i].payload.tag);
+      ASSERT_EQ(a[i].payload.size, b[i].payload.size);
+      for (std::size_t f = 0; f < a[i].payload.size; ++f) {
+        EXPECT_EQ(a[i].payload.at(f), b[i].payload.at(f));
+      }
+    }
+  }
+}
+
+TEST_P(BulkRoutingEquivalence, CountsOnlyPathMatchesLedgerAndTraffic) {
+  const std::vector<Message> batch = reference_batch();
+  auto seed_net = make_net(GetParam());
+  auto counts_net = make_net(GetParam());
+
+  const RouteStats seed_st = route(*seed_net, batch, "phase/b");
+  const RouteStats cnt_st = route_counts(*counts_net, as_link_counts(batch), "phase/b");
+
+  expect_same_stats(seed_st, cnt_st);
+  expect_same_ledger(*seed_net, *counts_net);
+  expect_same_traffic(*seed_net, *counts_net);
+  // Counts-only: nothing may ever reach an inbox.
+  for (std::uint32_t v = 0; v < kN; ++v) {
+    EXPECT_TRUE(counts_net->inbox(v).empty()) << "inbox " << v;
+  }
+}
+
+TEST_P(BulkRoutingEquivalence, PhantomSendsDrainLikeRealSends) {
+  auto real_net = make_net(GetParam());
+  auto phantom_net = make_net(GetParam());
+
+  // Same per-link send sequence, stepped (not Lemma 1 charged) delivery.
+  for (std::uint32_t u = 0; u < kN; ++u) {
+    for (std::uint32_t v = 0; v < kN; ++v) {
+      if (u == v) continue;
+      for (std::uint32_t r = 0; r <= (u + v) % 2; ++r) {
+        real_net->send(u, v, Payload::make(4, {static_cast<std::int64_t>(r)}));
+        phantom_net->send_counts(u, v);
+      }
+    }
+  }
+  EXPECT_EQ(real_net->pending_messages(), phantom_net->pending_messages());
+  const std::uint64_t real_rounds = real_net->run_until_drained("drain");
+  const std::uint64_t phantom_rounds = phantom_net->run_until_drained("drain");
+  EXPECT_EQ(real_rounds, phantom_rounds);
+  expect_same_ledger(*real_net, *phantom_net);
+  expect_same_traffic(*real_net, *phantom_net);
+  for (std::uint32_t v = 0; v < kN; ++v) {
+    EXPECT_TRUE(phantom_net->inbox(v).empty()) << "inbox " << v;
+  }
+}
+
+TEST_P(BulkRoutingEquivalence, EmptyBatchesChargeNothing) {
+  auto net = make_net(GetParam());
+  const RouteStats soa = route(*net, MessageBatch{}, "p");
+  const RouteStats cnt = route_counts(*net, LinkCounts(kN), "p");
+  EXPECT_EQ(soa.rounds, 0u);
+  EXPECT_EQ(cnt.rounds, 0u);
+  EXPECT_EQ(net->ledger().total_rounds(), 0u);
+  EXPECT_EQ(net->ledger().total_messages(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, BulkRoutingEquivalence,
+    ::testing::ValuesIn(TopologyRegistry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(MessageBatchTest, BuildsAndMaterializesMessages) {
+  MessageBatch batch;
+  batch.add(1, 2, 40);
+  batch.field(10);
+  batch.field(-3);
+  batch.add(2, 3, 41);  // no fields
+  batch.add(3, 4, 42);
+  batch.field(7);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.field_count(0), 2u);
+  EXPECT_EQ(batch.field_count(1), 0u);
+  EXPECT_EQ(batch.field_count(2), 1u);
+  const Message m0 = batch.message(0);
+  EXPECT_EQ(m0.src, 1u);
+  EXPECT_EQ(m0.dst, 2u);
+  EXPECT_EQ(m0.payload.tag, 40u);
+  ASSERT_EQ(m0.payload.size, 2u);
+  EXPECT_EQ(m0.payload.at(0), 10);
+  EXPECT_EQ(m0.payload.at(1), -3);
+  const Message m2 = batch.message(2);
+  EXPECT_EQ(m2.payload.at(0), 7);
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(LinkCountsTest, TracksLoadsAndPreservesRunOrder) {
+  LinkCounts counts(4);
+  counts.add(0, 1);
+  counts.add(0, 1, 2);  // merged into the previous run
+  counts.add(2, 1);
+  counts.add(0, 1);  // new run: order preserved, not merged backward
+  EXPECT_EQ(counts.total(), 5u);
+  EXPECT_EQ(counts.max_source_load(), 4u);  // node 0 sources 4
+  EXPECT_EQ(counts.max_dest_load(), 5u);    // node 1 receives all 5
+  std::vector<std::tuple<NodeId, NodeId, std::uint64_t>> runs;
+  counts.for_each_run([&](NodeId s, NodeId d, std::uint64_t k) {
+    runs.emplace_back(s, d, k);
+  });
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], std::make_tuple(0u, 1u, 3ull));
+  EXPECT_EQ(runs[1], std::make_tuple(2u, 1u, 1ull));
+  EXPECT_EQ(runs[2], std::make_tuple(0u, 1u, 1ull));
+}
+
+TEST(LinkCountsTest, RejectsOutOfRangeEndpoints) {
+  LinkCounts counts(4);
+  EXPECT_THROW(counts.add(0, 4), SimulationError);
+  EXPECT_THROW(counts.add(5, 1), SimulationError);
+}
+
+TEST(RouteCountsTest, RejectsSizeMismatch) {
+  TransportOptions options;
+  auto net = make_network(8, options);
+  EXPECT_THROW(route_counts(*net, LinkCounts(4), "p"), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -72,7 +72,7 @@ TEST(Route, OverloadedBatchChargesProportionally) {
 
 TEST(Route, EmptyBatchIsFree) {
   CliqueNetwork net(4);
-  const RouteStats st = route(net, {}, "r");
+  const RouteStats st = route(net, std::vector<Message>{}, "r");
   EXPECT_EQ(st.rounds, 0u);
   EXPECT_EQ(net.ledger().total_rounds(), 0u);
 }

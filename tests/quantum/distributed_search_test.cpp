@@ -33,6 +33,32 @@ TEST(DistributedSearch, NoSolutionConcludesAndStillCharges) {
   EXPECT_GT(res.rounds_charged, 0u);
 }
 
+TEST(DistributedSearch, KnownMarkedSetOverloadMatchesCostModel) {
+  // The analytic fast-path overload must find only marked elements and
+  // charge through the same accounting as the oracle form.
+  Rng rng(7);
+  RoundLedger ledger;
+  const DistributedSearchCost cost{.eval_rounds_per_call = 5,
+                                   .compute_uncompute_factor = 2};
+  const std::vector<std::size_t> marked{17, 80};
+  const auto res = distributed_search(128, marked, cost, ledger, "ds", rng);
+  ASSERT_TRUE(res.grover.found.has_value());
+  EXPECT_TRUE(*res.grover.found == 17u || *res.grover.found == 80u);
+  EXPECT_EQ(res.rounds_charged, search_round_cost(cost, res.grover.oracle_calls));
+  EXPECT_EQ(ledger.phase_rounds("ds"), res.rounds_charged);
+  EXPECT_EQ(ledger.total_oracle_calls(), res.grover.oracle_calls);
+}
+
+TEST(DistributedSearch, KnownMarkedSetConcludesNoSolutionAndStillCharges) {
+  Rng rng(8);
+  RoundLedger ledger;
+  const auto res = distributed_search(64, std::vector<std::size_t>{},
+                                      DistributedSearchCost{}, ledger, "ds", rng);
+  EXPECT_FALSE(res.grover.found.has_value());
+  EXPECT_GT(res.rounds_charged, 0u);
+  EXPECT_EQ(ledger.phase_rounds("ds"), res.rounds_charged);
+}
+
 TEST(DistributedSearch, CostModelArithmetic) {
   const DistributedSearchCost cost{.eval_rounds_per_call = 3,
                                    .compute_uncompute_factor = 2};

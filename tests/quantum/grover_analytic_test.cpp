@@ -1,0 +1,137 @@
+// Conformance of the analytic Grover fast path against the state-vector
+// circuit simulation (the oracle). Two layers:
+//   * exact: the closed-form distribution the sampler draws from must
+//     equal the Born distribution of the evolved state, element by
+//     element, for a sweep of (dim, marked set, k);
+//   * statistical: sampled outcomes and full search runs must match the
+//     circuit path's behavior within standard sampling tolerances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "quantum/grover.hpp"
+#include "quantum/statevector.hpp"
+
+namespace qclique {
+namespace {
+
+bool contains(const std::vector<std::size_t>& v, std::size_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+TEST(GroverAnalytic, ClosedFormMatchesStateVectorBornDistribution) {
+  struct Case {
+    std::size_t dim;
+    std::vector<std::size_t> marked;
+    std::uint64_t k;
+  };
+  const std::vector<Case> cases = {
+      {16, {3}, 3},      {16, {3, 7}, 2},    {25, {0, 12, 24}, 1},
+      {64, {13}, 6},     {64, {1, 2, 3}, 4}, {10, {9}, 0},
+      {12, {0, 1, 2, 3, 4, 5}, 1},  // M = dim/2
+  };
+  for (const Case& c : cases) {
+    StateVector psi = StateVector::uniform(c.dim);
+    const auto oracle = [&](std::size_t i) { return contains(c.marked, i); };
+    for (std::uint64_t t = 0; t < c.k; ++t) psi.apply_grover_iteration(oracle);
+
+    const double p = grover_success_probability(c.dim, c.marked.size(), c.k);
+    const double per_marked = p / static_cast<double>(c.marked.size());
+    const double per_unmarked =
+        c.dim == c.marked.size()
+            ? 0.0
+            : (1.0 - p) / static_cast<double>(c.dim - c.marked.size());
+    for (std::size_t i = 0; i < c.dim; ++i) {
+      const double expected = contains(c.marked, i) ? per_marked : per_unmarked;
+      EXPECT_NEAR(psi.probability(i), expected, 1e-9)
+          << "dim=" << c.dim << " k=" << c.k << " i=" << i;
+    }
+  }
+}
+
+TEST(GroverAnalytic, SampledOutcomesMatchCircuitMeasurements) {
+  const std::size_t dim = 32;
+  const std::vector<std::size_t> marked = {5, 17, 29};
+  const std::uint64_t k = 2;
+  const std::size_t trials = 20000;
+
+  StateVector psi = StateVector::uniform(dim);
+  const auto oracle = [&](std::size_t i) { return contains(marked, i); };
+  for (std::uint64_t t = 0; t < k; ++t) psi.apply_grover_iteration(oracle);
+
+  Rng rng_circuit(11), rng_analytic(12);
+  std::vector<std::size_t> hits_circuit(dim, 0), hits_analytic(dim, 0);
+  for (std::size_t t = 0; t < trials; ++t) {
+    ++hits_circuit[psi.measure(rng_circuit)];
+    ++hits_analytic[sample_grover_outcome(dim, marked, k, rng_analytic)];
+  }
+  // Per-element frequencies agree within ~5 sigma of binomial noise.
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double p = psi.probability(i);
+    const double sigma = std::sqrt(p * (1.0 - p) * trials);
+    const double diff = std::abs(static_cast<double>(hits_circuit[i]) -
+                                 static_cast<double>(hits_analytic[i]));
+    EXPECT_LE(diff, 5.0 * sigma + 5.0) << "element " << i;
+  }
+}
+
+TEST(GroverAnalytic, KnownCountFindsAMarkedElementReliably) {
+  Rng rng(21);
+  const std::vector<std::size_t> marked = {13};
+  int successes = 0;
+  for (int t = 0; t < 50; ++t) {
+    const GroverResult res = search_known_count(64, marked, rng);
+    if (res.found.has_value()) {
+      EXPECT_EQ(*res.found, 13u);
+      ++successes;
+    }
+    // Same schedule as the circuit driver: k iterations per attempt.
+    EXPECT_EQ(res.iterations % grover_optimal_iterations(64, 1), 0u);
+  }
+  EXPECT_GE(successes, 48);  // per-attempt success ~0.996 at k = 6
+}
+
+TEST(GroverAnalytic, BbhtSuccessRateMatchesCircuitPath) {
+  const std::size_t dim = 64;
+  const std::vector<std::size_t> marked = {7, 42};
+  const auto oracle = [&](std::size_t i) { return contains(marked, i); };
+  const int runs = 60;
+
+  Rng rng_circuit(31), rng_analytic(32);
+  int found_circuit = 0, found_analytic = 0;
+  for (int t = 0; t < runs; ++t) {
+    if (search_bbht(dim, oracle, rng_circuit).found.has_value()) ++found_circuit;
+    const GroverResult res = search_bbht(dim, marked, rng_analytic);
+    if (res.found.has_value()) {
+      EXPECT_TRUE(contains(marked, *res.found));
+      ++found_analytic;
+    }
+  }
+  // Both paths run the w.h.p. regime: essentially every run succeeds.
+  EXPECT_GE(found_circuit, runs - 2);
+  EXPECT_GE(found_analytic, runs - 2);
+}
+
+TEST(GroverAnalytic, BbhtConcludesNoSolutionOnEmptyMarkedSet) {
+  Rng rng(41);
+  const GroverResult res = search_bbht(64, std::vector<std::size_t>{}, rng);
+  EXPECT_FALSE(res.found.has_value());
+  // The budget must be exhausted before concluding "no".
+  EXPECT_GE(res.iterations, static_cast<std::uint64_t>(9.0 * std::sqrt(64.0)));
+}
+
+TEST(GroverAnalytic, ValidatesMarkedSetContract) {
+  Rng rng(51);
+  EXPECT_THROW(search_bbht(16, std::vector<std::size_t>{3, 1}, rng),
+               SimulationError);
+  EXPECT_THROW(search_bbht(16, std::vector<std::size_t>{16}, rng),
+               SimulationError);
+  EXPECT_THROW(search_known_count(16, std::vector<std::size_t>{}, rng),
+               SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique
