@@ -1,0 +1,193 @@
+// Experiment E17: distance-query serving throughput.
+//
+// Solves one clustered-family graph, publishes it with witness paths into
+// a SnapshotStore, and measures sustained queries/second through
+// QueryServer sessions across reader-thread counts and workload mixes
+// (uniform / zipf / locality, all from serve/workload.hpp). Distance
+// throughput runs the batch API over pre-generated workloads; path
+// throughput runs smaller volumes through the hot-pair cache.
+//
+//   usage: bench_query_serving [n] [json-path]
+//
+// Doubles as a conformance gate: every mix's answers are sampled against
+// the solved distance matrix (exit non-zero on any mismatch), and the
+// headline acceptance bar -- >= 1M distance queries/sec aggregate on the
+// zipf mix with >= 4 reader threads at n >= 256 -- exits non-zero when
+// missed. The JSON artifact (BENCH_query_serving.json) is uploaded by CI;
+// docs/SERVING.md documents the schema.
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "congest/round_ledger.hpp"
+#include "graph/families.hpp"
+#include "serve/query_server.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/snapshot_store.hpp"
+#include "serve/workload.hpp"
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qclique;
+  const std::uint32_t n =
+      argc > 1 ? static_cast<std::uint32_t>(std::stoul(argv[1])) : 256;
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_query_serving.json";
+  std::cout << "E17: distance-query serving throughput (n = " << n << ")\n\n";
+
+  const std::string family = "clustered";
+  const FamilyConfig cfg = family_config(n, 0.4, 1, 9);
+  Rng grng(1700 + n);
+  const Digraph g = make_family_graph(family, cfg, grng);
+
+  ExecutionContext ctx(17);
+  ctx.set_family(family);
+  const auto snapshot = SolverRegistry::instance().get("floyd-warshall").serve(
+      g, ctx, {.with_paths = true, .label = "bench"});
+  QueryServer server(ctx.serve());
+
+  const std::vector<QueryMix> mixes{QueryMix::kUniform, QueryMix::kZipf,
+                                    QueryMix::kLocality};
+  const std::vector<unsigned> thread_counts{1, 2, 4, 8};
+  // Per-thread volumes: distance queries replay the workload through the
+  // batch API; path queries run a smaller volume through the cache.
+  const std::size_t workload_size = 1u << 14;
+  const std::size_t distance_reps = 64;   // 64 * 16384 = ~1M queries/thread
+  const std::size_t path_reps = 4;        // ~64k path queries/thread
+
+  bool all_exact = true;
+  double zipf_gate_qps = 0.0;
+  Table table({"mix", "threads", "kind", "queries", "wall ms", "queries/s"});
+  std::ostringstream json;
+  json << "{\"bench\":\"query_serving\",\"n\":" << n
+       << ",\"family\":" << json_quote(family)
+       << ",\"solver\":\"floyd-warshall\",\"runs\":[";
+  bool first_run = true;
+
+  for (const QueryMix mix : mixes) {
+    WorkloadOptions wo = workload_for_family(family, cfg, mix, workload_size);
+    Rng wrng(42 + static_cast<std::uint64_t>(mix));
+    const std::vector<PairQuery> workload = make_workload(wo, wrng);
+
+    // Conformance sample: one session's answers vs the solved matrix.
+    {
+      auto session = server.session();
+      const std::size_t sample = std::min<std::size_t>(workload.size(), 2048);
+      for (std::size_t i = 0; i < sample; ++i) {
+        const PairQuery& q = workload[i];
+        if (session.distance(q.u, q.v) != snapshot->distance(q.u, q.v)) {
+          std::cerr << "MISMATCH " << query_mix_name(mix) << " " << q.u << "->"
+                    << q.v << "\n";
+          all_exact = false;
+        }
+        const PathAnswer a = session.path(q.u, q.v);
+        if (a.distance != snapshot->distance(q.u, q.v) ||
+            a.nodes != snapshot->path(q.u, q.v)) {
+          std::cerr << "PATH MISMATCH " << query_mix_name(mix) << " " << q.u
+                    << "->" << q.v << "\n";
+          all_exact = false;
+        }
+      }
+    }
+
+    for (const unsigned threads : thread_counts) {
+      for (const bool paths : {false, true}) {
+        const std::size_t reps = paths ? path_reps : distance_reps;
+        const std::uint64_t total =
+            static_cast<std::uint64_t>(threads) * reps * workload.size();
+        std::atomic<std::int64_t> sink{0};  // keeps the lookups observable
+
+        const double start = now_ms();
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t) {
+          pool.emplace_back([&] {
+            auto session = server.session();
+            std::int64_t fold = 0;
+            if (paths) {
+              for (std::size_t rep = 0; rep < reps; ++rep) {
+                for (const PairQuery& q : workload) {
+                  fold ^= session.path(q.u, q.v).distance;
+                }
+              }
+            } else {
+              std::vector<std::int64_t> out(workload.size());
+              for (std::size_t rep = 0; rep < reps; ++rep) {
+                session.distance_batch(workload, out);
+                fold ^= out[rep % out.size()];
+              }
+            }
+            sink.fetch_add(fold, std::memory_order_relaxed);
+          });
+        }
+        for (auto& t : pool) t.join();
+        const double wall_ms = now_ms() - start;
+
+        const double qps = wall_ms > 0.0 ? 1000.0 * static_cast<double>(total) /
+                                               wall_ms
+                                         : 0.0;
+        const char* kind = paths ? "path" : "distance";
+        if (!paths && mix == QueryMix::kZipf && threads >= 4) {
+          zipf_gate_qps = std::max(zipf_gate_qps, qps);
+        }
+        table.add_row({query_mix_name(mix),
+                       Table::fmt(static_cast<std::uint64_t>(threads)), kind,
+                       Table::fmt(total), Table::fmt(wall_ms, 2),
+                       Table::fmt(qps, 0)});
+        if (!first_run) json << ",";
+        first_run = false;
+        json << "{\"mix\":" << json_quote(query_mix_name(mix))
+             << ",\"threads\":" << threads << ",\"kind\":\"" << kind
+             << "\",\"queries\":" << total << ",\"wall_ms\":" << wall_ms
+             << ",\"queries_per_sec\":" << qps << "}";
+      }
+    }
+  }
+
+  const QueryServerStats stats = server.stats();
+  json << "],\"totals\":{\"distance_queries\":" << stats.distance_queries
+       << ",\"batch_entries\":" << stats.batch_entries
+       << ",\"path_queries\":" << stats.path_queries
+       << ",\"cache_hits\":" << stats.cache_hits
+       << ",\"cache_misses\":" << stats.cache_misses
+       << ",\"repins\":" << stats.repins
+       << "},\"zipf_gate_queries_per_sec\":" << zipf_gate_qps
+       << ",\"all_exact\":" << (all_exact ? "true" : "false") << "}";
+
+  table.print("Query serving throughput (aggregate across reader threads)");
+  std::cout << "\ncache: " << stats.cache_hits << " hits / "
+            << stats.cache_misses << " misses over " << stats.path_queries
+            << " path queries\n";
+
+  std::ofstream out(json_path);
+  out << json.str() << "\n";
+  out.close();
+  std::cout << "wrote " << json_path << "\n";
+  std::cout << "answers exact vs solved matrix: " << (all_exact ? "yes" : "NO")
+            << "\n";
+
+  bool gate_ok = true;
+  if (n >= 256) {
+    gate_ok = zipf_gate_qps >= 1e6;
+    std::cout << "zipf distance gate (>= 4 threads): "
+              << Table::fmt(zipf_gate_qps, 0)
+              << " queries/s (target 1e6): " << (gate_ok ? "PASS" : "FAIL")
+              << "\n";
+  }
+  return all_exact && gate_ok ? 0 : 1;
+}

@@ -17,14 +17,17 @@
 # Set QCLIQUE_KERNEL=<regex> to filter ctest down to matching suites (e.g.
 # QCLIQUE_KERNEL=Kernel runs the kernel conformance + registry suites);
 # QCLIQUE_FAMILY=<regex> does the same for the graph-family suites (e.g.
-# QCLIQUE_FAMILY=Family runs the family conformance + registry suites).
-# When both are set the filters are OR-ed. With any filter active the API
+# QCLIQUE_FAMILY=Family runs the family conformance + registry suites), and
+# QCLIQUE_SERVE=<regex> for the serving-layer suites (e.g.
+# QCLIQUE_SERVE=Serve runs the snapshot/store/query-server/stress suites).
+# When several are set the filters are OR-ed. With any filter active the API
 # smoke runs are skipped — that mode exists for targeted sanitizer jobs,
 # not for tier-1 verification.
-# Set QCLIQUE_BENCH_SMOKE=1 to append a bench_pipeline_profile run (small
-# n) that writes the BENCH_pipeline.json perf artifact into the build dir
-# (see docs/PERFORMANCE.md); QCLIQUE_BUILD_TYPE overrides the build type
-# (default RelWithDebInfo — use Release for perf numbers).
+# Set QCLIQUE_BENCH_SMOKE=1 to append bench_pipeline_profile and
+# bench_query_serving runs (small n) that write the BENCH_pipeline.json and
+# BENCH_query_serving.json perf artifacts into the build dir (see
+# docs/PERFORMANCE.md and docs/SERVING.md); QCLIQUE_BUILD_TYPE overrides
+# the build type (default RelWithDebInfo — use Release for perf numbers).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,6 +57,9 @@ if [[ -n "${QCLIQUE_KERNEL:-}" ]]; then
 fi
 if [[ -n "${QCLIQUE_FAMILY:-}" ]]; then
   CTEST_FILTER="${CTEST_FILTER:+${CTEST_FILTER}|}${QCLIQUE_FAMILY}"
+fi
+if [[ -n "${QCLIQUE_SERVE:-}" ]]; then
+  CTEST_FILTER="${CTEST_FILTER:+${CTEST_FILTER}|}${QCLIQUE_SERVE}"
 fi
 
 CTEST_FILTER_ARGS=()
@@ -91,6 +97,11 @@ if [[ -n "${QCLIQUE_BENCH_SMOKE:-}" ]]; then
   echo "== smoke: pipeline profile (BENCH_pipeline.json) =="
   "$BUILD_DIR/bench_pipeline_profile" 16 "$BUILD_DIR/BENCH_pipeline.json" > /dev/null
   echo "wrote $BUILD_DIR/BENCH_pipeline.json"
+  echo "== smoke: query serving (BENCH_query_serving.json) =="
+  # Small n skips the 1M q/s acceptance gate (it only arms at n >= 256);
+  # the run still exits non-zero on any answer mismatch.
+  "$BUILD_DIR/bench_query_serving" 64 "$BUILD_DIR/BENCH_query_serving.json" > /dev/null
+  echo "wrote $BUILD_DIR/BENCH_query_serving.json"
 fi
 
 echo "OK: build, tests, and API smoke runs all passed."

@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/snapshot_store.hpp"
 
 namespace qclique {
 
@@ -36,6 +38,10 @@ std::vector<BatchResult> BatchRunner::run_with_workers(
                      jobs[i].seed_salt);
       if (!jobs[i].kernel.empty()) ctx.set_kernel(jobs[i].kernel);
       if (!jobs[i].topology.empty()) ctx.set_topology(jobs[i].topology);
+      // The family stamp travels through the context so ApspSolver::solve
+      // writes it into the report the same way for every caller (direct
+      // solves included), not as a batch-only afterthought.
+      ctx.set_family(jobs[i].family);
       // A fanned-out batch already saturates the machine with one worker
       // per hardware thread; letting every job's "parallel" kernel spawn
       // its own full thread pool on top would oversubscribe quadratically.
@@ -43,7 +49,6 @@ std::vector<BatchResult> BatchRunner::run_with_workers(
       // kernel contract, only wall time changes.
       if (workers > 1) ctx.kernel_options().config.num_threads = 1;
       out.report = solver.solve(*jobs[i].graph, ctx);
-      out.report->family = jobs[i].family;
       out.ok = true;
     } catch (const std::exception& e) {
       out.ok = false;
@@ -165,6 +170,21 @@ std::vector<BatchResult> BatchRunner::run_kernels(const Digraph& g,
   // the timings and trip run()'s kernel-thread cap, silently benchmarking
   // "parallel" as "blocked").
   return run_with_workers(jobs, 1);
+}
+
+std::vector<std::shared_ptr<const ApspSnapshot>> publish_scenarios(
+    const std::vector<BatchResult>& results, SnapshotStore& store) {
+  std::vector<std::shared_ptr<const ApspSnapshot>> pins;
+  pins.reserve(results.size());
+  for (const BatchResult& r : results) {
+    if (!r.ok) {
+      pins.push_back(nullptr);
+      continue;
+    }
+    pins.push_back(store.publish(
+        ApspSnapshot(*r.report, /*successor=*/{}, /*label=*/r.label)));
+  }
+  return pins;
 }
 
 std::string scenarios_to_json(const std::vector<BatchResult>& results) {

@@ -144,4 +144,16 @@ class BatchRunner {
 /// format of bench_scenario_matrix and the CI scenario artifact.
 std::string scenarios_to_json(const std::vector<BatchResult>& results);
 
+class SnapshotStore;
+class ApspSnapshot;
+
+/// Publishes every successful result's report into `store` as a versioned
+/// ApspSnapshot, in job order (so the store's final current snapshot is the
+/// last successful job's). Labels carry over into the snapshot metadata.
+/// Returns one pin per result, nullptr for failed jobs. Reports publish
+/// distance-only snapshots -- results do not carry their input graphs, so
+/// witness paths are the province of ApspSolver::serve.
+std::vector<std::shared_ptr<const ApspSnapshot>> publish_scenarios(
+    const std::vector<BatchResult>& results, SnapshotStore& store);
+
 }  // namespace qclique

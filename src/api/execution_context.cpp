@@ -1,0 +1,15 @@
+#include "api/execution_context.hpp"
+
+#include "serve/snapshot_store.hpp"
+
+namespace qclique {
+
+ExecutionContext::ExecutionContext(std::uint64_t seed)
+    : seed_(seed),
+      rng_(seed),
+      profiler_(std::make_shared<PhaseProfiler>()),
+      store_(std::make_shared<SnapshotStore>()) {
+  transport_.profiler = profiler_;
+}
+
+}  // namespace qclique

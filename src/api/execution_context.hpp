@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/rng.hpp"
 #include "congest/round_ledger.hpp"
@@ -20,6 +21,8 @@
 
 namespace qclique {
 
+class SnapshotStore;
+
 /// Default seed used when callers do not care about the stream identity.
 inline constexpr std::uint64_t kDefaultExecutionSeed = 0x51c1197eULL;
 
@@ -27,10 +30,10 @@ inline constexpr std::uint64_t kDefaultExecutionSeed = 0x51c1197eULL;
 /// (TransportOptions, thread count) that solvers and harnesses read.
 class ExecutionContext {
  public:
-  explicit ExecutionContext(std::uint64_t seed = kDefaultExecutionSeed)
-      : seed_(seed), rng_(seed), profiler_(std::make_shared<PhaseProfiler>()) {
-    transport_.profiler = profiler_;
-  }
+  /// Out of line: the constructor builds the context's SnapshotStore, which
+  /// the serve layer defines on top of this header (serve/snapshot_store.hpp
+  /// includes api/solver.hpp includes this file).
+  explicit ExecutionContext(std::uint64_t seed = kDefaultExecutionSeed);
 
   /// The seed this context (or fork) was created from.
   std::uint64_t seed() const { return seed_; }
@@ -75,6 +78,22 @@ class ExecutionContext {
   const std::string& kernel() const { return kernel_.name; }
   void set_kernel(std::string name) { kernel_.name = std::move(name); }
 
+  /// Graph family the context's inputs are drawn from (GraphFamilyRegistry
+  /// key; "" = ad-hoc input). Purely descriptive, like the topology stamp:
+  /// ApspSolver::solve copies it into every report so family metadata
+  /// round-trips for every backend -- centralized oracles included -- not
+  /// just for jobs that pass through BatchRunner.
+  const std::string& family() const { return family_; }
+  void set_family(std::string name) { family_ = std::move(name); }
+
+  /// The context's serving surface: solvers publish snapshots here
+  /// (ApspSolver::serve) and QueryServers read from it. Forked contexts
+  /// share the parent's store -- the store is internally synchronized, so
+  /// batch jobs on worker threads publish into one place and a single
+  /// serving fleet sees every scenario.
+  SnapshotStore& serve() { return *store_; }
+  const SnapshotStore& serve() const { return *store_; }
+
   /// Resolves the selected kernel through the KernelRegistry (throws
   /// SimulationError naming the known kernels on a miss).
   const MinPlusKernel& min_plus_kernel() const { return kernel_.resolve(); }
@@ -116,6 +135,11 @@ class ExecutionContext {
     // its own instance.
     child.transport_.profiler = child.profiler_;
     child.kernel_ = kernel_;
+    child.family_ = family_;
+    // The snapshot store is shared, not forked: it is the one piece of
+    // context state that is internally synchronized, and sharing it is
+    // what lets a batch publish per-scenario snapshots into one surface.
+    child.store_ = store_;
     child.num_threads_ = num_threads_;
     child.check_negative_cycles_ = check_negative_cycles_;
     return child;
@@ -126,8 +150,10 @@ class ExecutionContext {
   Rng rng_;
   TransportOptions transport_;
   KernelOptions kernel_;
+  std::string family_;
   RoundLedger ledger_;
   std::shared_ptr<PhaseProfiler> profiler_;
+  std::shared_ptr<SnapshotStore> store_;
   unsigned num_threads_ = 0;
   bool check_negative_cycles_ = true;
 };

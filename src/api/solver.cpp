@@ -2,8 +2,12 @@
 
 #include <chrono>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
+#include "core/paths.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/snapshot_store.hpp"
 
 namespace qclique {
 
@@ -22,9 +26,16 @@ ApspReport ApspSolver::solve(const Digraph& g, ExecutionContext& ctx) const {
   report.solver = name();
   report.topology = ctx.topology();
   report.kernel = ctx.kernel();
+  report.family = ctx.family();
   report.n = g.size();
   report.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
+  // Canonical ledger-derived metrics, stamped for every backend (zero for
+  // centralized oracles) unless the backend already reported its own: the
+  // metrics export then has a uniform schema, and snapshot metadata built
+  // from any report round-trips the same keys.
+  report.metrics.try_emplace("messages", report.ledger.total_messages());
+  report.metrics.try_emplace("oracle_calls", report.ledger.total_oracle_calls());
 
   if (ctx.check_negative_cycles()) {
     for (std::uint32_t i = 0; i < g.size(); ++i) {
@@ -35,6 +46,21 @@ ApspReport ApspSolver::solve(const Digraph& g, ExecutionContext& ctx) const {
 
   ctx.ledger().absorb(report.ledger);
   return report;
+}
+
+std::shared_ptr<const ApspSnapshot> ApspSolver::serve(
+    const Digraph& g, ExecutionContext& ctx, const ServeOptions& options) const {
+  ApspReport report = solve(g, ctx);
+  std::vector<std::uint32_t> successor;
+  if (options.with_paths) {
+    SuccessorResult witness =
+        build_successors(g, report.distances, ctx.transport());
+    successor = std::move(witness.successor);
+    report.metrics["path_rounds"] = witness.rounds;
+    ctx.ledger().absorb(witness.ledger);
+  }
+  return ctx.serve().publish(
+      ApspSnapshot(report, std::move(successor), options.label));
 }
 
 std::string ApspReport::to_json() const {

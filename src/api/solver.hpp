@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "api/execution_context.hpp"
@@ -18,6 +19,8 @@
 #include "matrix/dist_matrix.hpp"
 
 namespace qclique {
+
+class ApspSnapshot;
 
 /// Static properties a harness can query before dispatching a graph.
 struct SolverCapabilities {
@@ -43,9 +46,12 @@ struct ApspReport {
   DistMatrix distances;      // the APSP matrix
   std::uint64_t rounds = 0;  // simulated CONGEST-CLIQUE rounds (0 = oracle)
   RoundLedger ledger;        // per-phase breakdown of `rounds`
-  /// Backend-specific counters ("products", "find_edges_calls",
-  /// "oracle_calls", ...). Uniformly typed so tables and exports need no
-  /// per-backend code.
+  /// Backend-specific counters ("products", "find_edges_calls", ...) plus
+  /// the canonical pair every backend gets ("messages", "oracle_calls",
+  /// stamped from the ledger by ApspSolver::solve when the backend did not
+  /// set them itself -- zero for centralized oracles, so the export schema
+  /// is uniform across backends). Uniformly typed so tables and exports
+  /// need no per-backend code.
   std::map<std::string, std::uint64_t> metrics;
   double wall_ms = 0.0;      // wall-clock time of the solve call
   /// Per-phase wall-clock profile of this run (keyed by ledger phase;
@@ -57,6 +63,18 @@ struct ApspReport {
 
   /// Machine-readable summary (single JSON object, ledger inlined).
   std::string to_json() const;
+};
+
+/// Knobs for ApspSolver::serve (solve + publish into the context's
+/// SnapshotStore).
+struct ServeOptions {
+  /// Also build the witness successor matrix (core/paths.hpp) so the
+  /// snapshot can answer path queries. Costs extra simulated rounds
+  /// (charged to the context ledger and the "path_rounds" metric).
+  bool with_paths = false;
+  /// Free-form tag stamped into the snapshot metadata (scenario label,
+  /// graph id).
+  std::string label;
 };
 
 /// Abstract APSP backend. Implementations are stateless adapters: all
@@ -80,6 +98,15 @@ class ApspSolver {
   /// Throws SimulationError on precondition violations (negative cycle,
   /// negative weights for a non-negative-only backend).
   ApspReport solve(const Digraph& g, ExecutionContext& ctx) const;
+
+  /// The solve -> serve bridge: solves APSP on g, optionally builds the
+  /// witness successor matrix for path queries, wraps the result in an
+  /// immutable ApspSnapshot, and publishes it into ctx.serve(). Returns
+  /// the published pin (its metadata carries the new version). Readers on
+  /// other threads observe the swap atomically and are never blocked.
+  std::shared_ptr<const ApspSnapshot> serve(const Digraph& g,
+                                            ExecutionContext& ctx,
+                                            const ServeOptions& options = {}) const;
 
  protected:
   /// Backend hook: fill distances / rounds / ledger / metrics.

@@ -1,0 +1,188 @@
+#include "serve/query_server.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"  // splitmix64
+
+namespace qclique {
+namespace {
+
+/// Slot key for "empty": (UINT32_MAX, UINT32_MAX) is never a valid pair
+/// because queries are bounds-checked against n < UINT32_MAX.
+constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};
+
+std::uint64_t next_pow2(std::uint64_t x) {
+  std::uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+struct QueryServer::Shard {
+  std::mutex mu;
+  std::uint64_t set_mask = 0;  // sets - 1 (power of two)
+  std::uint32_t ways = 1;
+  std::uint64_t clock = 0;  // LRU tick source, bumped per touch
+  // Flat parallel arrays, sets * ways slots: slot = set * ways + way.
+  std::vector<std::uint64_t> keys;      // packed (u << 32 | v); kEmptySlot
+  std::vector<std::uint64_t> versions;  // snapshot version of the entry
+  std::vector<std::uint64_t> ticks;     // last-touch stamp (LRU victim = min)
+  std::vector<PathAnswer> values;
+
+  Shard(std::uint64_t sets, std::uint32_t ways_)
+      : set_mask(sets - 1),
+        ways(ways_),
+        keys(sets * ways_, kEmptySlot),
+        versions(sets * ways_, 0),
+        ticks(sets * ways_, 0),
+        values(sets * ways_) {}
+};
+
+QueryServer::QueryServer(const SnapshotStore& store,
+                         QueryServerOptions options)
+    : store_(store), options_(options) {
+  const std::uint32_t shards = static_cast<std::uint32_t>(
+      next_pow2(std::max<std::uint32_t>(1, options_.cache_shards)));
+  shard_mask_ = shards - 1;
+  const std::uint32_t ways = std::max<std::uint32_t>(1, options_.cache_ways);
+  const std::uint64_t per_shard = std::max<std::uint64_t>(
+      1, (std::max<std::size_t>(1, options_.cache_capacity) + shards - 1) /
+             shards);
+  const std::uint64_t sets = next_pow2((per_shard + ways - 1) / ways);
+  shards_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(sets, ways));
+  }
+}
+
+QueryServer::~QueryServer() = default;
+
+const ApspSnapshot& QueryServer::Session::refreshed() {
+  const ApspSnapshot* before = pin_.pinned();
+  const ApspSnapshot* snap = pin_.refresh();
+  QCLIQUE_CHECK(snap != nullptr, "query against an empty SnapshotStore");
+  if (snap != before) ++local_.repins;
+  return *snap;
+}
+
+const ApspSnapshot& QueryServer::Session::snapshot() { return refreshed(); }
+
+std::int64_t QueryServer::Session::distance(std::uint32_t u, std::uint32_t v) {
+  const ApspSnapshot& snap = refreshed();
+  QCLIQUE_CHECK(u < snap.size() && v < snap.size(),
+                "distance query endpoint out of range");
+  ++local_.distance_queries;
+  return snap.distance(u, v);
+}
+
+void QueryServer::Session::distance_batch(std::span<const PairQuery> queries,
+                                          std::span<std::int64_t> out) {
+  QCLIQUE_CHECK(queries.size() == out.size(),
+                "batch output span size mismatch");
+  if (queries.empty()) return;
+  const ApspSnapshot& snap = refreshed();
+  const std::uint32_t n = snap.size();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const PairQuery q = queries[i];
+    QCLIQUE_CHECK(q.u < n && q.v < n, "batch query endpoint out of range");
+    out[i] = snap.distance(q.u, q.v);
+  }
+  local_.batch_entries += queries.size();
+}
+
+std::vector<std::int64_t> QueryServer::Session::distance_batch(
+    std::span<const PairQuery> queries) {
+  std::vector<std::int64_t> out(queries.size());
+  distance_batch(queries, out);
+  return out;
+}
+
+PathAnswer QueryServer::Session::path(std::uint32_t u, std::uint32_t v) {
+  const ApspSnapshot& snap = refreshed();
+  QCLIQUE_CHECK(u < snap.size() && v < snap.size(),
+                "path query endpoint out of range");
+  QCLIQUE_CHECK(snap.has_paths(),
+                "path query against a distance-only snapshot");
+  ++local_.path_queries;
+  return server_->cached_path(snap, u, v, local_);
+}
+
+void QueryServer::Session::flush_stats() {
+  if (server_ == nullptr) return;
+  constexpr auto relaxed = std::memory_order_relaxed;
+  server_->distance_queries_.fetch_add(local_.distance_queries, relaxed);
+  server_->batch_entries_.fetch_add(local_.batch_entries, relaxed);
+  server_->path_queries_.fetch_add(local_.path_queries, relaxed);
+  server_->cache_hits_.fetch_add(local_.cache_hits, relaxed);
+  server_->cache_misses_.fetch_add(local_.cache_misses, relaxed);
+  server_->repins_.fetch_add(local_.repins, relaxed);
+  local_ = QueryServerStats{};
+}
+
+PathAnswer QueryServer::cached_path(const ApspSnapshot& snap, std::uint32_t u,
+                                    std::uint32_t v,
+                                    QueryServerStats& local) {
+  const std::uint64_t pair = (static_cast<std::uint64_t>(u) << 32) | v;
+  // One splitmix64 step over (pair, version) spreads both the shard and
+  // the set choice; the version in the key makes cross-publish collisions
+  // impossible, not just unlikely.
+  std::uint64_t h = pair ^ (snap.version() * 0x9e3779b97f4a7c15ULL);
+  h = splitmix64(h);
+  Shard& shard = *shards_[h & shard_mask_];
+  const std::uint64_t set = (h >> 16) & shard.set_mask;
+  const std::size_t base = static_cast<std::size_t>(set) * shard.ways;
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (std::uint32_t w = 0; w < shard.ways; ++w) {
+      const std::size_t slot = base + w;
+      if (shard.keys[slot] == pair &&
+          shard.versions[slot] == snap.version()) {
+        shard.ticks[slot] = ++shard.clock;
+        ++local.cache_hits;
+        return shard.values[slot];
+      }
+    }
+  }
+
+  // Miss: realize outside the lock (successor chasing can be long), then
+  // insert over the set's LRU way. Two threads racing on the same pair
+  // realize it twice and insert identical answers -- wasted work, never a
+  // wrong answer.
+  ++local.cache_misses;
+  PathAnswer answer{snap.distance(u, v), snap.path(u, v)};
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::size_t victim = base;
+    for (std::uint32_t w = 0; w < shard.ways; ++w) {
+      const std::size_t slot = base + w;
+      if (shard.keys[slot] == kEmptySlot) {
+        victim = slot;
+        break;
+      }
+      if (shard.ticks[slot] < shard.ticks[victim]) victim = slot;
+    }
+    shard.keys[victim] = pair;
+    shard.versions[victim] = snap.version();
+    shard.ticks[victim] = ++shard.clock;
+    shard.values[victim] = answer;
+  }
+  return answer;
+}
+
+QueryServerStats QueryServer::stats() const {
+  constexpr auto relaxed = std::memory_order_relaxed;
+  QueryServerStats s;
+  s.distance_queries = distance_queries_.load(relaxed);
+  s.batch_entries = batch_entries_.load(relaxed);
+  s.path_queries = path_queries_.load(relaxed);
+  s.cache_hits = cache_hits_.load(relaxed);
+  s.cache_misses = cache_misses_.load(relaxed);
+  s.repins = repins_.load(relaxed);
+  return s;
+}
+
+}  // namespace qclique

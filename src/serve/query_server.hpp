@@ -1,0 +1,188 @@
+// The distance-query serving layer: single, batch, and path queries
+// against published snapshots.
+//
+// One QueryServer fronts one SnapshotStore. Reader threads obtain a
+// Session (one per thread -- sessions are cheap, unsynchronized handles)
+// and issue queries through it:
+//
+//   * distance(u, v)        -- one s-t distance, straight off the pinned
+//                              snapshot's flat matrix; no locks, no cache
+//                              (the matrix *is* the flat table).
+//   * distance_batch(...)   -- many pairs against one pin: the session
+//                              refreshes once, then runs a tight lookup
+//                              loop.
+//   * path(u, v)            -- distance plus the realized shortest path.
+//                              Successor chasing costs O(path length), so
+//                              answers go through a sharded hot-pair cache:
+//                              set-associative LRU over flat parallel
+//                              arrays (the descendant of PR 5's sorted
+//                              flat-table idiom -- no node-based maps, no
+//                              rehashing, one mutex per shard touched only
+//                              by path queries).
+//
+// Freshness: every query answers against the latest published snapshot as
+// of its start (the session re-pins via SnapshotPin::refresh, a single
+// atomic load in steady state). A batch answers entirely against one
+// snapshot. Cache entries are keyed by (version, u, v), so a republish
+// never serves stale paths -- old-version entries age out by LRU.
+//
+// Stats: sessions tally locally and flush into the server's atomic
+// counters on destruction (or flush_stats()), keeping the per-query hot
+// path free of shared-cacheline traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/snapshot_store.hpp"
+
+namespace qclique {
+
+/// One s-t query. Plain aggregate so workloads are flat arrays.
+struct PairQuery {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+
+  friend bool operator==(const PairQuery&, const PairQuery&) = default;
+};
+
+/// A path query's answer: the distance and the realized node sequence
+/// ({u} when u == v, empty when v is unreachable from u).
+struct PathAnswer {
+  std::int64_t distance = 0;
+  std::vector<std::uint32_t> nodes;
+
+  friend bool operator==(const PathAnswer&, const PathAnswer&) = default;
+};
+
+struct QueryServerOptions {
+  /// Total cached path answers across all shards (rounded up so every
+  /// shard holds at least one full set of `cache_ways`).
+  std::size_t cache_capacity = 1u << 14;
+  /// Cache shards (rounded up to a power of two). More shards = less
+  /// mutex contention between path-querying threads.
+  std::uint32_t cache_shards = 8;
+  /// Set associativity: ways probed per lookup, LRU within the set.
+  std::uint32_t cache_ways = 4;
+};
+
+/// Aggregate counters since construction (see header comment for the
+/// session-local tally discipline).
+struct QueryServerStats {
+  std::uint64_t distance_queries = 0;  // single-pair lookups
+  std::uint64_t batch_entries = 0;     // pairs answered through batches
+  std::uint64_t path_queries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t repins = 0;  // snapshot re-acquisitions after a publish
+};
+
+class QueryServer {
+ public:
+  explicit QueryServer(const SnapshotStore& store,
+                       QueryServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// One reader's handle: pins snapshots, tallies stats. Create one per
+  /// thread; a Session must not outlive its QueryServer.
+  class Session {
+   public:
+    explicit Session(QueryServer& server)
+        : server_(&server), pin_(server.store_) {}
+    ~Session() { flush_stats(); }
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+    /// Movable so `server.session()` composes; the moved-from session is
+    /// disarmed (flushes nothing on destruction).
+    Session(Session&& other) noexcept
+        : server_(other.server_), pin_(other.pin_), local_(other.local_) {
+      other.server_ = nullptr;
+      other.local_ = QueryServerStats{};
+    }
+
+    /// d(u, v) off the latest snapshot. Throws SimulationError when the
+    /// store is empty or an endpoint is out of range.
+    std::int64_t distance(std::uint32_t u, std::uint32_t v);
+
+    /// Answers every query in `queries` against one pin, in order, into
+    /// `out` (must be the same length).
+    void distance_batch(std::span<const PairQuery> queries,
+                        std::span<std::int64_t> out);
+
+    /// Convenience allocating form.
+    std::vector<std::int64_t> distance_batch(
+        std::span<const PairQuery> queries);
+
+    /// The shortest u->v path and its distance, through the hot-pair
+    /// cache. Requires the pinned snapshot to carry paths.
+    PathAnswer path(std::uint32_t u, std::uint32_t v);
+
+    /// Re-pins to the latest snapshot and returns it (throws when the
+    /// store is empty). The pin used by every subsequent query until a
+    /// newer publish lands.
+    const ApspSnapshot& snapshot();
+
+    /// What the last query answered against (no re-pin; null before the
+    /// first query). Stress tests verify answers against exactly this.
+    const ApspSnapshot* pinned() const { return pin_.pinned(); }
+
+    /// Shares the current pin so it can outlive the session.
+    const std::shared_ptr<const ApspSnapshot>& pinned_ref() const {
+      return pin_.pinned_ref();
+    }
+
+    /// Adds this session's tallies into the server counters and zeroes
+    /// them (also runs on destruction).
+    void flush_stats();
+
+   private:
+    const ApspSnapshot& refreshed();
+
+    QueryServer* server_;
+    SnapshotPin pin_;
+    QueryServerStats local_;
+  };
+
+  Session session() { return Session(*this); }
+
+  /// Counter totals: everything flushed by sessions so far. Sessions still
+  /// alive hold unflushed tallies.
+  QueryServerStats stats() const;
+
+  const SnapshotStore& store() const { return store_; }
+  const QueryServerOptions& options() const { return options_; }
+
+ private:
+  friend class Session;
+
+  /// One cache shard: `sets` x `ways` slots in flat parallel arrays,
+  /// LRU-within-set by tick stamp. Guarded by its own mutex (path queries
+  /// only; the distance path never touches a shard).
+  struct Shard;
+
+  /// Cache lookup; on miss realizes the path from `snap` and inserts.
+  PathAnswer cached_path(const ApspSnapshot& snap, std::uint32_t u,
+                         std::uint32_t v, QueryServerStats& local);
+
+  const SnapshotStore& store_;
+  QueryServerOptions options_;
+  std::uint32_t shard_mask_ = 0;  // shards - 1 (power of two)
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> distance_queries_{0};
+  std::atomic<std::uint64_t> batch_entries_{0};
+  std::atomic<std::uint64_t> path_queries_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> repins_{0};
+};
+
+}  // namespace qclique

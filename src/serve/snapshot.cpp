@@ -1,0 +1,84 @@
+#include "serve/snapshot.hpp"
+
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "congest/round_ledger.hpp"  // json_quote
+
+namespace qclique {
+
+ApspSnapshot::ApspSnapshot(const ApspReport& report,
+                           std::vector<std::uint32_t> successor,
+                           std::string label)
+    : dist_(report.distances), successor_(std::move(successor)) {
+  QCLIQUE_CHECK(successor_.empty() ||
+                    successor_.size() ==
+                        static_cast<std::size_t>(report.n) * report.n,
+                "successor matrix size mismatch");
+  meta_.solver = report.solver;
+  meta_.topology = report.topology;
+  meta_.kernel = report.kernel;
+  meta_.family = report.family;
+  meta_.label = std::move(label);
+  meta_.n = report.n;
+  meta_.rounds = report.rounds;
+  meta_.solve_wall_ms = report.wall_ms;
+  meta_.has_paths = !successor_.empty();
+  meta_.metrics = report.metrics;
+}
+
+ApspSnapshot::ApspSnapshot(DistMatrix distances, SnapshotMetadata meta,
+                           std::vector<std::uint32_t> successor)
+    : dist_(std::move(distances)),
+      successor_(std::move(successor)),
+      meta_(std::move(meta)) {
+  QCLIQUE_CHECK(successor_.empty() ||
+                    successor_.size() ==
+                        static_cast<std::size_t>(dist_.size()) * dist_.size(),
+                "successor matrix size mismatch");
+  meta_.n = dist_.size();
+  meta_.has_paths = !successor_.empty();
+}
+
+std::vector<std::uint32_t> ApspSnapshot::path(std::uint32_t u,
+                                              std::uint32_t v) const {
+  const std::uint32_t n = size();
+  QCLIQUE_CHECK(u < n && v < n, "snapshot path endpoint out of range");
+  QCLIQUE_CHECK(has_paths(), "snapshot carries no successor matrix");
+  if (u == v) return {u};
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  if (successor(u, v) == kUnset) return {};
+  std::vector<std::uint32_t> nodes{u};
+  std::uint32_t cur = u;
+  while (cur != v) {
+    QCLIQUE_CHECK(nodes.size() <= n, "successor chain longer than n: cycle");
+    cur = successor(cur, v);
+    QCLIQUE_CHECK(cur != kUnset,
+                  "successor chain broke before reaching the target");
+    nodes.push_back(cur);
+  }
+  return nodes;
+}
+
+std::string SnapshotMetadata::to_json() const {
+  std::ostringstream out;
+  out << "{\"version\":" << version << ",\"solver\":" << json_quote(solver)
+      << ",\"topology\":" << json_quote(topology)
+      << ",\"kernel\":" << json_quote(kernel)
+      << ",\"family\":" << json_quote(family)
+      << ",\"label\":" << json_quote(label) << ",\"n\":" << n
+      << ",\"rounds\":" << rounds << ",\"solve_wall_ms\":" << solve_wall_ms
+      << ",\"has_paths\":" << (has_paths ? "true" : "false") << ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!first) out << ",";
+    first = false;
+    out << json_quote(key) << ":" << value;
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace qclique

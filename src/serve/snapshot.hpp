@@ -1,0 +1,115 @@
+// Immutable, versioned serving snapshots of solved APSP runs.
+//
+// The solve side of the repo produces ApspReports; the serve side answers
+// s-t distance/path queries against them at traffic rates. The bridge is
+// the ApspSnapshot: a frozen copy of one solved run's distance matrix
+// (plus, optionally, the witness successor matrix of core/paths.hpp for
+// path reconstruction) with self-describing metadata. Snapshots are
+// immutable after publication -- the SnapshotStore hands out
+// shared_ptr<const ApspSnapshot> pins, so readers race with publishers
+// only on the pointer swap, never on the data, and a pinned snapshot keeps
+// answering bit-identically however many publishes happen behind it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "matrix/dist_matrix.hpp"
+
+namespace qclique {
+
+/// Self-describing provenance of one snapshot: the scenario coordinates of
+/// the solve that produced it (the same stamps ApspReport carries) plus the
+/// serving version assigned at publish time.
+struct SnapshotMetadata {
+  /// Monotone publication stamp assigned by SnapshotStore::publish;
+  /// 0 = never published. Cache keys include it, so answers computed
+  /// against different publishes can never be confused.
+  std::uint64_t version = 0;
+  std::string solver;    // backend that produced the distances
+  std::string topology;  // transport the solve was measured on
+  std::string kernel;    // min-plus kernel the solve was configured with
+  std::string family;    // graph family of the input ("" = ad-hoc)
+  std::string label;     // free-form tag (scenario label, graph id)
+  std::uint32_t n = 0;   // vertex count
+  std::uint64_t rounds = 0;        // simulated rounds of the solve
+  double solve_wall_ms = 0.0;      // wall time of the solve call
+  bool has_paths = false;          // successor matrix present
+  /// Backend counters copied from the report (uniform keys; see
+  /// ApspSolver::solve), plus "path_rounds" when successors were built.
+  std::map<std::string, std::uint64_t> metrics;
+
+  /// Machine-readable export (single JSON object), the serving analogue of
+  /// ApspReport::to_json.
+  std::string to_json() const;
+};
+
+/// One frozen APSP solution. Every accessor is const and the class holds no
+/// synchronization: immutability is the concurrency story, enforced by the
+/// const-only pins the SnapshotStore hands out.
+class ApspSnapshot {
+ public:
+  /// Wraps a solved report (distances + stamps are copied; the report stays
+  /// usable). `successor` is the witness matrix of core/paths.hpp -- n*n
+  /// entries, UINT32_MAX for "no next hop" -- or empty for distance-only
+  /// snapshots.
+  explicit ApspSnapshot(const ApspReport& report,
+                        std::vector<std::uint32_t> successor = {},
+                        std::string label = {});
+
+  /// A snapshot from raw parts (tests; callers without a full report).
+  ApspSnapshot(DistMatrix distances, SnapshotMetadata meta,
+               std::vector<std::uint32_t> successor = {});
+
+  std::uint32_t size() const { return dist_.size(); }
+
+  const SnapshotMetadata& metadata() const { return meta_; }
+
+  /// The publication stamp (0 until published; see SnapshotMetadata).
+  std::uint64_t version() const { return meta_.version; }
+
+  /// Unchecked hot-path lookup: d(u, v) straight off the flat matrix.
+  std::int64_t distance(std::uint32_t u, std::uint32_t v) const {
+    return dist_.at(u, v);
+  }
+
+  /// Zero-copy row view (batch readers sweep rows without index math).
+  std::span<const std::int64_t> row(std::uint32_t u) const {
+    return dist_.row_span(u);
+  }
+
+  const DistMatrix& distances() const { return dist_; }
+
+  /// True when the snapshot carries a successor matrix and can realize
+  /// paths, not just distances.
+  bool has_paths() const { return !successor_.empty(); }
+
+  /// Next hop on a shortest u->v path; UINT32_MAX when v is unreachable
+  /// from u or u == v. Requires has_paths().
+  std::uint32_t successor(std::uint32_t u, std::uint32_t v) const {
+    return successor_[static_cast<std::size_t>(u) * size() + v];
+  }
+
+  /// Realizes the shortest u->v path by successor chasing: {u} when
+  /// u == v, empty when unreachable. Requires has_paths(); throws
+  /// SimulationError on out-of-range endpoints or an inconsistent
+  /// successor chain (cycle longer than n).
+  std::vector<std::uint32_t> path(std::uint32_t u, std::uint32_t v) const;
+
+  /// One JSON object: the metadata export (the matrix itself is served,
+  /// not exported).
+  std::string to_json() const { return meta_.to_json(); }
+
+ private:
+  friend class SnapshotStore;  // stamps meta_.version at publish time
+
+  DistMatrix dist_;
+  std::vector<std::uint32_t> successor_;  // n*n or empty
+  SnapshotMetadata meta_;
+};
+
+}  // namespace qclique

@@ -1,0 +1,37 @@
+#include "serve/snapshot_store.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+std::shared_ptr<const ApspSnapshot> SnapshotStore::publish(
+    ApspSnapshot snapshot) {
+  return publish(std::make_shared<ApspSnapshot>(std::move(snapshot)));
+}
+
+std::shared_ptr<const ApspSnapshot> SnapshotStore::publish(
+    std::shared_ptr<ApspSnapshot> snapshot) {
+  QCLIQUE_CHECK(snapshot != nullptr, "cannot publish a null snapshot");
+  // Stamp before the swap: once the pointer is visible the snapshot is
+  // const, and readers key caches by the version they see here.
+  snapshot->meta_.version =
+      version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  std::shared_ptr<const ApspSnapshot> frozen = std::move(snapshot);
+  // Install only if newer: two racing publishers draw ordered versions, and
+  // the CAS keeps the visible snapshot monotone even when the later draw
+  // lands its swap first.
+  std::shared_ptr<const ApspSnapshot> expected =
+      current_.load(std::memory_order_acquire);
+  while (expected == nullptr || expected->version() < frozen->version()) {
+    if (current_.compare_exchange_weak(expected, frozen,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      break;
+    }
+  }
+  return frozen;
+}
+
+}  // namespace qclique

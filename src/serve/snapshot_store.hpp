@@ -1,0 +1,108 @@
+// Atomic publish / pin-free-read snapshot exchange.
+//
+// One SnapshotStore is the serving surface of one ExecutionContext: solvers
+// publish freshly solved ApspSnapshots into it, reader threads pin the
+// current snapshot and answer queries against the pin. The concurrency
+// contract:
+//
+//   * publish() is wait-free for readers: it stamps the snapshot's version,
+//     then swaps the current shared_ptr with one atomic store. Publishers
+//     never block readers and never mutate a published snapshot.
+//   * The read path takes no locks. SnapshotPin keeps a shared_ptr pin plus
+//     the pinned version; its steady-state refresh() is a single relaxed-
+//     acquire load of the store's version counter -- only when the counter
+//     moved does it re-load the shared_ptr (an atomic<shared_ptr> load, the
+//     "shared_ptr swap" of the design). A pinned snapshot stays valid and
+//     bit-identical however many publishes happen behind it; it is freed
+//     when the last pin drops.
+//
+// The version counter and the pointer are separate atomics, so a reader
+// can observe the counter move before the pointer swap lands; SnapshotPin
+// therefore records the version *of the snapshot it actually loaded* and
+// simply retries on the next refresh. Readers converge within one query of
+// a publish, which is exactly the freshness a serving layer promises.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "serve/snapshot.hpp"
+
+namespace qclique {
+
+class SnapshotStore {
+ public:
+  SnapshotStore() = default;
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Publishes `snapshot` as the new current snapshot: assigns the next
+  /// version stamp (1, 2, ...), freezes it behind a const pointer, and
+  /// swaps it in. Returns the published pin. Thread-safe against concurrent
+  /// publishers and readers.
+  std::shared_ptr<const ApspSnapshot> publish(ApspSnapshot snapshot);
+
+  /// Pre-built pin form (callers that assembled the shared_ptr themselves).
+  /// The snapshot must not be shared with a mutator; its version is stamped
+  /// through the non-const pointer before the swap.
+  std::shared_ptr<const ApspSnapshot> publish(
+      std::shared_ptr<ApspSnapshot> snapshot);
+
+  /// Pins the current snapshot (nullptr when nothing was published yet).
+  /// One atomic shared_ptr load; hot readers should hold a SnapshotPin and
+  /// refresh() instead of calling this per query.
+  std::shared_ptr<const ApspSnapshot> current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Version of the latest publish (0 = empty store). Monotone; the cheap
+  /// staleness probe behind SnapshotPin::refresh.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::shared_ptr<const ApspSnapshot>> current_{nullptr};
+};
+
+/// A reader's pin on the store's current snapshot. One per reader thread
+/// (it is a plain struct with no synchronization of its own); QueryServer
+/// sessions embed one. refresh() is the lock-free fast path described in
+/// the header comment.
+class SnapshotPin {
+ public:
+  explicit SnapshotPin(const SnapshotStore& store) : store_(&store) {}
+
+  /// Re-pins if the store has published since the last refresh; returns the
+  /// pinned snapshot (nullptr while the store is empty). Steady state costs
+  /// one atomic version load.
+  const ApspSnapshot* refresh() {
+    const std::uint64_t v = store_->version();
+    if (v != seen_version_) {
+      pinned_ = store_->current();
+      // Record the version of the snapshot actually loaded: the counter
+      // can run ahead of the pointer swap, in which case the next refresh
+      // retries the load instead of serving the stale pin as fresh.
+      seen_version_ = pinned_ ? pinned_->version() : 0;
+    }
+    return pinned_.get();
+  }
+
+  /// The current pin without checking for a newer publish (what the last
+  /// query answered against); nullptr before the first refresh.
+  const ApspSnapshot* pinned() const { return pinned_.get(); }
+
+  /// Shares the pin (callers that need the snapshot to outlive the pin).
+  const std::shared_ptr<const ApspSnapshot>& pinned_ref() const {
+    return pinned_;
+  }
+
+ private:
+  const SnapshotStore* store_;
+  std::shared_ptr<const ApspSnapshot> pinned_;
+  std::uint64_t seen_version_ = 0;
+};
+
+}  // namespace qclique

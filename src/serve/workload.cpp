@@ -1,0 +1,148 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+namespace {
+
+/// Decodes an index over the n * (n - 1) ordered off-diagonal pairs:
+/// u = idx / (n - 1), v skips the diagonal. Bijective, so uniform indexes
+/// give uniform u != v pairs.
+PairQuery decode_pair(std::uint64_t idx, std::uint32_t n) {
+  const std::uint32_t u = static_cast<std::uint32_t>(idx / (n - 1));
+  const std::uint32_t r = static_cast<std::uint32_t>(idx % (n - 1));
+  return {u, r >= u ? r + 1 : r};
+}
+
+/// v uniform over [0, n) \ {u}.
+std::uint32_t other_than(std::uint32_t u, std::uint32_t n, Rng& rng) {
+  const std::uint32_t off = static_cast<std::uint32_t>(rng.uniform_u64(n - 1));
+  return off >= u ? off + 1 : off;
+}
+
+std::vector<PairQuery> uniform_workload(const WorkloadOptions& o, Rng& rng) {
+  const std::uint64_t space =
+      static_cast<std::uint64_t>(o.n) * (o.n - 1);
+  std::vector<PairQuery> qs;
+  qs.reserve(o.count);
+  for (std::size_t i = 0; i < o.count; ++i) {
+    qs.push_back(decode_pair(rng.uniform_u64(space), o.n));
+  }
+  return qs;
+}
+
+std::vector<PairQuery> zipf_workload(const WorkloadOptions& o, Rng& rng) {
+  QCLIQUE_CHECK(o.zipf_exponent > 0.0, "zipf exponent must be positive");
+  const std::uint64_t space =
+      static_cast<std::uint64_t>(o.n) * (o.n - 1);
+  const std::size_t support = static_cast<std::size_t>(
+      std::min<std::uint64_t>(std::max<std::uint32_t>(1, o.hot_pairs), space));
+
+  // The hot set: `support` distinct pairs; rank 1 is the hottest.
+  std::vector<PairQuery> hot;
+  hot.reserve(support);
+  for (const std::size_t idx :
+       rng.sample_without_replacement(static_cast<std::size_t>(space), support)) {
+    hot.push_back(decode_pair(idx, o.n));
+  }
+
+  // Cumulative Zipf mass over ranks: a sorted flat table sampled by binary
+  // search, the same read-path shape as the PR 5 candidate tables.
+  std::vector<double> cum(support);
+  double total = 0.0;
+  for (std::size_t r = 0; r < support; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -o.zipf_exponent);
+    cum[r] = total;
+  }
+
+  std::vector<PairQuery> qs;
+  qs.reserve(o.count);
+  for (std::size_t i = 0; i < o.count; ++i) {
+    const double x = rng.uniform_double() * total;
+    const std::size_t rank = static_cast<std::size_t>(
+        std::upper_bound(cum.begin(), cum.end(), x) - cum.begin());
+    qs.push_back(hot[std::min(rank, support - 1)]);
+  }
+  return qs;
+}
+
+std::vector<PairQuery> locality_workload(const WorkloadOptions& o, Rng& rng) {
+  const std::uint32_t block =
+      std::max<std::uint32_t>(o.block != 0 ? o.block : static_cast<std::uint32_t>(
+                                                           isqrt(o.n)),
+                              1);
+  std::vector<PairQuery> qs;
+  qs.reserve(o.count);
+  for (std::size_t i = 0; i < o.count; ++i) {
+    const std::uint32_t u = static_cast<std::uint32_t>(rng.uniform_u64(o.n));
+    std::uint32_t v;
+    const std::uint32_t start = (u / block) * block;
+    const std::uint32_t end = std::min(o.n, start + block);
+    if (rng.bernoulli(o.locality) && end - start >= 2) {
+      // Target inside u's block, diagonal skipped.
+      const std::uint32_t off =
+          static_cast<std::uint32_t>(rng.uniform_u64(end - start - 1));
+      v = start + (off >= u - start ? off + 1 : off);
+    } else {
+      v = other_than(u, o.n, rng);
+    }
+    qs.push_back({u, v});
+  }
+  return qs;
+}
+
+}  // namespace
+
+std::string query_mix_name(QueryMix mix) {
+  switch (mix) {
+    case QueryMix::kUniform: return "uniform";
+    case QueryMix::kZipf: return "zipf";
+    case QueryMix::kLocality: return "locality";
+  }
+  return "unknown";
+}
+
+std::vector<PairQuery> make_workload(const WorkloadOptions& options, Rng& rng) {
+  QCLIQUE_CHECK(options.n >= 2,
+                "query workloads need n >= 2 (no off-diagonal pair otherwise)");
+  switch (options.mix) {
+    case QueryMix::kUniform: return uniform_workload(options, rng);
+    case QueryMix::kZipf: return zipf_workload(options, rng);
+    case QueryMix::kLocality: return locality_workload(options, rng);
+  }
+  throw SimulationError("unknown query mix");
+}
+
+WorkloadOptions workload_for_family(const std::string& family,
+                                    const FamilyConfig& config, QueryMix mix,
+                                    std::size_t count) {
+  WorkloadOptions o;
+  o.n = config.n;
+  o.count = count;
+  o.mix = mix;
+  const auto clamp_blocks = [&](std::uint32_t blocks) {
+    blocks = std::clamp<std::uint32_t>(blocks, 1, std::max(1u, config.n));
+    return static_cast<std::uint32_t>(ceil_div(config.n, blocks));
+  };
+  if (family == "clustered" || family == "ring-of-cliques") {
+    o.block = clamp_blocks(config.clusters);
+  } else if (family == "layered-dag") {
+    o.block = clamp_blocks(config.layers);
+  } else if (family == "grid" || family == "torus") {
+    // Mirror the family's own shape: rows = largest divisor of n at most
+    // sqrt(n); one block = one row of cols = n / rows vertices.
+    std::uint32_t rows = 1;
+    for (std::uint32_t d = 1; static_cast<std::uint64_t>(d) * d <= config.n; ++d) {
+      if (config.n % d == 0) rows = d;
+    }
+    o.block = config.n / std::max(1u, rows);
+  }
+  return o;
+}
+
+}  // namespace qclique

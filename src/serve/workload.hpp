@@ -1,0 +1,73 @@
+// Query-workload generation for the serving layer.
+//
+// Serving benchmarks and stress suites need realistic streams of s-t
+// queries, not just uniform pairs. Three mixes:
+//
+//   * kUniform  -- every ordered pair (u != v) equally likely; the
+//                  cache-hostile floor.
+//   * kZipf     -- traffic concentrated on a fixed set of hot pairs with
+//                  Zipf(s) rank frequencies: rank r drawn with probability
+//                  proportional to 1 / r^s by binary search over a
+//                  precomputed cumulative table (a sorted flat table, the
+//                  PR 5 read-path idiom). The hot-pair cache's best case
+//                  and the throughput-acceptance workload.
+//   * kLocality -- sources uniform, targets inside the source's block with
+//                  probability `locality` (think: users querying within
+//                  their own community/region). `workload_for_family` sizes
+//                  the block from the graph family's own structure, so the
+//                  mix follows the scenario axis.
+//
+// Workloads are materialized up front into flat PairQuery vectors: benches
+// time pure serving, and identical (options, seed) pairs draw bit-identical
+// streams -- the same determinism contract every generator in the repo
+// honors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/families.hpp"
+#include "serve/query_server.hpp"
+
+namespace qclique {
+
+class Rng;
+
+enum class QueryMix { kUniform, kZipf, kLocality };
+
+/// The registry-style name of a mix ("uniform", "zipf", "locality").
+std::string query_mix_name(QueryMix mix);
+
+struct WorkloadOptions {
+  /// Vertex count of the snapshot being queried (required, >= 2: a
+  /// one-vertex graph has no off-diagonal pair to ask about).
+  std::uint32_t n = 0;
+  /// Queries to draw.
+  std::size_t count = 0;
+  QueryMix mix = QueryMix::kUniform;
+  /// kZipf: number of distinct hot pairs (clamped to the n * (n - 1)
+  /// ordered off-diagonal pairs).
+  std::uint32_t hot_pairs = 256;
+  /// kZipf: skew exponent s > 0. 1.1 concentrates roughly 80% of traffic
+  /// on the top fifth of hot pairs at the default support size.
+  double zipf_exponent = 1.1;
+  /// kLocality: probability the target lands in the source's block.
+  double locality = 0.9;
+  /// kLocality: block size; 0 = floor(sqrt(n)).
+  std::uint32_t block = 0;
+};
+
+/// Draws `options.count` queries (u != v, both < n) deterministically from
+/// `rng`. Throws SimulationError on n < 2 or a non-positive Zipf exponent.
+std::vector<PairQuery> make_workload(const WorkloadOptions& options, Rng& rng);
+
+/// Family-aware locality sizing: block = the family's natural community
+/// scale (cluster size for "clustered"/"ring-of-cliques", grid row for
+/// "grid"/"torus", layer for "layered-dag", sqrt(n) otherwise). Returns
+/// options ready for make_workload.
+WorkloadOptions workload_for_family(const std::string& family,
+                                    const FamilyConfig& config, QueryMix mix,
+                                    std::size_t count);
+
+}  // namespace qclique

@@ -1,0 +1,78 @@
+// Witness-path round trip across every registered graph family: each
+// served path re-costs against the graph's own arcs to exactly the
+// snapshot distance (satellite: paths are proofs, not just node lists).
+#include <gtest/gtest.h>
+
+#include "api/registry.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "graph/families.hpp"
+#include "serve/query_server.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/snapshot_store.hpp"
+
+namespace qclique {
+namespace {
+
+class ServePathRoundtrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ServePathRoundtrip, EveryPairRecostsToSnapshotDistance) {
+  const std::string family = GetParam();
+  Rng rng(0x5e77e0);
+  const FamilyConfig cfg = family_config(12, 0.5, -3, 9);
+  const Digraph g = make_family_graph(family, cfg, rng);
+
+  ExecutionContext ctx(17);
+  ctx.set_family(family);
+  const auto snap = SolverRegistry::instance().get("floyd-warshall").serve(
+      g, ctx, {.with_paths = true, .label = family});
+  ASSERT_TRUE(snap->has_paths());
+  EXPECT_EQ(snap->metadata().family, family);
+
+  QueryServer server(ctx.serve());
+  auto session = server.session();
+  const std::uint32_t n = g.size();
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const PathAnswer a = session.path(u, v);
+      ASSERT_EQ(a.distance, snap->distance(u, v)) << family << " " << u
+                                                  << "->" << v;
+      if (u == v) {
+        EXPECT_EQ(a.nodes, std::vector<std::uint32_t>{u});
+        EXPECT_EQ(a.distance, 0);
+        continue;
+      }
+      if (is_plus_inf(a.distance)) {
+        EXPECT_TRUE(a.nodes.empty()) << family << " " << u << "->" << v;
+        continue;
+      }
+      // Re-cost the walk against the graph itself: every hop must be a
+      // real arc and the weights must sum to the claimed distance.
+      ASSERT_GE(a.nodes.size(), 2u) << family << " " << u << "->" << v;
+      ASSERT_EQ(a.nodes.front(), u);
+      ASSERT_EQ(a.nodes.back(), v);
+      std::int64_t cost = 0;
+      for (std::size_t i = 0; i + 1 < a.nodes.size(); ++i) {
+        ASSERT_TRUE(g.has_arc(a.nodes[i], a.nodes[i + 1]))
+            << family << ": hop " << a.nodes[i] << "->" << a.nodes[i + 1]
+            << " is not an arc";
+        cost += g.weight(a.nodes[i], a.nodes[i + 1]);
+      }
+      EXPECT_EQ(cost, a.distance) << family << " " << u << "->" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ServePathRoundtrip,
+    ::testing::ValuesIn(GraphFamilyRegistry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,170 @@
+// QueryServer: every answer bit-identical to direct snapshot lookups,
+// across cache hits, evictions, and republishes.
+#include "serve/query_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "api/registry.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/families.hpp"
+
+namespace qclique {
+namespace {
+
+struct Served {
+  Digraph graph;
+  ExecutionContext ctx;
+  std::shared_ptr<const ApspSnapshot> snapshot;
+};
+
+Served serve_graph(std::uint64_t graph_seed, bool with_paths,
+                   std::uint32_t n = 12) {
+  Rng rng(graph_seed);
+  Served s{make_family_graph("gnp", family_config(n, 0.4, -3, 9), rng),
+           ExecutionContext(21), nullptr};
+  s.ctx.set_family("gnp");
+  s.snapshot = SolverRegistry::instance().get("floyd-warshall").serve(
+      s.graph, s.ctx, {.with_paths = with_paths, .label = "qs"});
+  return s;
+}
+
+TEST(ServeQueryServer, DistancesBitIdenticalToSnapshot) {
+  Served s = serve_graph(1, false);
+  QueryServer server(s.ctx.serve());
+  auto session = server.session();
+  const std::uint32_t n = s.graph.size();
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      EXPECT_EQ(session.distance(u, v), s.snapshot->distance(u, v))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(ServeQueryServer, BatchAnswersMatchSinglesAgainstOnePin) {
+  Served s = serve_graph(2, false);
+  QueryServer server(s.ctx.serve());
+  auto session = server.session();
+  std::vector<PairQuery> queries;
+  const std::uint32_t n = s.graph.size();
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) queries.push_back({u, v});
+  }
+  const std::vector<std::int64_t> out = session.distance_batch(queries);
+  ASSERT_EQ(out.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(out[i], s.snapshot->distance(queries[i].u, queries[i].v));
+  }
+}
+
+TEST(ServeQueryServer, PathAnswersMatchDirectRealizationAndCacheHits) {
+  Served s = serve_graph(3, true);
+  QueryServer server(s.ctx.serve());
+  auto session = server.session();
+  const std::uint32_t n = s.graph.size();
+  for (int pass = 0; pass < 2; ++pass) {  // second pass = all cache hits
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = 0; v < n; ++v) {
+        const PathAnswer a = session.path(u, v);
+        EXPECT_EQ(a.distance, s.snapshot->distance(u, v));
+        EXPECT_EQ(a.nodes, s.snapshot->path(u, v)) << u << "->" << v;
+      }
+    }
+  }
+  session.flush_stats();
+  const QueryServerStats stats = server.stats();
+  EXPECT_EQ(stats.path_queries, 2ull * n * n);
+  // Every second-pass query hits (capacity default >> n^2); misses are
+  // bounded by the distinct pair count.
+  EXPECT_EQ(stats.cache_misses, 1ull * n * n);
+  EXPECT_EQ(stats.cache_hits, 1ull * n * n);
+}
+
+TEST(ServeQueryServer, TinyCacheEvictsButNeverLies) {
+  Served s = serve_graph(4, true);
+  // One shard, one way, four sets: nearly every query evicts.
+  QueryServer server(s.ctx.serve(),
+                     {.cache_capacity = 4, .cache_shards = 1, .cache_ways = 1});
+  auto session = server.session();
+  const std::uint32_t n = s.graph.size();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = 0; v < n; ++v) {
+        const PathAnswer a = session.path(u, v);
+        EXPECT_EQ(a.distance, s.snapshot->distance(u, v));
+        EXPECT_EQ(a.nodes, s.snapshot->path(u, v));
+      }
+    }
+  }
+}
+
+TEST(ServeQueryServer, RepublishServesTheNewSnapshotImmediately) {
+  Served s = serve_graph(5, true);
+  QueryServer server(s.ctx.serve());
+  auto session = server.session();
+  (void)session.path(0, 1);
+  ASSERT_EQ(session.pinned()->version(), 1u);
+
+  // Publish a different graph through the same context/store.
+  Rng rng(99);
+  const Digraph g2 =
+      make_family_graph("gnp", family_config(12, 0.7, 1, 5), rng);
+  const auto snap2 = SolverRegistry::instance().get("floyd-warshall").serve(
+      g2, s.ctx, {.with_paths = true, .label = "second"});
+  ASSERT_EQ(snap2->version(), 2u);
+
+  const std::uint32_t n = g2.size();
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      EXPECT_EQ(session.distance(u, v), snap2->distance(u, v));
+      const PathAnswer a = session.path(u, v);
+      EXPECT_EQ(a.distance, snap2->distance(u, v));
+      EXPECT_EQ(a.nodes, snap2->path(u, v));
+    }
+  }
+  EXPECT_EQ(session.pinned()->version(), 2u);
+  session.flush_stats();
+  EXPECT_GE(server.stats().repins, 2u);  // initial pin + the republish
+}
+
+TEST(ServeQueryServer, ValidationErrors) {
+  SnapshotStore empty;
+  QueryServer server(empty);
+  auto session = server.session();
+  EXPECT_THROW(session.distance(0, 1), SimulationError);
+  EXPECT_THROW(session.path(0, 1), SimulationError);
+
+  Served s = serve_graph(6, false);
+  QueryServer server2(s.ctx.serve());
+  auto session2 = server2.session();
+  const std::uint32_t n = s.graph.size();
+  EXPECT_THROW(session2.distance(0, n), SimulationError);
+  EXPECT_THROW(session2.distance(n, 0), SimulationError);
+  EXPECT_THROW(session2.path(0, 1), SimulationError);  // distance-only snapshot
+
+  std::vector<PairQuery> queries{{0, 1}};
+  std::vector<std::int64_t> out(2);
+  EXPECT_THROW(session2.distance_batch(queries, out), SimulationError);
+}
+
+TEST(ServeQueryServer, StatsFlushOnSessionDestruction) {
+  Served s = serve_graph(7, true);
+  QueryServer server(s.ctx.serve());
+  {
+    auto session = server.session();
+    (void)session.distance(0, 1);
+    (void)session.distance(1, 2);
+    (void)session.distance_batch(std::vector<PairQuery>{{0, 1}, {2, 3}});
+    (void)session.path(0, 2);
+    // Nothing flushed yet: the hot path never touches shared counters.
+    EXPECT_EQ(server.stats().distance_queries, 0u);
+  }
+  const QueryServerStats stats = server.stats();
+  EXPECT_EQ(stats.distance_queries, 2u);
+  EXPECT_EQ(stats.batch_entries, 2u);
+  EXPECT_EQ(stats.path_queries, 1u);
+}
+
+}  // namespace
+}  // namespace qclique

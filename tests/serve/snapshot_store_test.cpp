@@ -1,0 +1,90 @@
+// SnapshotStore: atomic publish, version monotonicity, pin semantics.
+#include "serve/snapshot_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "api/registry.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/families.hpp"
+
+namespace qclique {
+namespace {
+
+ApspSnapshot solved_snapshot(std::uint64_t graph_seed, const std::string& label) {
+  Rng rng(graph_seed);
+  const Digraph g = make_family_graph("gnp", family_config(8, 0.5, 1, 9), rng);
+  ExecutionContext ctx(3);
+  const ApspReport report =
+      SolverRegistry::instance().get("floyd-warshall").solve(g, ctx);
+  return ApspSnapshot(report, {}, label);
+}
+
+TEST(ServeSnapshotStore, EmptyStoreHasNothing) {
+  SnapshotStore store;
+  EXPECT_EQ(store.version(), 0u);
+  EXPECT_EQ(store.current(), nullptr);
+}
+
+TEST(ServeSnapshotStore, PublishStampsMonotoneVersions) {
+  SnapshotStore store;
+  const auto first = store.publish(solved_snapshot(1, "a"));
+  EXPECT_EQ(first->version(), 1u);
+  EXPECT_EQ(store.version(), 1u);
+  const auto second = store.publish(solved_snapshot(2, "b"));
+  EXPECT_EQ(second->version(), 2u);
+  EXPECT_EQ(store.version(), 2u);
+  EXPECT_EQ(store.current(), second);
+  EXPECT_EQ(store.current()->metadata().label, "b");
+}
+
+TEST(ServeSnapshotStore, PinnedSnapshotSurvivesRepublish) {
+  SnapshotStore store;
+  const auto pin = store.publish(solved_snapshot(1, "old"));
+  const DistMatrix before = pin->distances();
+  store.publish(solved_snapshot(2, "new"));
+  // The old pin is untouched: same object, same answers, freed only when
+  // the last pin drops.
+  EXPECT_EQ(pin->metadata().label, "old");
+  EXPECT_EQ(pin->distances(), before);
+  EXPECT_NE(store.current(), pin);
+}
+
+TEST(ServeSnapshotStore, RejectsNullPublish) {
+  SnapshotStore store;
+  EXPECT_THROW(store.publish(std::shared_ptr<ApspSnapshot>()), SimulationError);
+}
+
+TEST(ServeSnapshotStore, PinRefreshFollowsPublishes) {
+  SnapshotStore store;
+  SnapshotPin pin(store);
+  EXPECT_EQ(pin.refresh(), nullptr);
+  EXPECT_EQ(pin.pinned(), nullptr);
+
+  store.publish(solved_snapshot(1, "v1"));
+  const ApspSnapshot* v1 = pin.refresh();
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version(), 1u);
+  // Stable until something new is published: refresh keeps the same pin.
+  EXPECT_EQ(pin.refresh(), v1);
+  EXPECT_EQ(pin.pinned(), v1);
+
+  store.publish(solved_snapshot(2, "v2"));
+  // pinned() never re-pins by itself; refresh() does.
+  EXPECT_EQ(pin.pinned(), v1);
+  const ApspSnapshot* v2 = pin.refresh();
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v2->version(), 2u);
+  EXPECT_NE(v2, v1);
+}
+
+TEST(ServeSnapshotStore, PublishPrebuiltPointer) {
+  SnapshotStore store;
+  auto snap = std::make_shared<ApspSnapshot>(solved_snapshot(4, "ptr"));
+  const auto pin = store.publish(snap);
+  EXPECT_EQ(pin->version(), 1u);
+  EXPECT_EQ(store.current(), pin);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,127 @@
+// ApspSnapshot: metadata derivation, path realization, and the uniform
+// report-metadata contract (family + canonical metrics for every backend).
+#include "serve/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "api/registry.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/paths.hpp"
+#include "graph/families.hpp"
+
+namespace qclique {
+namespace {
+
+Digraph small_graph(std::uint64_t seed, std::int64_t wmin = 1) {
+  Rng rng(seed);
+  FamilyConfig cfg = family_config(10, 0.5, wmin, 9);
+  return make_family_graph("gnp", cfg, rng);
+}
+
+TEST(ServeSnapshot, WrapsReportMetadata) {
+  ExecutionContext ctx(7);
+  ctx.set_family("gnp");
+  const Digraph g = small_graph(1);
+  const ApspReport report =
+      SolverRegistry::instance().get("floyd-warshall").solve(g, ctx);
+
+  const ApspSnapshot snap(report, {}, "unit");
+  EXPECT_EQ(snap.size(), g.size());
+  EXPECT_EQ(snap.version(), 0u);  // unpublished
+  EXPECT_EQ(snap.metadata().solver, "floyd-warshall");
+  EXPECT_EQ(snap.metadata().family, "gnp");
+  EXPECT_EQ(snap.metadata().label, "unit");
+  EXPECT_EQ(snap.metadata().n, g.size());
+  EXPECT_FALSE(snap.has_paths());
+  EXPECT_EQ(snap.distances(), report.distances);
+  for (std::uint32_t u = 0; u < g.size(); ++u) {
+    for (std::uint32_t v = 0; v < g.size(); ++v) {
+      EXPECT_EQ(snap.distance(u, v), report.distances.at(u, v));
+    }
+  }
+}
+
+TEST(ServeSnapshot, PathRealizationMatchesSuccessorPath) {
+  ExecutionContext ctx(8);
+  const Digraph g = small_graph(2, -3);
+  const ApspReport report =
+      SolverRegistry::instance().get("floyd-warshall").solve(g, ctx);
+  const SuccessorResult witness = build_successors(g, report.distances);
+
+  const ApspSnapshot snap(report, witness.successor);
+  ASSERT_TRUE(snap.has_paths());
+  for (std::uint32_t u = 0; u < g.size(); ++u) {
+    for (std::uint32_t v = 0; v < g.size(); ++v) {
+      EXPECT_EQ(snap.path(u, v), successor_path(witness, g.size(), u, v))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(ServeSnapshot, RejectsMalformedSuccessorMatrix) {
+  ExecutionContext ctx(9);
+  const Digraph g = small_graph(3);
+  const ApspReport report =
+      SolverRegistry::instance().get("floyd-warshall").solve(g, ctx);
+  EXPECT_THROW(ApspSnapshot(report, std::vector<std::uint32_t>(5)),
+               SimulationError);
+}
+
+TEST(ServeSnapshot, PathQueriesValidated) {
+  ExecutionContext ctx(10);
+  const Digraph g = small_graph(4);
+  const ApspReport report =
+      SolverRegistry::instance().get("floyd-warshall").solve(g, ctx);
+  const ApspSnapshot distance_only(report);
+  EXPECT_THROW(distance_only.path(0, 1), SimulationError);
+
+  const SuccessorResult witness = build_successors(g, report.distances);
+  const ApspSnapshot with_paths(report, witness.successor);
+  EXPECT_THROW(with_paths.path(0, g.size()), SimulationError);
+  EXPECT_THROW(with_paths.path(g.size(), 0), SimulationError);
+}
+
+TEST(ServeSnapshot, ToJsonCarriesStamps) {
+  ExecutionContext ctx(11);
+  ctx.set_family("gnp");
+  const Digraph g = small_graph(5);
+  const ApspReport report =
+      SolverRegistry::instance().get("dense-squaring").solve(g, ctx);
+  const ApspSnapshot snap(report, {}, "json-check");
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"version\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"solver\":\"dense-squaring\""), std::string::npos);
+  EXPECT_NE(json.find("\"family\":\"gnp\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"json-check\""), std::string::npos);
+  EXPECT_NE(json.find("\"has_paths\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{"), std::string::npos);
+}
+
+// The satellite contract: every backend's report -- centralized oracles
+// included -- carries the context's family stamp and the canonical
+// ledger-derived metrics, and exports them through to_json, so snapshot
+// metadata round-trips for every backend.
+TEST(ServeReportMetadata, FamilyAndMetricsUniformAcrossBackends) {
+  const Digraph g = small_graph(6);  // non-negative weights: all 8 accept it
+  for (const std::string& name : SolverRegistry::instance().names()) {
+    ExecutionContext ctx(12);
+    ctx.set_family("gnp");
+    const ApspReport report = SolverRegistry::instance().get(name).solve(g, ctx);
+    EXPECT_EQ(report.family, "gnp") << name;
+    ASSERT_TRUE(report.metrics.count("messages")) << name;
+    ASSERT_TRUE(report.metrics.count("oracle_calls")) << name;
+
+    const std::string json = report.to_json();
+    EXPECT_NE(json.find("\"family\":\"gnp\""), std::string::npos) << name;
+    EXPECT_NE(json.find("\"messages\":"), std::string::npos) << name;
+    EXPECT_NE(json.find("\"oracle_calls\":"), std::string::npos) << name;
+
+    const ApspSnapshot snap(report);
+    EXPECT_EQ(snap.metadata().family, "gnp") << name;
+    EXPECT_TRUE(snap.metadata().metrics.count("messages")) << name;
+  }
+}
+
+}  // namespace
+}  // namespace qclique

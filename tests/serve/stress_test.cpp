@@ -1,0 +1,194 @@
+// Multi-threaded serving stress: concurrent readers vs a republishing
+// writer, every answer verified for internal consistency against the
+// reader's own pin. Runs under TSan in CI (zero locks on the distance
+// read path is a correctness claim, not just a perf one).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/paths.hpp"
+#include "graph/families.hpp"
+#include "serve/query_server.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/snapshot_store.hpp"
+#include "serve/workload.hpp"
+
+namespace qclique {
+namespace {
+
+/// One publishable source: the solved report plus its witness matrix,
+/// so the publisher can mint fresh ApspSnapshot copies cheaply.
+struct Source {
+  Digraph graph;
+  ApspReport report;
+  std::vector<std::uint32_t> successor;
+  std::string label;
+};
+
+Source make_source(std::uint64_t graph_seed, std::string label,
+                   std::uint32_t n = 24) {
+  Rng rng(graph_seed);
+  Digraph graph = make_family_graph("gnp", family_config(n, 0.4, 1, 9), rng);
+  ExecutionContext ctx(graph_seed * 31 + 7);
+  ctx.set_family("gnp");
+  ApspReport report =
+      SolverRegistry::instance().get("floyd-warshall").solve(graph, ctx);
+  std::vector<std::uint32_t> successor =
+      build_successors(graph, report.distances).successor;
+  return Source{std::move(graph), std::move(report), std::move(successor),
+                std::move(label)};
+}
+
+TEST(ServeStress, ReadersStayConsistentAcrossRepublishes) {
+  const Source g0 = make_source(1, "g0");
+  const Source g1 = make_source(2, "g1");
+  const std::map<std::string, const Digraph*> graphs{{"g0", &g0.graph},
+                                                     {"g1", &g1.graph}};
+  const std::uint32_t n = g0.graph.size();
+
+  SnapshotStore store;
+  store.publish(ApspSnapshot(g0.report, g0.successor, g0.label));
+  QueryServer server(store);
+
+  constexpr int kPublishes = 40;
+  constexpr int kReaders = 4;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> issued_distance{0};
+  std::atomic<std::uint64_t> issued_batch{0};
+  std::atomic<std::uint64_t> issued_path{0};
+
+  std::thread publisher([&] {
+    for (int i = 0; i < kPublishes; ++i) {
+      const Source& src = (i % 2 == 0) ? g1 : g0;
+      store.publish(ApspSnapshot(src.report, src.successor, src.label));
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      auto session = server.session();
+      Rng rng(1000 + r);
+      WorkloadOptions wo;
+      wo.n = n;
+      wo.count = 64;
+      wo.mix = QueryMix::kUniform;
+      std::uint64_t iter = 0;
+      // Keep querying until the publisher is done, then take one final
+      // pass that must observe the final version.
+      while (!done.load(std::memory_order_acquire) || iter == 0) {
+        const std::vector<PairQuery> qs = make_workload(wo, rng);
+        switch (iter++ % 3) {
+          case 0: {
+            for (const PairQuery& q : qs) {
+              const std::int64_t d = session.distance(q.u, q.v);
+              // The pin the query answered against is still the pin now:
+              // only queries move it, and this thread owns the session.
+              ASSERT_EQ(d, session.pinned()->distance(q.u, q.v));
+            }
+            issued_distance.fetch_add(qs.size(), std::memory_order_relaxed);
+            break;
+          }
+          case 1: {
+            const std::vector<std::int64_t> out = session.distance_batch(qs);
+            const ApspSnapshot* pin = session.pinned();
+            for (std::size_t i = 0; i < qs.size(); ++i) {
+              ASSERT_EQ(out[i], pin->distance(qs[i].u, qs[i].v));
+            }
+            issued_batch.fetch_add(qs.size(), std::memory_order_relaxed);
+            break;
+          }
+          default: {
+            for (const PairQuery& q : qs) {
+              const PathAnswer a = session.path(q.u, q.v);
+              const ApspSnapshot* pin = session.pinned();
+              ASSERT_EQ(a.distance, pin->distance(q.u, q.v));
+              // Re-cost the walk against the graph the pinned snapshot
+              // was solved from (label identifies it).
+              const Digraph& g = *graphs.at(pin->metadata().label);
+              if (q.u == q.v || is_plus_inf(a.distance)) continue;
+              ASSERT_GE(a.nodes.size(), 2u);
+              std::int64_t cost = 0;
+              for (std::size_t i = 0; i + 1 < a.nodes.size(); ++i) {
+                ASSERT_TRUE(g.has_arc(a.nodes[i], a.nodes[i + 1]));
+                cost += g.weight(a.nodes[i], a.nodes[i + 1]);
+              }
+              ASSERT_EQ(cost, a.distance);
+            }
+            issued_path.fetch_add(qs.size(), std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+      // The publisher has finished: the next query must pin the final
+      // published version.
+      (void)session.distance(0, 1);
+      ASSERT_EQ(session.pinned()->version(), store.version());
+    });
+  }
+
+  publisher.join();
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(store.version(), static_cast<std::uint64_t>(kPublishes) + 1);
+  ASSERT_NE(store.current(), nullptr);
+  EXPECT_EQ(store.current()->version(), store.version());
+
+  // Every session flushed on destruction: the server totals must account
+  // for exactly the queries the readers issued.
+  const QueryServerStats stats = server.stats();
+  EXPECT_EQ(stats.distance_queries,
+            issued_distance.load() + kReaders);  // + final per-reader query
+  EXPECT_EQ(stats.batch_entries, issued_batch.load());
+  EXPECT_EQ(stats.path_queries, issued_path.load());
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.path_queries);
+  EXPECT_GE(stats.repins, static_cast<std::uint64_t>(kReaders));
+}
+
+TEST(ServeStress, ConcurrentPublishersKeepVersionsMonotoneAndUnique) {
+  const Source src = make_source(3, "pub", 12);
+  SnapshotStore store;
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10;
+  std::vector<std::vector<std::uint64_t>> seen(kThreads);
+  std::vector<std::thread> publishers;
+  for (int t = 0; t < kThreads; ++t) {
+    publishers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto pin =
+            store.publish(ApspSnapshot(src.report, src.successor, src.label));
+        seen[t].push_back(pin->version());
+        // The visible snapshot never regresses below what this publisher
+        // just installed.
+        const auto current = store.current();
+        ASSERT_NE(current, nullptr);
+        ASSERT_GE(current->version(), pin->version());
+      }
+    });
+  }
+  for (auto& t : publishers) t.join();
+
+  std::vector<std::uint64_t> all;
+  for (const auto& s : seen) all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], i + 1);  // versions are exactly 1..40, no gaps, no dups
+  }
+  EXPECT_EQ(store.version(), all.size());
+  EXPECT_EQ(store.current()->version(), all.size());
+}
+
+}  // namespace
+}  // namespace qclique

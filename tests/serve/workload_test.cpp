@@ -1,0 +1,142 @@
+// Workload generation: determinism, bounds, skew, locality, and the
+// family-aware block sizing.
+#include "serve/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+namespace {
+
+void expect_valid(const std::vector<PairQuery>& qs, std::uint32_t n) {
+  for (const PairQuery& q : qs) {
+    ASSERT_LT(q.u, n);
+    ASSERT_LT(q.v, n);
+    ASSERT_NE(q.u, q.v);
+  }
+}
+
+TEST(ServeWorkload, DeterministicAndInBoundsForEveryMix) {
+  for (const QueryMix mix :
+       {QueryMix::kUniform, QueryMix::kZipf, QueryMix::kLocality}) {
+    WorkloadOptions o;
+    o.n = 23;
+    o.count = 5000;
+    o.mix = mix;
+    Rng r1(42), r2(42), r3(43);
+    const auto a = make_workload(o, r1);
+    const auto b = make_workload(o, r2);
+    const auto c = make_workload(o, r3);
+    ASSERT_EQ(a.size(), o.count);
+    expect_valid(a, o.n);
+    EXPECT_EQ(a, b) << query_mix_name(mix) << ": same seed, same stream";
+    EXPECT_NE(a, c) << query_mix_name(mix) << ": seeds must matter";
+  }
+}
+
+TEST(ServeWorkload, ZipfConcentratesMassOnHotPairs) {
+  WorkloadOptions o;
+  o.n = 64;
+  o.count = 20000;
+  o.mix = QueryMix::kZipf;
+  o.hot_pairs = 64;
+  o.zipf_exponent = 1.2;
+  Rng rng(7);
+  const auto qs = make_workload(o, rng);
+
+  std::map<std::uint64_t, std::uint64_t> freq;
+  for (const PairQuery& q : qs) {
+    ++freq[(static_cast<std::uint64_t>(q.u) << 32) | q.v];
+  }
+  // The support is capped and the top rank dominates: far fewer distinct
+  // pairs than queries, and the hottest pair far above the uniform share.
+  EXPECT_LE(freq.size(), static_cast<std::size_t>(o.hot_pairs));
+  std::uint64_t top = 0;
+  for (const auto& [pair, count] : freq) top = std::max(top, count);
+  EXPECT_GT(top, o.count / o.hot_pairs * 5);
+}
+
+TEST(ServeWorkload, ZipfSupportClampedToPairSpace) {
+  WorkloadOptions o;
+  o.n = 4;  // only 12 ordered off-diagonal pairs
+  o.count = 1000;
+  o.mix = QueryMix::kZipf;
+  o.hot_pairs = 10000;
+  Rng rng(8);
+  const auto qs = make_workload(o, rng);
+  expect_valid(qs, o.n);
+}
+
+TEST(ServeWorkload, LocalityKeepsTargetsInBlock) {
+  WorkloadOptions o;
+  o.n = 64;
+  o.count = 20000;
+  o.mix = QueryMix::kLocality;
+  o.locality = 0.9;
+  o.block = 8;
+  Rng rng(9);
+  const auto qs = make_workload(o, rng);
+  expect_valid(qs, o.n);
+  std::size_t in_block = 0;
+  for (const PairQuery& q : qs) {
+    if (q.u / o.block == q.v / o.block) ++in_block;
+  }
+  const double frac = static_cast<double>(in_block) / qs.size();
+  // 90% targeted locally plus ~1.6% of the global draws landing in-block.
+  EXPECT_GT(frac, 0.85);
+  EXPECT_LT(frac, 0.97);
+}
+
+TEST(ServeWorkload, FamilyAwareBlockSizes) {
+  FamilyConfig cfg;
+  cfg.n = 24;
+  cfg.clusters = 4;
+  cfg.layers = 6;
+  EXPECT_EQ(workload_for_family("clustered", cfg, QueryMix::kLocality, 10).block,
+            6u);
+  EXPECT_EQ(
+      workload_for_family("ring-of-cliques", cfg, QueryMix::kLocality, 10).block,
+      6u);
+  EXPECT_EQ(
+      workload_for_family("layered-dag", cfg, QueryMix::kLocality, 10).block,
+      4u);
+  // 24 = 4 x 6: rows = largest divisor <= sqrt(24) = 4, one row = 6 cells.
+  EXPECT_EQ(workload_for_family("grid", cfg, QueryMix::kLocality, 10).block, 6u);
+  EXPECT_EQ(workload_for_family("torus", cfg, QueryMix::kLocality, 10).block, 6u);
+  // No structural block: 0 = the sqrt(n) default inside make_workload.
+  EXPECT_EQ(workload_for_family("gnp", cfg, QueryMix::kLocality, 10).block, 0u);
+
+  const WorkloadOptions o =
+      workload_for_family("clustered", cfg, QueryMix::kLocality, 10);
+  EXPECT_EQ(o.n, cfg.n);
+  EXPECT_EQ(o.count, 10u);
+  EXPECT_EQ(o.mix, QueryMix::kLocality);
+}
+
+TEST(ServeWorkload, Validation) {
+  WorkloadOptions o;
+  o.n = 1;
+  o.count = 1;
+  Rng rng(1);
+  EXPECT_THROW(make_workload(o, rng), SimulationError);
+
+  o.n = 8;
+  o.mix = QueryMix::kZipf;
+  o.zipf_exponent = 0.0;
+  EXPECT_THROW(make_workload(o, rng), SimulationError);
+}
+
+TEST(ServeWorkload, MixNames) {
+  EXPECT_EQ(query_mix_name(QueryMix::kUniform), "uniform");
+  EXPECT_EQ(query_mix_name(QueryMix::kZipf), "zipf");
+  EXPECT_EQ(query_mix_name(QueryMix::kLocality), "locality");
+}
+
+}  // namespace
+}  // namespace qclique
