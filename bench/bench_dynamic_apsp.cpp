@@ -1,0 +1,138 @@
+// Experiment E18: dynamic APSP repair vs recompute-from-scratch.
+//
+// Replays every registered update stream over three graph families and
+// races the two registered dynamic solvers on identical batches: the
+// "incremental" affected-source repair against the "recompute" oracle that
+// re-runs the static backend per batch. Batches are small-update streams
+// (batch_size = max(1, n/16)), the regime the incremental solver is built
+// for; both solvers maintain witness successors so the comparison covers
+// everything a StreamSession would publish.
+//
+//   usage: bench_dynamic_apsp [n] [json-path]
+//
+// Doubles as a conformance gate: after every batch the incremental
+// distances must be bit-identical to the recompute oracle's (exit non-zero
+// on any mismatch), and at n >= 256 the headline acceptance bar -- every
+// (family, stream) run repairs >= 5x faster than recompute -- exits
+// non-zero when missed. The JSON artifact (BENCH_dynamic_apsp.json) is
+// uploaded by CI; docs/STREAMING.md documents the schema.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/execution_context.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "congest/round_ledger.hpp"
+#include "graph/families.hpp"
+#include "stream/dynamic_solver.hpp"
+#include "stream/generators.hpp"
+
+namespace {
+
+/// Same (graph_seed, name) folding as BatchRunner::run_streams, so the
+/// bench's inputs line up with what the scenario harness would generate.
+std::uint64_t fold_name(std::uint64_t seed, const std::string& name) {
+  std::uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (const char ch : name) {
+    h = (h ^ static_cast<unsigned char>(ch)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qclique;
+  const std::uint32_t n =
+      argc > 1 ? static_cast<std::uint32_t>(std::stoul(argv[1])) : 256;
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_dynamic_apsp.json";
+  const std::uint32_t batch_size = std::max<std::uint32_t>(1, n / 16);
+  const std::uint32_t num_batches = 8;
+  std::cout << "E18: dynamic APSP repair vs recompute (n = " << n
+            << ", batches = " << num_batches << " x " << batch_size << ")\n\n";
+
+  const std::vector<std::string> families{"gnp", "power-law", "clustered"};
+  const FamilyConfig cfg = family_config(n, 0.3, 1, 9);
+  const std::uint64_t graph_seed = 1800 + n;
+
+  ExecutionContext ctx(23);
+  DynamicSolverOptions options;  // with_paths = true: serve-grade repair
+
+  Table table({"family", "stream", "updates", "affected", "incr ms",
+               "recomp ms", "speedup", "exact"});
+  std::ostringstream json;
+  json << "{\"bench\":\"dynamic_apsp\",\"schema_version\":1,\"n\":" << n
+       << ",\"batches\":" << num_batches << ",\"batch_size\":" << batch_size
+       << ",\"runs\":[";
+  bool all_exact = true;
+  bool first_run = true;
+  double min_speedup = -1.0;
+
+  for (const std::string& family : families) {
+    Rng grng(fold_name(graph_seed, family));
+    const Digraph start = make_family_graph(family, cfg, grng);
+    const StreamConfig sc =
+        stream_for_family(family, cfg, num_batches, batch_size);
+    for (const std::string& stream : UpdateStreamRegistry::instance().names()) {
+      Rng srng(fold_name(fold_name(graph_seed, family), stream));
+      const auto batches = make_update_stream(stream, start, sc, srng);
+
+      auto incremental = make_dynamic_solver("incremental", options);
+      auto recompute = make_dynamic_solver("recompute", options);
+      incremental->reset(start, ctx);
+      recompute->reset(start, ctx);
+
+      double incr_ms = 0.0, recomp_ms = 0.0;
+      std::uint64_t updates = 0, affected = 0;
+      bool exact = incremental->distances() == recompute->distances();
+      for (const UpdateBatch& batch : batches) {
+        const RepairStats is = incremental->apply(batch, ctx);
+        const RepairStats rs = recompute->apply(batch, ctx);
+        incr_ms += is.wall_ms;
+        recomp_ms += rs.wall_ms;
+        updates += is.updates;
+        affected += is.affected_sources;
+        exact = exact && incremental->distances() == recompute->distances();
+      }
+      all_exact = all_exact && exact;
+      const double speedup = incr_ms > 0.0 ? recomp_ms / incr_ms : 0.0;
+      if (min_speedup < 0.0 || speedup < min_speedup) min_speedup = speedup;
+
+      table.add_row({family, stream, Table::fmt(updates), Table::fmt(affected),
+                     Table::fmt(incr_ms, 2), Table::fmt(recomp_ms, 2),
+                     Table::fmt(speedup, 2), exact ? "yes" : "NO"});
+      if (!first_run) json << ",";
+      first_run = false;
+      json << "{\"family\":" << json_quote(family)
+           << ",\"stream\":" << json_quote(stream) << ",\"updates\":" << updates
+           << ",\"affected_sources\":" << affected
+           << ",\"incremental_ms\":" << incr_ms
+           << ",\"recompute_ms\":" << recomp_ms << ",\"speedup\":" << speedup
+           << ",\"exact\":" << (exact ? "true" : "false") << "}";
+    }
+  }
+
+  json << "],\"min_speedup\":" << min_speedup
+       << ",\"all_exact\":" << (all_exact ? "true" : "false") << "}";
+
+  table.print("Dynamic APSP: incremental repair vs per-batch recompute");
+
+  std::ofstream out(json_path);
+  out << json.str() << "\n";
+  out.close();
+  std::cout << "\nwrote " << json_path << "\n";
+  std::cout << "incremental exact vs recompute after every batch: "
+            << (all_exact ? "yes" : "NO") << "\n";
+
+  bool gate_ok = true;
+  if (n >= 256) {
+    gate_ok = min_speedup >= 5.0;
+    std::cout << "small-batch repair gate: min speedup "
+              << Table::fmt(min_speedup, 2)
+              << "x (target 5x): " << (gate_ok ? "PASS" : "FAIL") << "\n";
+  }
+  return all_exact && gate_ok ? 0 : 1;
+}

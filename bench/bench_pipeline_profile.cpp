@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   Table table({"solver", "family", "phase", "wall ms", "messages", "msg/s",
                "rounds"});
   std::ostringstream json;
-  json << "{\"bench\":\"pipeline_profile\",\"n\":" << n << ",\"runs\":[";
+  json << "{\"bench\":\"pipeline_profile\",\"schema_version\":1,\"n\":" << n
+       << ",\"runs\":[";
   bool all_exact = true;
   bool first_run = true;
   for (const std::string& solver_name : solvers) {

@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   double zipf_gate_qps = 0.0;
   Table table({"mix", "threads", "kind", "queries", "wall ms", "queries/s"});
   std::ostringstream json;
-  json << "{\"bench\":\"query_serving\",\"n\":" << n
+  json << "{\"bench\":\"query_serving\",\"schema_version\":1,\"n\":" << n
        << ",\"family\":" << json_quote(family)
        << ",\"solver\":\"floyd-warshall\",\"runs\":[";
   bool first_run = true;

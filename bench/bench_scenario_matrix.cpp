@@ -83,7 +83,11 @@ int main(int argc, char** argv) {
   }
   table.print("Scenario matrix: per-family cross-backend agreement");
 
-  const std::string json = scenarios_to_json(results);
+  // Self-describing envelope around the scenario array so bench_diff (and
+  // any future parser) can key on "bench" / "schema_version".
+  const std::string json = "{\"bench\":\"scenario_matrix\",\"schema_version\":1,"
+                           "\"n\":" + std::to_string(n) +
+                           ",\"scenarios\":" + scenarios_to_json(results) + "}";
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     out << json << "\n";

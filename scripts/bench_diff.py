@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Compare fresh bench JSON artifacts against the committed baselines.
+
+    usage: bench_diff.py [options] FRESH.json [FRESH.json ...]
+
+Each fresh artifact is matched to a baseline in --baseline-dir by its
+"bench" field (every export carries one, plus a "schema_version" so this
+tool can evolve without silent misparses). A comparison only runs when the
+baseline and the fresh run were taken at the same pinned n -- wall times at
+different sizes are not comparable -- otherwise the file is skipped with a
+note.
+
+Per bench kind:
+
+  pipeline_profile  Per-(solver, family, phase) comparison. The default
+                    "share" mode compares each phase's share of its run's
+                    profiled_ms, which is robust across build types and
+                    machines (an absolute-ms baseline taken on one box
+                    would flag every slower box as a regression). Phases
+                    below --min-share of the baseline profile are ignored
+                    (tiny phases have noisy shares). --mode absolute
+                    compares raw wall_ms instead, for pinned same-machine
+                    trend tracking.
+  query_serving     Per-(mix, threads, kind) queries/sec must not drop by
+                    more than the threshold.
+  dynamic_apsp      Per-(family, stream) incremental-over-recompute speedup
+                    must not drop by more than the threshold.
+
+Exit status: 0 = no regressions, 1 = at least one regression, 2 = bad
+invocation or unparseable input.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict) or "bench" not in data:
+        raise ValueError(f"{path}: not a bench artifact (no 'bench' field)")
+    return data
+
+
+def index_baselines(baseline_dir):
+    """bench-name -> (path, parsed JSON) for every baseline artifact."""
+    baselines = {}
+    for path in sorted(pathlib.Path(baseline_dir).glob("*.json")):
+        try:
+            data = load(path)
+        except (ValueError, json.JSONDecodeError) as e:
+            print(f"bench_diff: skipping baseline {path}: {e}")
+            continue
+        baselines[data["bench"]] = (path, data)
+    return baselines
+
+
+def ratio_regressed(base, fresh, threshold):
+    """True when `fresh` exceeds `base` by more than `threshold` (fraction)."""
+    return base > 0 and fresh > base * (1.0 + threshold)
+
+
+def drop_regressed(base, fresh, threshold):
+    """True when `fresh` falls short of `base` by more than `threshold`."""
+    return base > 0 and fresh < base * (1.0 - threshold)
+
+
+def diff_pipeline(base, fresh, args):
+    regressions = []
+    base_runs = {(r["solver"], r["family"]): r for r in base.get("runs", [])}
+    for run in fresh.get("runs", []):
+        key = (run["solver"], run["family"])
+        if key not in base_runs:
+            continue
+        brun = base_runs[key]
+        btotal = brun.get("profiled_ms", 0.0)
+        ftotal = run.get("profiled_ms", 0.0)
+        for phase, timing in run.get("phases", {}).items():
+            btiming = brun.get("phases", {}).get(phase)
+            if btiming is None:
+                continue
+            if args.mode == "share":
+                if btotal <= 0 or ftotal <= 0:
+                    continue
+                bval = btiming["wall_ms"] / btotal
+                fval = timing["wall_ms"] / ftotal
+                if bval < args.min_share:
+                    continue
+                what = "share of profiled_ms"
+            else:
+                bval = btiming["wall_ms"]
+                fval = timing["wall_ms"]
+                what = "wall_ms"
+            if ratio_regressed(bval, fval, args.threshold):
+                regressions.append(
+                    f"{run['solver']}/{run['family']}/{phase}: {what} "
+                    f"{bval:.4f} -> {fval:.4f} "
+                    f"(+{100.0 * (fval / bval - 1.0):.1f}%)")
+    return regressions
+
+
+def diff_query_serving(base, fresh, args):
+    regressions = []
+    base_runs = {(r["mix"], r["threads"], r["kind"]): r
+                 for r in base.get("runs", [])}
+    for run in fresh.get("runs", []):
+        key = (run["mix"], run["threads"], run["kind"])
+        if key not in base_runs:
+            continue
+        bval = base_runs[key]["queries_per_sec"]
+        fval = run["queries_per_sec"]
+        if drop_regressed(bval, fval, args.threshold):
+            regressions.append(
+                f"{run['mix']}/{run['threads']}t/{run['kind']}: "
+                f"queries/sec {bval:.0f} -> {fval:.0f} "
+                f"(-{100.0 * (1.0 - fval / bval):.1f}%)")
+    return regressions
+
+
+def diff_dynamic_apsp(base, fresh, args):
+    regressions = []
+    base_runs = {(r["family"], r["stream"]): r for r in base.get("runs", [])}
+    for run in fresh.get("runs", []):
+        key = (run["family"], run["stream"])
+        if key not in base_runs:
+            continue
+        bval = base_runs[key]["speedup"]
+        fval = run["speedup"]
+        if drop_regressed(bval, fval, args.threshold):
+            regressions.append(
+                f"{run['family']}/{run['stream']}: speedup "
+                f"{bval:.2f}x -> {fval:.2f}x "
+                f"(-{100.0 * (1.0 - fval / bval):.1f}%)")
+    return regressions
+
+
+DIFFERS = {
+    "pipeline_profile": diff_pipeline,
+    "query_serving": diff_query_serving,
+    "dynamic_apsp": diff_dynamic_apsp,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("fresh", nargs="+", help="fresh bench JSON artifacts")
+    parser.add_argument("--baseline-dir", default="bench/baselines",
+                        help="directory of committed baseline artifacts")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="regression threshold as a fraction (default 0.25)")
+    parser.add_argument("--mode", choices=["share", "absolute"], default="share",
+                        help="pipeline comparison mode (default share)")
+    parser.add_argument("--min-share", type=float, default=0.05,
+                        help="ignore phases below this share of the baseline "
+                             "profile in share mode (default 0.05)")
+    args = parser.parse_args()
+
+    try:
+        baselines = index_baselines(args.baseline_dir)
+    except OSError as e:
+        print(f"bench_diff: cannot read baseline dir: {e}")
+        return 2
+
+    failed = False
+    for fresh_path in args.fresh:
+        try:
+            fresh = load(fresh_path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"bench_diff: {e}")
+            return 2
+        bench = fresh["bench"]
+        if bench not in baselines:
+            print(f"bench_diff: {fresh_path}: no baseline for bench "
+                  f"'{bench}' in {args.baseline_dir}; skipped")
+            continue
+        base_path, base = baselines[bench]
+        if base.get("schema_version") != fresh.get("schema_version"):
+            print(f"bench_diff: {fresh_path}: schema_version "
+                  f"{fresh.get('schema_version')} != baseline "
+                  f"{base.get('schema_version')} ({base_path}); skipped")
+            continue
+        if base.get("n") != fresh.get("n"):
+            print(f"bench_diff: {fresh_path}: n={fresh.get('n')} does not "
+                  f"match baseline n={base.get('n')} ({base_path}); skipped")
+            continue
+        differ = DIFFERS.get(bench)
+        if differ is None:
+            print(f"bench_diff: {fresh_path}: no comparator for bench "
+                  f"'{bench}'; skipped")
+            continue
+        regressions = differ(base, fresh, args)
+        if regressions:
+            failed = True
+            print(f"bench_diff: REGRESSION {fresh_path} vs {base_path} "
+                  f"(threshold {100.0 * args.threshold:.0f}%):")
+            for r in regressions:
+                print(f"  {r}")
+        else:
+            print(f"bench_diff: OK {fresh_path} vs {base_path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

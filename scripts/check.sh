@@ -19,15 +19,20 @@
 # QCLIQUE_FAMILY=<regex> does the same for the graph-family suites (e.g.
 # QCLIQUE_FAMILY=Family runs the family conformance + registry suites), and
 # QCLIQUE_SERVE=<regex> for the serving-layer suites (e.g.
-# QCLIQUE_SERVE=Serve runs the snapshot/store/query-server/stress suites).
+# QCLIQUE_SERVE=Serve runs the snapshot/store/query-server/stress suites),
+# and QCLIQUE_STREAM=<regex> for the update-stream suites (e.g.
+# QCLIQUE_STREAM=Stream runs the update/generator/dynamic-conformance/
+# stream-session suites).
 # When several are set the filters are OR-ed. With any filter active the API
 # smoke runs are skipped — that mode exists for targeted sanitizer jobs,
 # not for tier-1 verification.
-# Set QCLIQUE_BENCH_SMOKE=1 to append bench_pipeline_profile and
-# bench_query_serving runs (small n) that write the BENCH_pipeline.json and
-# BENCH_query_serving.json perf artifacts into the build dir (see
-# docs/PERFORMANCE.md and docs/SERVING.md); QCLIQUE_BUILD_TYPE overrides
-# the build type (default RelWithDebInfo — use Release for perf numbers).
+# Set QCLIQUE_BENCH_SMOKE=1 to append bench_pipeline_profile,
+# bench_query_serving, and bench_dynamic_apsp runs (small n) that write the
+# BENCH_*.json perf artifacts into the build dir (see docs/PERFORMANCE.md,
+# docs/SERVING.md, and docs/STREAMING.md), then diff them against the
+# committed bench/baselines via scripts/bench_diff.py; QCLIQUE_BUILD_TYPE
+# overrides the build type (default RelWithDebInfo — use Release for perf
+# numbers).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -60,6 +65,9 @@ if [[ -n "${QCLIQUE_FAMILY:-}" ]]; then
 fi
 if [[ -n "${QCLIQUE_SERVE:-}" ]]; then
   CTEST_FILTER="${CTEST_FILTER:+${CTEST_FILTER}|}${QCLIQUE_SERVE}"
+fi
+if [[ -n "${QCLIQUE_STREAM:-}" ]]; then
+  CTEST_FILTER="${CTEST_FILTER:+${CTEST_FILTER}|}${QCLIQUE_STREAM}"
 fi
 
 CTEST_FILTER_ARGS=()
@@ -102,6 +110,19 @@ if [[ -n "${QCLIQUE_BENCH_SMOKE:-}" ]]; then
   # the run still exits non-zero on any answer mismatch.
   "$BUILD_DIR/bench_query_serving" 64 "$BUILD_DIR/BENCH_query_serving.json" > /dev/null
   echo "wrote $BUILD_DIR/BENCH_query_serving.json"
+  echo "== smoke: dynamic APSP repair (BENCH_dynamic_apsp.json) =="
+  # Small n skips the 5x incremental-repair acceptance gate (it only arms
+  # at n >= 256); the run still exits non-zero when the incremental
+  # distances diverge from the recompute oracle on any batch.
+  "$BUILD_DIR/bench_dynamic_apsp" 64 "$BUILD_DIR/BENCH_dynamic_apsp.json" > /dev/null
+  echo "wrote $BUILD_DIR/BENCH_dynamic_apsp.json"
+  echo "== bench_diff vs bench/baselines =="
+  # Artifacts whose pinned n differs from the committed baseline are
+  # skipped by bench_diff itself (wall times at different sizes are not
+  # comparable); the pipeline profile runs at the baseline's n = 16.
+  python3 scripts/bench_diff.py "$BUILD_DIR/BENCH_pipeline.json" \
+          "$BUILD_DIR/BENCH_query_serving.json" \
+          "$BUILD_DIR/BENCH_dynamic_apsp.json"
 fi
 
 echo "OK: build, tests, and API smoke runs all passed."

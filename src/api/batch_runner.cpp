@@ -1,12 +1,15 @@
 #include "api/batch_runner.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <sstream>
 #include <thread>
 
 #include "common/error.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/snapshot_store.hpp"
+#include "stream/generators.hpp"
+#include "stream/session.hpp"
 
 namespace qclique {
 
@@ -153,6 +156,137 @@ std::vector<BatchResult> BatchRunner::run_scenarios(const ScenarioSpec& spec) co
   return run(jobs);
 }
 
+std::vector<StreamResult> BatchRunner::run_streams(
+    const StreamScenarioSpec& spec) const {
+  QCLIQUE_CHECK(spec.config.wmin >= 0,
+                "run_streams requires non-negative family weights (dynamic "
+                "solver contract)");
+  const std::vector<std::string> families =
+      spec.families.empty() ? GraphFamilyRegistry::instance().names()
+                            : spec.families;
+  const std::vector<std::string> streams =
+      spec.streams.empty() ? UpdateStreamRegistry::instance().names()
+                           : spec.streams;
+  const std::vector<std::string> solvers =
+      spec.solvers.empty() ? DynamicSolverRegistry::instance().names()
+                           : spec.solvers;
+
+  struct StreamJob {
+    std::string family;
+    std::string stream;
+    std::string solver;
+    std::shared_ptr<const Digraph> graph;
+    std::shared_ptr<const std::vector<UpdateBatch>> batches;
+  };
+
+  // Generate inputs up front, single-threaded: one graph per family (same
+  // (graph_seed, family) keying as run_scenarios) and one stream per
+  // (family, stream) shared by every solver, so the solver axis compares
+  // like for like.
+  std::vector<StreamJob> jobs;
+  for (const std::string& family : families) {
+    std::uint64_t fseed = spec.graph_seed ^ 0xcbf29ce484222325ULL;
+    for (const char ch : family) {
+      fseed = (fseed ^ static_cast<unsigned char>(ch)) * 0x100000001b3ULL;
+    }
+    Rng rng(splitmix64(fseed));
+    const auto graph = std::make_shared<const Digraph>(
+        GraphFamilyRegistry::instance().get(family).generate(spec.config, rng));
+    const StreamConfig sc = stream_for_family(family, spec.config,
+                                              spec.batches, spec.batch_size);
+    for (const std::string& stream : streams) {
+      std::uint64_t sseed = fseed;
+      for (const char ch : stream) {
+        sseed = (sseed ^ static_cast<unsigned char>(ch)) * 0x100000001b3ULL;
+      }
+      Rng srng(splitmix64(sseed));
+      const auto batches = std::make_shared<const std::vector<UpdateBatch>>(
+          make_update_stream(stream, *graph, sc, srng));
+      for (const std::string& solver : solvers) {
+        jobs.push_back(StreamJob{family, stream, solver, graph, batches});
+      }
+    }
+  }
+
+  unsigned workers = base_.num_threads();
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, jobs.size() > 0 ? jobs.size() : 1));
+
+  std::vector<StreamResult> results(jobs.size());
+  const auto run_one = [&](std::size_t i) {
+    const StreamJob& job = jobs[i];
+    StreamResult& out = results[i];
+    out.job_index = i;
+    out.family = job.family;
+    out.stream = job.stream;
+    out.solver = job.solver;
+    out.n = job.graph->size();
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      ExecutionContext ctx =
+          base_.fork(static_cast<std::uint64_t>(i) * 0x100000001b3ULL);
+      ctx.set_family(job.family);
+      if (workers > 1) ctx.kernel_options().config.num_threads = 1;
+      StreamSessionOptions options;
+      options.solver = job.solver;
+      options.dynamic.backend = spec.backend;
+      options.dynamic.with_paths = spec.with_paths;
+      options.label = job.family + "/" + job.stream + "/" + job.solver;
+      StreamSession session(*job.graph, ctx, std::move(options));
+      ++out.published_versions;
+
+      std::unique_ptr<DynamicApspSolver> oracle;
+      if (spec.verify && job.solver != "recompute") {
+        DynamicSolverOptions oracle_options;
+        oracle_options.backend = spec.backend;
+        oracle_options.with_paths = false;  // distances are what conformance compares
+        oracle = make_dynamic_solver("recompute", oracle_options);
+        oracle->reset(*job.graph, ctx);
+      }
+      for (const UpdateBatch& batch : *job.batches) {
+        session.apply(batch);
+        ++out.published_versions;
+        ++out.batches;
+        out.updates += session.last_stats().updates;
+        out.changed_arcs += session.last_stats().changed_arcs;
+        out.affected_sources += session.last_stats().affected_sources;
+        if (oracle) {
+          oracle->apply(batch, ctx);
+          if (!(oracle->distances() == session.solver().distances())) {
+            out.exact = false;
+          }
+        }
+      }
+      out.ok = true;
+    } catch (const std::exception& e) {
+      out.ok = false;
+      out.error = e.what();
+    }
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  };
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < jobs.size();
+             i = next.fetch_add(1)) {
+          run_one(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  return results;
+}
+
 std::vector<BatchResult> BatchRunner::run_kernels(const Digraph& g,
                                                   const std::string& solver,
                                                   std::vector<std::string> kernels) const {
@@ -185,6 +319,33 @@ std::vector<std::shared_ptr<const ApspSnapshot>> publish_scenarios(
         ApspSnapshot(*r.report, /*successor=*/{}, /*label=*/r.label)));
   }
   return pins;
+}
+
+std::string stream_scenarios_to_json(const std::vector<StreamResult>& results) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const StreamResult& r = results[i];
+    if (i > 0) out << ",";
+    out << "{\"family\":" << json_quote(r.family)
+        << ",\"stream\":" << json_quote(r.stream)
+        << ",\"solver\":" << json_quote(r.solver)
+        << ",\"ok\":" << (r.ok ? "true" : "false");
+    if (r.ok) {
+      out << ",\"n\":" << r.n << ",\"batches\":" << r.batches
+          << ",\"updates\":" << r.updates
+          << ",\"changed_arcs\":" << r.changed_arcs
+          << ",\"affected_sources\":" << r.affected_sources
+          << ",\"exact\":" << (r.exact ? "true" : "false")
+          << ",\"published_versions\":" << r.published_versions
+          << ",\"wall_ms\":" << r.wall_ms;
+    } else {
+      out << ",\"error\":" << json_quote(r.error);
+    }
+    out << "}";
+  }
+  out << "]";
+  return out.str();
 }
 
 std::string scenarios_to_json(const std::vector<BatchResult>& results) {

@@ -75,6 +75,57 @@ struct ScenarioSpec {
   std::uint64_t graph_seed = 1;
 };
 
+/// Declarative dynamic-scenario sweep: the cross product of graph
+/// families x update streams x dynamic solvers (the fifth registry axis;
+/// see stream/generators.hpp). Each job replays one generated update
+/// stream through a StreamSession -- republishing a snapshot version per
+/// batch into the base context's shared SnapshotStore -- and, when
+/// `verify` is set, checks the solver's distances against a lockstep
+/// "recompute" oracle after every batch.
+struct StreamScenarioSpec {
+  std::vector<std::string> families;  // GraphFamilyRegistry keys ([] = all)
+  std::vector<std::string> streams;   // UpdateStreamRegistry keys ([] = all)
+  std::vector<std::string> solvers;   // DynamicSolverRegistry keys ([] = all)
+  /// Generation knobs for the starting graphs. wmin must be >= 0: dynamic
+  /// solvers require non-negative weights (stream/dynamic_solver.hpp).
+  FamilyConfig config;
+  /// Stream shape; per-family weight ranges and hub counts are derived via
+  /// stream_for_family, keeping streams family-aware like workloads.
+  std::uint32_t batches = 8;
+  std::uint32_t batch_size = 16;
+  /// Static backend behind "recompute" (solver jobs and the verify oracle).
+  std::string backend = "dijkstra";
+  /// Family graphs and streams are drawn from (graph_seed, family name[,
+  /// stream name]), so adding or reordering axes never changes another
+  /// job's input.
+  std::uint64_t graph_seed = 1;
+  /// Maintain witness successors so published snapshots answer paths.
+  bool with_paths = true;
+  /// Check distances against the recompute oracle after every batch
+  /// (skipped for jobs whose solver is itself "recompute").
+  bool verify = true;
+};
+
+/// Outcome of one stream-replay job.
+struct StreamResult {
+  std::size_t job_index = 0;
+  std::string family;
+  std::string stream;  // UpdateStreamRegistry key
+  std::string solver;  // DynamicSolverRegistry key
+  bool ok = false;
+  std::string error;
+  std::uint32_t n = 0;
+  std::uint64_t batches = 0;           // batches replayed
+  std::uint64_t updates = 0;           // raw updates across all batches
+  std::uint64_t changed_arcs = 0;      // net arc changes across all batches
+  std::uint64_t affected_sources = 0;  // rows re-solved across all batches
+  /// Distances matched the recompute oracle after every batch (true when
+  /// verification was skipped).
+  bool exact = true;
+  std::uint64_t published_versions = 0;  // snapshots published (initial + 1/batch)
+  double wall_ms = 0.0;                  // whole replay, initial solve included
+};
+
 class BatchRunner {
  public:
   /// Runs against `registry`, deriving each job's ExecutionContext from
@@ -121,6 +172,17 @@ class BatchRunner {
   /// compute.
   std::vector<BatchResult> run_scenarios(const ScenarioSpec& spec) const;
 
+  /// The dynamic scenario matrix: generates one starting graph per family
+  /// (same (graph_seed, family) keying as run_scenarios) and one update
+  /// stream per (family, stream) -- shared by every solver so the axis
+  /// stays comparable -- then replays every (family, stream, solver)
+  /// combination as one job on the worker pool. Each job's StreamSession
+  /// publishes into the base context's shared SnapshotStore (one version
+  /// per batch plus the initial solve); with `spec.verify`, distances are
+  /// checked against a lockstep recompute oracle after every batch and
+  /// any mismatch clears the result's `exact` flag.
+  std::vector<StreamResult> run_streams(const StreamScenarioSpec& spec) const;
+
   const ExecutionContext& base_context() const { return base_; }
 
   /// Aggregate ledger over every successful job this runner has executed.
@@ -155,5 +217,9 @@ class ApspSnapshot;
 /// witness paths are the province of ApspSolver::serve.
 std::vector<std::shared_ptr<const ApspSnapshot>> publish_scenarios(
     const std::vector<BatchResult>& results, SnapshotStore& store);
+
+/// One JSON array over a stream sweep (the export format of
+/// bench_dynamic_apsp and the dynamic CI artifact).
+std::string stream_scenarios_to_json(const std::vector<StreamResult>& results);
 
 }  // namespace qclique

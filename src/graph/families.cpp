@@ -538,4 +538,27 @@ WeightedGraph make_family_weighted(const std::string& family,
   return GraphFamilyRegistry::instance().get(family).generate_weighted(config, rng);
 }
 
+std::vector<std::uint32_t> structural_hubs(const Digraph& g, std::uint32_t k) {
+  const std::uint32_t n = g.size();
+  if (k > n) k = n;
+  // Undirected degree: count each adjacent pair once, whichever direction.
+  std::vector<std::uint64_t> degree(n, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      if (g.has_arc(u, v) || g.has_arc(v, u)) {
+        ++degree[u];
+        ++degree[v];
+      }
+    }
+  }
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t v = 0; v < n; ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return degree[a] > degree[b];
+                   });
+  order.resize(k);
+  return order;
+}
+
 }  // namespace qclique

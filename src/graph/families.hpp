@@ -186,4 +186,13 @@ Digraph make_family_graph(const std::string& family, const FamilyConfig& config,
 WeightedGraph make_family_weighted(const std::string& family,
                                    const FamilyConfig& config, Rng& rng);
 
+/// The k highest-degree vertices of g (undirected degree: out + in arcs,
+/// arc pairs counted once), ties broken toward lower index; k is clamped
+/// to [0, n]. This is the structural notion of "hub" shared by the
+/// lambda-skew family and the hub-targeted update streams
+/// (stream/generators.hpp): on power-law or lambda-skew graphs it finds
+/// the attachment hubs, on flat families it degenerates to the first k
+/// vertices of maximum degree.
+std::vector<std::uint32_t> structural_hubs(const Digraph& g, std::uint32_t k);
+
 }  // namespace qclique

@@ -1,0 +1,439 @@
+#include "stream/dynamic_solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "api/registry.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace qclique {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+constexpr std::uint32_t kNoHop = std::numeric_limits<std::uint32_t>::max();
+
+struct OutArc {
+  std::uint32_t v;
+  std::int64_t w;
+};
+
+std::vector<std::vector<OutArc>> build_adjacency(const Digraph& g) {
+  const std::uint32_t n = g.size();
+  std::vector<std::vector<OutArc>> adj(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u != v && g.has_arc(u, v)) adj[u].push_back({v, g.weight(u, v)});
+    }
+  }
+  return adj;
+}
+
+/// Single-source Dijkstra over adjacency out-lists, writing the distance
+/// row in place. When `first` is non-null it receives the first hop of a
+/// shortest s->v path per target (kNoHop for v == s or unreachable).
+/// Deterministic: the lazy-deletion heap pops ties in vertex order and
+/// relaxations are strict.
+void dijkstra_row(const std::vector<std::vector<OutArc>>& adj, std::uint32_t s,
+                  std::int64_t* dist, std::uint32_t* first) {
+  const auto n = static_cast<std::uint32_t>(adj.size());
+  std::fill(dist, dist + n, kPlusInf);
+  if (first != nullptr) std::fill(first, first + n, kNoHop);
+  dist[s] = 0;
+  using Item = std::pair<std::int64_t, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  heap.push({0, s});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;  // stale heap entry
+    for (const OutArc& a : adj[u]) {
+      const std::int64_t nd = d + a.w;
+      if (nd < dist[a.v]) {
+        dist[a.v] = nd;
+        if (first != nullptr) first[a.v] = (u == s) ? a.v : first[u];
+        heap.push({nd, a.v});
+      }
+    }
+  }
+}
+
+/// Hop-count successor construction for graphs with zero-weight arcs: the
+/// local twin of core/paths.cpp build_successors (same strictly-decreasing
+/// hop invariant, no simulated network).
+std::vector<std::uint32_t> hop_successors(const Digraph& g,
+                                          const DistMatrix& dist) {
+  const std::uint32_t n = g.size();
+  const auto adj = build_adjacency(g);
+  std::vector<std::uint32_t> hops(static_cast<std::size_t>(n) * n, kNoHop);
+  for (std::uint32_t v = 0; v < n; ++v)
+    hops[static_cast<std::size_t>(v) * n + v] = 0;
+  for (std::uint32_t sweep = 0; sweep < n; ++sweep) {
+    bool changed = false;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (u == v || is_plus_inf(dist.at(u, v))) continue;
+        for (const OutArc& a : adj[u]) {
+          if (sat_add(a.w, dist.at(a.v, v)) != dist.at(u, v)) continue;
+          const std::uint32_t hx = hops[static_cast<std::size_t>(a.v) * n + v];
+          if (hx == kNoHop) continue;
+          auto& hu = hops[static_cast<std::size_t>(u) * n + v];
+          if (hu == kNoHop || hx + 1 < hu) {
+            hu = hx + 1;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  std::vector<std::uint32_t> succ(static_cast<std::size_t>(n) * n, kNoHop);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u == v || is_plus_inf(dist.at(u, v))) continue;
+      const std::uint32_t hu = hops[static_cast<std::size_t>(u) * n + v];
+      for (const OutArc& a : adj[u]) {
+        if (sat_add(a.w, dist.at(a.v, v)) != dist.at(u, v)) continue;
+        const std::uint32_t hx = hops[static_cast<std::size_t>(a.v) * n + v];
+        if (hu != kNoHop && hx != kNoHop && hx + 1 == hu) {
+          succ[static_cast<std::size_t>(u) * n + v] = a.v;
+          break;
+        }
+      }
+      QCLIQUE_CHECK(succ[static_cast<std::size_t>(u) * n + v] != kNoHop,
+                    "no relaxing neighbor: dist is not the distance matrix");
+    }
+  }
+  return succ;
+}
+
+bool has_nonpositive_arc(const Digraph& g) {
+  const std::uint32_t n = g.size();
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u != v && g.has_arc(u, v) && g.weight(u, v) <= 0) return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// "recompute": apply the batch, re-run a static backend from scratch.
+// ---------------------------------------------------------------------------
+
+class RecomputeSolver final : public DynamicApspSolver {
+ public:
+  explicit RecomputeSolver(DynamicSolverOptions options)
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "recompute"; }
+
+  void reset(const Digraph& g, ExecutionContext& ctx) override {
+    g_ = g;
+    solve_full(ctx);
+  }
+
+  RepairStats apply(const UpdateBatch& batch, ExecutionContext& ctx) override {
+    const auto t0 = Clock::now();
+    RepairStats stats;
+    stats.updates = batch.size();
+    // Validates every update before the first mutation.
+    stats.changed_arcs = canonical_changes(g_, batch).size();
+    apply_batch(g_, batch);
+    const auto t1 = Clock::now();
+    solve_full(ctx);
+    stats.affected_sources = g_.size();
+    stats.repair_ms = ms_since(t1);
+    stats.wall_ms = ms_since(t0);
+    return stats;
+  }
+
+  const Digraph& graph() const override { return g_; }
+  const DistMatrix& distances() const override { return d_; }
+  const std::vector<std::uint32_t>& successors() const override {
+    return succ_;
+  }
+
+ private:
+  void solve_full(ExecutionContext& ctx) {
+    ApspReport report =
+        SolverRegistry::instance().get(options_.backend).solve(g_, ctx);
+    d_ = std::move(report.distances);
+    if (options_.with_paths) {
+      succ_ = local_successors(g_, d_);
+    } else {
+      succ_.clear();
+    }
+  }
+
+  DynamicSolverOptions options_;
+  Digraph g_{1};
+  DistMatrix d_{1};  // placeholder until reset() (DistMatrix needs n >= 1)
+  std::vector<std::uint32_t> succ_;
+};
+
+// ---------------------------------------------------------------------------
+// "incremental": affected-source repair (see header comment for the
+// classification contract and its completeness argument).
+// ---------------------------------------------------------------------------
+
+class IncrementalSolver final : public DynamicApspSolver {
+ public:
+  explicit IncrementalSolver(DynamicSolverOptions options)
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "incremental"; }
+
+  void reset(const Digraph& g, ExecutionContext& ctx) override {
+    (void)ctx;
+    QCLIQUE_CHECK(!g.has_negative_arc(),
+                  "incremental dynamic solver requires non-negative weights");
+    g_ = g;
+    adj_ = build_adjacency(g_);
+    zero_arcs_ = 0;
+    for (const auto& list : adj_) {
+      for (const OutArc& a : list) {
+        if (a.w == 0) ++zero_arcs_;
+      }
+    }
+    const std::uint32_t n = g_.size();
+    d_ = DistMatrix(n);
+    const bool row_hops = options_.with_paths && zero_arcs_ == 0;
+    succ_.assign(options_.with_paths ? static_cast<std::size_t>(n) * n : 0,
+                 kNoHop);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      dijkstra_row(adj_, s, d_.row_ptr(s),
+                   row_hops ? &succ_[static_cast<std::size_t>(s) * n] : nullptr);
+    }
+    if (options_.with_paths && zero_arcs_ > 0) {
+      succ_ = local_successors(g_, d_);
+    }
+  }
+
+  RepairStats apply(const UpdateBatch& batch, ExecutionContext& ctx) override {
+    (void)ctx;
+    const auto t0 = Clock::now();
+    const std::uint32_t n = g_.size();
+    RepairStats stats;
+    stats.updates = batch.size();
+    const std::vector<ArcChange> changes = canonical_changes(g_, batch);
+    for (const ArcChange& c : changes) {
+      QCLIQUE_CHECK(is_plus_inf(c.after) || c.after >= 0,
+                    "incremental dynamic solver requires non-negative weights");
+    }
+    stats.changed_arcs = changes.size();
+    if (changes.empty()) {
+      stats.wall_ms = ms_since(t0);
+      return stats;
+    }
+
+    // Classify every source against the OLD distances: a decreased arc
+    // (u, v, w') affects s iff it would relax (d(s,u) + w' < d(s,v)); an
+    // increased or deleted arc affects s iff it was tight (on some old
+    // shortest s-path: d(s,u) + w == d(s,v)). Rows flagged by neither test
+    // provably keep exact distances and valid successors.
+    std::vector<char> affected(n, 0);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const std::int64_t* row = d_.row_ptr(s);
+      for (const ArcChange& c : changes) {
+        if (is_plus_inf(row[c.u])) continue;  // s cannot reach the arc
+        if (c.after < c.before) {
+          if (row[c.u] + c.after < row[c.v]) {
+            affected[s] = 1;
+            break;
+          }
+        } else {
+          if (sat_add(row[c.u], c.before) == row[c.v]) {
+            affected[s] = 1;
+            break;
+          }
+        }
+      }
+    }
+    stats.classify_ms = ms_since(t0);
+
+    // Fold the net changes into the graph and the adjacency mirror.
+    for (const ArcChange& c : changes) {
+      if (!is_plus_inf(c.before) && c.before == 0) --zero_arcs_;
+      if (!is_plus_inf(c.after) && c.after == 0) ++zero_arcs_;
+      auto& list = adj_[c.u];
+      const auto pos = std::lower_bound(
+          list.begin(), list.end(), c.v,
+          [](const OutArc& a, std::uint32_t key) { return a.v < key; });
+      if (is_plus_inf(c.after)) {
+        g_.remove_arc(c.u, c.v);
+        list.erase(pos);
+      } else if (pos != list.end() && pos->v == c.v) {
+        g_.set_arc(c.u, c.v, c.after);
+        pos->w = c.after;
+      } else {
+        g_.set_arc(c.u, c.v, c.after);
+        list.insert(pos, {c.v, c.after});
+      }
+    }
+
+    const auto t1 = Clock::now();
+    const bool row_hops = options_.with_paths && zero_arcs_ == 0;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (!affected[s]) continue;
+      ++stats.affected_sources;
+      dijkstra_row(adj_, s, d_.row_ptr(s),
+                   row_hops ? &succ_[static_cast<std::size_t>(s) * n] : nullptr);
+    }
+    if (options_.with_paths && zero_arcs_ > 0 && stats.affected_sources > 0) {
+      // Zero-weight plateaus make per-row witness choices unsafe to mix;
+      // rebuild the whole matrix hop-consistently (see local_successors).
+      succ_ = local_successors(g_, d_);
+    }
+    stats.repair_ms = ms_since(t1);
+    stats.wall_ms = ms_since(t0);
+    return stats;
+  }
+
+  const Digraph& graph() const override { return g_; }
+  const DistMatrix& distances() const override { return d_; }
+  const std::vector<std::uint32_t>& successors() const override {
+    return succ_;
+  }
+
+ private:
+  DynamicSolverOptions options_;
+  Digraph g_{1};
+  DistMatrix d_{1};  // placeholder until reset() (DistMatrix needs n >= 1)
+  std::vector<std::uint32_t> succ_;
+  std::vector<std::vector<OutArc>> adj_;  // sorted out-lists mirroring g_
+  std::uint64_t zero_arcs_ = 0;           // arcs with weight exactly 0
+};
+
+class RecomputeFactory final : public DynamicSolverFactory {
+ public:
+  std::string name() const override { return "recompute"; }
+  std::string description() const override {
+    return "applies the batch and re-runs a static backend from scratch "
+           "(correctness oracle / speedup baseline)";
+  }
+  std::unique_ptr<DynamicApspSolver> create(
+      const DynamicSolverOptions& options) const override {
+    return std::make_unique<RecomputeSolver>(options);
+  }
+};
+
+class IncrementalFactory final : public DynamicSolverFactory {
+ public:
+  std::string name() const override { return "incremental"; }
+  std::string description() const override {
+    return "affected-source repair: classifies net arc changes against the "
+           "current distances, re-solves only flagged rows";
+  }
+  std::unique_ptr<DynamicApspSolver> create(
+      const DynamicSolverOptions& options) const override {
+    return std::make_unique<IncrementalSolver>(options);
+  }
+};
+
+}  // namespace
+
+DynamicSolverRegistry& DynamicSolverRegistry::instance() {
+  // Lazily registered builtins, same reason as SolverRegistry: static
+  // linking would dead-strip a self-registration TU.
+  static DynamicSolverRegistry* global = [] {
+    auto* r = new DynamicSolverRegistry();
+    register_builtin_dynamic_solvers(*r);
+    return r;
+  }();
+  return *global;
+}
+
+void DynamicSolverRegistry::add(std::unique_ptr<DynamicSolverFactory> factory) {
+  QCLIQUE_CHECK(factory != nullptr, "dynamic registry: null factory");
+  const std::string name = factory->name();
+  QCLIQUE_CHECK(!name.empty(), "dynamic registry: factory with empty name");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto pos = std::lower_bound(
+      factories_.begin(), factories_.end(), name,
+      [](const auto& f, const std::string& key) { return f->name() < key; });
+  QCLIQUE_CHECK(pos == factories_.end() || (*pos)->name() != name,
+                "dynamic registry: duplicate factory name '" + name + "'");
+  factories_.insert(pos, std::move(factory));
+}
+
+bool DynamicSolverRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(factories_.begin(), factories_.end(),
+                     [&](const auto& f) { return f->name() == name; });
+}
+
+const DynamicSolverFactory& DynamicSolverRegistry::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& f : factories_) {
+    if (f->name() == name) return *f;
+  }
+  std::string known;
+  for (const auto& f : factories_) {
+    if (!known.empty()) known += ", ";
+    known += f->name();
+  }
+  throw SimulationError("dynamic registry: unknown solver '" + name +
+                        "' (known: " + known + ")");
+}
+
+std::vector<std::string> DynamicSolverRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& f : factories_) out.push_back(f->name());
+  return out;
+}
+
+std::size_t DynamicSolverRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.size();
+}
+
+void register_builtin_dynamic_solvers(DynamicSolverRegistry& registry) {
+  registry.add(std::make_unique<RecomputeFactory>());
+  registry.add(std::make_unique<IncrementalFactory>());
+}
+
+std::unique_ptr<DynamicApspSolver> make_dynamic_solver(
+    const std::string& name, const DynamicSolverOptions& options) {
+  return DynamicSolverRegistry::instance().get(name).create(options);
+}
+
+std::vector<std::uint32_t> local_successors(const Digraph& g,
+                                            const DistMatrix& dist) {
+  const std::uint32_t n = g.size();
+  QCLIQUE_CHECK(dist.size() == n, "local_successors: size mismatch");
+  if (has_nonpositive_arc(g)) return hop_successors(g, dist);
+  // Strictly positive weights: any tight neighbor strictly decreases the
+  // remaining distance, so the chase terminates whichever tight arc each
+  // row picks. Take the smallest-index one (deterministic).
+  const auto adj = build_adjacency(g);
+  std::vector<std::uint32_t> succ(static_cast<std::size_t>(n) * n, kNoHop);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u == v || is_plus_inf(dist.at(u, v))) continue;
+      for (const OutArc& a : adj[u]) {
+        if (sat_add(a.w, dist.at(a.v, v)) == dist.at(u, v)) {
+          succ[static_cast<std::size_t>(u) * n + v] = a.v;
+          break;
+        }
+      }
+      QCLIQUE_CHECK(succ[static_cast<std::size_t>(u) * n + v] != kNoHop,
+                    "no relaxing neighbor: dist is not the distance matrix");
+    }
+  }
+  return succ;
+}
+
+}  // namespace qclique

@@ -1,0 +1,189 @@
+// Dynamic APSP solvers: distance maintenance under update batches.
+//
+// A static ApspSolver answers "what are the distances of this graph"; a
+// DynamicApspSolver answers "the graph changed -- what are the distances
+// *now*", amortizing work across batches. Unlike the stateless static
+// backends, a dynamic solver is deliberately stateful: it owns the evolving
+// graph, the current distance matrix, and (optionally) the successor
+// matrix, because the whole point of incremental maintenance is reusing
+// that state. One instance therefore serves one stream; spawn one per
+// concurrent stream.
+//
+// Two builtins live in the DynamicSolverRegistry:
+//
+//   * "recompute"   -- applies the batch and re-runs a static backend
+//                      (DynamicSolverOptions::backend, any SolverRegistry
+//                      name) from scratch. Trivially correct; the oracle
+//                      every other dynamic solver is conformance-tested
+//                      against, and the baseline the >= 5x bench gate is
+//                      measured over.
+//   * "incremental" -- affected-source repair. Classifies the batch's net
+//                      arc changes (stream/update.hpp canonical_changes)
+//                      against the *current* distance matrix to find the
+//                      sources whose rows could change, then reruns a
+//                      single-source Dijkstra only from those:
+//                        - weight decrease / insert (w' < w) affects s iff
+//                          d(s,u) + w' < d(s,v) -- the new arc would relax
+//                          something;
+//                        - weight increase / delete (w' > w) affects s iff
+//                          d(s,u) + w == d(s,v) -- the old arc was *tight*,
+//                          i.e. on some shortest s-path (any path that got
+//                          longer makes its changed arc tight, by the
+//                          subpath-optimality of shortest paths).
+//                      Both tests are complete (every row that changes is
+//                      flagged; mixed batches decompose into a
+//                      decrease-only then increase-only step, and the
+//                      union of both tests covers each step), so
+//                      unflagged rows keep exact distances AND valid
+//                      witness successors -- a flagged-free row's
+//                      successor arc stays tight because any change
+//                      behind it would itself have flagged the row.
+//                      Distances after apply() are bit-identical to a
+//                      from-scratch solve; only wall time differs.
+//
+// Weight contract: the incremental solver requires non-negative weights
+// (Dijkstra repair), enforced at reset() and per batch. Path maintenance
+// (with_paths) is cheap per-row when all weights are strictly positive;
+// graphs containing zero-weight arcs fall back to a full hop-consistent
+// successor rebuild per batch (local_successors) because mixing per-row
+// witness choices across zero-weight plateaus can form successor cycles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/execution_context.hpp"
+#include "graph/digraph.hpp"
+#include "matrix/dist_matrix.hpp"
+#include "stream/update.hpp"
+
+namespace qclique {
+
+/// Construction knobs for dynamic solvers (the analogue of a static
+/// backend's capabilities, chosen per instance).
+struct DynamicSolverOptions {
+  /// Static backend "recompute" re-runs per batch (SolverRegistry name).
+  /// "dijkstra" -- the fastest centralized oracle -- keeps the recompute
+  /// baseline honest for the incremental speedup gate.
+  std::string backend = "dijkstra";
+  /// Maintain the witness successor matrix so served snapshots can answer
+  /// path queries.
+  bool with_paths = true;
+};
+
+/// What one apply() call did and what it cost (the per-batch analogue of
+/// ApspReport's counters).
+struct RepairStats {
+  std::uint64_t updates = 0;           // raw updates in the batch
+  std::uint64_t changed_arcs = 0;      // net arc changes after collapsing
+  std::uint64_t affected_sources = 0;  // rows re-solved (n for recompute)
+  double classify_ms = 0.0;            // affected-source classification
+  double repair_ms = 0.0;              // row re-solves + successor repair
+  double wall_ms = 0.0;                // whole apply() call
+};
+
+/// Abstract dynamic APSP solver. Stateful by design (see header comment):
+/// reset() installs a starting graph and solves it from scratch, apply()
+/// advances the state by one batch. Accessors expose the current state;
+/// they are valid after reset() and stay bit-exact mirrors of the evolving
+/// graph after every apply().
+class DynamicApspSolver {
+ public:
+  virtual ~DynamicApspSolver() = default;
+
+  /// Registry key, e.g. "incremental".
+  virtual std::string name() const = 0;
+
+  /// Installs `g` as the current graph and computes its distances (and
+  /// successors, when configured with_paths) from scratch.
+  virtual void reset(const Digraph& g, ExecutionContext& ctx) = 0;
+
+  /// Applies one batch to the current graph and repairs distances /
+  /// successors. Returns what it did; throws SimulationError (state
+  /// unchanged) on invalid updates or weight-contract violations.
+  virtual RepairStats apply(const UpdateBatch& batch, ExecutionContext& ctx) = 0;
+
+  /// The current graph (all applied batches folded in).
+  virtual const Digraph& graph() const = 0;
+
+  /// Exact distances of graph().
+  virtual const DistMatrix& distances() const = 0;
+
+  /// Witness successor matrix of graph() (n*n, UINT32_MAX = no hop);
+  /// empty when constructed with with_paths = false.
+  virtual const std::vector<std::uint32_t>& successors() const = 0;
+};
+
+/// Builds instances of one dynamic-solver kind. Factories are what the
+/// registry stores, because solver instances are stateful and per-stream.
+class DynamicSolverFactory {
+ public:
+  virtual ~DynamicSolverFactory() = default;
+
+  /// Registry key of the solvers this factory builds.
+  virtual std::string name() const = 0;
+
+  /// One-line human description (shown by harness listings).
+  virtual std::string description() const = 0;
+
+  virtual std::unique_ptr<DynamicApspSolver> create(
+      const DynamicSolverOptions& options) const = 0;
+};
+
+/// Name -> dynamic-solver-factory registry, same contract as the other
+/// registry axes: mutex-guarded registration, stable references.
+class DynamicSolverRegistry {
+ public:
+  /// The process-wide registry, with the built-in factories registered.
+  static DynamicSolverRegistry& instance();
+
+  /// An empty registry (tests; embedding independent registries).
+  DynamicSolverRegistry() = default;
+
+  DynamicSolverRegistry(const DynamicSolverRegistry&) = delete;
+  DynamicSolverRegistry& operator=(const DynamicSolverRegistry&) = delete;
+
+  /// Registers a factory under factory->name(). Throws SimulationError on
+  /// a duplicate name or a null/empty-named factory.
+  void add(std::unique_ptr<DynamicSolverFactory> factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Looks up a factory; throws SimulationError naming the known factories
+  /// when `name` is not registered.
+  const DynamicSolverFactory& get(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<DynamicSolverFactory>> factories_;  // sorted
+};
+
+/// Registers the built-in factories ("recompute", "incremental"). Called
+/// once by DynamicSolverRegistry::instance(); exposed so tests can build
+/// private registries with the same population.
+void register_builtin_dynamic_solvers(DynamicSolverRegistry& registry);
+
+/// Convenience: one solver instance from the process-wide registry.
+std::unique_ptr<DynamicApspSolver> make_dynamic_solver(
+    const std::string& name, const DynamicSolverOptions& options = {});
+
+/// Centralized witness-successor construction: succ[u*n+v] = a tight
+/// out-neighbor of u toward v (UINT32_MAX when unreachable or u == v),
+/// chosen so successor chases always terminate. With strictly positive
+/// weights any tight neighbor works (distance strictly decreases along the
+/// chase) and the scan is one cheap pass; zero-weight arcs switch to the
+/// hop-count construction of core/paths.hpp (minimum-hop shortest paths,
+/// hop strictly decreasing) computed locally. `dist` must be the exact
+/// distance matrix of g.
+std::vector<std::uint32_t> local_successors(const Digraph& g,
+                                            const DistMatrix& dist);
+
+}  // namespace qclique

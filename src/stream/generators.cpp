@@ -1,0 +1,267 @@
+#include "stream/generators.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+
+namespace {
+
+struct Arc {
+  std::uint32_t u;
+  std::uint32_t v;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+  friend auto operator<=>(const Arc&, const Arc&) = default;
+};
+
+std::vector<Arc> present_arcs(const Digraph& g) {
+  std::vector<Arc> arcs;
+  arcs.reserve(g.num_arcs());
+  const std::uint32_t n = g.size();
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u != v && g.has_arc(u, v)) arcs.push_back({u, v});
+    }
+  }
+  return arcs;
+}
+
+class UniformReweightStream final : public UpdateStreamGenerator {
+ public:
+  std::string name() const override { return "uniform-reweight"; }
+  std::string description() const override {
+    return "re-draws weights of uniformly chosen existing arcs; structure "
+           "fixed";
+  }
+
+  std::vector<UpdateBatch> generate(const Digraph& start,
+                                    const StreamConfig& config,
+                                    Rng& rng) const override {
+    // Reweights never change structure, so the arc list is stable across
+    // the whole stream.
+    const std::vector<Arc> arcs = present_arcs(start);
+    std::vector<UpdateBatch> stream;
+    stream.reserve(config.batches);
+    for (std::uint32_t b = 0; b < config.batches; ++b) {
+      UpdateBatch batch;
+      batch.seq = b;
+      batch.stream = name();
+      const std::size_t k =
+          std::min<std::size_t>(config.batch_size, arcs.size());
+      if (k > 0) {
+        for (std::size_t i : rng.sample_without_replacement(arcs.size(), k)) {
+          batch.updates.push_back({UpdateKind::kReweight, arcs[i].u, arcs[i].v,
+                                   rng.uniform_i64(config.wmin, config.wmax)});
+        }
+      }
+      stream.push_back(std::move(batch));
+    }
+    return stream;
+  }
+};
+
+class HubDeleteStream final : public UpdateStreamGenerator {
+ public:
+  std::string name() const override { return "hub-delete"; }
+  std::string description() const override {
+    return "alternately deletes hub-incident arcs and re-inserts them "
+           "(disconnect / reconnect churn)";
+  }
+
+  std::vector<UpdateBatch> generate(const Digraph& start,
+                                    const StreamConfig& config,
+                                    Rng& rng) const override {
+    const std::uint32_t n = start.size();
+    Digraph scratch = start;
+    const std::uint32_t hub_count =
+        std::max<std::uint32_t>(1, std::min(config.hubs, n));
+    const std::vector<std::uint32_t> hubs = structural_hubs(start, hub_count);
+    std::vector<char> is_hub(n, 0);
+    for (std::uint32_t h : hubs) is_hub[h] = 1;
+
+    std::vector<UpdateBatch> stream;
+    stream.reserve(config.batches);
+    std::vector<Arc> pending;  // deleted last batch, to re-insert next
+    for (std::uint32_t b = 0; b < config.batches; ++b) {
+      UpdateBatch batch;
+      batch.seq = b;
+      batch.stream = name();
+      if (b % 2 == 0) {
+        // Delete phase: cut up to batch_size arcs touching a hub.
+        std::vector<Arc> candidates;
+        for (const Arc& a : present_arcs(scratch)) {
+          if (is_hub[a.u] || is_hub[a.v]) candidates.push_back(a);
+        }
+        const std::size_t k =
+            std::min<std::size_t>(config.batch_size, candidates.size());
+        pending.clear();
+        if (k > 0) {
+          for (std::size_t i :
+               rng.sample_without_replacement(candidates.size(), k)) {
+            pending.push_back(candidates[i]);
+          }
+          std::sort(pending.begin(), pending.end());
+          for (const Arc& a : pending) {
+            batch.updates.push_back({UpdateKind::kDelete, a.u, a.v, 0});
+          }
+        }
+      } else {
+        // Reconnect phase: bring last batch's arcs back with fresh weights.
+        for (const Arc& a : pending) {
+          batch.updates.push_back({UpdateKind::kInsert, a.u, a.v,
+                                   rng.uniform_i64(config.wmin, config.wmax)});
+        }
+        pending.clear();
+      }
+      apply_batch(scratch, batch);
+      stream.push_back(std::move(batch));
+    }
+    return stream;
+  }
+};
+
+class GrowthInsertStream final : public UpdateStreamGenerator {
+ public:
+  std::string name() const override { return "growth-insert"; }
+  std::string description() const override {
+    return "inserts fresh arcs between non-adjacent vertices (densifying "
+           "ingest)";
+  }
+
+  std::vector<UpdateBatch> generate(const Digraph& start,
+                                    const StreamConfig& config,
+                                    Rng& rng) const override {
+    const std::uint32_t n = start.size();
+    Digraph scratch = start;
+    std::vector<UpdateBatch> stream;
+    stream.reserve(config.batches);
+    for (std::uint32_t b = 0; b < config.batches; ++b) {
+      UpdateBatch batch;
+      batch.seq = b;
+      batch.stream = name();
+      if (n >= 2) {
+        // Rejection-sample absent arcs; near-complete graphs exhaust the
+        // attempt budget and yield a short batch rather than spinning.
+        std::uint32_t found = 0;
+        std::uint64_t attempts =
+            32ULL * config.batch_size + 64;
+        while (found < config.batch_size && attempts-- > 0) {
+          const auto u = static_cast<std::uint32_t>(rng.uniform_u64(n));
+          const auto v = static_cast<std::uint32_t>(rng.uniform_u64(n));
+          if (u == v || scratch.has_arc(u, v)) continue;
+          const std::int64_t w = rng.uniform_i64(config.wmin, config.wmax);
+          scratch.set_arc(u, v, w);
+          batch.updates.push_back({UpdateKind::kInsert, u, v, w});
+          ++found;
+        }
+      }
+      stream.push_back(std::move(batch));
+    }
+    return stream;
+  }
+};
+
+}  // namespace
+
+UpdateStreamRegistry& UpdateStreamRegistry::instance() {
+  // Lazily registered builtins, same reason as SolverRegistry: static
+  // linking would dead-strip a self-registration TU.
+  static UpdateStreamRegistry* global = [] {
+    auto* r = new UpdateStreamRegistry();
+    register_builtin_streams(*r);
+    return r;
+  }();
+  return *global;
+}
+
+void UpdateStreamRegistry::add(std::unique_ptr<UpdateStreamGenerator> generator) {
+  QCLIQUE_CHECK(generator != nullptr, "stream registry: null generator");
+  const std::string name = generator->name();
+  QCLIQUE_CHECK(!name.empty(), "stream registry: generator with empty name");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto pos = std::lower_bound(
+      generators_.begin(), generators_.end(), name,
+      [](const auto& g, const std::string& key) { return g->name() < key; });
+  QCLIQUE_CHECK(pos == generators_.end() || (*pos)->name() != name,
+                "stream registry: duplicate generator name '" + name + "'");
+  generators_.insert(pos, std::move(generator));
+}
+
+bool UpdateStreamRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(generators_.begin(), generators_.end(),
+                     [&](const auto& g) { return g->name() == name; });
+}
+
+const UpdateStreamGenerator& UpdateStreamRegistry::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& g : generators_) {
+    if (g->name() == name) return *g;
+  }
+  std::string known;
+  for (const auto& g : generators_) {
+    if (!known.empty()) known += ", ";
+    known += g->name();
+  }
+  throw SimulationError("stream registry: unknown generator '" + name +
+                        "' (known: " + known + ")");
+}
+
+std::vector<std::string> UpdateStreamRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(generators_.size());
+  for (const auto& g : generators_) out.push_back(g->name());
+  return out;
+}
+
+std::size_t UpdateStreamRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generators_.size();
+}
+
+void register_builtin_streams(UpdateStreamRegistry& registry) {
+  registry.add(std::make_unique<UniformReweightStream>());
+  registry.add(std::make_unique<HubDeleteStream>());
+  registry.add(std::make_unique<GrowthInsertStream>());
+}
+
+std::vector<UpdateBatch> make_update_stream(const std::string& stream,
+                                            const Digraph& start,
+                                            const StreamConfig& config,
+                                            Rng& rng) {
+  return UpdateStreamRegistry::instance().get(stream).generate(start, config,
+                                                               rng);
+}
+
+StreamConfig stream_for_family(const std::string& family,
+                               const FamilyConfig& config,
+                               std::uint32_t batches,
+                               std::uint32_t batch_size) {
+  StreamConfig sc;
+  sc.batches = batches;
+  sc.batch_size = batch_size;
+  // Dynamic solvers require non-negative weights; track the family's range
+  // clamped the same way symmetric families already clamp digraph weights.
+  sc.wmin = std::max<std::int64_t>(0, config.wmin);
+  sc.wmax = std::max(sc.wmin, config.wmax);
+  if (family == "lambda-skew") {
+    sc.hubs = config.hubs;
+  } else if (family == "clustered" || family == "ring-of-cliques") {
+    // One hub per community stresses the bridges between blocks.
+    sc.hubs = config.clusters;
+  } else if (family == "power-law") {
+    sc.hubs = config.degree;
+  } else {
+    sc.hubs = 2;
+  }
+  sc.hubs = std::max<std::uint32_t>(
+      1, std::min(sc.hubs, std::max<std::uint32_t>(1, config.n)));
+  return sc;
+}
+
+}  // namespace qclique

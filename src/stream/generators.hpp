@@ -1,0 +1,136 @@
+// Deterministic update-stream generators: the fifth scenario axis.
+//
+// A static scenario is (family, solver, topology, kernel); a dynamic one
+// adds *how the graph churns*. An UpdateStreamGenerator turns a starting
+// graph plus a StreamConfig and an Rng into a reproducible sequence of
+// UpdateBatches, and the UpdateStreamRegistry names them so harnesses can
+// sweep churn patterns exactly like they sweep families. Built-ins:
+//
+//   * "uniform-reweight" -- every batch re-draws the weights of uniformly
+//                           chosen existing arcs (structure fixed, costs
+//                           moving: the classic traffic-weight churn);
+//   * "hub-delete"       -- batches alternately delete arcs incident to
+//                           the graph's structural hubs and re-insert
+//                           them, deliberately disconnecting and
+//                           reconnecting regions (the worst case for
+//                           distance maintenance);
+//   * "growth-insert"    -- every batch inserts fresh arcs between
+//                           previously non-adjacent vertices (densifying
+//                           growth, the streaming-graph ingest shape).
+//
+// The generator contract (tests/stream/generators_test.cpp): every update
+// validates against the evolving graph (deletes target arcs that exist at
+// that point in the replay, inserts target arcs that do not), batches are
+// stamped seq = 0..batches-1 with the generator's name, all drawn weights
+// lie in [wmin, wmax], and identical (graph, config, seed) triples produce
+// bit-identical streams.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/families.hpp"
+#include "stream/update.hpp"
+
+namespace qclique {
+
+class Rng;
+
+/// Generation knobs shared by every stream generator. Like FamilyConfig,
+/// generators ignore knobs they have no use for.
+struct StreamConfig {
+  /// Number of UpdateBatches to draw.
+  std::uint32_t batches = 8;
+  /// Target updates per batch (generators may emit fewer when the graph
+  /// runs out of eligible arcs, never more).
+  std::uint32_t batch_size = 16;
+  /// Weight range for drawn weights (inserts and reweights). Dynamic
+  /// solvers require non-negative weights, so wmin is kept >= 0 by
+  /// stream_for_family; the conformance and bench streams pin wmin >= 1.
+  std::int64_t wmin = 1;
+  std::int64_t wmax = 9;
+  /// "hub-delete": number of hub vertices to target (clamped to [1, n]).
+  std::uint32_t hubs = 2;
+};
+
+/// One churn pattern. Generators are stateless across calls: all per-call
+/// state lives in the arguments, so one instance serves concurrent
+/// harnesses.
+class UpdateStreamGenerator {
+ public:
+  virtual ~UpdateStreamGenerator() = default;
+
+  /// Registry key, e.g. "hub-delete".
+  virtual std::string name() const = 0;
+
+  /// One-line human description (shown by harness listings).
+  virtual std::string description() const = 0;
+
+  /// Draws config.batches batches over `start`. The stream is
+  /// self-consistent: replaying it with apply_batch from `start` keeps
+  /// every update meaningful (deletes hit present arcs, inserts absent
+  /// ones) -- generators track the evolving graph internally.
+  virtual std::vector<UpdateBatch> generate(const Digraph& start,
+                                            const StreamConfig& config,
+                                            Rng& rng) const = 0;
+};
+
+/// Name -> stream-generator registry, the fifth registry alongside
+/// solvers, topologies, kernels, and families. Same contract: registration
+/// mutex-guarded, lookups return stable references.
+class UpdateStreamRegistry {
+ public:
+  /// The process-wide registry, with all built-in generators registered.
+  static UpdateStreamRegistry& instance();
+
+  /// An empty registry (tests; embedding independent registries).
+  UpdateStreamRegistry() = default;
+
+  UpdateStreamRegistry(const UpdateStreamRegistry&) = delete;
+  UpdateStreamRegistry& operator=(const UpdateStreamRegistry&) = delete;
+
+  /// Registers a generator under generator->name(). Throws SimulationError
+  /// on a duplicate name or a null/empty-named generator.
+  void add(std::unique_ptr<UpdateStreamGenerator> generator);
+
+  bool contains(const std::string& name) const;
+
+  /// Looks up a generator; throws SimulationError naming the known
+  /// generators when `name` is not registered.
+  const UpdateStreamGenerator& get(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<UpdateStreamGenerator>> generators_;  // sorted
+};
+
+/// Registers the built-in generators listed in the header comment. Called
+/// once by UpdateStreamRegistry::instance(); exposed so tests can build
+/// private registries with the same population.
+void register_builtin_streams(UpdateStreamRegistry& registry);
+
+/// Convenience: one stream from the process-wide registry.
+std::vector<UpdateBatch> make_update_stream(const std::string& stream,
+                                            const Digraph& start,
+                                            const StreamConfig& config,
+                                            Rng& rng);
+
+/// A StreamConfig sized from the family the starting graph was drawn from
+/// (the dynamic-axis parallel of workload_for_family): weights track the
+/// family's range clamped non-negative (dynamic solvers require
+/// non-negative weights, and the symmetric families already clamp digraph
+/// weights the same way), hub count tracks the family's hub/cluster
+/// structure.
+StreamConfig stream_for_family(const std::string& family,
+                               const FamilyConfig& config,
+                               std::uint32_t batches, std::uint32_t batch_size);
+
+}  // namespace qclique

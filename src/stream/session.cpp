@@ -1,0 +1,54 @@
+#include "stream/session.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "serve/snapshot_store.hpp"
+
+namespace qclique {
+
+StreamSession::StreamSession(const Digraph& g, ExecutionContext& ctx,
+                             StreamSessionOptions options)
+    : ctx_(&ctx), options_(std::move(options)) {
+  solver_ = make_dynamic_solver(options_.solver, options_.dynamic);
+  const auto t0 = std::chrono::steady_clock::now();
+  solver_->reset(g, ctx);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  current_ = publish(wall_ms);
+}
+
+std::shared_ptr<const ApspSnapshot> StreamSession::apply(
+    const UpdateBatch& batch) {
+  last_stats_ = solver_->apply(batch, *ctx_);
+  ++batches_;
+  total_updates_ += last_stats_.updates;
+  total_affected_ += last_stats_.affected_sources;
+  current_ = publish(last_stats_.wall_ms);
+  return current_;
+}
+
+std::shared_ptr<const ApspSnapshot> StreamSession::publish(double wall_ms) {
+  SnapshotMetadata meta;
+  meta.solver = solver_->name();
+  meta.topology = ctx_->topology();
+  meta.kernel = ctx_->kernel();
+  meta.family = ctx_->family();
+  meta.label = options_.label;
+  meta.n = solver_->graph().size();
+  meta.rounds = 0;  // dynamic repair is centralized; no simulated rounds
+  meta.solve_wall_ms = wall_ms;
+  meta.has_paths = !solver_->successors().empty();
+  meta.metrics["batches"] = batches_;
+  meta.metrics["updates"] = total_updates_;
+  meta.metrics["affected_sources"] = total_affected_;
+  meta.metrics["arcs"] = solver_->graph().num_arcs();
+  return ctx_->serve().publish(
+      ApspSnapshot(solver_->distances(), std::move(meta),
+                   solver_->successors()));
+}
+
+}  // namespace qclique

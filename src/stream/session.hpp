@@ -1,0 +1,87 @@
+// StreamSession: the update-stream -> serving-layer bridge.
+//
+// The serve layer (serve/snapshot_store.hpp) already gives a changed graph
+// somewhere to go: a new immutable ApspSnapshot version behind an atomic
+// swap. StreamSession closes the loop. Construct it over a starting graph
+// and it solves + publishes version 1 into the context's SnapshotStore;
+// every apply(batch) repairs the dynamic solver's state and publishes the
+// next version. The serving concurrency story needs nothing new:
+//
+//   * readers pinned on version v (SnapshotPin, QueryServer::Session
+//     pins) keep answering bit-identically against v however many batches
+//     land behind them;
+//   * fresh sessions -- and pins that refresh() -- see the latest applied
+//     batch;
+//   * the QueryServer path cache keys on (version, u, v), so entries
+//     computed against superseded versions can never answer queries for
+//     new ones: republish IS the invalidation.
+//
+// One StreamSession owns one dynamic solver instance and is single-writer:
+// apply() calls must be externally serialized (they mutate solver state).
+// Publishing is wait-free for readers, so any number of QueryServer
+// sessions can run against the store concurrently with the writer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "api/execution_context.hpp"
+#include "serve/snapshot.hpp"
+#include "stream/dynamic_solver.hpp"
+#include "stream/update.hpp"
+
+namespace qclique {
+
+struct StreamSessionOptions {
+  /// Dynamic solver kind (DynamicSolverRegistry key).
+  std::string solver = "incremental";
+  /// Knobs for the created solver instance. with_paths = true keeps served
+  /// snapshots able to answer path queries across republishes.
+  DynamicSolverOptions dynamic;
+  /// Free-form tag stamped into every published snapshot's metadata.
+  std::string label;
+};
+
+class StreamSession {
+ public:
+  /// Solves `g` from scratch through the configured dynamic solver and
+  /// publishes the initial snapshot into ctx.serve(). The context must
+  /// outlive the session.
+  StreamSession(const Digraph& g, ExecutionContext& ctx,
+                StreamSessionOptions options = {});
+
+  /// Applies one batch: repairs distances / successors and publishes the
+  /// result as the store's next version. Returns the published pin (its
+  /// metadata carries the new version). Throws SimulationError (nothing
+  /// published, solver state unchanged) on invalid updates.
+  std::shared_ptr<const ApspSnapshot> apply(const UpdateBatch& batch);
+
+  /// The session's dynamic solver state (current graph / distances).
+  const DynamicApspSolver& solver() const { return *solver_; }
+
+  /// The pin of the most recent publish (never null after construction).
+  const std::shared_ptr<const ApspSnapshot>& current() const {
+    return current_;
+  }
+
+  /// Batches applied so far (not counting the initial solve).
+  std::uint64_t batches_applied() const { return batches_; }
+
+  /// Stats of the most recent apply(); zeros before the first.
+  const RepairStats& last_stats() const { return last_stats_; }
+
+ private:
+  std::shared_ptr<const ApspSnapshot> publish(double wall_ms);
+
+  ExecutionContext* ctx_;
+  StreamSessionOptions options_;
+  std::unique_ptr<DynamicApspSolver> solver_;
+  std::shared_ptr<const ApspSnapshot> current_;
+  RepairStats last_stats_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t total_updates_ = 0;
+  std::uint64_t total_affected_ = 0;
+};
+
+}  // namespace qclique

@@ -1,0 +1,105 @@
+#include "stream/update.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "congest/round_ledger.hpp"
+
+namespace qclique {
+
+std::string update_kind_name(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kInsert:
+      return "insert";
+    case UpdateKind::kDelete:
+      return "delete";
+    case UpdateKind::kReweight:
+      return "reweight";
+  }
+  return "unknown";
+}
+
+void validate_update(const EdgeUpdate& update, std::uint32_t n) {
+  QCLIQUE_CHECK(update.u < n && update.v < n,
+                "update endpoint out of range for graph of size " +
+                    std::to_string(n));
+  QCLIQUE_CHECK(update.u != update.v, "update targets a self-loop");
+  if (update.kind != UpdateKind::kDelete) {
+    QCLIQUE_CHECK(!is_plus_inf(update.w) && update.w < kPlusInf &&
+                      update.w > -kPlusInf,
+                  "insert/reweight weight must be finite");
+  }
+}
+
+bool apply_update(Digraph& g, const EdgeUpdate& update) {
+  validate_update(update, g.size());
+  if (update.kind == UpdateKind::kDelete) {
+    if (!g.has_arc(update.u, update.v)) return false;
+    g.remove_arc(update.u, update.v);
+    return true;
+  }
+  if (g.has_arc(update.u, update.v) &&
+      g.weight(update.u, update.v) == update.w) {
+    return false;
+  }
+  g.set_arc(update.u, update.v, update.w);
+  return true;
+}
+
+std::size_t apply_batch(Digraph& g, const UpdateBatch& batch) {
+  std::size_t changed = 0;
+  for (const EdgeUpdate& update : batch.updates) {
+    if (apply_update(g, update)) ++changed;
+  }
+  return changed;
+}
+
+std::vector<ArcChange> canonical_changes(const Digraph& g,
+                                         const UpdateBatch& batch) {
+  const std::uint32_t n = g.size();
+  // Arc -> index into `changes`, keyed by the flattened (u, v) pair.
+  std::unordered_map<std::uint64_t, std::size_t> slot;
+  std::vector<ArcChange> changes;
+  slot.reserve(batch.updates.size());
+  changes.reserve(batch.updates.size());
+  for (const EdgeUpdate& update : batch.updates) {
+    validate_update(update, n);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(update.u) << 32) | update.v;
+    const std::int64_t after =
+        update.kind == UpdateKind::kDelete ? kPlusInf : update.w;
+    auto [it, inserted] = slot.try_emplace(key, changes.size());
+    if (inserted) {
+      changes.push_back(
+          {update.u, update.v, g.weight(update.u, update.v), after});
+    } else {
+      changes[it->second].after = after;
+    }
+  }
+  std::size_t kept = 0;
+  for (const ArcChange& change : changes) {
+    if (change.before != change.after) changes[kept++] = change;
+  }
+  changes.resize(kept);
+  return changes;
+}
+
+std::string UpdateBatch::to_json() const {
+  std::ostringstream out;
+  out << "{\"seq\":" << seq << ",\"stream\":" << json_quote(stream)
+      << ",\"updates\":[";
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const EdgeUpdate& u = updates[i];
+    if (i > 0) out << ',';
+    out << "{\"kind\":" << json_quote(update_kind_name(u.kind))
+        << ",\"u\":" << u.u << ",\"v\":" << u.v;
+    if (u.kind != UpdateKind::kDelete) out << ",\"w\":" << u.w;
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace qclique

@@ -1,0 +1,97 @@
+// Edge-update streams: the mutation language of the dynamic-graph
+// subsystem.
+//
+// Every workload so far was static -- a graph is generated once and solved
+// once. The stream subsystem makes "the graph changed" a first-class event:
+// an EdgeUpdate inserts, deletes, or reweights one arc, an UpdateBatch
+// groups the updates that land together (the unit dynamic solvers repair
+// after and StreamSession publishes behind), and generators
+// (stream/generators.hpp) draw deterministic update sequences over any
+// registered graph family. The batch, not the single update, is the
+// granularity of the whole subsystem -- exactly the shape of stinger-style
+// streaming graph maintenance, where updates are buffered and incremental
+// algorithms amortize their repair work over the buffer.
+//
+// Apply semantics (apply_batch): updates apply in order; insert and
+// reweight both upsert the arc (so replaying a stream is idempotent in
+// structure), delete removes it (a no-op when absent). Dynamic solvers
+// never look at individual updates: they classify against the *net*
+// per-arc weight transitions of a batch (canonical_changes), so an arc
+// inserted and deleted inside one batch costs nothing to repair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace qclique {
+
+enum class UpdateKind : std::uint8_t { kInsert, kDelete, kReweight };
+
+/// Registry-style name of an update kind ("insert", "delete", "reweight").
+std::string update_kind_name(UpdateKind kind);
+
+/// One arc mutation. `w` is the new weight for kInsert / kReweight and
+/// ignored for kDelete.
+struct EdgeUpdate {
+  UpdateKind kind = UpdateKind::kReweight;
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  std::int64_t w = 0;
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+/// The updates that land together between two published snapshot versions.
+struct UpdateBatch {
+  /// Position in the stream (0-based); stamped by generators, echoed into
+  /// snapshot metadata by StreamSession.
+  std::uint64_t seq = 0;
+  /// Generator the batch was drawn from (UpdateStreamRegistry key; "" =
+  /// ad-hoc batch).
+  std::string stream;
+  std::vector<EdgeUpdate> updates;
+
+  std::size_t size() const { return updates.size(); }
+
+  /// Machine-readable export (single JSON object).
+  std::string to_json() const;
+};
+
+/// Validates one update against `n` vertices: endpoints in range, no
+/// self-loop, and a finite weight for insert / reweight. Throws
+/// SimulationError on violation.
+void validate_update(const EdgeUpdate& update, std::uint32_t n);
+
+/// Applies one update to g (see header comment for semantics). Returns
+/// true when the graph actually changed (a delete of an absent arc or a
+/// reweight to the current weight returns false).
+bool apply_update(Digraph& g, const EdgeUpdate& update);
+
+/// Applies a batch in order; returns how many updates changed the graph.
+std::size_t apply_batch(Digraph& g, const UpdateBatch& batch);
+
+/// The net weight transition of one arc across a whole batch, as min-plus
+/// values: kPlusInf means "absent" on either side, so an insert is
+/// (+inf -> w), a delete is (w -> +inf), and a reweight is (w -> w').
+struct ArcChange {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  std::int64_t before = 0;
+  std::int64_t after = 0;
+
+  friend bool operator==(const ArcChange&, const ArcChange&) = default;
+};
+
+/// Collapses `batch` into net per-arc transitions against the *unapplied*
+/// graph g: `before` is the arc's weight in g, `after` its weight once the
+/// whole batch has been applied. Arcs whose net transition is the identity
+/// (insert-then-delete, reweight back to the same value) are dropped.
+/// Order follows each arc's first appearance in the batch. Validates every
+/// update against g.size().
+std::vector<ArcChange> canonical_changes(const Digraph& g,
+                                         const UpdateBatch& batch);
+
+}  // namespace qclique

@@ -20,6 +20,8 @@
 #include "serve/snapshot.hpp"
 #include "serve/snapshot_store.hpp"
 #include "serve/workload.hpp"
+#include "stream/generators.hpp"
+#include "stream/session.hpp"
 
 namespace qclique {
 namespace {
@@ -188,6 +190,132 @@ TEST(ServeStress, ConcurrentPublishersKeepVersionsMonotoneAndUnique) {
   }
   EXPECT_EQ(store.version(), all.size());
   EXPECT_EQ(store.current()->version(), all.size());
+}
+
+// The stream-driven republish contract, under concurrency: a StreamSession
+// writer applies update batches (one snapshot version per batch) while a
+// reader pinned on version 1 keeps querying its pin and a fresh-session
+// reader re-pins per pass. The pinned reader must never observe a distance
+// or path from any later version; the fresh reader must always answer
+// against the newest version as of its pass, with paths re-costing exactly
+// on that version's graph.
+TEST(ServeStress, StreamWriterNeverLeaksNewVersionsIntoPinnedReaders) {
+  Rng grng(77);
+  const Digraph start =
+      make_family_graph("gnp", family_config(20, 0.35, 1, 9), grng);
+  StreamConfig sc;
+  sc.batches = 12;
+  sc.batch_size = 6;
+  Rng srng(13);
+  const auto batches = make_update_stream("uniform-reweight", start, sc, srng);
+
+  // graphs[v - 1] is the graph the snapshot published as version v was
+  // solved from, precomputed by replaying the deterministic stream so the
+  // reader threads can re-cost without racing the writer.
+  std::vector<Digraph> graphs;
+  graphs.push_back(start);
+  {
+    Digraph replay = start;
+    for (const auto& b : batches) {
+      apply_batch(replay, b);
+      graphs.push_back(replay);
+    }
+  }
+  const std::uint64_t last_version = batches.size() + 1;
+
+  ExecutionContext ctx(91);
+  ctx.set_family("gnp");
+  StreamSession writer(start, ctx);
+  QueryServer server(ctx.serve());
+  const std::uint32_t n = start.size();
+
+  const auto recost = [](const Digraph& g,
+                         const std::vector<std::uint32_t>& nodes) {
+    std::int64_t cost = 0;
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      if (!g.has_arc(nodes[i], nodes[i + 1])) return kPlusInf;
+      cost += g.weight(nodes[i], nodes[i + 1]);
+    }
+    return cost;
+  };
+
+  std::atomic<bool> done{false};
+  std::thread writer_thread([&] {
+    for (const auto& b : batches) {
+      writer.apply(b);
+      std::this_thread::yield();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Reader pinned on version 1: holds the snapshot object itself, so every
+  // answer must stay bit-identical to publish time however many batches
+  // land behind it.
+  std::thread pinned_reader([&] {
+    auto session = server.session();
+    (void)session.snapshot();  // pin now -- possibly already past version 1
+    const std::shared_ptr<const ApspSnapshot> pin = session.pinned_ref();
+    const std::uint64_t pinned_version = pin->version();
+    const Digraph& pinned_graph = graphs[pinned_version - 1];
+    const DistMatrix frozen = pin->distances();
+    std::uint64_t iter = 0;
+    while (!done.load(std::memory_order_acquire) || iter == 0) {
+      ++iter;
+      ASSERT_EQ(pin->version(), pinned_version);
+      for (std::uint32_t u = 0; u < n; ++u) {
+        for (std::uint32_t v = 0; v < n; ++v) {
+          if (u == v) continue;
+          // Distances never drift from the frozen copy ...
+          ASSERT_EQ(pin->distance(u, v), frozen.at(u, v));
+          if (is_plus_inf(frozen.at(u, v))) continue;
+          // ... and served paths re-cost exactly on the pinned version's
+          // graph. A path leaked from version v+1 would mis-cost here:
+          // the stream reweights arcs every batch.
+          ASSERT_EQ(recost(pinned_graph, pin->path(u, v)), frozen.at(u, v))
+              << u << "->" << v << " @v" << pinned_version;
+        }
+      }
+    }
+  });
+
+  // Fresh-session reader: a new Session per pass must answer against the
+  // newest version as of that pass, monotonically.
+  std::thread fresh_reader([&] {
+    std::uint64_t seen = 0;
+    std::uint64_t iter = 0;
+    while (!done.load(std::memory_order_acquire) || iter == 0) {
+      ++iter;
+      auto session = server.session();
+      PathAnswer a = session.path(0, n - 1);
+      const ApspSnapshot* pin = session.pinned();
+      ASSERT_NE(pin, nullptr);
+      const std::uint64_t v = pin->version();
+      ASSERT_GE(v, seen) << "fresh session pinned an older version";
+      ASSERT_GE(v, 1u);
+      ASSERT_LE(v, last_version);
+      seen = v;
+      ASSERT_EQ(a.distance, pin->distance(0, n - 1));
+      if (!is_plus_inf(a.distance)) {
+        // The cached path must belong to the pinned version's graph: the
+        // cache is keyed by (version, u, v), so a republish invalidates.
+        ASSERT_EQ(recost(graphs[v - 1], a.nodes), a.distance) << "@v" << v;
+      }
+    }
+  });
+
+  writer_thread.join();
+  pinned_reader.join();
+  fresh_reader.join();
+
+  // After the writer finishes, any fresh session pins the final version
+  // and serves exactly the solver's current distances.
+  EXPECT_EQ(ctx.serve().version(), last_version);
+  auto session = server.session();
+  const ApspSnapshot& snap = session.snapshot();
+  EXPECT_EQ(snap.version(), last_version);
+  EXPECT_EQ(snap.distances(), writer.solver().distances());
+  EXPECT_EQ(graphs.back().to_dist_matrix(),
+            writer.solver().graph().to_dist_matrix());
 }
 
 }  // namespace

@@ -1,0 +1,280 @@
+// Dynamic-solver conformance: after every replayed batch the incremental
+// solver's distances are bit-identical to the recompute oracle, across
+// families x stream kinds, including disconnect/reconnect churn; served
+// successors re-cost to exactly the served distances; the weight contract
+// is enforced.
+#include "stream/dynamic_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "graph/families.hpp"
+#include "stream/generators.hpp"
+
+namespace qclique {
+namespace {
+
+Digraph family_graph(const std::string& family, std::uint32_t n,
+                     std::int64_t wmin, std::uint64_t seed) {
+  Rng rng(seed);
+  FamilyConfig config = family_config(n, 0.3, wmin, 9);
+  return make_family_graph(family, config, rng);
+}
+
+/// Walks the successor chain for every reachable pair and checks the
+/// re-costed path against the solver's distance matrix -- the serving-side
+/// guarantee that repaired successors never realize a stale or broken path.
+void expect_successors_realize_distances(const DynamicApspSolver& solver) {
+  const Digraph& g = solver.graph();
+  const DistMatrix& d = solver.distances();
+  const auto& succ = solver.successors();
+  const std::uint32_t n = g.size();
+  ASSERT_EQ(succ.size(), static_cast<std::size_t>(n) * n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const std::uint32_t next = succ[static_cast<std::size_t>(u) * n + v];
+      if (is_plus_inf(d.at(u, v))) {
+        EXPECT_EQ(next, UINT32_MAX) << u << "->" << v;
+        continue;
+      }
+      ASSERT_NE(next, UINT32_MAX) << u << "->" << v;
+      std::int64_t cost = 0;
+      std::uint32_t cur = u;
+      std::uint32_t hops = 0;
+      while (cur != v) {
+        const std::uint32_t x = succ[static_cast<std::size_t>(cur) * n + v];
+        ASSERT_NE(x, UINT32_MAX) << "chain breaks at " << cur << "->" << v;
+        ASSERT_TRUE(g.has_arc(cur, x)) << cur << "->" << x << " not an arc";
+        cost += g.weight(cur, x);
+        cur = x;
+        ASSERT_LE(++hops, n) << "successor cycle for " << u << "->" << v;
+      }
+      EXPECT_EQ(cost, d.at(u, v)) << u << "->" << v << " re-costed";
+    }
+  }
+}
+
+TEST(StreamDynamicConformance, RegistryHasBuiltins) {
+  auto& reg = DynamicSolverRegistry::instance();
+  EXPECT_TRUE(reg.contains("recompute"));
+  EXPECT_TRUE(reg.contains("incremental"));
+  EXPECT_THROW(reg.get("no-such-dynamic-solver"), SimulationError);
+  DynamicSolverRegistry private_reg;
+  register_builtin_dynamic_solvers(private_reg);
+  EXPECT_EQ(private_reg.size(), 2u);
+  auto solver = make_dynamic_solver("incremental");
+  EXPECT_EQ(solver->name(), "incremental");
+}
+
+// The headline conformance sweep: >= 3 families x all registered stream
+// kinds, distances compared bit-identically after every batch, successors
+// re-costed after every batch.
+TEST(StreamDynamicConformance, IncrementalMatchesRecomputeAcrossFamiliesAndStreams) {
+  ExecutionContext ctx(17);
+  for (const std::string family : {"gnp", "power-law", "clustered"}) {
+    const Digraph start = family_graph(family, 22, 1, 31);
+    const StreamConfig config =
+        stream_for_family(family, family_config(22, 0.3, 1, 9),
+                          /*batches=*/6, /*batch_size=*/8);
+    for (const auto& stream : UpdateStreamRegistry::instance().names()) {
+      Rng rng(5);
+      const auto batches = make_update_stream(stream, start, config, rng);
+      auto incremental = make_dynamic_solver("incremental");
+      auto recompute = make_dynamic_solver("recompute");
+      incremental->reset(start, ctx);
+      recompute->reset(start, ctx);
+      ASSERT_EQ(incremental->distances(), recompute->distances())
+          << family << "/" << stream << " initial solve";
+      for (const auto& batch : batches) {
+        incremental->apply(batch, ctx);
+        recompute->apply(batch, ctx);
+        ASSERT_EQ(incremental->distances(), recompute->distances())
+            << family << "/" << stream << " batch " << batch.seq << ": "
+            << incremental->distances().first_difference(
+                   recompute->distances());
+        ASSERT_TRUE(incremental->graph().to_dist_matrix() ==
+                    recompute->graph().to_dist_matrix())
+            << family << "/" << stream << " graphs diverged";
+      }
+      expect_successors_realize_distances(*incremental);
+      expect_successors_realize_distances(*recompute);
+    }
+  }
+}
+
+// Hand-crafted disconnect / reconnect: deleting the only bridge must push
+// distances to +inf, reinserting must restore them exactly.
+TEST(StreamDynamicConformance, DisconnectAndReconnect) {
+  // Two 2-cycles joined by a single bridge 1 -> 2.
+  Digraph g(4);
+  g.set_arc(0, 1, 1);
+  g.set_arc(1, 0, 1);
+  g.set_arc(1, 2, 5);
+  g.set_arc(2, 3, 1);
+  g.set_arc(3, 2, 1);
+  ExecutionContext ctx(3);
+  auto solver = make_dynamic_solver("incremental");
+  solver->reset(g, ctx);
+  EXPECT_EQ(solver->distances().at(0, 3), 7);
+
+  UpdateBatch cut;
+  cut.updates = {{UpdateKind::kDelete, 1, 2, 0}};
+  const RepairStats cut_stats = solver->apply(cut, ctx);
+  EXPECT_EQ(cut_stats.changed_arcs, 1u);
+  // Both left-side sources lose the right side entirely.
+  for (const std::uint32_t s : {0u, 1u}) {
+    EXPECT_TRUE(is_plus_inf(solver->distances().at(s, 2)));
+    EXPECT_TRUE(is_plus_inf(solver->distances().at(s, 3)));
+  }
+  // Right side never used the bridge: distances untouched, rows unflagged.
+  EXPECT_EQ(solver->distances().at(2, 3), 1);
+  EXPECT_EQ(cut_stats.affected_sources, 2u);
+
+  UpdateBatch mend;
+  mend.updates = {{UpdateKind::kInsert, 1, 2, 2}};
+  solver->apply(mend, ctx);
+  EXPECT_EQ(solver->distances().at(0, 3), 4);  // 1 + 2 + 1
+  expect_successors_realize_distances(*solver);
+
+  // And the oracle agrees about the whole episode.
+  auto oracle = make_dynamic_solver("recompute");
+  Digraph replay(4);
+  replay = g;
+  apply_batch(replay, cut);
+  apply_batch(replay, mend);
+  oracle->reset(replay, ctx);
+  EXPECT_EQ(solver->distances(), oracle->distances());
+}
+
+TEST(StreamDynamicConformance, IncrementalPrunesUnaffectedRows) {
+  // A reweight on an arc only reachable from part of the graph must not
+  // re-solve every row -- the point of affected-source classification.
+  const Digraph start = family_graph("clustered", 24, 1, 9);
+  ExecutionContext ctx(7);
+  auto solver = make_dynamic_solver("incremental");
+  solver->reset(start, ctx);
+  // Raise one existing arc's weight by 1: only rows whose shortest paths
+  // crossed it are affected.
+  std::uint32_t au = 0, av = 0;
+  for (std::uint32_t u = 0; u < start.size() && au == av; ++u) {
+    for (std::uint32_t v = 0; v < start.size(); ++v) {
+      if (u != v && start.has_arc(u, v)) {
+        au = u;
+        av = v;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(au, av);
+  UpdateBatch batch;
+  batch.updates = {
+      {UpdateKind::kReweight, au, av, start.weight(au, av) + 1}};
+  const RepairStats stats = solver->apply(batch, ctx);
+  EXPECT_LT(stats.affected_sources, start.size())
+      << "a single-arc bump re-solved every row";
+}
+
+TEST(StreamDynamicConformance, ZeroWeightArcsStayExact) {
+  // Zero-weight arcs are legal (non-negative contract); they exercise the
+  // hop-consistent successor fallback.
+  Rng rng(19);
+  FamilyConfig config = family_config(16, 0.4, 0, 4);
+  const Digraph start = make_family_graph("gnp", config, rng);
+  StreamConfig sc;
+  sc.batches = 5;
+  sc.batch_size = 6;
+  sc.wmin = 0;  // keep drawing zero weights
+  sc.wmax = 4;
+  ExecutionContext ctx(23);
+  for (const auto& stream : UpdateStreamRegistry::instance().names()) {
+    Rng srng(29);
+    const auto batches = make_update_stream(stream, start, sc, srng);
+    auto incremental = make_dynamic_solver("incremental");
+    auto recompute = make_dynamic_solver("recompute");
+    incremental->reset(start, ctx);
+    recompute->reset(start, ctx);
+    for (const auto& batch : batches) {
+      incremental->apply(batch, ctx);
+      recompute->apply(batch, ctx);
+      ASSERT_EQ(incremental->distances(), recompute->distances())
+          << stream << " batch " << batch.seq;
+    }
+    expect_successors_realize_distances(*incremental);
+  }
+}
+
+TEST(StreamDynamicConformance, RejectsNegativeWeights) {
+  Digraph g(3);
+  g.set_arc(0, 1, -2);
+  g.set_arc(1, 2, 1);
+  ExecutionContext ctx(1);
+  auto solver = make_dynamic_solver("incremental");
+  EXPECT_THROW(solver->reset(g, ctx), SimulationError);
+
+  Digraph ok(3);
+  ok.set_arc(0, 1, 2);
+  ok.set_arc(1, 2, 1);
+  solver->reset(ok, ctx);
+  const DistMatrix before = solver->distances();
+  UpdateBatch bad;
+  bad.updates = {{UpdateKind::kInsert, 2, 0, -5}};
+  EXPECT_THROW(solver->apply(bad, ctx), SimulationError);
+  // A rejected batch leaves the state untouched.
+  EXPECT_EQ(solver->distances(), before);
+  EXPECT_EQ(solver->graph().num_arcs(), 2u);
+}
+
+TEST(StreamDynamicConformance, IntraBatchChurnCollapses) {
+  Digraph g(4);
+  g.set_arc(0, 1, 3);
+  g.set_arc(1, 2, 3);
+  ExecutionContext ctx(2);
+  auto solver = make_dynamic_solver("incremental");
+  solver->reset(g, ctx);
+  UpdateBatch batch;
+  batch.updates = {
+      {UpdateKind::kInsert, 2, 3, 1},    // inserted ...
+      {UpdateKind::kDelete, 2, 3, 0},    // ... and gone again
+      {UpdateKind::kReweight, 0, 1, 3},  // same weight
+  };
+  const RepairStats stats = solver->apply(batch, ctx);
+  EXPECT_EQ(stats.updates, 3u);
+  EXPECT_EQ(stats.changed_arcs, 0u);
+  EXPECT_EQ(stats.affected_sources, 0u);
+}
+
+TEST(StreamDynamicConformance, WithoutPathsSkipsSuccessors) {
+  const Digraph start = family_graph("gnp", 12, 1, 41);
+  ExecutionContext ctx(5);
+  DynamicSolverOptions options;
+  options.with_paths = false;
+  auto solver = make_dynamic_solver("incremental", options);
+  solver->reset(start, ctx);
+  EXPECT_TRUE(solver->successors().empty());
+  auto oracle = make_dynamic_solver("recompute", options);
+  oracle->reset(start, ctx);
+  EXPECT_TRUE(oracle->successors().empty());
+  EXPECT_EQ(solver->distances(), oracle->distances());
+}
+
+TEST(StreamDynamicConformance, RecomputeHonorsBackendChoice) {
+  const Digraph start = family_graph("grid", 12, 1, 2);
+  ExecutionContext ctx(9);
+  DynamicSolverOptions fw;
+  fw.backend = "floyd-warshall";
+  auto a = make_dynamic_solver("recompute", fw);
+  auto b = make_dynamic_solver("recompute");  // default "dijkstra"
+  a->reset(start, ctx);
+  b->reset(start, ctx);
+  EXPECT_EQ(a->distances(), b->distances());
+  DynamicSolverOptions bogus;
+  bogus.backend = "no-such-backend";
+  auto c = make_dynamic_solver("recompute", bogus);
+  EXPECT_THROW(c->reset(start, ctx), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,218 @@
+// Update-stream generator contract: registry population, per-generator
+// replay validity over the registered graph families, determinism,
+// disconnect/reconnect shape of hub-delete, family-aware sizing.
+#include "stream/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/families.hpp"
+
+namespace qclique {
+namespace {
+
+Digraph family_graph(const std::string& family, std::uint32_t n,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  FamilyConfig config = family_config(n, 0.35, 1, 9);
+  return make_family_graph(family, config, rng);
+}
+
+TEST(StreamGenerators, RegistryHasBuiltins) {
+  auto& reg = UpdateStreamRegistry::instance();
+  EXPECT_GE(reg.size(), 3u);
+  EXPECT_TRUE(reg.contains("uniform-reweight"));
+  EXPECT_TRUE(reg.contains("hub-delete"));
+  EXPECT_TRUE(reg.contains("growth-insert"));
+  const auto names = reg.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const auto& name : names) {
+    EXPECT_FALSE(reg.get(name).description().empty());
+  }
+}
+
+TEST(StreamGenerators, UnknownGeneratorNamesKnownOnes) {
+  try {
+    UpdateStreamRegistry::instance().get("no-such-stream");
+    FAIL() << "expected SimulationError";
+  } catch (const SimulationError& e) {
+    EXPECT_NE(std::string(e.what()).find("hub-delete"), std::string::npos);
+  }
+}
+
+TEST(StreamGenerators, PrivateRegistryPopulation) {
+  UpdateStreamRegistry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  register_builtin_streams(reg);
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_THROW(register_builtin_streams(reg), SimulationError);  // duplicates
+}
+
+// The central generator contract: replaying the stream from the starting
+// graph keeps every update meaningful and in bounds.
+TEST(StreamGenerators, StreamsReplayValidlyAcrossFamilies) {
+  StreamConfig config;
+  config.batches = 6;
+  config.batch_size = 8;
+  config.wmin = 1;
+  config.wmax = 9;
+  for (const std::string family : {"gnp", "power-law", "clustered", "grid"}) {
+    const Digraph start = family_graph(family, 20, 7);
+    for (const auto& stream : UpdateStreamRegistry::instance().names()) {
+      Rng rng(11);
+      const auto batches = make_update_stream(stream, start, config, rng);
+      ASSERT_EQ(batches.size(), config.batches) << family << "/" << stream;
+      Digraph replay = start;
+      for (std::size_t b = 0; b < batches.size(); ++b) {
+        EXPECT_EQ(batches[b].seq, b);
+        EXPECT_EQ(batches[b].stream, stream);
+        EXPECT_LE(batches[b].size(), config.batch_size);
+        for (const EdgeUpdate& u : batches[b].updates) {
+          switch (u.kind) {
+            case UpdateKind::kDelete:
+              EXPECT_TRUE(replay.has_arc(u.u, u.v))
+                  << family << "/" << stream << " deletes absent arc";
+              break;
+            case UpdateKind::kInsert:
+              EXPECT_FALSE(replay.has_arc(u.u, u.v))
+                  << family << "/" << stream << " inserts present arc";
+              [[fallthrough]];
+            case UpdateKind::kReweight:
+              if (u.kind == UpdateKind::kReweight) {
+                EXPECT_TRUE(replay.has_arc(u.u, u.v))
+                    << family << "/" << stream << " reweights absent arc";
+              }
+              EXPECT_GE(u.w, config.wmin);
+              EXPECT_LE(u.w, config.wmax);
+              break;
+          }
+          apply_update(replay, u);
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamGenerators, DeterministicForFixedSeed) {
+  const Digraph start = family_graph("gnp", 16, 3);
+  StreamConfig config;
+  config.batches = 4;
+  config.batch_size = 6;
+  for (const auto& stream : UpdateStreamRegistry::instance().names()) {
+    Rng a(99), b(99), c(100);
+    const auto first = make_update_stream(stream, start, config, a);
+    const auto second = make_update_stream(stream, start, config, b);
+    const auto third = make_update_stream(stream, start, config, c);
+    ASSERT_EQ(first.size(), second.size());
+    bool identical = true;
+    bool differs_from_third = false;
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      if (first[i].updates != second[i].updates) identical = false;
+      if (i < third.size() && first[i].updates != third[i].updates) {
+        differs_from_third = true;
+      }
+    }
+    EXPECT_TRUE(identical) << stream;
+    EXPECT_TRUE(differs_from_third) << stream << ": seed is not threaded";
+  }
+}
+
+TEST(StreamGenerators, UniformReweightKeepsStructure) {
+  const Digraph start = family_graph("gnp", 18, 5);
+  StreamConfig config;
+  config.batches = 5;
+  config.batch_size = 10;
+  Rng rng(2);
+  const auto batches =
+      make_update_stream("uniform-reweight", start, config, rng);
+  Digraph replay = start;
+  for (const auto& batch : batches) {
+    for (const auto& u : batch.updates) {
+      EXPECT_EQ(u.kind, UpdateKind::kReweight);
+    }
+    apply_batch(replay, batch);
+  }
+  EXPECT_EQ(replay.num_arcs(), start.num_arcs());
+}
+
+TEST(StreamGenerators, HubDeleteDisconnectsThenReconnects) {
+  const Digraph start = family_graph("power-law", 20, 13);
+  StreamConfig config;
+  config.batches = 6;
+  config.batch_size = 12;
+  config.hubs = 3;
+  Rng rng(4);
+  const auto batches = make_update_stream("hub-delete", start, config, rng);
+  Digraph replay = start;
+  ASSERT_FALSE(batches[0].updates.empty());  // hubs have incident arcs
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    for (const auto& u : batches[b].updates) {
+      EXPECT_EQ(u.kind,
+                b % 2 == 0 ? UpdateKind::kDelete : UpdateKind::kInsert);
+    }
+    if (b % 2 == 1) {
+      // Reconnect batches restore exactly what the delete batch cut.
+      EXPECT_EQ(batches[b].size(), batches[b - 1].size());
+    }
+    apply_batch(replay, batches[b]);
+    if (b % 2 == 1) {
+      EXPECT_EQ(replay.num_arcs(), start.num_arcs());
+    }
+  }
+}
+
+TEST(StreamGenerators, GrowthInsertDensifies) {
+  const Digraph start = family_graph("grid", 16, 1);
+  StreamConfig config;
+  config.batches = 4;
+  config.batch_size = 8;
+  Rng rng(6);
+  const auto batches = make_update_stream("growth-insert", start, config, rng);
+  Digraph replay = start;
+  std::uint64_t prev = replay.num_arcs();
+  for (const auto& batch : batches) {
+    apply_batch(replay, batch);
+    EXPECT_EQ(replay.num_arcs(), prev + batch.size());
+    prev = replay.num_arcs();
+  }
+  EXPECT_GT(replay.num_arcs(), start.num_arcs());
+}
+
+TEST(StreamGenerators, StructuralHubsFindsSkewRows) {
+  Rng rng(8);
+  FamilyConfig config = family_config(24, 0.15, 1, 5);
+  config.hubs = 2;
+  const Digraph g = make_family_graph("lambda-skew", config, rng);
+  // The lambda-skew family gives its hub rows arcs to every vertex, so the
+  // top-2 structural hubs must be exactly those rows (out-degree n-1).
+  const auto hubs = structural_hubs(g, 2);
+  ASSERT_EQ(hubs.size(), 2u);
+  for (const std::uint32_t h : hubs) {
+    std::uint32_t out = 0;
+    for (std::uint32_t v = 0; v < g.size(); ++v) {
+      if (v != h && g.has_arc(h, v)) ++out;
+    }
+    EXPECT_EQ(out, g.size() - 1) << "vertex " << h << " is not a skew hub";
+  }
+  EXPECT_EQ(structural_hubs(g, 100).size(), g.size());  // k clamps to n
+}
+
+TEST(StreamGenerators, StreamForFamilyClampsAndSizes) {
+  FamilyConfig config = family_config(32, 0.4, -4, 9);
+  config.hubs = 5;
+  config.clusters = 6;
+  const StreamConfig skew = stream_for_family("lambda-skew", config, 7, 11);
+  EXPECT_EQ(skew.batches, 7u);
+  EXPECT_EQ(skew.batch_size, 11u);
+  EXPECT_EQ(skew.wmin, 0);  // negative family range clamps to >= 0
+  EXPECT_EQ(skew.wmax, 9);
+  EXPECT_EQ(skew.hubs, 5u);
+  const StreamConfig clustered = stream_for_family("clustered", config, 2, 2);
+  EXPECT_EQ(clustered.hubs, 6u);
+  const StreamConfig gnp = stream_for_family("gnp", config, 2, 2);
+  EXPECT_EQ(gnp.hubs, 2u);
+}
+
+}  // namespace
+}  // namespace qclique

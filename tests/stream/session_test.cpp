@@ -1,0 +1,231 @@
+// StreamSession: batch -> repair -> publish. Versions advance per batch,
+// pinned snapshots stay bit-identical behind republishes, fresh readers
+// see every applied batch, metadata is self-describing, and run_streams
+// drives the whole matrix through the shared store.
+#include "stream/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "api/batch_runner.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "graph/families.hpp"
+#include "serve/query_server.hpp"
+#include "serve/snapshot_store.hpp"
+#include "stream/generators.hpp"
+
+namespace qclique {
+namespace {
+
+Digraph start_graph(std::uint32_t n = 16, std::uint64_t seed = 11) {
+  Rng rng(seed);
+  return make_family_graph("gnp", family_config(n, 0.35, 1, 9), rng);
+}
+
+TEST(StreamSession, ConstructorPublishesVersionOne) {
+  ExecutionContext ctx(4);
+  ctx.set_family("gnp");
+  StreamSessionOptions options;
+  options.label = "session-test";
+  StreamSession session(start_graph(), ctx, options);
+  ASSERT_NE(session.current(), nullptr);
+  EXPECT_EQ(session.current()->version(), 1u);
+  EXPECT_EQ(ctx.serve().version(), 1u);
+  const SnapshotMetadata& meta = session.current()->metadata();
+  EXPECT_EQ(meta.solver, "incremental");
+  EXPECT_EQ(meta.family, "gnp");
+  EXPECT_EQ(meta.label, "session-test");
+  EXPECT_TRUE(meta.has_paths);
+  EXPECT_EQ(meta.metrics.at("batches"), 0u);
+  EXPECT_EQ(session.batches_applied(), 0u);
+}
+
+TEST(StreamSession, ApplyPublishesMonotoneVersions) {
+  ExecutionContext ctx(8);
+  const Digraph g = start_graph();
+  StreamSession session(g, ctx);
+  StreamConfig config;
+  config.batches = 4;
+  config.batch_size = 6;
+  Rng rng(3);
+  const auto batches = make_update_stream("uniform-reweight", g, config, rng);
+  std::uint64_t expected = 1;
+  for (const auto& batch : batches) {
+    const auto snap = session.apply(batch);
+    EXPECT_EQ(snap->version(), ++expected);
+    EXPECT_EQ(snap->metadata().metrics.at("batches"),
+              session.batches_applied());
+    EXPECT_EQ(snap.get(), session.current().get());
+  }
+  EXPECT_EQ(session.batches_applied(), 4u);
+  EXPECT_EQ(ctx.serve().version(), 5u);
+}
+
+TEST(StreamSession, PinnedSnapshotSurvivesRepublish) {
+  ExecutionContext ctx(15);
+  const Digraph g = start_graph(14, 21);
+  StreamSession session(g, ctx);
+  // Pin version 1 and keep an independent copy of its answers.
+  const std::shared_ptr<const ApspSnapshot> pinned = session.current();
+  const DistMatrix before = pinned->distances();
+
+  UpdateBatch batch;
+  batch.updates = {{UpdateKind::kInsert, 0, 13, 1}};  // a shortcut arc
+  session.apply(batch);
+
+  // The pinned snapshot still answers bit-identically to publish time ...
+  EXPECT_EQ(pinned->version(), 1u);
+  EXPECT_EQ(pinned->distances(), before);
+  // ... while the store's current snapshot reflects the batch.
+  const auto fresh = ctx.serve().current();
+  EXPECT_EQ(fresh->version(), 2u);
+  EXPECT_LE(fresh->distance(0, 13), 1);
+  EXPECT_EQ(fresh->distances(), session.solver().distances());
+}
+
+TEST(StreamSession, FreshReadersSeeEachBatchPinnedReadersDoNot) {
+  ExecutionContext ctx(42);
+  const Digraph g = start_graph(12, 33);
+  StreamSession writer(g, ctx);
+  QueryServer server(ctx.serve());
+
+  // A pinned reader: holds the version-1 snapshot object itself.
+  auto reader = server.session();
+  (void)reader.snapshot();  // pin now, at version 1
+  const auto pinned = reader.pinned_ref();
+  ASSERT_EQ(pinned->version(), 1u);
+
+  StreamConfig config;
+  config.batches = 3;
+  config.batch_size = 4;
+  Rng rng(9);
+  for (const auto& batch :
+       make_update_stream("growth-insert", g, config, rng)) {
+    writer.apply(batch);
+    // A fresh session always answers against the newest version.
+    auto fresh = server.session();
+    fresh.snapshot();
+    EXPECT_EQ(fresh.pinned()->version(), writer.current()->version());
+    for (std::uint32_t v = 1; v < g.size(); ++v) {
+      EXPECT_EQ(fresh.distance(0, v), writer.solver().distances().at(0, v));
+    }
+  }
+  // The pinned reader's snapshot never moved.
+  EXPECT_EQ(pinned->version(), 1u);
+  const DistMatrix& original = pinned->distances();
+  ExecutionContext oracle_ctx(42);
+  auto oracle = make_dynamic_solver("recompute");
+  oracle->reset(g, oracle_ctx);
+  EXPECT_EQ(original, oracle->distances());
+}
+
+TEST(StreamSession, ServedPathsRecostAgainstServedGraph) {
+  ExecutionContext ctx(6);
+  const Digraph g = start_graph(15, 44);
+  StreamSession session(g, ctx);
+  StreamConfig config;
+  config.batches = 4;
+  config.batch_size = 8;
+  Rng rng(12);
+  for (const auto& batch : make_update_stream("hub-delete", g, config, rng)) {
+    const auto snap = session.apply(batch);
+    const Digraph& cur = session.solver().graph();
+    for (std::uint32_t u = 0; u < cur.size(); ++u) {
+      for (std::uint32_t v = 0; v < cur.size(); ++v) {
+        if (u == v || is_plus_inf(snap->distance(u, v))) continue;
+        const auto path = snap->path(u, v);
+        ASSERT_GE(path.size(), 2u);
+        std::int64_t cost = 0;
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          ASSERT_TRUE(cur.has_arc(path[i], path[i + 1]));
+          cost += cur.weight(path[i], path[i + 1]);
+        }
+        EXPECT_EQ(cost, snap->distance(u, v)) << u << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(StreamSession, InvalidBatchPublishesNothing) {
+  ExecutionContext ctx(13);
+  StreamSession session(start_graph(10, 2), ctx);
+  UpdateBatch bad;
+  bad.updates = {{UpdateKind::kInsert, 0, 99, 1}};
+  EXPECT_THROW(session.apply(bad), SimulationError);
+  EXPECT_EQ(ctx.serve().version(), 1u);
+  EXPECT_EQ(session.batches_applied(), 0u);
+}
+
+TEST(StreamSession, RunStreamsCoversTheMatrixExactly) {
+  ExecutionContext base(77);
+  base.set_num_threads(2);
+  BatchRunner runner(SolverRegistry::instance(), base);
+  StreamScenarioSpec spec;
+  spec.families = {"gnp", "power-law", "clustered"};
+  spec.streams = {};  // all registered: uniform-reweight, hub-delete, growth-insert
+  spec.solvers = {};  // all registered: incremental, recompute
+  spec.config = family_config(14, 0.3, 1, 9);
+  spec.batches = 3;
+  spec.batch_size = 5;
+  const auto results = runner.run_streams(spec);
+  ASSERT_EQ(results.size(),
+            3u * UpdateStreamRegistry::instance().size() *
+                DynamicSolverRegistry::instance().size());
+  std::uint64_t expected_versions = 0;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok) << r.family << "/" << r.stream << "/" << r.solver
+                      << ": " << r.error;
+    EXPECT_TRUE(r.exact) << r.family << "/" << r.stream << "/" << r.solver;
+    EXPECT_EQ(r.batches, 3u);
+    EXPECT_EQ(r.published_versions, 4u);  // initial + one per batch
+    EXPECT_EQ(r.n, 14u);
+    expected_versions += r.published_versions;
+  }
+  // Every job published into the base context's shared store.
+  EXPECT_EQ(runner.base_context().serve().version(), expected_versions);
+
+  const std::string json = stream_scenarios_to_json(results);
+  EXPECT_NE(json.find("\"stream\":\"hub-delete\""), std::string::npos);
+  EXPECT_NE(json.find("\"solver\":\"incremental\""), std::string::npos);
+  EXPECT_NE(json.find("\"exact\":true"), std::string::npos);
+  EXPECT_EQ(json.find("\"exact\":false"), std::string::npos);
+}
+
+TEST(StreamSession, RunStreamsRejectsNegativeFamilyWeights) {
+  BatchRunner runner;
+  StreamScenarioSpec spec;
+  spec.config = family_config(10, 0.3, -2, 5);
+  EXPECT_THROW(runner.run_streams(spec), SimulationError);
+}
+
+TEST(StreamSession, RunStreamsDeterministicAcrossWorkerCounts) {
+  StreamScenarioSpec spec;
+  spec.families = {"gnp", "grid"};
+  spec.streams = {"uniform-reweight", "hub-delete"};
+  spec.solvers = {"incremental"};
+  spec.config = family_config(12, 0.4, 1, 7);
+  spec.batches = 2;
+  spec.batch_size = 4;
+  ExecutionContext serial_base(5);
+  serial_base.set_num_threads(1);
+  ExecutionContext parallel_base(5);
+  parallel_base.set_num_threads(4);
+  const auto serial =
+      BatchRunner(SolverRegistry::instance(), serial_base).run_streams(spec);
+  const auto parallel =
+      BatchRunner(SolverRegistry::instance(), parallel_base).run_streams(spec);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].family, parallel[i].family);
+    EXPECT_EQ(serial[i].stream, parallel[i].stream);
+    EXPECT_EQ(serial[i].updates, parallel[i].updates);
+    EXPECT_EQ(serial[i].changed_arcs, parallel[i].changed_arcs);
+    EXPECT_EQ(serial[i].affected_sources, parallel[i].affected_sources);
+    EXPECT_TRUE(serial[i].exact);
+    EXPECT_TRUE(parallel[i].exact);
+  }
+}
+
+}  // namespace
+}  // namespace qclique

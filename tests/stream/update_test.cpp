@@ -1,0 +1,134 @@
+// EdgeUpdate / UpdateBatch semantics: apply upserts and deletes, batch
+// collapsing to net per-arc changes, validation, export.
+#include "stream/update.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace qclique {
+namespace {
+
+Digraph triangle() {
+  Digraph g(4);
+  g.set_arc(0, 1, 2);
+  g.set_arc(1, 2, 3);
+  g.set_arc(2, 0, 4);
+  return g;
+}
+
+TEST(StreamUpdate, KindNames) {
+  EXPECT_EQ(update_kind_name(UpdateKind::kInsert), "insert");
+  EXPECT_EQ(update_kind_name(UpdateKind::kDelete), "delete");
+  EXPECT_EQ(update_kind_name(UpdateKind::kReweight), "reweight");
+}
+
+TEST(StreamUpdate, InsertAndReweightUpsert) {
+  Digraph g = triangle();
+  // Insert a fresh arc.
+  EXPECT_TRUE(apply_update(g, {UpdateKind::kInsert, 0, 3, 7}));
+  EXPECT_EQ(g.weight(0, 3), 7);
+  // Insert over an existing arc behaves as reweight (upsert).
+  EXPECT_TRUE(apply_update(g, {UpdateKind::kInsert, 0, 1, 9}));
+  EXPECT_EQ(g.weight(0, 1), 9);
+  // Reweight onto an absent arc creates it (upsert the other way).
+  EXPECT_TRUE(apply_update(g, {UpdateKind::kReweight, 3, 1, 5}));
+  EXPECT_EQ(g.weight(3, 1), 5);
+  // Reweight to the current weight changes nothing.
+  EXPECT_FALSE(apply_update(g, {UpdateKind::kReweight, 0, 1, 9}));
+}
+
+TEST(StreamUpdate, DeleteSemantics) {
+  Digraph g = triangle();
+  EXPECT_TRUE(apply_update(g, {UpdateKind::kDelete, 0, 1, 0}));
+  EXPECT_FALSE(g.has_arc(0, 1));
+  // Deleting an absent arc is a no-op, not an error.
+  EXPECT_FALSE(apply_update(g, {UpdateKind::kDelete, 0, 1, 0}));
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(StreamUpdate, ValidationRejectsBadUpdates) {
+  Digraph g = triangle();
+  EXPECT_THROW(apply_update(g, {UpdateKind::kInsert, 0, 4, 1}),
+               SimulationError);
+  EXPECT_THROW(apply_update(g, {UpdateKind::kInsert, 5, 1, 1}),
+               SimulationError);
+  EXPECT_THROW(apply_update(g, {UpdateKind::kInsert, 2, 2, 1}),
+               SimulationError);
+  EXPECT_THROW(apply_update(g, {UpdateKind::kReweight, 0, 1, kPlusInf}),
+               SimulationError);
+  // Delete ignores the weight field entirely.
+  EXPECT_NO_THROW(apply_update(g, {UpdateKind::kDelete, 0, 1, kPlusInf}));
+}
+
+TEST(StreamUpdate, ApplyBatchInOrderCountsChanges) {
+  Digraph g = triangle();
+  UpdateBatch batch;
+  batch.updates = {
+      {UpdateKind::kReweight, 0, 1, 8},  // change
+      {UpdateKind::kReweight, 0, 1, 8},  // same value: no change
+      {UpdateKind::kInsert, 1, 3, 2},    // change
+      {UpdateKind::kDelete, 1, 3, 0},    // change (arc just inserted)
+      {UpdateKind::kDelete, 1, 3, 0},    // absent: no change
+  };
+  EXPECT_EQ(apply_batch(g, batch), 3u);
+  EXPECT_EQ(g.weight(0, 1), 8);
+  EXPECT_FALSE(g.has_arc(1, 3));
+}
+
+TEST(StreamUpdate, CanonicalChangesCollapseToNetTransitions) {
+  const Digraph g = triangle();
+  UpdateBatch batch;
+  batch.updates = {
+      {UpdateKind::kInsert, 1, 3, 2},    // fresh arc ...
+      {UpdateKind::kDelete, 1, 3, 0},    // ... deleted again: identity
+      {UpdateKind::kReweight, 0, 1, 5},  // reweighted twice ...
+      {UpdateKind::kReweight, 0, 1, 6},  // ... net 2 -> 6
+      {UpdateKind::kDelete, 2, 0, 0},    // plain delete
+      {UpdateKind::kReweight, 1, 2, 3},  // back to current weight: identity
+  };
+  const auto changes = canonical_changes(g, batch);
+  ASSERT_EQ(changes.size(), 2u);
+  // First-touch order: (0,1) appeared before (2,0) among surviving arcs.
+  EXPECT_EQ(changes[0], (ArcChange{0, 1, 2, 6}));
+  EXPECT_EQ(changes[1], (ArcChange{2, 0, 4, kPlusInf}));
+  // `before` is read from the unapplied graph, which stays untouched.
+  EXPECT_EQ(g.weight(0, 1), 2);
+}
+
+TEST(StreamUpdate, CanonicalChangesInsertUsesInfBefore) {
+  const Digraph g = triangle();
+  UpdateBatch batch;
+  batch.updates = {{UpdateKind::kInsert, 3, 0, 1}};
+  const auto changes = canonical_changes(g, batch);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_TRUE(is_plus_inf(changes[0].before));
+  EXPECT_EQ(changes[0].after, 1);
+}
+
+TEST(StreamUpdate, CanonicalChangesValidates) {
+  const Digraph g = triangle();
+  UpdateBatch batch;
+  batch.updates = {{UpdateKind::kInsert, 0, 9, 1}};
+  EXPECT_THROW(canonical_changes(g, batch), SimulationError);
+}
+
+TEST(StreamUpdate, BatchToJson) {
+  UpdateBatch batch;
+  batch.seq = 3;
+  batch.stream = "uniform-reweight";
+  batch.updates = {{UpdateKind::kReweight, 0, 1, 5},
+                   {UpdateKind::kDelete, 1, 2, 0}};
+  const std::string json = batch.to_json();
+  EXPECT_NE(json.find("\"seq\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"stream\":\"uniform-reweight\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"reweight\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"delete\""), std::string::npos);
+  // Deletes carry no weight field.
+  EXPECT_EQ(json.find("\"kind\":\"delete\",\"u\":1,\"v\":2,\"w\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace qclique
