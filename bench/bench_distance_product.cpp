@@ -1,24 +1,36 @@
 // Experiment E6 (Proposition 2): distance product via negative triangles,
 // plus the min-plus kernel engine curve.
 //
+//   usage: bench_distance_product [n] [json-path]
+//
 // Part 1 measures the number of FindEdges calls as the entry range M grows
 // (theory: ceil(log2(4M + 3)) binary-search probes), verifies the product
 // against the naive oracle, and reports rounds per probe.
 //
-// Part 2 sweeps the kernel axis (kernel x n x threads): every registered
-// min-plus kernel over growing matrix sizes, reporting wall time and the
-// speedup over the "naive" oracle, and asserting that all kernels produce
-// identical matrices. A JSON record of the curve is printed next to the
-// table (the bench-artifact export, like bench_transport's ledger dump).
-// Acceptance tracking: "parallel" (blocked + multithreaded) must beat
-// "naive" by >= 3x at n >= 256.
+// Part 2 sweeps the kernel axis (kernel x size x threads) up to the pinned
+// n (default 512): every registered min-plus kernel over growing matrix
+// sizes, reporting wall time and the speedups over the "naive" oracle and
+// the "blocked" production kernel, and asserting that all kernels produce
+// bit-identical matrices *and witnesses*. The curve is written to
+// `json-path` (default BENCH_distance_product.json) in the schema_version-
+// stamped file envelope shared by the other benches; scripts/bench_diff.py
+// diffs it against bench/baselines/BENCH_distance_product.json in its
+// kernel-throughput mode.
+//
+// Doubles as the SIMD acceptance gate: at n >= 512, when runtime dispatch
+// resolves to a vector tier (see QCLIQUE_KERNEL_ISA in docs/KERNELS.md),
+// the "simd" kernel must beat "blocked" by >= 2x single-threaded -- the
+// bench exits non-zero when the bar is missed or any kernel disagrees.
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "congest/round_ledger.hpp"
 #include "core/distance_product.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/min_plus.hpp"
@@ -55,8 +67,11 @@ double time_product_ms(const MinPlusKernel& kernel, const DistMatrix& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qclique;
+  const std::uint32_t max_n =
+      argc > 1 ? static_cast<std::uint32_t>(std::stoul(argv[1])) : 512;
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_distance_product.json";
   std::cout << "E6: Proposition 2 -- distance product via FindEdges\n";
 
   Table table({"n", "M", "FindEdges calls", "theory ceil(log2(4M+3))", "rounds",
@@ -86,33 +101,57 @@ int main() {
   std::cout << "\nThe calls column tracks ceil(log2(4M+3)): this is the log W\n"
                "factor in Theorem 1's O~(n^{1/4} log W).\n";
 
-  // ---- Kernel engine axis: kernel x n x threads. ---------------------------
-  std::cout << "\nKernel engine: naive vs blocked vs parallel\n";
+  // ---- Kernel engine axis: kernel x size x threads. ------------------------
+  const KernelIsa isa = active_kernel_isa();
   KernelRegistry& kernels = KernelRegistry::instance();
-  std::cout << "Kernels: ";
+  std::cout << "\nKernel engine sweep (dispatched ISA tier: "
+            << kernel_isa_name(isa) << ")\nKernels: ";
   for (const auto& name : kernels.names()) std::cout << name << " ";
   std::cout << "\n\n";
 
-  Table ktable({"n", "kernel", "threads", "wall ms", "speedup vs naive", "agrees"});
+  std::vector<std::uint32_t> sizes;
+  for (const std::uint32_t n : {64u, 128u, 256u, 512u}) {
+    if (n <= max_n) sizes.push_back(n);
+  }
+  if (sizes.empty() || sizes.back() != max_n) sizes.push_back(max_n);
+
+  Table ktable({"n", "kernel", "threads", "wall ms", "vs naive", "vs blocked",
+                "agrees"});
   std::ostringstream json;
-  json << "[";
+  json << "{\"bench\":\"distance_product\",\"schema_version\":1,\"n\":" << max_n
+       << ",\"isa\":" << json_quote(kernel_isa_name(isa)) << ",\"runs\":[";
   bool all_agree = true;
   bool json_first = true;
-  double parallel_speedup_256 = 0.0;
+  double simd_vs_blocked = 0.0;
   const MinPlusKernel& naive = kernels.get("naive");
-  for (const std::uint32_t n : {64u, 128u, 256u}) {
+  for (const std::uint32_t n : sizes) {
     Rng rng(4096 + n);
     const DistMatrix a = random_matrix(n, 50, 0.9, rng);
     const DistMatrix b = random_matrix(n, 50, 0.9, rng);
-    const int reps = n <= 128 ? 3 : 2;
+    const int reps = n <= 128 ? 3 : n <= 256 ? 2 : 1;
     DistMatrix reference(n);
+    std::vector<std::uint32_t> reference_wit;
     const double naive_ms = time_product_ms(naive, a, b, {}, reps, &reference);
+    naive.product(a, b, {}, &reference_wit);
+    double blocked_ms1 = 0.0;
+    // "blocked" first so every later row can report its speedup over it.
+    std::vector<std::string> order{"blocked"};
     for (const auto& name : kernels.names()) {
+      if (name != "blocked") order.push_back(name);
+    }
+    for (const auto& name : order) {
       const MinPlusKernel& kernel = kernels.get(name);
-      // Only "parallel" reads num_threads; re-timing the others per thread
-      // row would just re-run bit-identical products (naive reuses the
-      // reference timing outright).
-      const bool thread_sensitive = name == "parallel";
+      // Witness agreement once per (kernel, n): one witness-carrying run
+      // against the oracle's distances *and* witnesses.
+      if (name != "naive") {
+        std::vector<std::uint32_t> wit;
+        const DistMatrix got = kernel.product(a, b, {}, &wit);
+        all_agree = all_agree && got == reference && wit == reference_wit;
+      }
+      // Only the row-band kernels read num_threads ("auto" supplies its
+      // own plan); re-timing the others per thread row would just re-run
+      // bit-identical products (naive reuses the reference timing).
+      const bool thread_sensitive = name == "parallel" || name == "simd";
       double ms1 = naive_ms;
       bool agrees1 = true;
       for (const unsigned threads : {1u, 2u, 8u}) {
@@ -136,28 +175,48 @@ int main() {
           }
         }
         all_agree = all_agree && agrees;
+        if (name == "blocked" && threads == 1) blocked_ms1 = ms;
         const double speedup = ms > 0 ? naive_ms / ms : 0.0;
-        if (name == "parallel" && n == 256) {
-          parallel_speedup_256 = std::max(parallel_speedup_256, speedup);
+        const double vs_blocked = ms > 0 && blocked_ms1 > 0 ? blocked_ms1 / ms : 0.0;
+        if (name == "simd" && threads == 1 && n == max_n) {
+          simd_vs_blocked = vs_blocked;
         }
         ktable.add_row({Table::fmt(static_cast<std::uint64_t>(n)), name,
                         Table::fmt(static_cast<std::uint64_t>(threads)),
                         Table::fmt(ms, 2), Table::fmt(speedup, 2),
-                        agrees ? "yes" : "NO"});
-        json << (json_first ? "" : ",") << "{\"n\":" << n << ",\"kernel\":\"" << name
-             << "\",\"threads\":" << threads << ",\"wall_ms\":" << ms
-             << ",\"speedup\":" << speedup << "}";
+                        Table::fmt(vs_blocked, 2), agrees ? "yes" : "NO"});
+        json << (json_first ? "" : ",") << "{\"n\":" << n
+             << ",\"kernel\":" << json_quote(name) << ",\"threads\":" << threads
+             << ",\"wall_ms\":" << ms << ",\"ns_per_product\":" << ms * 1e6
+             << ",\"speedup_vs_naive\":" << speedup
+             << ",\"speedup_vs_blocked\":" << vs_blocked << "}";
         json_first = false;
       }
     }
   }
-  json << "]";
+  json << "],\"simd_vs_blocked\":" << simd_vs_blocked
+       << ",\"all_agree\":" << (all_agree ? "true" : "false") << "}";
   ktable.print("Kernel x n x threads (best-of-reps wall time, one product)");
-  std::cout << "\nkernel_bench_json: " << json.str() << "\n";
 
-  const bool target_met = parallel_speedup_256 >= 3.0;
-  std::cout << "\nAll kernels agree bit-for-bit: " << (all_agree ? "yes" : "NO")
-            << "\nspeedup(parallel vs naive) at n=256: " << parallel_speedup_256
-            << "x (target >= 3x: " << (target_met ? "yes" : "NO") << ")\n";
-  return all_agree ? 0 : 1;
+  std::ofstream out(json_path);
+  out << json.str() << "\n";
+  out.close();
+  std::cout << "\nwrote " << json_path << "\n";
+  std::cout << "all kernels agree bit-for-bit (distances and witnesses): "
+            << (all_agree ? "yes" : "NO") << "\n";
+
+  // The SIMD acceptance gate arms at n >= 512 when dispatch resolved to a
+  // vector tier; under a scalar tier "simd" *is* the blocked band, so a
+  // 2x bar would be meaningless there.
+  bool gate_ok = true;
+  if (max_n >= 512 && isa != KernelIsa::scalar) {
+    gate_ok = simd_vs_blocked >= 2.0;
+    std::cout << "SIMD gate: simd vs blocked at n=" << max_n << " ("
+              << kernel_isa_name(isa) << ", 1 thread): "
+              << Table::fmt(simd_vs_blocked, 2)
+              << "x (target 2x): " << (gate_ok ? "PASS" : "FAIL") << "\n";
+  } else {
+    std::cout << "SIMD gate: disarmed (n < 512 or scalar tier)\n";
+  }
+  return all_agree && gate_ok ? 0 : 1;
 }

@@ -25,6 +25,16 @@ Per bench kind:
                     more than the threshold.
   dynamic_apsp      Per-(family, stream) incremental-over-recompute speedup
                     must not drop by more than the threshold.
+  distance_product  Per-(n, kernel, threads) kernel throughput. The default
+                    --kernel-mode relative compares each kernel's speedup
+                    over the same artifact's naive oracle (machine-robust,
+                    like pipeline share mode); --kernel-mode absolute
+                    compares raw ns/product for pinned same-machine trend
+                    tracking. A drop beyond the threshold fails. When the
+                    baseline and fresh runs dispatched different ISA tiers,
+                    simd/auto rows are skipped (their speedups are not
+                    comparable across tiers); the scalar kernels still
+                    diff.
 
 Exit status: 0 = no regressions, 1 = at least one regression, 2 = bad
 invocation or unparseable input.
@@ -136,10 +146,48 @@ def diff_dynamic_apsp(base, fresh, args):
     return regressions
 
 
+def diff_distance_product(base, fresh, args):
+    regressions = []
+    isa_differs = base.get("isa") != fresh.get("isa")
+    if isa_differs:
+        print(f"bench_diff: note: ISA tier differs (baseline "
+              f"{base.get('isa')}, fresh {fresh.get('isa')}); "
+              f"simd/auto rows skipped")
+    base_runs = {(r["n"], r["kernel"], r["threads"]): r
+                 for r in base.get("runs", [])}
+    for run in fresh.get("runs", []):
+        key = (run["n"], run["kernel"], run["threads"])
+        if key not in base_runs:
+            continue
+        if run["kernel"] == "naive":
+            continue  # the normalizer: its relative speedup is 1 by definition
+        if isa_differs and run["kernel"] in ("simd", "auto"):
+            continue
+        brun = base_runs[key]
+        if args.kernel_mode == "relative":
+            bval = brun["speedup_vs_naive"]
+            fval = run["speedup_vs_naive"]
+            if drop_regressed(bval, fval, args.threshold):
+                regressions.append(
+                    f"{run['kernel']}/n={run['n']}/{run['threads']}t: "
+                    f"throughput vs naive {bval:.2f}x -> {fval:.2f}x "
+                    f"(-{100.0 * (1.0 - fval / bval):.1f}%)")
+        else:
+            bval = brun["ns_per_product"]
+            fval = run["ns_per_product"]
+            if ratio_regressed(bval, fval, args.threshold):
+                regressions.append(
+                    f"{run['kernel']}/n={run['n']}/{run['threads']}t: "
+                    f"ns/product {bval:.0f} -> {fval:.0f} "
+                    f"(+{100.0 * (fval / bval - 1.0):.1f}%)")
+    return regressions
+
+
 DIFFERS = {
     "pipeline_profile": diff_pipeline,
     "query_serving": diff_query_serving,
     "dynamic_apsp": diff_dynamic_apsp,
+    "distance_product": diff_distance_product,
 }
 
 
@@ -156,6 +204,11 @@ def main():
     parser.add_argument("--min-share", type=float, default=0.05,
                         help="ignore phases below this share of the baseline "
                              "profile in share mode (default 0.05)")
+    parser.add_argument("--kernel-mode", choices=["relative", "absolute"],
+                        default="relative",
+                        help="distance_product comparison mode: speedup over "
+                             "the same artifact's naive oracle, or raw "
+                             "ns/product (default relative)")
     args = parser.parse_args()
 
     try:

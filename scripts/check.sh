@@ -27,12 +27,12 @@
 # smoke runs are skipped — that mode exists for targeted sanitizer jobs,
 # not for tier-1 verification.
 # Set QCLIQUE_BENCH_SMOKE=1 to append bench_pipeline_profile,
-# bench_query_serving, and bench_dynamic_apsp runs (small n) that write the
-# BENCH_*.json perf artifacts into the build dir (see docs/PERFORMANCE.md,
-# docs/SERVING.md, and docs/STREAMING.md), then diff them against the
-# committed bench/baselines via scripts/bench_diff.py; QCLIQUE_BUILD_TYPE
-# overrides the build type (default RelWithDebInfo — use Release for perf
-# numbers).
+# bench_query_serving, bench_dynamic_apsp, and bench_distance_product runs
+# that write the BENCH_*.json perf artifacts into the build dir (see
+# docs/PERFORMANCE.md, docs/SERVING.md, docs/STREAMING.md, and
+# docs/KERNELS.md), then diff them against the committed bench/baselines
+# via scripts/bench_diff.py; QCLIQUE_BUILD_TYPE overrides the build type
+# (default RelWithDebInfo — use Release for perf numbers).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -116,13 +116,20 @@ if [[ -n "${QCLIQUE_BENCH_SMOKE:-}" ]]; then
   # distances diverge from the recompute oracle on any batch.
   "$BUILD_DIR/bench_dynamic_apsp" 64 "$BUILD_DIR/BENCH_dynamic_apsp.json" > /dev/null
   echo "wrote $BUILD_DIR/BENCH_dynamic_apsp.json"
+  echo "== smoke: kernel engine sweep (BENCH_distance_product.json) =="
+  # Runs at the baseline's pinned n = 512 so bench_diff has rows to compare;
+  # this also arms the SIMD acceptance gate (simd >= 2x blocked, exit code)
+  # whenever runtime dispatch lands on a vector tier.
+  "$BUILD_DIR/bench_distance_product" 512 "$BUILD_DIR/BENCH_distance_product.json" > /dev/null
+  echo "wrote $BUILD_DIR/BENCH_distance_product.json"
   echo "== bench_diff vs bench/baselines =="
   # Artifacts whose pinned n differs from the committed baseline are
   # skipped by bench_diff itself (wall times at different sizes are not
   # comparable); the pipeline profile runs at the baseline's n = 16.
   python3 scripts/bench_diff.py "$BUILD_DIR/BENCH_pipeline.json" \
           "$BUILD_DIR/BENCH_query_serving.json" \
-          "$BUILD_DIR/BENCH_dynamic_apsp.json"
+          "$BUILD_DIR/BENCH_dynamic_apsp.json" \
+          "$BUILD_DIR/BENCH_distance_product.json"
 fi
 
 echo "OK: build, tests, and API smoke runs all passed."

@@ -1,5 +1,6 @@
 #include "api/execution_context.hpp"
 
+#include "matrix/autotuner.hpp"
 #include "serve/snapshot_store.hpp"
 
 namespace qclique {
@@ -8,8 +9,14 @@ ExecutionContext::ExecutionContext(std::uint64_t seed)
     : seed_(seed),
       rng_(seed),
       profiler_(std::make_shared<PhaseProfiler>()),
+      // Per-context tuner (not the process instance) so tests and batch
+      // harnesses get isolated caches; it still honors the
+      // QCLIQUE_AUTOTUNE_CACHE warm-start via the process instance only
+      // when callers opt in by pointing config.autotuner there.
+      autotuner_(std::make_shared<KernelAutotuner>()),
       store_(std::make_shared<SnapshotStore>()) {
   transport_.profiler = profiler_;
+  kernel_.config.autotuner = autotuner_.get();
 }
 
 }  // namespace qclique

@@ -21,6 +21,7 @@
 
 namespace qclique {
 
+class KernelAutotuner;
 class SnapshotStore;
 
 /// Default seed used when callers do not care about the stream identity.
@@ -98,6 +99,14 @@ class ExecutionContext {
   /// SimulationError naming the known kernels on a miss).
   const MinPlusKernel& min_plus_kernel() const { return kernel_.resolve(); }
 
+  /// The context's kernel autotuner: the winner cache the "auto" kernel
+  /// consults for products run under this context (kernel_options().config
+  /// points at it). Shared across fork() like the snapshot store -- the
+  /// tuner is internally synchronized, so a batch sweep tunes each product
+  /// shape once for all workers.
+  KernelAutotuner& autotuner() { return *autotuner_; }
+  const KernelAutotuner& autotuner() const { return *autotuner_; }
+
   /// Wall-clock profiler shared with every network this context builds
   /// (TransportOptions carries it into make_network): routing primitives
   /// record per-phase spans keyed by ledger phase, and ApspSolver::solve
@@ -136,6 +145,10 @@ class ExecutionContext {
     child.transport_.profiler = child.profiler_;
     child.kernel_ = kernel_;
     child.family_ = family_;
+    // The autotuner is shared like the store: internally synchronized, and
+    // sharing is what makes a batch sweep tune each shape exactly once.
+    child.autotuner_ = autotuner_;
+    child.kernel_.config.autotuner = child.autotuner_.get();
     // The snapshot store is shared, not forked: it is the one piece of
     // context state that is internally synchronized, and sharing it is
     // what lets a batch publish per-scenario snapshots into one surface.
@@ -153,6 +166,7 @@ class ExecutionContext {
   std::string family_;
   RoundLedger ledger_;
   std::shared_ptr<PhaseProfiler> profiler_;
+  std::shared_ptr<KernelAutotuner> autotuner_;
   std::shared_ptr<SnapshotStore> store_;
   unsigned num_threads_ = 0;
   bool check_negative_cycles_ = true;

@@ -1,0 +1,259 @@
+#include "matrix/autotuner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+namespace {
+
+/// Extracts the number following `"<field>":` inside one JSON object
+/// fragment, or nullopt. Good enough for the cache files this TU itself
+/// writes; anything malformed fails the whole load() instead of
+/// half-parsing.
+std::optional<double> field_number(const std::string& obj, const std::string& field) {
+  const std::string needle = "\"" + field + "\":";
+  const auto pos = obj.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* start = obj.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return v;
+}
+
+/// Extracts the string following `"<field>":"` up to the closing quote.
+std::optional<std::string> field_string(const std::string& obj,
+                                        const std::string& field) {
+  const std::string needle = "\"" + field + "\":\"";
+  const auto pos = obj.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const auto start = pos + needle.size();
+  const auto close = obj.find('"', start);
+  if (close == std::string::npos) return std::nullopt;
+  return obj.substr(start, close - start);
+}
+
+std::string autotune_cache_path_from_env() {
+  const char* path = std::getenv("QCLIQUE_AUTOTUNE_CACHE");
+  return path ? path : "";
+}
+
+class AutoKernel final : public MinPlusKernel {
+ public:
+  std::string name() const override { return "auto"; }
+
+  std::string description() const override {
+    return "autotuned delegation: sweeps kernel x block x threads once per "
+           "(shape, ISA), caches the winner";
+  }
+
+  void run(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+           std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+           const KernelConfig& config, std::uint32_t* witness) const override {
+    const KernelRegistry& registry = KernelRegistry::instance();
+    // Tiny products: the sweep would cost orders of magnitude more than it
+    // could ever save (same threshold as the row-band single-thread cut).
+    if (static_cast<std::uint64_t>(rows) * inner * cols < (1u << 15)) {
+      registry.get("blocked").run(a, b, c, rows, inner, cols, config, witness);
+      return;
+    }
+    const TuneShape shape{rows, inner, cols, active_kernel_isa()};
+    KernelAutotuner& tuner =
+        config.autotuner ? *config.autotuner : KernelAutotuner::process_instance();
+    const TunePlan plan = tuner.plan_for(shape, [&](const TunePlan& cand) {
+      // Candidates run on the real inputs into a scratch output, so the
+      // sweep measures exactly the memory behavior the winner will see.
+      std::vector<std::int64_t> scratch(static_cast<std::size_t>(rows) * cols);
+      const KernelConfig cc = cand.config();
+      const auto start = std::chrono::steady_clock::now();
+      registry.get(cand.kernel).run(a, b, scratch.data(), rows, inner, cols, cc,
+                                    nullptr);
+      const auto stop = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::milli>(stop - start).count();
+    });
+    registry.get(plan.kernel).run(a, b, c, rows, inner, cols, plan.config(),
+                                  witness);
+  }
+};
+
+}  // namespace
+
+KernelAutotuner::KernelAutotuner(std::string cache_path)
+    : cache_path_(std::move(cache_path)) {
+  if (!cache_path_.empty()) load(cache_path_);
+}
+
+KernelAutotuner::Key KernelAutotuner::key_of(const TuneShape& shape) {
+  return {shape.rows, shape.inner, shape.cols, static_cast<int>(shape.isa)};
+}
+
+TunePlan KernelAutotuner::plan_for(const TuneShape& shape, const Measure& measure) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key = key_of(shape);
+  if (const auto it = plans_.find(key); it != plans_.end()) return it->second;
+  TunePlan best;
+  double best_ms = -1.0;
+  for (const TunePlan& cand : candidates(shape)) {
+    const double ms = measure(cand);
+    // Strict improvement only: ties keep the earliest candidate, so equal
+    // measurements cannot flap the winner between runs.
+    if (best_ms < 0.0 || ms < best_ms) {
+      best = cand;
+      best_ms = ms;
+    }
+  }
+  QCLIQUE_CHECK(best_ms >= 0.0, "autotuner: empty candidate grid");
+  best.best_ms = best_ms;
+  plans_[key] = best;
+  ++sweeps_;
+  if (!cache_path_.empty()) save_locked(cache_path_);
+  return best;
+}
+
+std::optional<TunePlan> KernelAutotuner::cached(const TuneShape& shape) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = plans_.find(key_of(shape)); it != plans_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+void KernelAutotuner::set_plan(const TuneShape& shape, const TunePlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_[key_of(shape)] = plan;
+}
+
+std::size_t KernelAutotuner::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+std::uint64_t KernelAutotuner::sweeps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sweeps_;
+}
+
+void KernelAutotuner::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  sweeps_ = 0;
+}
+
+bool KernelAutotuner::save(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return save_locked(path);
+}
+
+bool KernelAutotuner::save_locked(const std::string& path) const {
+  std::ostringstream out;
+  out << "{\"autotuner_cache\":1,\"plans\":[";
+  bool first = true;
+  for (const auto& [key, plan] : plans_) {
+    const auto& [rows, inner, cols, isa] = key;
+    if (!first) out << ",";
+    first = false;
+    out << "{\"rows\":" << rows << ",\"inner\":" << inner << ",\"cols\":" << cols
+        << ",\"isa\":\"" << kernel_isa_name(static_cast<KernelIsa>(isa))
+        << "\",\"kernel\":\"" << plan.kernel
+        << "\",\"block_size\":" << plan.block_size
+        << ",\"num_threads\":" << plan.num_threads
+        << ",\"best_ms\":" << plan.best_ms << "}";
+  }
+  out << "]}\n";
+  std::ofstream f(path);
+  if (!f) return false;
+  f << out.str();
+  return static_cast<bool>(f);
+}
+
+bool KernelAutotuner::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  if (text.find("\"autotuner_cache\":1") == std::string::npos) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Walk the {...} objects inside "plans":[...]; each is flat (no nested
+  // braces), matching what save() writes.
+  auto pos = text.find("\"plans\":[");
+  if (pos == std::string::npos) return false;
+  pos += 9;
+  const auto array_end = text.find(']', pos);
+  if (array_end == std::string::npos) return false;
+  while (true) {
+    const auto open = text.find('{', pos);
+    if (open == std::string::npos || open > array_end) break;
+    const auto close = text.find('}', open);
+    if (close == std::string::npos) return false;
+    const std::string obj = text.substr(open, close - open + 1);
+    const auto rows = field_number(obj, "rows");
+    const auto inner = field_number(obj, "inner");
+    const auto cols = field_number(obj, "cols");
+    const auto isa = field_string(obj, "isa");
+    const auto kernel = field_string(obj, "kernel");
+    const auto block = field_number(obj, "block_size");
+    const auto threads = field_number(obj, "num_threads");
+    if (!rows || !inner || !cols || !isa || !kernel || !block || !threads) {
+      return false;
+    }
+    TuneShape shape{static_cast<std::uint32_t>(*rows),
+                    static_cast<std::uint32_t>(*inner),
+                    static_cast<std::uint32_t>(*cols), parse_kernel_isa(*isa)};
+    TunePlan plan;
+    plan.kernel = *kernel;
+    plan.block_size = static_cast<std::uint32_t>(*block);
+    plan.num_threads = static_cast<unsigned>(*threads);
+    plan.best_ms = field_number(obj, "best_ms").value_or(0.0);
+    // In-memory plans win: they were measured in this process.
+    plans_.emplace(key_of(shape), plan);
+    pos = close + 1;
+  }
+  return true;
+}
+
+std::vector<TunePlan> KernelAutotuner::candidates(const TuneShape& shape) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint32_t dim_max =
+      std::max({shape.rows, shape.inner, shape.cols, 1u});
+  // (kernel, threads) pairs that are genuinely distinct runs: "parallel"
+  // at 1 worker is bit- and cost-identical to "blocked", and "simd" under
+  // a scalar tier is "parallel", so neither appears twice.
+  std::vector<std::pair<std::string, unsigned>> runs{{"blocked", 1}};
+  if (hw > 1) runs.emplace_back("parallel", hw);
+  if (shape.isa != KernelIsa::scalar) {
+    runs.emplace_back("simd", 1);
+    if (hw > 1) runs.emplace_back("simd", hw);
+  }
+  std::vector<TunePlan> out;
+  for (const auto& [kernel, threads] : runs) {
+    for (const std::uint32_t bs : {32u, 64u, 128u}) {
+      if (bs > dim_max && bs != 32u) continue;  // clamped duplicates
+      TunePlan plan;
+      plan.kernel = kernel;
+      plan.block_size = bs;
+      plan.num_threads = threads;
+      out.push_back(plan);
+    }
+  }
+  return out;
+}
+
+KernelAutotuner& KernelAutotuner::process_instance() {
+  static KernelAutotuner* global =
+      new KernelAutotuner(autotune_cache_path_from_env());
+  return *global;
+}
+
+std::unique_ptr<MinPlusKernel> make_auto_kernel() {
+  return std::make_unique<AutoKernel>();
+}
+
+}  // namespace qclique

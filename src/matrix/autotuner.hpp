@@ -1,0 +1,145 @@
+// KernelAutotuner: per-(shape, ISA) winner cache behind the "auto" kernel.
+//
+// The kernel contract makes every registered kernel interchangeable bit
+// for bit, which turns kernel choice into a pure performance decision --
+// and the best choice genuinely varies: at tiny n the blocked band wins
+// (no thread spawn, no dispatch), at large n the SIMD band wins, and the
+// best tile edge and worker count depend on cache sizes and core counts
+// the code cannot know statically. The autotuner makes the decision
+// empirically, once per (rows, inner, cols, ISA) shape: sweep a small
+// candidate grid of kernel x block_size x num_threads, time each candidate
+// on the caller's actual buffers, cache the winner, and replay it for
+// every later product of that shape.
+//
+// Determinism: tuning changes which kernel runs, never what it computes --
+// the conformance suite pins every candidate to the naive oracle, so the
+// "auto" kernel inherits the contract no matter which candidate wins on a
+// given host. The winner itself is wall-clock-dependent by design; the
+// cache can be persisted to a JSON file (QCLIQUE_AUTOTUNE_CACHE) to make
+// it stable across processes on one machine.
+//
+// Sharing: ExecutionContext owns one KernelAutotuner shared across fork()
+// children (like the SnapshotStore, it is internally synchronized), so a
+// BatchRunner sweep tunes each shape once for the whole batch, not once
+// per worker. Library calls that pass no context fall back to the
+// process-wide instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "matrix/kernels.hpp"
+
+namespace qclique {
+
+/// One tuned product shape: the rectangular dimensions plus the ISA tier
+/// that was active when the sweep ran (a plan tuned for AVX-512 bands is
+/// meaningless under a forced-scalar run).
+struct TuneShape {
+  std::uint32_t rows = 0;
+  std::uint32_t inner = 0;
+  std::uint32_t cols = 0;
+  KernelIsa isa = KernelIsa::scalar;
+
+  friend auto operator<=>(const TuneShape&, const TuneShape&) = default;
+};
+
+/// One candidate (and, once swept, the cached winner): a registry kernel
+/// name plus the config it is to run with. `best_ms` records the measured
+/// time of the winning run (0 when the plan was loaded from a cache file
+/// written by a different build -- informational only).
+struct TunePlan {
+  std::string kernel = "blocked";
+  std::uint32_t block_size = 64;
+  unsigned num_threads = 1;
+  double best_ms = 0.0;
+
+  KernelConfig config() const {
+    KernelConfig c;
+    c.num_threads = num_threads;
+    c.block_size = block_size;
+    return c;
+  }
+};
+
+/// Thread-safe (shape, ISA) -> TunePlan cache with optional JSON-file
+/// persistence. Measurement is delegated to the caller (the "auto" kernel
+/// times real products; tests inject deterministic fake timers).
+class KernelAutotuner {
+ public:
+  /// `cache_path` != "" loads any existing plans from that JSON file now
+  /// and rewrites the file after every new sweep.
+  explicit KernelAutotuner(std::string cache_path = "");
+
+  KernelAutotuner(const KernelAutotuner&) = delete;
+  KernelAutotuner& operator=(const KernelAutotuner&) = delete;
+
+  /// Measures one candidate, returning its wall milliseconds.
+  using Measure = std::function<double(const TunePlan&)>;
+
+  /// The cached plan for `shape`, sweeping candidates(shape) through
+  /// `measure` on a miss (smallest measured time wins; first in candidate
+  /// order on ties, so equal measurements cannot flap the winner). The
+  /// sweep runs under the cache lock: concurrent callers of the same shape
+  /// block and then read the winner instead of racing duplicate sweeps.
+  TunePlan plan_for(const TuneShape& shape, const Measure& measure);
+
+  /// The cached plan, or nullopt without sweeping.
+  std::optional<TunePlan> cached(const TuneShape& shape) const;
+
+  /// Injects a plan (tests; warm-start from external knowledge).
+  void set_plan(const TuneShape& shape, const TunePlan& plan);
+
+  /// Number of cached plans / completed sweeps (sweeps excludes plans that
+  /// arrived via load() or set_plan()).
+  std::size_t size() const;
+  std::uint64_t sweeps() const;
+
+  void clear();
+
+  /// Persists every cached plan to `path` (the autotuner-cache JSON format
+  /// documented in docs/KERNELS.md). Returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+  /// Merges plans from `path` into the cache (existing shapes keep their
+  /// in-memory plan). Returns false when the file is missing/unparseable;
+  /// a missing file is the normal cold-start case, not an error.
+  bool load(const std::string& path);
+
+  /// The candidate grid for a shape: "blocked" and "parallel" (scalar
+  /// bands), plus "simd" when the shape's tier is a vector tier, crossed
+  /// with block sizes {32, 64, 128} and worker counts {1, hardware}.
+  /// Candidates never include "auto" (no recursion) or "naive" (strictly
+  /// dominated by "blocked").
+  static std::vector<TunePlan> candidates(const TuneShape& shape);
+
+  /// The process-wide fallback tuner used when KernelConfig::autotuner is
+  /// null; its cache path comes from QCLIQUE_AUTOTUNE_CACHE.
+  static KernelAutotuner& process_instance();
+
+ private:
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t, int>;
+  static Key key_of(const TuneShape& shape);
+
+  bool save_locked(const std::string& path) const;
+
+  mutable std::mutex mu_;
+  std::map<Key, TunePlan> plans_;
+  std::string cache_path_;
+  std::uint64_t sweeps_ = 0;
+};
+
+/// The "auto" kernel: resolves a TunePlan for each call's (shape, active
+/// ISA) through the KernelConfig's autotuner (process-wide instance when
+/// null) and delegates to the winning kernel. Exposed as a factory so
+/// register_builtin_kernels can install it without this header leaking
+/// the class.
+std::unique_ptr<MinPlusKernel> make_auto_kernel();
+
+}  // namespace qclique

@@ -1,0 +1,102 @@
+// The AVX2 tier: 4 x i64 lanes over the clean-tile inner loop.
+//
+// Compiled with -mavx2 (CMake adds the flag to this TU only, so the rest
+// of the library stays portable); when the toolchain cannot target AVX2
+// the stub below forwards to the scalar band and reports compiled() =
+// false, which removes the tier from runtime dispatch.
+//
+// The vector body computes exactly what clean_row_scalar computes:
+//   v      = max(aik + b[j], kMinusInf)        (the lower saturation clamp)
+//   c[j]   = min(c[j], v)                      (strict-improvement min)
+//   w[j]   = k on strict improvement           (witness, optional)
+// AVX2 has no packed 64-bit min, so both min and max are a signed compare
+// (vpcmpgtq) feeding a byte blend (vpblendvb). The upper clamp is free for
+// the same reason as in the scalar path: on a sentinel-free tile a sum
+// that would saturate to +inf can never beat a stored c entry. Witness
+// updates extract the 4-bit improvement mask (vmovmskpd) and write k on
+// set lanes -- k is scalar within the loop, so the smallest-k tie-break is
+// inherited from the traversal order, not re-derived per lane.
+#include "matrix/kernel_band.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace qclique::detail {
+
+namespace {
+
+inline void clean_row_avx2(std::int64_t aik, const std::int64_t* brow,
+                           std::int64_t* crow, std::uint32_t* wrow,
+                           std::uint32_t jj, std::uint32_t jh, std::uint32_t k) {
+  const __m256i vaik = _mm256_set1_epi64x(aik);
+  const __m256i vminf = _mm256_set1_epi64x(kMinusInf);
+  std::uint32_t j = jj;
+  if (wrow == nullptr) {
+    for (; j + 4 <= jh; j += 4) {
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(brow + j));
+      const __m256i s = _mm256_add_epi64(vaik, vb);
+      // v = max(s, -inf): keep s only where s > -inf.
+      const __m256i gt = _mm256_cmpgt_epi64(s, vminf);
+      const __m256i v = _mm256_blendv_epi8(vminf, s, gt);
+      const __m256i vc =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(crow + j));
+      // c = min(c, v): keep v only where c > v (strict improvement).
+      const __m256i imp = _mm256_cmpgt_epi64(vc, v);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + j),
+                          _mm256_blendv_epi8(vc, v, imp));
+    }
+  } else {
+    for (; j + 4 <= jh; j += 4) {
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(brow + j));
+      const __m256i s = _mm256_add_epi64(vaik, vb);
+      const __m256i gt = _mm256_cmpgt_epi64(s, vminf);
+      const __m256i v = _mm256_blendv_epi8(vminf, s, gt);
+      const __m256i vc =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(crow + j));
+      const __m256i imp = _mm256_cmpgt_epi64(vc, v);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + j),
+                          _mm256_blendv_epi8(vc, v, imp));
+      const int m = _mm256_movemask_pd(_mm256_castsi256_pd(imp));
+      if (m != 0) {
+        if (m & 1) wrow[j] = k;
+        if (m & 2) wrow[j + 1] = k;
+        if (m & 4) wrow[j + 2] = k;
+        if (m & 8) wrow[j + 3] = k;
+      }
+    }
+  }
+  clean_row_scalar(aik, brow, crow, wrow, j, jh, k);
+}
+
+}  // namespace
+
+void simd_band_avx2(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+                    std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+                    std::uint32_t bs, const std::uint8_t* clean,
+                    std::uint32_t* witness) {
+  banded_tiles(a, b, c, rows, inner, cols, bs, clean, witness, clean_row_avx2);
+}
+
+bool kernel_band_avx2_compiled() { return true; }
+
+}  // namespace qclique::detail
+
+#else  // !__AVX2__
+
+namespace qclique::detail {
+
+void simd_band_avx2(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+                    std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+                    std::uint32_t bs, const std::uint8_t* clean,
+                    std::uint32_t* witness) {
+  blocked_band(a, b, c, rows, inner, cols, bs, clean, witness);
+}
+
+bool kernel_band_avx2_compiled() { return false; }
+
+}  // namespace qclique::detail
+
+#endif

@@ -1,0 +1,78 @@
+// The AVX-512 tier: 8 x i64 lanes over the clean-tile inner loop.
+//
+// Compiled with -mavx512f (this TU only); the stub branch keeps the symbol
+// linkable and the tier out of dispatch when the toolchain cannot target
+// AVX-512. Unlike AVX2, AVX512F has native packed 64-bit min/max
+// (vpminsq/vpmaxsq), so the no-witness body is clamp + min with no
+// compare/blend pairs; the witness body still needs the improvement mask,
+// which compare-into-mask (vpcmpq -> __mmask8) gives directly.
+#include "matrix/kernel_band.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace qclique::detail {
+
+namespace {
+
+inline void clean_row_avx512(std::int64_t aik, const std::int64_t* brow,
+                             std::int64_t* crow, std::uint32_t* wrow,
+                             std::uint32_t jj, std::uint32_t jh, std::uint32_t k) {
+  const __m512i vaik = _mm512_set1_epi64(aik);
+  const __m512i vminf = _mm512_set1_epi64(kMinusInf);
+  std::uint32_t j = jj;
+  if (wrow == nullptr) {
+    for (; j + 8 <= jh; j += 8) {
+      const __m512i vb = _mm512_loadu_si512(brow + j);
+      const __m512i v = _mm512_max_epi64(_mm512_add_epi64(vaik, vb), vminf);
+      const __m512i vc = _mm512_loadu_si512(crow + j);
+      _mm512_storeu_si512(crow + j, _mm512_min_epi64(vc, v));
+    }
+  } else {
+    for (; j + 8 <= jh; j += 8) {
+      const __m512i vb = _mm512_loadu_si512(brow + j);
+      const __m512i v = _mm512_max_epi64(_mm512_add_epi64(vaik, vb), vminf);
+      const __m512i vc = _mm512_loadu_si512(crow + j);
+      // Strict improvement per lane: v < c.
+      const __mmask8 imp = _mm512_cmplt_epi64_mask(v, vc);
+      _mm512_storeu_si512(crow + j, _mm512_mask_blend_epi64(imp, vc, v));
+      if (imp != 0) {
+        for (unsigned lane = 0; lane < 8; ++lane) {
+          if (imp & (1u << lane)) wrow[j + lane] = k;
+        }
+      }
+    }
+  }
+  clean_row_scalar(aik, brow, crow, wrow, j, jh, k);
+}
+
+}  // namespace
+
+void simd_band_avx512(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+                      std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+                      std::uint32_t bs, const std::uint8_t* clean,
+                      std::uint32_t* witness) {
+  banded_tiles(a, b, c, rows, inner, cols, bs, clean, witness, clean_row_avx512);
+}
+
+bool kernel_band_avx512_compiled() { return true; }
+
+}  // namespace qclique::detail
+
+#else  // !__AVX512F__
+
+namespace qclique::detail {
+
+void simd_band_avx512(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+                      std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+                      std::uint32_t bs, const std::uint8_t* clean,
+                      std::uint32_t* witness) {
+  blocked_band(a, b, c, rows, inner, cols, bs, clean, witness);
+}
+
+bool kernel_band_avx512_compiled() { return false; }
+
+}  // namespace qclique::detail
+
+#endif

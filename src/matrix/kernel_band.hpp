@@ -1,0 +1,200 @@
+// Internal: the shared tile skeleton behind the blocked and SIMD min-plus
+// kernels (not part of the public kernel API -- include matrix/kernels.hpp).
+//
+// Every band implementation -- scalar, AVX2, AVX-512, NEON -- is the same
+// tiled i/k/j traversal differing only in how it processes one row of one
+// *clean* (sentinel-free) B tile. This header owns that traversal as the
+// `banded_tiles` template plus the scalar helpers for the sentinel paths
+// (-inf rows, dirty tiles, vector-remainder columns); each per-ISA
+// translation unit instantiates the skeleton with its own clean-row functor
+// and is compiled with only that ISA's flags (see CMakeLists.txt). Keeping
+// one traversal order across tiers is what makes the kernel contract's
+// bit-identical-witnesses clause hold by construction: the smallest-k
+// tie-break falls out of strict-improvement updates while k ascends, and k
+// ascends identically in every tier.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/math.hpp"
+
+namespace qclique::detail {
+
+/// Sentinel witness value duplicated from kernels.hpp (this header must not
+/// include it: kernels.hpp is the public surface, this the private one).
+inline constexpr std::uint32_t kBandNoWitness = 0xffffffffu;
+
+/// Sanitizes the public block_size knob into a tile edge the loops can
+/// trust: at least 1, at most the largest dimension (so tile arithmetic
+/// like `cols + bs - 1` and `ii += bs` cannot wrap uint32 for any
+/// representable matrix).
+std::uint32_t clamp_block(std::uint32_t block, std::uint32_t rows,
+                          std::uint32_t inner, std::uint32_t cols);
+
+/// clean[k * ntiles + t] = 1 when row k of B has no sentinel inside column
+/// tile t (all entries strictly between kMinusInf and kPlusInf), for tiles
+/// of `bs` columns. Computed once per product and shared by every row band.
+std::vector<std::uint8_t> classify_b_tiles(const std::int64_t* b, std::uint32_t inner,
+                                           std::uint32_t cols, std::uint32_t bs);
+
+/// aik = -inf: -inf + x = -inf unless x = +inf; -inf beats everything
+/// except an already-recorded -inf.
+inline void minus_inf_row(const std::int64_t* brow, std::int64_t* crow,
+                          std::uint32_t* wrow, std::uint32_t jj, std::uint32_t jh,
+                          std::uint32_t k) {
+  for (std::uint32_t j = jj; j < jh; ++j) {
+    if (is_plus_inf(brow[j]) || crow[j] <= kMinusInf) continue;
+    crow[j] = kMinusInf;
+    if (wrow) wrow[j] = k;
+  }
+}
+
+/// Finite aik over a sentinel-free stretch of B row k, scalar form. The
+/// loop exploits two saturation facts to drop per-element sentinel checks
+/// without changing a single output bit:
+///   * every stored c entry lies in [kMinusInf, kPlusInf], so a sum that
+///     would saturate to +inf can never pass the `s < c` test -- sums over
+///     sentinel-free stretches need no upper clamp at all;
+///   * the lower clamp only matters when the raw sum already beat c, so it
+///     runs on the (rare) update path, not per element.
+/// This is also the remainder loop after a vector body: the SIMD tiers
+/// compute exactly max(aik + b, -inf) folded into the running min, which is
+/// bit-identical to this.
+inline void clean_row_scalar(std::int64_t aik, const std::int64_t* brow,
+                             std::int64_t* crow, std::uint32_t* wrow,
+                             std::uint32_t jj, std::uint32_t jh, std::uint32_t k) {
+  if (wrow == nullptr) {
+    // Branchless min/max form the compiler can vectorize.
+    for (std::uint32_t j = jj; j < jh; ++j) {
+      const std::int64_t s = aik + brow[j];
+      const std::int64_t v = s <= kMinusInf ? kMinusInf : s;
+      crow[j] = v < crow[j] ? v : crow[j];
+    }
+    return;
+  }
+  for (std::uint32_t j = jj; j < jh; ++j) {
+    const std::int64_t s = aik + brow[j];
+    if (s < crow[j]) {
+      // Clamp below only on the update path (rare), re-testing so a sum
+      // under an already-stored -inf stays a no-op.
+      const std::int64_t v = s <= kMinusInf ? kMinusInf : s;
+      if (v < crow[j]) {
+        crow[j] = v;
+        wrow[j] = k;
+      }
+    }
+  }
+}
+
+/// Finite aik over a dirty (sentinel-carrying) stretch of B row k: mirrors
+/// sat_add case by case.
+inline void careful_row(std::int64_t aik, const std::int64_t* brow,
+                        std::int64_t* crow, std::uint32_t* wrow,
+                        std::uint32_t jj, std::uint32_t jh, std::uint32_t k) {
+  for (std::uint32_t j = jj; j < jh; ++j) {
+    const std::int64_t bkj = brow[j];
+    if (bkj >= kPlusInf) continue;  // s = +inf: never < crow[j]
+    std::int64_t s;
+    if (bkj <= kMinusInf) {
+      s = kMinusInf;
+    } else {
+      s = aik + bkj;
+      if (s >= kPlusInf) continue;  // saturates to +inf: never wins
+      if (s <= kMinusInf) s = kMinusInf;
+    }
+    if (s < crow[j]) {
+      crow[j] = s;
+      if (wrow) wrow[j] = k;
+    }
+  }
+}
+
+/// The tiled i/k/j traversal over one row band [0, rows), parameterized by
+/// the clean-tile row body. `clean_row(aik, brow, crow, wrow, jj, jh, k)`
+/// must fold max(aik + brow[j], kMinusInf) into crow[j] under strict
+/// improvement for j in [jj, jh) -- clean_row_scalar is the reference
+/// implementation and the remainder loop every vector body falls back on.
+/// `clean` comes from classify_b_tiles with the same `bs`.
+template <typename CleanRow>
+inline void banded_tiles(const std::int64_t* a, const std::int64_t* b,
+                         std::int64_t* c, std::uint32_t rows, std::uint32_t inner,
+                         std::uint32_t cols, std::uint32_t bs,
+                         const std::uint8_t* clean, std::uint32_t* witness,
+                         CleanRow&& clean_row) {
+  std::fill(c, c + static_cast<std::size_t>(rows) * cols, kPlusInf);
+  if (witness != nullptr) {
+    std::fill(witness, witness + static_cast<std::size_t>(rows) * cols,
+              kBandNoWitness);
+  }
+  const std::uint32_t ntiles = (cols + bs - 1) / bs;
+  for (std::uint32_t ii = 0; ii < rows; ii += bs) {
+    const std::uint32_t ih = std::min(rows, ii + bs);
+    for (std::uint32_t kk = 0; kk < inner; kk += bs) {
+      const std::uint32_t kh = std::min(inner, kk + bs);
+      for (std::uint32_t jj = 0; jj < cols; jj += bs) {
+        const std::uint32_t jh = std::min(cols, jj + bs);
+        const std::uint32_t tile = jj / bs;
+        for (std::uint32_t i = ii; i < ih; ++i) {
+          const std::int64_t* arow = a + static_cast<std::size_t>(i) * inner;
+          std::int64_t* crow = c + static_cast<std::size_t>(i) * cols;
+          std::uint32_t* wrow =
+              witness ? witness + static_cast<std::size_t>(i) * cols : nullptr;
+          for (std::uint32_t k = kk; k < kh; ++k) {
+            const std::int64_t aik = arow[k];
+            if (is_plus_inf(aik)) continue;  // +inf sums never win
+            const std::int64_t* brow = b + static_cast<std::size_t>(k) * cols;
+            if (is_minus_inf(aik)) {
+              minus_inf_row(brow, crow, wrow, jj, jh, k);
+            } else if (clean[static_cast<std::size_t>(k) * ntiles + tile]) {
+              clean_row(aik, brow, crow, wrow, jj, jh, k);
+            } else {
+              careful_row(aik, brow, crow, wrow, jj, jh, k);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// The band-function signature every tier exports: one tile-traversal over
+/// `rows` output rows. The "blocked"/"parallel"/"simd" kernels call these
+/// per row band after classifying B's tiles once.
+using BandFn = void (*)(const std::int64_t* a, const std::int64_t* b,
+                        std::int64_t* c, std::uint32_t rows, std::uint32_t inner,
+                        std::uint32_t cols, std::uint32_t bs,
+                        const std::uint8_t* clean, std::uint32_t* witness);
+
+/// Scalar band (kernel_scalar.cpp): banded_tiles over clean_row_scalar.
+void blocked_band(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+                  std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+                  std::uint32_t bs, const std::uint8_t* clean,
+                  std::uint32_t* witness);
+
+/// Per-ISA vector bands. Each is defined in its own translation unit,
+/// compiled with exactly that ISA's flags; when the toolchain cannot target
+/// the ISA the TU compiles a stub that forwards to blocked_band and reports
+/// compiled() = false, so the symbols always link and the runtime
+/// dispatcher (kernels.cpp) never calls a stub.
+void simd_band_avx2(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+                    std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+                    std::uint32_t bs, const std::uint8_t* clean,
+                    std::uint32_t* witness);
+void simd_band_avx512(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+                      std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+                      std::uint32_t bs, const std::uint8_t* clean,
+                      std::uint32_t* witness);
+void simd_band_neon(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+                    std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+                    std::uint32_t bs, const std::uint8_t* clean,
+                    std::uint32_t* witness);
+
+/// Whether the tier's TU was built with its vector instructions enabled
+/// (a compile-time fact; CPU support is the dispatcher's runtime half).
+bool kernel_band_avx2_compiled();
+bool kernel_band_avx512_compiled();
+bool kernel_band_neon_compiled();
+
+}  // namespace qclique::detail

@@ -1,0 +1,77 @@
+// The NEON tier: 2 x i64 lanes over the clean-tile inner loop.
+//
+// NEON is baseline on AArch64, so this TU needs no extra compile flags
+// there; on other targets the stub keeps the symbol linkable and the tier
+// out of dispatch. Like AVX2, NEON has no packed 64-bit min/max, so both
+// are a signed compare (cmgt) feeding a bitwise select (bsl). Two lanes is
+// a modest width, but the win over the scalar tier on AArch64 comes from
+// the same place as on x86: the compare/select pair replaces the
+// branchless-but-serial scalar min with straight-line vector ops.
+#include "matrix/kernel_band.hpp"
+
+#if defined(__aarch64__) || defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace qclique::detail {
+
+namespace {
+
+inline void clean_row_neon(std::int64_t aik, const std::int64_t* brow,
+                           std::int64_t* crow, std::uint32_t* wrow,
+                           std::uint32_t jj, std::uint32_t jh, std::uint32_t k) {
+  const int64x2_t vaik = vdupq_n_s64(aik);
+  const int64x2_t vminf = vdupq_n_s64(kMinusInf);
+  std::uint32_t j = jj;
+  if (wrow == nullptr) {
+    for (; j + 2 <= jh; j += 2) {
+      const int64x2_t s = vaddq_s64(vaik, vld1q_s64(brow + j));
+      // v = max(s, -inf).
+      const int64x2_t v = vbslq_s64(vcgtq_s64(s, vminf), s, vminf);
+      const int64x2_t vc = vld1q_s64(crow + j);
+      // c = min(c, v).
+      vst1q_s64(crow + j, vbslq_s64(vcgtq_s64(vc, v), v, vc));
+    }
+  } else {
+    for (; j + 2 <= jh; j += 2) {
+      const int64x2_t s = vaddq_s64(vaik, vld1q_s64(brow + j));
+      const int64x2_t v = vbslq_s64(vcgtq_s64(s, vminf), s, vminf);
+      const int64x2_t vc = vld1q_s64(crow + j);
+      const uint64x2_t imp = vcgtq_s64(vc, v);
+      vst1q_s64(crow + j, vbslq_s64(imp, v, vc));
+      if (vgetq_lane_u64(imp, 0)) wrow[j] = k;
+      if (vgetq_lane_u64(imp, 1)) wrow[j + 1] = k;
+    }
+  }
+  clean_row_scalar(aik, brow, crow, wrow, j, jh, k);
+}
+
+}  // namespace
+
+void simd_band_neon(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+                    std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+                    std::uint32_t bs, const std::uint8_t* clean,
+                    std::uint32_t* witness) {
+  banded_tiles(a, b, c, rows, inner, cols, bs, clean, witness, clean_row_neon);
+}
+
+bool kernel_band_neon_compiled() { return true; }
+
+}  // namespace qclique::detail
+
+#else  // !NEON
+
+namespace qclique::detail {
+
+void simd_band_neon(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+                    std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+                    std::uint32_t bs, const std::uint8_t* clean,
+                    std::uint32_t* witness) {
+  blocked_band(a, b, c, rows, inner, cols, bs, clean, witness);
+}
+
+bool kernel_band_neon_compiled() { return false; }
+
+}  // namespace qclique::detail
+
+#endif

@@ -1,0 +1,44 @@
+// The scalar tier: tile classification + the portable blocked band.
+//
+// This TU is compiled -O3 but with no ISA flags beyond the project
+// baseline, so the "blocked" kernel (and the scalar tier of "simd") stays
+// portable across hosts; vectorization here is whatever the compiler can
+// prove on the branchless clean_row_scalar loop. The hand-vectorized tiers
+// live in kernel_avx2.cpp / kernel_avx512.cpp / kernel_neon.cpp.
+#include "matrix/kernel_band.hpp"
+
+namespace qclique::detail {
+
+std::uint32_t clamp_block(std::uint32_t block, std::uint32_t rows,
+                          std::uint32_t inner, std::uint32_t cols) {
+  const std::uint32_t dim_max = std::max({rows, inner, cols, 1u});
+  return std::min(std::max<std::uint32_t>(1, block), dim_max);
+}
+
+std::vector<std::uint8_t> classify_b_tiles(const std::int64_t* b, std::uint32_t inner,
+                                           std::uint32_t cols, std::uint32_t bs) {
+  const std::uint32_t ntiles = (cols + bs - 1) / bs;
+  std::vector<std::uint8_t> clean(static_cast<std::size_t>(inner) * ntiles, 1);
+  for (std::uint32_t k = 0; k < inner; ++k) {
+    const std::int64_t* brow = b + static_cast<std::size_t>(k) * cols;
+    for (std::uint32_t t = 0; t < ntiles; ++t) {
+      const std::uint32_t jh = std::min(cols, (t + 1) * bs);
+      for (std::uint32_t j = t * bs; j < jh; ++j) {
+        if (is_plus_inf(brow[j]) || is_minus_inf(brow[j])) {
+          clean[static_cast<std::size_t>(k) * ntiles + t] = 0;
+          break;
+        }
+      }
+    }
+  }
+  return clean;
+}
+
+void blocked_band(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+                  std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+                  std::uint32_t bs, const std::uint8_t* clean,
+                  std::uint32_t* witness) {
+  banded_tiles(a, b, c, rows, inner, cols, bs, clean, witness, clean_row_scalar);
+}
+
+}  // namespace qclique::detail

@@ -1,146 +1,96 @@
 #include "matrix/kernels.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <thread>
 
 #include "common/error.hpp"
+#include "matrix/autotuner.hpp"
+#include "matrix/kernel_band.hpp"
 
 namespace qclique {
 
 namespace {
 
-/// Sanitizes the public block_size knob into a tile edge the loops can
-/// trust: at least 1, at most the largest dimension (so tile arithmetic
-/// like `cols + bs - 1` and `ii += bs` cannot wrap uint32 for any
-/// representable matrix).
-std::uint32_t clamp_block(std::uint32_t block, std::uint32_t rows,
-                          std::uint32_t inner, std::uint32_t cols) {
-  const std::uint32_t dim_max = std::max({rows, inner, cols, 1u});
-  return std::min(std::max<std::uint32_t>(1, block), dim_max);
+/// Runs one band function over row bands on std::thread workers. Row i of
+/// C depends only on row i of A and all of B, so disjoint row bands are
+/// independent: any worker count computes the same entries in the same
+/// within-row order, which is the determinism contract. The B-tile
+/// classification is shared read-only by every band. Small products run
+/// single-threaded regardless -- spawning threads costs more than the
+/// product.
+void run_banded(detail::BandFn band, const std::int64_t* a, const std::int64_t* b,
+                std::int64_t* c, std::uint32_t rows, std::uint32_t inner,
+                std::uint32_t cols, const KernelConfig& config,
+                std::uint32_t* witness) {
+  const std::uint32_t bs = detail::clamp_block(config.block_size, rows, inner, cols);
+  const auto clean = detail::classify_b_tiles(b, inner, cols, bs);
+  unsigned workers = config.num_threads;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(std::min<std::uint64_t>(workers, rows));
+  if (workers <= 1 ||
+      static_cast<std::uint64_t>(rows) * inner * cols < (1u << 15)) {
+    band(a, b, c, rows, inner, cols, bs, clean.data(), witness);
+    return;
+  }
+  const BlockPartition bands(rows, workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::uint32_t r0 = static_cast<std::uint32_t>(bands.block_begin(w));
+    const std::uint32_t r1 = static_cast<std::uint32_t>(bands.block_end(w));
+    pool.emplace_back([=, &clean] {
+      band(a + static_cast<std::size_t>(r0) * inner, b,
+           c + static_cast<std::size_t>(r0) * cols, r1 - r0, inner, cols, bs,
+           clean.data(),
+           witness ? witness + static_cast<std::size_t>(r0) * cols : nullptr);
+    });
+  }
+  for (auto& t : pool) t.join();
 }
 
-/// clean[k * ntiles + t] = 1 when row k of B has no sentinel inside column
-/// tile t (all entries strictly between kMinusInf and kPlusInf), for tiles
-/// of `bs` columns. Computed once per product and shared by every row band.
-std::vector<std::uint8_t> classify_b_tiles(const std::int64_t* b, std::uint32_t inner,
-                                           std::uint32_t cols, std::uint32_t bs) {
-  const std::uint32_t ntiles = (cols + bs - 1) / bs;
-  std::vector<std::uint8_t> clean(static_cast<std::size_t>(inner) * ntiles, 1);
-  for (std::uint32_t k = 0; k < inner; ++k) {
-    const std::int64_t* brow = b + static_cast<std::size_t>(k) * cols;
-    for (std::uint32_t t = 0; t < ntiles; ++t) {
-      const std::uint32_t jh = std::min(cols, (t + 1) * bs);
-      for (std::uint32_t j = t * bs; j < jh; ++j) {
-        if (is_plus_inf(brow[j]) || is_minus_inf(brow[j])) {
-          clean[static_cast<std::size_t>(k) * ntiles + t] = 0;
-          break;
-        }
-      }
-    }
+/// The band function implementing one ISA tier.
+detail::BandFn band_for_isa(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::avx2:
+      return detail::simd_band_avx2;
+    case KernelIsa::avx512:
+      return detail::simd_band_avx512;
+    case KernelIsa::neon:
+      return detail::simd_band_neon;
+    case KernelIsa::scalar:
+      break;
   }
-  return clean;
+  return detail::blocked_band;
 }
 
-/// Tiled i/k/j block product over one row band [0, rows). Shared by the
-/// "blocked" kernel (whole matrix) and each "parallel" worker (its band).
-/// Witness rule matches the naive oracle: update only on strict
-/// improvement while k ascends, so each entry records the smallest k
-/// attaining the final minimum regardless of tiling.
-///
-/// The hot loop exploits two saturation facts to drop per-element sentinel
-/// checks without changing a single output bit:
-///   * every stored c entry lies in [kMinusInf, kPlusInf], so a sum that
-///     would saturate to +inf can never pass the `s < c` test -- sums over
-///     sentinel-free tiles need no upper clamp at all;
-///   * the lower clamp only matters when the raw sum already beat c, so it
-///     runs on the (rare) update path, not per element.
-/// Tiles of B containing +-inf sentinels (per `clean`, from
-/// classify_b_tiles with the same `bs`) take a careful loop that mirrors
-/// sat_add case by case.
-void blocked_band(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
-                  std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
-                  std::uint32_t bs, const std::uint8_t* clean,
-                  std::uint32_t* witness) {
-  std::fill(c, c + static_cast<std::size_t>(rows) * cols, kPlusInf);
-  if (witness != nullptr) {
-    std::fill(witness, witness + static_cast<std::size_t>(rows) * cols, kNoWitness);
+/// Runtime half of tier availability: what the CPU reports. The builtin
+/// probes are constant-foldable on targets where the answer is static
+/// (NEON on AArch64) and a cpuid read elsewhere.
+bool cpu_supports(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::scalar:
+      return true;
+    case KernelIsa::avx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case KernelIsa::avx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+    case KernelIsa::neon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
   }
-  const std::uint32_t ntiles = (cols + bs - 1) / bs;
-  for (std::uint32_t ii = 0; ii < rows; ii += bs) {
-    const std::uint32_t ih = std::min(rows, ii + bs);
-    for (std::uint32_t kk = 0; kk < inner; kk += bs) {
-      const std::uint32_t kh = std::min(inner, kk + bs);
-      for (std::uint32_t jj = 0; jj < cols; jj += bs) {
-        const std::uint32_t jh = std::min(cols, jj + bs);
-        const std::uint32_t tile = jj / bs;
-        for (std::uint32_t i = ii; i < ih; ++i) {
-          const std::int64_t* arow = a + static_cast<std::size_t>(i) * inner;
-          std::int64_t* crow = c + static_cast<std::size_t>(i) * cols;
-          std::uint32_t* wrow =
-              witness ? witness + static_cast<std::size_t>(i) * cols : nullptr;
-          for (std::uint32_t k = kk; k < kh; ++k) {
-            const std::int64_t aik = arow[k];
-            if (is_plus_inf(aik)) continue;  // +inf sums never win
-            const std::int64_t* brow = b + static_cast<std::size_t>(k) * cols;
-            if (is_minus_inf(aik)) {
-              // -inf + x = -inf unless x = +inf; -inf beats everything
-              // except an already-recorded -inf.
-              for (std::uint32_t j = jj; j < jh; ++j) {
-                if (is_plus_inf(brow[j]) || crow[j] <= kMinusInf) continue;
-                crow[j] = kMinusInf;
-                if (wrow) wrow[j] = k;
-              }
-              continue;
-            }
-            if (clean[static_cast<std::size_t>(k) * ntiles + tile]) {
-              // Fast path: finite aik, sentinel-free B tile. |aik|, |bkj| <
-              // kPlusInf <= INT64_MAX/4, so the raw sum cannot overflow; a
-              // sum >= kPlusInf loses the min on its own (every stored c is
-              // <= kPlusInf), and the lower clamp commutes with the min.
-              if (wrow == nullptr) {
-                // Branchless min/max form the compiler can vectorize.
-                for (std::uint32_t j = jj; j < jh; ++j) {
-                  const std::int64_t s = aik + brow[j];
-                  const std::int64_t v = s <= kMinusInf ? kMinusInf : s;
-                  crow[j] = v < crow[j] ? v : crow[j];
-                }
-                continue;
-              }
-              for (std::uint32_t j = jj; j < jh; ++j) {
-                const std::int64_t s = aik + brow[j];
-                if (s < crow[j]) {
-                  // Clamp below only on the update path (rare), re-testing
-                  // so a sum under an already-stored -inf stays a no-op.
-                  const std::int64_t v = s <= kMinusInf ? kMinusInf : s;
-                  if (v < crow[j]) {
-                    crow[j] = v;
-                    wrow[j] = k;
-                  }
-                }
-              }
-              continue;
-            }
-            for (std::uint32_t j = jj; j < jh; ++j) {
-              const std::int64_t bkj = brow[j];
-              if (bkj >= kPlusInf) continue;  // s = +inf: never < crow[j]
-              std::int64_t s;
-              if (bkj <= kMinusInf) {
-                s = kMinusInf;
-              } else {
-                s = aik + bkj;
-                if (s >= kPlusInf) continue;  // saturates to +inf: never wins
-                if (s <= kMinusInf) s = kMinusInf;
-              }
-              if (s < crow[j]) {
-                crow[j] = s;
-                if (wrow) wrow[j] = k;
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  return false;
 }
 
 class NaiveKernel final : public MinPlusKernel {
@@ -186,9 +136,9 @@ class BlockedKernel final : public MinPlusKernel {
   void run(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
            std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
            const KernelConfig& config, std::uint32_t* witness) const override {
-    const std::uint32_t bs = clamp_block(config.block_size, rows, inner, cols);
-    const auto clean = classify_b_tiles(b, inner, cols, bs);
-    blocked_band(a, b, c, rows, inner, cols, bs, clean.data(), witness);
+    const std::uint32_t bs = detail::clamp_block(config.block_size, rows, inner, cols);
+    const auto clean = detail::classify_b_tiles(b, inner, cols, bs);
+    detail::blocked_band(a, b, c, rows, inner, cols, bs, clean.data(), witness);
   }
 };
 
@@ -203,39 +153,96 @@ class ParallelKernel final : public MinPlusKernel {
   void run(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
            std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
            const KernelConfig& config, std::uint32_t* witness) const override {
-    const std::uint32_t bs = clamp_block(config.block_size, rows, inner, cols);
-    const auto clean = classify_b_tiles(b, inner, cols, bs);
-    unsigned workers = config.num_threads;
-    if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
-    workers = static_cast<unsigned>(std::min<std::uint64_t>(workers, rows));
-    // Row i of C depends only on row i of A and all of B, so disjoint row
-    // bands are independent: any worker count computes the same entries in
-    // the same within-row order, which is the determinism contract. The
-    // B-tile classification is shared read-only by every band.
-    if (workers <= 1 ||
-        static_cast<std::uint64_t>(rows) * inner * cols < (1u << 15)) {
-      blocked_band(a, b, c, rows, inner, cols, bs, clean.data(), witness);
-      return;
-    }
-    const BlockPartition bands(rows, workers);
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-      const std::uint32_t r0 = static_cast<std::uint32_t>(bands.block_begin(w));
-      const std::uint32_t r1 = static_cast<std::uint32_t>(bands.block_end(w));
-      pool.emplace_back([=, &clean] {
-        blocked_band(a + static_cast<std::size_t>(r0) * inner,
-                     b, c + static_cast<std::size_t>(r0) * cols, r1 - r0, inner,
-                     cols, bs, clean.data(),
-                     witness ? witness + static_cast<std::size_t>(r0) * cols
-                             : nullptr);
-      });
-    }
-    for (auto& t : pool) t.join();
+    run_banded(detail::blocked_band, a, b, c, rows, inner, cols, config, witness);
+  }
+};
+
+class SimdKernel final : public MinPlusKernel {
+ public:
+  std::string name() const override { return "simd"; }
+
+  std::string description() const override {
+    return "runtime-dispatched AVX2/AVX-512/NEON clean-tile loops "
+           "(QCLIQUE_KERNEL_ISA forces a tier), row-band sharded";
+  }
+
+  void run(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+           std::uint32_t rows, std::uint32_t inner, std::uint32_t cols,
+           const KernelConfig& config, std::uint32_t* witness) const override {
+    run_banded(band_for_isa(active_kernel_isa()), a, b, c, rows, inner, cols,
+               config, witness);
   }
 };
 
 }  // namespace
+
+std::string kernel_isa_name(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::scalar:
+      return "scalar";
+    case KernelIsa::avx2:
+      return "avx2";
+    case KernelIsa::avx512:
+      return "avx512";
+    case KernelIsa::neon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+KernelIsa parse_kernel_isa(const std::string& name) {
+  for (const KernelIsa isa : {KernelIsa::scalar, KernelIsa::avx2,
+                              KernelIsa::avx512, KernelIsa::neon}) {
+    if (kernel_isa_name(isa) == name) return isa;
+  }
+  throw SimulationError("kernel ISA: unknown tier '" + name +
+                        "' (known: scalar, avx2, avx512, neon)");
+}
+
+bool kernel_isa_compiled(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::scalar:
+      return true;
+    case KernelIsa::avx2:
+      return detail::kernel_band_avx2_compiled();
+    case KernelIsa::avx512:
+      return detail::kernel_band_avx512_compiled();
+    case KernelIsa::neon:
+      return detail::kernel_band_neon_compiled();
+  }
+  return false;
+}
+
+bool kernel_isa_available(KernelIsa isa) {
+  return kernel_isa_compiled(isa) && cpu_supports(isa);
+}
+
+KernelIsa best_kernel_isa() {
+  for (const KernelIsa isa :
+       {KernelIsa::avx512, KernelIsa::avx2, KernelIsa::neon}) {
+    if (kernel_isa_available(isa)) return isa;
+  }
+  return KernelIsa::scalar;
+}
+
+KernelIsa active_kernel_isa() {
+  const char* forced = std::getenv(kKernelIsaEnv);
+  if (forced == nullptr || *forced == '\0') return best_kernel_isa();
+  const KernelIsa isa = parse_kernel_isa(forced);
+  if (!kernel_isa_available(isa)) {
+    std::string available;
+    for (const KernelIsa t : {KernelIsa::scalar, KernelIsa::avx2,
+                              KernelIsa::avx512, KernelIsa::neon}) {
+      if (!kernel_isa_available(t)) continue;
+      if (!available.empty()) available += ", ";
+      available += kernel_isa_name(t);
+    }
+    throw SimulationError(std::string(kKernelIsaEnv) + "=" + forced +
+                          " forces a tier unavailable on this host (available: " +
+                          available + ")");
+  }
+  return isa;
+}
 
 DistMatrix MinPlusKernel::product(const DistMatrix& a, const DistMatrix& b,
                                   const KernelConfig& config,
@@ -314,6 +321,8 @@ void register_builtin_kernels(KernelRegistry& registry) {
   registry.add(std::make_unique<NaiveKernel>());
   registry.add(std::make_unique<BlockedKernel>());
   registry.add(std::make_unique<ParallelKernel>());
+  registry.add(std::make_unique<SimdKernel>());
+  registry.add(make_auto_kernel());
 }
 
 DistMatrix min_plus_product(const DistMatrix& a, const DistMatrix& b,

@@ -15,7 +15,14 @@
 //                   access, and an inlined saturating add;
 //   * "parallel" -- the blocked kernel sharded over row bands on
 //                   std::thread workers (the BatchRunner worker-count
-//                   convention: 0 = one per hardware thread).
+//                   convention: 0 = one per hardware thread);
+//   * "simd"     -- hand-vectorized AVX2 / AVX-512 / NEON clean-tile loops
+//                   behind a runtime CPU-feature dispatcher (KernelIsa;
+//                   QCLIQUE_KERNEL_ISA forces a tier), sharded over row
+//                   bands exactly like "parallel";
+//   * "auto"     -- per-(shape, ISA) autotuned delegation: sweeps kernel x
+//                   block size x threads once per shape, caches the winner
+//                   (matrix/autotuner.hpp), and runs it.
 //
 // The kernel contract (docs/KERNELS.md, enforced by
 // tests/matrix/kernel_conformance_test.cpp): every kernel produces results
@@ -35,8 +42,44 @@
 
 namespace qclique {
 
+class KernelAutotuner;
+
+/// The instruction-set tiers the "simd" kernel dispatches over. "scalar"
+/// is the portable blocked band and is always available; the vector tiers
+/// require both compile-time toolchain support (their TUs are built with
+/// per-ISA flags -- see CMakeLists.txt) and runtime CPU support.
+enum class KernelIsa { scalar, avx2, avx512, neon };
+
+/// Environment variable overriding runtime ISA dispatch ("scalar", "avx2",
+/// "avx512", "neon"). Forcing an unavailable tier throws, so misconfigured
+/// CI fails loudly instead of silently benchmarking the wrong tier.
+inline constexpr const char* kKernelIsaEnv = "QCLIQUE_KERNEL_ISA";
+
+/// Registry-style name of a tier ("scalar", "avx2", "avx512", "neon").
+std::string kernel_isa_name(KernelIsa isa);
+
+/// Parses a tier name; throws SimulationError naming the known tiers.
+KernelIsa parse_kernel_isa(const std::string& name);
+
+/// Whether the tier's translation unit was built with its vector
+/// instructions enabled (compile-time half of dispatch).
+bool kernel_isa_compiled(KernelIsa isa);
+
+/// Whether the tier can run here: compiled in *and* the CPU reports the
+/// feature at runtime. "scalar" is always available.
+bool kernel_isa_available(KernelIsa isa);
+
+/// The widest available tier (avx512 > avx2 > neon > scalar).
+KernelIsa best_kernel_isa();
+
+/// The tier the "simd" kernel will use right now: the QCLIQUE_KERNEL_ISA
+/// override when set (throws SimulationError if that tier is unavailable
+/// on this host), otherwise best_kernel_isa(). Read per product call, so
+/// tests can force tiers between runs.
+KernelIsa active_kernel_isa();
+
 /// Per-call tuning knobs. Kernels ignore knobs they have no use for (the
-/// naive oracle ignores both).
+/// naive oracle ignores all of them).
 struct KernelConfig {
   /// Worker threads for multithreaded kernels. 0 = one per hardware thread
   /// (the BatchRunner convention). Results never depend on this value.
@@ -44,6 +87,10 @@ struct KernelConfig {
   /// Cache tile edge for blocked kernels (rows/inner/cols per tile).
   /// Results never depend on this value.
   std::uint32_t block_size = 64;
+  /// Winner cache the "auto" kernel consults (null = the process-wide
+  /// KernelAutotuner). ExecutionContext points this at its own fork-shared
+  /// tuner; other kernels ignore it. Results never depend on this value.
+  KernelAutotuner* autotuner = nullptr;
 };
 
 /// Sentinel witness value for entries with no finite product (+inf).
@@ -119,9 +166,9 @@ class KernelRegistry {
   std::vector<std::unique_ptr<MinPlusKernel>> kernels_;  // sorted by name
 };
 
-/// Registers the built-in kernels ("naive", "blocked", "parallel"). Called
-/// once by KernelRegistry::instance(); exposed so tests can build private
-/// registries with the same population.
+/// Registers the built-in kernels ("naive", "blocked", "parallel", "simd",
+/// "auto"). Called once by KernelRegistry::instance(); exposed so tests
+/// can build private registries with the same population.
 void register_builtin_kernels(KernelRegistry& registry);
 
 /// Selection of a kernel by registry name plus its per-call config -- the

@@ -1,0 +1,211 @@
+// KernelAutotuner: winner-cache determinism, candidate-grid shape, JSON
+// cache-file persistence, fork sharing through ExecutionContext, and the
+// "auto" kernel's conformance to the oracle. Measurement is injected, so
+// every sweep here is deterministic -- no wall clocks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <thread>
+
+#include "api/execution_context.hpp"
+#include "common/rng.hpp"
+#include "matrix/autotuner.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/min_plus.hpp"
+
+namespace qclique {
+namespace {
+
+const TuneShape kShape{96, 96, 96, KernelIsa::scalar};
+
+/// Fake timer: deterministic cost favoring the last candidate of the
+/// shape's grid (whatever this host's grid holds), counting calls so tests
+/// can assert the sweep ran exactly once.
+struct FakeMeasure {
+  explicit FakeMeasure(const TuneShape& shape)
+      : target(KernelAutotuner::candidates(shape).back()) {}
+  TunePlan target;
+  std::atomic<int> calls{0};
+  double operator()(const TunePlan& plan) {
+    ++calls;
+    const bool is_target = plan.kernel == target.kernel &&
+                           plan.block_size == target.block_size &&
+                           plan.num_threads == target.num_threads;
+    return is_target ? 1.0 : 10.0 + plan.block_size / 64.0 + plan.num_threads;
+  }
+};
+
+TEST(KernelAutotunerCache, SweepsOncePerShapeAndReplaysTheWinner) {
+  KernelAutotuner tuner;
+  FakeMeasure measure(kShape);
+  const auto n_candidates = KernelAutotuner::candidates(kShape).size();
+  const TunePlan first = tuner.plan_for(kShape, std::ref(measure));
+  EXPECT_EQ(first.kernel, measure.target.kernel);
+  EXPECT_EQ(first.block_size, measure.target.block_size);
+  EXPECT_DOUBLE_EQ(first.best_ms, 1.0);
+  EXPECT_EQ(measure.calls, static_cast<int>(n_candidates));
+  EXPECT_EQ(tuner.sweeps(), 1u);
+  EXPECT_EQ(tuner.size(), 1u);
+  // Second call replays the cache: no new measurements.
+  const TunePlan again = tuner.plan_for(kShape, std::ref(measure));
+  EXPECT_EQ(again.kernel, first.kernel);
+  EXPECT_EQ(again.block_size, first.block_size);
+  EXPECT_EQ(measure.calls, static_cast<int>(n_candidates));
+  EXPECT_EQ(tuner.sweeps(), 1u);
+  EXPECT_TRUE(tuner.cached(kShape).has_value());
+  EXPECT_FALSE(tuner.cached({97, 96, 96, KernelIsa::scalar}).has_value());
+}
+
+TEST(KernelAutotunerCache, TiesKeepTheEarliestCandidate) {
+  KernelAutotuner tuner;
+  const auto grid = KernelAutotuner::candidates(kShape);
+  const TunePlan plan = tuner.plan_for(kShape, [](const TunePlan&) { return 5.0; });
+  EXPECT_EQ(plan.kernel, grid.front().kernel);
+  EXPECT_EQ(plan.block_size, grid.front().block_size);
+  EXPECT_EQ(plan.num_threads, grid.front().num_threads);
+}
+
+TEST(KernelAutotunerCache, CandidateGridShape) {
+  // Scalar tier: no "simd" rows (it would just re-run the scalar band);
+  // never "auto" (recursion) or "naive" (dominated).
+  for (const TunePlan& plan : KernelAutotuner::candidates(kShape)) {
+    EXPECT_NE(plan.kernel, "simd");
+    EXPECT_NE(plan.kernel, "auto");
+    EXPECT_NE(plan.kernel, "naive");
+  }
+  // Vector tiers add simd candidates.
+  const TuneShape vec{96, 96, 96, KernelIsa::avx2};
+  bool has_simd = false;
+  for (const TunePlan& plan : KernelAutotuner::candidates(vec)) {
+    has_simd = has_simd || plan.kernel == "simd";
+  }
+  EXPECT_TRUE(has_simd);
+  // Tiny shapes do not explode the grid with clamped-duplicate block sizes.
+  const auto tiny = KernelAutotuner::candidates({8, 8, 8, KernelIsa::scalar});
+  for (const TunePlan& plan : tiny) EXPECT_EQ(plan.block_size, 32u);
+}
+
+TEST(KernelAutotunerCache, ConcurrentPlanForRunsOneSweep) {
+  KernelAutotuner tuner;
+  FakeMeasure measure(kShape);
+  std::vector<std::thread> threads;
+  std::vector<TunePlan> plans(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(
+        [&, t] { plans[t] = tuner.plan_for(kShape, std::ref(measure)); });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tuner.sweeps(), 1u);
+  EXPECT_EQ(measure.calls,
+            static_cast<int>(KernelAutotuner::candidates(kShape).size()));
+  for (const TunePlan& plan : plans) {
+    EXPECT_EQ(plan.kernel, plans[0].kernel);
+    EXPECT_EQ(plan.block_size, plans[0].block_size);
+  }
+}
+
+TEST(KernelAutotunerCache, CacheFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "qclique_autotune_cache.json";
+  TunePlan plan;
+  plan.kernel = "parallel";
+  plan.block_size = 32;
+  plan.num_threads = 6;
+  plan.best_ms = 2.5;
+  const TuneShape shape{100, 50, 25, KernelIsa::avx512};
+  {
+    KernelAutotuner writer;
+    writer.set_plan(shape, plan);
+    ASSERT_TRUE(writer.save(path));
+  }
+  KernelAutotuner reader;
+  ASSERT_TRUE(reader.load(path));
+  const auto got = reader.cached(shape);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kernel, "parallel");
+  EXPECT_EQ(got->block_size, 32u);
+  EXPECT_EQ(got->num_threads, 6u);
+  EXPECT_DOUBLE_EQ(got->best_ms, 2.5);
+  // The cache_path constructor warm-starts from the same file and keeps
+  // writing to it after each sweep.
+  KernelAutotuner warm(path);
+  EXPECT_EQ(warm.size(), 1u);
+  EXPECT_EQ(warm.sweeps(), 0u);  // loaded plans are not sweeps
+  warm.plan_for(kShape, [](const TunePlan&) { return 1.0; });
+  KernelAutotuner reread;
+  ASSERT_TRUE(reread.load(path));
+  EXPECT_EQ(reread.size(), 2u);
+}
+
+TEST(KernelAutotunerCache, LoadRejectsMissingAndMalformedFiles) {
+  KernelAutotuner tuner;
+  EXPECT_FALSE(tuner.load(::testing::TempDir() + "no-such-cache.json"));
+  const std::string path = ::testing::TempDir() + "qclique_autotune_bad.json";
+  {
+    std::ofstream f(path);
+    f << "{\"not_a_cache\":true}\n";
+  }
+  EXPECT_FALSE(tuner.load(path));
+  EXPECT_EQ(tuner.size(), 0u);
+}
+
+TEST(KernelAutotunerContext, ForkSharesTheTuner) {
+  ExecutionContext ctx(7);
+  EXPECT_EQ(ctx.kernel_options().config.autotuner, &ctx.autotuner());
+  const ExecutionContext child = ctx.fork(3);
+  // Shared like the snapshot store: one sweep serves the whole batch.
+  EXPECT_EQ(&child.autotuner(), &ctx.autotuner());
+  EXPECT_EQ(child.kernel_options().config.autotuner, &ctx.autotuner());
+  // Sibling forks share it too.
+  EXPECT_EQ(&ctx.fork(4).autotuner(), &ctx.autotuner());
+  // Distinct contexts do not.
+  ExecutionContext other(7);
+  EXPECT_NE(&other.autotuner(), &ctx.autotuner());
+}
+
+TEST(KernelAutotunerContext, AutoKernelMatchesOracleAndPopulatesTheCache) {
+  ExecutionContext ctx(11);
+  ctx.set_kernel("auto");
+  Rng rng(123);
+  const std::uint32_t n = 40;  // 40^3 > 2^15: big enough to trigger a sweep
+  DistMatrix a(n), b(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.8)) a.set(i, j, rng.uniform_i64(-30, 30));
+      if (rng.bernoulli(0.8)) b.set(i, j, rng.uniform_i64(-30, 30));
+    }
+  }
+  std::vector<std::uint32_t> want_wit, wit;
+  const DistMatrix want =
+      KernelRegistry::instance().get("naive").product(a, b, {}, &want_wit);
+  const DistMatrix got =
+      ctx.min_plus_kernel().product(a, b, ctx.kernel_options().config, &wit);
+  EXPECT_EQ(got, want) << got.first_difference(want);
+  EXPECT_EQ(wit, want_wit);
+  EXPECT_EQ(ctx.autotuner().size(), 1u);
+  EXPECT_EQ(ctx.autotuner().sweeps(), 1u);
+  // Same shape again: replay, no new sweep.
+  ctx.min_plus_kernel().product(a, b, ctx.kernel_options().config, nullptr);
+  EXPECT_EQ(ctx.autotuner().sweeps(), 1u);
+}
+
+TEST(KernelAutotunerContext, TinyProductsBypassTheSweep) {
+  ExecutionContext ctx(13);
+  ctx.set_kernel("auto");
+  Rng rng(5);
+  const std::uint32_t n = 8;
+  DistMatrix a(n), b(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      a.set(i, j, rng.uniform_i64(-5, 5));
+      b.set(i, j, rng.uniform_i64(-5, 5));
+    }
+  }
+  const DistMatrix got =
+      ctx.min_plus_kernel().product(a, b, ctx.kernel_options().config);
+  EXPECT_EQ(got, KernelRegistry::instance().get("naive").product(a, b, {}));
+  EXPECT_EQ(ctx.autotuner().size(), 0u);  // below the tuning threshold
+}
+
+}  // namespace
+}  // namespace qclique

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -196,10 +197,12 @@ INSTANTIATE_TEST_SUITE_P(AllKernels, KernelConformance,
 
 TEST(KernelRegistry, BuiltinsRegisteredAndSorted) {
   auto& reg = KernelRegistry::instance();
-  EXPECT_GE(reg.size(), 3u);
+  EXPECT_GE(reg.size(), 5u);
   EXPECT_TRUE(reg.contains("naive"));
   EXPECT_TRUE(reg.contains("blocked"));
   EXPECT_TRUE(reg.contains("parallel"));
+  EXPECT_TRUE(reg.contains("simd"));
+  EXPECT_TRUE(reg.contains("auto"));
   const auto names = reg.names();
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
   EXPECT_FALSE(reg.get("blocked").description().empty());
@@ -207,7 +210,7 @@ TEST(KernelRegistry, BuiltinsRegisteredAndSorted) {
 
 TEST(KernelRegistry, UnknownKernelThrowsNamingKnownOnes) {
   try {
-    KernelRegistry::instance().get("simd");
+    KernelRegistry::instance().get("no-such-kernel");
     FAIL() << "expected SimulationError";
   } catch (const SimulationError& e) {
     EXPECT_NE(std::string(e.what()).find("blocked"), std::string::npos);
@@ -229,6 +232,206 @@ TEST(KernelOptions, ResolvesThroughTheProcessRegistry) {
   EXPECT_EQ(options.resolve().name(), "naive");
   options.name = "no-such-kernel";
   EXPECT_THROW(options.resolve(), SimulationError);
+}
+
+// ---- Runtime ISA dispatch (the "simd" kernel's tier selection) ------------
+
+/// Sets QCLIQUE_KERNEL_ISA for the enclosing scope and restores the previous
+/// value (including "unset") on exit, so forced-tier tests compose with the
+/// CI legs that force a tier for the whole process.
+class ScopedIsaOverride {
+ public:
+  explicit ScopedIsaOverride(const std::string& isa) {
+    if (const char* old = std::getenv(kKernelIsaEnv)) {
+      saved_ = old;
+      had_ = true;
+    }
+    ::setenv(kKernelIsaEnv, isa.c_str(), 1);
+  }
+  ~ScopedIsaOverride() {
+    if (had_) {
+      ::setenv(kKernelIsaEnv, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(kKernelIsaEnv);
+    }
+  }
+  ScopedIsaOverride(const ScopedIsaOverride&) = delete;
+  ScopedIsaOverride& operator=(const ScopedIsaOverride&) = delete;
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+std::vector<KernelIsa> available_tiers() {
+  std::vector<KernelIsa> tiers;
+  for (const KernelIsa isa : {KernelIsa::scalar, KernelIsa::avx2,
+                              KernelIsa::avx512, KernelIsa::neon}) {
+    if (kernel_isa_available(isa)) tiers.push_back(isa);
+  }
+  return tiers;
+}
+
+TEST(KernelIsaDispatch, NamesRoundTripThroughParse) {
+  for (const KernelIsa isa : {KernelIsa::scalar, KernelIsa::avx2,
+                              KernelIsa::avx512, KernelIsa::neon}) {
+    EXPECT_EQ(parse_kernel_isa(kernel_isa_name(isa)), isa);
+  }
+  EXPECT_THROW(parse_kernel_isa("sse9"), SimulationError);
+}
+
+TEST(KernelIsaDispatch, ScalarIsAlwaysCompiledAndBestIsAvailable) {
+  EXPECT_TRUE(kernel_isa_compiled(KernelIsa::scalar));
+  EXPECT_TRUE(kernel_isa_available(KernelIsa::scalar));
+  EXPECT_TRUE(kernel_isa_available(best_kernel_isa()));
+}
+
+TEST(KernelIsaDispatch, EnvOverrideForcesTheTier) {
+  for (const KernelIsa isa : available_tiers()) {
+    ScopedIsaOverride force(kernel_isa_name(isa));
+    EXPECT_EQ(active_kernel_isa(), isa);
+  }
+}
+
+TEST(KernelIsaDispatch, ForcingAnUnavailableTierThrowsNamingAvailableOnes) {
+  for (const KernelIsa isa :
+       {KernelIsa::avx2, KernelIsa::avx512, KernelIsa::neon}) {
+    if (kernel_isa_available(isa)) continue;
+    ScopedIsaOverride force(kernel_isa_name(isa));
+    try {
+      active_kernel_isa();
+      FAIL() << "expected SimulationError forcing " << kernel_isa_name(isa);
+    } catch (const SimulationError& e) {
+      // The failure must be loud and actionable: it names the usable tiers.
+      EXPECT_NE(std::string(e.what()).find("scalar"), std::string::npos);
+    }
+  }
+  ScopedIsaOverride force("avx99");
+  EXPECT_THROW(active_kernel_isa(), SimulationError);
+}
+
+// The tentpole contract: the simd kernel agrees with the oracle bit-for-bit
+// -- distances *and* witnesses -- under every tier this host can run.
+TEST(KernelIsaDispatch, SimdAgreesWithOracleOnEveryAvailableTier) {
+  const MinPlusKernel& simd = KernelRegistry::instance().get("simd");
+  const MinPlusKernel& naive = KernelRegistry::instance().get("naive");
+  Rng rng(20260808);
+  for (const std::uint32_t n : {1u, 2u, 17u, 64u}) {
+    const auto a = random_matrix(n, -40, 40, 0.25, 0.05, rng);
+    const auto b = random_matrix(n, -40, 40, 0.25, 0.05, rng);
+    std::vector<std::uint32_t> want_wit;
+    const DistMatrix want = naive.product(a, b, {}, &want_wit);
+    for (const KernelIsa isa : available_tiers()) {
+      ScopedIsaOverride force(kernel_isa_name(isa));
+      for (const unsigned threads : {1u, 3u}) {
+        KernelConfig config;
+        config.num_threads = threads;
+        std::vector<std::uint32_t> wit;
+        const DistMatrix got = simd.product(a, b, config, &wit);
+        EXPECT_EQ(got, want)
+            << kernel_isa_name(isa) << " n=" << n << " threads=" << threads
+            << ": " << got.first_difference(want);
+        EXPECT_EQ(wit, want_wit) << kernel_isa_name(isa) << " witness n=" << n
+                                 << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// Vector-width boundaries: n = 511 and 513 straddle the 4-lane (AVX2) and
+// 8-lane (AVX-512) remainder handling at tile edges. Reference is "blocked"
+// (same band skeleton, scalar clean-row), which the param suite above ties
+// to the oracle at a cost that stays sane under sanitizers.
+TEST(KernelIsaDispatch, LaneRemainderBoundariesMatchBlocked) {
+  const MinPlusKernel& simd = KernelRegistry::instance().get("simd");
+  const MinPlusKernel& blocked = KernelRegistry::instance().get("blocked");
+  Rng rng(511513);
+  for (const std::uint32_t n : {511u, 513u}) {
+    const auto a = random_matrix(n, -1000, 1000, 0.15, 0.01, rng);
+    const auto b = random_matrix(n, -1000, 1000, 0.15, 0.01, rng);
+    std::vector<std::uint32_t> want_wit;
+    const DistMatrix want = blocked.product(a, b, {}, &want_wit);
+    for (const KernelIsa isa : available_tiers()) {
+      if (isa == KernelIsa::scalar) continue;  // simd == blocked band there
+      ScopedIsaOverride force(kernel_isa_name(isa));
+      KernelConfig config;
+      config.num_threads = 2;
+      std::vector<std::uint32_t> wit;
+      const DistMatrix got = simd.product(a, b, config, &wit);
+      EXPECT_EQ(got, want) << kernel_isa_name(isa) << " n=" << n << ": "
+                           << got.first_difference(want);
+      EXPECT_EQ(wit, want_wit) << kernel_isa_name(isa) << " witness n=" << n;
+    }
+  }
+}
+
+// a == b aliasing through the raw run() form (how iterated squaring calls
+// kernels) must be safe: kernels read a and b, write only c.
+TEST(KernelIsaDispatch, AliasedSquareInputsAgree) {
+  Rng rng(4242);
+  const std::uint32_t n = 37;
+  std::vector<std::int64_t> a(static_cast<std::size_t>(n) * n);
+  for (auto& x : a) {
+    x = rng.bernoulli(0.2) ? kPlusInf : rng.uniform_i64(-30, 30);
+  }
+  const MinPlusKernel& naive = KernelRegistry::instance().get("naive");
+  std::vector<std::int64_t> want(a.size()), got(a.size());
+  std::vector<std::uint32_t> want_wit(a.size()), wit(a.size());
+  naive.run(a.data(), a.data(), want.data(), n, n, n, {}, want_wit.data());
+  for (const KernelIsa isa : available_tiers()) {
+    ScopedIsaOverride force(kernel_isa_name(isa));
+    for (const char* name : {"simd", "auto"}) {
+      KernelConfig config;
+      config.block_size = 8;
+      config.num_threads = 2;
+      KernelRegistry::instance().get(name).run(a.data(), a.data(), got.data(),
+                                               n, n, n, config, wit.data());
+      EXPECT_EQ(got, want) << name << " under " << kernel_isa_name(isa);
+      EXPECT_EQ(wit, want_wit) << name << " witness under " << kernel_isa_name(isa);
+    }
+  }
+}
+
+// Sentinel placement engineered against block_size=4 so B holds fully
+// finite tiles (the vector fast path), +inf holes, and -inf poison -- with
+// every boundary falling mid-tile -- plus all-+inf and all--inf A rows.
+TEST(KernelIsaDispatch, DirtyAndCleanTileBoundariesAgree) {
+  const std::uint32_t n = 19;
+  DistMatrix a(n), b(n);
+  for (std::uint32_t i = 2; i < n; ++i) {  // rows 0/1 stay special
+    for (std::uint32_t j = 0; j < n; ++j) {
+      a.set(i, j, static_cast<std::int64_t>((7 * i + j) % 11) - 5);
+    }
+  }
+  // Row 0: all +inf (default fill). Row 1: all -inf.
+  for (std::uint32_t j = 0; j < n; ++j) a.set(1, j, kMinusInf);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      b.set(i, j, static_cast<std::int64_t>((3 * i + 5 * j) % 13) - 6);
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) b.set(i, 5, kPlusInf);   // hole column
+  for (std::uint32_t j = 0; j < n; ++j) b.set(9, j, kPlusInf);   // hole row
+  b.set(3, 6, kMinusInf);    // dirty tile next to the hole column
+  b.set(17, 2, kMinusInf);   // dirty tile in the ragged last band
+  const MinPlusKernel& naive = KernelRegistry::instance().get("naive");
+  const MinPlusKernel& simd = KernelRegistry::instance().get("simd");
+  std::vector<std::uint32_t> want_wit;
+  const DistMatrix want = naive.product(a, b, {}, &want_wit);
+  for (const KernelIsa isa : available_tiers()) {
+    ScopedIsaOverride force(kernel_isa_name(isa));
+    for (const unsigned threads : {1u, 3u}) {
+      KernelConfig config;
+      config.block_size = 4;
+      config.num_threads = threads;
+      std::vector<std::uint32_t> wit;
+      const DistMatrix got = simd.product(a, b, config, &wit);
+      EXPECT_EQ(got, want) << kernel_isa_name(isa) << " threads=" << threads
+                           << ": " << got.first_difference(want);
+      EXPECT_EQ(wit, want_wit)
+          << kernel_isa_name(isa) << " witness threads=" << threads;
+    }
+  }
 }
 
 TEST(MinPlusProduct, ConvenienceMatchesNaive) {
