@@ -2,7 +2,8 @@
 // backend x transport topology x min-plus kernel, the four registry axes
 // crossed in one BatchRunner::run_scenarios sweep.
 //
-//   $ ./bench_scenario_matrix [n] [json-path]
+//   $ ./bench_scenario_matrix [n] [json-path] [--workers=N] [--budget=BYTES]
+//                             [--process] [--verify]
 //
 // Every registered graph family is generated once at size n and pushed
 // through the distributed backends on every registered topology (and the
@@ -14,20 +15,66 @@
 // graph has no congest route); those scenarios report the rejection
 // instead of failing the bench. The full grid is exported as one JSON
 // array (scenarios_to_json) -- the artifact CI uploads.
+//
+// The exec knobs drive the out-of-core multi-process engine
+// (docs/EXECUTION.md): --workers sets the fan-out, --process forks worker
+// processes instead of threads, and --budget caps the in-core bytes
+// finished distance matrices may occupy (QCLIQUE_MEMORY_BUDGET works too;
+// the flag wins). Under a budget the bench additionally *requires* that
+// the sweep actually spilled -- an out-of-core run that fit in core would
+// gate nothing. --verify reruns the sweep single-process, single-worker,
+// unbounded, and demands the merged canonical grids (timings stripped) be
+// byte-identical -- the acceptance gate CI runs under a budget tight
+// enough that every family's dense matrix pages through disk.
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "api/batch_runner.hpp"
 #include "common/table.hpp"
+#include "exec/page_store.hpp"
 
 int main(int argc, char** argv) {
   using namespace qclique;
-  const std::uint32_t n =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 12;
-  const std::string json_path = argc > 2 ? argv[2] : "";
+  std::uint32_t n = 12;
+  std::string json_path;
+  unsigned workers = 0;
+  std::size_t budget = 0;
+  bool process_mode = false;
+  bool verify = false;
+
+  std::vector<std::string> positional;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--workers=", 0) == 0) {
+      workers = static_cast<unsigned>(std::atoi(arg.c_str() + 10));
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      budget = parse_byte_size(arg.substr(9));
+    } else if (arg == "--process") {
+      process_mode = true;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() > 0) n = static_cast<std::uint32_t>(std::atoi(positional[0].c_str()));
+  if (positional.size() > 1) json_path = positional[1];
+  // The env knob and the flag are the same budget; the flag wins. Folding
+  // the env value in here (rather than relying on ExecutionContext picking
+  // it up) keeps the spill gate armed however the budget was set.
+  if (budget == 0) budget = memory_budget_from_env();
+
   std::cout << "E15: scenario matrix (family x backend x topology x kernel), n = "
-            << n << "\n\n";
+            << n << "\n";
+  std::cout << "exec: workers=" << workers << " ("
+            << (process_mode ? "processes" : "threads") << "), budget="
+            << budget << " bytes" << (budget == 0 ? " (in-core)" : "")
+            << (verify ? ", verify vs in-process unbounded" : "") << "\n\n";
 
   SolverRegistry& registry = SolverRegistry::instance();
   ScenarioSpec spec;
@@ -37,19 +84,26 @@ int main(int argc, char** argv) {
   spec.config.wmin = -4;
   spec.config.wmax = 9;
   spec.graph_seed = 71;
+  spec.workers = workers;
+  spec.process_mode = process_mode;
+  spec.memory_budget = budget;
 
-  const BatchRunner runner(registry, ExecutionContext(4200 + n));
+  ExecutionContext base(4200 + n);
+  const BatchRunner runner(registry, base);
   const auto results = runner.run_scenarios(spec);
+  const PageStore::Stats page_stats = base.page_store().stats();
 
   // Per family: the oracle's distances on that family's graph are the
-  // reference every successful scenario must reproduce.
+  // reference every successful scenario must reproduce. distances() pages
+  // spilled matrices back in, so the agreement check is budget-oblivious.
   Table table({"family", "scenarios", "ok", "rejected", "rounds min..max",
                "agree"});
   bool all_agree = true;
   std::size_t i = 0;
   while (i < results.size()) {
     const std::string family = results[i].family;
-    const DistMatrix* reference = nullptr;
+    DistMatrix reference(1);
+    bool have_reference = false;
     std::size_t total = 0, ok = 0, rejected = 0;
     std::uint64_t rmin = ~0ull, rmax = 0;
     bool agree = true;
@@ -61,8 +115,9 @@ int main(int argc, char** argv) {
         continue;
       }
       ++ok;
-      if (r.solver == "floyd-warshall" && reference == nullptr) {
-        reference = &r.report->distances;
+      if (r.solver == "floyd-warshall" && !have_reference) {
+        reference = r.distances();
+        have_reference = true;
       }
       rmin = std::min(rmin, r.report->rounds);
       rmax = std::max(rmax, r.report->rounds);
@@ -70,10 +125,10 @@ int main(int argc, char** argv) {
     // Second pass over this family's slice for agreement with the oracle.
     for (std::size_t j = i - total; j < i; ++j) {
       const auto& r = results[j];
-      if (!r.ok || reference == nullptr) continue;
-      agree = agree && r.report->distances == *reference;
+      if (!r.ok || !have_reference) continue;
+      agree = agree && r.distances() == reference;
     }
-    agree = agree && reference != nullptr && ok > 0;
+    agree = agree && have_reference && ok > 0;
     all_agree = all_agree && agree;
     table.add_row({family, Table::fmt(static_cast<std::uint64_t>(total)),
                    Table::fmt(static_cast<std::uint64_t>(ok)),
@@ -83,11 +138,62 @@ int main(int argc, char** argv) {
   }
   table.print("Scenario matrix: per-family cross-backend agreement");
 
+  // Out-of-core gate: a budgeted run that never spilled proves nothing --
+  // the grid must genuinely not have fit in core.
+  bool spill_gate = true;
+  if (budget != 0) {
+    std::cout << "\npage store: " << page_stats.spills << " spills, "
+              << page_stats.faults << " faults, peak in-core "
+              << page_stats.peak_in_core_bytes << " bytes (budget " << budget
+              << ")\n";
+    if (page_stats.spills == 0) {
+      std::cout << "OUT-OF-CORE GATE FAILED: budget " << budget
+                << " never forced a spill; lower it or raise n\n";
+      spill_gate = false;
+    }
+  }
+
+  // Byte-identity gate: the merged grid, canonical form (wall_ms and
+  // profile stripped; distances covered by the distances_fnv metric), must
+  // match a fresh single-worker in-process unbounded run exactly.
+  bool verify_ok = true;
+  if (verify) {
+    ScenarioSpec ref_spec = spec;
+    ref_spec.workers = 1;
+    ref_spec.process_mode = false;
+    ref_spec.memory_budget = 0;
+    ExecutionContext ref_base(4200 + n);
+    ref_base.page_store().set_budget(0);  // unbounded whatever the env says
+    const auto ref_results =
+        BatchRunner(registry, ref_base).run_scenarios(ref_spec);
+    const std::string got = scenarios_to_json(results, /*include_timings=*/false);
+    const std::string want =
+        scenarios_to_json(ref_results, /*include_timings=*/false);
+    verify_ok = got == want;
+    std::cout << "\nverify: merged canonical grid "
+              << (verify_ok ? "byte-identical to" : "DIFFERS from")
+              << " in-process unbounded reference (" << got.size()
+              << " bytes)\n";
+    if (!verify_ok) {
+      const std::size_t at =
+          std::mismatch(got.begin(), got.end(), want.begin(), want.end()).first -
+          got.begin();
+      std::cout << "first difference at byte " << at << "\n";
+    }
+  }
+
   // Self-describing envelope around the scenario array so bench_diff (and
-  // any future parser) can key on "bench" / "schema_version".
-  const std::string json = "{\"bench\":\"scenario_matrix\",\"schema_version\":1,"
-                           "\"n\":" + std::to_string(n) +
-                           ",\"scenarios\":" + scenarios_to_json(results) + "}";
+  // any future parser) can key on "bench" / "schema_version". v2 adds the
+  // exec knobs and page-store stats next to the grid.
+  const std::string json =
+      "{\"bench\":\"scenario_matrix\",\"schema_version\":2,"
+      "\"n\":" + std::to_string(n) +
+      ",\"workers\":" + std::to_string(workers) +
+      ",\"process\":" + (process_mode ? "true" : "false") +
+      ",\"budget\":" + std::to_string(budget) +
+      ",\"spills\":" + std::to_string(page_stats.spills) +
+      ",\"faults\":" + std::to_string(page_stats.faults) +
+      ",\"scenarios\":" + scenarios_to_json(results) + "}";
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     out << json << "\n";
@@ -99,5 +205,5 @@ int main(int argc, char** argv) {
 
   std::cout << "\nPer-scenario agreement across the whole grid: "
             << (all_agree ? "yes" : "NO") << "\n";
-  return all_agree ? 0 : 1;
+  return (all_agree && spill_gate && verify_ok) ? 0 : 1;
 }

@@ -25,6 +25,18 @@ Per bench kind:
                     more than the threshold.
   dynamic_apsp      Per-(family, stream) incremental-over-recompute speedup
                     must not drop by more than the threshold.
+  scenario_matrix   Per-cell (keyed by scenario label) agreement on the
+                    deterministic fields -- ok, rounds, and the
+                    distances_fnv fingerprint of the distance matrix. Any
+                    mismatch is a correctness regression regardless of
+                    threshold: the grid is bit-reproducible across reruns,
+                    worker counts, and executors. On top of that the total
+                    grid wall time must stay inside the threshold envelope
+                    of the baseline; the envelope is skipped (with a note)
+                    when the exec knobs (workers / process / budget) differ
+                    between baseline and fresh, since an out-of-core or
+                    multi-process run's wall time is not comparable to an
+                    in-core one.
   distance_product  Per-(n, kernel, threads) kernel throughput. The default
                     --kernel-mode relative compares each kernel's speedup
                     over the same artifact's naive oracle (machine-robust,
@@ -183,11 +195,53 @@ def diff_distance_product(base, fresh, args):
     return regressions
 
 
+def diff_scenario_matrix(base, fresh, args):
+    regressions = []
+    base_cells = {c["label"]: c for c in base.get("scenarios", [])}
+    base_wall = fresh_wall = 0.0
+    for cell in fresh.get("scenarios", []):
+        bcell = base_cells.get(cell["label"])
+        if bcell is None:
+            continue
+        # Deterministic fields first: these are bit-reproducible, so any
+        # drift is a correctness regression, not a perf one.
+        if cell.get("ok") != bcell.get("ok"):
+            regressions.append(
+                f"{cell['label']}: ok {bcell.get('ok')} -> {cell.get('ok')}")
+            continue
+        if not cell.get("ok"):
+            continue
+        brep, frep = bcell["report"], cell["report"]
+        if frep.get("rounds") != brep.get("rounds"):
+            regressions.append(
+                f"{cell['label']}: rounds {brep.get('rounds')} -> "
+                f"{frep.get('rounds')}")
+        bfnv = brep.get("metrics", {}).get("distances_fnv")
+        ffnv = frep.get("metrics", {}).get("distances_fnv")
+        if bfnv is not None and ffnv != bfnv:
+            regressions.append(
+                f"{cell['label']}: distances_fnv {bfnv} -> {ffnv}")
+        base_wall += brep.get("wall_ms", 0.0)
+        fresh_wall += frep.get("wall_ms", 0.0)
+    exec_knobs = ("workers", "process", "budget")
+    if any(base.get(k) != fresh.get(k) for k in exec_knobs):
+        print("bench_diff: note: exec knobs differ "
+              f"(baseline {[base.get(k) for k in exec_knobs]}, fresh "
+              f"{[fresh.get(k) for k in exec_knobs]}); wall-time envelope "
+              f"skipped")
+    elif ratio_regressed(base_wall, fresh_wall, args.threshold):
+        regressions.append(
+            f"grid wall time {base_wall:.2f}ms -> {fresh_wall:.2f}ms "
+            f"(+{100.0 * (fresh_wall / base_wall - 1.0):.1f}%)")
+    return regressions
+
+
 DIFFERS = {
     "pipeline_profile": diff_pipeline,
     "query_serving": diff_query_serving,
     "dynamic_apsp": diff_dynamic_apsp,
     "distance_product": diff_distance_product,
+    "scenario_matrix": diff_scenario_matrix,
 }
 
 

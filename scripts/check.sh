@@ -22,7 +22,9 @@
 # QCLIQUE_SERVE=Serve runs the snapshot/store/query-server/stress suites),
 # and QCLIQUE_STREAM=<regex> for the update-stream suites (e.g.
 # QCLIQUE_STREAM=Stream runs the update/generator/dynamic-conformance/
-# stream-session suites).
+# stream-session suites), and QCLIQUE_EXEC=<regex> for the executor /
+# out-of-core suites (e.g. QCLIQUE_EXEC=Exec runs the process-executor,
+# page-store, and wire-codec suites).
 # When several are set the filters are OR-ed. With any filter active the API
 # smoke runs are skipped — that mode exists for targeted sanitizer jobs,
 # not for tier-1 verification.
@@ -69,6 +71,9 @@ fi
 if [[ -n "${QCLIQUE_STREAM:-}" ]]; then
   CTEST_FILTER="${CTEST_FILTER:+${CTEST_FILTER}|}${QCLIQUE_STREAM}"
 fi
+if [[ -n "${QCLIQUE_EXEC:-}" ]]; then
+  CTEST_FILTER="${CTEST_FILTER:+${CTEST_FILTER}|}${QCLIQUE_EXEC}"
+fi
 
 CTEST_FILTER_ARGS=()
 if [[ -n "${CTEST_FILTER}" ]]; then
@@ -101,6 +106,14 @@ echo "== smoke: transport layouts and topologies =="
 echo "== smoke: scenario matrix (family x backend x topology x kernel) =="
 "$BUILD_DIR/bench_scenario_matrix" 10 "$BUILD_DIR/scenario_matrix.json" > /dev/null
 
+echo "== smoke: out-of-core multi-process scenario matrix =="
+# 4 worker processes under an in-core budget far below the grid's total
+# matrix bytes; --verify demands the merged canonical grid be byte-identical
+# to a single-process unbounded rerun, and the budget must force real spills
+# (both enforced in the bench exit code). See docs/EXECUTION.md.
+"$BUILD_DIR/bench_scenario_matrix" 10 "$BUILD_DIR/scenario_matrix_ooc.json" \
+    --workers=4 --process --budget=2K --verify > /dev/null
+
 if [[ -n "${QCLIQUE_BENCH_SMOKE:-}" ]]; then
   echo "== smoke: pipeline profile (BENCH_pipeline.json) =="
   "$BUILD_DIR/bench_pipeline_profile" 16 "$BUILD_DIR/BENCH_pipeline.json" > /dev/null
@@ -122,6 +135,12 @@ if [[ -n "${QCLIQUE_BENCH_SMOKE:-}" ]]; then
   # whenever runtime dispatch lands on a vector tier.
   "$BUILD_DIR/bench_distance_product" 512 "$BUILD_DIR/BENCH_distance_product.json" > /dev/null
   echo "wrote $BUILD_DIR/BENCH_distance_product.json"
+  echo "== smoke: scenario matrix export (BENCH_scenario_matrix.json) =="
+  # Runs at the baseline's pinned n = 12 with the default exec knobs so
+  # bench_diff can check both the deterministic per-cell fields (ok /
+  # rounds / distances_fnv) and the wall-time envelope.
+  "$BUILD_DIR/bench_scenario_matrix" 12 "$BUILD_DIR/BENCH_scenario_matrix.json" > /dev/null
+  echo "wrote $BUILD_DIR/BENCH_scenario_matrix.json"
   echo "== bench_diff vs bench/baselines =="
   # Artifacts whose pinned n differs from the committed baseline are
   # skipped by bench_diff itself (wall times at different sizes are not
@@ -129,7 +148,8 @@ if [[ -n "${QCLIQUE_BENCH_SMOKE:-}" ]]; then
   python3 scripts/bench_diff.py "$BUILD_DIR/BENCH_pipeline.json" \
           "$BUILD_DIR/BENCH_query_serving.json" \
           "$BUILD_DIR/BENCH_dynamic_apsp.json" \
-          "$BUILD_DIR/BENCH_distance_product.json"
+          "$BUILD_DIR/BENCH_distance_product.json" \
+          "$BUILD_DIR/BENCH_scenario_matrix.json"
 fi
 
 echo "OK: build, tests, and API smoke runs all passed."

@@ -1,11 +1,14 @@
 #include "api/batch_runner.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "common/error.hpp"
+#include "exec/executor.hpp"
+#include "exec/wire.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/snapshot_store.hpp"
 #include "stream/generators.hpp"
@@ -13,70 +16,143 @@
 
 namespace qclique {
 
-std::vector<BatchResult> BatchRunner::run(const std::vector<BatchJob>& jobs) const {
-  unsigned workers = base_.num_threads();
-  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
-  workers = static_cast<unsigned>(
-      std::min<std::size_t>(workers, jobs.size() > 0 ? jobs.size() : 1));
-  return run_with_workers(jobs, workers);
+namespace {
+
+/// Picks the executor for one batch. Process mode forks even for a single
+/// worker — isolation (a crashing job cannot take the harness down) is the
+/// point, not just parallelism.
+void execute_jobs(std::size_t job_count, ExecJobHooks& hooks, unsigned workers,
+                  bool process_mode) {
+  if (process_mode) {
+    ProcessExecutor(workers).execute(job_count, hooks);
+  } else {
+    ThreadExecutor(workers).execute(job_count, hooks);
+  }
 }
 
-std::vector<BatchResult> BatchRunner::run_with_workers(
-    const std::vector<BatchJob>& jobs, unsigned workers) const {
-  std::vector<BatchResult> results(jobs.size());
+/// The static-job hooks: runs one (graph, solver) job per index, pages
+/// finished matrices under the context's budget, and round-trips results
+/// over the wire codec in process mode.
+class BatchJobHooks final : public ExecJobHooks {
+ public:
+  BatchJobHooks(const std::vector<BatchJob>& jobs,
+                std::vector<BatchResult>& results, const SolverRegistry& registry,
+                const ExecutionContext& base, unsigned workers)
+      : jobs_(jobs),
+        results_(results),
+        registry_(registry),
+        base_(base),
+        workers_(workers) {}
 
-  const auto run_one = [&](std::size_t i) {
-    BatchResult& out = results[i];
+  void run(std::size_t i) override {
+    BatchResult& out = results_[i];
     out.job_index = i;
-    out.solver = jobs[i].solver;
-    out.family = jobs[i].family;
-    out.label = jobs[i].label;
+    out.solver = jobs_[i].solver;
+    out.family = jobs_[i].family;
+    out.label = jobs_[i].label;
     try {
-      QCLIQUE_CHECK(jobs[i].graph != nullptr, "batch job without a graph");
-      const ApspSolver& solver = registry_.get(jobs[i].solver);
+      QCLIQUE_CHECK(jobs_[i].graph != nullptr, "batch job without a graph");
+      const ApspSolver& solver = registry_.get(jobs_[i].solver);
       // Fork by job index so results do not depend on worker scheduling,
       // and mix the job's salt so callers can vary randomness per job.
       ExecutionContext ctx =
           base_.fork(static_cast<std::uint64_t>(i) * 0x100000001b3ULL +
-                     jobs[i].seed_salt);
-      if (!jobs[i].kernel.empty()) ctx.set_kernel(jobs[i].kernel);
-      if (!jobs[i].topology.empty()) ctx.set_topology(jobs[i].topology);
+                     jobs_[i].seed_salt);
+      if (!jobs_[i].kernel.empty()) ctx.set_kernel(jobs_[i].kernel);
+      if (!jobs_[i].topology.empty()) ctx.set_topology(jobs_[i].topology);
       // The family stamp travels through the context so ApspSolver::solve
       // writes it into the report the same way for every caller (direct
       // solves included), not as a batch-only afterthought.
-      ctx.set_family(jobs[i].family);
+      ctx.set_family(jobs_[i].family);
       // A fanned-out batch already saturates the machine with one worker
       // per hardware thread; letting every job's "parallel" kernel spawn
       // its own full thread pool on top would oversubscribe quadratically.
       // Serialize the kernels instead -- results are identical by the
       // kernel contract, only wall time changes.
-      if (workers > 1) ctx.kernel_options().config.num_threads = 1;
-      out.report = solver.solve(*jobs[i].graph, ctx);
+      if (workers_ > 1) ctx.kernel_options().config.num_threads = 1;
+      out.report = solver.solve(*jobs_[i].graph, ctx);
       out.ok = true;
     } catch (const std::exception& e) {
       out.ok = false;
       out.error = e.what();
     }
-  };
-
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (std::size_t i = next.fetch_add(1); i < jobs.size();
-             i = next.fetch_add(1)) {
-          run_one(i);
-        }
-      });
-    }
-    for (auto& t : pool) t.join();
   }
 
-  // Workers have joined: aggregate per-job costs single-threaded.
+  void complete(std::size_t i) override {
+    // The paging hook: once a result is final in this process (worker
+    // thread after run, or the parent after decode), its matrix moves into
+    // the shared PageStore when an in-core budget is set, leaving a 1x1
+    // placeholder behind. The "distances_fnv" metric was stamped before.
+    BatchResult& out = results_[i];
+    if (!out.ok || base_.page_store().budget_bytes() == 0) return;
+    out.paged_distances =
+        base_.page_store().put(std::move(out.report->distances), out.label);
+    out.report->distances = DistMatrix(1);
+  }
+
+  std::string encode(std::size_t i) override {
+    return encode_batch_result(results_[i]);
+  }
+
+  void release(std::size_t i) override { results_[i] = BatchResult{}; }
+
+  void decode(std::size_t i, std::string_view payload) override {
+    BatchResult r = decode_batch_result(payload);
+    QCLIQUE_CHECK(r.job_index == i,
+                  "wire payload names a different job than its envelope");
+    results_[i] = std::move(r);
+  }
+
+  void fail(std::size_t i, const std::string& message) override {
+    BatchResult& out = results_[i];
+    out = BatchResult{};
+    out.job_index = i;
+    out.solver = jobs_[i].solver;
+    out.family = jobs_[i].family;
+    out.label = jobs_[i].label;
+    out.ok = false;
+    out.error = message;
+  }
+
+ private:
+  const std::vector<BatchJob>& jobs_;
+  std::vector<BatchResult>& results_;
+  const SolverRegistry& registry_;
+  const ExecutionContext& base_;
+  unsigned workers_;
+};
+
+}  // namespace
+
+DistMatrix BatchResult::distances() const {
+  QCLIQUE_CHECK(ok && report.has_value(),
+                "BatchResult::distances() on a failed result");
+  if (paged_distances.valid()) return paged_distances.materialize();
+  return report->distances;
+}
+
+unsigned BatchRunner::resolve_workers(unsigned requested,
+                                      std::size_t job_count) const {
+  unsigned workers = requested != 0 ? requested : base_.num_threads();
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<std::size_t>(workers, job_count > 0 ? job_count : 1));
+}
+
+std::vector<BatchResult> BatchRunner::run(const std::vector<BatchJob>& jobs) const {
+  return run_with_workers(jobs, resolve_workers(0, jobs.size()),
+                          base_.process_workers());
+}
+
+std::vector<BatchResult> BatchRunner::run_with_workers(
+    const std::vector<BatchJob>& jobs, unsigned workers, bool process_mode) const {
+  std::vector<BatchResult> results(jobs.size());
+  BatchJobHooks hooks(jobs, results, registry_, base_, workers);
+  execute_jobs(jobs.size(), hooks, workers, process_mode);
+
+  // Workers are done (joined or reaped): aggregate per-job costs
+  // single-threaded. Decoded process-mode reports carry their ledgers, so
+  // the aggregate is executor-independent like everything else.
   for (const BatchResult& r : results) {
     if (r.ok) batch_ledger_.absorb(r.report->ledger);
   }
@@ -153,8 +229,127 @@ std::vector<BatchResult> BatchRunner::run_scenarios(const ScenarioSpec& spec) co
       }
     }
   }
-  return run(jobs);
+  if (spec.memory_budget != 0) {
+    base_.page_store().set_budget(spec.memory_budget);
+  }
+  return run_with_workers(jobs, resolve_workers(spec.workers, jobs.size()),
+                          spec.process_mode || base_.process_workers());
 }
+
+namespace {
+
+/// One generated stream-replay job (inputs shared across the solver axis).
+struct StreamJob {
+  std::string family;
+  std::string stream;
+  std::string solver;
+  std::shared_ptr<const Digraph> graph;
+  std::shared_ptr<const std::vector<UpdateBatch>> batches;
+};
+
+/// The stream-replay hooks. No paging: stream results carry counters, not
+/// matrices. In process mode the replay's snapshot publications stay in
+/// the worker process (see StreamScenarioSpec::process_mode).
+class StreamJobHooks final : public ExecJobHooks {
+ public:
+  StreamJobHooks(const std::vector<StreamJob>& jobs,
+                 std::vector<StreamResult>& results,
+                 const StreamScenarioSpec& spec, const ExecutionContext& base,
+                 unsigned workers)
+      : jobs_(jobs),
+        results_(results),
+        spec_(spec),
+        base_(base),
+        workers_(workers) {}
+
+  void run(std::size_t i) override {
+    const StreamJob& job = jobs_[i];
+    StreamResult& out = results_[i];
+    out.job_index = i;
+    out.family = job.family;
+    out.stream = job.stream;
+    out.solver = job.solver;
+    out.n = job.graph->size();
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      ExecutionContext ctx =
+          base_.fork(static_cast<std::uint64_t>(i) * 0x100000001b3ULL);
+      ctx.set_family(job.family);
+      if (workers_ > 1) ctx.kernel_options().config.num_threads = 1;
+      StreamSessionOptions options;
+      options.solver = job.solver;
+      options.dynamic.backend = spec_.backend;
+      options.dynamic.with_paths = spec_.with_paths;
+      options.label = job.family + "/" + job.stream + "/" + job.solver;
+      StreamSession session(*job.graph, ctx, std::move(options));
+      ++out.published_versions;
+
+      std::unique_ptr<DynamicApspSolver> oracle;
+      if (spec_.verify && job.solver != "recompute") {
+        DynamicSolverOptions oracle_options;
+        oracle_options.backend = spec_.backend;
+        oracle_options.with_paths = false;  // distances are what conformance compares
+        oracle = make_dynamic_solver("recompute", oracle_options);
+        oracle->reset(*job.graph, ctx);
+      }
+      for (const UpdateBatch& batch : *job.batches) {
+        session.apply(batch);
+        ++out.published_versions;
+        ++out.batches;
+        out.updates += session.last_stats().updates;
+        out.changed_arcs += session.last_stats().changed_arcs;
+        out.affected_sources += session.last_stats().affected_sources;
+        if (oracle) {
+          oracle->apply(batch, ctx);
+          if (!(oracle->distances() == session.solver().distances())) {
+            out.exact = false;
+          }
+        }
+      }
+      out.ok = true;
+    } catch (const std::exception& e) {
+      out.ok = false;
+      out.error = e.what();
+    }
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  }
+
+  std::string encode(std::size_t i) override {
+    return encode_stream_result(results_[i]);
+  }
+
+  void release(std::size_t i) override { results_[i] = StreamResult{}; }
+
+  void decode(std::size_t i, std::string_view payload) override {
+    StreamResult r = decode_stream_result(payload);
+    QCLIQUE_CHECK(r.job_index == i,
+                  "wire payload names a different job than its envelope");
+    results_[i] = std::move(r);
+  }
+
+  void fail(std::size_t i, const std::string& message) override {
+    StreamResult& out = results_[i];
+    out = StreamResult{};
+    out.job_index = i;
+    out.family = jobs_[i].family;
+    out.stream = jobs_[i].stream;
+    out.solver = jobs_[i].solver;
+    out.n = jobs_[i].graph->size();
+    out.ok = false;
+    out.error = message;
+  }
+
+ private:
+  const std::vector<StreamJob>& jobs_;
+  std::vector<StreamResult>& results_;
+  const StreamScenarioSpec& spec_;
+  const ExecutionContext& base_;
+  unsigned workers_;
+};
+
+}  // namespace
 
 std::vector<StreamResult> BatchRunner::run_streams(
     const StreamScenarioSpec& spec) const {
@@ -170,14 +365,6 @@ std::vector<StreamResult> BatchRunner::run_streams(
   const std::vector<std::string> solvers =
       spec.solvers.empty() ? DynamicSolverRegistry::instance().names()
                            : spec.solvers;
-
-  struct StreamJob {
-    std::string family;
-    std::string stream;
-    std::string solver;
-    std::shared_ptr<const Digraph> graph;
-    std::shared_ptr<const std::vector<UpdateBatch>> batches;
-  };
 
   // Generate inputs up front, single-threaded: one graph per family (same
   // (graph_seed, family) keying as run_scenarios) and one stream per
@@ -208,82 +395,11 @@ std::vector<StreamResult> BatchRunner::run_streams(
     }
   }
 
-  unsigned workers = base_.num_threads();
-  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
-  workers = static_cast<unsigned>(
-      std::min<std::size_t>(workers, jobs.size() > 0 ? jobs.size() : 1));
-
+  const unsigned workers = resolve_workers(spec.workers, jobs.size());
   std::vector<StreamResult> results(jobs.size());
-  const auto run_one = [&](std::size_t i) {
-    const StreamJob& job = jobs[i];
-    StreamResult& out = results[i];
-    out.job_index = i;
-    out.family = job.family;
-    out.stream = job.stream;
-    out.solver = job.solver;
-    out.n = job.graph->size();
-    const auto t0 = std::chrono::steady_clock::now();
-    try {
-      ExecutionContext ctx =
-          base_.fork(static_cast<std::uint64_t>(i) * 0x100000001b3ULL);
-      ctx.set_family(job.family);
-      if (workers > 1) ctx.kernel_options().config.num_threads = 1;
-      StreamSessionOptions options;
-      options.solver = job.solver;
-      options.dynamic.backend = spec.backend;
-      options.dynamic.with_paths = spec.with_paths;
-      options.label = job.family + "/" + job.stream + "/" + job.solver;
-      StreamSession session(*job.graph, ctx, std::move(options));
-      ++out.published_versions;
-
-      std::unique_ptr<DynamicApspSolver> oracle;
-      if (spec.verify && job.solver != "recompute") {
-        DynamicSolverOptions oracle_options;
-        oracle_options.backend = spec.backend;
-        oracle_options.with_paths = false;  // distances are what conformance compares
-        oracle = make_dynamic_solver("recompute", oracle_options);
-        oracle->reset(*job.graph, ctx);
-      }
-      for (const UpdateBatch& batch : *job.batches) {
-        session.apply(batch);
-        ++out.published_versions;
-        ++out.batches;
-        out.updates += session.last_stats().updates;
-        out.changed_arcs += session.last_stats().changed_arcs;
-        out.affected_sources += session.last_stats().affected_sources;
-        if (oracle) {
-          oracle->apply(batch, ctx);
-          if (!(oracle->distances() == session.solver().distances())) {
-            out.exact = false;
-          }
-        }
-      }
-      out.ok = true;
-    } catch (const std::exception& e) {
-      out.ok = false;
-      out.error = e.what();
-    }
-    out.wall_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-  };
-
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (std::size_t i = next.fetch_add(1); i < jobs.size();
-             i = next.fetch_add(1)) {
-          run_one(i);
-        }
-      });
-    }
-    for (auto& t : pool) t.join();
-  }
+  StreamJobHooks hooks(jobs, results, spec, base_, workers);
+  execute_jobs(jobs.size(), hooks, workers,
+               spec.process_mode || base_.process_workers());
   return results;
 }
 
@@ -299,11 +415,12 @@ std::vector<BatchResult> BatchRunner::run_kernels(const Digraph& g,
                             .topology = "", .family = "", .seed_salt = 0,
                             .label = name});
   }
-  // One batch worker: this sweep exists to compare kernel wall times, so
-  // each job must own the whole machine (a parallel batch would both skew
-  // the timings and trip run()'s kernel-thread cap, silently benchmarking
-  // "parallel" as "blocked").
-  return run_with_workers(jobs, 1);
+  // One in-process batch worker: this sweep exists to compare kernel wall
+  // times, so each job must own the whole machine (a parallel batch would
+  // both skew the timings and trip run()'s kernel-thread cap, silently
+  // benchmarking "parallel" as "blocked"), and a fork-and-pipe round trip
+  // would only add noise to what it measures.
+  return run_with_workers(jobs, 1, /*process_mode=*/false);
 }
 
 std::vector<std::shared_ptr<const ApspSnapshot>> publish_scenarios(
@@ -313,6 +430,15 @@ std::vector<std::shared_ptr<const ApspSnapshot>> publish_scenarios(
   for (const BatchResult& r : results) {
     if (!r.ok) {
       pins.push_back(nullptr);
+      continue;
+    }
+    if (r.distances_paged()) {
+      // Snapshots are in-core owners: page the matrix back in behind the
+      // placeholder before publishing.
+      ApspReport full = *r.report;
+      full.distances = r.paged_distances.materialize();
+      pins.push_back(store.publish(
+          ApspSnapshot(full, /*successor=*/{}, /*label=*/r.label)));
       continue;
     }
     pins.push_back(store.publish(
@@ -348,7 +474,8 @@ std::string stream_scenarios_to_json(const std::vector<StreamResult>& results) {
   return out.str();
 }
 
-std::string scenarios_to_json(const std::vector<BatchResult>& results) {
+std::string scenarios_to_json(const std::vector<BatchResult>& results,
+                              bool include_timings) {
   std::ostringstream out;
   out << "[";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -359,7 +486,7 @@ std::string scenarios_to_json(const std::vector<BatchResult>& results) {
         << ",\"solver\":" << json_quote(r.solver)
         << ",\"ok\":" << (r.ok ? "true" : "false");
     if (r.ok) {
-      out << ",\"report\":" << r.report->to_json();
+      out << ",\"report\":" << r.report->to_json(include_timings);
     } else {
       out << ",\"error\":" << json_quote(r.error);
     }

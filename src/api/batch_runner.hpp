@@ -1,12 +1,15 @@
 // Many (graph, solver) jobs, one facade.
 //
 // BatchRunner is the harness layer on top of the SolverRegistry: hand it a
-// list of jobs and it executes them — across worker threads when asked —
-// returning one BatchResult per job in input order. Determinism is
-// schedule-independent: each job runs under a context forked from the base
-// context by job index, so thread count and completion order never change
-// any report. Solvers are stateless and every job owns its context, which
-// is what makes the fan-out safe.
+// list of jobs and it executes them — across worker threads or worker
+// processes (exec/executor.hpp) when asked — returning one BatchResult per
+// job in input order. Determinism is schedule-independent: each job runs
+// under a context forked from the base context by job index, so worker
+// count, executor choice, and completion order never change any report.
+// Solvers are stateless and every job owns its context, which is what
+// makes the fan-out safe. When the context's PageStore carries an in-core
+// budget, each finished report's distance matrix is paged out as it
+// completes, so a whole sweep's results can exceed RAM.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "api/registry.hpp"
+#include "exec/page_store.hpp"
 #include "graph/families.hpp"
 
 namespace qclique {
@@ -47,7 +51,8 @@ struct BatchJob {
 };
 
 /// Outcome of one job. `report` is set iff `ok`; otherwise `error` holds
-/// the exception message (a failing job never aborts the batch).
+/// the exception message (a failing job never aborts the batch — in
+/// process mode not even a crashing one; see exec/executor.hpp).
 struct BatchResult {
   std::size_t job_index = 0;
   std::string solver;
@@ -56,6 +61,18 @@ struct BatchResult {
   bool ok = false;
   std::string error;
   std::optional<ApspReport> report;
+  /// When the batch ran under an in-core memory budget, the report's
+  /// distance matrix was adopted by the context's PageStore (and replaced
+  /// in the report by a 1x1 placeholder); this handle pages it back on
+  /// demand. Empty when nothing paged — report->distances is then live.
+  PagedMatrix paged_distances;
+
+  bool distances_paged() const { return paged_distances.valid(); }
+
+  /// The job's distance matrix regardless of paging: materializes spilled
+  /// pages when paged, otherwise copies report->distances. Only valid on
+  /// successful results.
+  DistMatrix distances() const;
 };
 
 /// Declarative scenario sweep: the cross product of graph families x
@@ -73,6 +90,19 @@ struct ScenarioSpec {
   /// Family graphs are drawn from (graph_seed, family name), so adding or
   /// reordering families never changes another family's graph.
   std::uint64_t graph_seed = 1;
+  /// Batch workers for this sweep. 0 = inherit the base context's
+  /// num_threads() (whose 0 in turn means one per hardware thread).
+  unsigned workers = 0;
+  /// Fan out across worker *processes* (exec ProcessExecutor) instead of
+  /// threads. Merged results are identical by the executor contract; also
+  /// on when the base context has process_workers() set.
+  bool process_mode = false;
+  /// In-core byte budget applied to the base context's PageStore before
+  /// the sweep runs: finished distance matrices past the budget spill to
+  /// disk and page back on access (BatchResult::distances). 0 = leave the
+  /// store's budget alone (QCLIQUE_MEMORY_BUDGET or whatever the caller
+  /// set; a store with budget 0 keeps everything in core, unpaged).
+  std::size_t memory_budget = 0;
 };
 
 /// Declarative dynamic-scenario sweep: the cross product of graph
@@ -99,6 +129,14 @@ struct StreamScenarioSpec {
   /// stream name]), so adding or reordering axes never changes another
   /// job's input.
   std::uint64_t graph_seed = 1;
+  /// Batch workers for this sweep (0 = inherit, as in ScenarioSpec).
+  unsigned workers = 0;
+  /// Replay on worker processes instead of threads. Note: stream jobs
+  /// publish snapshots as they replay, and in process mode those
+  /// publications happen in the worker's address space — the parent's
+  /// SnapshotStore does not see them (the StreamResult counters still
+  /// round-trip exactly).
+  bool process_mode = false;
   /// Maintain witness successors so published snapshots answer paths.
   bool with_paths = true;
   /// Check distances against the recompute oracle after every batch
@@ -191,9 +229,15 @@ class BatchRunner {
   const RoundLedger& batch_ledger() const { return batch_ledger_; }
 
  private:
-  /// `run` with an explicit worker count (run_kernels pins it to 1).
+  /// `run` with an explicit worker count and executor choice (run_kernels
+  /// pins 1 thread worker; run_scenarios applies the spec's knobs).
   std::vector<BatchResult> run_with_workers(const std::vector<BatchJob>& jobs,
-                                            unsigned workers) const;
+                                            unsigned workers,
+                                            bool process_mode) const;
+
+  /// Resolves a spec-level worker override against the base context and
+  /// the job count (0 = inherit; result is always >= 1).
+  unsigned resolve_workers(unsigned requested, std::size_t job_count) const;
 
   const SolverRegistry& registry_;
   ExecutionContext base_;
@@ -204,7 +248,11 @@ class BatchRunner {
 /// ApspReport::to_json (family stamp included) under "report"; failed jobs
 /// carry their scenario coordinates and the error message. The export
 /// format of bench_scenario_matrix and the CI scenario artifact.
-std::string scenarios_to_json(const std::vector<BatchResult>& results);
+/// `include_timings = false` emits the canonical form (no wall_ms, no
+/// profile): byte-identical across reruns, worker counts, and executors,
+/// which is what the out-of-core CI gate diffs.
+std::string scenarios_to_json(const std::vector<BatchResult>& results,
+                              bool include_timings = true);
 
 class SnapshotStore;
 class ApspSnapshot;

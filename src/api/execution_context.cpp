@@ -1,5 +1,6 @@
 #include "api/execution_context.hpp"
 
+#include "exec/page_store.hpp"
 #include "matrix/autotuner.hpp"
 #include "serve/snapshot_store.hpp"
 
@@ -14,7 +15,12 @@ ExecutionContext::ExecutionContext(std::uint64_t seed)
       // QCLIQUE_AUTOTUNE_CACHE warm-start via the process instance only
       // when callers opt in by pointing config.autotuner there.
       autotuner_(std::make_shared<KernelAutotuner>()),
-      store_(std::make_shared<SnapshotStore>()) {
+      store_(std::make_shared<SnapshotStore>()),
+      // The budget defaults from the environment (QCLIQUE_MEMORY_BUDGET)
+      // so out-of-core runs need no code changes; callers can retune it
+      // via page_store().set_budget().
+      page_store_(std::make_shared<PageStore>(
+          PageStoreOptions{.budget_bytes = memory_budget_from_env()})) {
   transport_.profiler = profiler_;
   kernel_.config.autotuner = autotuner_.get();
 }

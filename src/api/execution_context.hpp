@@ -22,6 +22,7 @@
 namespace qclique {
 
 class KernelAutotuner;
+class PageStore;
 class SnapshotStore;
 
 /// Default seed used when callers do not care about the stream identity.
@@ -107,6 +108,25 @@ class ExecutionContext {
   KernelAutotuner& autotuner() { return *autotuner_; }
   const KernelAutotuner& autotuner() const { return *autotuner_; }
 
+  /// The context's out-of-core page cache (exec/page_store.hpp): batch
+  /// harnesses adopt finished distance matrices here so a scenario sweep's
+  /// resident set stays under the in-core byte budget (seeded from
+  /// QCLIQUE_MEMORY_BUDGET at construction; 0 = unbounded, nothing pages).
+  /// Shared across fork() like the snapshot store and the autotuner — the
+  /// store is internally synchronized, so all batch workers page through
+  /// one budget.
+  /// Const like serve()'s store is shared: the page store is internally
+  /// synchronized batch infrastructure, so even const context holders
+  /// (harnesses fanning out jobs) may adopt matrices and retune budgets.
+  PageStore& page_store() const { return *page_store_; }
+
+  /// Whether batch harnesses should fan jobs out across worker *processes*
+  /// (exec ProcessExecutor) instead of threads. Results are identical by
+  /// the executor contract; processes add isolation (a crashing job cannot
+  /// take the harness down) at fork + serialization cost.
+  bool process_workers() const { return process_workers_; }
+  void set_process_workers(bool v) { process_workers_ = v; }
+
   /// Wall-clock profiler shared with every network this context builds
   /// (TransportOptions carries it into make_network): routing primitives
   /// record per-phase spans keyed by ledger phase, and ApspSolver::solve
@@ -153,7 +173,11 @@ class ExecutionContext {
     // context state that is internally synchronized, and sharing it is
     // what lets a batch publish per-scenario snapshots into one surface.
     child.store_ = store_;
+    // The page store is shared for the same reason: one in-core budget
+    // must bound the whole batch, not each job separately.
+    child.page_store_ = page_store_;
     child.num_threads_ = num_threads_;
+    child.process_workers_ = process_workers_;
     child.check_negative_cycles_ = check_negative_cycles_;
     return child;
   }
@@ -168,7 +192,9 @@ class ExecutionContext {
   std::shared_ptr<PhaseProfiler> profiler_;
   std::shared_ptr<KernelAutotuner> autotuner_;
   std::shared_ptr<SnapshotStore> store_;
+  std::shared_ptr<PageStore> page_store_;
   unsigned num_threads_ = 0;
+  bool process_workers_ = false;
   bool check_negative_cycles_ = true;
 };
 

@@ -36,6 +36,11 @@ ApspReport ApspSolver::solve(const Digraph& g, ExecutionContext& ctx) const {
   // from any report round-trips the same keys.
   report.metrics.try_emplace("messages", report.ledger.total_messages());
   report.metrics.try_emplace("oracle_calls", report.ledger.total_oracle_calls());
+  // Content fingerprint of the distance matrix (FNV-1a over its bytes).
+  // to_json does not embed n^2 distances, so this metric is what lets two
+  // scenario grids be compared for identical results — including when the
+  // matrix itself has been paged out by the exec layer.
+  report.metrics.try_emplace("distances_fnv", report.distances.fnv1a64());
 
   if (ctx.check_negative_cycles()) {
     for (std::uint32_t i = 0; i < g.size(); ++i) {
@@ -63,22 +68,24 @@ std::shared_ptr<const ApspSnapshot> ApspSolver::serve(
       ApspSnapshot(report, std::move(successor), options.label));
 }
 
-std::string ApspReport::to_json() const {
+std::string ApspReport::to_json(bool include_timings) const {
   std::ostringstream out;
   out << "{\"solver\":" << json_quote(solver)
       << ",\"topology\":" << json_quote(topology)
       << ",\"kernel\":" << json_quote(kernel)
       << ",\"family\":" << json_quote(family) << ",\"n\":" << n
-      << ",\"rounds\":" << rounds << ",\"wall_ms\":" << wall_ms
-      << ",\"metrics\":{";
+      << ",\"rounds\":" << rounds;
+  if (include_timings) out << ",\"wall_ms\":" << wall_ms;
+  out << ",\"metrics\":{";
   bool first = true;
   for (const auto& [key, value] : metrics) {
     if (!first) out << ",";
     first = false;
     out << json_quote(key) << ":" << value;
   }
-  out << "},\"profile\":" << profile_to_json(profile)
-      << ",\"ledger\":" << ledger.to_json() << "}";
+  out << "}";
+  if (include_timings) out << ",\"profile\":" << profile_to_json(profile);
+  out << ",\"ledger\":" << ledger.to_json() << "}";
   return out.str();
 }
 

@@ -62,7 +62,12 @@ struct ApspReport {
   explicit ApspReport(std::uint32_t n_) : n(n_), distances(n_) {}
 
   /// Machine-readable summary (single JSON object, ledger inlined).
-  std::string to_json() const;
+  /// `include_timings = false` omits the two nondeterministic fields
+  /// (wall_ms and the per-phase profile), leaving only fields that are
+  /// identical across reruns, worker counts, and executors — the canonical
+  /// form scenario exports diff byte-for-byte (the distance matrix itself
+  /// is covered by the "distances_fnv" metric ApspSolver::solve stamps).
+  std::string to_json(bool include_timings = true) const;
 };
 
 /// Knobs for ApspSolver::serve (solve + publish into the context's

@@ -1,5 +1,7 @@
 #include "core/sssp.hpp"
 
+#include <span>
+
 #include "common/error.hpp"
 
 namespace qclique {
@@ -9,7 +11,8 @@ SsspResult quantum_sssp(const Digraph& g, std::uint32_t source,
   QCLIQUE_CHECK(source < g.size(), "sssp source out of range");
   const QuantumApspResult apsp = quantum_apsp(g, options, rng);
   SsspResult res;
-  res.distances = apsp.distances.row(source);
+  const std::span<const std::int64_t> row = apsp.distances.row_span(source);
+  res.distances.assign(row.begin(), row.end());
   res.rounds = apsp.rounds;
   res.ledger = apsp.ledger;
   return res;

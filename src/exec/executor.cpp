@@ -1,0 +1,254 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "exec/wire.hpp"
+
+#if !defined(_WIN32)
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace qclique {
+
+void ThreadExecutor::execute(std::size_t job_count, ExecJobHooks& hooks) const {
+  unsigned workers = workers_;
+  if (workers == 0) workers = 1;
+  if (workers <= 1 || job_count <= 1) {
+    for (std::size_t i = 0; i < job_count; ++i) {
+      hooks.run(i);
+      hooks.complete(i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < job_count;
+           i = next.fetch_add(1)) {
+        hooks.run(i);
+        hooks.complete(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+#if defined(_WIN32)
+
+void ProcessExecutor::execute(std::size_t, ExecJobHooks&) const {
+  throw SimulationError("ProcessExecutor requires a POSIX platform (fork)");
+}
+
+#else
+
+namespace {
+
+/// Writes the whole buffer, retrying short writes and EINTR. Returns false
+/// on any hard error (e.g. the parent closed its read end).
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t wrote = ::write(fd, data, size);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += wrote;
+    size -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+/// The worker body: runs this worker's slice of the batch, streaming one
+/// envelope line per job, then the done sentinel. Never returns normally —
+/// exits via _exit so no parent-owned atexit/static state runs twice.
+[[noreturn]] void worker_main(std::size_t job_count, ExecJobHooks& hooks,
+                              unsigned worker, unsigned workers, int fd) {
+  std::size_t reported = 0;
+  for (std::size_t i = worker; i < job_count; i += workers) {
+    hooks.run(i);
+    std::string line = "{\"exec_proto\":" + std::to_string(kWireVersion) +
+                       ",\"job\":" + std::to_string(i) +
+                       ",\"payload\":" + hooks.encode(i) + "}\n";
+    hooks.release(i);
+    if (!write_all(fd, line.data(), line.size())) _exit(3);
+    ++reported;
+  }
+  const std::string done = "{\"exec_proto\":" + std::to_string(kWireVersion) +
+                           ",\"done\":" + std::to_string(reported) + "}\n";
+  if (!write_all(fd, done.data(), done.size())) _exit(3);
+  ::close(fd);
+  _exit(0);
+}
+
+struct WorkerState {
+  pid_t pid = -1;
+  int fd = -1;           // parent's read end; -1 once EOF is seen
+  std::string buffer;    // bytes read but not yet terminated by '\n'
+  bool done_seen = false;
+  std::size_t reported = 0;
+};
+
+std::string describe_exit(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "was killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "stopped unexpectedly";
+}
+
+}  // namespace
+
+void ProcessExecutor::execute(std::size_t job_count, ExecJobHooks& hooks) const {
+  if (job_count == 0) return;
+  unsigned workers = workers_;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, job_count));
+
+  // All pipes first, then all forks: after the loop the parent holds only
+  // read ends, and no child holds another pipe's write end, so a worker's
+  // EOF always means that worker (and only it) is gone.
+  std::vector<std::array<int, 2>> pipes(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    QCLIQUE_CHECK(::pipe(pipes[w].data()) == 0,
+                  "ProcessExecutor: pipe() failed");
+  }
+
+  std::vector<WorkerState> states(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    const pid_t pid = ::fork();
+    QCLIQUE_CHECK(pid >= 0, "ProcessExecutor: fork() failed");
+    if (pid == 0) {
+      for (unsigned o = 0; o < workers; ++o) {
+        ::close(pipes[o][0]);
+        if (o != w) ::close(pipes[o][1]);
+      }
+      worker_main(job_count, hooks, w, workers, pipes[w][1]);
+    }
+    states[w].pid = pid;
+    states[w].fd = pipes[w][0];
+    ::close(pipes[w][1]);
+  }
+
+  std::vector<char> received(job_count, 0);
+  const auto settle = [&](std::size_t i, const std::string& error) {
+    if (received[i]) return;
+    received[i] = 1;
+    hooks.fail(i, error);
+  };
+
+  const auto handle_line = [&](unsigned w, std::string_view line) {
+    std::size_t job = job_count;  // sentinel: "no job extracted yet"
+    try {
+      WireReader r(line);
+      r.expect("{\"exec_proto\":" + std::to_string(kWireVersion) + ",");
+      if (r.try_consume("\"done\":")) {
+        states[w].done_seen = true;
+        const std::uint64_t count = r.u64();
+        r.expect("}");
+        QCLIQUE_CHECK(r.at_end() && count == states[w].reported,
+                      "worker sentinel does not match its reported jobs");
+        return;
+      }
+      r.expect("\"job\":");
+      job = r.u64();
+      QCLIQUE_CHECK(job < job_count && job % workers == w && !received[job],
+                    "worker reported a job it does not own");
+      r.expect(",\"payload\":");
+      QCLIQUE_CHECK(!line.empty() && line.back() == '}',
+                    "worker line is not a closed envelope");
+      hooks.decode(job, line.substr(r.pos(), line.size() - r.pos() - 1));
+      received[job] = 1;
+      ++states[w].reported;
+      hooks.complete(job);
+    } catch (const std::exception& e) {
+      // A malformed line fails the job it named (when it got that far);
+      // a line too corrupt to name a job is dropped here and its job is
+      // attributed at worker exit instead.
+      if (job < job_count) {
+        settle(job, std::string("process worker sent a malformed result: ") +
+                        e.what());
+      }
+    }
+  };
+
+  unsigned open_fds = workers;
+  std::vector<pollfd> fds;
+  char chunk[65536];
+  while (open_fds > 0) {
+    fds.clear();
+    for (const WorkerState& s : states) {
+      if (s.fd >= 0) fds.push_back(pollfd{s.fd, POLLIN, 0});
+    }
+    if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1) < 0) {
+      if (errno == EINTR) continue;
+      QCLIQUE_CHECK(false, "ProcessExecutor: poll() failed");
+    }
+    for (unsigned w = 0; w < workers; ++w) {
+      WorkerState& s = states[w];
+      if (s.fd < 0) continue;
+      bool ready = false;
+      for (const pollfd& p : fds) {
+        if (p.fd == s.fd && (p.revents & (POLLIN | POLLHUP | POLLERR))) {
+          ready = true;
+          break;
+        }
+      }
+      if (!ready) continue;
+      const ssize_t got = ::read(s.fd, chunk, sizeof(chunk));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        QCLIQUE_CHECK(false, "ProcessExecutor: read() failed");
+      }
+      if (got > 0) {
+        s.buffer.append(chunk, static_cast<std::size_t>(got));
+        std::size_t start = 0;
+        for (std::size_t nl = s.buffer.find('\n', start);
+             nl != std::string::npos; nl = s.buffer.find('\n', start)) {
+          handle_line(w, std::string_view(s.buffer).substr(start, nl - start));
+          start = nl + 1;
+        }
+        s.buffer.erase(0, start);
+        continue;
+      }
+      // EOF: the worker is gone. Reap it and attribute every job it owned
+      // but never reported.
+      ::close(s.fd);
+      s.fd = -1;
+      --open_fds;
+      int status = 0;
+      pid_t reaped;
+      do {
+        reaped = ::waitpid(s.pid, &status, 0);
+      } while (reaped < 0 && errno == EINTR);
+      std::string why;
+      if (reaped != s.pid) {
+        why = "process worker " + std::to_string(w) + " could not be reaped";
+      } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 ||
+                 !s.done_seen) {
+        why = "process worker " + std::to_string(w) + " " +
+              describe_exit(status) + " before reporting this job";
+      } else {
+        why = "process worker " + std::to_string(w) +
+              " exited cleanly without reporting this job";
+      }
+      for (std::size_t i = w; i < job_count; i += workers) settle(i, why);
+    }
+  }
+}
+
+#endif  // !defined(_WIN32)
+
+}  // namespace qclique

@@ -1,0 +1,111 @@
+// How a batch of independent jobs gets scheduled onto workers.
+//
+// BatchRunner used to bury its worker loop inside run_with_workers; this
+// layer extracts it behind an Executor interface with two implementations:
+//
+//  - ThreadExecutor: the original in-process pool, verbatim — an atomic
+//    job counter drained by N worker threads (N == 1 degenerates to a
+//    plain sequential loop on the calling thread).
+//  - ProcessExecutor: forks N worker processes. Worker w owns the jobs
+//    with index i ≡ w (mod N) — a static assignment, so when a worker
+//    dies mid-batch the parent knows exactly which jobs went down with it.
+//    Each worker streams one schema-versioned JSON line per finished job
+//    back over its pipe (docs/EXECUTION.md describes the envelope; the
+//    payload codec lives in exec/wire.hpp), and the parent decodes lines
+//    as they arrive, multiplexing all pipes with poll(). A worker that
+//    exits without reporting all of its jobs — crash, abort, kill — fails
+//    exactly those jobs with the exit status in the message; the batch
+//    never hangs and never loses the other workers' results.
+//
+// Executors know nothing about jobs — they drive an ExecJobHooks, whose
+// owner (BatchRunner) keeps the results array. Because results land by job
+// index and every job runs under a context forked by that index, the
+// merged output is identical whatever the executor, worker count, or
+// completion order: that is the contract the out-of-core CI gate checks
+// byte-for-byte.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace qclique {
+
+/// Callbacks an Executor drives. One hooks object spans one batch; methods
+/// are called with job indices in [0, job_count).
+///
+/// Call schedule by executor:
+///  - ThreadExecutor: run(i) then complete(i), both on the worker thread
+///    that claimed job i. encode/release/decode are never called.
+///  - ProcessExecutor: the worker process calls run(i), encode(i),
+///    release(i); the parent calls decode(i, payload) then complete(i) as
+///    each line arrives, or fail(i, ...) for jobs lost to worker death.
+///
+/// run() must capture job errors into the result itself (a throwing job
+/// must not escape); decode() may throw on malformed payloads — the
+/// executor converts that into fail(i).
+class ExecJobHooks {
+ public:
+  virtual ~ExecJobHooks() = default;
+
+  /// Executes job i and stores its result (including any caught error).
+  virtual void run(std::size_t i) = 0;
+
+  /// Result i is final in this process (after run in thread mode, after
+  /// decode in process mode). The paging hook: BatchRunner spills each
+  /// finished report's distances here when a memory budget is set.
+  virtual void complete(std::size_t i) {}
+
+  /// Worker side: serializes result i as a single-line wire payload.
+  virtual std::string encode(std::size_t i) = 0;
+
+  /// Worker side: result i has been written to the pipe; drop it. Workers
+  /// hold at most one finished result at a time, which is what keeps a
+  /// process-mode batch's per-worker footprint flat however many jobs the
+  /// batch has.
+  virtual void release(std::size_t i) {}
+
+  /// Parent side: installs the decoded payload as result i.
+  virtual void decode(std::size_t i, std::string_view payload) = 0;
+
+  /// Parent side: job i produced no result (worker died before reporting
+  /// it, or its payload was malformed). Must record a failed result.
+  virtual void fail(std::size_t i, const std::string& message) = 0;
+};
+
+/// Schedules `job_count` jobs onto workers via `hooks`. Implementations
+/// guarantee every index in [0, job_count) sees exactly one of
+/// {run+complete, decode+complete, fail} from the caller's point of view.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual void execute(std::size_t job_count, ExecJobHooks& hooks) const = 0;
+};
+
+/// The in-process pool extracted from BatchRunner::run_with_workers,
+/// behavior-identical: workers <= 1 runs jobs sequentially on the calling
+/// thread; otherwise N threads drain an atomic counter.
+class ThreadExecutor final : public Executor {
+ public:
+  explicit ThreadExecutor(unsigned workers) : workers_(workers) {}
+  void execute(std::size_t job_count, ExecJobHooks& hooks) const override;
+
+ private:
+  unsigned workers_;
+};
+
+/// Forks `workers` processes and merges their streamed results. POSIX
+/// only; constructing one on a platform without fork() throws at
+/// execute(). The calling process must be quiescent (no live worker
+/// threads) when execute() runs — BatchRunner guarantees this by never
+/// nesting executors.
+class ProcessExecutor final : public Executor {
+ public:
+  explicit ProcessExecutor(unsigned workers) : workers_(workers) {}
+  void execute(std::size_t job_count, ExecJobHooks& hooks) const override;
+
+ private:
+  unsigned workers_;
+};
+
+}  // namespace qclique

@@ -1,0 +1,423 @@
+#include "exec/page_store.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <iterator>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#define QCLIQUE_GETPID _getpid
+#else
+#include <unistd.h>
+#define QCLIQUE_GETPID getpid
+#endif
+
+namespace qclique {
+
+namespace {
+
+constexpr char kPageMagic[4] = {'Q', 'P', 'G', 'E'};
+
+/// Fixed-layout header at the front of every spill file. Fault-back
+/// validates every field against the page it expects, so a truncated,
+/// swapped, or foreign file is rejected instead of silently misread.
+struct PageFileHeader {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t matrix_id;
+  std::uint32_t page_index;
+  std::uint32_t n;
+  std::uint32_t rows;
+  std::uint32_t reserved;
+  std::uint64_t payload_bytes;
+};
+static_assert(sizeof(PageFileHeader) == 36 || sizeof(PageFileHeader) == 40,
+              "PageFileHeader layout drifted");
+
+/// One page holds ~256 KiB unless the caller pins page_rows explicitly.
+constexpr std::size_t kDefaultPageBytes = 256 * 1024;
+
+std::uint32_t derive_page_rows(std::uint32_t n) {
+  const std::size_t row_bytes = static_cast<std::size_t>(n) * sizeof(std::int64_t);
+  const std::size_t rows = row_bytes == 0 ? 1 : kDefaultPageBytes / row_bytes;
+  return static_cast<std::uint32_t>(std::max<std::size_t>(1, rows));
+}
+
+}  // namespace
+
+struct PageStore::State {
+  struct Page {
+    std::vector<std::int64_t> data;  // empty when only on disk
+    bool on_disk = false;            // spill file exists (written at most once)
+    std::uint64_t tick = 0;          // last access, for LRU
+    std::uint32_t rows = 0;
+  };
+  struct Matrix {
+    std::uint64_t id = 0;
+    std::uint32_t n = 0;
+    std::uint32_t page_rows = 0;
+    std::string label;
+    std::vector<Page> pages;
+  };
+
+  mutable std::mutex mu;
+  std::size_t budget = 0;
+  std::uint32_t forced_page_rows = 0;
+  std::string dir;
+  bool owned_dir = false;
+  bool dir_created = false;
+  std::uint64_t next_id = 1;
+  std::uint64_t tick = 0;
+  Stats stats;
+  std::map<std::uint64_t, Matrix> matrices;
+
+  ~State() {
+    if (owned_dir && dir_created) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);  // best effort
+    }
+  }
+
+  /// Creates the spill directory on first use. Lazy on purpose: contexts
+  /// are constructed (and forked) constantly, and a store that never
+  /// spills must never touch the filesystem. Caller holds mu.
+  void ensure_dir() {
+    if (dir_created) return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    QCLIQUE_CHECK(!ec, "PageStore: cannot create spill dir " + dir);
+    dir_created = true;
+  }
+
+  std::string page_path(std::uint64_t id, std::uint32_t page) const {
+    return dir + "/m" + std::to_string(id) + "-p" + std::to_string(page) +
+           ".qpage";
+  }
+
+  static std::size_t page_bytes(const Page& p, std::uint32_t n) {
+    return static_cast<std::size_t>(p.rows) * n * sizeof(std::int64_t);
+  }
+
+  void touch(Page& p) { p.tick = ++tick; }
+
+  /// Drops the in-core copy of `page`, writing the spill file first if this
+  /// is the page's first eviction. Caller holds mu.
+  void evict(Matrix& m, std::uint32_t page_index) {
+    Page& p = m.pages[page_index];
+    const std::size_t bytes = page_bytes(p, m.n);
+    if (!p.on_disk) {
+      ensure_dir();
+      const std::string path = page_path(m.id, page_index);
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      QCLIQUE_CHECK(static_cast<bool>(f),
+                    "PageStore: cannot open spill file " + path);
+      PageFileHeader h{};
+      std::copy(std::begin(kPageMagic), std::end(kPageMagic), h.magic);
+      h.version = kPageFileVersion;
+      h.matrix_id = m.id;
+      h.page_index = page_index;
+      h.n = m.n;
+      h.rows = p.rows;
+      h.payload_bytes = bytes;
+      f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+      f.write(reinterpret_cast<const char*>(p.data.data()),
+              static_cast<std::streamsize>(bytes));
+      QCLIQUE_CHECK(static_cast<bool>(f),
+                    "PageStore: short write to spill file " + path);
+      p.on_disk = true;
+      ++stats.spills;
+    }
+    // Whether this was the first spill or a re-eviction of an already
+    // written page, the only copy is now on disk.
+    stats.spilled_bytes += bytes;
+    p.data.clear();
+    p.data.shrink_to_fit();
+    stats.in_core_bytes -= bytes;
+    --stats.pages_in_core;
+    ++stats.evictions;
+  }
+
+  /// Reads a spilled page back in, validating the file against what this
+  /// page must contain. Caller holds mu.
+  void fault(Matrix& m, std::uint32_t page_index) {
+    Page& p = m.pages[page_index];
+    const std::string path = page_path(m.id, page_index);
+    const std::size_t bytes = page_bytes(p, m.n);
+    std::ifstream f(path, std::ios::binary);
+    QCLIQUE_CHECK(static_cast<bool>(f),
+                  "PageStore: missing spill file " + path);
+    PageFileHeader h{};
+    f.read(reinterpret_cast<char*>(&h), sizeof(h));
+    QCLIQUE_CHECK(f.gcount() == sizeof(h),
+                  "PageStore: truncated spill header in " + path);
+    QCLIQUE_CHECK(std::equal(std::begin(kPageMagic), std::end(kPageMagic), h.magic),
+                  "PageStore: bad magic in spill file " + path);
+    QCLIQUE_CHECK(h.version == kPageFileVersion,
+                  "PageStore: spill file schema version mismatch in " + path);
+    QCLIQUE_CHECK(h.matrix_id == m.id && h.page_index == page_index &&
+                      h.n == m.n && h.rows == p.rows && h.payload_bytes == bytes,
+                  "PageStore: spill file does not match its page in " + path);
+    // Read into a staging buffer and commit only after validation, so a
+    // failed fault leaves the page cleanly non-resident (retryable) rather
+    // than resident with garbage.
+    std::vector<std::int64_t> data(bytes / sizeof(std::int64_t));
+    f.read(reinterpret_cast<char*>(data.data()),
+           static_cast<std::streamsize>(bytes));
+    QCLIQUE_CHECK(f.gcount() == static_cast<std::streamsize>(bytes),
+                  "PageStore: truncated spill payload in " + path);
+    p.data = std::move(data);
+    ++stats.faults;
+    ++stats.pages_in_core;
+    stats.in_core_bytes += bytes;
+    stats.spilled_bytes -= bytes;
+    stats.peak_in_core_bytes =
+        std::max<std::uint64_t>(stats.peak_in_core_bytes, stats.in_core_bytes);
+  }
+
+  /// Evicts LRU resident pages until the budget holds, never touching the
+  /// page at (keep_id, keep_page) — the one the caller is reading or still
+  /// filling. Caller holds mu.
+  void enforce_budget(std::uint64_t keep_id, std::uint32_t keep_page) {
+    if (budget == 0) return;
+    while (stats.in_core_bytes > budget) {
+      Matrix* victim_m = nullptr;
+      std::uint32_t victim_p = 0;
+      std::uint64_t victim_tick = ~0ull;
+      for (auto& [id, m] : matrices) {
+        for (std::uint32_t p = 0; p < m.pages.size(); ++p) {
+          if (id == keep_id && p == keep_page) continue;
+          const Page& pg = m.pages[p];
+          if (pg.data.empty()) continue;
+          if (pg.tick < victim_tick) {
+            victim_tick = pg.tick;
+            victim_m = &m;
+            victim_p = p;
+          }
+        }
+      }
+      if (victim_m == nullptr) break;  // only the kept page is resident
+      evict(*victim_m, victim_p);
+    }
+  }
+
+  /// Ensures page_index is resident, then touches it. Caller holds mu.
+  State::Page& resident(Matrix& m, std::uint32_t page_index) {
+    Page& p = m.pages[page_index];
+    if (p.data.empty()) {
+      fault(m, page_index);
+      enforce_budget(m.id, page_index);
+    }
+    touch(p);
+    return p;
+  }
+
+  void drop(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = matrices.find(id);
+    if (it == matrices.end()) return;
+    for (std::uint32_t p = 0; p < it->second.pages.size(); ++p) {
+      const Page& pg = it->second.pages[p];
+      const std::size_t bytes = page_bytes(pg, it->second.n);
+      if (!pg.data.empty()) {
+        stats.in_core_bytes -= bytes;
+        --stats.pages_in_core;
+      }
+      if (pg.on_disk) {
+        // spilled_bytes counts only-on-disk pages; a resident page's file
+        // was already discounted when it faulted back in.
+        if (pg.data.empty()) stats.spilled_bytes -= bytes;
+        std::error_code ec;
+        std::filesystem::remove(page_path(id, p), ec);
+      }
+    }
+    matrices.erase(it);
+    --stats.matrices;
+  }
+};
+
+struct PagedMatrix::Handle {
+  std::shared_ptr<PageStore::State> state;
+  std::uint64_t id = 0;
+  std::uint32_t n = 0;
+  std::uint32_t page_rows = 0;
+  std::uint32_t pages = 0;
+
+  ~Handle() { state->drop(id); }
+};
+
+PageStore::PageStore(PageStoreOptions options) : state_(std::make_shared<State>()) {
+  state_->budget = options.budget_bytes;
+  state_->forced_page_rows = options.page_rows;
+  if (options.dir.empty()) {
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string name = "qclique-pages-" +
+                             std::to_string(QCLIQUE_GETPID()) + "-" +
+                             std::to_string(counter.fetch_add(1));
+    state_->dir = (std::filesystem::temp_directory_path() / name).string();
+    state_->owned_dir = true;
+  } else {
+    state_->dir = options.dir;
+  }
+}
+
+PagedMatrix PageStore::put(DistMatrix m, std::string label) {
+  const std::uint32_t n = m.size();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  const std::uint32_t page_rows =
+      state_->forced_page_rows ? state_->forced_page_rows : derive_page_rows(n);
+  const std::uint32_t pages = (n + page_rows - 1) / page_rows;
+
+  const std::uint64_t id = state_->next_id++;
+  State::Matrix& mat = state_->matrices[id];
+  mat.id = id;
+  mat.n = n;
+  mat.page_rows = page_rows;
+  mat.label = std::move(label);
+  mat.pages.reserve(pages);
+  ++state_->stats.matrices;
+  for (std::uint32_t p = 0; p < pages; ++p) {
+    const std::uint32_t r0 = p * page_rows;
+    const std::uint32_t rows = std::min(page_rows, n - r0);
+    State::Page page;
+    page.rows = rows;
+    const std::int64_t* src = m.row_ptr(r0);
+    page.data.assign(src, src + static_cast<std::size_t>(rows) * n);
+    state_->touch(page);
+    state_->stats.in_core_bytes += State::page_bytes(page, n);
+    ++state_->stats.pages_in_core;
+    state_->stats.peak_in_core_bytes = std::max<std::uint64_t>(
+        state_->stats.peak_in_core_bytes, state_->stats.in_core_bytes);
+    mat.pages.push_back(std::move(page));
+    // Earlier pages of this matrix are fair eviction game while later ones
+    // are still being copied in: adoption itself never exceeds the budget
+    // by more than the page being filled.
+    state_->enforce_budget(id, p);
+  }
+
+  auto handle = std::make_shared<PagedMatrix::Handle>();
+  handle->state = state_;
+  handle->id = id;
+  handle->n = n;
+  handle->page_rows = page_rows;
+  handle->pages = pages;
+  return PagedMatrix(std::move(handle));
+}
+
+void PageStore::set_budget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->budget = bytes;
+  state_->enforce_budget(/*keep_id=*/0, /*keep_page=*/0);
+}
+
+std::size_t PageStore::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->budget;
+}
+
+PageStore::Stats PageStore::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->stats;
+}
+
+std::string PageStore::dir() const { return state_->dir; }
+
+std::string PageStore::page_file_path(const PagedMatrix& m, std::uint32_t page) const {
+  QCLIQUE_CHECK(m.valid(), "page_file_path on an empty PagedMatrix");
+  return state_->page_path(m.handle_->id, page);
+}
+
+std::uint32_t PagedMatrix::size() const {
+  QCLIQUE_CHECK(valid(), "size() on an empty PagedMatrix");
+  return handle_->n;
+}
+
+std::uint32_t PagedMatrix::page_count() const {
+  QCLIQUE_CHECK(valid(), "page_count() on an empty PagedMatrix");
+  return handle_->pages;
+}
+
+std::uint32_t PagedMatrix::page_rows() const {
+  QCLIQUE_CHECK(valid(), "page_rows() on an empty PagedMatrix");
+  return handle_->page_rows;
+}
+
+std::uint64_t PagedMatrix::id() const {
+  QCLIQUE_CHECK(valid(), "id() on an empty PagedMatrix");
+  return handle_->id;
+}
+
+std::int64_t PagedMatrix::at(std::uint32_t i, std::uint32_t j) const {
+  QCLIQUE_CHECK(valid(), "at() on an empty PagedMatrix");
+  QCLIQUE_CHECK(i < handle_->n && j < handle_->n,
+                "PagedMatrix::at index out of range");
+  PageStore::State& s = *handle_->state;
+  std::lock_guard<std::mutex> lock(s.mu);
+  PageStore::State::Matrix& m = s.matrices.at(handle_->id);
+  const std::uint32_t p = i / m.page_rows;
+  const PageStore::State::Page& page = s.resident(m, p);
+  const std::uint32_t local = i - p * m.page_rows;
+  return page.data[static_cast<std::size_t>(local) * m.n + j];
+}
+
+void PagedMatrix::read_row(std::uint32_t i, std::span<std::int64_t> out) const {
+  QCLIQUE_CHECK(valid(), "read_row() on an empty PagedMatrix");
+  QCLIQUE_CHECK(i < handle_->n, "PagedMatrix::read_row index out of range");
+  QCLIQUE_CHECK(out.size() == handle_->n, "read_row needs exactly n entries");
+  PageStore::State& s = *handle_->state;
+  std::lock_guard<std::mutex> lock(s.mu);
+  PageStore::State::Matrix& m = s.matrices.at(handle_->id);
+  const std::uint32_t p = i / m.page_rows;
+  const PageStore::State::Page& page = s.resident(m, p);
+  const std::uint32_t local = i - p * m.page_rows;
+  const std::int64_t* src = page.data.data() + static_cast<std::size_t>(local) * m.n;
+  std::copy(src, src + m.n, out.begin());
+}
+
+DistMatrix PagedMatrix::materialize() const {
+  QCLIQUE_CHECK(valid(), "materialize() on an empty PagedMatrix");
+  DistMatrix out(handle_->n);
+  PageStore::State& s = *handle_->state;
+  std::lock_guard<std::mutex> lock(s.mu);
+  PageStore::State::Matrix& m = s.matrices.at(handle_->id);
+  for (std::uint32_t p = 0; p < m.pages.size(); ++p) {
+    // resident() enforces the budget as it faults, so the copy streams
+    // page by page even when the matrix is larger than the whole budget.
+    const PageStore::State::Page& page = s.resident(m, p);
+    out.assign_rows(p * m.page_rows, page.rows,
+                    std::span<const std::int64_t>(page.data));
+  }
+  return out;
+}
+
+std::size_t parse_byte_size(const std::string& text) {
+  QCLIQUE_CHECK(!text.empty(), "parse_byte_size: empty size");
+  std::size_t multiplier = 1;
+  std::string digits = text;
+  switch (text.back()) {
+    case 'k': case 'K': multiplier = 1024ull; break;
+    case 'm': case 'M': multiplier = 1024ull * 1024; break;
+    case 'g': case 'G': multiplier = 1024ull * 1024 * 1024; break;
+    default: break;
+  }
+  if (multiplier != 1) digits.pop_back();
+  QCLIQUE_CHECK(!digits.empty() &&
+                    digits.find_first_not_of("0123456789") == std::string::npos,
+                "parse_byte_size: not a byte size: '" + text + "'");
+  return std::stoull(digits) * multiplier;
+}
+
+std::size_t memory_budget_from_env() {
+  const char* v = std::getenv("QCLIQUE_MEMORY_BUDGET");
+  if (v == nullptr || *v == '\0') return 0;
+  return parse_byte_size(v);
+}
+
+}  // namespace qclique

@@ -1,0 +1,135 @@
+// Out-of-core storage for dense distance matrices.
+//
+// A PageStore holds adopted DistMatrix contents as fixed-size *row pages*
+// under a configurable in-core byte budget. Pages past the budget are
+// spilled, least-recently-used first, to files in a temp directory and
+// faulted back transparently on access — so a scenario sweep can retain
+// every cell's n x n result while its resident set stays bounded by the
+// budget (plus one page of slack for the page being accessed). Adopted
+// matrices are immutable, which keeps every page clean: a page is written
+// to disk at most once, and later evictions just drop the in-core copy.
+//
+// The store is internally synchronized and shared across
+// ExecutionContext::fork like the snapshot store and the autotuner, so
+// batch workers on any thread page through one budget. Solvers and the
+// serve layer never see it: they produce and consume plain DistMatrix;
+// the exec layer decides what lives in core. See docs/EXECUTION.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "matrix/dist_matrix.hpp"
+
+namespace qclique {
+
+/// Spill-page file schema version (the header every .qpage file carries;
+/// fault-back rejects any mismatch instead of half-reading).
+inline constexpr std::uint32_t kPageFileVersion = 1;
+
+struct PageStoreOptions {
+  /// In-core byte budget across all adopted matrices. 0 = unbounded: the
+  /// store never spills and behaves like plain in-memory storage.
+  std::size_t budget_bytes = 0;
+  /// Spill directory, created lazily on the first spill (a store that
+  /// never spills never touches the filesystem). "" = a unique directory
+  /// under the system temp path, removed when the store is destroyed. An
+  /// explicit directory is created if needed but never removed; individual
+  /// page files are still deleted as their matrices are dropped.
+  std::string dir;
+  /// Rows per page. 0 = derive from n so one page holds ~256 KiB.
+  std::uint32_t page_rows = 0;
+};
+
+class PageStore;
+
+/// Shared handle to one matrix adopted by a PageStore. Copies share the
+/// matrix; the pages (and their spill files) are dropped when the last
+/// handle goes away. Reads fault spilled pages back in under the store's
+/// budget; a default-constructed handle is empty (valid() == false).
+class PagedMatrix {
+ public:
+  PagedMatrix() = default;
+
+  bool valid() const { return handle_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  std::uint32_t size() const;
+  std::uint32_t page_count() const;
+  std::uint32_t page_rows() const;
+  std::uint64_t id() const;
+
+  /// Single-entry read (faults the page holding row i if spilled).
+  std::int64_t at(std::uint32_t i, std::uint32_t j) const;
+
+  /// Copies row i into `out` (must hold exactly n entries).
+  void read_row(std::uint32_t i, std::span<std::int64_t> out) const;
+
+  /// Full owning copy. Pages stream through the in-core budget one at a
+  /// time, so this works even when the whole matrix is larger than the
+  /// budget — the transient overshoot is at most one page.
+  DistMatrix materialize() const;
+
+ private:
+  friend class PageStore;
+  struct Handle;
+  explicit PagedMatrix(std::shared_ptr<Handle> handle)
+      : handle_(std::move(handle)) {}
+  std::shared_ptr<Handle> handle_;
+};
+
+/// The budgeted page cache. All methods are thread-safe; handles returned
+/// by put() keep the underlying state (and spill directory) alive even if
+/// the PageStore object itself is destroyed first.
+class PageStore {
+ public:
+  struct Stats {
+    std::uint64_t matrices = 0;       // live adopted matrices
+    std::uint64_t pages_in_core = 0;  // pages with a resident copy
+    std::uint64_t in_core_bytes = 0;  // resident page payload bytes
+    std::uint64_t spilled_bytes = 0;  // payload bytes only on disk
+    std::uint64_t peak_in_core_bytes = 0;
+    std::uint64_t spills = 0;     // page files written (first evictions)
+    std::uint64_t evictions = 0;  // in-core copies dropped
+    std::uint64_t faults = 0;     // pages read back from disk
+  };
+
+  explicit PageStore(PageStoreOptions options = {});
+
+  /// Adopts a matrix: splits it into row pages, charging the budget page
+  /// by page (earlier pages of the same matrix may spill while later ones
+  /// are still being copied in, so adoption itself stays in budget).
+  PagedMatrix put(DistMatrix m, std::string label = "");
+
+  /// Changes the budget and immediately re-enforces it (shrinking evicts).
+  void set_budget(std::size_t bytes);
+  std::size_t budget_bytes() const;
+
+  Stats stats() const;
+
+  /// The spill directory this store writes pages into.
+  std::string dir() const;
+
+  /// Absolute path of one page's spill file (which exists only once the
+  /// page has been spilled). Introspection for tests and tooling.
+  std::string page_file_path(const PagedMatrix& m, std::uint32_t page) const;
+
+ private:
+  friend class PagedMatrix;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Parses a byte size with an optional K/M/G suffix (powers of 1024):
+/// "262144", "256K", "16M", "1G". Throws SimulationError on anything else.
+std::size_t parse_byte_size(const std::string& text);
+
+/// The QCLIQUE_MEMORY_BUDGET environment knob: parsed via parse_byte_size,
+/// 0 (unbounded) when unset or empty.
+std::size_t memory_budget_from_env();
+
+}  // namespace qclique

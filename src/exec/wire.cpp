@@ -1,0 +1,322 @@
+#include "exec/wire.hpp"
+
+#include <bit>
+#include <charconv>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qclique {
+
+void WireReader::fail(const std::string& what) const {
+  const std::size_t from = pos_ < 24 ? 0 : pos_ - 24;
+  throw SimulationError("wire payload: " + what + " at byte " +
+                        std::to_string(pos_) + " near '" +
+                        std::string(text_.substr(from, 48)) + "'");
+}
+
+void WireReader::expect(std::string_view literal) {
+  if (!try_consume(literal)) fail("expected '" + std::string(literal) + "'");
+}
+
+bool WireReader::try_consume(std::string_view literal) {
+  if (text_.substr(pos_, literal.size()) != literal) return false;
+  pos_ += literal.size();
+  return true;
+}
+
+std::uint64_t WireReader::u64() {
+  std::uint64_t value = 0;
+  const char* first = text_.data() + pos_;
+  const char* last = text_.data() + text_.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr == first) fail("expected unsigned integer");
+  pos_ += static_cast<std::size_t>(ptr - first);
+  return value;
+}
+
+std::int64_t WireReader::i64() {
+  std::int64_t value = 0;
+  const char* first = text_.data() + pos_;
+  const char* last = text_.data() + text_.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr == first) fail("expected integer");
+  pos_ += static_cast<std::size_t>(ptr - first);
+  return value;
+}
+
+double WireReader::f64_bits() { return std::bit_cast<double>(u64()); }
+
+std::string WireReader::str() {
+  expect("\"");
+  std::string out;
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_++];
+    if (c == '"') return out;
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (pos_ >= text_.size()) fail("dangling escape");
+    const char esc = text_[pos_++];
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        // json_quote only emits \u00XX for control bytes.
+        if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+        unsigned code = 0;
+        const auto [ptr, ec] = std::from_chars(
+            text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+        if (ec != std::errc() || ptr != text_.data() + pos_ + 4 || code > 0xff) {
+          fail("bad \\u escape");
+        }
+        pos_ += 4;
+        out.push_back(static_cast<char>(code));
+        break;
+      }
+      default: fail("unknown escape");
+    }
+  }
+  fail("unterminated string");
+}
+
+std::string f64_to_bits(double value) {
+  return std::to_string(std::bit_cast<std::uint64_t>(value));
+}
+
+namespace {
+
+void encode_phase_stats_map(std::ostringstream& out, const RoundLedger& ledger) {
+  out << "{";
+  bool first = true;
+  for (const auto& [phase, stats] : ledger.phases()) {
+    if (!first) out << ",";
+    first = false;
+    out << json_quote(phase) << ":{\"rounds\":" << stats.rounds
+        << ",\"messages\":" << stats.messages
+        << ",\"oracle_calls\":" << stats.quantum_oracle_calls << "}";
+  }
+  out << "}";
+}
+
+RoundLedger decode_ledger(WireReader& r) {
+  RoundLedger ledger;
+  r.expect("{");
+  bool first = true;
+  while (!r.try_consume("}")) {
+    if (!first) r.expect(",");
+    first = false;
+    const std::string phase = r.str();
+    r.expect(":{\"rounds\":");
+    const std::uint64_t rounds = r.u64();
+    r.expect(",\"messages\":");
+    const std::uint64_t messages = r.u64();
+    r.expect(",\"oracle_calls\":");
+    const std::uint64_t oracle_calls = r.u64();
+    r.expect("}");
+    // charge + charge_quantum reproduce the phase entry and keep the
+    // ledger's totals equal to the sum over phases, the same invariant the
+    // original maintained.
+    ledger.charge(phase, rounds, messages);
+    if (oracle_calls > 0) ledger.charge_quantum(phase, 0, oracle_calls);
+  }
+  return ledger;
+}
+
+void encode_report(std::ostringstream& out, const ApspReport& report) {
+  out << "{\"solver\":" << json_quote(report.solver)
+      << ",\"topology\":" << json_quote(report.topology)
+      << ",\"kernel\":" << json_quote(report.kernel)
+      << ",\"family\":" << json_quote(report.family) << ",\"n\":" << report.n
+      << ",\"rounds\":" << report.rounds
+      << ",\"wall_ms_bits\":" << f64_to_bits(report.wall_ms) << ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [key, value] : report.metrics) {
+    if (!first) out << ",";
+    first = false;
+    out << json_quote(key) << ":" << value;
+  }
+  out << "},\"profile\":{";
+  first = true;
+  for (const auto& [phase, timing] : report.profile) {
+    if (!first) out << ",";
+    first = false;
+    out << json_quote(phase)
+        << ":{\"wall_ms_bits\":" << f64_to_bits(timing.wall_ms)
+        << ",\"calls\":" << timing.calls << ",\"messages\":" << timing.messages
+        << "}";
+  }
+  out << "},\"ledger\":";
+  encode_phase_stats_map(out, report.ledger);
+  out << ",\"distances\":[";
+  const std::int64_t* data = report.distances.data();
+  const std::size_t entries =
+      static_cast<std::size_t>(report.distances.size()) * report.distances.size();
+  for (std::size_t k = 0; k < entries; ++k) {
+    if (k > 0) out << ",";
+    out << data[k];
+  }
+  out << "]}";
+}
+
+ApspReport decode_report(WireReader& r) {
+  r.expect("{\"solver\":");
+  const std::string solver = r.str();
+  r.expect(",\"topology\":");
+  const std::string topology = r.str();
+  r.expect(",\"kernel\":");
+  const std::string kernel = r.str();
+  r.expect(",\"family\":");
+  const std::string family = r.str();
+  r.expect(",\"n\":");
+  const std::uint32_t n = static_cast<std::uint32_t>(r.u64());
+  QCLIQUE_CHECK(n >= 1, "wire payload: report with n == 0");
+  ApspReport report(n);
+  report.solver = solver;
+  report.topology = topology;
+  report.kernel = kernel;
+  report.family = family;
+  r.expect(",\"rounds\":");
+  report.rounds = r.u64();
+  r.expect(",\"wall_ms_bits\":");
+  report.wall_ms = r.f64_bits();
+  r.expect(",\"metrics\":{");
+  bool first = true;
+  while (!r.try_consume("}")) {
+    if (!first) r.expect(",");
+    first = false;
+    const std::string key = r.str();
+    r.expect(":");
+    report.metrics[key] = r.u64();
+  }
+  r.expect(",\"profile\":{");
+  first = true;
+  while (!r.try_consume("}")) {
+    if (!first) r.expect(",");
+    first = false;
+    const std::string phase = r.str();
+    r.expect(":{\"wall_ms_bits\":");
+    PhaseProfiler::Timing timing;
+    timing.wall_ms = r.f64_bits();
+    r.expect(",\"calls\":");
+    timing.calls = r.u64();
+    r.expect(",\"messages\":");
+    timing.messages = r.u64();
+    r.expect("}");
+    report.profile[phase] = timing;
+  }
+  r.expect(",\"ledger\":");
+  report.ledger = decode_ledger(r);
+  r.expect(",\"distances\":[");
+  const std::size_t entries = static_cast<std::size_t>(n) * n;
+  std::int64_t* data = report.distances.data();
+  for (std::size_t k = 0; k < entries; ++k) {
+    if (k > 0) r.expect(",");
+    data[k] = r.i64();
+  }
+  r.expect("]}");
+  return report;
+}
+
+}  // namespace
+
+std::string encode_batch_result(const BatchResult& result) {
+  std::ostringstream out;
+  out << "{\"v\":" << kWireVersion << ",\"job\":" << result.job_index
+      << ",\"solver\":" << json_quote(result.solver)
+      << ",\"family\":" << json_quote(result.family)
+      << ",\"label\":" << json_quote(result.label)
+      << ",\"ok\":" << (result.ok ? "true" : "false")
+      << ",\"error\":" << json_quote(result.error) << ",\"report\":";
+  if (result.report.has_value()) {
+    encode_report(out, *result.report);
+  } else {
+    out << "null";
+  }
+  out << "}";
+  return out.str();
+}
+
+BatchResult decode_batch_result(std::string_view payload) {
+  WireReader r(payload);
+  BatchResult result;
+  r.expect("{\"v\":" + std::to_string(kWireVersion) + ",\"job\":");
+  result.job_index = r.u64();
+  r.expect(",\"solver\":");
+  result.solver = r.str();
+  r.expect(",\"family\":");
+  result.family = r.str();
+  r.expect(",\"label\":");
+  result.label = r.str();
+  r.expect(",\"ok\":");
+  result.ok = r.try_consume("true");
+  if (!result.ok) r.expect("false");
+  r.expect(",\"error\":");
+  result.error = r.str();
+  r.expect(",\"report\":");
+  if (!r.try_consume("null")) result.report = decode_report(r);
+  r.expect("}");
+  QCLIQUE_CHECK(r.at_end(), "wire payload: trailing bytes after BatchResult");
+  return result;
+}
+
+std::string encode_stream_result(const StreamResult& result) {
+  std::ostringstream out;
+  out << "{\"v\":" << kWireVersion << ",\"job\":" << result.job_index
+      << ",\"family\":" << json_quote(result.family)
+      << ",\"stream\":" << json_quote(result.stream)
+      << ",\"solver\":" << json_quote(result.solver)
+      << ",\"ok\":" << (result.ok ? "true" : "false")
+      << ",\"error\":" << json_quote(result.error) << ",\"n\":" << result.n
+      << ",\"batches\":" << result.batches << ",\"updates\":" << result.updates
+      << ",\"changed_arcs\":" << result.changed_arcs
+      << ",\"affected_sources\":" << result.affected_sources
+      << ",\"exact\":" << (result.exact ? "true" : "false")
+      << ",\"published_versions\":" << result.published_versions
+      << ",\"wall_ms_bits\":" << f64_to_bits(result.wall_ms) << "}";
+  return out.str();
+}
+
+StreamResult decode_stream_result(std::string_view payload) {
+  WireReader r(payload);
+  StreamResult result;
+  r.expect("{\"v\":" + std::to_string(kWireVersion) + ",\"job\":");
+  result.job_index = r.u64();
+  r.expect(",\"family\":");
+  result.family = r.str();
+  r.expect(",\"stream\":");
+  result.stream = r.str();
+  r.expect(",\"solver\":");
+  result.solver = r.str();
+  r.expect(",\"ok\":");
+  result.ok = r.try_consume("true");
+  if (!result.ok) r.expect("false");
+  r.expect(",\"error\":");
+  result.error = r.str();
+  r.expect(",\"n\":");
+  result.n = static_cast<std::uint32_t>(r.u64());
+  r.expect(",\"batches\":");
+  result.batches = r.u64();
+  r.expect(",\"updates\":");
+  result.updates = r.u64();
+  r.expect(",\"changed_arcs\":");
+  result.changed_arcs = r.u64();
+  r.expect(",\"affected_sources\":");
+  result.affected_sources = r.u64();
+  r.expect(",\"exact\":");
+  result.exact = r.try_consume("true");
+  if (!result.exact) r.expect("false");
+  r.expect(",\"published_versions\":");
+  result.published_versions = r.u64();
+  r.expect(",\"wall_ms_bits\":");
+  result.wall_ms = r.f64_bits();
+  r.expect("}");
+  QCLIQUE_CHECK(r.at_end(), "wire payload: trailing bytes after StreamResult");
+  return result;
+}
+
+}  // namespace qclique

@@ -1,0 +1,71 @@
+// Wire codec for the multi-process worker protocol.
+//
+// ProcessExecutor workers stream one JSON line per finished job back to the
+// parent (docs/EXECUTION.md). The payload inside each line is produced and
+// consumed by the codecs here: an exact round-trip of BatchResult /
+// StreamResult, so a process-mode batch is indistinguishable from an
+// in-process one — distances entry-for-entry, ledgers phase-for-phase, and
+// doubles bit-for-bit (encoded as raw IEEE-754 bits, never as shortest
+// decimal). The reader is strict: it parses only what the encoders write
+// and throws SimulationError at the first deviation, so a corrupt or
+// truncated pipe payload fails the job loudly instead of half-parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "api/batch_runner.hpp"
+
+namespace qclique {
+
+/// Schema version stamped into every payload ("v":1) and every protocol
+/// envelope ("exec_proto":1); decoders reject anything else.
+inline constexpr int kWireVersion = 1;
+
+/// Strict sequential reader over one wire payload. Methods consume exactly
+/// the bytes the encoders emit and throw SimulationError (with byte offset
+/// context) on any mismatch.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view text) : text_(text) {}
+
+  /// Consumes `literal` exactly, or throws.
+  void expect(std::string_view literal);
+
+  /// Consumes `literal` if present; returns whether it did.
+  bool try_consume(std::string_view literal);
+
+  std::uint64_t u64();
+  std::int64_t i64();
+
+  /// A double transported as its IEEE-754 bit pattern (decimal u64).
+  double f64_bits();
+
+  /// A json_quote'd string (undoes the quoting round-trip exactly).
+  std::string str();
+
+  bool at_end() const { return pos_ == text_.size(); }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Formats a double as its IEEE-754 bit pattern for exact round-trips.
+std::string f64_to_bits(double value);
+
+/// One BatchResult as a single-line JSON payload (report inlined with
+/// distances when present). job_index travels inside the payload and is
+/// validated against the envelope on decode.
+std::string encode_batch_result(const BatchResult& result);
+BatchResult decode_batch_result(std::string_view payload);
+
+/// One StreamResult as a single-line JSON payload.
+std::string encode_stream_result(const StreamResult& result);
+StreamResult decode_stream_result(std::string_view payload);
+
+}  // namespace qclique

@@ -37,6 +37,25 @@ void DistMatrix::assign_row(std::uint32_t i, std::span<const std::int64_t> value
   std::copy(values.begin(), values.end(), row_ptr(i));
 }
 
+void DistMatrix::assign_rows(std::uint32_t first, std::uint32_t rows,
+                             std::span<const std::int64_t> values) {
+  QCLIQUE_CHECK(first < n_ && rows <= n_ - first, "assign_rows range out of bounds");
+  QCLIQUE_CHECK(values.size() == static_cast<std::size_t>(rows) * n_,
+                "assign_rows needs exactly rows*n entries");
+  std::copy(values.begin(), values.end(), row_ptr(first));
+}
+
+std::uint64_t DistMatrix::fnv1a64() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::int64_t x : v_) {
+    const auto u = static_cast<std::uint64_t>(x);
+    for (int byte = 0; byte < 8; ++byte) {
+      h = (h ^ ((u >> (8 * byte)) & 0xffu)) * 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
 DistMatrix DistMatrix::identity(std::uint32_t n) {
   DistMatrix m(n, kPlusInf);
   for (std::uint32_t i = 0; i < n; ++i) m.set(i, i, 0);

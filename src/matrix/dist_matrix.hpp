@@ -55,6 +55,18 @@ class DistMatrix {
   /// Overwrites row i from `values` (must hold exactly n entries).
   void assign_row(std::uint32_t i, std::span<const std::int64_t> values);
 
+  /// Overwrites `rows` consecutive rows starting at `first` from `values`
+  /// (must hold exactly rows*n entries). The bulk form page stores and
+  /// codecs use to land whole row bands without per-row spans.
+  void assign_rows(std::uint32_t first, std::uint32_t rows,
+                   std::span<const std::int64_t> values);
+
+  /// FNV-1a over the little-endian bytes of every entry in row-major
+  /// order. The cheap content fingerprint scenario exports carry (the
+  /// "distances_fnv" metric) so merged grids can be compared byte-for-byte
+  /// without embedding n^2 entries in JSON.
+  std::uint64_t fnv1a64() const;
+
   /// The min-plus multiplicative identity: 0 diagonal, +inf elsewhere.
   static DistMatrix identity(std::uint32_t n);
 

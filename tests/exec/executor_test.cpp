@@ -1,0 +1,277 @@
+// Tests for the Executor layer: thread/process equivalence of merged batch
+// results, worker-death attribution (a crashing job fails its cells without
+// hanging or losing the others), malformed-line handling, and out-of-core
+// paged runs producing the same distances as unbounded in-core runs.
+#include "exec/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/batch_runner.hpp"
+#include "common/error.hpp"
+#include "exec/page_store.hpp"
+#include "exec/wire.hpp"
+#include "graph/generators.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/snapshot_store.hpp"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace qclique {
+namespace {
+
+/// Toy hooks: job i computes i*i, encodes it as a tiny payload, and the
+/// parent collects values. Lets executor mechanics be tested without
+/// solver machinery in the way.
+class SquareHooks : public ExecJobHooks {
+ public:
+  explicit SquareHooks(std::size_t count)
+      : values_(count, -1), errors_(count) {}
+
+  void run(std::size_t i) override {
+    values_[i] = static_cast<long>(i) * static_cast<long>(i);
+  }
+  std::string encode(std::size_t i) override {
+    return "{\"x\":" + std::to_string(values_[i]) + "}";
+  }
+  void release(std::size_t i) override { values_[i] = -1; }
+  void decode(std::size_t i, std::string_view payload) override {
+    WireReader r(payload);
+    r.expect("{\"x\":");
+    values_[i] = static_cast<long>(r.i64());
+    r.expect("}");
+    QCLIQUE_CHECK(r.at_end(), "trailing bytes");
+  }
+  void fail(std::size_t i, const std::string& message) override {
+    errors_[i] = message;
+  }
+
+  const std::vector<long>& values() const { return values_; }
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ protected:
+  std::vector<long> values_;
+  std::vector<std::string> errors_;
+};
+
+TEST(ExecExecutor, ThreadExecutorRunsEveryJob) {
+  for (const unsigned workers : {1u, 4u}) {
+    SquareHooks hooks(17);
+    ThreadExecutor(workers).execute(17, hooks);
+    for (std::size_t i = 0; i < 17; ++i) {
+      EXPECT_EQ(hooks.values()[i], static_cast<long>(i * i)) << workers;
+      EXPECT_TRUE(hooks.errors()[i].empty());
+    }
+  }
+}
+
+#if !defined(_WIN32)
+
+TEST(ExecExecutor, ProcessExecutorMergesResultsByJobIndex) {
+  for (const unsigned workers : {1u, 3u}) {
+    SquareHooks hooks(17);
+    ProcessExecutor(workers).execute(17, hooks);
+    for (std::size_t i = 0; i < 17; ++i) {
+      EXPECT_EQ(hooks.values()[i], static_cast<long>(i * i)) << workers;
+      EXPECT_TRUE(hooks.errors()[i].empty()) << hooks.errors()[i];
+    }
+  }
+}
+
+TEST(ExecExecutor, DyingWorkerFailsExactlyItsUnreportedJobs) {
+  // Job 5 kills its worker mid-batch. With 3 workers and static round-robin
+  // assignment, worker 2 owns jobs {2, 5, 8, 11}; 2 completes before the
+  // crash, so exactly {5, 8, 11} must be failed — and the batch must finish
+  // without hanging, with every other worker's results intact.
+  class CrashHooks final : public SquareHooks {
+   public:
+    using SquareHooks::SquareHooks;
+    void run(std::size_t i) override {
+      if (i == 5) _exit(42);
+      SquareHooks::run(i);
+    }
+  };
+  CrashHooks hooks(12);
+  ProcessExecutor(3).execute(12, hooks);
+  for (std::size_t i = 0; i < 12; ++i) {
+    if (i == 5 || i == 8 || i == 11) {
+      EXPECT_FALSE(hooks.errors()[i].empty()) << i;
+      EXPECT_NE(hooks.errors()[i].find("status 42"), std::string::npos)
+          << hooks.errors()[i];
+    } else {
+      EXPECT_EQ(hooks.values()[i], static_cast<long>(i * i)) << i;
+      EXPECT_TRUE(hooks.errors()[i].empty()) << i << ": " << hooks.errors()[i];
+    }
+  }
+}
+
+TEST(ExecExecutor, MalformedResultLineFailsOnlyThatJob) {
+  class GarbageHooks final : public SquareHooks {
+   public:
+    using SquareHooks::SquareHooks;
+    std::string encode(std::size_t i) override {
+      if (i == 3) return "{\"x\":not-a-number}";
+      return SquareHooks::encode(i);
+    }
+  };
+  GarbageHooks hooks(8);
+  ProcessExecutor(2).execute(8, hooks);
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i == 3) {
+      EXPECT_NE(hooks.errors()[i].find("malformed"), std::string::npos)
+          << hooks.errors()[i];
+    } else {
+      EXPECT_EQ(hooks.values()[i], static_cast<long>(i * i)) << i;
+    }
+  }
+}
+
+Digraph exec_test_graph(std::uint32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_digraph(n, 0.5, -4, 9, rng);
+}
+
+/// Thread-mode and process-mode batches over the same spec must merge to
+/// the same canonical grid, byte for byte. This is the contract the
+/// out-of-core CI gate enforces end-to-end via bench_scenario_matrix.
+TEST(ExecExecutor, ProcessModeScenarioGridIsByteIdenticalToThreadMode) {
+  ScenarioSpec spec;
+  spec.families = {"gnp", "expander"};
+  spec.solvers = {"floyd-warshall", "semiring"};
+  spec.topologies = {"clique"};
+  spec.kernels = {"naive"};
+  spec.config.n = 10;
+  spec.graph_seed = 77;
+  spec.workers = 3;
+
+  ExecutionContext thread_base(901);
+  const auto thread_results =
+      BatchRunner(SolverRegistry::instance(), thread_base).run_scenarios(spec);
+
+  spec.process_mode = true;
+  ExecutionContext process_base(901);
+  const auto process_results =
+      BatchRunner(SolverRegistry::instance(), process_base).run_scenarios(spec);
+
+  ASSERT_EQ(process_results.size(), thread_results.size());
+  ASSERT_GT(thread_results.size(), 0u);
+  for (const auto& r : process_results) {
+    EXPECT_TRUE(r.ok) << r.label << ": " << r.error;
+  }
+  EXPECT_EQ(scenarios_to_json(process_results, /*include_timings=*/false),
+            scenarios_to_json(thread_results, /*include_timings=*/false));
+  // Distances survive the wire bit-for-bit, not just their fingerprints.
+  for (std::size_t i = 0; i < thread_results.size(); ++i) {
+    EXPECT_EQ(process_results[i].distances(), thread_results[i].distances())
+        << thread_results[i].label;
+  }
+}
+
+TEST(ExecExecutor, ProcessModeStreamSweepMatchesThreadModeCounters) {
+  StreamScenarioSpec spec;
+  spec.families = {"gnp"};
+  spec.streams = {};  // every registered stream
+  spec.solvers = {};  // every registered dynamic solver
+  spec.config.n = 9;
+  spec.config.wmin = 0;
+  spec.config.wmax = 6;
+  spec.batches = 3;
+  spec.batch_size = 6;
+  spec.graph_seed = 5;
+  spec.workers = 2;
+
+  ExecutionContext thread_base(31);
+  const auto thread_results =
+      BatchRunner(SolverRegistry::instance(), thread_base).run_streams(spec);
+
+  spec.process_mode = true;
+  ExecutionContext process_base(31);
+  const auto process_results =
+      BatchRunner(SolverRegistry::instance(), process_base).run_streams(spec);
+
+  ASSERT_EQ(process_results.size(), thread_results.size());
+  ASSERT_GT(thread_results.size(), 0u);
+  for (std::size_t i = 0; i < thread_results.size(); ++i) {
+    const StreamResult& a = thread_results[i];
+    const StreamResult& b = process_results[i];
+    EXPECT_TRUE(b.ok) << b.family << "/" << b.stream << "/" << b.solver << ": "
+                      << b.error;
+    EXPECT_EQ(b.family, a.family);
+    EXPECT_EQ(b.stream, a.stream);
+    EXPECT_EQ(b.solver, a.solver);
+    EXPECT_EQ(b.n, a.n);
+    EXPECT_EQ(b.batches, a.batches);
+    EXPECT_EQ(b.updates, a.updates);
+    EXPECT_EQ(b.changed_arcs, a.changed_arcs);
+    EXPECT_EQ(b.affected_sources, a.affected_sources);
+    EXPECT_EQ(b.exact, a.exact);
+    EXPECT_EQ(b.published_versions, a.published_versions);
+  }
+}
+
+#endif  // !defined(_WIN32)
+
+/// An out-of-core run (budget far below the sweep's total matrix bytes)
+/// must spill yet produce exactly the distances of an unbounded run.
+TEST(ExecExecutor, PagedBatchMatchesUnboundedRunBitForBit) {
+  ScenarioSpec spec;
+  spec.families = {"gnp", "torus"};
+  spec.solvers = {"floyd-warshall", "semiring"};
+  spec.topologies = {"clique"};
+  spec.kernels = {"naive"};
+  spec.config.n = 24;  // 8 cells x 24*24*8 = 4608 bytes each
+  spec.graph_seed = 13;
+  spec.workers = 2;
+
+  ExecutionContext unbounded_base(55);
+  const auto unbounded =
+      BatchRunner(SolverRegistry::instance(), unbounded_base).run_scenarios(spec);
+
+  spec.memory_budget = 6000;  // holds barely one matrix of the sweep
+  ExecutionContext paged_base(55);
+  const auto paged =
+      BatchRunner(SolverRegistry::instance(), paged_base).run_scenarios(spec);
+
+  ASSERT_EQ(paged.size(), unbounded.size());
+  ASSERT_GT(paged.size(), 2u);
+  const auto stats = paged_base.page_store().stats();
+  EXPECT_GT(stats.spills, 0u);
+  EXPECT_LE(stats.in_core_bytes, 6000u);
+  for (std::size_t i = 0; i < paged.size(); ++i) {
+    ASSERT_TRUE(paged[i].ok) << paged[i].label << ": " << paged[i].error;
+    EXPECT_TRUE(paged[i].distances_paged()) << paged[i].label;
+    // The placeholder matrix is tiny; the real one pages back identical.
+    EXPECT_EQ(paged[i].distances(), unbounded[i].distances())
+        << paged[i].label;
+  }
+  EXPECT_EQ(scenarios_to_json(paged, /*include_timings=*/false),
+            scenarios_to_json(unbounded, /*include_timings=*/false));
+}
+
+TEST(ExecExecutor, PagedResultsPublishMaterializedSnapshots) {
+  const auto g =
+      std::make_shared<const Digraph>(exec_test_graph(12, 3));
+  std::vector<BatchJob> jobs;
+  jobs.push_back(BatchJob{.graph = g, .solver = "floyd-warshall", .kernel = "",
+                          .topology = "", .family = "", .seed_salt = 0,
+                          .label = "paged-publish"});
+  ExecutionContext base(77);
+  base.page_store().set_budget(256);  // way below 12*12*8
+  const BatchRunner runner(SolverRegistry::instance(), base);
+  const auto results = runner.run(jobs);
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  ASSERT_TRUE(results[0].distances_paged());
+
+  SnapshotStore store;
+  const auto pins = publish_scenarios(results, store);
+  ASSERT_EQ(pins.size(), 1u);
+  ASSERT_NE(pins[0], nullptr);
+  EXPECT_EQ(pins[0]->distances(), results[0].distances());
+}
+
+}  // namespace
+}  // namespace qclique

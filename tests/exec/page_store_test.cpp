@@ -1,0 +1,225 @@
+// Tests for the out-of-core PageStore: budget-boundary eviction and
+// fault-back round-trips, bit-identical contents across spill cycles,
+// concurrent readers, and strict rejection of malformed spill files.
+#include "exec/page_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qclique {
+namespace {
+
+DistMatrix random_matrix(std::uint32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  DistMatrix m(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      m.set(i, j, static_cast<std::int64_t>(rng.next_u64() % 2001) - 1000);
+    }
+  }
+  return m;
+}
+
+std::size_t matrix_bytes(std::uint32_t n) {
+  return static_cast<std::size_t>(n) * n * sizeof(std::int64_t);
+}
+
+TEST(ExecPageStore, UnboundedStoreNeverSpillsAndRoundTrips) {
+  PageStore store;  // budget 0 = unbounded
+  const DistMatrix m = random_matrix(20, 1);
+  const PagedMatrix paged = store.put(m, "unbounded");
+  EXPECT_EQ(paged.size(), 20u);
+  EXPECT_EQ(paged.materialize(), m);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.spills, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.in_core_bytes, matrix_bytes(20));
+  // A store that never spills never creates its temp directory.
+  EXPECT_FALSE(std::filesystem::exists(store.dir()));
+}
+
+TEST(ExecPageStore, TightBudgetSpillsAndFaultsBackBitIdentical) {
+  PageStoreOptions options;
+  options.page_rows = 2;  // n=16 -> 8 pages of 2*16*8 = 256 bytes each
+  options.budget_bytes = 3 * 256;  // room for 3 of 8 pages
+  PageStore store(options);
+
+  const DistMatrix m = random_matrix(16, 2);
+  const PagedMatrix paged = store.put(m, "tight");
+  EXPECT_EQ(paged.page_count(), 8u);
+
+  auto stats = store.stats();
+  EXPECT_GT(stats.spills, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.in_core_bytes, options.budget_bytes);
+
+  // Every entry reads back exactly, however many spill/fault cycles the
+  // access pattern causes (row-major, then column-major to thrash LRU).
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    for (std::uint32_t j = 0; j < 16; ++j) EXPECT_EQ(paged.at(i, j), m.at(i, j));
+  }
+  for (std::uint32_t j = 0; j < 16; ++j) {
+    for (std::uint32_t i = 0; i < 16; ++i) EXPECT_EQ(paged.at(i, j), m.at(i, j));
+  }
+  stats = store.stats();
+  EXPECT_GT(stats.faults, 0u);
+  EXPECT_LE(stats.in_core_bytes, options.budget_bytes);
+
+  // Materializing the whole matrix works even though it is ~2.7x the
+  // budget, and the result is bit-identical.
+  EXPECT_EQ(paged.materialize(), m);
+  EXPECT_LE(store.stats().in_core_bytes, options.budget_bytes);
+}
+
+TEST(ExecPageStore, BudgetBoundsResidencyAcrossManyMatrices) {
+  PageStoreOptions options;
+  options.page_rows = 4;
+  options.budget_bytes = 2048;
+  PageStore store(options);
+
+  std::vector<DistMatrix> originals;
+  std::vector<PagedMatrix> paged;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    originals.push_back(random_matrix(12, 100 + s));
+    paged.push_back(store.put(originals.back(), "m" + std::to_string(s)));
+    EXPECT_LE(store.stats().in_core_bytes, options.budget_bytes);
+  }
+  EXPECT_EQ(store.stats().matrices, 6u);
+  for (std::size_t s = 0; s < paged.size(); ++s) {
+    EXPECT_EQ(paged[s].materialize(), originals[s]) << s;
+  }
+  // Dropping handles frees pages and deletes spill files.
+  const std::string dir = store.dir();
+  paged.clear();
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.matrices, 0u);
+  EXPECT_EQ(stats.in_core_bytes, 0u);
+  EXPECT_EQ(stats.spilled_bytes, 0u);
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+}
+
+TEST(ExecPageStore, ShrinkingTheBudgetEvictsImmediately) {
+  PageStoreOptions options;
+  options.page_rows = 2;
+  PageStore store(options);  // unbounded at first
+  const DistMatrix m = random_matrix(10, 3);
+  const PagedMatrix paged = store.put(m, "shrink");
+  EXPECT_EQ(store.stats().evictions, 0u);
+
+  store.set_budget(400);  // below the 10*10*8 = 800 bytes resident
+  auto stats = store.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.in_core_bytes, 400u);
+  EXPECT_EQ(paged.materialize(), m);
+}
+
+TEST(ExecPageStore, HandleOutlivesTheStoreObject) {
+  PagedMatrix paged;
+  const DistMatrix m = random_matrix(8, 4);
+  {
+    PageStoreOptions options;
+    options.page_rows = 2;
+    options.budget_bytes = 128;  // forces spills
+    PageStore store(options);
+    paged = store.put(m, "survivor");
+  }
+  // The handle keeps the shared state (and its spill files) alive.
+  EXPECT_EQ(paged.materialize(), m);
+}
+
+TEST(ExecPageStore, MalformedSpillFilesAreRejected) {
+  PageStoreOptions options;
+  options.page_rows = 2;
+  options.budget_bytes = 256;
+  PageStore store(options);
+  const DistMatrix m = random_matrix(8, 5);
+  const PagedMatrix paged = store.put(m, "corrupt");
+  ASSERT_GT(store.stats().spills, 0u);
+
+  // Find a page that is currently only on disk and corrupt its header.
+  std::uint32_t victim = paged.page_count();
+  for (std::uint32_t p = 0; p < paged.page_count(); ++p) {
+    if (std::filesystem::exists(store.page_file_path(paged, p))) {
+      victim = p;
+      break;
+    }
+  }
+  ASSERT_LT(victim, paged.page_count());
+  const std::string path = store.page_file_path(paged, victim);
+
+  // Truncated payload.
+  {
+    const auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 8);
+    EXPECT_THROW(paged.materialize(), SimulationError);
+    std::filesystem::resize_file(path, size);  // zero-pad: payload now wrong
+  }
+  // Bad magic.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.write("XXXX", 4);
+  }
+  EXPECT_THROW(paged.at(victim * paged.page_rows(), 0), SimulationError);
+  // Missing file.
+  std::filesystem::remove(path);
+  EXPECT_THROW(paged.materialize(), SimulationError);
+}
+
+TEST(ExecPageStore, ConcurrentReadersSeeConsistentData) {
+  PageStoreOptions options;
+  options.page_rows = 2;
+  options.budget_bytes = 512;  // far below 4 * 12*12*8 bytes
+  PageStore store(options);
+
+  std::vector<DistMatrix> originals;
+  std::vector<PagedMatrix> paged;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    originals.push_back(random_matrix(12, 200 + s));
+    paged.push_back(store.put(originals.back(), "c" + std::to_string(s)));
+  }
+
+  std::vector<std::thread> readers;
+  std::vector<int> failures(4, 0);
+  for (std::size_t t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      std::vector<std::int64_t> row(12);
+      for (int pass = 0; pass < 10; ++pass) {
+        const std::size_t s = (t + pass) % paged.size();
+        for (std::uint32_t i = 0; i < 12; ++i) {
+          paged[s].read_row(i, row);
+          for (std::uint32_t j = 0; j < 12; ++j) {
+            if (row[j] != originals[s].at(i, j)) ++failures[t];
+          }
+        }
+        if (paged[s].materialize() != originals[s]) ++failures[t];
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  for (int f : failures) EXPECT_EQ(f, 0);
+  EXPECT_LE(store.stats().in_core_bytes, options.budget_bytes);
+}
+
+TEST(ExecPageStore, ParseByteSizeAcceptsSuffixesAndRejectsGarbage) {
+  EXPECT_EQ(parse_byte_size("262144"), 262144u);
+  EXPECT_EQ(parse_byte_size("256K"), 256u * 1024);
+  EXPECT_EQ(parse_byte_size("256k"), 256u * 1024);
+  EXPECT_EQ(parse_byte_size("16M"), 16u * 1024 * 1024);
+  EXPECT_EQ(parse_byte_size("1G"), 1024ull * 1024 * 1024);
+  EXPECT_EQ(parse_byte_size("0"), 0u);
+  EXPECT_THROW(parse_byte_size(""), SimulationError);
+  EXPECT_THROW(parse_byte_size("K"), SimulationError);
+  EXPECT_THROW(parse_byte_size("12QB"), SimulationError);
+  EXPECT_THROW(parse_byte_size("-5"), SimulationError);
+  EXPECT_THROW(parse_byte_size("1.5M"), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique

@@ -1,0 +1,171 @@
+// Tests for the process-worker wire codec: exact BatchResult/StreamResult
+// round-trips (doubles bit-for-bit, ledgers phase-for-phase) and strict
+// rejection of malformed payloads.
+#include "exec/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace qclique {
+namespace {
+
+BatchResult sample_result() {
+  BatchResult r;
+  r.job_index = 7;
+  r.solver = "quantum";
+  r.family = "gnp";
+  r.label = "weird \"label\"\nwith\tescapes\x01";
+  r.ok = true;
+  ApspReport report(3);
+  report.solver = "quantum";
+  report.topology = "clique";
+  report.kernel = "blocked";
+  report.family = "gnp";
+  report.rounds = 123;
+  report.wall_ms = 0.1;  // not exactly representable: bit-exactness matters
+  report.metrics["products"] = 42;
+  report.metrics["distances_fnv"] = 0xdeadbeefcafef00dULL;
+  PhaseProfiler::Timing t;
+  t.wall_ms = 1.0 / 3.0;
+  t.calls = 5;
+  t.messages = 99;
+  report.profile["find_edges"] = t;
+  report.ledger.charge("find_edges", 10, 200);
+  report.ledger.charge_quantum("grover", 3, 7);
+  report.distances.set(0, 0, 0);
+  report.distances.set(0, 1, -5);
+  report.distances.set(0, 2, kPlusInf);
+  report.distances.set(1, 0, kMinusInf);
+  report.distances.set(1, 1, 0);
+  report.distances.set(1, 2, 17);
+  report.distances.set(2, 0, 1);
+  report.distances.set(2, 1, 2);
+  report.distances.set(2, 2, 0);
+  r.report = std::move(report);
+  return r;
+}
+
+TEST(ExecWire, BatchResultRoundTripsExactly) {
+  const BatchResult original = sample_result();
+  const BatchResult back = decode_batch_result(encode_batch_result(original));
+
+  EXPECT_EQ(back.job_index, original.job_index);
+  EXPECT_EQ(back.solver, original.solver);
+  EXPECT_EQ(back.family, original.family);
+  EXPECT_EQ(back.label, original.label);
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.error, "");
+  ASSERT_TRUE(back.report.has_value());
+
+  const ApspReport& a = *original.report;
+  const ApspReport& b = *back.report;
+  EXPECT_EQ(b.solver, a.solver);
+  EXPECT_EQ(b.topology, a.topology);
+  EXPECT_EQ(b.kernel, a.kernel);
+  EXPECT_EQ(b.family, a.family);
+  EXPECT_EQ(b.n, a.n);
+  EXPECT_EQ(b.rounds, a.rounds);
+  // Bit-exact, not "close": the whole point of shipping raw IEEE bits.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(b.wall_ms),
+            std::bit_cast<std::uint64_t>(a.wall_ms));
+  EXPECT_EQ(b.metrics, a.metrics);
+  ASSERT_EQ(b.profile.size(), a.profile.size());
+  for (const auto& [phase, timing] : a.profile) {
+    const auto it = b.profile.find(phase);
+    ASSERT_NE(it, b.profile.end()) << phase;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(it->second.wall_ms),
+              std::bit_cast<std::uint64_t>(timing.wall_ms));
+    EXPECT_EQ(it->second.calls, timing.calls);
+    EXPECT_EQ(it->second.messages, timing.messages);
+  }
+  EXPECT_EQ(b.distances, a.distances);
+  EXPECT_EQ(b.ledger.total_rounds(), a.ledger.total_rounds());
+  EXPECT_EQ(b.ledger.total_messages(), a.ledger.total_messages());
+  EXPECT_EQ(b.ledger.total_oracle_calls(), a.ledger.total_oracle_calls());
+  ASSERT_EQ(b.ledger.phases().size(), a.ledger.phases().size());
+  for (const auto& [phase, stats] : a.ledger.phases()) {
+    const auto it = b.ledger.phases().find(phase);
+    ASSERT_NE(it, b.ledger.phases().end()) << phase;
+    EXPECT_EQ(it->second.rounds, stats.rounds);
+    EXPECT_EQ(it->second.messages, stats.messages);
+    EXPECT_EQ(it->second.quantum_oracle_calls, stats.quantum_oracle_calls);
+  }
+  // And the encodings themselves agree, so re-encoding is stable.
+  EXPECT_EQ(encode_batch_result(back), encode_batch_result(original));
+}
+
+TEST(ExecWire, FailedBatchResultRoundTripsWithoutReport) {
+  BatchResult r;
+  r.job_index = 3;
+  r.solver = "dijkstra";
+  r.family = "";
+  r.label = "cell";
+  r.ok = false;
+  r.error = "solver 'dijkstra' requires non-negative weights";
+  const BatchResult back = decode_batch_result(encode_batch_result(r));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.error, r.error);
+  EXPECT_FALSE(back.report.has_value());
+}
+
+TEST(ExecWire, StreamResultRoundTripsExactly) {
+  StreamResult r;
+  r.job_index = 11;
+  r.family = "torus";
+  r.stream = "churn";
+  r.solver = "dynamic-dijkstra";
+  r.ok = true;
+  r.n = 25;
+  r.batches = 8;
+  r.updates = 128;
+  r.changed_arcs = 100;
+  r.affected_sources = 77;
+  r.exact = false;
+  r.published_versions = 9;
+  r.wall_ms = 2.5000000000000004;
+  const StreamResult back = decode_stream_result(encode_stream_result(r));
+  EXPECT_EQ(back.job_index, r.job_index);
+  EXPECT_EQ(back.family, r.family);
+  EXPECT_EQ(back.stream, r.stream);
+  EXPECT_EQ(back.solver, r.solver);
+  EXPECT_EQ(back.ok, r.ok);
+  EXPECT_EQ(back.n, r.n);
+  EXPECT_EQ(back.batches, r.batches);
+  EXPECT_EQ(back.updates, r.updates);
+  EXPECT_EQ(back.changed_arcs, r.changed_arcs);
+  EXPECT_EQ(back.affected_sources, r.affected_sources);
+  EXPECT_EQ(back.exact, r.exact);
+  EXPECT_EQ(back.published_versions, r.published_versions);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.wall_ms),
+            std::bit_cast<std::uint64_t>(r.wall_ms));
+}
+
+TEST(ExecWire, MalformedPayloadsAreRejected) {
+  const std::string good = encode_batch_result(sample_result());
+  // Truncation anywhere must throw, never half-parse.
+  EXPECT_THROW(decode_batch_result(""), SimulationError);
+  EXPECT_THROW(decode_batch_result(good.substr(0, good.size() / 2)),
+               SimulationError);
+  EXPECT_THROW(decode_batch_result(good.substr(0, good.size() - 1)),
+               SimulationError);
+  // Trailing garbage is rejected too.
+  EXPECT_THROW(decode_batch_result(good + "x"), SimulationError);
+  // Wrong schema version.
+  std::string wrong = good;
+  wrong.replace(wrong.find("{\"v\":"), 6, "{\"v\":9");
+  EXPECT_THROW(decode_batch_result(wrong), SimulationError);
+  // A flipped structural character misaligns the strict reader.
+  std::string flipped = good;
+  flipped[flipped.find("\"ok\":")] = 'x';
+  EXPECT_THROW(decode_batch_result(flipped), SimulationError);
+  EXPECT_THROW(decode_stream_result("{\"v\":1,\"job\":0}"), SimulationError);
+}
+
+}  // namespace
+}  // namespace qclique
