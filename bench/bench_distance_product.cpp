@@ -30,6 +30,7 @@
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/task_pool.hpp"
 #include "congest/round_ledger.hpp"
 #include "core/distance_product.hpp"
 #include "matrix/kernels.hpp"
@@ -118,8 +119,11 @@ int main(int argc, char** argv) {
   Table ktable({"n", "kernel", "threads", "wall ms", "vs naive", "vs blocked",
                 "agrees"});
   std::ostringstream json;
+  // pool_threads records the persistent TaskPool capacity the row-band
+  // kernels drew workers from (additive to schema 1; diffs ignore it).
   json << "{\"bench\":\"distance_product\",\"schema_version\":1,\"n\":" << max_n
-       << ",\"isa\":" << json_quote(kernel_isa_name(isa)) << ",\"runs\":[";
+       << ",\"isa\":" << json_quote(kernel_isa_name(isa))
+       << ",\"pool_threads\":" << resolve_task_pool_threads(0) << ",\"runs\":[";
   bool all_agree = true;
   bool json_first = true;
   double simd_vs_blocked = 0.0;

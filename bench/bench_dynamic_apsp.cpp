@@ -8,23 +8,42 @@
 // for; both solvers maintain witness successors so the comparison covers
 // everything a StreamSession would publish.
 //
-//   usage: bench_dynamic_apsp [n] [json-path]
+// The incremental replay runs once per entry of the threads axis (default
+// 1/2/4; --threads=T pins a single value): one solver instance per T on
+// its own TaskPool of that capacity, all fed identical batches in
+// lockstep. Distances, witness successors, and the RepairStats counters
+// must agree bit-for-bit across the whole axis -- the task pool's
+// determinism contract made measurable -- and each T gets its own JSON
+// run row.
 //
-// Doubles as a conformance gate: after every batch the incremental
-// distances must be bit-identical to the recompute oracle's (exit non-zero
-// on any mismatch), and at n >= 256 the headline acceptance bar -- every
-// (family, stream) run repairs >= 5x faster than recompute -- exits
-// non-zero when missed. The JSON artifact (BENCH_dynamic_apsp.json) is
-// uploaded by CI; docs/STREAMING.md documents the schema.
+//   usage: bench_dynamic_apsp [n] [json-path] [--threads=T]
+//
+// Triples as a conformance gate, all misses exit non-zero: (1) after every
+// batch every incremental replay must be bit-identical to the recompute
+// oracle; (2) at n >= 256 every (family, stream, threads) run repairs
+// >= 4x faster than recompute (the bar was 5x against the original
+// per-batch recompute; reusing DijkstraWorkspace across sources made the
+// oracle ~1.7x faster, so the same incremental wall time now reads as a
+// smaller ratio -- the bar is re-anchored, not relaxed); (3) at n >= 256,
+// when the axis reaches 4
+// threads and the host has >= 4 hardware threads to grant them, the
+// 4-thread repair must run >= 2x faster than the 1-thread repair
+// (repair_gate_armed in the JSON says whether this armed -- single-core CI
+// shards measure it as informational only, like the SIMD gate). The JSON
+// artifact (BENCH_dynamic_apsp.json, schema_version 2) is uploaded by CI;
+// docs/STREAMING.md documents the schema.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/execution_context.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/task_pool.hpp"
 #include "congest/round_ledger.hpp"
 #include "graph/families.hpp"
 #include "stream/dynamic_solver.hpp"
@@ -46,30 +65,67 @@ std::uint64_t fold_name(std::uint64_t seed, const std::string& name) {
 
 int main(int argc, char** argv) {
   using namespace qclique;
+  std::vector<unsigned> threads_axis{1, 2, 4};
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      const unsigned t =
+          static_cast<unsigned>(std::stoul(arg.substr(sizeof("--threads=") - 1)));
+      threads_axis = {std::max(1u, t)};
+    } else {
+      positional.push_back(arg);
+    }
+  }
   const std::uint32_t n =
-      argc > 1 ? static_cast<std::uint32_t>(std::stoul(argv[1])) : 256;
-  const std::string json_path = argc > 2 ? argv[2] : "BENCH_dynamic_apsp.json";
+      !positional.empty() ? static_cast<std::uint32_t>(std::stoul(positional[0]))
+                          : 256;
+  const std::string json_path =
+      positional.size() > 1 ? positional[1] : "BENCH_dynamic_apsp.json";
   const std::uint32_t batch_size = std::max<std::uint32_t>(1, n / 16);
   const std::uint32_t num_batches = 8;
+  const unsigned t_max = *std::max_element(threads_axis.begin(), threads_axis.end());
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::cout << "E18: dynamic APSP repair vs recompute (n = " << n
-            << ", batches = " << num_batches << " x " << batch_size << ")\n\n";
+            << ", batches = " << num_batches << " x " << batch_size
+            << ", threads axis =";
+  for (const unsigned t : threads_axis) std::cout << " " << t;
+  std::cout << ")\n\n";
 
   const std::vector<std::string> families{"gnp", "power-law", "clustered"};
   const FamilyConfig cfg = family_config(n, 0.3, 1, 9);
   const std::uint64_t graph_seed = 1800 + n;
 
-  ExecutionContext ctx(23);
+  // One context per axis entry: its own pool of exactly T participants and
+  // num_threads() = T, so the repair's parallel region is granted T slots
+  // whatever QCLIQUE_THREADS says. The oracle replays on the 1-thread
+  // context -- recompute_ms must not ride the pool being measured.
+  std::vector<std::unique_ptr<ExecutionContext>> contexts;
+  for (const unsigned t : threads_axis) {
+    auto ctx = std::make_unique<ExecutionContext>(23);
+    ctx->set_task_pool(std::make_shared<TaskPool>(t));
+    ctx->set_num_threads(t);
+    contexts.push_back(std::move(ctx));
+  }
+  ExecutionContext oracle_ctx(23);
+  oracle_ctx.set_task_pool(std::make_shared<TaskPool>(1));
+  oracle_ctx.set_num_threads(1);
   DynamicSolverOptions options;  // with_paths = true: serve-grade repair
 
-  Table table({"family", "stream", "updates", "affected", "incr ms",
+  Table table({"family", "stream", "threads", "updates", "affected", "incr ms",
                "recomp ms", "speedup", "exact"});
   std::ostringstream json;
-  json << "{\"bench\":\"dynamic_apsp\",\"schema_version\":1,\"n\":" << n
+  json << "{\"bench\":\"dynamic_apsp\",\"schema_version\":2,\"n\":" << n
        << ",\"batches\":" << num_batches << ",\"batch_size\":" << batch_size
-       << ",\"runs\":[";
+       << ",\"threads_axis\":[";
+  for (std::size_t i = 0; i < threads_axis.size(); ++i) {
+    json << (i ? "," : "") << threads_axis[i];
+  }
+  json << "],\"runs\":[";
   bool all_exact = true;
   bool first_run = true;
   double min_speedup = -1.0;
+  double min_parallel_speedup = -1.0;
 
   for (const std::string& family : families) {
     Rng grng(fold_name(graph_seed, family));
@@ -80,42 +136,82 @@ int main(int argc, char** argv) {
       Rng srng(fold_name(fold_name(graph_seed, family), stream));
       const auto batches = make_update_stream(stream, start, sc, srng);
 
-      auto incremental = make_dynamic_solver("incremental", options);
+      // Lockstep instances: incremental[i] replays on contexts[i]; the
+      // recompute oracle replays once alongside them.
+      std::vector<std::unique_ptr<DynamicApspSolver>> incremental;
+      for (std::size_t i = 0; i < threads_axis.size(); ++i) {
+        incremental.push_back(make_dynamic_solver("incremental", options));
+        incremental.back()->reset(start, *contexts[i]);
+      }
       auto recompute = make_dynamic_solver("recompute", options);
-      incremental->reset(start, ctx);
-      recompute->reset(start, ctx);
+      recompute->reset(start, oracle_ctx);
 
-      double incr_ms = 0.0, recomp_ms = 0.0;
+      std::vector<double> incr_ms(threads_axis.size(), 0.0);
+      double recomp_ms = 0.0;
       std::uint64_t updates = 0, affected = 0;
-      bool exact = incremental->distances() == recompute->distances();
+      bool exact = true;
       for (const UpdateBatch& batch : batches) {
-        const RepairStats is = incremental->apply(batch, ctx);
-        const RepairStats rs = recompute->apply(batch, ctx);
-        incr_ms += is.wall_ms;
+        const RepairStats rs = recompute->apply(batch, oracle_ctx);
         recomp_ms += rs.wall_ms;
-        updates += is.updates;
-        affected += is.affected_sources;
-        exact = exact && incremental->distances() == recompute->distances();
+        RepairStats first_stats;
+        for (std::size_t i = 0; i < threads_axis.size(); ++i) {
+          const RepairStats is = incremental[i]->apply(batch, *contexts[i]);
+          incr_ms[i] += is.wall_ms;
+          // Identity across the axis: distances, witnesses, and the
+          // deterministic RepairStats counters must not notice the pool.
+          exact = exact &&
+                  incremental[i]->distances() == recompute->distances();
+          if (i == 0) {
+            first_stats = is;
+            updates += is.updates;
+            affected += is.affected_sources;
+          } else {
+            exact = exact && is.updates == first_stats.updates &&
+                    is.changed_arcs == first_stats.changed_arcs &&
+                    is.affected_sources == first_stats.affected_sources &&
+                    incremental[i]->successors() ==
+                        incremental[0]->successors();
+          }
+        }
       }
       all_exact = all_exact && exact;
-      const double speedup = incr_ms > 0.0 ? recomp_ms / incr_ms : 0.0;
-      if (min_speedup < 0.0 || speedup < min_speedup) min_speedup = speedup;
 
-      table.add_row({family, stream, Table::fmt(updates), Table::fmt(affected),
-                     Table::fmt(incr_ms, 2), Table::fmt(recomp_ms, 2),
-                     Table::fmt(speedup, 2), exact ? "yes" : "NO"});
-      if (!first_run) json << ",";
-      first_run = false;
-      json << "{\"family\":" << json_quote(family)
-           << ",\"stream\":" << json_quote(stream) << ",\"updates\":" << updates
-           << ",\"affected_sources\":" << affected
-           << ",\"incremental_ms\":" << incr_ms
-           << ",\"recompute_ms\":" << recomp_ms << ",\"speedup\":" << speedup
-           << ",\"exact\":" << (exact ? "true" : "false") << "}";
+      for (std::size_t i = 0; i < threads_axis.size(); ++i) {
+        const double speedup = incr_ms[i] > 0.0 ? recomp_ms / incr_ms[i] : 0.0;
+        if (min_speedup < 0.0 || speedup < min_speedup) min_speedup = speedup;
+        table.add_row({family, stream,
+                       Table::fmt(static_cast<std::uint64_t>(threads_axis[i])),
+                       Table::fmt(updates), Table::fmt(affected),
+                       Table::fmt(incr_ms[i], 2), Table::fmt(recomp_ms, 2),
+                       Table::fmt(speedup, 2), exact ? "yes" : "NO"});
+        if (!first_run) json << ",";
+        first_run = false;
+        json << "{\"family\":" << json_quote(family)
+             << ",\"stream\":" << json_quote(stream)
+             << ",\"threads\":" << threads_axis[i] << ",\"updates\":" << updates
+             << ",\"affected_sources\":" << affected
+             << ",\"incremental_ms\":" << incr_ms[i]
+             << ",\"recompute_ms\":" << recomp_ms << ",\"speedup\":"
+             << (incr_ms[i] > 0.0 ? recomp_ms / incr_ms[i] : 0.0)
+             << ",\"exact\":" << (exact ? "true" : "false") << "}";
+      }
+      if (threads_axis.size() > 1 && incr_ms.back() > 0.0) {
+        const double parallel = incr_ms.front() / incr_ms.back();
+        if (min_parallel_speedup < 0.0 || parallel < min_parallel_speedup) {
+          min_parallel_speedup = parallel;
+        }
+      }
     }
   }
 
+  // The parallel gate arms only where it can physically pass: a 4-wide
+  // axis with >= 4 hardware threads behind it (mirrors the SIMD gate's
+  // host-capability disarm). Elsewhere the measurement is informational.
+  const bool gate_armed = n >= 256 && t_max >= 4 && hw >= 4 &&
+                          threads_axis.size() > 1;
   json << "],\"min_speedup\":" << min_speedup
+       << ",\"parallel_repair_speedup\":" << min_parallel_speedup
+       << ",\"repair_gate_armed\":" << (gate_armed ? "true" : "false")
        << ",\"all_exact\":" << (all_exact ? "true" : "false") << "}";
 
   table.print("Dynamic APSP: incremental repair vs per-batch recompute");
@@ -124,15 +220,28 @@ int main(int argc, char** argv) {
   out << json.str() << "\n";
   out.close();
   std::cout << "\nwrote " << json_path << "\n";
-  std::cout << "incremental exact vs recompute after every batch: "
+  std::cout << "incremental exact vs recompute (and across the threads axis) "
+               "after every batch: "
             << (all_exact ? "yes" : "NO") << "\n";
 
   bool gate_ok = true;
   if (n >= 256) {
-    gate_ok = min_speedup >= 5.0;
+    gate_ok = min_speedup >= 4.0;
     std::cout << "small-batch repair gate: min speedup "
               << Table::fmt(min_speedup, 2)
-              << "x (target 5x): " << (gate_ok ? "PASS" : "FAIL") << "\n";
+              << "x (target 4x): " << (gate_ok ? "PASS" : "FAIL") << "\n";
+  }
+  if (min_parallel_speedup >= 0.0) {
+    std::cout << "parallel repair " << threads_axis.front() << "t -> " << t_max
+              << "t: min " << Table::fmt(min_parallel_speedup, 2) << "x";
+    if (gate_armed) {
+      const bool parallel_ok = min_parallel_speedup >= 2.0;
+      gate_ok = gate_ok && parallel_ok;
+      std::cout << " (target 2x): " << (parallel_ok ? "PASS" : "FAIL") << "\n";
+    } else {
+      std::cout << " (gate disarmed: n < 256, axis < 4t, or hw "
+                << hw << " < 4 threads)\n";
+    }
   }
   return all_exact && gate_ok ? 0 : 1;
 }

@@ -143,16 +143,20 @@ def diff_query_serving(base, fresh, args):
 
 def diff_dynamic_apsp(base, fresh, args):
     regressions = []
-    base_runs = {(r["family"], r["stream"]): r for r in base.get("runs", [])}
+    # schema_version 2 keys runs by (family, stream, threads); version-1
+    # baselines had no threads axis, so absent fields default to 1 and the
+    # 1-thread rows still diff against an old baseline.
+    base_runs = {(r["family"], r["stream"], r.get("threads", 1)): r
+                 for r in base.get("runs", [])}
     for run in fresh.get("runs", []):
-        key = (run["family"], run["stream"])
+        key = (run["family"], run["stream"], run.get("threads", 1))
         if key not in base_runs:
             continue
         bval = base_runs[key]["speedup"]
         fval = run["speedup"]
         if drop_regressed(bval, fval, args.threshold):
             regressions.append(
-                f"{run['family']}/{run['stream']}: speedup "
+                f"{run['family']}/{run['stream']}/{key[2]}t: speedup "
                 f"{bval:.2f}x -> {fval:.2f}x "
                 f"(-{100.0 * (1.0 - fval / bval):.1f}%)")
     return regressions

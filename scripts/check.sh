@@ -24,7 +24,9 @@
 # QCLIQUE_STREAM=Stream runs the update/generator/dynamic-conformance/
 # stream-session suites), and QCLIQUE_EXEC=<regex> for the executor /
 # out-of-core suites (e.g. QCLIQUE_EXEC=Exec runs the process-executor,
-# page-store, and wire-codec suites).
+# page-store, and wire-codec suites), and QCLIQUE_POOL=<regex> for the
+# task-pool suites (e.g. QCLIQUE_POOL=TaskPool runs the pool unit +
+# schedule-independence suites).
 # When several are set the filters are OR-ed. With any filter active the API
 # smoke runs are skipped — that mode exists for targeted sanitizer jobs,
 # not for tier-1 verification.
@@ -40,6 +42,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 BUILD_TYPE="${QCLIQUE_BUILD_TYPE:-RelWithDebInfo}"
+# QCLIQUE_THREADS is the library's worker-pool sizing knob
+# (common/task_pool.hpp); when the caller pins it we also use it as the
+# build/ctest parallelism so one variable bounds the whole run's footprint.
+JOBS="${QCLIQUE_THREADS:-$(nproc)}"
 
 CMAKE_EXTRA_ARGS=()
 if [[ -n "${QCLIQUE_SANITIZE:-}" ]]; then
@@ -56,7 +62,7 @@ echo "== configure (${BUILD_TYPE}) =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}" "${CMAKE_EXTRA_ARGS[@]}"
 
 echo "== build =="
-cmake --build "$BUILD_DIR" -j "$(nproc)"
+cmake --build "$BUILD_DIR" -j "$JOBS"
 
 CTEST_FILTER=""
 if [[ -n "${QCLIQUE_KERNEL:-}" ]]; then
@@ -74,6 +80,9 @@ fi
 if [[ -n "${QCLIQUE_EXEC:-}" ]]; then
   CTEST_FILTER="${CTEST_FILTER:+${CTEST_FILTER}|}${QCLIQUE_EXEC}"
 fi
+if [[ -n "${QCLIQUE_POOL:-}" ]]; then
+  CTEST_FILTER="${CTEST_FILTER:+${CTEST_FILTER}|}${QCLIQUE_POOL}"
+fi
 
 CTEST_FILTER_ARGS=()
 if [[ -n "${CTEST_FILTER}" ]]; then
@@ -84,7 +93,7 @@ if [[ -n "${CTEST_FILTER}" ]]; then
 else
   echo "== ctest =="
 fi
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
       "${CTEST_FILTER_ARGS[@]}"
 
 if [[ -n "${CTEST_FILTER}" ]]; then
@@ -124,9 +133,11 @@ if [[ -n "${QCLIQUE_BENCH_SMOKE:-}" ]]; then
   "$BUILD_DIR/bench_query_serving" 64 "$BUILD_DIR/BENCH_query_serving.json" > /dev/null
   echo "wrote $BUILD_DIR/BENCH_query_serving.json"
   echo "== smoke: dynamic APSP repair (BENCH_dynamic_apsp.json) =="
-  # Small n skips the 5x incremental-repair acceptance gate (it only arms
-  # at n >= 256); the run still exits non-zero when the incremental
-  # distances diverge from the recompute oracle on any batch.
+  # Small n skips the 4x incremental-repair and 2x parallel-repair gates
+  # (they only arm at n >= 256); the run still replays the full 1/2/4
+  # threads axis and exits non-zero when any batch's distances, witnesses,
+  # or RepairStats counters diverge across the axis or from the recompute
+  # oracle.
   "$BUILD_DIR/bench_dynamic_apsp" 64 "$BUILD_DIR/BENCH_dynamic_apsp.json" > /dev/null
   echo "wrote $BUILD_DIR/BENCH_dynamic_apsp.json"
   echo "== smoke: kernel engine sweep (BENCH_distance_product.json) =="

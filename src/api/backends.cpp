@@ -183,9 +183,12 @@ class DijkstraSolver : public ApspSolver {
  protected:
   ApspReport do_solve(const Digraph& g, ExecutionContext&) const override {
     ApspReport report(g.size());
+    // One workspace across the sweep: per-source heap/array allocations and
+    // the per-source weight validation both drop out (bind validates once).
+    DijkstraWorkspace ws;
+    ws.bind(g);
     for (std::uint32_t s = 0; s < g.size(); ++s) {
-      const auto row = dijkstra(g, s);
-      for (std::uint32_t v = 0; v < g.size(); ++v) report.distances.set(s, v, row[v]);
+      ws.run(g, s, report.distances.row_ptr(s));
     }
     return report;
   }

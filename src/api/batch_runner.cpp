@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/task_pool.hpp"
 #include "exec/executor.hpp"
 #include "exec/wire.hpp"
 #include "serve/snapshot.hpp"
@@ -20,13 +21,14 @@ namespace {
 
 /// Picks the executor for one batch. Process mode forks even for a single
 /// worker — isolation (a crashing job cannot take the harness down) is the
-/// point, not just parallelism.
+/// point, not just parallelism. Thread mode fans out on the base context's
+/// persistent TaskPool instead of spawning a pool per batch.
 void execute_jobs(std::size_t job_count, ExecJobHooks& hooks, unsigned workers,
-                  bool process_mode) {
+                  bool process_mode, TaskPool& pool) {
   if (process_mode) {
     ProcessExecutor(workers).execute(job_count, hooks);
   } else {
-    ThreadExecutor(workers).execute(job_count, hooks);
+    ThreadExecutor(workers, &pool).execute(job_count, hooks);
   }
 }
 
@@ -64,12 +66,19 @@ class BatchJobHooks final : public ExecJobHooks {
       // writes it into the report the same way for every caller (direct
       // solves included), not as a batch-only afterthought.
       ctx.set_family(jobs_[i].family);
-      // A fanned-out batch already saturates the machine with one worker
-      // per hardware thread; letting every job's "parallel" kernel spawn
-      // its own full thread pool on top would oversubscribe quadratically.
-      // Serialize the kernels instead -- results are identical by the
-      // kernel contract, only wall time changes.
-      if (workers_ > 1) ctx.kernel_options().config.num_threads = 1;
+      // A fanned-out batch already saturates the pool with one participant
+      // per job; letting every job's "parallel" kernel claim the full pool
+      // on top would oversubscribe quadratically. Serialize the kernels
+      // instead -- results are identical by the kernel contract, only wall
+      // time changes. An explicit per-job threads knob wins over that
+      // default (it also becomes the report's `threads` stamp via
+      // num_threads, identically for every executor).
+      if (jobs_[i].threads != 0) {
+        ctx.set_num_threads(jobs_[i].threads);
+        ctx.kernel_options().config.num_threads = jobs_[i].threads;
+      } else if (workers_ > 1) {
+        ctx.kernel_options().config.num_threads = 1;
+      }
       out.report = solver.solve(*jobs_[i].graph, ctx);
       out.ok = true;
     } catch (const std::exception& e) {
@@ -134,7 +143,9 @@ DistMatrix BatchResult::distances() const {
 unsigned BatchRunner::resolve_workers(unsigned requested,
                                       std::size_t job_count) const {
   unsigned workers = requested != 0 ? requested : base_.num_threads();
-  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  // 0 resolves like the pool itself: QCLIQUE_THREADS, then one per
+  // hardware thread -- so the env knob caps batch fan-out too.
+  if (workers == 0) workers = resolve_task_pool_threads(0);
   return static_cast<unsigned>(
       std::min<std::size_t>(workers, job_count > 0 ? job_count : 1));
 }
@@ -148,7 +159,7 @@ std::vector<BatchResult> BatchRunner::run_with_workers(
     const std::vector<BatchJob>& jobs, unsigned workers, bool process_mode) const {
   std::vector<BatchResult> results(jobs.size());
   BatchJobHooks hooks(jobs, results, registry_, base_, workers);
-  execute_jobs(jobs.size(), hooks, workers, process_mode);
+  execute_jobs(jobs.size(), hooks, workers, process_mode, base_.task_pool());
 
   // Workers are done (joined or reaped): aggregate per-job costs
   // single-threaded. Decoded process-mode reports carry their ledgers, so
@@ -223,6 +234,7 @@ std::vector<BatchResult> BatchRunner::run_scenarios(const ScenarioSpec& spec) co
           jobs.push_back(BatchJob{
               .graph = graph, .solver = solver, .kernel = kernel,
               .topology = topologies[t], .family = family, .seed_salt = 0,
+              .threads = spec.threads,
               .label = family + "/" + solver + "/" + topologies[t] + "/" +
                        kernel});
         }
@@ -275,7 +287,17 @@ class StreamJobHooks final : public ExecJobHooks {
       ExecutionContext ctx =
           base_.fork(static_cast<std::uint64_t>(i) * 0x100000001b3ULL);
       ctx.set_family(job.family);
-      if (workers_ > 1) ctx.kernel_options().config.num_threads = 1;
+      // Same oversubscription policy as the static hooks: the spec's
+      // threads knob (feeding the incremental solver's parallel repair
+      // and the kernels) wins; otherwise a fanned-out sweep serializes
+      // each job's inner parallelism.
+      if (spec_.threads != 0) {
+        ctx.set_num_threads(spec_.threads);
+        ctx.kernel_options().config.num_threads = spec_.threads;
+      } else if (workers_ > 1) {
+        ctx.set_num_threads(1);
+        ctx.kernel_options().config.num_threads = 1;
+      }
       StreamSessionOptions options;
       options.solver = job.solver;
       options.dynamic.backend = spec_.backend;
@@ -399,7 +421,8 @@ std::vector<StreamResult> BatchRunner::run_streams(
   std::vector<StreamResult> results(jobs.size());
   StreamJobHooks hooks(jobs, results, spec, base_, workers);
   execute_jobs(jobs.size(), hooks, workers,
-               spec.process_mode || base_.process_workers());
+               spec.process_mode || base_.process_workers(),
+               base_.task_pool());
   return results;
 }
 

@@ -46,6 +46,11 @@ struct BatchJob {
   /// Extra salt mixed into the forked context seed (jobs that should see
   /// different randomness with everything else equal).
   std::uint64_t seed_salt = 0;
+  /// Per-job inner parallelism: the forked context's num_threads() and
+  /// kernel thread cap (stamped into ApspReport::threads). 0 = the batch
+  /// default — serialize the kernels when the batch itself fans out,
+  /// inherit the base context otherwise. Results never depend on it.
+  unsigned threads = 0;
   /// Free-form tag echoed into the result (scenario name, sweep point).
   std::string label;
 };
@@ -91,8 +96,14 @@ struct ScenarioSpec {
   /// reordering families never changes another family's graph.
   std::uint64_t graph_seed = 1;
   /// Batch workers for this sweep. 0 = inherit the base context's
-  /// num_threads() (whose 0 in turn means one per hardware thread).
+  /// num_threads() (whose 0 in turn means QCLIQUE_THREADS, then one per
+  /// hardware thread).
   unsigned workers = 0;
+  /// Inner parallelism granted to every job in the sweep (BatchJob::
+  /// threads): each job's context num_threads() and kernel thread cap,
+  /// stamped into its report. 0 = the batch default (serialize kernels
+  /// under a fanned-out sweep). Results never depend on it.
+  unsigned threads = 0;
   /// Fan out across worker *processes* (exec ProcessExecutor) instead of
   /// threads. Merged results are identical by the executor contract; also
   /// on when the base context has process_workers() set.
@@ -131,6 +142,11 @@ struct StreamScenarioSpec {
   std::uint64_t graph_seed = 1;
   /// Batch workers for this sweep (0 = inherit, as in ScenarioSpec).
   unsigned workers = 0;
+  /// Inner parallelism granted to every replay job: the forked context's
+  /// num_threads(), which caps the incremental solver's parallel repair
+  /// and the kernels. 0 = the batch default (serialize under a fanned-out
+  /// sweep). Results never depend on it.
+  unsigned threads = 0;
   /// Replay on worker processes instead of threads. Note: stream jobs
   /// publish snapshots as they replay, and in process mode those
   /// publications happen in the worker's address space — the parent's

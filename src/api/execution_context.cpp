@@ -1,5 +1,6 @@
 #include "api/execution_context.hpp"
 
+#include "common/task_pool.hpp"
 #include "exec/page_store.hpp"
 #include "matrix/autotuner.hpp"
 #include "serve/snapshot_store.hpp"
@@ -20,9 +21,19 @@ ExecutionContext::ExecutionContext(std::uint64_t seed)
       // so out-of-core runs need no code changes; callers can retune it
       // via page_store().set_budget().
       page_store_(std::make_shared<PageStore>(
-          PageStoreOptions{.budget_bytes = memory_budget_from_env()})) {
+          PageStoreOptions{.budget_bytes = memory_budget_from_env()})),
+      // Per-context pool (lazy: no threads until the first parallel
+      // region), sized from QCLIQUE_THREADS / hardware_concurrency.
+      // Forks share it, so one batch parks one set of workers.
+      task_pool_(std::make_shared<TaskPool>()) {
   transport_.profiler = profiler_;
   kernel_.config.autotuner = autotuner_.get();
+  kernel_.config.task_pool = task_pool_.get();
+}
+
+void ExecutionContext::set_task_pool(std::shared_ptr<TaskPool> pool) {
+  task_pool_ = std::move(pool);
+  kernel_.config.task_pool = task_pool_.get();
 }
 
 }  // namespace qclique

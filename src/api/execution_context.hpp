@@ -24,6 +24,7 @@ namespace qclique {
 class KernelAutotuner;
 class PageStore;
 class SnapshotStore;
+class TaskPool;
 
 /// Default seed used when callers do not care about the stream identity.
 inline constexpr std::uint64_t kDefaultExecutionSeed = 0x51c1197eULL;
@@ -108,6 +109,23 @@ class ExecutionContext {
   KernelAutotuner& autotuner() { return *autotuner_; }
   const KernelAutotuner& autotuner() const { return *autotuner_; }
 
+  /// The context's worker pool (common/task_pool.hpp): the persistent
+  /// threads every parallel surface under this context runs on — kernel
+  /// row bands (kernel_options().config points at it), ThreadExecutor
+  /// batch fan-out, and the incremental dynamic solver's parallel repair.
+  /// Shared across fork() like the autotuner: one set of parked workers
+  /// serves the whole batch instead of every job spawning its own.
+  /// Sized by QCLIQUE_THREADS / hardware_concurrency at construction;
+  /// num_threads() caps how much of it any one region may use. Const for
+  /// the same reason page_store() is: internally synchronized
+  /// infrastructure, usable by const context holders.
+  TaskPool& task_pool() const { return *task_pool_; }
+
+  /// Replaces the context's pool (tests pinning pool sizes; embedders
+  /// sharing one pool across unrelated contexts). Forks made afterwards
+  /// share the new pool. Results never depend on the pool installed.
+  void set_task_pool(std::shared_ptr<TaskPool> pool);
+
   /// The context's out-of-core page cache (exec/page_store.hpp): batch
   /// harnesses adopt finished distance matrices here so a scenario sweep's
   /// resident set stays under the in-core byte budget (seeded from
@@ -176,6 +194,11 @@ class ExecutionContext {
     // The page store is shared for the same reason: one in-core budget
     // must bound the whole batch, not each job separately.
     child.page_store_ = page_store_;
+    // One pool of parked workers serves every job of a batch; the pool's
+    // chunk assignment is deterministic, so sharing cannot leak schedule
+    // into results.
+    child.task_pool_ = task_pool_;
+    child.kernel_.config.task_pool = child.task_pool_.get();
     child.num_threads_ = num_threads_;
     child.process_workers_ = process_workers_;
     child.check_negative_cycles_ = check_negative_cycles_;
@@ -193,6 +216,7 @@ class ExecutionContext {
   std::shared_ptr<KernelAutotuner> autotuner_;
   std::shared_ptr<SnapshotStore> store_;
   std::shared_ptr<PageStore> page_store_;
+  std::shared_ptr<TaskPool> task_pool_;
   unsigned num_threads_ = 0;
   bool process_workers_ = false;
   bool check_negative_cycles_ = true;

@@ -28,6 +28,7 @@ ApspReport ApspSolver::solve(const Digraph& g, ExecutionContext& ctx) const {
   report.kernel = ctx.kernel();
   report.family = ctx.family();
   report.n = g.size();
+  report.threads = ctx.num_threads();
   report.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
   // Canonical ledger-derived metrics, stamped for every backend (zero for
@@ -74,7 +75,7 @@ std::string ApspReport::to_json(bool include_timings) const {
       << ",\"topology\":" << json_quote(topology)
       << ",\"kernel\":" << json_quote(kernel)
       << ",\"family\":" << json_quote(family) << ",\"n\":" << n
-      << ",\"rounds\":" << rounds;
+      << ",\"threads\":" << threads << ",\"rounds\":" << rounds;
   if (include_timings) out << ",\"wall_ms\":" << wall_ms;
   out << ",\"metrics\":{";
   bool first = true;

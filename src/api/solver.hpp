@@ -43,6 +43,11 @@ struct ApspReport {
   /// empty for ad-hoc inputs.
   std::string family;
   std::uint32_t n = 0;       // input size
+  /// The context's num_threads() knob at solve time: the inner-parallelism
+  /// grant the run was configured with (0 = whole pool). A configuration
+  /// stamp like `kernel`, not a measurement — results never depend on it —
+  /// and identical across executors, so it lives in the canonical to_json.
+  unsigned threads = 0;
   DistMatrix distances;      // the APSP matrix
   std::uint64_t rounds = 0;  // simulated CONGEST-CLIQUE rounds (0 = oracle)
   RoundLedger ledger;        // per-phase breakdown of `rounds`

@@ -1,7 +1,6 @@
 #include "baseline/shortest_paths.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/error.hpp"
 
@@ -58,9 +57,8 @@ std::optional<std::vector<std::int64_t>> bellman_ford(const Digraph& g,
   return dist;
 }
 
-std::vector<std::int64_t> dijkstra(const Digraph& g, std::uint32_t source) {
+void DijkstraWorkspace::bind(const Digraph& g) {
   const std::uint32_t n = g.size();
-  QCLIQUE_CHECK(source < n, "dijkstra source out of range");
   for (std::uint32_t u = 0; u < n; ++u) {
     for (std::uint32_t v = 0; v < n; ++v) {
       if (u != v && g.has_arc(u, v)) {
@@ -68,26 +66,53 @@ std::vector<std::int64_t> dijkstra(const Digraph& g, std::uint32_t source) {
       }
     }
   }
-  std::vector<std::int64_t> dist(n, kPlusInf);
-  std::vector<bool> done(n, false);
+  dist_.assign(n, kPlusInf);
+  settled_.assign(n, 0);
+  touched_.clear();
+  heap_.clear();
+}
+
+void DijkstraWorkspace::run(const Digraph& g, std::uint32_t source,
+                            std::int64_t* out) {
+  const std::uint32_t n = g.size();
+  QCLIQUE_CHECK(source < n, "dijkstra source out of range");
+  QCLIQUE_CHECK(dist_.size() == n, "DijkstraWorkspace: bind(g) before run()");
   using Entry = std::pair<std::int64_t, std::uint32_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
-  dist[source] = 0;
-  pq.emplace(0, source);
-  while (!pq.empty()) {
-    const auto [du, u] = pq.top();
-    pq.pop();
-    if (done[u]) continue;
-    done[u] = true;
+  const auto heap_less = std::greater<Entry>{};  // min-heap
+  dist_[source] = 0;
+  touched_.push_back(source);
+  heap_.push_back({0, source});
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), heap_less);
+    const auto [du, u] = heap_.back();
+    heap_.pop_back();
+    if (settled_[u]) continue;
+    settled_[u] = 1;
     for (std::uint32_t v = 0; v < n; ++v) {
       if (v == u || !g.has_arc(u, v)) continue;
       const std::int64_t cand = sat_add(du, g.weight(u, v));
-      if (cand < dist[v]) {
-        dist[v] = cand;
-        pq.emplace(cand, v);
+      if (cand < dist_[v]) {
+        if (is_plus_inf(dist_[v])) touched_.push_back(v);
+        dist_[v] = cand;
+        heap_.push_back({cand, v});
+        std::push_heap(heap_.begin(), heap_.end(), heap_less);
       }
     }
   }
+  std::copy(dist_.begin(), dist_.end(), out);
+  // Restore the resting state by undoing only what this run touched.
+  for (const std::uint32_t v : touched_) {
+    dist_[v] = kPlusInf;
+    settled_[v] = 0;
+  }
+  touched_.clear();
+}
+
+std::vector<std::int64_t> dijkstra(const Digraph& g, std::uint32_t source) {
+  DijkstraWorkspace ws;
+  ws.bind(g);
+  std::vector<std::int64_t> dist(g.size());
+  ws.run(g, source, dist.data());
   return dist;
 }
 
@@ -114,8 +139,11 @@ std::optional<DistMatrix> johnson(const Digraph& g) {
     }
   }
   DistMatrix d(n, kPlusInf);
+  DijkstraWorkspace ws;
+  ws.bind(rw);
+  std::vector<std::int64_t> ds(n);
   for (std::uint32_t s = 0; s < n; ++s) {
-    const auto ds = dijkstra(rw, s);
+    ws.run(rw, s, ds.data());
     for (std::uint32_t t = 0; t < n; ++t) {
       if (is_plus_inf(ds[t])) continue;
       d.set(s, t, ds[t] - (*h)[s] + (*h)[t]);

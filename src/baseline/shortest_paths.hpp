@@ -29,6 +29,28 @@ std::optional<std::vector<std::int64_t>> bellman_ford(const Digraph& g,
 /// (throws SimulationError otherwise).
 std::vector<std::int64_t> dijkstra(const Digraph& g, std::uint32_t source);
 
+/// Reusable single-source Dijkstra state for multi-source sweeps: the dist /
+/// settled arrays and the heap's backing storage persist across run() calls
+/// (restored via a touched-vertex list), and the non-negative-weight
+/// validation runs once per bind() instead of once per source. run() writes
+/// the same distances dijkstra() returns — an n-source sweep through one
+/// workspace is allocation-free after the first source.
+class DijkstraWorkspace {
+ public:
+  /// Validates arc weights (throws SimulationError on a negative one) and
+  /// sizes the scratch for g. A workspace may be re-bound at any time.
+  void bind(const Digraph& g);
+
+  /// Distances from `source` into out[0..n). Requires a prior bind(g).
+  void run(const Digraph& g, std::uint32_t source, std::int64_t* out);
+
+ private:
+  std::vector<std::int64_t> dist_;  // resting value: kPlusInf everywhere
+  std::vector<char> settled_;       // resting value: 0 everywhere
+  std::vector<std::uint32_t> touched_;
+  std::vector<std::pair<std::int64_t, std::uint32_t>> heap_;
+};
+
 /// Johnson's algorithm: Bellman-Ford reweighting followed by n Dijkstra
 /// runs. Returns nullopt on a negative cycle.
 std::optional<DistMatrix> johnson(const Digraph& g);

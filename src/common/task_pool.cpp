@@ -1,0 +1,196 @@
+#include "common/task_pool.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/math.hpp"
+
+namespace qclique {
+namespace {
+
+// Set for the lifetime of a pool worker thread: a nested parallel_for
+// from inside a chunk body must run inline rather than wait on a pool
+// that is already busy executing it.
+thread_local bool tl_in_pool_worker = false;
+
+constexpr std::size_t kNoChunk = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+unsigned resolve_task_pool_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv(kTaskPoolThreadsEnv)) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+TaskPool::TaskPool(unsigned threads)
+    : threads_(resolve_task_pool_threads(threads)) {}
+
+TaskPool::~TaskPool() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (owner_pid_ != static_cast<long long>(::getpid())) {
+    // A forked child tearing down inherited state: the worker threads
+    // did not survive fork, so joining their husks would be undefined.
+    for (auto& w : workers_) w.detach();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+TaskPool& TaskPool::instance() {
+  static TaskPool pool;
+  return pool;
+}
+
+void TaskPool::start_workers() {
+  owner_pid_ = static_cast<long long>(::getpid());
+  workers_.reserve(threads_ - 1);
+  for (unsigned slot = 1; slot < threads_; ++slot) {
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
+  }
+  started_.store(true, std::memory_order_release);
+}
+
+void TaskPool::parallel_for(std::size_t begin, std::size_t end,
+                            std::size_t grain, const ChunkFn& fn,
+                            unsigned max_workers) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = ceil_div(end - begin, grain);
+
+  unsigned width = threads_;
+  if (max_workers != 0) width = std::min(width, max_workers);
+  width = static_cast<unsigned>(std::min<std::size_t>(width, chunks));
+
+  // Chunk boundaries are fixed by (begin, end, grain) alone; everything
+  // below only decides *who* runs each chunk. The inline path therefore
+  // iterates exactly the chunks the parallel path would deal out.
+  const auto run_inline = [&] {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t b = begin + c * grain;
+      fn(b, std::min(b + grain, end), 0u);
+    }
+  };
+
+  const bool forked_child =
+      started_.load(std::memory_order_acquire) &&
+      owner_pid_ != static_cast<long long>(::getpid());
+  if (width <= 1 || chunks <= 1 || tl_in_pool_worker || forked_child) {
+    run_inline();
+    return;
+  }
+
+  // One region at a time; a second concurrent caller runs inline rather
+  // than blocking (its results are identical either way).
+  std::unique_lock<std::mutex> region(region_mu_, std::try_to_lock);
+  if (!region.owns_lock()) {
+    run_inline();
+    return;
+  }
+
+  if (!started_.load(std::memory_order_relaxed)) start_workers();
+
+  {
+    // All region state is published under mu_ together with the epoch
+    // bump, so a worker waking under mu_ sees either the previous
+    // region fully completed or this one fully set up -- never a tear.
+    std::lock_guard<std::mutex> lk(mu_);
+    if (share_cap_ < width) {
+      shares_ = std::make_unique<Share[]>(width);
+      share_cap_ = width;
+    }
+    // Contiguous shares of the chunk-id space seed locality; stealing
+    // may still run any chunk on any slot.
+    const BlockPartition part(chunks, width);
+    for (unsigned s = 0; s < width; ++s) {
+      shares_[s].next.store(static_cast<std::size_t>(part.block_begin(s)),
+                            std::memory_order_relaxed);
+      shares_[s].end = static_cast<std::size_t>(part.block_end(s));
+    }
+    fn_ = &fn;
+    begin_ = begin;
+    end_ = end;
+    grain_ = grain;
+    chunk_count_ = chunks;
+    slots_ = width;
+    completed_.store(0, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  cv_.notify_all();
+
+  participate(0);
+
+  // Wait until every chunk ran AND every worker that joined this region
+  // has left participate(): a worker still scanning shares_ must not
+  // race the next region's setup.
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] {
+    return completed_.load(std::memory_order_acquire) == chunk_count_ &&
+           active_ == 0;
+  });
+}
+
+void TaskPool::worker_loop(unsigned slot) {
+  tl_in_pool_worker = true;
+  std::uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    // Skip regions this slot is capped out of, and regions that already
+    // completed before this worker got scheduled (their caller may have
+    // returned; touching their shares would race the next setup).
+    if (slot >= slots_ ||
+        completed_.load(std::memory_order_relaxed) == chunk_count_) {
+      continue;
+    }
+    ++active_;
+    lk.unlock();
+    participate(slot);
+    lk.lock();
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void TaskPool::participate(unsigned slot) {
+  // Own share first (locality), then steal whole chunks from the other
+  // shares in cyclic order until nothing is left anywhere.
+  for (unsigned off = 0; off < slots_; ++off) {
+    const unsigned share = (slot + off) % slots_;
+    std::size_t chunk;
+    while ((chunk = claim(share)) != kNoChunk) run_chunk(chunk, slot);
+  }
+}
+
+std::size_t TaskPool::claim(unsigned share) {
+  Share& s = shares_[share];
+  // fetch_add may overshoot `end` once per scanning participant; ids at
+  // or past `end` are simply not chunks, so overshoot is harmless.
+  const std::size_t pos = s.next.fetch_add(1, std::memory_order_relaxed);
+  return pos < s.end ? pos : kNoChunk;
+}
+
+void TaskPool::run_chunk(std::size_t chunk, unsigned slot) {
+  const std::size_t b = begin_ + chunk * grain_;
+  (*fn_)(b, std::min(b + grain_, end_), slot);
+  if (completed_.fetch_add(1, std::memory_order_release) + 1 == chunk_count_) {
+    // Fast-path wakeup for a waiting caller whose last chunk completed
+    // on a worker; the worker's own exit (active_ hitting 0 under mu_)
+    // is the wakeup correctness actually relies on.
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace qclique

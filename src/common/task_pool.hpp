@@ -1,0 +1,136 @@
+// Persistent work-stealing task pool shared by every parallel surface in
+// the library (min-plus kernel row bands, ThreadExecutor batch fan-out,
+// the autotuner sweep, incremental dynamic-graph repair).
+//
+// Before this pool each of those sites built its own std::vector
+// of std::thread per call, paying spawn + join on every product() --
+// dominant at small shapes where the work per band is microseconds. The
+// pool starts its workers once (lazily, on the first parallel region),
+// parks them on a condition variable between regions, and hands out work
+// through parallel_for().
+//
+// Determinism contract (docs/PERFORMANCE.md): parallel_for splits
+// [begin, end) into chunks of exactly `grain` indices (last chunk
+// ragged). Chunk boundaries depend only on (begin, end, grain) -- never
+// on the worker count, the pool size, or scheduling -- so a body that
+// writes disjoint state per index produces bit-identical results whether
+// the region ran on 1 thread or 64. Within a region, chunks are dealt to
+// participants in contiguous static shares for locality; a participant
+// that drains its own share steals whole chunks from the other shares
+// (atomic claim), so skewed chunks rebalance without affecting *what*
+// any chunk computes.
+//
+// The calling thread always participates (slot 0) and the call blocks
+// until every chunk has run, so completion never depends on pool
+// workers being awake. parallel_for degrades to a plain sequential loop
+// on the caller whenever parallel execution is impossible or unsafe:
+// a single chunk, an effective width of one, a nested call from inside
+// a pool worker, a second concurrent region on the same pool (the
+// region lock is try_lock), or a call from a forked child process whose
+// inherited pool threads did not survive fork (ProcessExecutor workers).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qclique {
+
+/// Env var naming the process-wide default worker count. 0 / unset /
+/// unparsable fall back to std::thread::hardware_concurrency().
+inline constexpr const char* kTaskPoolThreadsEnv = "QCLIQUE_THREADS";
+
+/// Resolve a requested thread count: `requested` if nonzero, else
+/// QCLIQUE_THREADS if set to a positive integer, else
+/// hardware_concurrency() (at least 1).
+unsigned resolve_task_pool_threads(unsigned requested = 0);
+
+class TaskPool {
+ public:
+  /// A chunk body: runs indices [chunk_begin, chunk_end). `slot` is the
+  /// executing participant's id in [0, threads()); two chunks running
+  /// concurrently always see distinct slots, so slot-indexed scratch
+  /// needs no further synchronization. The body must not throw.
+  using ChunkFn =
+      std::function<void(std::size_t chunk_begin, std::size_t chunk_end,
+                         unsigned slot)>;
+
+  /// threads == 0 resolves via resolve_task_pool_threads(). Workers are
+  /// not spawned until the first parallel region needs them.
+  explicit TaskPool(unsigned threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Maximum participants of any region on this pool (caller + persistent
+  /// workers). Also the exclusive upper bound on slot ids passed to
+  /// chunk bodies -- size per-slot scratch with this.
+  unsigned threads() const { return threads_; }
+
+  /// True once worker threads have actually been spawned.
+  bool started() const { return started_.load(std::memory_order_acquire); }
+
+  /// Run fn over [begin, end) in chunks of `grain` (>= 1; 0 is treated
+  /// as 1). Blocks until all chunks completed. `max_workers` caps the
+  /// participants for this region (0 = threads()); capping changes only
+  /// concurrency, never chunk boundaries.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const ChunkFn& fn, unsigned max_workers = 0);
+
+  /// Process-wide shared pool, sized from QCLIQUE_THREADS /
+  /// hardware_concurrency on first use. Callers that have an
+  /// ExecutionContext should prefer its task_pool().
+  static TaskPool& instance();
+
+ private:
+  // One participant's contiguous share of the region's chunk ids.
+  // `next` is claimed from by the owner and by stealers alike.
+  struct Share {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+  };
+
+  void start_workers();
+  void worker_loop(unsigned slot);
+  // Claim-and-run loop for one participant: own share first, then steal.
+  void participate(unsigned slot);
+  std::size_t claim(unsigned share);
+  void run_chunk(std::size_t chunk, unsigned slot);
+
+  const unsigned threads_;  // participants: caller slot 0 + threads_-1 workers
+  std::atomic<bool> started_{false};
+  long long owner_pid_ = -1;  // pid that spawned the workers (fork detection)
+
+  std::vector<std::thread> workers_;
+
+  // region_mu_ serializes whole regions (one at a time per pool); all
+  // region fields below are written under mu_ during setup so sleeping
+  // workers always observe a consistent (epoch_, region) pair when they
+  // wake under the same mutex.
+  std::mutex region_mu_;
+  std::mutex mu_;
+  std::condition_variable cv_;       // workers park here between regions
+  std::condition_variable done_cv_;  // caller waits here for region end
+  std::uint64_t epoch_ = 0;          // bumped per region, under mu_
+  bool stop_ = false;
+  unsigned active_ = 0;  // workers currently inside participate(), under mu_
+
+  const ChunkFn* fn_ = nullptr;
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
+  std::size_t grain_ = 1;
+  std::size_t chunk_count_ = 0;
+  unsigned slots_ = 0;       // participants in the current region
+  unsigned share_cap_ = 0;   // allocated length of shares_
+  std::unique_ptr<Share[]> shares_;
+  std::atomic<std::size_t> completed_{0};
+};
+
+}  // namespace qclique

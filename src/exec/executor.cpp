@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/task_pool.hpp"
 #include "exec/wire.hpp"
 
 #if !defined(_WIN32)
@@ -28,19 +29,20 @@ void ThreadExecutor::execute(std::size_t job_count, ExecJobHooks& hooks) const {
     }
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < job_count;
-           i = next.fetch_add(1)) {
-        hooks.run(i);
-        hooks.complete(i);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
+  // Grain 1 is the old atomic-counter behavior: jobs are coarse and
+  // uneven (different solvers, families, n), so per-job claiming is the
+  // load balance that matters. Merge order is up to the hooks (complete()
+  // runs on the claiming participant), exactly as before.
+  TaskPool& pool = pool_ ? *pool_ : TaskPool::instance();
+  pool.parallel_for(
+      0, job_count, 1,
+      [&](std::size_t b, std::size_t e, unsigned) {
+        for (std::size_t i = b; i < e; ++i) {
+          hooks.run(i);
+          hooks.complete(i);
+        }
+      },
+      workers);
 }
 
 #if defined(_WIN32)

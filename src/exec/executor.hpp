@@ -3,9 +3,11 @@
 // BatchRunner used to bury its worker loop inside run_with_workers; this
 // layer extracts it behind an Executor interface with two implementations:
 //
-//  - ThreadExecutor: the original in-process pool, verbatim — an atomic
-//    job counter drained by N worker threads (N == 1 degenerates to a
-//    plain sequential loop on the calling thread).
+//  - ThreadExecutor: in-process fan-out on the persistent TaskPool
+//    (common/task_pool.hpp) — jobs are claimed one at a time by up to N
+//    pool participants, replacing the old spawn-N-threads-per-batch loop
+//    (N == 1 still degenerates to a plain sequential loop on the calling
+//    thread).
 //  - ProcessExecutor: forks N worker processes. Worker w owns the jobs
 //    with index i ≡ w (mod N) — a static assignment, so when a worker
 //    dies mid-batch the parent knows exactly which jobs went down with it.
@@ -82,16 +84,23 @@ class Executor {
   virtual void execute(std::size_t job_count, ExecJobHooks& hooks) const = 0;
 };
 
-/// The in-process pool extracted from BatchRunner::run_with_workers,
-/// behavior-identical: workers <= 1 runs jobs sequentially on the calling
-/// thread; otherwise N threads drain an atomic counter.
+class TaskPool;
+
+/// The in-process executor, running jobs on the persistent TaskPool
+/// (null = the process-wide TaskPool::instance(); BatchRunner passes the
+/// ExecutionContext's fork-shared pool). Behavior-identical to the old
+/// spawn-per-call thread pool: workers <= 1 runs jobs sequentially on the
+/// calling thread; otherwise up to `workers` pool participants drain the
+/// job ids one at a time.
 class ThreadExecutor final : public Executor {
  public:
-  explicit ThreadExecutor(unsigned workers) : workers_(workers) {}
+  explicit ThreadExecutor(unsigned workers, TaskPool* pool = nullptr)
+      : workers_(workers), pool_(pool) {}
   void execute(std::size_t job_count, ExecJobHooks& hooks) const override;
 
  private:
   unsigned workers_;
+  TaskPool* pool_;
 };
 
 /// Forks `workers` processes and merges their streamed results. POSIX

@@ -132,7 +132,7 @@ void encode_report(std::ostringstream& out, const ApspReport& report) {
       << ",\"topology\":" << json_quote(report.topology)
       << ",\"kernel\":" << json_quote(report.kernel)
       << ",\"family\":" << json_quote(report.family) << ",\"n\":" << report.n
-      << ",\"rounds\":" << report.rounds
+      << ",\"threads\":" << report.threads << ",\"rounds\":" << report.rounds
       << ",\"wall_ms_bits\":" << f64_to_bits(report.wall_ms) << ",\"metrics\":{";
   bool first = true;
   for (const auto& [key, value] : report.metrics) {
@@ -180,6 +180,8 @@ ApspReport decode_report(WireReader& r) {
   report.topology = topology;
   report.kernel = kernel;
   report.family = family;
+  r.expect(",\"threads\":");
+  report.threads = static_cast<unsigned>(r.u64());
   r.expect(",\"rounds\":");
   report.rounds = r.u64();
   r.expect(",\"wall_ms_bits\":");

@@ -19,9 +19,10 @@
 
 namespace qclique {
 
-/// Schema version stamped into every payload ("v":1) and every protocol
-/// envelope ("exec_proto":1); decoders reject anything else.
-inline constexpr int kWireVersion = 1;
+/// Schema version stamped into every payload ("v":2) and every protocol
+/// envelope ("exec_proto":2); decoders reject anything else. v2 added the
+/// report's `threads` configuration stamp.
+inline constexpr int kWireVersion = 2;
 
 /// Strict sequential reader over one wire payload. Methods consume exactly
 /// the bytes the encoders emit and throw SimulationError (with byte offset

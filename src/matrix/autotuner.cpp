@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/task_pool.hpp"
 
 namespace qclique {
 
@@ -71,15 +72,15 @@ class AutoKernel final : public MinPlusKernel {
       // Candidates run on the real inputs into a scratch output, so the
       // sweep measures exactly the memory behavior the winner will see.
       std::vector<std::int64_t> scratch(static_cast<std::size_t>(rows) * cols);
-      const KernelConfig cc = cand.config();
+      const KernelConfig cc = cand.config(config);
       const auto start = std::chrono::steady_clock::now();
       registry.get(cand.kernel).run(a, b, scratch.data(), rows, inner, cols, cc,
                                     nullptr);
       const auto stop = std::chrono::steady_clock::now();
       return std::chrono::duration<double, std::milli>(stop - start).count();
     });
-    registry.get(plan.kernel).run(a, b, c, rows, inner, cols, plan.config(),
-                                  witness);
+    registry.get(plan.kernel).run(a, b, c, rows, inner, cols,
+                                  plan.config(config), witness);
   }
 };
 
@@ -220,7 +221,10 @@ bool KernelAutotuner::load(const std::string& path) {
 }
 
 std::vector<TunePlan> KernelAutotuner::candidates(const TuneShape& shape) {
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // Pool sizing, not raw hardware_concurrency: the measured runs execute
+  // on the shared TaskPool, so the candidate thread count must match what
+  // the pool will actually grant (QCLIQUE_THREADS caps both).
+  const unsigned hw = resolve_task_pool_threads(0);
   const std::uint32_t dim_max =
       std::max({shape.rows, shape.inner, shape.cols, 1u});
   // (kernel, threads) pairs that are genuinely distinct runs: "parallel"

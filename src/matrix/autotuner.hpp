@@ -60,8 +60,11 @@ struct TunePlan {
   unsigned num_threads = 1;
   double best_ms = 0.0;
 
-  KernelConfig config() const {
-    KernelConfig c;
+  /// The plan folded into `base`: tuned knobs replace num_threads and
+  /// block_size, the caller's pool/tuner wiring survives so delegated
+  /// runs execute on the same TaskPool the sweep measured.
+  KernelConfig config(const KernelConfig& base = {}) const {
+    KernelConfig c = base;
     c.num_threads = num_threads;
     c.block_size = block_size;
     return c;

@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/task_pool.hpp"
 #include "matrix/autotuner.hpp"
 #include "matrix/kernel_band.hpp"
 
@@ -12,41 +14,41 @@ namespace qclique {
 
 namespace {
 
-/// Runs one band function over row bands on std::thread workers. Row i of
+/// Runs one band function over row bands on the shared TaskPool. Row i of
 /// C depends only on row i of A and all of B, so disjoint row bands are
 /// independent: any worker count computes the same entries in the same
-/// within-row order, which is the determinism contract. The B-tile
-/// classification is shared read-only by every band. Small products run
-/// single-threaded regardless -- spawning threads costs more than the
-/// product.
+/// within-row order, which is the determinism contract (the pool's chunk
+/// boundaries depend only on (rows, grain), never on scheduling). The
+/// B-tile classification is shared read-only by every band. Small products
+/// run single-threaded regardless -- even without spawn cost, waking the
+/// pool costs more than the product.
 void run_banded(detail::BandFn band, const std::int64_t* a, const std::int64_t* b,
                 std::int64_t* c, std::uint32_t rows, std::uint32_t inner,
                 std::uint32_t cols, const KernelConfig& config,
                 std::uint32_t* witness) {
   const std::uint32_t bs = detail::clamp_block(config.block_size, rows, inner, cols);
   const auto clean = detail::classify_b_tiles(b, inner, cols, bs);
-  unsigned workers = config.num_threads;
-  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  unsigned workers = resolve_task_pool_threads(config.num_threads);
   workers = static_cast<unsigned>(std::min<std::uint64_t>(workers, rows));
   if (workers <= 1 ||
       static_cast<std::uint64_t>(rows) * inner * cols < (1u << 15)) {
     band(a, b, c, rows, inner, cols, bs, clean.data(), witness);
     return;
   }
-  const BlockPartition bands(rows, workers);
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    const std::uint32_t r0 = static_cast<std::uint32_t>(bands.block_begin(w));
-    const std::uint32_t r1 = static_cast<std::uint32_t>(bands.block_end(w));
-    pool.emplace_back([=, &clean] {
-      band(a + static_cast<std::size_t>(r0) * inner, b,
-           c + static_cast<std::size_t>(r0) * cols, r1 - r0, inner, cols, bs,
-           clean.data(),
-           witness ? witness + static_cast<std::size_t>(r0) * cols : nullptr);
-    });
-  }
-  for (auto& t : pool) t.join();
+  TaskPool& pool = config.task_pool ? *config.task_pool : TaskPool::instance();
+  // ~4 chunks per worker: enough slack for stealing to smooth skewed
+  // bands (dirty-tile density varies by row) without shrinking bands
+  // below a cache tile. The grain does not affect results.
+  const std::size_t grain =
+      std::max<std::size_t>(1, rows / (4ull * workers));
+  pool.parallel_for(
+      0, rows, grain,
+      [&](std::size_t r0, std::size_t r1, unsigned) {
+        band(a + r0 * inner, b, c + r0 * cols,
+             static_cast<std::uint32_t>(r1 - r0), inner, cols, bs,
+             clean.data(), witness ? witness + r0 * cols : nullptr);
+      },
+      workers);
 }
 
 /// The band function implementing one ISA tier.
@@ -147,7 +149,8 @@ class ParallelKernel final : public MinPlusKernel {
   std::string name() const override { return "parallel"; }
 
   std::string description() const override {
-    return "the blocked kernel sharded over row bands on std::thread workers";
+    return "the blocked kernel sharded over row bands on the persistent "
+           "task pool";
   }
 
   void run(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,

@@ -13,9 +13,10 @@
 //                   oracle (index arithmetic, out-of-line sat_add);
 //   * "blocked"  -- cache-tiled i/k/j with a tunable block size, row-pointer
 //                   access, and an inlined saturating add;
-//   * "parallel" -- the blocked kernel sharded over row bands on
-//                   std::thread workers (the BatchRunner worker-count
-//                   convention: 0 = one per hardware thread);
+//   * "parallel" -- the blocked kernel sharded over row bands on the
+//                   persistent TaskPool (the BatchRunner worker-count
+//                   convention: 0 = one per hardware thread, via
+//                   QCLIQUE_THREADS / hardware_concurrency);
 //   * "simd"     -- hand-vectorized AVX2 / AVX-512 / NEON clean-tile loops
 //                   behind a runtime CPU-feature dispatcher (KernelIsa;
 //                   QCLIQUE_KERNEL_ISA forces a tier), sharded over row
@@ -43,6 +44,7 @@
 namespace qclique {
 
 class KernelAutotuner;
+class TaskPool;
 
 /// The instruction-set tiers the "simd" kernel dispatches over. "scalar"
 /// is the portable blocked band and is always available; the vector tiers
@@ -91,6 +93,10 @@ struct KernelConfig {
   /// KernelAutotuner). ExecutionContext points this at its own fork-shared
   /// tuner; other kernels ignore it. Results never depend on this value.
   KernelAutotuner* autotuner = nullptr;
+  /// Worker pool multithreaded kernels shard row bands onto (null = the
+  /// process-wide TaskPool::instance()). ExecutionContext points this at
+  /// its own fork-shared pool. Results never depend on this value.
+  TaskPool* task_pool = nullptr;
 };
 
 /// Sentinel witness value for entries with no finite product (+inf).

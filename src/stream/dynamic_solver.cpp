@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
-#include <queue>
+#include <numeric>
 #include <utility>
 
 #include "api/registry.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "common/task_pool.hpp"
 
 namespace qclique {
 
@@ -38,33 +39,76 @@ std::vector<std::vector<OutArc>> build_adjacency(const Digraph& g) {
   return adj;
 }
 
-/// Single-source Dijkstra over adjacency out-lists, writing the distance
-/// row in place. When `first` is non-null it receives the first hop of a
-/// shortest s->v path per target (kNoHop for v == s or unreachable).
-/// Deterministic: the lazy-deletion heap pops ties in vertex order and
-/// relaxations are strict.
-void dijkstra_row(const std::vector<std::vector<OutArc>>& adj, std::uint32_t s,
-                  std::int64_t* dist, std::uint32_t* first) {
-  const auto n = static_cast<std::uint32_t>(adj.size());
-  std::fill(dist, dist + n, kPlusInf);
-  if (first != nullptr) std::fill(first, first + n, kNoHop);
-  dist[s] = 0;
+/// Reusable per-worker state for one source's Dijkstra repair: the dist /
+/// first-hop working arrays, the heap's backing storage, and the list of
+/// vertices touched since the last reset. Between runs the arrays are held
+/// at their resting values (+inf / kNoHop) and restored by walking only
+/// the touched list, so a repair over k reachable vertices costs O(k log k)
+/// regardless of n -- no O(n) refill, no per-source allocations once the
+/// capacities are warm.
+struct RepairScratch {
   using Item = std::pair<std::int64_t, std::uint32_t>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
-  heap.push({0, s});
+
+  std::vector<std::int64_t> dist;    // resting value: kPlusInf everywhere
+  std::vector<std::uint32_t> first;  // resting value: kNoHop everywhere
+  std::vector<std::uint32_t> touched;
+  std::vector<Item> heap;  // storage reused across runs (capacity sticks)
+
+  void ensure(std::uint32_t n) {
+    if (dist.size() != n) {
+      dist.assign(n, kPlusInf);
+      first.assign(n, kNoHop);
+      touched.clear();
+      heap.clear();
+    }
+  }
+};
+
+/// Single-source Dijkstra over adjacency out-lists, writing the distance
+/// row (and, when `first` is non-null, the first hop of a shortest s->v
+/// path per target; kNoHop for v == s or unreachable) through `scratch`.
+/// Deterministic and bit-identical to a fresh priority_queue run: a binary
+/// heap always pops its comparator-minimum, strict relaxations make every
+/// live (d, u) pair unique, and ties pop in vertex order.
+void dijkstra_row(const std::vector<std::vector<OutArc>>& adj, std::uint32_t s,
+                  RepairScratch& scratch, std::int64_t* out_dist,
+                  std::uint32_t* out_first) {
+  using Item = RepairScratch::Item;
+  const auto n = static_cast<std::uint32_t>(adj.size());
+  scratch.ensure(n);
+  std::int64_t* dist = scratch.dist.data();
+  std::uint32_t* first = scratch.first.data();
+  auto& heap = scratch.heap;
+  const auto heap_less = std::greater<Item>{};  // min-heap
+  dist[s] = 0;
+  scratch.touched.push_back(s);
+  heap.push_back({0, s});
   while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), heap_less);
+    const auto [d, u] = heap.back();
+    heap.pop_back();
     if (d != dist[u]) continue;  // stale heap entry
     for (const OutArc& a : adj[u]) {
       const std::int64_t nd = d + a.w;
       if (nd < dist[a.v]) {
+        // A vertex leaves its resting +inf exactly once: that is the
+        // moment it joins the touched list for the post-run reset.
+        if (is_plus_inf(dist[a.v])) scratch.touched.push_back(a.v);
         dist[a.v] = nd;
-        if (first != nullptr) first[a.v] = (u == s) ? a.v : first[u];
-        heap.push({nd, a.v});
+        first[a.v] = (u == s) ? a.v : first[u];
+        heap.push_back({nd, a.v});
+        std::push_heap(heap.begin(), heap.end(), heap_less);
       }
     }
   }
+  std::copy(dist, dist + n, out_dist);
+  if (out_first != nullptr) std::copy(first, first + n, out_first);
+  // Restore the resting state by undoing only what this run touched.
+  for (const std::uint32_t v : scratch.touched) {
+    dist[v] = kPlusInf;
+    first[v] = kNoHop;
+  }
+  scratch.touched.clear();
 }
 
 /// Hop-count successor construction for graphs with zero-weight arcs: the
@@ -194,7 +238,6 @@ class IncrementalSolver final : public DynamicApspSolver {
   std::string name() const override { return "incremental"; }
 
   void reset(const Digraph& g, ExecutionContext& ctx) override {
-    (void)ctx;
     QCLIQUE_CHECK(!g.has_negative_arc(),
                   "incremental dynamic solver requires non-negative weights");
     g_ = g;
@@ -210,17 +253,15 @@ class IncrementalSolver final : public DynamicApspSolver {
     const bool row_hops = options_.with_paths && zero_arcs_ == 0;
     succ_.assign(options_.with_paths ? static_cast<std::size_t>(n) * n : 0,
                  kNoHop);
-    for (std::uint32_t s = 0; s < n; ++s) {
-      dijkstra_row(adj_, s, d_.row_ptr(s),
-                   row_hops ? &succ_[static_cast<std::size_t>(s) * n] : nullptr);
-    }
+    std::vector<std::uint32_t> sources(n);
+    std::iota(sources.begin(), sources.end(), 0u);
+    repair_rows(sources, row_hops, ctx);
     if (options_.with_paths && zero_arcs_ > 0) {
       succ_ = local_successors(g_, d_);
     }
   }
 
   RepairStats apply(const UpdateBatch& batch, ExecutionContext& ctx) override {
-    (void)ctx;
     const auto t0 = Clock::now();
     const std::uint32_t n = g_.size();
     RepairStats stats;
@@ -283,12 +324,16 @@ class IncrementalSolver final : public DynamicApspSolver {
 
     const auto t1 = Clock::now();
     const bool row_hops = options_.with_paths && zero_arcs_ == 0;
+    // The repair work-list is fixed before the parallel region, in ascending
+    // source order, and stats derive from the list alone — so RepairStats
+    // (and the repaired rows, which are chunk-disjoint) are byte-identical
+    // to a sequential repair whatever the pool size or steal order.
+    std::vector<std::uint32_t> sources;
     for (std::uint32_t s = 0; s < n; ++s) {
-      if (!affected[s]) continue;
-      ++stats.affected_sources;
-      dijkstra_row(adj_, s, d_.row_ptr(s),
-                   row_hops ? &succ_[static_cast<std::size_t>(s) * n] : nullptr);
+      if (affected[s]) sources.push_back(s);
     }
+    stats.affected_sources = sources.size();
+    repair_rows(sources, row_hops, ctx);
     if (options_.with_paths && zero_arcs_ > 0 && stats.affected_sources > 0) {
       // Zero-weight plateaus make per-row witness choices unsafe to mix;
       // rebuild the whole matrix hop-consistently (see local_successors).
@@ -306,12 +351,37 @@ class IncrementalSolver final : public DynamicApspSolver {
   }
 
  private:
+  /// Recomputes the listed distance rows (and, when row_hops, their first-hop
+  /// witness rows) on the context's task pool, capped by ctx.num_threads().
+  /// One chunk per source: chunks write disjoint rows through per-slot
+  /// scratch, so under TaskPool's deterministic-chunk contract the result is
+  /// bit-identical to running the list sequentially.
+  void repair_rows(const std::vector<std::uint32_t>& sources, bool row_hops,
+                   ExecutionContext& ctx) {
+    const std::uint32_t n = g_.size();
+    TaskPool& pool = ctx.task_pool();
+    if (scratch_.size() < pool.threads()) scratch_.resize(pool.threads());
+    pool.parallel_for(
+        0, sources.size(), 1,
+        [&](std::size_t chunk_begin, std::size_t chunk_end, unsigned slot) {
+          RepairScratch& scratch = scratch_[slot];
+          for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+            const std::uint32_t s = sources[i];
+            dijkstra_row(adj_, s, scratch, d_.row_ptr(s),
+                         row_hops ? &succ_[static_cast<std::size_t>(s) * n]
+                                  : nullptr);
+          }
+        },
+        ctx.num_threads());
+  }
+
   DynamicSolverOptions options_;
   Digraph g_{1};
   DistMatrix d_{1};  // placeholder until reset() (DistMatrix needs n >= 1)
   std::vector<std::uint32_t> succ_;
   std::vector<std::vector<OutArc>> adj_;  // sorted out-lists mirroring g_
   std::uint64_t zero_arcs_ = 0;           // arcs with weight exactly 0
+  std::vector<RepairScratch> scratch_;    // one per task-pool slot
 };
 
 class RecomputeFactory final : public DynamicSolverFactory {

@@ -1,0 +1,308 @@
+// TaskPool unit + schedule-independence suite (docs/PERFORMANCE.md).
+//
+// The unit half pins the parallel_for contract: every index of [begin, end)
+// runs exactly once, chunk boundaries are multiples of `grain` regardless of
+// pool size or max_workers cap, slots stay inside [0, threads()), nested and
+// concurrent regions degrade to inline execution instead of deadlocking.
+//
+// The property half is the reason the pool may exist at all: results of the
+// surfaces ported onto it -- kernel products, batch scenario grids, and
+// incremental dynamic repair -- must be bit-identical across pool sizes
+// {1, 2, 8}, and identical to a sequential oracle that never touches the
+// pool. These run under TSan in CI (sanitize-threads job).
+#include "common/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "api/batch_runner.hpp"
+#include "api/execution_context.hpp"
+#include "common/rng.hpp"
+#include "graph/families.hpp"
+#include "matrix/kernels.hpp"
+#include "stream/dynamic_solver.hpp"
+#include "stream/generators.hpp"
+
+namespace qclique {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Unit contract.
+// ---------------------------------------------------------------------------
+
+TEST(TaskPoolUnit, EveryIndexRunsExactlyOnce) {
+  TaskPool pool(4);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7}, std::size_t{100}}) {
+    constexpr std::size_t kCount = 100;
+    std::vector<std::atomic<int>> hits(kCount);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(0, kCount, grain,
+                      [&](std::size_t b, std::size_t e, unsigned) {
+                        for (std::size_t i = b; i < e; ++i) ++hits[i];
+                      });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST(TaskPoolUnit, ChunkBoundariesDependOnlyOnGrain) {
+  // Whatever runs a chunk, its begin must sit on a grain boundary and its
+  // length must be exactly grain (ragged tail excepted).
+  TaskPool pool(8);
+  constexpr std::size_t kBegin = 3;
+  constexpr std::size_t kEnd = 113;
+  constexpr std::size_t kGrain = 10;
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(kBegin, kEnd, kGrain,
+                    [&](std::size_t b, std::size_t e, unsigned) {
+                      std::lock_guard<std::mutex> lock(mu);
+                      chunks.push_back({b, e});
+                    });
+  ASSERT_EQ(chunks.size(), (kEnd - kBegin + kGrain - 1) / kGrain);
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ((b - kBegin) % kGrain, 0u);
+    EXPECT_EQ(e, std::min(b + kGrain, kEnd));
+  }
+}
+
+TEST(TaskPoolUnit, EmptyRangeRunsNothing) {
+  TaskPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t, unsigned) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_FALSE(pool.started());  // nothing to do never spawns workers
+}
+
+TEST(TaskPoolUnit, GrainZeroIsTreatedAsOne) {
+  TaskPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 6, 0, [&](std::size_t b, std::size_t e, unsigned) {
+    EXPECT_EQ(e, b + 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 6);
+}
+
+TEST(TaskPoolUnit, SlotsStayInsideThreadsEvenWhenCapped) {
+  TaskPool pool(8);
+  EXPECT_EQ(pool.threads(), 8u);
+  std::atomic<int> bad{0};
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(
+      0, 64, 1,
+      [&](std::size_t b, std::size_t e, unsigned slot) {
+        if (slot >= pool.threads()) ++bad;
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+      },
+      /*max_workers=*/2);
+  EXPECT_EQ(bad.load(), 0);
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(TaskPoolUnit, SingleThreadPoolRunsInlineWithoutWorkers) {
+  TaskPool pool(1);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 10, 3, [&](std::size_t b, std::size_t e, unsigned slot) {
+    EXPECT_EQ(slot, 0u);
+    calls += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(calls.load(), 10);
+  EXPECT_FALSE(pool.started());
+}
+
+TEST(TaskPoolUnit, NestedRegionsRunInlineInsteadOfDeadlocking) {
+  TaskPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 8, 1, [&](std::size_t, std::size_t, unsigned) {
+    // A ported surface calling another ported surface (kernel inside a
+    // batch job) must make progress on the calling thread.
+    pool.parallel_for(0, 4, 1, [&](std::size_t b, std::size_t e, unsigned) {
+      inner_total += static_cast<int>(e - b);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 4);
+}
+
+TEST(TaskPoolUnit, ConcurrentRegionsFromTwoThreadsBothComplete) {
+  TaskPool pool(4);
+  std::atomic<int> total{0};
+  auto run = [&] {
+    for (int rep = 0; rep < 50; ++rep) {
+      pool.parallel_for(0, 32, 4, [&](std::size_t b, std::size_t e, unsigned) {
+        total += static_cast<int>(e - b);
+      });
+    }
+  };
+  std::thread other(run);
+  run();
+  other.join();
+  EXPECT_EQ(total.load(), 2 * 50 * 32);
+}
+
+TEST(TaskPoolUnit, ResolveHonorsExplicitRequestOverEnv) {
+  EXPECT_EQ(resolve_task_pool_threads(5), 5u);
+  EXPECT_GE(resolve_task_pool_threads(0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Schedule independence: kernel products.
+// ---------------------------------------------------------------------------
+
+DistMatrix random_matrix(std::uint32_t n, Rng& rng) {
+  DistMatrix m(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.2)) continue;  // stay +inf
+      m.set(i, j, rng.uniform_i64(-30, 30));
+    }
+  }
+  return m;
+}
+
+TEST(TaskPoolKernelSchedule, ProductsBitIdenticalAcrossPoolSizes) {
+  const MinPlusKernel& kernel = KernelRegistry::instance().get("parallel");
+  const MinPlusKernel& oracle = KernelRegistry::instance().get("naive");
+  Rng rng(97);
+  for (const std::uint32_t n : {5u, 33u, 64u}) {
+    const DistMatrix a = random_matrix(n, rng);
+    const DistMatrix b = random_matrix(n, rng);
+    std::vector<std::uint32_t> want_wit;
+    const DistMatrix want = oracle.product(a, b, {}, &want_wit);
+    for (const unsigned pool_size : {1u, 2u, 8u}) {
+      TaskPool pool(pool_size);
+      KernelConfig config;
+      config.task_pool = &pool;
+      config.num_threads = pool_size;
+      std::vector<std::uint32_t> wit;
+      const DistMatrix got = kernel.product(a, b, config, &wit);
+      EXPECT_EQ(got, want) << "n=" << n << " pool=" << pool_size << ": "
+                           << got.first_difference(want);
+      EXPECT_EQ(wit, want_wit) << "witness n=" << n << " pool=" << pool_size;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule independence: batch scenario grids.
+// ---------------------------------------------------------------------------
+
+TEST(TaskPoolBatchSchedule, ScenarioGridCanonicalJsonIdenticalAcrossPoolSizes) {
+  ScenarioSpec spec;
+  spec.families = {"gnp", "grid"};
+  spec.solvers = {"floyd-warshall", "dijkstra"};
+  spec.topologies = {"local"};
+  spec.kernels = {"blocked"};
+  spec.config = family_config(14, 0.3, 1, 9);
+  // The spec's knobs are configuration and may stamp reports (threads);
+  // hold them fixed and vary only the pool capacity underneath -- the
+  // canonical export must not notice the difference.
+  spec.workers = 2;
+  spec.threads = 2;
+  std::string want;
+  for (const unsigned pool_size : {1u, 2u, 8u}) {
+    ExecutionContext base(7);
+    base.set_task_pool(std::make_shared<TaskPool>(pool_size));
+    const BatchRunner runner(SolverRegistry::instance(), std::move(base));
+    const auto results = runner.run_scenarios(spec);
+    ASSERT_FALSE(results.empty());
+    for (const auto& r : results) EXPECT_TRUE(r.ok) << r.error;
+    const std::string canonical = scenarios_to_json(results, false);
+    if (want.empty()) {
+      want = canonical;
+    } else {
+      EXPECT_EQ(canonical, want) << "pool=" << pool_size;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule independence: incremental dynamic repair.
+// ---------------------------------------------------------------------------
+
+void expect_same_stats(const RepairStats& got, const RepairStats& want,
+                       unsigned pool_size, std::uint64_t seq) {
+  EXPECT_EQ(got.updates, want.updates) << "pool=" << pool_size << " batch=" << seq;
+  EXPECT_EQ(got.changed_arcs, want.changed_arcs)
+      << "pool=" << pool_size << " batch=" << seq;
+  EXPECT_EQ(got.affected_sources, want.affected_sources)
+      << "pool=" << pool_size << " batch=" << seq;
+}
+
+TEST(TaskPoolRepairSchedule, IncrementalRepairBitIdenticalAcrossPoolSizes) {
+  // One replay per pool size in {1, 2, 8}, all compared to a recompute
+  // oracle replay and to each other: distances, witnesses, and the
+  // RepairStats counters must match bit-for-bit after every batch.
+  Rng graph_rng(41);
+  const FamilyConfig fc = family_config(24, 0.3, 1, 9);
+  const Digraph start = make_family_graph("gnp", fc, graph_rng);
+  const StreamConfig sc = stream_for_family("gnp", fc, /*batches=*/6,
+                                            /*batch_size=*/10);
+  Rng stream_rng(43);
+  const auto batches = make_update_stream("hub-delete", start, sc, stream_rng);
+
+  // The schedule-free reference: a pool of one never leaves the caller.
+  ExecutionContext ref_ctx(11);
+  ref_ctx.set_task_pool(std::make_shared<TaskPool>(1));
+  DynamicSolverOptions options;
+  options.with_paths = true;
+  auto ref = make_dynamic_solver("incremental", options);
+  auto oracle = make_dynamic_solver("recompute", options);
+  ref->reset(start, ref_ctx);
+  oracle->reset(start, ref_ctx);
+  std::vector<RepairStats> ref_stats;
+  for (const auto& batch : batches) {
+    ref_stats.push_back(ref->apply(batch, ref_ctx));
+    oracle->apply(batch, ref_ctx);
+    ASSERT_EQ(ref->distances(), oracle->distances())
+        << "batch " << batch.seq << ": "
+        << ref->distances().first_difference(oracle->distances());
+  }
+
+  for (const unsigned pool_size : {2u, 8u}) {
+    ExecutionContext ctx(11);
+    ctx.set_task_pool(std::make_shared<TaskPool>(pool_size));
+    ctx.set_num_threads(pool_size);
+    auto solver = make_dynamic_solver("incremental", options);
+    solver->reset(start, ctx);
+    for (std::size_t k = 0; k < batches.size(); ++k) {
+      const RepairStats stats = solver->apply(batches[k], ctx);
+      expect_same_stats(stats, ref_stats[k], pool_size, batches[k].seq);
+    }
+    EXPECT_EQ(solver->distances(), ref->distances())
+        << "pool=" << pool_size << ": "
+        << solver->distances().first_difference(ref->distances());
+    EXPECT_EQ(solver->successors(), ref->successors()) << "pool=" << pool_size;
+  }
+}
+
+TEST(TaskPoolRepairSchedule, ResetParallelSolveMatchesSequential) {
+  Rng rng(59);
+  const Digraph g = make_family_graph("power-law", family_config(40, 0.3, 1, 9), rng);
+  DynamicSolverOptions options;
+  options.with_paths = true;
+
+  ExecutionContext seq_ctx(13);
+  seq_ctx.set_task_pool(std::make_shared<TaskPool>(1));
+  auto seq = make_dynamic_solver("incremental", options);
+  seq->reset(g, seq_ctx);
+
+  ExecutionContext par_ctx(13);
+  par_ctx.set_task_pool(std::make_shared<TaskPool>(8));
+  par_ctx.set_num_threads(8);
+  auto par = make_dynamic_solver("incremental", options);
+  par->reset(g, par_ctx);
+
+  EXPECT_EQ(par->distances(), seq->distances())
+      << par->distances().first_difference(seq->distances());
+  EXPECT_EQ(par->successors(), seq->successors());
+}
+
+}  // namespace
+}  // namespace qclique
